@@ -1,0 +1,116 @@
+// Command motor executes a masm program on a Motor world: every rank
+// runs its own virtual machine with the System.MP message-passing
+// FCalls bound, realizing the paper's compile-once-run-anywhere
+// deployment story — the same program text runs unchanged on any host
+// and transport.
+//
+// Usage (single process, N in-process ranks):
+//
+//	motor [-np N] [-channel shm|sock] [-policy motor|alwayspin] program.masm
+//
+// Usage (multi-process over TCP, one OS process per rank):
+//
+//	motor -mode serve -addr :7777 -np 4            # rendezvous service
+//	motor -mode rank -root HOST:7777 -rank I -np 4 program.masm
+//
+// The program's main method may return void or int32; a non-zero
+// int32 becomes the exit code.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"motor"
+)
+
+func main() {
+	np := flag.Int("np", 2, "number of ranks")
+	channel := flag.String("channel", "shm", "transport: shm or sock (local mode)")
+	policy := flag.String("policy", "motor", "pinning policy: motor or alwayspin")
+	gcstats := flag.Bool("gcstats", false, "print per-rank GC and MP stats on exit")
+	mode := flag.String("mode", "local", "local, serve (rendezvous host), or rank (join a multi-process world)")
+	addr := flag.String("addr", "127.0.0.1:7777", "serve mode: rendezvous listen address")
+	root := flag.String("root", "127.0.0.1:7777", "rank mode: rendezvous address to join")
+	rankID := flag.Int("rank", 0, "rank mode: this process's world rank")
+	flag.Parse()
+
+	cfg := motor.Config{Ranks: *np, Channel: *channel}
+	switch *policy {
+	case "motor":
+		cfg.Policy = motor.PolicyMotor
+	case "alwayspin":
+		cfg.Policy = motor.PolicyAlwaysPin
+	default:
+		fmt.Fprintf(os.Stderr, "motor: unknown policy %q\n", *policy)
+		os.Exit(2)
+	}
+
+	if *mode == "serve" {
+		if err := motor.Serve(*addr, *np); err != nil {
+			fmt.Fprintln(os.Stderr, "motor:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: motor [-np N] [-channel shm|sock] program.masm")
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "motor:", err)
+		os.Exit(1)
+	}
+
+	exit := 0
+	runRank := func(r *motor.Rank) error {
+		main, err := r.Load(string(src))
+		if err != nil {
+			return err
+		}
+		if main == nil {
+			return fmt.Errorf("rank %d: program has no main method", r.ID())
+		}
+		v, err := r.Call(main)
+		if err != nil {
+			return fmt.Errorf("rank %d: %w", r.ID(), err)
+		}
+		if main.HasRet && v.Int() != 0 {
+			exit = int(v.Int())
+		}
+		if *gcstats {
+			gs, ms := r.GCStats(), r.MPStats()
+			fmt.Fprintf(os.Stderr,
+				"rank %d: scavenges=%d fullGCs=%d promoted=%dB pins=%d condPins=%d | ops=%d oo=%d/%d serialized=%dB\n",
+				r.ID(), gs.Scavenges, gs.FullGCs, gs.BytesPromoted, gs.Pins, gs.CondPinsAdded,
+				ms.Ops, ms.OOSends, ms.OORecvs, ms.SerializedBytes)
+		}
+		return nil
+	}
+
+	switch *mode {
+	case "local":
+		err = motor.Run(cfg, runRank)
+	case "rank":
+		var r *motor.Rank
+		var closer func() error
+		r, closer, err = motor.Join(cfg, *root, *rankID, *np)
+		if err == nil {
+			err = runRank(r)
+			if cerr := closer(); cerr != nil && err == nil {
+				err = cerr
+			}
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "motor: unknown mode %q\n", *mode)
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "motor:", err)
+		os.Exit(1)
+	}
+	os.Exit(exit)
+}

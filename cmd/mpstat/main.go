@@ -1,0 +1,142 @@
+// Command mpstat runs a configurable exchange workload on a Motor
+// world and reports detailed runtime statistics per rank: collector
+// activity, the pinning-policy decision counters of the paper's §7.4,
+// transport protocol counters, and OO serialization traffic. It is
+// the observability surface for understanding how the pinning policy
+// behaves on a given workload.
+//
+//	mpstat -np 2 -size 4096 -iters 500 [-policy motor|alwayspin] [-oo]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sync"
+
+	"motor"
+)
+
+func main() {
+	np := flag.Int("np", 2, "ranks")
+	size := flag.Int("size", 4096, "message bytes (regular ops) / payload bytes (OO)")
+	iters := flag.Int("iters", 500, "ping-pong iterations")
+	policy := flag.String("policy", "motor", "pinning policy: motor or alwayspin")
+	oo := flag.Bool("oo", false, "use the extended object-oriented operations on a linked list")
+	elements := flag.Int("elements", 16, "linked-list elements for -oo")
+	channel := flag.String("channel", "shm", "transport: shm or sock")
+	flag.Parse()
+
+	cfg := motor.Config{Ranks: *np, Channel: *channel}
+	if *policy == "alwayspin" {
+		cfg.Policy = motor.PolicyAlwaysPin
+	}
+
+	var mu sync.Mutex
+	err := motor.Run(cfg, func(r *motor.Rank) error {
+		peer := (r.ID() + 1) % r.Size()
+		if r.Size()%2 != 0 {
+			return fmt.Errorf("mpstat needs an even rank count")
+		}
+		initiator := r.ID()%2 == 0
+		var work func() error
+		if *oo {
+			cell, err := r.DeclareClass("Cell")
+			if err != nil {
+				return err
+			}
+			u8 := r.ArrayType(motor.Uint8, nil, 1)
+			if err := r.CompleteClass(cell, nil, []motor.FieldSpec{
+				{Name: "data", Kind: motor.Object, Type: u8, Transportable: true},
+				{Name: "next", Kind: motor.Object, Type: cell, Transportable: true},
+			}); err != nil {
+				return err
+			}
+			var head motor.Ref
+			release := r.Protect(&head)
+			defer release()
+			per := *size / *elements
+			if per < 1 {
+				per = 1
+			}
+			for i := 0; i < *elements; i++ {
+				node, err := r.New(cell)
+				if err != nil {
+					return err
+				}
+				hold := r.Protect(&node)
+				arr, err := r.NewUint8Array(make([]byte, per))
+				if err != nil {
+					return err
+				}
+				r.SetField(node, cell, "data", uint64(arr))
+				r.SetField(node, cell, "next", uint64(head))
+				hold()
+				head = node
+			}
+			work = func() error {
+				if initiator {
+					if err := r.OSend(head, peer, 1); err != nil {
+						return err
+					}
+					_, _, err := r.ORecv(peer, 1)
+					return err
+				}
+				got, _, err := r.ORecv(peer, 1)
+				if err != nil {
+					return err
+				}
+				hold := r.Protect(&got)
+				defer hold()
+				return r.OSend(got, peer, 1)
+			}
+		} else {
+			buf, err := r.NewUint8Array(make([]byte, *size))
+			if err != nil {
+				return err
+			}
+			release := r.Protect(&buf)
+			defer release()
+			work = func() error {
+				if initiator {
+					if err := r.Send(buf, peer, 1); err != nil {
+						return err
+					}
+					_, err := r.Recv(buf, peer, 1)
+					return err
+				}
+				if _, err := r.Recv(buf, peer, 1); err != nil {
+					return err
+				}
+				return r.Send(buf, peer, 1)
+			}
+		}
+		t0 := r.WTime()
+		for i := 0; i < *iters; i++ {
+			if err := work(); err != nil {
+				return fmt.Errorf("rank %d iter %d: %w", r.ID(), i, err)
+			}
+		}
+		elapsed := r.WTime() - t0
+
+		gs, ms := r.GCStats(), r.MPStats()
+		mu.Lock()
+		defer mu.Unlock()
+		fmt.Printf("rank %d: %.1f us/iter\n", r.ID(), elapsed/float64(*iters)*1e6)
+		fmt.Printf("  gc: scavenges=%d fullGCs=%d promoted=%dB swept=%dB donatedBlocks=%d pause=%dus max=%dus\n",
+			gs.Scavenges, gs.FullGCs, gs.BytesPromoted, gs.BytesSwept, gs.BlocksDonated,
+			gs.PauseNs/1000, gs.MaxPauseNs/1000)
+		fmt.Printf("  pins: explicit=%d/%d cond(add/held/drop)=%d/%d/%d\n",
+			gs.Pins, gs.Unpins, gs.CondPinsAdded, gs.CondPinsHeld, gs.CondPinsDropped)
+		fmt.Printf("  policy: skippedElder=%d avoidedFast=%d deferred=%d eager=%d condReq=%d\n",
+			ms.PinSkippedElder, ms.PinAvoidedFast, ms.PinDeferred, ms.PinEager, ms.CondPins)
+		fmt.Printf("  ops: regular=%d oo=%d/%d serialized=%dB buffers(reuse/alloc/collected)=%d/%d/%d\n",
+			ms.Ops, ms.OOSends, ms.OORecvs, ms.SerializedBytes,
+			ms.BufferReuses, ms.BufferAllocs, ms.BuffersCollected)
+		return nil
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mpstat:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,221 @@
+// Heat2d: a classic e-Science workload of the kind the paper's
+// introduction motivates — 2-D Jacobi heat diffusion, domain-
+// decomposed by rows across ranks, with halo exchange over the
+// regular Motor MPI operations on managed float64 arrays.
+//
+// Each rank owns a band of rows stored as one managed float64 array
+// (row-major, with two ghost rows). Per iteration, ranks exchange
+// boundary rows with the combined Sendrecv operation, then relax the
+// interior. Convergence is decided with Gather + Bcast of the
+// per-rank residuals.
+//
+//	go run ./examples/heat2d [-n 96] [-ranks 4] [-iters 500]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math"
+
+	"motor"
+)
+
+func main() {
+	n := flag.Int("n", 96, "grid size (n x n)")
+	ranks := flag.Int("ranks", 4, "number of ranks")
+	iters := flag.Int("iters", 500, "max iterations")
+	tol := flag.Float64("tol", 1e-4, "convergence tolerance")
+	flag.Parse()
+
+	if *n%*ranks != 0 {
+		log.Fatalf("grid size %d must divide by ranks %d", *n, *ranks)
+	}
+	rows := *n / *ranks
+
+	err := motor.Run(motor.Config{Ranks: *ranks}, func(r *motor.Rank) error {
+		me, np := r.ID(), r.Size()
+		cols := *n
+		// Band with ghost rows: (rows+2) x cols, flattened.
+		band, err := r.NewArray(motor.Float64, (rows+2)*cols)
+		if err != nil {
+			return err
+		}
+		next, err := r.NewArray(motor.Float64, (rows+2)*cols)
+		if err != nil {
+			return err
+		}
+		release := r.Protect(&band, &next)
+		defer release()
+
+		set := func(arr motor.Ref, row, col int, v float64) {
+			r.SetElem(arr, row*cols+col, motor.BitsFromFloat64(v))
+		}
+		get := func(arr motor.Ref, row, col int) float64 {
+			return motor.Float64FromBits(r.GetElem(arr, row*cols+col))
+		}
+
+		// Boundary conditions: the global top edge is hot (100),
+		// everything else starts cold.
+		if me == 0 {
+			for c := 0; c < cols; c++ {
+				set(band, 1, c, 100)
+				set(next, 1, c, 100)
+			}
+		}
+
+		up, down := me-1, me+1
+		const tagUp, tagDown = 1, 2
+		resBuf, err := r.NewArray(motor.Float64, 1)
+		if err != nil {
+			return err
+		}
+		var allRes motor.Ref
+		if me == 0 {
+			allRes, err = r.NewArray(motor.Float64, np)
+			if err != nil {
+				return err
+			}
+		}
+		decision, err := r.NewArray(motor.Int32, 1)
+		if err != nil {
+			return err
+		}
+		release2 := r.Protect(&resBuf, &allRes, &decision)
+		defer release2()
+
+		iter := 0
+		for ; iter < *iters; iter++ {
+			// Halo exchange: one combined Sendrecv per existing
+			// neighbour (send my boundary row, receive their boundary
+			// row into my ghost row). Pairwise Sendrecv cannot
+			// deadlock, and the up-then-down order forms a dependency
+			// chain, not a cycle. Rows are materialized as standalone
+			// objects because Sendrecv transports whole objects.
+			exchange := func(boundaryRow, ghostRow, neighbor, sendTag, recvTag int) error {
+				out, err := copyRow(r, band, boundaryRow, cols)
+				if err != nil {
+					return err
+				}
+				hold := r.Protect(&out)
+				defer hold()
+				in, err := r.NewArray(motor.Float64, cols)
+				if err != nil {
+					return err
+				}
+				hold2 := r.Protect(&in)
+				defer hold2()
+				if _, err := r.Sendrecv(out, neighbor, sendTag, in, neighbor, recvTag); err != nil {
+					return err
+				}
+				for c := 0; c < cols; c++ {
+					set(band, ghostRow, c, motor.Float64FromBits(r.GetElem(in, c)))
+				}
+				return nil
+			}
+			if up >= 0 {
+				if err := exchange(1, 0, up, tagUp, tagDown); err != nil {
+					return err
+				}
+			}
+			if down < np {
+				if err := exchange(rows, rows+1, down, tagDown, tagUp); err != nil {
+					return err
+				}
+			}
+
+			// Jacobi relaxation on the interior.
+			localRes := 0.0
+			for row := 1; row <= rows; row++ {
+				globalRow := me*rows + (row - 1)
+				for col := 0; col < cols; col++ {
+					if globalRow == 0 || globalRow == *n-1 || col == 0 || col == cols-1 {
+						set(next, row, col, get(band, row, col))
+						continue
+					}
+					v := 0.25 * (get(band, row-1, col) + get(band, row+1, col) +
+						get(band, row, col-1) + get(band, row, col+1))
+					set(next, row, col, v)
+					if d := math.Abs(v - get(band, row, col)); d > localRes {
+						localRes = d
+					}
+				}
+			}
+			band, next = next, band
+
+			// Convergence: gather residuals, root decides, broadcast.
+			r.SetElem(resBuf, 0, motor.BitsFromFloat64(localRes))
+			if err := r.Gather(resBuf, allRes, 0); err != nil {
+				return err
+			}
+			if me == 0 {
+				worst := 0.0
+				for _, v := range r.Float64s(allRes) {
+					if v > worst {
+						worst = v
+					}
+				}
+				stop := int32(0)
+				if worst < *tol {
+					stop = 1
+				}
+				r.SetElem(decision, 0, uint64(uint32(stop)))
+			}
+			if err := r.Bcast(decision, 0); err != nil {
+				return err
+			}
+			if int32(uint32(r.GetElem(decision, 0))) == 1 {
+				break
+			}
+		}
+
+		// Report: rank 0 gathers the band centers for a temperature
+		// profile summary.
+		center, err := r.NewArray(motor.Float64, 1)
+		if err != nil {
+			return err
+		}
+		r.SetElem(center, 0, motor.BitsFromFloat64(get(band, rows/2+1, cols/2)))
+		var centers motor.Ref
+		if me == 0 {
+			centers, err = r.NewArray(motor.Float64, np)
+			if err != nil {
+				return err
+			}
+		}
+		hold := r.Protect(&center, &centers)
+		defer hold()
+		if err := r.Gather(center, centers, 0); err != nil {
+			return err
+		}
+		if me == 0 {
+			fmt.Printf("converged after %d iterations; band-center temperatures:", iter)
+			for _, v := range r.Float64s(centers) {
+				fmt.Printf(" %6.2f", v)
+			}
+			fmt.Println()
+			gs := r.GCStats()
+			fmt.Printf("rank 0 GC: %d scavenges, %d full collections, %d B promoted\n",
+				gs.Scavenges, gs.FullGCs, gs.BytesPromoted)
+		}
+		return nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+}
+
+// copyRow materializes band row `row` as a standalone managed array
+// (Sendrecv transports whole objects, not sub-ranges).
+func copyRow(r *motor.Rank, band motor.Ref, row, cols int) (motor.Ref, error) {
+	hold := r.Protect(&band)
+	defer hold()
+	out, err := r.NewArray(motor.Float64, cols)
+	if err != nil {
+		return motor.NullRef, err
+	}
+	for c := 0; c < cols; c++ {
+		r.SetElem(out, c, r.GetElem(band, row*cols+c))
+	}
+	return out, nil
+}

@@ -1,0 +1,139 @@
+// Nbody: a direct-summation gravitational N-body step, the classic
+// HPC kernel. Bodies are split across ranks; every step each rank
+// Allgathers the full position set (the all-pairs force needs every
+// body), integrates its slice, and an Allreduce of kinetic+potential
+// energy checks conservation — all on managed float64 arrays through
+// the runtime-integrated operations.
+//
+//	go run ./examples/nbody [-ranks 4] [-bodies 64] [-steps 50]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math"
+
+	"motor"
+)
+
+func main() {
+	ranks := flag.Int("ranks", 4, "number of ranks")
+	bodies := flag.Int("bodies", 64, "total bodies (must divide by ranks)")
+	steps := flag.Int("steps", 50, "integration steps")
+	dt := flag.Float64("dt", 1e-3, "time step")
+	flag.Parse()
+	if *bodies%*ranks != 0 {
+		log.Fatalf("bodies %d must divide by ranks %d", *bodies, *ranks)
+	}
+
+	err := motor.Run(motor.Config{Ranks: *ranks}, func(r *motor.Rank) error {
+		n := *bodies
+		local := n / r.Size()
+		lo := r.ID() * local
+
+		// Managed state: packed position (x,y) and velocity arrays.
+		myPos, _ := r.NewArray(motor.Float64, 2*local)
+		allPos, _ := r.NewArray(motor.Float64, 2*n)
+		vel := make([]float64, 2*local)
+
+		set := func(arr motor.Ref, i int, v float64) { r.SetElem(arr, i, motor.BitsFromFloat64(v)) }
+		get := func(arr motor.Ref, i int) float64 { return motor.Float64FromBits(r.GetElem(arr, i)) }
+
+		// Deterministic initial conditions: bodies on a ring with a
+		// tangential kick.
+		for i := 0; i < local; i++ {
+			g := lo + i
+			theta := 2 * math.Pi * float64(g) / float64(n)
+			set(myPos, 2*i, math.Cos(theta))
+			set(myPos, 2*i+1, math.Sin(theta))
+			vel[2*i] = -0.3 * math.Sin(theta)
+			vel[2*i+1] = 0.3 * math.Cos(theta)
+		}
+
+		const eps2 = 1e-4 // softening
+		energy := func() (float64, error) {
+			// Local kinetic + my share of potential.
+			e := 0.0
+			for i := 0; i < local; i++ {
+				e += 0.5 * (vel[2*i]*vel[2*i] + vel[2*i+1]*vel[2*i+1])
+			}
+			for i := 0; i < local; i++ {
+				gx, gy := get(myPos, 2*i), get(myPos, 2*i+1)
+				for j := 0; j < n; j++ {
+					if j == lo+i {
+						continue
+					}
+					dx := get(allPos, 2*j) - gx
+					dy := get(allPos, 2*j+1) - gy
+					e -= 0.5 / (float64(n) * math.Sqrt(dx*dx+dy*dy+eps2))
+				}
+			}
+			send, err := r.NewFloat64Array([]float64{e})
+			if err != nil {
+				return 0, err
+			}
+			recv, err := r.NewFloat64Array(make([]float64, 1))
+			if err != nil {
+				return 0, err
+			}
+			if err := r.Allreduce(send, recv, motor.OpSum); err != nil {
+				return 0, err
+			}
+			return r.Float64s(recv)[0], nil
+		}
+
+		var e0 float64
+		for step := 0; step <= *steps; step++ {
+			// Share all positions.
+			if err := r.Allgather(myPos, allPos); err != nil {
+				return err
+			}
+			if step == 0 {
+				var err error
+				e0, err = energy()
+				if err != nil {
+					return err
+				}
+			}
+			// Leapfrog kick-drift on my slice.
+			for i := 0; i < local; i++ {
+				gx, gy := get(myPos, 2*i), get(myPos, 2*i+1)
+				ax, ay := 0.0, 0.0
+				for j := 0; j < n; j++ {
+					if j == lo+i {
+						continue
+					}
+					dx := get(allPos, 2*j) - gx
+					dy := get(allPos, 2*j+1) - gy
+					inv := 1 / math.Pow(dx*dx+dy*dy+eps2, 1.5)
+					ax += dx * inv / float64(n)
+					ay += dy * inv / float64(n)
+				}
+				vel[2*i] += ax * *dt
+				vel[2*i+1] += ay * *dt
+				set(myPos, 2*i, gx+vel[2*i]**dt)
+				set(myPos, 2*i+1, gy+vel[2*i+1]**dt)
+			}
+		}
+		if err := r.Allgather(myPos, allPos); err != nil {
+			return err
+		}
+		e1, err := energy()
+		if err != nil {
+			return err
+		}
+		if r.ID() == 0 {
+			drift := math.Abs(e1-e0) / math.Abs(e0)
+			fmt.Printf("%d bodies, %d steps over %d ranks: energy %.6f -> %.6f (drift %.2e)\n",
+				n, *steps, r.Size(), e0, e1, drift)
+			if drift > 0.05 {
+				return fmt.Errorf("energy drift %.2e too large", drift)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,125 @@
+// Objecttree: the paper's Figure 5 worked example. A LinkedArray
+// list whose `array` and `next` references carry the Transportable
+// attribute travels intact through OSend/ORecv, while the
+// non-Transportable `next2` back-reference is replaced with null on
+// the wire — the opt-in propagation model of §4.2.2.
+//
+// The example also broadcasts the tree with OBcast and prints the
+// serializer statistics, including the runtime buffer-stack reuse of
+// §7.5.
+//
+//	go run ./examples/objecttree
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"motor"
+)
+
+func main() {
+	err := motor.Run(motor.Config{Ranks: 3}, func(r *motor.Rank) error {
+		la, err := r.DeclareClass("LinkedArray")
+		if err != nil {
+			return err
+		}
+		i32arr := r.ArrayType(motor.Int32, nil, 1)
+		if err := r.CompleteClass(la, nil, []motor.FieldSpec{
+			{Name: "array", Kind: motor.Object, Type: i32arr, Transportable: true},
+			{Name: "next", Kind: motor.Object, Type: la, Transportable: true},
+			{Name: "next2", Kind: motor.Object, Type: la}, // not propagated
+		}); err != nil {
+			return err
+		}
+
+		const nodes = 4
+		if r.ID() == 0 {
+			// Build the list: node i carries payload [i*10, i*10+1, …].
+			var head motor.Ref
+			hold := r.Protect(&head)
+			for i := nodes - 1; i >= 0; i-- {
+				node, err := r.New(la)
+				if err != nil {
+					return err
+				}
+				guard := r.Protect(&node)
+				vals := []int32{int32(i * 10), int32(i*10 + 1), int32(i*10 + 2)}
+				arr, err := r.NewInt32Array(vals)
+				if err != nil {
+					return err
+				}
+				r.SetField(node, la, "array", uint64(arr))
+				r.SetField(node, la, "next", uint64(head))
+				guard()
+				head = node
+			}
+			// next2 back-edges: every node points at the head. These
+			// must NOT travel.
+			cur := head
+			for cur != motor.NullRef {
+				r.SetField(cur, la, "next2", uint64(head))
+				bits, _ := r.GetField(cur, la, "next")
+				cur = motor.Ref(bits)
+			}
+			// Point-to-point to rank 1, then broadcast to everyone.
+			if err := r.OSend(head, 1, 0); err != nil {
+				return err
+			}
+			if _, err := r.OBcast(head, 0); err != nil {
+				return err
+			}
+			hold()
+			ms := r.MPStats()
+			fmt.Printf("rank 0: sent tree twice, %d bytes serialized, buffer reuses=%d\n",
+				ms.SerializedBytes, ms.BufferReuses)
+			return nil
+		}
+
+		var got motor.Ref
+		if r.ID() == 1 {
+			var st motor.Status
+			got, st, err = r.ORecv(0, 0)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("rank 1: received tree from rank %d\n", st.Source)
+		}
+		hold := r.Protect(&got)
+		bcastGot, err := r.OBcast(motor.NullRef, 0)
+		if err != nil {
+			return err
+		}
+		if r.ID() != 1 {
+			got = bcastGot
+		}
+		defer hold()
+
+		// Walk and verify.
+		count := 0
+		for cur := got; cur != motor.NullRef; count++ {
+			arrBits, _ := r.GetField(cur, la, "array")
+			if motor.Ref(arrBits) == motor.NullRef {
+				return fmt.Errorf("rank %d: node %d lost its Transportable array", r.ID(), count)
+			}
+			vals := r.Int32s(motor.Ref(arrBits))
+			if vals[0] != int32(count*10) {
+				return fmt.Errorf("rank %d: node %d payload %v", r.ID(), count, vals)
+			}
+			n2Bits, _ := r.GetField(cur, la, "next2")
+			if motor.Ref(n2Bits) != motor.NullRef {
+				return fmt.Errorf("rank %d: non-Transportable next2 travelled", r.ID())
+			}
+			nextBits, _ := r.GetField(cur, la, "next")
+			cur = motor.Ref(nextBits)
+		}
+		if count != nodes {
+			return fmt.Errorf("rank %d: %d nodes, want %d", r.ID(), count, nodes)
+		}
+		fmt.Printf("rank %d: tree verified (%d nodes, Transportable refs followed, next2 nulled)\n", r.ID(), count)
+		return nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+}

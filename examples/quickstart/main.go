@@ -1,0 +1,58 @@
+// Quickstart: a two-rank Motor world exchanging managed arrays — the
+// smallest complete program against the public API.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"motor"
+)
+
+func main() {
+	err := motor.Run(motor.Config{Ranks: 2}, func(r *motor.Rank) error {
+		const tag = 0
+		if r.ID() == 0 {
+			// Rank 0: send an int32 array, await the doubled reply.
+			msg, err := r.NewInt32Array([]int32{1, 2, 3, 4, 5})
+			if err != nil {
+				return err
+			}
+			if err := r.Send(msg, 1, tag); err != nil {
+				return err
+			}
+			reply, err := r.NewInt32Array(make([]int32, 5))
+			if err != nil {
+				return err
+			}
+			st, err := r.Recv(reply, 1, tag)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("rank 0: got %v (%d bytes) from rank %d\n", r.Int32s(reply), st.Count, st.Source)
+			return nil
+		}
+		// Rank 1: receive, double, send back.
+		buf, err := r.NewInt32Array(make([]int32, 5))
+		if err != nil {
+			return err
+		}
+		if _, err := r.Recv(buf, 0, tag); err != nil {
+			return err
+		}
+		vals := r.Int32s(buf)
+		for i := range vals {
+			vals[i] *= 2
+		}
+		out, err := r.NewInt32Array(vals)
+		if err != nil {
+			return err
+		}
+		return r.Send(out, 0, tag)
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,3 @@
+module motor
+
+go 1.22

@@ -1,0 +1,294 @@
+// Package cliser reimplements the CLI runtime binary serialization
+// (BinaryFormatter) used by the Indiana bindings to transport object
+// trees over standard MPI routines (paper §8, Figure 10). Like
+// javaser it operates on managed objects of the Motor VM.
+//
+// Behavioural properties reproduced:
+//
+//   - traversal is ITERATIVE (a work queue), so long linked lists
+//     serialize without stack overflow — the Indiana series in
+//     Figure 10 continues past the point where mpiJava dies;
+//   - traversal is opt-out (the Serializable attribute): every
+//     reference field travels;
+//   - per-object records carry a library/type id; type metadata
+//     (assembly-qualified name, field names and types) is written
+//     once per type and back-referenced;
+//   - the representation is a single atomic stream: it cannot be
+//     split or offset, which is why the Indiana object scatter would
+//     need N separate serializations (paper §2.4) — this package
+//     deliberately offers no split form.
+//
+// Two profiles reproduce the ".Net vs SSCLI serialization mechanisms
+// differ in performance" observation (Fig. 10 caption):
+//
+//   - ProfileSSCLI resolves each field through string-keyed metadata
+//     lookups on every object (the interpreted, metadata-driven path
+//     of the research runtime);
+//   - ProfileNET builds a cached layout plan per type once and then
+//     serializes fields through the plan (the optimised commercial
+//     runtime).
+package cliser
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"motor/internal/vm"
+)
+
+// Profile selects the runtime cost model (see package comment).
+type Profile uint8
+
+// Profiles.
+const (
+	ProfileSSCLI Profile = iota
+	ProfileNET
+)
+
+// String names the runtime profile.
+func (p Profile) String() string {
+	if p == ProfileNET {
+		return ".NET"
+	}
+	return "SSCLI"
+}
+
+// Errors.
+var (
+	ErrFormat = errors.New("cliser: malformed stream")
+	ErrType   = errors.New("cliser: type not found")
+)
+
+// Record tags.
+const (
+	recNull    = 0x0A
+	recRef     = 0x09
+	recClass   = 0x05
+	recArray   = 0x07
+	recLibrary = 0x0C
+	magic      = 0x42465253 // "SRFB"
+)
+
+// fakeAssembly is the library name written once per stream, as
+// BinaryFormatter records the defining assembly.
+const fakeAssembly = "System.MP.Benchmarks, Version=1.0.0.0, Culture=neutral"
+
+// layoutPlan is the ProfileNET cached per-type plan: resolved field
+// descriptors in a flat slice.
+type layoutPlan struct {
+	fields []*vm.FieldDesc
+}
+
+// Writer serializes object graphs.
+type Writer struct {
+	heap    *vm.Heap
+	profile Profile
+	out     []byte
+
+	ids     map[vm.Ref]uint32
+	nextID  uint32
+	typeIDs map[*vm.MethodTable]uint32
+
+	plans map[*vm.MethodTable]*layoutPlan // ProfileNET cache
+
+	queue []vm.Ref
+}
+
+// NewWriter creates a stream writer.
+func NewWriter(h *vm.Heap, profile Profile) *Writer {
+	w := &Writer{
+		heap:    h,
+		profile: profile,
+		ids:     make(map[vm.Ref]uint32),
+		typeIDs: make(map[*vm.MethodTable]uint32),
+		plans:   make(map[*vm.MethodTable]*layoutPlan),
+	}
+	w.u32(magic)
+	w.u8(recLibrary)
+	w.str(fakeAssembly)
+	return w
+}
+
+// Bytes returns the stream.
+func (w *Writer) Bytes() []byte { return w.out }
+
+func (w *Writer) u8(v byte) { w.out = append(w.out, v) }
+
+func (w *Writer) u32(v uint32) {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], v)
+	w.out = append(w.out, b[:]...)
+}
+
+func (w *Writer) u64(v uint64) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	w.out = append(w.out, b[:]...)
+}
+
+func (w *Writer) str(s string) {
+	w.u32(uint32(len(s)))
+	w.out = append(w.out, s...)
+}
+
+// assign gives ref a stream object id, queueing it on first sight.
+func (w *Writer) assign(ref vm.Ref) uint32 {
+	if ref == vm.NullRef {
+		return 0
+	}
+	if id, ok := w.ids[ref]; ok {
+		return id
+	}
+	w.nextID++
+	w.ids[ref] = w.nextID
+	w.queue = append(w.queue, ref)
+	return w.nextID
+}
+
+// newTypeMarker introduces an inline type-metadata record; known
+// types are written as their id.
+const newTypeMarker = 0xFFFFFFFF
+
+// writeTypeRef writes either a back-reference to a known type id or
+// the marker followed by the full metadata record (assembly-qualified
+// name plus field table), assigning the next sequential id.
+func (w *Writer) writeTypeRef(mt *vm.MethodTable) {
+	if id, ok := w.typeIDs[mt]; ok {
+		w.u32(id)
+		return
+	}
+	id := uint32(len(w.typeIDs) + 1)
+	w.typeIDs[mt] = id
+	w.u32(newTypeMarker)
+	w.str(typeName(mt) + ", " + fakeAssembly)
+	if mt.Kind == vm.TKClass {
+		w.u32(uint32(len(mt.Fields)))
+		for i := range mt.Fields {
+			f := &mt.Fields[i]
+			w.str(f.Name)
+			w.u8(byte(f.Kind()))
+		}
+	} else {
+		w.u32(0)
+		w.u8(byte(mt.Elem))
+		w.u8(byte(mt.Rank))
+	}
+}
+
+func typeName(mt *vm.MethodTable) string {
+	if mt.Kind == vm.TKArray {
+		return mt.Elem.String() + "[]"
+	}
+	return mt.Name
+}
+
+// Serialize flattens the graph at root (iteratively — no recursion
+// limit, matching BinaryFormatter).
+func (w *Writer) Serialize(root vm.Ref) error {
+	rootID := w.assign(root)
+	w.u32(rootID)
+	for len(w.queue) > 0 {
+		ref := w.queue[0]
+		w.queue = w.queue[1:]
+		if err := w.emit(ref); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (w *Writer) emit(ref vm.Ref) error {
+	h := w.heap
+	mt := h.MT(ref)
+	if mt.Kind == vm.TKArray {
+		if mt.Rank > 1 {
+			return fmt.Errorf("cliser: rank-%d arrays unsupported by this baseline", mt.Rank)
+		}
+		w.u8(recArray)
+		w.writeTypeRef(mt)
+		n := h.Length(ref)
+		w.u32(uint32(n))
+		if mt.Elem == vm.KindRef {
+			for i := 0; i < n; i++ {
+				w.member(h.GetElemRef(ref, i))
+			}
+			return nil
+		}
+		for i := 0; i < n; i++ {
+			w.primValue(mt.Elem, h.GetElem(ref, i))
+		}
+		return nil
+	}
+	w.u8(recClass)
+	w.writeTypeRef(mt)
+	switch w.profile {
+	case ProfileNET:
+		// Cached layout plan: resolve the field set once per type.
+		plan, ok := w.plans[mt]
+		if !ok {
+			plan = &layoutPlan{fields: make([]*vm.FieldDesc, len(mt.Fields))}
+			for i := range mt.Fields {
+				plan.fields[i] = &mt.Fields[i]
+			}
+			w.plans[mt] = plan
+		}
+		for _, f := range plan.fields {
+			w.field(ref, f)
+		}
+	default:
+		// SSCLI profile: metadata-driven — every field of every
+		// object is re-resolved by name through the type's metadata,
+		// the way the research runtime's reflective formatter works.
+		for i := range mt.Fields {
+			name := mt.Fields[i].Name
+			f := mt.FieldByName(name)
+			if f == nil {
+				return fmt.Errorf("cliser: lost field %s.%s", mt.Name, name)
+			}
+			w.field(ref, f)
+		}
+	}
+	return nil
+}
+
+func (w *Writer) field(ref vm.Ref, f *vm.FieldDesc) {
+	if f.IsRef() {
+		// Opt-out Serializable semantics: all references travel.
+		w.member(w.heap.GetRef(ref, f))
+		return
+	}
+	w.primValue(f.Kind(), w.heap.GetScalar(ref, f))
+}
+
+// member writes a reference slot: null, or a forward/backward id.
+func (w *Writer) member(ref vm.Ref) {
+	if ref == vm.NullRef {
+		w.u8(recNull)
+		return
+	}
+	w.u8(recRef)
+	w.u32(w.assign(ref))
+}
+
+func (w *Writer) primValue(k vm.Kind, bits uint64) {
+	switch k.Size() {
+	case 1:
+		w.u8(byte(bits))
+	case 2:
+		w.out = append(w.out, byte(bits), byte(bits>>8))
+	case 4:
+		w.u32(uint32(bits))
+	default:
+		w.u64(bits)
+	}
+}
+
+// Serialize is the one-shot convenience form.
+func Serialize(h *vm.Heap, root vm.Ref, profile Profile) ([]byte, error) {
+	w := NewWriter(h, profile)
+	if err := w.Serialize(root); err != nil {
+		return nil, err
+	}
+	return w.Bytes(), nil
+}

@@ -1,0 +1,318 @@
+package cliser
+
+import (
+	"encoding/binary"
+	"fmt"
+	"strings"
+
+	"motor/internal/vm"
+)
+
+// Reader reconstructs a BinaryFormatter-style stream on a VM.
+type Reader struct {
+	v    *vm.VM
+	data []byte
+	pos  int
+
+	types []*readType
+	objs  *vm.RefRoots
+	// recTypes[i] is the type of the i-th object record, for
+	// forward-reference fixups.
+	recTypes []*readType
+}
+
+type readType struct {
+	mt     *vm.MethodTable
+	fields []*vm.FieldDesc
+	kinds  []vm.Kind
+}
+
+type pendingRef struct {
+	obj   int // index of the holding object
+	field int // field index, or -1 for array element
+	elem  int
+	id    uint32 // referenced stream id
+}
+
+func (r *Reader) need(n int) error {
+	if r.pos+n > len(r.data) {
+		return fmt.Errorf("%w: truncated at %d", ErrFormat, r.pos)
+	}
+	return nil
+}
+
+func (r *Reader) u8() (byte, error) {
+	if err := r.need(1); err != nil {
+		return 0, err
+	}
+	b := r.data[r.pos]
+	r.pos++
+	return b, nil
+}
+
+func (r *Reader) u32() (uint32, error) {
+	if err := r.need(4); err != nil {
+		return 0, err
+	}
+	v := binary.LittleEndian.Uint32(r.data[r.pos:])
+	r.pos += 4
+	return v, nil
+}
+
+func (r *Reader) u64() (uint64, error) {
+	if err := r.need(8); err != nil {
+		return 0, err
+	}
+	v := binary.LittleEndian.Uint64(r.data[r.pos:])
+	r.pos += 8
+	return v, nil
+}
+
+func (r *Reader) str() (string, error) {
+	n, err := r.u32()
+	if err != nil {
+		return "", err
+	}
+	if err := r.need(int(n)); err != nil {
+		return "", err
+	}
+	s := string(r.data[r.pos : r.pos+int(n)])
+	r.pos += int(n)
+	return s, nil
+}
+
+func (r *Reader) prim(k vm.Kind) (uint64, error) {
+	switch k.Size() {
+	case 1:
+		b, err := r.u8()
+		return uint64(b), err
+	case 2:
+		if err := r.need(2); err != nil {
+			return 0, err
+		}
+		v := binary.LittleEndian.Uint16(r.data[r.pos:])
+		r.pos += 2
+		return uint64(v), nil
+	case 4:
+		v, err := r.u32()
+		return uint64(v), err
+	default:
+		return r.u64()
+	}
+}
+
+func (r *Reader) readTypeRef() (*readType, error) {
+	id, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	if id != newTypeMarker {
+		if id == 0 || int(id) > len(r.types) {
+			return nil, fmt.Errorf("%w: type id %d", ErrFormat, id)
+		}
+		return r.types[id-1], nil
+	}
+	qual, err := r.str()
+	if err != nil {
+		return nil, err
+	}
+	name := qual
+	if i := strings.Index(qual, ", "); i >= 0 {
+		name = qual[:i]
+	}
+	nf, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	rt := &readType{}
+	if nf == 0 && strings.HasSuffix(name, "[]") {
+		ek, err := r.u8()
+		if err != nil {
+			return nil, err
+		}
+		rank, err := r.u8()
+		if err != nil {
+			return nil, err
+		}
+		var elemMT *vm.MethodTable
+		if vm.Kind(ek) == vm.KindRef {
+			base := strings.TrimSuffix(name, "[]")
+			if mt, ok := r.v.TypeByName(base); ok {
+				elemMT = mt
+			}
+		}
+		rt.mt = r.v.ArrayType(vm.Kind(ek), elemMT, int(rank))
+	} else {
+		mt, ok := r.v.TypeByName(name)
+		if !ok || mt.Kind != vm.TKClass {
+			return nil, fmt.Errorf("%w: %q", ErrType, name)
+		}
+		rt.mt = mt
+		for i := 0; i < int(nf); i++ {
+			fname, err := r.str()
+			if err != nil {
+				return nil, err
+			}
+			fk, err := r.u8()
+			if err != nil {
+				return nil, err
+			}
+			lf := mt.FieldByName(fname)
+			if lf == nil || lf.Kind() != vm.Kind(fk) {
+				return nil, fmt.Errorf("%w: field %s.%s", ErrType, name, fname)
+			}
+			rt.fields = append(rt.fields, lf)
+			rt.kinds = append(rt.kinds, vm.Kind(fk))
+		}
+	}
+	r.types = append(r.types, rt)
+	return rt, nil
+}
+
+// Deserialize reconstructs the stream's root object graph.
+func Deserialize(v *vm.VM, data []byte) (vm.Ref, error) {
+	r := &Reader{v: v, data: data, objs: &vm.RefRoots{}}
+	m, err := r.u32()
+	if err != nil || m != magic {
+		return vm.NullRef, fmt.Errorf("%w: bad magic", ErrFormat)
+	}
+	tag, err := r.u8()
+	if err != nil || tag != recLibrary {
+		return vm.NullRef, fmt.Errorf("%w: missing library record", ErrFormat)
+	}
+	if _, err := r.str(); err != nil {
+		return vm.NullRef, err
+	}
+	rootID, err := r.u32()
+	if err != nil {
+		return vm.NullRef, err
+	}
+
+	v.AddRootProvider(r.objs)
+	defer v.RemoveRootProvider(r.objs)
+
+	h := v.Heap
+	var pendings []pendingRef
+	// Records appear in stream-id order; read until exhausted.
+	for r.pos < len(r.data) {
+		tag, err := r.u8()
+		if err != nil {
+			return vm.NullRef, err
+		}
+		objIdx := len(r.objs.Refs)
+		switch tag {
+		case recArray:
+			rt, err := r.readTypeRef()
+			if err != nil {
+				return vm.NullRef, err
+			}
+			r.recTypes = append(r.recTypes, rt)
+			n, err := r.u32()
+			if err != nil {
+				return vm.NullRef, err
+			}
+			// Bound the allocation against the remaining stream (each
+			// element needs at least one input byte).
+			if int64(n) > int64(len(r.data)-r.pos) {
+				return vm.NullRef, fmt.Errorf("%w: array length %d exceeds stream remainder", ErrFormat, n)
+			}
+			ref, err := h.AllocArray(rt.mt, int(n))
+			if err != nil {
+				return vm.NullRef, err
+			}
+			r.objs.Refs = append(r.objs.Refs, ref)
+			if rt.mt.Elem == vm.KindRef {
+				for i := 0; i < int(n); i++ {
+					p, err := r.readMember(objIdx, -1, i)
+					if err != nil {
+						return vm.NullRef, err
+					}
+					if p != nil {
+						pendings = append(pendings, *p)
+					}
+				}
+			} else {
+				for i := 0; i < int(n); i++ {
+					bits, err := r.prim(rt.mt.Elem)
+					if err != nil {
+						return vm.NullRef, err
+					}
+					h.SetElem(r.objs.Refs[objIdx], i, bits)
+				}
+			}
+		case recClass:
+			rt, err := r.readTypeRef()
+			if err != nil {
+				return vm.NullRef, err
+			}
+			r.recTypes = append(r.recTypes, rt)
+			ref, err := h.AllocClass(rt.mt)
+			if err != nil {
+				return vm.NullRef, err
+			}
+			r.objs.Refs = append(r.objs.Refs, ref)
+			fields := rt.fields
+			for i, f := range fields {
+				if f.IsRef() {
+					p, err := r.readMember(objIdx, i, 0)
+					if err != nil {
+						return vm.NullRef, err
+					}
+					if p != nil {
+						pendings = append(pendings, *p)
+					}
+					continue
+				}
+				bits, err := r.prim(rt.kinds[i])
+				if err != nil {
+					return vm.NullRef, err
+				}
+				h.SetScalar(r.objs.Refs[objIdx], f, bits)
+			}
+		default:
+			return vm.NullRef, fmt.Errorf("%w: record tag %#x", ErrFormat, tag)
+		}
+	}
+
+	// Fix up forward references.
+	for _, p := range pendings {
+		if p.id == 0 || int(p.id) > len(r.objs.Refs) {
+			return vm.NullRef, fmt.Errorf("%w: object id %d", ErrFormat, p.id)
+		}
+		target := r.objs.Refs[p.id-1]
+		holder := r.objs.Refs[p.obj]
+		if p.field < 0 {
+			h.SetElemRef(holder, p.elem, target)
+		} else {
+			rt := r.recTypes[p.obj]
+			h.SetRef(holder, rt.fields[p.field], target)
+		}
+	}
+	if rootID == 0 {
+		return vm.NullRef, nil
+	}
+	if int(rootID) > len(r.objs.Refs) {
+		return vm.NullRef, fmt.Errorf("%w: root id %d", ErrFormat, rootID)
+	}
+	return r.objs.Refs[rootID-1], nil
+}
+
+// readMember parses a reference slot; resolved later (forward refs).
+func (r *Reader) readMember(obj, field, elem int) (*pendingRef, error) {
+	tag, err := r.u8()
+	if err != nil {
+		return nil, err
+	}
+	switch tag {
+	case recNull:
+		return nil, nil
+	case recRef:
+		id, err := r.u32()
+		if err != nil {
+			return nil, err
+		}
+		return &pendingRef{obj: obj, field: field, elem: elem, id: id}, nil
+	default:
+		return nil, fmt.Errorf("%w: member tag %#x", ErrFormat, tag)
+	}
+}

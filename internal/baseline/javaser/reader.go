@@ -1,0 +1,301 @@
+package javaser
+
+import (
+	"encoding/binary"
+	"fmt"
+	"strings"
+
+	"motor/internal/vm"
+)
+
+// Reader is the ObjectInputStream equivalent: recursive readObject
+// with a shared handle space for class descriptors and objects.
+type Reader struct {
+	v    *vm.VM
+	data []byte
+	pos  int
+
+	// handles maps stream handle -> resolved entity. Class
+	// descriptors occupy handle slots too (as in the real format),
+	// so the table holds either a type or an object.
+	handleTypes map[uint32]*descInfo
+	handleObjs  *vm.RefRoots
+	handleIsObj []bool
+	nextHandle  uint32
+}
+
+type descInfo struct {
+	mt     *vm.MethodTable
+	fields []*vm.FieldDesc // wire order
+	kinds  []vm.Kind
+}
+
+// NewReader wraps a stream.
+func NewReader(v *vm.VM, data []byte) (*Reader, error) {
+	r := &Reader{v: v, data: data, handleTypes: make(map[uint32]*descInfo), handleObjs: &vm.RefRoots{}}
+	m, err := r.u16()
+	if err != nil || m != tcMagic {
+		return nil, fmt.Errorf("%w: bad magic", ErrFormat)
+	}
+	return r, nil
+}
+
+func (r *Reader) need(n int) error {
+	if r.pos+n > len(r.data) {
+		return fmt.Errorf("%w: truncated at %d", ErrFormat, r.pos)
+	}
+	return nil
+}
+
+func (r *Reader) u8() (byte, error) {
+	if err := r.need(1); err != nil {
+		return 0, err
+	}
+	b := r.data[r.pos]
+	r.pos++
+	return b, nil
+}
+
+func (r *Reader) u16() (int, error) {
+	if err := r.need(2); err != nil {
+		return 0, err
+	}
+	v := int(binary.BigEndian.Uint16(r.data[r.pos:]))
+	r.pos += 2
+	return v, nil
+}
+
+func (r *Reader) u32() (uint32, error) {
+	if err := r.need(4); err != nil {
+		return 0, err
+	}
+	v := binary.BigEndian.Uint32(r.data[r.pos:])
+	r.pos += 4
+	return v, nil
+}
+
+func (r *Reader) u64() (uint64, error) {
+	if err := r.need(8); err != nil {
+		return 0, err
+	}
+	v := binary.BigEndian.Uint64(r.data[r.pos:])
+	r.pos += 8
+	return v, nil
+}
+
+func (r *Reader) str() (string, error) {
+	n, err := r.u16()
+	if err != nil {
+		return "", err
+	}
+	if err := r.need(n); err != nil {
+		return "", err
+	}
+	s := string(r.data[r.pos : r.pos+n])
+	r.pos += n
+	return s, nil
+}
+
+func (r *Reader) primitive(k vm.Kind) (uint64, error) {
+	switch k.Size() {
+	case 1:
+		b, err := r.u8()
+		return uint64(b), err
+	case 2:
+		v, err := r.u16()
+		return uint64(uint16(v)), err
+	case 4:
+		v, err := r.u32()
+		return uint64(v), err
+	default:
+		return r.u64()
+	}
+}
+
+func (r *Reader) allocHandle() uint32 {
+	h := r.nextHandle
+	r.nextHandle++
+	r.handleObjs.Refs = append(r.handleObjs.Refs, vm.NullRef)
+	r.handleIsObj = append(r.handleIsObj, false)
+	return h
+}
+
+// readClassDesc handles tcClassDesc / tcReference at a descriptor
+// position.
+func (r *Reader) readClassDesc() (*descInfo, error) {
+	tag, err := r.u8()
+	if err != nil {
+		return nil, err
+	}
+	switch tag {
+	case tcReference:
+		h, err := r.u32()
+		if err != nil {
+			return nil, err
+		}
+		d, ok := r.handleTypes[h]
+		if !ok {
+			return nil, fmt.Errorf("%w: handle %d is not a class descriptor", ErrFormat, h)
+		}
+		return d, nil
+	case tcClassDesc:
+		name, err := r.str()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := r.u64(); err != nil { // serialVersionUID
+			return nil, err
+		}
+		nf, err := r.u16()
+		if err != nil {
+			return nil, err
+		}
+		d := &descInfo{}
+		if strings.HasPrefix(name, "[") {
+			ek, ok := vm.KindByName(strings.TrimPrefix(name, "["))
+			if !ok {
+				return nil, fmt.Errorf("%w: array desc %q", ErrType, name)
+			}
+			d.mt = r.v.ArrayType(ek, nil, 1)
+		} else {
+			mt, ok := r.v.TypeByName(name)
+			if !ok {
+				return nil, fmt.Errorf("%w: %q", ErrType, name)
+			}
+			d.mt = mt
+			for i := 0; i < nf; i++ {
+				fk, err := r.u8()
+				if err != nil {
+					return nil, err
+				}
+				fname, err := r.str()
+				if err != nil {
+					return nil, err
+				}
+				lf := mt.FieldByName(fname)
+				if lf == nil || lf.Kind() != vm.Kind(fk) {
+					return nil, fmt.Errorf("%w: field %s.%s", ErrType, name, fname)
+				}
+				d.fields = append(d.fields, lf)
+				d.kinds = append(d.kinds, vm.Kind(fk))
+			}
+		}
+		h := r.allocHandle()
+		r.handleTypes[h] = d
+		return d, nil
+	default:
+		return nil, fmt.Errorf("%w: tag %#x at descriptor position", ErrFormat, tag)
+	}
+}
+
+// ReadObject reconstructs the next object in the stream.
+func (r *Reader) ReadObject() (vm.Ref, error) {
+	r.v.AddRootProvider(r.handleObjs)
+	defer r.v.RemoveRootProvider(r.handleObjs)
+	return r.readObject(0)
+}
+
+func (r *Reader) readObject(depth int) (vm.Ref, error) {
+	if depth > MaxDepth {
+		return vm.NullRef, ErrStackOverflow
+	}
+	tag, err := r.u8()
+	if err != nil {
+		return vm.NullRef, err
+	}
+	h := r.v.Heap
+	switch tag {
+	case tcNull:
+		return vm.NullRef, nil
+	case tcReference:
+		hd, err := r.u32()
+		if err != nil {
+			return vm.NullRef, err
+		}
+		if int(hd) >= len(r.handleObjs.Refs) || !r.handleIsObj[hd] {
+			return vm.NullRef, fmt.Errorf("%w: handle %d is not an object", ErrFormat, hd)
+		}
+		return r.handleObjs.Refs[hd], nil
+	case tcArray:
+		d, err := r.readClassDesc()
+		if err != nil {
+			return vm.NullRef, err
+		}
+		n, err := r.u32()
+		if err != nil {
+			return vm.NullRef, err
+		}
+		// Each element occupies at least one input byte; bound the
+		// allocation against the remaining stream.
+		if int64(n) > int64(len(r.data)-r.pos) {
+			return vm.NullRef, fmt.Errorf("%w: array length %d exceeds stream remainder", ErrFormat, n)
+		}
+		ref, err := h.AllocArray(d.mt, int(n))
+		if err != nil {
+			return vm.NullRef, err
+		}
+		hd := r.allocHandle()
+		r.handleObjs.Refs[hd] = ref
+		r.handleIsObj[hd] = true
+		if d.mt.Elem == vm.KindRef {
+			for i := 0; i < int(n); i++ {
+				er, err := r.readObject(depth + 1)
+				if err != nil {
+					return vm.NullRef, err
+				}
+				h.SetElemRef(r.handleObjs.Refs[hd], i, er)
+			}
+			return r.handleObjs.Refs[hd], nil
+		}
+		for i := 0; i < int(n); i++ {
+			bits, err := r.primitive(d.mt.Elem)
+			if err != nil {
+				return vm.NullRef, err
+			}
+			h.SetElem(r.handleObjs.Refs[hd], i, bits)
+		}
+		return r.handleObjs.Refs[hd], nil
+	case tcObject:
+		d, err := r.readClassDesc()
+		if err != nil {
+			return vm.NullRef, err
+		}
+		ref, err := h.AllocClass(d.mt)
+		if err != nil {
+			return vm.NullRef, err
+		}
+		hd := r.allocHandle()
+		r.handleObjs.Refs[hd] = ref
+		r.handleIsObj[hd] = true
+		for i, f := range d.fields {
+			if !f.IsRef() {
+				bits, err := r.primitive(d.kinds[i])
+				if err != nil {
+					return vm.NullRef, err
+				}
+				h.SetScalar(r.handleObjs.Refs[hd], f, bits)
+			}
+		}
+		for _, f := range d.fields {
+			if f.IsRef() {
+				fr, err := r.readObject(depth + 1)
+				if err != nil {
+					return vm.NullRef, err
+				}
+				h.SetRef(r.handleObjs.Refs[hd], f, fr)
+			}
+		}
+		return r.handleObjs.Refs[hd], nil
+	default:
+		return vm.NullRef, fmt.Errorf("%w: tag %#x", ErrFormat, tag)
+	}
+}
+
+// Deserialize is the convenience one-shot form.
+func Deserialize(v *vm.VM, data []byte) (vm.Ref, error) {
+	r, err := NewReader(v, data)
+	if err != nil {
+		return vm.NullRef, err
+	}
+	return r.ReadObject()
+}

@@ -1,0 +1,40 @@
+// Package native is the C++/MPICH2 baseline of the paper's Figure 9:
+// direct use of the message-passing core with raw byte buffers — no
+// virtual machine, no managed memory, no pinning, no call crossing.
+// It establishes the floor every managed implementation is measured
+// against.
+package native
+
+import "motor/internal/mp"
+
+// Rank is one native process's state.
+type Rank struct {
+	comm *mp.Comm
+	buf  []byte
+}
+
+// New binds a native rank to a world.
+func New(w *mp.World) *Rank { return &Rank{comm: w.Comm} }
+
+// Comm exposes the communicator.
+func (r *Rank) Comm() *mp.Comm { return r.comm }
+
+// SetBuffer sizes the rank's transfer buffer.
+func (r *Rank) SetBuffer(n int) {
+	if cap(r.buf) < n {
+		r.buf = make([]byte, n)
+	}
+	r.buf = r.buf[:n]
+}
+
+// Buffer exposes the transfer buffer.
+func (r *Rank) Buffer() []byte { return r.buf }
+
+// Send transmits the buffer.
+func (r *Rank) Send(dest, tag int) error { return r.comm.Send(r.buf, dest, tag) }
+
+// Recv receives into the buffer.
+func (r *Rank) Recv(source, tag int) (mp.Status, error) { return r.comm.Recv(r.buf, source, tag) }
+
+// Barrier synchronizes the world.
+func (r *Rank) Barrier() error { return r.comm.Barrier() }

@@ -1,0 +1,254 @@
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"motor/internal/mp"
+	"motor/internal/serial"
+)
+
+// Figure-level runners and the derived statistics quoted in the
+// paper's prose.
+
+// Fig9 runs the regular-operations ping-pong for every Figure 9
+// implementation, with repeats interleaved across implementations so
+// machine drift affects every series equally.
+func Fig9(proto Protocol, sizes []int) ([]Series, error) {
+	return RunPingSet(Fig9Impls(), proto, sizes)
+}
+
+// Fig10 runs the object-transport ping-pong for every Figure 10
+// implementation.
+func Fig10(proto Protocol, counts []int) ([]Series, error) {
+	var out []Series
+	for _, impl := range Fig10Impls() {
+		s, err := RunObj(impl, proto, counts)
+		if err != nil {
+			return out, err
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+// Fig9Stats are the derived statistics of §8: Motor's advantage over
+// the Indiana bindings hosted on the SSCLI ("16% at a peak; 8% on
+// average over all buffer sizes; and 3% on average over buffer sizes
+// greater than 65,536 bytes").
+type Fig9Stats struct {
+	PeakPct      float64
+	MeanPct      float64
+	MeanBigPct   float64 // buffers > 65536 bytes
+	CrossChecked bool    // both series present with matching points
+}
+
+// ComputeFig9Stats derives the §8 statistics from a Fig9 run.
+func ComputeFig9Stats(series []Series) Fig9Stats {
+	var motor, indiana *Series
+	for i := range series {
+		switch series[i].Impl {
+		case "Motor":
+			motor = &series[i]
+		case "Indiana SSCLI":
+			indiana = &series[i]
+		}
+	}
+	var st Fig9Stats
+	if motor == nil || indiana == nil {
+		return st
+	}
+	idx := make(map[int]float64, len(indiana.Points))
+	for _, p := range indiana.Points {
+		if p.Err == "" {
+			idx[p.X] = p.Us
+		}
+	}
+	var pcts []float64
+	var bigPcts []float64
+	for _, p := range motor.Points {
+		ind, ok := idx[p.X]
+		if !ok || p.Err != "" || ind <= 0 {
+			continue
+		}
+		pct := (ind - p.Us) / ind * 100
+		pcts = append(pcts, pct)
+		if p.X > 65536 {
+			bigPcts = append(bigPcts, pct)
+		}
+	}
+	if len(pcts) == 0 {
+		return st
+	}
+	st.CrossChecked = true
+	st.PeakPct = pcts[0]
+	for _, p := range pcts {
+		if p > st.PeakPct {
+			st.PeakPct = p
+		}
+		st.MeanPct += p
+	}
+	st.MeanPct /= float64(len(pcts))
+	for _, p := range bigPcts {
+		st.MeanBigPct += p
+	}
+	if len(bigPcts) > 0 {
+		st.MeanBigPct /= float64(len(bigPcts))
+	}
+	return st
+}
+
+// FormatTable renders series as an aligned text table, one row per X
+// value, matching the figures' axes.
+func FormatTable(title, xlabel string, series []Series) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s\n", title)
+	// Collect the union of X values.
+	xset := map[int]bool{}
+	for _, s := range series {
+		for _, p := range s.Points {
+			xset[p.X] = true
+		}
+	}
+	xs := make([]int, 0, len(xset))
+	for x := range xset {
+		xs = append(xs, x)
+	}
+	sort.Ints(xs)
+	fmt.Fprintf(&sb, "%12s", xlabel)
+	for _, s := range series {
+		fmt.Fprintf(&sb, " %16s", s.Impl)
+	}
+	sb.WriteByte('\n')
+	for _, x := range xs {
+		fmt.Fprintf(&sb, "%12d", x)
+		for _, s := range series {
+			cell := ""
+			for _, p := range s.Points {
+				if p.X == x {
+					if p.Err != "" {
+						cell = "FAIL"
+					} else {
+						cell = fmt.Sprintf("%.1f", p.Us)
+					}
+					break
+				}
+			}
+			if cell == "" {
+				cell = "-"
+			}
+			fmt.Fprintf(&sb, " %16s", cell)
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// --- ablation sweeps ------------------------------------------------------------
+
+// AblationPinPolicy (A1) compares the paper's pinning policy against
+// wrapper-style always-pin on the regular ping-pong (interleaved).
+func AblationPinPolicy(proto Protocol, sizes []int) ([]Series, error) {
+	return RunPingSet([]PingImpl{MotorImpl(), MotorAlwaysPinImpl()}, proto, sizes)
+}
+
+// AblationEagerThreshold (A5) sweeps the eager/rendezvous switchover
+// of the transport on the native baseline — the classic MPICH tuning
+// knob the device layer inherits (§6). Each series is one threshold.
+func AblationEagerThreshold(proto Protocol, sizes []int, thresholds []int) ([]Series, error) {
+	var out []Series
+	for _, th := range thresholds {
+		p := proto
+		p.EagerMax = th
+		s, err := RunPing(NativeImpl(), p, sizes)
+		if err != nil {
+			return out, err
+		}
+		s.Impl = fmt.Sprintf("eager<=%dKiB", th/1024)
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+// AblationVisited (A2) compares the serializer's linear visited list
+// (paper) against the hashed set (future work) on the object
+// ping-pong.
+func AblationVisited(proto Protocol, counts []int) ([]Series, error) {
+	var out []Series
+	for _, impl := range []ObjImpl{MotorOOImpl(serial.VisitedLinear), MotorOOImpl(serial.VisitedMap)} {
+		s, err := RunObj(impl, proto, counts)
+		if err != nil {
+			return out, err
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+// VerifyOrdering checks the headline qualitative result of Figure 9:
+// for buffers >= minSize, C++ <= Motor <= Indiana lines <= Java.
+// It returns a description of any violation (empty = holds).
+func VerifyOrdering(series []Series, minSize int) string {
+	get := func(name string) map[int]float64 {
+		for _, s := range series {
+			if s.Impl == name {
+				m := map[int]float64{}
+				for _, p := range s.Points {
+					m[p.X] = p.Us
+				}
+				return m
+			}
+		}
+		return nil
+	}
+	cpp, motor, java := get("C++"), get("Motor"), get("Java")
+	if cpp == nil || motor == nil || java == nil {
+		return "missing series"
+	}
+	var violations []string
+	for x, m := range motor {
+		if x < minSize {
+			continue
+		}
+		if c, ok := cpp[x]; ok && c > m*1.10 {
+			violations = append(violations, fmt.Sprintf("x=%d: C++ (%.1f) slower than Motor (%.1f)", x, c, m))
+		}
+		if j, ok := java[x]; ok && j < m*0.90 {
+			violations = append(violations, fmt.Sprintf("x=%d: Java (%.1f) faster than Motor (%.1f)", x, j, m))
+		}
+	}
+	sort.Strings(violations)
+	return strings.Join(violations, "; ")
+}
+
+// RunPingN runs one implementation at one size for exactly n timed
+// round trips (testing.B integration).
+func RunPingN(impl PingImpl, size, n int) (float64, error) {
+	proto := Protocol{Warmup: 3, Timed: n, Repeats: 1, Channel: mp.ChannelShm}
+	s, err := RunPing(impl, proto, []int{size})
+	if err != nil {
+		return 0, err
+	}
+	if len(s.Points) == 0 {
+		return 0, fmt.Errorf("no points for %s", impl.Name)
+	}
+	return s.Points[0].Us, nil
+}
+
+// RunObjN runs one object implementation at one total-object count
+// for exactly n timed round trips (testing.B integration).
+func RunObjN(impl ObjImpl, totalObjects, n int) (float64, error) {
+	proto := Protocol{Warmup: 2, Timed: n, Repeats: 1, Channel: mp.ChannelShm}
+	s, err := RunObj(impl, proto, []int{totalObjects})
+	if err != nil {
+		return 0, err
+	}
+	if len(s.Points) == 0 {
+		return 0, fmt.Errorf("no points for %s", impl.Name)
+	}
+	if s.Points[0].Err != "" {
+		return 0, fmt.Errorf("%s: %s", impl.Name, s.Points[0].Err)
+	}
+	return s.Points[0].Us, nil
+}

@@ -1,0 +1,180 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"motor/internal/mp"
+)
+
+// Interleaved ping-pong measurement. Running each implementation's
+// full sweep back to back lets minutes-scale machine drift (shared
+// hosts, frequency scaling) masquerade as implementation differences.
+// Instead, every implementation's world is kept alive simultaneously
+// and the driver dispatches (size, repeat) rounds across them
+// round-robin, so all series sample the same time windows. Idle
+// worlds cost nothing: their rank goroutines block on command
+// channels.
+
+type pingCmd struct {
+	size   int
+	warmup int
+	timed  int
+	quit   bool
+}
+
+type pingRes struct {
+	us  float64 // rank 0 only; 0 from rank 1
+	err error
+}
+
+// pingWorker owns one implementation's live 2-rank world.
+type pingWorker struct {
+	name string
+	cmds [2]chan pingCmd
+	res  [2]chan pingRes
+}
+
+func startPingWorker(impl PingImpl, kind mp.ChannelKind, eagerMax int) (*pingWorker, error) {
+	worlds, err := mp.NewLocalWorlds(kind, 2, eagerMax)
+	if err != nil {
+		return nil, err
+	}
+	w := &pingWorker{name: impl.Name}
+	for i := 0; i < 2; i++ {
+		w.cmds[i] = make(chan pingCmd)
+		w.res[i] = make(chan pingRes)
+	}
+	for _, world := range worlds {
+		go func(world *mp.World) {
+			defer world.Close()
+			me := world.Rank()
+			pr, err := impl.New(world)
+			if err != nil {
+				// Report the construction error on the first command.
+				for cmd := range w.cmds[me] {
+					if cmd.quit {
+						w.res[me] <- pingRes{}
+						return
+					}
+					w.res[me] <- pingRes{err: fmt.Errorf("%s rank %d: %w", impl.Name, me, err)}
+				}
+				return
+			}
+			defer pr.Close()
+			peer := 1 - me
+			size := -1
+			for cmd := range w.cmds[me] {
+				if cmd.quit {
+					w.res[me] <- pingRes{}
+					return
+				}
+				if cmd.size != size {
+					if err := pr.SetSize(cmd.size); err != nil {
+						w.res[me] <- pingRes{err: err}
+						continue
+					}
+					size = cmd.size
+				}
+				var t0 time.Time
+				var runErr error
+				for i := 0; i < cmd.warmup+cmd.timed; i++ {
+					if i == cmd.warmup {
+						t0 = time.Now()
+					}
+					if me == 0 {
+						if runErr = pr.Send(peer, 0); runErr != nil {
+							break
+						}
+						if runErr = pr.Recv(peer, 0); runErr != nil {
+							break
+						}
+					} else {
+						if runErr = pr.Recv(peer, 0); runErr != nil {
+							break
+						}
+						if runErr = pr.Send(peer, 0); runErr != nil {
+							break
+						}
+					}
+				}
+				if runErr != nil {
+					w.res[me] <- pingRes{err: fmt.Errorf("%s size %d: %w", impl.Name, cmd.size, runErr)}
+					continue
+				}
+				us := 0.0
+				if me == 0 {
+					us = float64(time.Since(t0).Nanoseconds()) / 1e3 / float64(cmd.timed)
+				}
+				w.res[me] <- pingRes{us: us}
+			}
+		}(world)
+	}
+	return w, nil
+}
+
+// round dispatches one measurement to both ranks and returns rank 0's
+// time.
+func (w *pingWorker) round(cmd pingCmd) (float64, error) {
+	w.cmds[0] <- cmd
+	w.cmds[1] <- cmd
+	r0 := <-w.res[0]
+	r1 := <-w.res[1]
+	if r0.err != nil {
+		return 0, r0.err
+	}
+	if r1.err != nil {
+		return 0, r1.err
+	}
+	return r0.us, nil
+}
+
+func (w *pingWorker) stop() {
+	for i := 0; i < 2; i++ {
+		w.cmds[i] <- pingCmd{quit: true}
+		<-w.res[i]
+		close(w.cmds[i])
+	}
+}
+
+// RunPingSet measures several implementations with repeats
+// interleaved across them (see package comment). Results are the
+// per-(impl, size) medians.
+func RunPingSet(impls []PingImpl, proto Protocol, sizes []int) ([]Series, error) {
+	workers := make([]*pingWorker, len(impls))
+	for i, impl := range impls {
+		w, err := startPingWorker(impl, proto.Channel, proto.EagerMax)
+		if err != nil {
+			return nil, err
+		}
+		workers[i] = w
+	}
+	defer func() {
+		for _, w := range workers {
+			w.stop()
+		}
+	}()
+	samples := make([][][]float64, len(impls))
+	for i := range samples {
+		samples[i] = make([][]float64, len(sizes))
+	}
+	for si, size := range sizes {
+		for rep := 0; rep < proto.Repeats; rep++ {
+			for wi, w := range workers {
+				us, err := w.round(pingCmd{size: size, warmup: proto.Warmup, timed: proto.Timed})
+				if err != nil {
+					return nil, err
+				}
+				samples[wi][si] = append(samples[wi][si], us)
+			}
+		}
+	}
+	series := make([]Series, len(impls))
+	for wi, impl := range impls {
+		series[wi].Impl = impl.Name
+		for si, size := range sizes {
+			series[wi].Points = append(series[wi].Points, Point{X: size, Us: median(samples[wi][si])})
+		}
+	}
+	return series, nil
+}

@@ -1,0 +1,235 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"motor/internal/mp"
+	"motor/internal/vm"
+)
+
+func TestEngineReduceAllreduce(t *testing.T) {
+	const n = 4
+	runRanks(t, n, nil, func(r *rank) error {
+		h := r.v.Heap
+		c := r.e.Comm
+		// int64 sum.
+		send, _ := h.AllocArray(r.v.ArrayType(vm.KindInt64, nil, 1), 3)
+		for i := 0; i < 3; i++ {
+			h.SetElem(send, i, uint64(int64(c.Rank()+1+i)))
+		}
+		var recv vm.Ref
+		if c.Rank() == 1 {
+			recv, _ = h.AllocArray(r.v.ArrayType(vm.KindInt64, nil, 1), 3)
+		}
+		if err := r.e.Reduce(r.th, send, recv, mp.OpSum, 1); err != nil {
+			return err
+		}
+		if c.Rank() == 1 {
+			for i := 0; i < 3; i++ {
+				want := int64(0)
+				for rr := 0; rr < n; rr++ {
+					want += int64(rr + 1 + i)
+				}
+				if got := int64(h.GetElem(recv, i)); got != want {
+					return fmt.Errorf("reduce[%d] = %d, want %d", i, got, want)
+				}
+			}
+		}
+		// float64 max allreduce.
+		fsend, _ := h.NewFloat64Array([]float64{float64(c.Rank()) * 1.5})
+		frecv, _ := h.NewFloat64Array(make([]float64, 1))
+		if err := r.e.Allreduce(r.th, fsend, frecv, mp.OpMax); err != nil {
+			return err
+		}
+		if got := h.Float64Slice(frecv)[0]; got != float64(n-1)*1.5 {
+			return fmt.Errorf("allreduce max = %g", got)
+		}
+		return nil
+	})
+}
+
+func TestEngineReduceTypeChecks(t *testing.T) {
+	runRanks(t, 2, nil, func(r *rank) error {
+		if r.e.Comm.Rank() != 0 {
+			return nil
+		}
+		h := r.v.Heap
+		// float32 arrays have no reduction semantics here.
+		f32, _ := h.AllocArray(r.v.ArrayType(vm.KindFloat32, nil, 1), 2)
+		if err := r.e.Allreduce(r.th, f32, f32, mp.OpSum); err == nil {
+			return errors.New("float32 reduction accepted")
+		}
+		// Mismatched buffers.
+		a, _ := h.NewInt32Array([]int32{1})
+		bb, _ := h.NewFloat64Array([]float64{1})
+		if err := r.e.Reduce(r.th, a, bb, mp.OpSum, 0); err == nil {
+			return errors.New("mismatched reduce buffers accepted")
+		}
+		// Non-array.
+		flat, _ := h.AllocClass(r.v.MustNewClass("F2", nil, []vm.FieldSpec{{Name: "x", Kind: vm.KindInt64}}))
+		if err := r.e.Reduce(r.th, flat, flat, mp.OpSum, 0); !errors.Is(err, ErrNotArray) {
+			return fmt.Errorf("class reduce: %v", err)
+		}
+		return nil
+	})
+}
+
+func TestEngineCommSplitAndOps(t *testing.T) {
+	const n = 4
+	runRanks(t, n, nil, func(r *rank) error {
+		h := r.v.Heap
+		color := r.e.Comm.Rank() % 2
+		sub, err := r.e.CommSplit(r.th, WorldComm, color, r.e.Comm.Rank())
+		if err != nil {
+			return err
+		}
+		if sub == NullComm {
+			return errors.New("got null comm")
+		}
+		size, err := r.e.CommSize(sub)
+		if err != nil || size != 2 {
+			return fmt.Errorf("sub size %d err %v", size, err)
+		}
+		myRank, _ := r.e.CommRank(sub)
+
+		// Exchange within the color group: rank 0 <-> rank 1 of sub.
+		msg, _ := h.NewInt32Array([]int32{int32(color*100 + myRank)})
+		if myRank == 0 {
+			if err := r.e.SendOn(r.th, sub, msg, 1, 3); err != nil {
+				return err
+			}
+		} else {
+			buf, _ := h.NewInt32Array(make([]int32, 1))
+			if _, err := r.e.RecvOn(r.th, sub, buf, 0, 3); err != nil {
+				return err
+			}
+			if got := h.Int32Slice(buf)[0]; got != int32(color*100) {
+				return fmt.Errorf("cross-comm leak: got %d", got)
+			}
+		}
+		if err := r.e.BarrierOn(r.th, sub); err != nil {
+			return err
+		}
+		// Reduce within the group.
+		send, _ := h.AllocArray(r.v.ArrayType(vm.KindInt64, nil, 1), 1)
+		h.SetElem(send, 0, uint64(int64(r.e.Comm.Rank())))
+		var recv vm.Ref
+		if myRank == 0 {
+			recv, _ = h.AllocArray(r.v.ArrayType(vm.KindInt64, nil, 1), 1)
+		}
+		if err := r.e.ReduceOn(r.th, sub, send, recv, mp.OpSum, 0); err != nil {
+			return err
+		}
+		if myRank == 0 {
+			want := int64(color + (color + 2)) // the two world ranks of this color
+			if got := int64(h.GetElem(recv, 0)); got != want {
+				return fmt.Errorf("color %d sum %d, want %d", color, got, want)
+			}
+		}
+		if err := r.e.CommFree(sub); err != nil {
+			return err
+		}
+		if _, err := r.e.CommRank(sub); !errors.Is(err, ErrBadComm) {
+			return fmt.Errorf("freed comm still resolves: %v", err)
+		}
+		return nil
+	})
+}
+
+func TestEngineCommDupIsolation(t *testing.T) {
+	runRanks(t, 2, nil, func(r *rank) error {
+		h := r.v.Heap
+		dup, err := r.e.CommDup(r.th, WorldComm)
+		if err != nil {
+			return err
+		}
+		// Same tag on world and dup must not cross-match.
+		if r.e.Comm.Rank() == 0 {
+			w, _ := h.NewInt32Array([]int32{1})
+			d, _ := h.NewInt32Array([]int32{2})
+			if err := r.e.Send(r.th, w, 1, 5); err != nil {
+				return err
+			}
+			return r.e.SendOn(r.th, dup, d, 1, 5)
+		}
+		// Receive dup first.
+		buf, _ := h.NewInt32Array(make([]int32, 1))
+		if _, err := r.e.RecvOn(r.th, dup, buf, 0, 5); err != nil {
+			return err
+		}
+		if h.Int32Slice(buf)[0] != 2 {
+			return fmt.Errorf("dup got %d", h.Int32Slice(buf)[0])
+		}
+		if _, err := r.e.Recv(r.th, buf, 0, 5); err != nil {
+			return err
+		}
+		if h.Int32Slice(buf)[0] != 1 {
+			return fmt.Errorf("world got %d", h.Int32Slice(buf)[0])
+		}
+		return nil
+	})
+}
+
+func TestEngineBadCommHandle(t *testing.T) {
+	runRanks(t, 2, nil, func(r *rank) error {
+		if _, err := r.e.CommRank(99); !errors.Is(err, ErrBadComm) {
+			return fmt.Errorf("bad handle: %v", err)
+		}
+		if err := r.e.CommFree(WorldComm); err == nil {
+			return errors.New("freed the world communicator")
+		}
+		if err := r.e.BarrierOn(r.th, 42); !errors.Is(err, ErrBadComm) {
+			return fmt.Errorf("barrier on bad handle: %v", err)
+		}
+		return nil
+	})
+}
+
+// TestManagedCommAndReduce drives the new FCall surface from managed
+// code: split the world by parity, allreduce within the world, reduce
+// within the sub-communicator.
+func TestManagedCommAndReduce(t *testing.T) {
+	const prog = `
+.method main (0) int32
+  .locals 5
+  ; locals: 0=send 1=recv 2=sub 3=subrank 4=tmp
+  ldc.i4 1  newarr int64  stloc 0
+  ldc.i4 1  newarr int64  stloc 1
+  ; send[0] = worldrank + 1
+  ldloc 0  ldc.i4 0  intern mp.rank  ldc.i4 1  add  stelem
+  ; allreduce sum over the world (op 0 = sum)
+  ldloc 0  ldloc 1  ldc.i4 0  intern mp.allreduce
+  ; expect 1+2 = 3 for 2 ranks
+  ldloc 1  ldc.i4 0  ldelem
+  ldc.i4 3  ceq  brfalse fail
+  ; split world by parity of rank
+  ldc.i4 0  intern mp.rank  ldc.i4 2  rem  intern mp.rank  intern mp.commsplit
+  stloc 2
+  ; sub size must be 1 for 2 ranks
+  ldloc 2  intern mp.commsize
+  ldc.i4 1  ceq  brfalse fail
+  ldloc 2  intern mp.barrieron
+  ldc.i4 0
+  ret.val
+fail:
+  ldc.i4 1
+  ret.val
+.end
+`
+	runRanks(t, 2, nil, func(r *rank) error {
+		main, err := r.v.Assemble(prog)
+		if err != nil {
+			return err
+		}
+		out, err := r.th.Call(main)
+		if err != nil {
+			return err
+		}
+		if out.Int() != 0 {
+			return fmt.Errorf("managed comm program failed on rank %d", r.e.Comm.Rank())
+		}
+		return nil
+	})
+}

@@ -1,0 +1,263 @@
+// Package core is the paper's primary contribution: the integration
+// of the message-passing library directly inside the virtual machine
+// (Motor, §3/§4/§7). An Engine binds one VM (one rank) to one
+// message-passing World and provides:
+//
+//   - the regular MPI operations with object-model integrity checks
+//     (§4.2.1): only objects without reference fields, or arrays of
+//     simple types, may be transported buffer-to-buffer;
+//   - the pinning policy (§4.3, §7.4): elder objects are never
+//     pinned; blocking operations defer the pin until they actually
+//     enter their polling-wait; non-blocking operations register
+//     conditional pin requests resolved during the collector's mark
+//     phase;
+//   - the extended object-oriented operations (§4.2.2, §7.5) built on
+//     the custom serializer with runtime-owned reusable buffers;
+//   - the System.MP FCall surface for managed programs (§7.2/§7.3).
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"motor/internal/mp"
+	"motor/internal/serial"
+	"motor/internal/vm"
+)
+
+// PinPolicy selects how transport buffers are protected from the
+// moving collector.
+type PinPolicy uint8
+
+// Pinning policies.
+const (
+	// PolicyMotor is the paper's policy (generation test, deferred
+	// pins, conditional pin requests).
+	PolicyMotor PinPolicy = iota
+	// PolicyAlwaysPin pins eagerly for every operation, the
+	// behaviour of the managed-wrapper bindings (ablation A1).
+	PolicyAlwaysPin
+	// PolicyNever performs no pinning at all. UNSAFE — it exists so
+	// tests can demonstrate that pinning is load-bearing: a
+	// collection during a transfer corrupts the payload.
+	PolicyNever
+)
+
+// Errors.
+var (
+	// ErrObjectModel rejects transport objects that could compromise
+	// the integrity of the object model (paper §2.4/§4.2.1).
+	ErrObjectModel = errors.New("core: object contains references; use the extended object-oriented operations")
+	// ErrNullObject rejects null transport objects.
+	ErrNullObject = errors.New("core: null transport object")
+	// ErrNotArray rejects offset/count forms on non-arrays.
+	ErrNotArray = errors.New("core: offset/count transport requires an array")
+	// ErrBadRequest flags an unknown request id.
+	ErrBadRequest = errors.New("core: unknown request id")
+)
+
+// Stats counts pinning-policy and OO-operation activity; the paper's
+// §7.4 behaviour is asserted against these in tests.
+type Stats struct {
+	Ops              uint64 // regular MPI operations started
+	PinSkippedElder  uint64 // no pin: object resident in elder space
+	PinAvoidedFast   uint64 // no pin: blocking op completed before the polling-wait
+	PinDeferred      uint64 // pin taken at polling-wait entry (blocking ops)
+	PinEager         uint64 // pin taken at operation start (PolicyAlwaysPin)
+	CondPins         uint64 // conditional pin requests registered (non-blocking ops)
+	OOSends          uint64
+	OORecvs          uint64
+	SerializedBytes  uint64
+	BufferReuses     uint64
+	BufferAllocs     uint64
+	BuffersCollected uint64
+}
+
+// Engine integrates one VM with one message-passing world.
+type Engine struct {
+	VM    *vm.VM
+	World *mp.World
+	Comm  *mp.Comm
+
+	policy  PinPolicy
+	serOpts serial.Options
+
+	requests map[int32]*mpReq
+	nextReq  int32
+
+	// comms are managed communicator handles (see comm.go); handle 0
+	// is the world communicator.
+	comms    map[int32]*mp.Comm
+	nextComm int32
+
+	bufs bufferStack
+
+	Stats Stats
+}
+
+type mpReq struct {
+	id     int32
+	req    *mp.Request
+	obj    vm.Ref
+	pinned bool // explicit eager pin to release at completion
+}
+
+// Option configures an Engine.
+type Option func(*Engine)
+
+// WithPolicy selects the pinning policy.
+func WithPolicy(p PinPolicy) Option { return func(e *Engine) { e.policy = p } }
+
+// WithVisited selects the serializer's visited-object structure
+// (paper default: linear; see ablation A2).
+func WithVisited(m serial.VisitedMode) Option {
+	return func(e *Engine) { e.serOpts.Visited = m }
+}
+
+// Attach integrates a VM with a world: it wires the device's
+// polling-wait yield to the VM's GC poll point, installs the GC hook
+// that refreshes transport status for conditional pin requests and
+// ages the OO buffer stack, and registers the System.MP FCalls.
+func Attach(v *vm.VM, w *mp.World, opts ...Option) *Engine {
+	e := &Engine{
+		VM:       v,
+		World:    w,
+		Comm:     w.Comm,
+		requests: make(map[int32]*mpReq),
+	}
+	for _, opt := range opts {
+		opt(e)
+	}
+	// Polling-waits inside the MP core yield to the collector — the
+	// paper's replacement of blocking system calls (§7.1).
+	w.Dev.Yield = v.PollPoint
+	// "During the mark phase the garbage collector ... checks the
+	// status of the underlying non-blocking transport operations"
+	// (§7.4): one non-blocking progress pass keeps that status fresh,
+	// and the OO buffer stack ages one generation.
+	v.AddGCHook(func() {
+		_, _ = w.Dev.Progress()
+		e.Stats.BuffersCollected += e.bufs.age()
+	})
+	e.registerFCalls()
+	return e
+}
+
+// Policy returns the engine's pinning policy.
+func (e *Engine) Policy() PinPolicy { return e.policy }
+
+// --- managed-heap transfer buffers -----------------------------------------
+
+// heapBuf is a raw arena range, resolved once at operation start —
+// exactly the semantics of handing a native transport the object's
+// instance-data address (paper §7.1: "the library resolves the
+// Object to the offset location of its instance data"). If the
+// object moves mid-operation the range goes stale; preventing that is
+// the pinning policy's job.
+type heapBuf struct {
+	h          *vm.Heap
+	start, end uint32
+}
+
+// Len implements adi.Buffer.
+func (b heapBuf) Len() int { return int(b.end - b.start) }
+
+// Bytes implements adi.Buffer. The arena slice is re-resolved on
+// every call because the arena may have grown (the offsets
+// themselves are what pinning keeps stable).
+func (b heapBuf) Bytes() []byte { return b.h.Bytes(b.start, b.end) }
+
+// wholeBuf builds the transfer buffer for an entire object after the
+// integrity checks of §4.2.1.
+func (e *Engine) wholeBuf(obj vm.Ref) (heapBuf, error) {
+	if obj == vm.NullRef {
+		return heapBuf{}, ErrNullObject
+	}
+	h := e.VM.Heap
+	mt := h.MT(obj)
+	if mt.HasRefFields() {
+		return heapBuf{}, fmt.Errorf("%w (%s)", ErrObjectModel, mt)
+	}
+	s, en := h.DataRange(obj)
+	return heapBuf{h: h, start: s, end: en}, nil
+}
+
+// rangeBuf builds the transfer buffer for a sub-range of a simple
+// array ("transporting portions of an array is supported", §4.2.1).
+func (e *Engine) rangeBuf(obj vm.Ref, offset, count int) (heapBuf, error) {
+	if obj == vm.NullRef {
+		return heapBuf{}, ErrNullObject
+	}
+	h := e.VM.Heap
+	mt := h.MT(obj)
+	if mt.Kind != vm.TKArray {
+		return heapBuf{}, ErrNotArray
+	}
+	if !mt.IsSimpleArray() {
+		return heapBuf{}, fmt.Errorf("%w (%s)", ErrObjectModel, mt)
+	}
+	n := h.Length(obj)
+	if offset < 0 || count < 0 || offset+count > n {
+		return heapBuf{}, fmt.Errorf("core: range [%d,%d) outside array of %d elements", offset, offset+count, n)
+	}
+	es := mt.ElemSize()
+	s, _ := h.DataRange(obj)
+	return heapBuf{h: h, start: s + uint32(offset*es), end: s + uint32((offset+count)*es)}, nil
+}
+
+// --- OO buffer stack (paper §7.5) --------------------------------------------
+
+// bufferStack recycles serialization buffers: "allocated from static
+// runtime memory ... created on demand and stored in a stack for
+// later use. At garbage collection the stack is checked for buffers
+// which are unused since the last garbage collection and these are
+// unallocated."
+type bufferStack struct {
+	bufs []poolBuf
+	gen  uint64
+}
+
+type poolBuf struct {
+	data []byte
+	gen  uint64 // generation of last use
+}
+
+func (s *bufferStack) get(minCap int, st *Stats) []byte {
+	for i := len(s.bufs) - 1; i >= 0; i-- {
+		if cap(s.bufs[i].data) >= minCap {
+			b := s.bufs[i].data
+			s.bufs = append(s.bufs[:i], s.bufs[i+1:]...)
+			st.BufferReuses++
+			return b[:0]
+		}
+	}
+	st.BufferAllocs++
+	if minCap < 1024 {
+		minCap = 1024
+	}
+	return make([]byte, 0, minCap)
+}
+
+func (s *bufferStack) put(b []byte) {
+	s.bufs = append(s.bufs, poolBuf{data: b, gen: s.gen})
+}
+
+// age is called from the GC hook: buffers unused since the previous
+// collection are dropped. It returns how many were collected.
+func (s *bufferStack) age() uint64 {
+	dropped := uint64(0)
+	kept := s.bufs[:0]
+	for _, b := range s.bufs {
+		if s.gen > 0 && b.gen < s.gen {
+			dropped++
+			continue
+		}
+		kept = append(kept, b)
+	}
+	s.bufs = kept
+	s.gen++
+	return dropped
+}
+
+// PooledBuffers reports the current stack depth (tests).
+func (e *Engine) PooledBuffers() int { return len(e.bufs.bufs) }

@@ -1,0 +1,179 @@
+package core
+
+import (
+	"time"
+
+	"motor/internal/mp"
+	"motor/internal/vm"
+)
+
+// mpOp maps a managed operator code (0=sum 1=prod 2=min 3=max) to the
+// reduction operator.
+func mpOp(code int64) mp.Op { return mp.Op(code) }
+
+// The System.MP FCall surface (paper §7.2/§7.3): managed programs
+// reach the Message Passing Core through internal calls — trusted,
+// unmarshalled, and GC-cooperative — rather than P/Invoke or JNI
+// crossings. Each FCall checks parameters, derives sizes from the
+// object itself, and applies the pinning policy via the Engine
+// methods of ops.go / oo.go.
+//
+// Registered calls (masm `intern` operands):
+//
+//	mp.rank() int          mp.size() int
+//	mp.send(obj, dest, tag)        mp.ssend(obj, dest, tag)
+//	mp.recv(obj, src, tag) int     (returns delivered byte count)
+//	mp.sendrange(arr, off, cnt, dest, tag)
+//	mp.recvrange(arr, off, cnt, src, tag) int
+//	mp.isend(obj, dest, tag) int   mp.irecv(obj, src, tag) int
+//	mp.wait(id) int                mp.test(id) bool
+//	mp.barrier()                   mp.bcast(obj, root)
+//	mp.scatter(send, recv, root)   mp.gather(send, recv, root)
+//	mp.allgather(send, recv)       mp.sendrecv(s, dst, stag, r, src, rtag) int
+//	mp.reduce(send, recv, op, root)        mp.allreduce(send, recv, op)
+//	  (op: 0=sum 1=prod 2=min 3=max; arrays of uint8/int32/int64/float64)
+//	mp.commdup(id) int             mp.commsplit(id, color, key) int
+//	mp.commrank(id) int            mp.commsize(id) int
+//	mp.commfree(id)
+//	mp.sendon(id, obj, dest, tag)  mp.recvon(id, obj, src, tag) int
+//	mp.barrieron(id)               mp.bcaston(id, obj, root)
+//	mp.reduceon(id, send, recv, op, root)
+//	mp.osend(obj, dest, tag)       mp.orecv(src, tag) object
+//	mp.obcast(obj, root) object
+//	mp.oscatter(arr, root) object  mp.ogather(arr, root) object
+//	mp.wtime() float64             (seconds, monotonic)
+func (e *Engine) registerFCalls() {
+	v := e.VM
+	reg := func(name string, nargs int, hasRet bool, fn func(t *vm.Thread, a []vm.Value) (vm.Value, error)) {
+		v.RegisterInternal(vm.InternalFunc{Name: name, NArgs: nargs, HasRet: hasRet, Fn: fn})
+	}
+
+	reg("mp.rank", 0, true, func(t *vm.Thread, a []vm.Value) (vm.Value, error) {
+		return vm.IntValue(int64(e.Comm.Rank())), nil
+	})
+	reg("mp.size", 0, true, func(t *vm.Thread, a []vm.Value) (vm.Value, error) {
+		return vm.IntValue(int64(e.Comm.Size())), nil
+	})
+	reg("mp.wtime", 0, true, func(t *vm.Thread, a []vm.Value) (vm.Value, error) {
+		return vm.FloatValue(float64(time.Now().UnixNano()) / 1e9), nil
+	})
+
+	reg("mp.send", 3, false, func(t *vm.Thread, a []vm.Value) (vm.Value, error) {
+		return vm.Value{}, e.Send(t, a[0].Ref(), int(a[1].Int()), int(a[2].Int()))
+	})
+	reg("mp.ssend", 3, false, func(t *vm.Thread, a []vm.Value) (vm.Value, error) {
+		return vm.Value{}, e.Ssend(t, a[0].Ref(), int(a[1].Int()), int(a[2].Int()))
+	})
+	reg("mp.recv", 3, true, func(t *vm.Thread, a []vm.Value) (vm.Value, error) {
+		st, err := e.Recv(t, a[0].Ref(), int(a[1].Int()), int(a[2].Int()))
+		return vm.IntValue(int64(st.Count)), err
+	})
+	reg("mp.sendrange", 5, false, func(t *vm.Thread, a []vm.Value) (vm.Value, error) {
+		return vm.Value{}, e.SendRange(t, a[0].Ref(), int(a[1].Int()), int(a[2].Int()), int(a[3].Int()), int(a[4].Int()))
+	})
+	reg("mp.recvrange", 5, true, func(t *vm.Thread, a []vm.Value) (vm.Value, error) {
+		st, err := e.RecvRange(t, a[0].Ref(), int(a[1].Int()), int(a[2].Int()), int(a[3].Int()), int(a[4].Int()))
+		return vm.IntValue(int64(st.Count)), err
+	})
+
+	reg("mp.isend", 3, true, func(t *vm.Thread, a []vm.Value) (vm.Value, error) {
+		id, err := e.Isend(t, a[0].Ref(), int(a[1].Int()), int(a[2].Int()))
+		return vm.IntValue(int64(id)), err
+	})
+	reg("mp.irecv", 3, true, func(t *vm.Thread, a []vm.Value) (vm.Value, error) {
+		id, err := e.Irecv(t, a[0].Ref(), int(a[1].Int()), int(a[2].Int()))
+		return vm.IntValue(int64(id)), err
+	})
+	reg("mp.wait", 1, true, func(t *vm.Thread, a []vm.Value) (vm.Value, error) {
+		st, err := e.Wait(t, int32(a[0].Int()))
+		return vm.IntValue(int64(st.Count)), err
+	})
+	reg("mp.test", 1, true, func(t *vm.Thread, a []vm.Value) (vm.Value, error) {
+		done, _, err := e.Test(t, int32(a[0].Int()))
+		return vm.BoolValue(done), err
+	})
+
+	reg("mp.barrier", 0, false, func(t *vm.Thread, a []vm.Value) (vm.Value, error) {
+		return vm.Value{}, e.Barrier(t)
+	})
+	reg("mp.bcast", 2, false, func(t *vm.Thread, a []vm.Value) (vm.Value, error) {
+		return vm.Value{}, e.Bcast(t, a[0].Ref(), int(a[1].Int()))
+	})
+	reg("mp.scatter", 3, false, func(t *vm.Thread, a []vm.Value) (vm.Value, error) {
+		return vm.Value{}, e.Scatter(t, a[0].Ref(), a[1].Ref(), int(a[2].Int()))
+	})
+	reg("mp.gather", 3, false, func(t *vm.Thread, a []vm.Value) (vm.Value, error) {
+		return vm.Value{}, e.Gather(t, a[0].Ref(), a[1].Ref(), int(a[2].Int()))
+	})
+
+	reg("mp.allgather", 2, false, func(t *vm.Thread, a []vm.Value) (vm.Value, error) {
+		return vm.Value{}, e.Allgather(t, a[0].Ref(), a[1].Ref())
+	})
+	reg("mp.sendrecv", 6, true, func(t *vm.Thread, a []vm.Value) (vm.Value, error) {
+		st, err := e.Sendrecv(t, a[0].Ref(), int(a[1].Int()), int(a[2].Int()), a[3].Ref(), int(a[4].Int()), int(a[5].Int()))
+		return vm.IntValue(int64(st.Count)), err
+	})
+	reg("mp.reduce", 4, false, func(t *vm.Thread, a []vm.Value) (vm.Value, error) {
+		return vm.Value{}, e.Reduce(t, a[0].Ref(), a[1].Ref(), mpOp(a[2].Int()), int(a[3].Int()))
+	})
+	reg("mp.allreduce", 3, false, func(t *vm.Thread, a []vm.Value) (vm.Value, error) {
+		return vm.Value{}, e.Allreduce(t, a[0].Ref(), a[1].Ref(), mpOp(a[2].Int()))
+	})
+
+	// Communicator management: handles are integers, 0 = world.
+	reg("mp.commdup", 1, true, func(t *vm.Thread, a []vm.Value) (vm.Value, error) {
+		id, err := e.CommDup(t, int32(a[0].Int()))
+		return vm.IntValue(int64(id)), err
+	})
+	reg("mp.commsplit", 3, true, func(t *vm.Thread, a []vm.Value) (vm.Value, error) {
+		id, err := e.CommSplit(t, int32(a[0].Int()), int(a[1].Int()), int(a[2].Int()))
+		return vm.IntValue(int64(id)), err
+	})
+	reg("mp.commrank", 1, true, func(t *vm.Thread, a []vm.Value) (vm.Value, error) {
+		r, err := e.CommRank(int32(a[0].Int()))
+		return vm.IntValue(int64(r)), err
+	})
+	reg("mp.commsize", 1, true, func(t *vm.Thread, a []vm.Value) (vm.Value, error) {
+		n, err := e.CommSize(int32(a[0].Int()))
+		return vm.IntValue(int64(n)), err
+	})
+	reg("mp.commfree", 1, false, func(t *vm.Thread, a []vm.Value) (vm.Value, error) {
+		return vm.Value{}, e.CommFree(int32(a[0].Int()))
+	})
+	reg("mp.sendon", 4, false, func(t *vm.Thread, a []vm.Value) (vm.Value, error) {
+		return vm.Value{}, e.SendOn(t, int32(a[0].Int()), a[1].Ref(), int(a[2].Int()), int(a[3].Int()))
+	})
+	reg("mp.recvon", 4, true, func(t *vm.Thread, a []vm.Value) (vm.Value, error) {
+		st, err := e.RecvOn(t, int32(a[0].Int()), a[1].Ref(), int(a[2].Int()), int(a[3].Int()))
+		return vm.IntValue(int64(st.Count)), err
+	})
+	reg("mp.barrieron", 1, false, func(t *vm.Thread, a []vm.Value) (vm.Value, error) {
+		return vm.Value{}, e.BarrierOn(t, int32(a[0].Int()))
+	})
+	reg("mp.bcaston", 3, false, func(t *vm.Thread, a []vm.Value) (vm.Value, error) {
+		return vm.Value{}, e.BcastOn(t, int32(a[0].Int()), a[1].Ref(), int(a[2].Int()))
+	})
+	reg("mp.reduceon", 5, false, func(t *vm.Thread, a []vm.Value) (vm.Value, error) {
+		return vm.Value{}, e.ReduceOn(t, int32(a[0].Int()), a[1].Ref(), a[2].Ref(), mpOp(a[3].Int()), int(a[4].Int()))
+	})
+
+	reg("mp.osend", 3, false, func(t *vm.Thread, a []vm.Value) (vm.Value, error) {
+		return vm.Value{}, e.OSend(t, a[0].Ref(), int(a[1].Int()), int(a[2].Int()))
+	})
+	reg("mp.orecv", 2, true, func(t *vm.Thread, a []vm.Value) (vm.Value, error) {
+		ref, _, err := e.ORecv(t, int(a[0].Int()), int(a[1].Int()))
+		return vm.RefValue(ref), err
+	})
+	reg("mp.obcast", 2, true, func(t *vm.Thread, a []vm.Value) (vm.Value, error) {
+		ref, err := e.OBcast(t, a[0].Ref(), int(a[1].Int()))
+		return vm.RefValue(ref), err
+	})
+	reg("mp.oscatter", 2, true, func(t *vm.Thread, a []vm.Value) (vm.Value, error) {
+		ref, err := e.OScatter(t, a[0].Ref(), int(a[1].Int()))
+		return vm.RefValue(ref), err
+	})
+	reg("mp.ogather", 2, true, func(t *vm.Thread, a []vm.Value) (vm.Value, error) {
+		ref, err := e.OGather(t, a[0].Ref(), int(a[1].Int()))
+		return vm.RefValue(ref), err
+	})
+}

@@ -1,0 +1,207 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"motor/internal/mp"
+	"motor/internal/serial"
+	"motor/internal/vm"
+)
+
+// The extended object-oriented operations (paper §4.2.2, §7.5),
+// distinguished by the "O" prefix: OSend / ORecv / OBcast / OScatter
+// / OGather. They transport arbitrary objects, arrays of objects and
+// Transportable-annotated object trees through the custom serializer.
+// Serialization buffers come from the runtime-owned buffer stack, so
+// — unlike the regular operations — no pinning is ever needed: the
+// transport only touches native memory (§7.4).
+//
+// "Before sending the serialized buffer, Motor sends the size of the
+// buffer. This ensures the receiver can prepare a sufficient buffer"
+// (§7.5): every OO message travels as an 8-byte size prefix followed
+// by the representation.
+
+const ooSizeBytes = 8
+
+// serialize flattens obj into a recycled buffer.
+func (e *Engine) serialize(obj vm.Ref) ([]byte, error) {
+	buf := e.bufs.get(256, &e.Stats)
+	data, err := serial.Serialize(e.VM.Heap, obj, e.serOpts, buf)
+	if err != nil {
+		e.bufs.put(buf)
+		return nil, err
+	}
+	e.Stats.SerializedBytes += uint64(len(data))
+	return data, nil
+}
+
+// OSend transports an object tree to dest (blocking).
+func (e *Engine) OSend(t *vm.Thread, obj vm.Ref, dest, tag int) error {
+	t.PollGC()
+	defer t.PollGC()
+	e.Stats.OOSends++
+	data, err := e.serialize(obj)
+	if err != nil {
+		return err
+	}
+	defer e.bufs.put(data)
+	var szb [ooSizeBytes]byte
+	binary.LittleEndian.PutUint64(szb[:], uint64(len(data)))
+	if err := e.Comm.Send(szb[:], dest, tag); err != nil {
+		return err
+	}
+	return e.commSendYielding(t, data, dest, tag)
+}
+
+// commSendYielding sends native bytes with the polling-wait.
+func (e *Engine) commSendYielding(t *vm.Thread, data []byte, dest, tag int) error {
+	req, err := e.Comm.Isend(data, dest, tag)
+	if err != nil {
+		return err
+	}
+	for {
+		done, _, err := e.Comm.Test(req)
+		if done {
+			return err
+		}
+		e.idle(t)
+	}
+}
+
+// ORecv receives an object tree, reconstructing it on this rank's
+// heap. It returns the new root object.
+func (e *Engine) ORecv(t *vm.Thread, source, tag int) (vm.Ref, mp.Status, error) {
+	t.PollGC()
+	defer t.PollGC()
+	e.Stats.OORecvs++
+	var szb [ooSizeBytes]byte
+	st, err := e.commRecvYielding(t, szb[:], source, tag)
+	if err != nil {
+		return vm.NullRef, st, err
+	}
+	size := binary.LittleEndian.Uint64(szb[:])
+	buf := e.bufs.get(int(size), &e.Stats)
+	buf = buf[:size]
+	defer e.bufs.put(buf)
+	// The data message comes from the size message's source so an
+	// AnySource receive stays correctly paired.
+	st2, err := e.commRecvYielding(t, buf, st.Source, tag)
+	if err != nil {
+		return vm.NullRef, st2, err
+	}
+	ref, err := serial.Deserialize(e.VM, buf)
+	if err != nil {
+		return vm.NullRef, st2, err
+	}
+	return ref, st2, nil
+}
+
+func (e *Engine) commRecvYielding(t *vm.Thread, buf []byte, source, tag int) (mp.Status, error) {
+	req, err := e.Comm.Irecv(buf, source, tag)
+	if err != nil {
+		return mp.Status{}, err
+	}
+	for {
+		done, st, err := e.Comm.Test(req)
+		if done {
+			return st, err
+		}
+		e.idle(t)
+	}
+}
+
+// OBcast broadcasts the root's object tree; non-roots receive and
+// return the reconstructed tree (the root returns obj unchanged).
+func (e *Engine) OBcast(t *vm.Thread, obj vm.Ref, root int) (vm.Ref, error) {
+	t.PollGC()
+	defer t.PollGC()
+	isRoot := e.Comm.Rank() == root
+	var data []byte
+	szb := make([]byte, ooSizeBytes)
+	if isRoot {
+		e.Stats.OOSends++
+		var err error
+		data, err = e.serialize(obj)
+		if err != nil {
+			return vm.NullRef, err
+		}
+		defer e.bufs.put(data)
+		binary.LittleEndian.PutUint64(szb, uint64(len(data)))
+	}
+	if err := e.Comm.Bcast(szb, root); err != nil {
+		return vm.NullRef, err
+	}
+	if !isRoot {
+		e.Stats.OORecvs++
+		size := binary.LittleEndian.Uint64(szb)
+		data = e.bufs.get(int(size), &e.Stats)[:size]
+		defer e.bufs.put(data)
+	}
+	if err := e.Comm.Bcast(data, root); err != nil {
+		return vm.NullRef, err
+	}
+	if isRoot {
+		return obj, nil
+	}
+	return serial.Deserialize(e.VM, data)
+}
+
+// OScatter splits the root's object array across ranks: each rank
+// (including the root) receives its contiguous sub-array as a fresh
+// array object. The split representation (§7.5) makes each part
+// independently deserializable — the capability the paper highlights
+// as impossible with standard Java/CLI serialization.
+func (e *Engine) OScatter(t *vm.Thread, arr vm.Ref, root int) (vm.Ref, error) {
+	t.PollGC()
+	defer t.PollGC()
+	var parts [][]byte
+	if e.Comm.Rank() == root {
+		e.Stats.OOSends++
+		var err error
+		parts, err = serial.SerializeSplit(e.VM.Heap, arr, e.Comm.Size(), e.serOpts)
+		if err != nil {
+			return vm.NullRef, err
+		}
+		for _, p := range parts {
+			e.Stats.SerializedBytes += uint64(len(p))
+		}
+	}
+	mine, err := e.Comm.Scatterv(parts, root)
+	if err != nil {
+		return vm.NullRef, err
+	}
+	e.Stats.OORecvs++
+	return serial.Deserialize(e.VM, mine)
+}
+
+// OGather reassembles per-rank object arrays into one array at the
+// root ("the deserialization mechanism takes many split
+// representations and reconstructs them into a single array", §7.5).
+// Non-roots return the null reference.
+func (e *Engine) OGather(t *vm.Thread, arr vm.Ref, root int) (vm.Ref, error) {
+	t.PollGC()
+	defer t.PollGC()
+	if arr == vm.NullRef {
+		return vm.NullRef, ErrNullObject
+	}
+	mt := e.VM.Heap.MT(arr)
+	if mt.Kind != vm.TKArray {
+		return vm.NullRef, fmt.Errorf("%w: OGather of %s", ErrNotArray, mt)
+	}
+	e.Stats.OOSends++
+	data, err := e.serialize(arr)
+	if err != nil {
+		return vm.NullRef, err
+	}
+	defer e.bufs.put(data)
+	parts, err := e.Comm.Gatherv(data, root)
+	if err != nil {
+		return vm.NullRef, err
+	}
+	if e.Comm.Rank() != root {
+		return vm.NullRef, nil
+	}
+	e.Stats.OORecvs++
+	return serial.DeserializeGather(e.VM, parts)
+}

@@ -1,0 +1,467 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+
+	"motor/internal/mp"
+	"motor/internal/vm"
+)
+
+// Regular MPI operations (paper §4.2.1): efficient object-to-object
+// transport for objects without references and arrays of simple
+// types. The count and datatype parameters of classic MPI are gone —
+// message length is derived from the object — and sub-ranges are only
+// available on arrays, where bounds are checkable.
+//
+// Every blocking operation follows the paper's FCall discipline
+// (§7.4): GC poll on entry, quick completion test (fast operations
+// never pin), pinning policy applied only when the operation actually
+// enters its polling-wait, poll on exit.
+
+// pinForWait applies the pinning policy at polling-wait entry for a
+// blocking operation and returns the matching release function.
+func (e *Engine) pinForWait(obj vm.Ref) func() {
+	h := e.VM.Heap
+	switch e.policy {
+	case PolicyNever:
+		return func() {}
+	case PolicyAlwaysPin:
+		// Eager pinning happened at operation start; nothing here.
+		return func() {}
+	default:
+		if !h.IsYoung(obj) {
+			// Elder residents are never moved: no pin needed.
+			e.Stats.PinSkippedElder++
+			return func() {}
+		}
+		e.Stats.PinDeferred++
+		h.Pin(obj)
+		return func() { h.Unpin(obj) }
+	}
+}
+
+// pinEager applies PolicyAlwaysPin's operation-start pin.
+func (e *Engine) pinEager(obj vm.Ref) func() {
+	if e.policy != PolicyAlwaysPin || obj == vm.NullRef {
+		return func() {}
+	}
+	e.Stats.PinEager++
+	e.VM.Heap.Pin(obj)
+	return func() { e.VM.Heap.Unpin(obj) }
+}
+
+// waitBlocking drives a request to completion with the polling-wait:
+// progress, then GC poll, repeatedly (§7.4's three polling points are
+// entry — in the callers —, this loop, and the exit poll).
+func (e *Engine) waitBlocking(t *vm.Thread, c *mp.Comm, obj vm.Ref, req *mp.Request) (mp.Status, error) {
+	done, st, err := c.Test(req)
+	if done {
+		if e.policy == PolicyMotor && e.VM.Heap.IsYoung(obj) {
+			e.Stats.PinAvoidedFast++
+		} else if e.policy == PolicyMotor {
+			e.Stats.PinSkippedElder++
+		}
+		return st, err
+	}
+	unpin := e.pinForWait(obj)
+	defer unpin()
+	for {
+		done, st, err = c.Test(req)
+		if done {
+			return st, err
+		}
+		e.idle(t)
+	}
+}
+
+// idle is one step of the polling-wait: yield to the collector and
+// release the processor for peer ranks (see adi.Device.idle).
+func (e *Engine) idle(t *vm.Thread) {
+	t.PollGC()
+	runtime.Gosched()
+}
+
+// Send transports a whole object (blocking, standard mode).
+func (e *Engine) Send(t *vm.Thread, obj vm.Ref, dest, tag int) error {
+	return e.sendCommon(t, obj, dest, tag, false, -1, -1)
+}
+
+// Ssend transports a whole object (blocking, synchronous mode).
+func (e *Engine) Ssend(t *vm.Thread, obj vm.Ref, dest, tag int) error {
+	return e.sendCommon(t, obj, dest, tag, true, -1, -1)
+}
+
+// SendRange transports array elements [offset, offset+count).
+func (e *Engine) SendRange(t *vm.Thread, obj vm.Ref, offset, count, dest, tag int) error {
+	return e.sendCommon(t, obj, dest, tag, false, offset, count)
+}
+
+func (e *Engine) sendCommon(t *vm.Thread, obj vm.Ref, dest, tag int, sync bool, offset, count int) error {
+	return e.sendCommonOn(t, e.Comm, obj, dest, tag, sync, offset, count)
+}
+
+func (e *Engine) sendCommonOn(t *vm.Thread, c *mp.Comm, obj vm.Ref, dest, tag int, sync bool, offset, count int) error {
+	t.PollGC()
+	defer t.PollGC()
+	var buf heapBuf
+	var err error
+	if offset >= 0 {
+		buf, err = e.rangeBuf(obj, offset, count)
+	} else {
+		buf, err = e.wholeBuf(obj)
+	}
+	if err != nil {
+		return err
+	}
+	e.Stats.Ops++
+	unpinEager := e.pinEager(obj)
+	defer unpinEager()
+	req, err := c.IsendBuffer(buf, dest, tag, sync)
+	if err != nil {
+		return err
+	}
+	_, err = e.waitBlocking(t, c, obj, req)
+	return err
+}
+
+// Recv receives into a whole object (blocking). It returns the
+// source rank and delivered byte count.
+func (e *Engine) Recv(t *vm.Thread, obj vm.Ref, source, tag int) (mp.Status, error) {
+	return e.recvCommon(t, obj, source, tag, -1, -1)
+}
+
+// RecvRange receives into array elements [offset, offset+count).
+func (e *Engine) RecvRange(t *vm.Thread, obj vm.Ref, offset, count, source, tag int) (mp.Status, error) {
+	return e.recvCommon(t, obj, source, tag, offset, count)
+}
+
+func (e *Engine) recvCommon(t *vm.Thread, obj vm.Ref, source, tag int, offset, count int) (mp.Status, error) {
+	return e.recvCommonOn(t, e.Comm, obj, source, tag, offset, count)
+}
+
+func (e *Engine) recvCommonOn(t *vm.Thread, c *mp.Comm, obj vm.Ref, source, tag int, offset, count int) (mp.Status, error) {
+	t.PollGC()
+	defer t.PollGC()
+	var buf heapBuf
+	var err error
+	if offset >= 0 {
+		buf, err = e.rangeBuf(obj, offset, count)
+	} else {
+		buf, err = e.wholeBuf(obj)
+	}
+	if err != nil {
+		return mp.Status{}, err
+	}
+	e.Stats.Ops++
+	unpinEager := e.pinEager(obj)
+	defer unpinEager()
+	req, err := c.IrecvBuffer(buf, source, tag)
+	if err != nil {
+		return mp.Status{}, err
+	}
+	return e.waitBlocking(t, c, obj, req)
+}
+
+// --- immediate (non-blocking) operations --------------------------------------
+
+// register assigns a managed request id.
+func (e *Engine) register(req *mp.Request, obj vm.Ref, pinned bool) int32 {
+	e.nextReq++
+	id := e.nextReq
+	e.requests[id] = &mpReq{id: id, req: req, obj: obj, pinned: pinned}
+	return id
+}
+
+// condPin applies the non-blocking pinning rule of §7.4: a younger-
+// generation object gets a conditional pin request whose mark-phase
+// check is the transport's completion status.
+func (e *Engine) condPin(obj vm.Ref, req *mp.Request) {
+	switch e.policy {
+	case PolicyNever, PolicyAlwaysPin:
+		return
+	}
+	if req.Done() || !e.VM.Heap.IsYoung(obj) {
+		if !e.VM.Heap.IsYoung(obj) {
+			e.Stats.PinSkippedElder++
+		}
+		return
+	}
+	e.Stats.CondPins++
+	e.VM.Heap.AddCondPin(obj, func() bool { return !req.Done() })
+}
+
+// Isend starts an immediate send and returns a request id for Wait /
+// Test.
+func (e *Engine) Isend(t *vm.Thread, obj vm.Ref, dest, tag int) (int32, error) {
+	t.PollGC()
+	buf, err := e.wholeBuf(obj)
+	if err != nil {
+		return 0, err
+	}
+	e.Stats.Ops++
+	pinned := false
+	if e.policy == PolicyAlwaysPin {
+		e.Stats.PinEager++
+		e.VM.Heap.Pin(obj)
+		pinned = true
+	}
+	req, err := e.Comm.IsendBuffer(buf, dest, tag, false)
+	if err != nil {
+		if pinned {
+			e.VM.Heap.Unpin(obj)
+		}
+		return 0, err
+	}
+	e.condPin(obj, req)
+	return e.register(req, obj, pinned), nil
+}
+
+// Irecv starts an immediate receive.
+func (e *Engine) Irecv(t *vm.Thread, obj vm.Ref, source, tag int) (int32, error) {
+	t.PollGC()
+	buf, err := e.wholeBuf(obj)
+	if err != nil {
+		return 0, err
+	}
+	e.Stats.Ops++
+	pinned := false
+	if e.policy == PolicyAlwaysPin {
+		e.Stats.PinEager++
+		e.VM.Heap.Pin(obj)
+		pinned = true
+	}
+	req, err := e.Comm.IrecvBuffer(buf, source, tag)
+	if err != nil {
+		if pinned {
+			e.VM.Heap.Unpin(obj)
+		}
+		return 0, err
+	}
+	e.condPin(obj, req)
+	return e.register(req, obj, pinned), nil
+}
+
+func (e *Engine) lookup(id int32) (*mpReq, error) {
+	r, ok := e.requests[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %d", ErrBadRequest, id)
+	}
+	return r, nil
+}
+
+func (e *Engine) finish(r *mpReq) {
+	if r.pinned {
+		e.VM.Heap.Unpin(r.obj)
+	}
+	delete(e.requests, r.id)
+}
+
+// Wait blocks until the identified request completes.
+func (e *Engine) Wait(t *vm.Thread, id int32) (mp.Status, error) {
+	r, err := e.lookup(id)
+	if err != nil {
+		return mp.Status{}, err
+	}
+	for {
+		done, st, err := e.Comm.Test(r.req)
+		if done {
+			e.finish(r)
+			return st, err
+		}
+		e.idle(t)
+	}
+}
+
+// Test makes one progress pass; on completion the request id is
+// retired.
+func (e *Engine) Test(t *vm.Thread, id int32) (bool, mp.Status, error) {
+	r, err := e.lookup(id)
+	if err != nil {
+		return false, mp.Status{}, err
+	}
+	done, st, err := e.Comm.Test(r.req)
+	if !done {
+		t.PollGC()
+		return false, mp.Status{}, err
+	}
+	e.finish(r)
+	return true, st, err
+}
+
+// PendingRequests reports outstanding immediate operations (tests,
+// mpstat).
+func (e *Engine) PendingRequests() int { return len(e.requests) }
+
+// --- collectives over simple objects -------------------------------------------
+
+// collectiveBuf prepares a buffer + pin for the duration of a
+// collective (which always blocks).
+func (e *Engine) collectivePin(obj vm.Ref) func() {
+	if obj == vm.NullRef {
+		return func() {}
+	}
+	h := e.VM.Heap
+	switch e.policy {
+	case PolicyNever:
+		return func() {}
+	case PolicyAlwaysPin:
+		e.Stats.PinEager++
+		h.Pin(obj)
+		return func() { h.Unpin(obj) }
+	default:
+		if !h.IsYoung(obj) {
+			e.Stats.PinSkippedElder++
+			return func() {}
+		}
+		e.Stats.PinDeferred++
+		h.Pin(obj)
+		return func() { h.Unpin(obj) }
+	}
+}
+
+// Barrier blocks until all ranks enter it.
+func (e *Engine) Barrier(t *vm.Thread) error {
+	t.PollGC()
+	defer t.PollGC()
+	return e.Comm.Barrier()
+}
+
+// Bcast broadcasts the root's object contents into every rank's
+// object (equal sizes required, as in MPI).
+func (e *Engine) Bcast(t *vm.Thread, obj vm.Ref, root int) error {
+	t.PollGC()
+	defer t.PollGC()
+	buf, err := e.wholeBuf(obj)
+	if err != nil {
+		return err
+	}
+	e.Stats.Ops++
+	unpin := e.collectivePin(obj)
+	defer unpin()
+	return e.Comm.Bcast(buf.Bytes(), root)
+}
+
+// Scatter splits the root's simple array equally across ranks into
+// each rank's recv array (sendArr is ignored on non-roots).
+func (e *Engine) Scatter(t *vm.Thread, sendArr, recvArr vm.Ref, root int) error {
+	t.PollGC()
+	defer t.PollGC()
+	recvBuf, err := e.wholeBuf(recvArr)
+	if err != nil {
+		return err
+	}
+	e.Stats.Ops++
+	var sendBytes []byte
+	var unpinSend func()
+	if e.Comm.Rank() == root {
+		sendBuf, err := e.wholeBuf(sendArr)
+		if err != nil {
+			return err
+		}
+		unpinSend = e.collectivePin(sendArr)
+		defer unpinSend()
+		sendBytes = sendBuf.Bytes()
+	}
+	unpin := e.collectivePin(recvArr)
+	defer unpin()
+	return e.Comm.Scatter(sendBytes, recvBuf.Bytes(), root)
+}
+
+// Allgather collects every rank's simple array into every rank's
+// recv array (recv must hold Size() times the send array's bytes).
+func (e *Engine) Allgather(t *vm.Thread, sendArr, recvArr vm.Ref) error {
+	t.PollGC()
+	defer t.PollGC()
+	sendBuf, err := e.wholeBuf(sendArr)
+	if err != nil {
+		return err
+	}
+	recvBuf, err := e.wholeBuf(recvArr)
+	if err != nil {
+		return err
+	}
+	// Validate locally on every rank so an erroneous program fails
+	// consistently instead of deadlocking mid-collective.
+	if recvBuf.Len() != sendBuf.Len()*e.Comm.Size() {
+		return fmt.Errorf("core: allgather recv %d bytes, want %d (send %d × %d ranks)",
+			recvBuf.Len(), sendBuf.Len()*e.Comm.Size(), sendBuf.Len(), e.Comm.Size())
+	}
+	e.Stats.Ops++
+	unpinSend := e.collectivePin(sendArr)
+	defer unpinSend()
+	unpinRecv := e.collectivePin(recvArr)
+	defer unpinRecv()
+	return e.Comm.Allgather(sendBuf.Bytes(), recvBuf.Bytes())
+}
+
+// Sendrecv performs the classic combined exchange: send sendObj to
+// dest while receiving into recvObj from source, deadlock-free even
+// when every rank calls it simultaneously.
+func (e *Engine) Sendrecv(t *vm.Thread, sendObj vm.Ref, dest, sendTag int, recvObj vm.Ref, source, recvTag int) (mp.Status, error) {
+	t.PollGC()
+	defer t.PollGC()
+	sendBuf, err := e.wholeBuf(sendObj)
+	if err != nil {
+		return mp.Status{}, err
+	}
+	recvBuf, err := e.wholeBuf(recvObj)
+	if err != nil {
+		return mp.Status{}, err
+	}
+	e.Stats.Ops += 2
+	unpinS := e.collectivePin(sendObj)
+	defer unpinS()
+	unpinR := e.collectivePin(recvObj)
+	defer unpinR()
+	rreq, err := e.Comm.IrecvBuffer(recvBuf, source, recvTag)
+	if err != nil {
+		return mp.Status{}, err
+	}
+	sreq, err := e.Comm.IsendBuffer(sendBuf, dest, sendTag, false)
+	if err != nil {
+		return mp.Status{}, err
+	}
+	for {
+		done, _, err := e.Comm.Test(sreq)
+		if err != nil {
+			return mp.Status{}, err
+		}
+		if done {
+			break
+		}
+		e.idle(t)
+	}
+	for {
+		done, st, err := e.Comm.Test(rreq)
+		if done {
+			return st, err
+		}
+		e.idle(t)
+	}
+}
+
+// Gather collects every rank's simple array into the root's recv
+// array (recvArr is ignored on non-roots).
+func (e *Engine) Gather(t *vm.Thread, sendArr, recvArr vm.Ref, root int) error {
+	t.PollGC()
+	defer t.PollGC()
+	sendBuf, err := e.wholeBuf(sendArr)
+	if err != nil {
+		return err
+	}
+	e.Stats.Ops++
+	unpinSend := e.collectivePin(sendArr)
+	defer unpinSend()
+	var recvBytes []byte
+	if e.Comm.Rank() == root {
+		recvBuf, err := e.wholeBuf(recvArr)
+		if err != nil {
+			return err
+		}
+		unpinRecv := e.collectivePin(recvArr)
+		defer unpinRecv()
+		recvBytes = recvBuf.Bytes()
+	}
+	return e.Comm.Gather(sendBuf.Bytes(), recvBytes, root)
+}

@@ -1,0 +1,621 @@
+// Package adi implements the device layer of the message-passing
+// core — the analogue of MPICH2's CH3 device over the Abstract
+// Device Interface (paper §6): message matching (posted and
+// unexpected queues), packetizing, and the eager / rendezvous
+// transfer protocols, all driven by a polling progress engine.
+//
+// The device is transport-agnostic: it talks to any channel.Channel.
+// Buffers are abstract (Buffer) so the Motor core can hand the device
+// ranges of a managed heap that must be re-resolved after any yield —
+// the mechanism behind zero-copy transfers into pinned objects.
+package adi
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+
+	"motor/internal/mp/channel"
+)
+
+// Wildcards for receive matching.
+const (
+	AnySource = -1
+	AnyTag    = -1
+)
+
+// Errors surfaced by the device (MPI error classes).
+var (
+	ErrTruncate = errors.New("adi: message truncated (receive buffer too small)")
+	ErrRank     = errors.New("adi: rank out of range")
+	ErrState    = errors.New("adi: request in invalid state")
+)
+
+// Buffer abstracts a contiguous transfer buffer. Bytes must be called
+// afresh whenever control may have yielded since the last call: for
+// managed-heap ranges the backing array can move when the arena
+// grows, even though the object's offset is pinned.
+type Buffer interface {
+	Len() int
+	Bytes() []byte
+}
+
+// SliceBuf adapts a plain []byte.
+type SliceBuf []byte
+
+// Len implements Buffer.
+func (s SliceBuf) Len() int { return len(s) }
+
+// Bytes implements Buffer.
+func (s SliceBuf) Bytes() []byte { return s }
+
+// Status describes a completed receive.
+type Status struct {
+	Source int // world rank of the sender
+	Tag    int
+	Count  int // delivered bytes
+}
+
+// reqKind discriminates requests.
+type reqKind uint8
+
+const (
+	reqSend reqKind = iota
+	reqRecv
+)
+
+// reqState tracks protocol progress.
+type reqState uint8
+
+const (
+	stActive   reqState = iota // posted / awaiting protocol step
+	stComplete                 // done (check Err)
+)
+
+// Request is a pending point-to-point operation.
+type Request struct {
+	id   uint64
+	kind reqKind
+
+	buf  Buffer
+	peer int // dest for sends, source (or AnySource) for recvs
+	tag  int
+	ctx  int32
+
+	sync bool // synchronous send: complete only when matched
+
+	state  reqState
+	err    error
+	status Status
+}
+
+// Done reports completion (poll via Device.TestReq).
+func (r *Request) Done() bool { return r.state == stComplete }
+
+// Err returns the request's terminal error, if any.
+func (r *Request) Err() error { return r.err }
+
+// Status returns the receive status (valid once Done).
+func (r *Request) Status() Status { return r.status }
+
+// unexpected holds an arrived-but-unmatched message.
+type unexpected struct {
+	hdr     channel.Header
+	payload []byte // eager payload copy; nil for RTS
+}
+
+// DeviceStats counts protocol activity; the Motor pinning-policy
+// tests and cmd/mpstat read these.
+type DeviceStats struct {
+	EagerSent   uint64
+	RndvSent    uint64
+	EagerRecvd  uint64
+	DataRecvd   uint64
+	Unexpected  uint64
+	Polls       uint64
+	Deliveries  uint64
+	BytesSent   uint64
+	BytesRecvd  uint64
+	CtrlPackets uint64
+}
+
+// Device is one rank's progress engine and matching state.
+type Device struct {
+	ch   channel.Channel
+	rank int
+
+	eagerMax int
+
+	posted []*Request   // posted receives, FIFO
+	unexp  []unexpected // unexpected arrivals, FIFO
+	active map[uint64]*Request
+	nextID uint64
+
+	// Yield is invoked inside blocking waits between progress polls.
+	// The Motor core points it at the managed thread's GC poll — the
+	// polling-wait of paper §7.1/§7.4. Nil is allowed.
+	Yield func()
+
+	// tmp is scratch for unexpected eager payload delivery.
+	tmp []byte
+
+	// deliver state for the in-flight packet between Deliver and Done.
+	curReq   *Request
+	curUnexp bool
+
+	ctrl []channel.Header // control packets (barrier tokens etc.)
+
+	// pendingSelfSyncs are synchronous self-sends awaiting their
+	// local match.
+	pendingSelfSyncs []selfSync
+
+	Stats DeviceStats
+}
+
+// DefaultEagerMax is the eager/rendezvous switchover. Messages at or
+// below this size are sent eagerly; larger ones use RTS/CTS
+// rendezvous and land zero-copy in the posted buffer.
+const DefaultEagerMax = 64 << 10
+
+// NewDevice wraps a channel endpoint.
+func NewDevice(ch channel.Channel, eagerMax int) *Device {
+	if eagerMax <= 0 {
+		eagerMax = DefaultEagerMax
+	}
+	return &Device{
+		ch:       ch,
+		rank:     ch.Rank(),
+		eagerMax: eagerMax,
+		active:   make(map[uint64]*Request),
+	}
+}
+
+// Rank returns this device's world rank.
+func (d *Device) Rank() int { return d.rank }
+
+// Size returns the world size.
+func (d *Device) Size() int { return d.ch.Size() }
+
+// EagerMax returns the eager threshold.
+func (d *Device) EagerMax() int { return d.eagerMax }
+
+// Channel exposes the underlying channel (stats surfaces, tests).
+func (d *Device) Channel() channel.Channel { return d.ch }
+
+func (d *Device) newRequest(kind reqKind, buf Buffer, peer, tag int, ctx int32) *Request {
+	d.nextID++
+	return &Request{id: d.nextID, kind: kind, buf: buf, peer: peer, tag: tag, ctx: ctx}
+}
+
+// --- send path --------------------------------------------------------------
+
+// Isend starts a (buffered-eager or rendezvous) send of buf to world
+// rank dest and returns immediately. Sends to the device's own rank
+// are delivered locally without touching the channel (MPI requires
+// self-sends to work on every transport).
+func (d *Device) Isend(buf Buffer, dest, tag int, ctx int32, sync bool) (*Request, error) {
+	if dest < 0 || dest >= d.Size() {
+		return nil, fmt.Errorf("%w: dest %d of %d", ErrRank, dest, d.Size())
+	}
+	if dest == d.rank {
+		return d.selfSend(buf, tag, ctx, sync)
+	}
+	req := d.newRequest(reqSend, buf, dest, tag, ctx)
+	req.sync = sync
+	size := buf.Len()
+	if !sync && size <= d.eagerMax {
+		hdr := channel.Header{
+			Type: channel.PktEager, Source: int32(d.rank),
+			Tag: int32(tag), Context: ctx, ReqA: req.id,
+		}
+		if err := d.ch.Send(dest, hdr, buf.Bytes()); err != nil {
+			return nil, err
+		}
+		d.Stats.EagerSent++
+		d.Stats.BytesSent += uint64(size)
+		req.state = stComplete
+		return req, nil
+	}
+	// Rendezvous: announce, wait for clear-to-send. The RTS carries
+	// no payload (the channel forces Size to the wire length, 0), so
+	// the pending transfer size is advertised in ReqB.
+	hdr := channel.Header{
+		Type: channel.PktRTS, Source: int32(d.rank),
+		Tag: int32(tag), Context: ctx, ReqA: req.id, ReqB: uint64(size),
+	}
+	if err := d.sendHeaderOnly(dest, hdr); err != nil {
+		return nil, err
+	}
+	d.Stats.RndvSent++
+	d.active[req.id] = req
+	return req, nil
+}
+
+// sendHeaderOnly transmits a payload-free packet (RTS/CTS/control).
+func (d *Device) sendHeaderOnly(dest int, hdr channel.Header) error {
+	return d.ch.Send(dest, hdr, nil)
+}
+
+// selfSend delivers a message locally: an immediately-matched posted
+// receive gets the payload copied straight across; otherwise the
+// payload is buffered on the unexpected queue. Synchronous self-sends
+// complete when matched, which for the unexpected case means a
+// matching receive must eventually be posted from the same rank (the
+// usual Isend-self / Irecv-self pairing).
+func (d *Device) selfSend(buf Buffer, tag int, ctx int32, sync bool) (*Request, error) {
+	req := d.newRequest(reqSend, buf, d.rank, tag, ctx)
+	// ReqA carries the request id so each pending synchronous
+	// self-send can be distinguished even when tags and sizes match.
+	hdr := channel.Header{
+		Type: channel.PktEager, Source: int32(d.rank),
+		Tag: int32(tag), Context: ctx, Size: uint32(buf.Len()), ReqA: req.id,
+	}
+	if posted := d.matchPosted(hdr); posted != nil {
+		d.completeEagerRecv(posted, hdr, buf.Bytes())
+		delete(d.active, posted.id)
+		req.state = stComplete
+		d.Stats.BytesSent += uint64(buf.Len())
+		return req, nil
+	}
+	payload := append([]byte(nil), buf.Bytes()...)
+	d.Stats.Unexpected++
+	d.unexp = append(d.unexp, unexpected{hdr: hdr, payload: payload})
+	if sync {
+		// Complete when a local receive matches: reuse the
+		// conditional machinery by checking on Test/Wait.
+		req.sync = true
+		d.active[req.id] = req
+		d.pendingSelfSyncs = append(d.pendingSelfSyncs, selfSync{req: req, hdr: hdr})
+		return req, nil
+	}
+	req.state = stComplete
+	d.Stats.BytesSent += uint64(buf.Len())
+	return req, nil
+}
+
+// selfSync tracks a synchronous self-send awaiting its local match.
+type selfSync struct {
+	req *Request
+	hdr channel.Header
+}
+
+// resolveSelfSyncs completes synchronous self-sends whose unexpected
+// entry has been consumed by a local receive.
+func (d *Device) resolveSelfSyncs() {
+	if len(d.pendingSelfSyncs) == 0 {
+		return
+	}
+	kept := d.pendingSelfSyncs[:0]
+	for _, ss := range d.pendingSelfSyncs {
+		consumed := true
+		for i := range d.unexp {
+			if d.unexp[i].hdr == ss.hdr {
+				consumed = false
+				break
+			}
+		}
+		if consumed {
+			ss.req.state = stComplete
+			delete(d.active, ss.req.id)
+			d.Stats.BytesSent += uint64(ss.req.buf.Len())
+		} else {
+			kept = append(kept, ss)
+		}
+	}
+	d.pendingSelfSyncs = kept
+}
+
+// --- receive path -------------------------------------------------------------
+
+// Irecv posts a receive and returns immediately. Earlier unexpected
+// arrivals are matched first, preserving MPI ordering semantics.
+func (d *Device) Irecv(buf Buffer, source, tag int, ctx int32) (*Request, error) {
+	if source != AnySource && (source < 0 || source >= d.Size()) {
+		return nil, fmt.Errorf("%w: source %d of %d", ErrRank, source, d.Size())
+	}
+	req := d.newRequest(reqRecv, buf, source, tag, ctx)
+	for i := range d.unexp {
+		u := &d.unexp[i]
+		if !matches(req, u.hdr) {
+			continue
+		}
+		hdr := u.hdr
+		payload := u.payload
+		d.unexp = append(d.unexp[:i], d.unexp[i+1:]...)
+		switch hdr.Type {
+		case channel.PktEager:
+			d.completeEagerRecv(req, hdr, payload)
+		case channel.PktRTS:
+			d.acceptRendezvous(req, hdr)
+		}
+		return req, nil
+	}
+	d.posted = append(d.posted, req)
+	d.active[req.id] = req
+	return req, nil
+}
+
+// completeEagerRecv copies an already-buffered eager payload into the
+// request's buffer.
+func (d *Device) completeEagerRecv(req *Request, hdr channel.Header, payload []byte) {
+	n := int(hdr.Size)
+	if n > req.buf.Len() {
+		req.err = fmt.Errorf("%w: got %d bytes into %d-byte buffer", ErrTruncate, n, req.buf.Len())
+		n = req.buf.Len()
+	}
+	copy(req.buf.Bytes()[:n], payload[:n])
+	req.status = Status{Source: int(hdr.Source), Tag: int(hdr.Tag), Count: n}
+	req.state = stComplete
+	d.Stats.BytesRecvd += uint64(n)
+}
+
+// acceptRendezvous answers a matched RTS with a CTS; the DATA packet
+// will be steered directly into req's buffer.
+func (d *Device) acceptRendezvous(req *Request, rts channel.Header) {
+	size := int(rts.ReqB) // advertised transfer size
+	if size > req.buf.Len() {
+		req.err = fmt.Errorf("%w: rendezvous %d bytes into %d-byte buffer", ErrTruncate, size, req.buf.Len())
+	}
+	req.status = Status{Source: int(rts.Source), Tag: int(rts.Tag), Count: size}
+	d.active[req.id] = req
+	cts := channel.Header{
+		Type: channel.PktCTS, Source: int32(d.rank),
+		Tag: rts.Tag, Context: rts.Context,
+		ReqA: rts.ReqA, ReqB: req.id,
+	}
+	if err := d.sendHeaderOnly(int(rts.Source), cts); err != nil && req.err == nil {
+		req.err = err
+		req.state = stComplete
+		delete(d.active, req.id)
+	}
+}
+
+func matches(req *Request, hdr channel.Header) bool {
+	if req.ctx != hdr.Context {
+		return false
+	}
+	if req.peer != AnySource && int32(req.peer) != hdr.Source {
+		return false
+	}
+	if req.tag != AnyTag && int32(req.tag) != hdr.Tag {
+		return false
+	}
+	return true
+}
+
+// matchPosted removes and returns the first posted receive matching
+// hdr.
+func (d *Device) matchPosted(hdr channel.Header) *Request {
+	for i, req := range d.posted {
+		if matches(req, hdr) {
+			d.posted = append(d.posted[:i], d.posted[i+1:]...)
+			return req
+		}
+	}
+	return nil
+}
+
+// --- progress engine -----------------------------------------------------------
+
+// Progress makes one polling pass over the channel. It reports
+// whether any packet was processed.
+func (d *Device) Progress() (bool, error) {
+	d.Stats.Polls++
+	d.resolveSelfSyncs()
+	return d.ch.Poll(d)
+}
+
+// WaitReq blocks (polling-wait) until the request completes.
+func (d *Device) WaitReq(req *Request) (Status, error) {
+	for req.state != stComplete {
+		progressed, err := d.Progress()
+		if err != nil {
+			return req.status, err
+		}
+		if !progressed {
+			d.idle()
+		}
+	}
+	return req.status, req.err
+}
+
+// Idle is the exported form of idle for upper layers' polling loops.
+func (d *Device) Idle() { d.idle() }
+
+// idle is called between fruitless progress polls: it runs the
+// embedder's yield (the GC poll point for Motor) and releases the
+// processor so peer ranks sharing this machine can make progress —
+// essential on single-CPU hosts, where a busy spin would otherwise
+// stall the partner until the scheduler preempts.
+func (d *Device) idle() {
+	if d.Yield != nil {
+		d.Yield()
+	}
+	runtime.Gosched()
+}
+
+// TestReq makes one progress pass and reports completion.
+func (d *Device) TestReq(req *Request) (bool, Status, error) {
+	if req.state != stComplete {
+		if _, err := d.Progress(); err != nil {
+			return false, req.status, err
+		}
+	}
+	if req.state != stComplete {
+		return false, Status{}, nil
+	}
+	return true, req.status, req.err
+}
+
+// Iprobe checks (with one progress pass) whether a matching message
+// has arrived without receiving it.
+func (d *Device) Iprobe(source, tag int, ctx int32) (bool, Status, error) {
+	if _, err := d.Progress(); err != nil {
+		return false, Status{}, err
+	}
+	probe := &Request{peer: source, tag: tag, ctx: ctx}
+	for i := range d.unexp {
+		if matches(probe, d.unexp[i].hdr) {
+			h := d.unexp[i].hdr
+			count := int(h.Size)
+			if h.Type == channel.PktRTS {
+				count = int(h.ReqB)
+			}
+			return true, Status{Source: int(h.Source), Tag: int(h.Tag), Count: count}, nil
+		}
+	}
+	return false, Status{}, nil
+}
+
+// SendCtrl transmits a control packet (used by collectives for
+// tokens that bypass matching).
+func (d *Device) SendCtrl(dest int, tag int, ctx int32) error {
+	hdr := channel.Header{Type: channel.PktCtrl, Source: int32(d.rank), Tag: int32(tag), Context: ctx}
+	return d.sendHeaderOnly(dest, hdr)
+}
+
+// PollCtrl removes and returns the first control packet matching
+// (source, tag, ctx), making one progress pass first.
+func (d *Device) PollCtrl(source, tag int, ctx int32) (bool, error) {
+	if _, err := d.Progress(); err != nil {
+		return false, err
+	}
+	probe := &Request{peer: source, tag: tag, ctx: ctx}
+	for i := range d.ctrl {
+		if matches(probe, d.ctrl[i]) {
+			d.ctrl = append(d.ctrl[:i], d.ctrl[i+1:]...)
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// --- channel.Sink ---------------------------------------------------------------
+
+// Deliver implements channel.Sink: it chooses the destination buffer
+// for an incoming payload. Expected eager messages and rendezvous
+// DATA land directly in the user buffer (zero intermediate copy);
+// unexpected eager payloads go to a scratch buffer that becomes the
+// unexpected-queue entry.
+func (d *Device) Deliver(hdr channel.Header) []byte {
+	d.Stats.Deliveries++
+	d.curReq, d.curUnexp = nil, false
+	switch hdr.Type {
+	case channel.PktEager:
+		if req := d.matchPosted(hdr); req != nil {
+			d.curReq = req
+			n := int(hdr.Size)
+			if n > req.buf.Len() {
+				// Truncation: stage via scratch so the channel can
+				// drain the wire; the copy-out happens in Done.
+				d.curUnexp = true
+				return d.scratch(n)
+			}
+			if n == 0 {
+				return nil
+			}
+			return req.buf.Bytes()[:n]
+		}
+		d.curUnexp = true
+		return d.scratch(int(hdr.Size))
+	case channel.PktData:
+		req := d.active[hdr.ReqB]
+		if req == nil {
+			// Receiver request vanished; drain to scratch.
+			d.curUnexp = true
+			return d.scratch(int(hdr.Size))
+		}
+		d.curReq = req
+		n := int(hdr.Size)
+		if n > req.buf.Len() {
+			d.curUnexp = true
+			return d.scratch(n)
+		}
+		if n == 0 {
+			return nil
+		}
+		return req.buf.Bytes()[:n]
+	default:
+		// RTS / CTS / control carry no payload.
+		return nil
+	}
+}
+
+func (d *Device) scratch(n int) []byte {
+	if cap(d.tmp) < n {
+		d.tmp = make([]byte, n)
+	}
+	return d.tmp[:n]
+}
+
+// Done implements channel.Sink: protocol actions after the payload
+// (if any) has been written to the buffer Deliver returned.
+func (d *Device) Done(hdr channel.Header) {
+	switch hdr.Type {
+	case channel.PktEager:
+		d.Stats.EagerRecvd++
+		switch {
+		case d.curReq != nil && !d.curUnexp:
+			req := d.curReq
+			req.status = Status{Source: int(hdr.Source), Tag: int(hdr.Tag), Count: int(hdr.Size)}
+			req.state = stComplete
+			delete(d.active, req.id)
+			d.Stats.BytesRecvd += uint64(hdr.Size)
+		case d.curReq != nil: // matched but truncated, payload in scratch
+			req := d.curReq
+			d.completeEagerRecv(req, hdr, d.tmp[:hdr.Size])
+			delete(d.active, req.id)
+		default: // unexpected
+			d.Stats.Unexpected++
+			payload := append([]byte(nil), d.tmp[:hdr.Size]...)
+			d.unexp = append(d.unexp, unexpected{hdr: hdr, payload: payload})
+		}
+
+	case channel.PktRTS:
+		if req := d.matchPosted(hdr); req != nil {
+			d.acceptRendezvous(req, hdr)
+		} else {
+			d.Stats.Unexpected++
+			d.unexp = append(d.unexp, unexpected{hdr: hdr})
+		}
+
+	case channel.PktCTS:
+		req := d.active[hdr.ReqA]
+		if req == nil || req.kind != reqSend {
+			return
+		}
+		data := channel.Header{
+			Type: channel.PktData, Source: int32(d.rank),
+			Tag: int32(req.tag), Context: req.ctx,
+			ReqA: req.id, ReqB: hdr.ReqB,
+		}
+		err := d.ch.Send(req.peer, data, req.buf.Bytes())
+		delete(d.active, req.id)
+		req.err = err
+		req.state = stComplete
+		d.Stats.BytesSent += uint64(req.buf.Len())
+
+	case channel.PktData:
+		d.Stats.DataRecvd++
+		if d.curReq != nil {
+			req := d.curReq
+			if d.curUnexp {
+				// Truncated rendezvous: copy what fits from scratch.
+				n := req.buf.Len()
+				copy(req.buf.Bytes(), d.tmp[:n])
+				if req.err == nil {
+					req.err = ErrTruncate
+				}
+				req.status.Count = n
+			}
+			req.state = stComplete
+			delete(d.active, req.id)
+			d.Stats.BytesRecvd += uint64(req.status.Count)
+		}
+
+	case channel.PktCtrl:
+		d.Stats.CtrlPackets++
+		d.ctrl = append(d.ctrl, hdr)
+	}
+	d.curReq, d.curUnexp = nil, false
+}

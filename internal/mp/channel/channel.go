@@ -1,0 +1,106 @@
+// Package channel implements the lowest layer of the message-passing
+// core: the MPICH2-style channel interface, "the simplest
+// functionality required to move a message from one address space to
+// another" (paper §6). Two production channels are provided — shm
+// (in-process shared-memory rings) and sock (TCP with a rendezvous
+// bootstrap) — plus a loop channel for single-rank worlds and tests.
+//
+// The channel moves packets: a fixed 40-byte header plus an opaque
+// payload. Delivery is pull-based and zero-copy on the receive side:
+// the device's Sink chooses the destination buffer for each payload
+// after seeing its header, so an expected message lands directly in
+// the user (or managed-heap) buffer.
+package channel
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// PacketType discriminates device-level packets (defined here so the
+// channel can be tested independently of the device).
+type PacketType uint8
+
+// Device packet types.
+const (
+	PktEager PacketType = iota + 1 // payload carries the whole message
+	PktRTS                         // rendezvous request-to-send (no payload)
+	PktCTS                         // rendezvous clear-to-send (no payload)
+	PktData                        // rendezvous payload
+	PktCtrl                        // device control (barrier fan-in etc.)
+)
+
+// HeaderSize is the wire size of a packet header.
+const HeaderSize = 40
+
+// Header describes one packet.
+type Header struct {
+	Type    PacketType
+	Source  int32  // sending rank (world numbering)
+	Tag     int32  // message tag
+	Context int32  // communicator context id
+	Size    uint32 // payload byte count
+	ReqA    uint64 // protocol correlation id (sender request)
+	ReqB    uint64 // protocol correlation id (receiver request)
+}
+
+// Marshal encodes the header into b (len >= HeaderSize).
+func (h *Header) Marshal(b []byte) {
+	b[0] = byte(h.Type)
+	b[1], b[2], b[3] = 0, 0, 0
+	binary.LittleEndian.PutUint32(b[4:], uint32(h.Source))
+	binary.LittleEndian.PutUint32(b[8:], uint32(h.Tag))
+	binary.LittleEndian.PutUint32(b[12:], uint32(h.Context))
+	binary.LittleEndian.PutUint32(b[16:], h.Size)
+	binary.LittleEndian.PutUint64(b[24:], h.ReqA)
+	binary.LittleEndian.PutUint64(b[32:], h.ReqB)
+}
+
+// Unmarshal decodes the header from b.
+func (h *Header) Unmarshal(b []byte) {
+	h.Type = PacketType(b[0])
+	h.Source = int32(binary.LittleEndian.Uint32(b[4:]))
+	h.Tag = int32(binary.LittleEndian.Uint32(b[8:]))
+	h.Context = int32(binary.LittleEndian.Uint32(b[12:]))
+	h.Size = binary.LittleEndian.Uint32(b[16:])
+	h.ReqA = binary.LittleEndian.Uint64(b[24:])
+	h.ReqB = binary.LittleEndian.Uint64(b[32:])
+}
+
+// String renders the header for diagnostics.
+func (h *Header) String() string {
+	return fmt.Sprintf("pkt{type=%d src=%d tag=%d ctx=%d size=%d}", h.Type, h.Source, h.Tag, h.Context, h.Size)
+}
+
+// Sink is the device-side receiver. For each incoming packet the
+// channel calls Deliver to obtain the destination buffer (exactly
+// Size bytes; nil for empty payloads), writes the payload into it,
+// and then calls Done.
+type Sink interface {
+	Deliver(hdr Header) []byte
+	Done(hdr Header)
+}
+
+// Channel moves packets between the ranks of one process group.
+// Implementations must preserve per-(source,destination) FIFO order —
+// the device's matching semantics depend on non-overtaking delivery.
+type Channel interface {
+	// Rank and Size describe this endpoint's place in the group.
+	Rank() int
+	Size() int
+	// Send transmits one packet to dest. It may buffer; it must not
+	// block indefinitely. The payload is consumed before return.
+	Send(dest int, hdr Header, payload []byte) error
+	// Poll delivers at most one pending incoming packet to the sink,
+	// reporting whether anything was delivered.
+	Poll(sink Sink) (bool, error)
+	// Close releases channel resources.
+	Close() error
+}
+
+// ErrClosed is returned by operations on a closed channel.
+var ErrClosed = errors.New("channel: closed")
+
+// ErrRank is returned for an out-of-range destination.
+var ErrRank = errors.New("channel: rank out of range")

@@ -1,0 +1,203 @@
+package channel
+
+import (
+	"sync"
+)
+
+// The shm channel: in-process "shared memory" transport. Each ordered
+// rank pair owns a mutex-protected frame ring, the software analogue
+// of MPICH2's shm channel queues. Payloads are copied into the ring
+// on send and out of the ring into the sink-designated buffer on
+// poll — the two-copy discipline of a real shared-memory channel.
+
+type shmFrame struct {
+	hdr     Header
+	payload []byte
+}
+
+// shmRing is a FIFO for one (sender, receiver) pair.
+type shmRing struct {
+	mu     sync.Mutex
+	frames []shmFrame
+	closed bool
+}
+
+func (r *shmRing) push(f shmFrame) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return ErrClosed
+	}
+	r.frames = append(r.frames, f)
+	return nil
+}
+
+func (r *shmRing) pop() (shmFrame, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.frames) == 0 {
+		return shmFrame{}, false
+	}
+	f := r.frames[0]
+	// Slide rather than re-slice forever so memory is reclaimed.
+	copy(r.frames, r.frames[1:])
+	r.frames = r.frames[:len(r.frames)-1]
+	return f, true
+}
+
+func (r *shmRing) close() {
+	r.mu.Lock()
+	r.closed = true
+	r.frames = nil
+	r.mu.Unlock()
+}
+
+// ShmFabric is the shared substrate connecting n in-process ranks.
+type ShmFabric struct {
+	mu    sync.Mutex
+	size  int
+	rings map[[2]int]*shmRing // [from,to]
+}
+
+// NewShmFabric creates the substrate for an n-rank world.
+func NewShmFabric(n int) *ShmFabric {
+	return &ShmFabric{size: n, rings: make(map[[2]int]*shmRing)}
+}
+
+// Size returns the current number of ranks in the fabric.
+func (f *ShmFabric) Size() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.size
+}
+
+// Grow adds n ranks to the fabric (dynamic process management) and
+// returns the first new rank id.
+func (f *ShmFabric) Grow(n int) int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	first := f.size
+	f.size += n
+	return first
+}
+
+func (f *ShmFabric) ring(from, to int) *shmRing {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	key := [2]int{from, to}
+	r, ok := f.rings[key]
+	if !ok {
+		r = &shmRing{}
+		f.rings[key] = r
+	}
+	return r
+}
+
+// Endpoint creates the channel for one rank of the fabric.
+func (f *ShmFabric) Endpoint(rank int) *ShmChannel {
+	return &ShmChannel{fabric: f, rank: rank}
+}
+
+// ShmChannel is one rank's view of a ShmFabric.
+type ShmChannel struct {
+	fabric *ShmFabric
+	rank   int
+	closed bool
+}
+
+var _ Channel = (*ShmChannel)(nil)
+
+// Rank implements Channel.
+func (c *ShmChannel) Rank() int { return c.rank }
+
+// Size implements Channel.
+func (c *ShmChannel) Size() int { return c.fabric.Size() }
+
+// Send implements Channel: copy the payload into the pair ring.
+func (c *ShmChannel) Send(dest int, hdr Header, payload []byte) error {
+	if c.closed {
+		return ErrClosed
+	}
+	if dest < 0 || dest >= c.fabric.Size() {
+		return ErrRank
+	}
+	hdr.Size = uint32(len(payload))
+	f := shmFrame{hdr: hdr}
+	if len(payload) > 0 {
+		f.payload = append([]byte(nil), payload...)
+	}
+	return c.fabric.ring(c.rank, dest).push(f)
+}
+
+// Poll implements Channel: round-robin over the incoming rings.
+func (c *ShmChannel) Poll(sink Sink) (bool, error) {
+	if c.closed {
+		return false, ErrClosed
+	}
+	n := c.fabric.Size()
+	for from := 0; from < n; from++ {
+		if from == c.rank {
+			continue
+		}
+		ring := c.fabric.ring(from, c.rank)
+		if f, ok := ring.pop(); ok {
+			dst := sink.Deliver(f.hdr)
+			if len(f.payload) > 0 && dst != nil {
+				copy(dst, f.payload)
+			}
+			sink.Done(f.hdr)
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// Close implements Channel.
+func (c *ShmChannel) Close() error {
+	c.closed = true
+	return nil
+}
+
+// LoopChannel is a single-rank channel (self-sends only); useful for
+// one-rank worlds and unit tests of the device layer.
+type LoopChannel struct {
+	ring shmRing
+}
+
+var _ Channel = (*LoopChannel)(nil)
+
+// Rank implements Channel.
+func (c *LoopChannel) Rank() int { return 0 }
+
+// Size implements Channel.
+func (c *LoopChannel) Size() int { return 1 }
+
+// Send implements Channel.
+func (c *LoopChannel) Send(dest int, hdr Header, payload []byte) error {
+	if dest != 0 {
+		return ErrRank
+	}
+	hdr.Size = uint32(len(payload))
+	f := shmFrame{hdr: hdr}
+	if len(payload) > 0 {
+		f.payload = append([]byte(nil), payload...)
+	}
+	return c.ring.push(f)
+}
+
+// Poll implements Channel.
+func (c *LoopChannel) Poll(sink Sink) (bool, error) {
+	f, ok := c.ring.pop()
+	if !ok {
+		return false, nil
+	}
+	dst := sink.Deliver(f.hdr)
+	if len(f.payload) > 0 && dst != nil {
+		copy(dst, f.payload)
+	}
+	sink.Done(f.hdr)
+	return true, nil
+}
+
+// Close implements Channel.
+func (c *LoopChannel) Close() error { return nil }

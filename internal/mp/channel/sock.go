@@ -1,0 +1,392 @@
+package channel
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"strings"
+	"time"
+
+	"motor/internal/pal"
+)
+
+// The sock channel: TCP transport with a rendezvous bootstrap, the
+// analogue of MPICH2's sock channel (the configuration the paper's
+// evaluation ran on, §6/§8). One connection per rank pair gives the
+// per-pair FIFO ordering the device requires.
+//
+// Receive-side invariant: a packet's payload is consumed entirely
+// within the Poll call that saw its header, because the destination
+// buffer handed out by the Sink may be a range of a managed heap that
+// is only guaranteed stable while the managed thread sits inside this
+// call. Only header bytes are buffered across polls.
+
+const (
+	dialTimeout = 10 * time.Second
+	bodyTimeout = 30 * time.Second
+	// pollWindow is the header-read deadline of one Poll pass. A
+	// blocked read wakes as soon as bytes arrive, so this bounds the
+	// idle cost of a pass, not delivery latency.
+	pollWindow = 100 * time.Microsecond
+)
+
+type sockConn struct {
+	c      net.Conn
+	hdrBuf [HeaderSize]byte
+	hdrGot int
+}
+
+// SockChannel is one rank's endpoint of a TCP-connected world.
+type SockChannel struct {
+	rank  int
+	size  int
+	conns []*sockConn // indexed by peer rank; nil at self
+	next  int         // round-robin poll cursor
+}
+
+var _ Channel = (*SockChannel)(nil)
+
+// Rank implements Channel.
+func (c *SockChannel) Rank() int { return c.rank }
+
+// Size implements Channel.
+func (c *SockChannel) Size() int { return c.size }
+
+// Send implements Channel: write header and payload on the pair
+// connection.
+func (c *SockChannel) Send(dest int, hdr Header, payload []byte) error {
+	if dest < 0 || dest >= c.size {
+		return ErrRank
+	}
+	if dest == c.rank {
+		return errors.New("sock: self-send not supported (use shm or loop)")
+	}
+	sc := c.conns[dest]
+	if sc == nil {
+		return ErrClosed
+	}
+	hdr.Size = uint32(len(payload))
+	var hb [HeaderSize]byte
+	hdr.Marshal(hb[:])
+	if err := sc.c.SetWriteDeadline(time.Now().Add(bodyTimeout)); err != nil {
+		return err
+	}
+	if _, err := sc.c.Write(hb[:]); err != nil {
+		return fmt.Errorf("sock: send header to %d: %w", dest, err)
+	}
+	if len(payload) > 0 {
+		if _, err := sc.c.Write(payload); err != nil {
+			return fmt.Errorf("sock: send payload to %d: %w", dest, err)
+		}
+	}
+	return nil
+}
+
+// Poll implements Channel: non-blocking header reads round-robin over
+// peers; when a header completes, the payload is drained into the
+// sink's buffer before returning.
+func (c *SockChannel) Poll(sink Sink) (bool, error) {
+	n := len(c.conns)
+	for i := 0; i < n; i++ {
+		peer := (c.next + i) % n
+		sc := c.conns[peer]
+		if sc == nil {
+			continue
+		}
+		progressed, err := c.pollConn(sc, sink)
+		if err != nil {
+			return false, err
+		}
+		if progressed {
+			c.next = (peer + 1) % n
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+func (c *SockChannel) pollConn(sc *sockConn, sink Sink) (bool, error) {
+	// Short-deadline read: wakes immediately when data arrives and
+	// abandons the pass after pollWindow otherwise. (A deadline in
+	// the past would fail without ever attempting the read.)
+	if err := sc.c.SetReadDeadline(time.Now().Add(pollWindow)); err != nil {
+		return false, err
+	}
+	n, err := sc.c.Read(sc.hdrBuf[sc.hdrGot:])
+	sc.hdrGot += n
+	if err != nil {
+		var ne net.Error
+		if errors.As(err, &ne) && ne.Timeout() {
+			if sc.hdrGot < HeaderSize {
+				return false, nil
+			}
+		} else if err == io.EOF {
+			if sc.hdrGot == 0 {
+				// Graceful shutdown between packets: the peer has
+				// finished its communication and closed. Retire the
+				// connection; traffic already delivered is unaffected
+				// and other peers keep progressing.
+				sc.c.Close()
+				c.retire(sc)
+				return false, nil
+			}
+			return false, fmt.Errorf("sock: peer closed mid-packet: %w", err)
+		} else {
+			return false, err
+		}
+	}
+	if sc.hdrGot < HeaderSize {
+		return false, nil
+	}
+	// Header complete: finish any remainder synchronously.
+	var hdr Header
+	hdr.Unmarshal(sc.hdrBuf[:])
+	sc.hdrGot = 0
+	dst := sink.Deliver(hdr)
+	if hdr.Size > 0 {
+		if err := sc.c.SetReadDeadline(time.Now().Add(bodyTimeout)); err != nil {
+			return false, err
+		}
+		if dst != nil {
+			if uint32(len(dst)) < hdr.Size {
+				return false, fmt.Errorf("sock: sink buffer %d smaller than payload %d", len(dst), hdr.Size)
+			}
+			if _, err := io.ReadFull(sc.c, dst[:hdr.Size]); err != nil {
+				return false, fmt.Errorf("sock: payload read: %w", err)
+			}
+		} else {
+			if _, err := io.CopyN(io.Discard, sc.c, int64(hdr.Size)); err != nil {
+				return false, fmt.Errorf("sock: payload discard: %w", err)
+			}
+		}
+	}
+	sink.Done(hdr)
+	return true, nil
+}
+
+// retire drops a gracefully-closed peer connection from the poll set.
+func (c *SockChannel) retire(sc *sockConn) {
+	for i, cur := range c.conns {
+		if cur == sc {
+			c.conns[i] = nil
+			return
+		}
+	}
+}
+
+// Close implements Channel.
+func (c *SockChannel) Close() error {
+	var first error
+	for _, sc := range c.conns {
+		if sc != nil {
+			if err := sc.c.Close(); err != nil && first == nil {
+				first = err
+			}
+		}
+	}
+	return first
+}
+
+// --- bootstrap -------------------------------------------------------------
+
+// ServeRoot runs the rendezvous service for an n-rank world on ln:
+// it collects one registration line ("rank addr") from every rank and
+// answers each with the full address table. It returns after serving
+// all ranks.
+func ServeRoot(ln net.Listener, n int) error {
+	addrs := make([]string, n)
+	conns := make([]net.Conn, 0, n)
+	seen := 0
+	for seen < n {
+		conn, err := ln.Accept()
+		if err != nil {
+			return fmt.Errorf("sock bootstrap: accept: %w", err)
+		}
+		line, err := bufio.NewReader(conn).ReadString('\n')
+		if err != nil {
+			conn.Close()
+			return fmt.Errorf("sock bootstrap: registration read: %w", err)
+		}
+		var rank int
+		var addr string
+		if _, err := fmt.Sscanf(strings.TrimSpace(line), "%d %s", &rank, &addr); err != nil {
+			conn.Close()
+			return fmt.Errorf("sock bootstrap: bad registration %q: %w", line, err)
+		}
+		if rank < 0 || rank >= n || addrs[rank] != "" {
+			conn.Close()
+			return fmt.Errorf("sock bootstrap: bad or duplicate rank %d", rank)
+		}
+		addrs[rank] = addr
+		conns = append(conns, conn)
+		seen++
+	}
+	table := strings.Join(addrs, " ") + "\n"
+	for _, conn := range conns {
+		if _, err := io.WriteString(conn, table); err != nil {
+			return fmt.Errorf("sock bootstrap: table write: %w", err)
+		}
+		conn.Close()
+	}
+	return nil
+}
+
+// Bootstrap joins an n-rank sock world through the rendezvous service
+// at rootAddr and establishes the full connection mesh. Every rank of
+// the world must call Bootstrap concurrently (rank 0 does not host
+// the service; see ServeRoot and NewSockGroupLocal).
+func Bootstrap(plat pal.Platform, rootAddr string, rank, size int) (*SockChannel, error) {
+	if plat == nil {
+		plat = pal.Default
+	}
+	if size == 1 {
+		return &SockChannel{rank: 0, size: 1, conns: make([]*sockConn, 1)}, nil
+	}
+	ln, err := plat.Listen("")
+	if err != nil {
+		return nil, fmt.Errorf("sock bootstrap: listen: %w", err)
+	}
+	defer ln.Close()
+
+	// Register with the rendezvous service and obtain the table.
+	rc, err := plat.Dial(rootAddr, dialTimeout)
+	if err != nil {
+		return nil, fmt.Errorf("sock bootstrap: dial root: %w", err)
+	}
+	if _, err := fmt.Fprintf(rc, "%d %s\n", rank, ln.Addr().String()); err != nil {
+		rc.Close()
+		return nil, fmt.Errorf("sock bootstrap: register: %w", err)
+	}
+	tableLine, err := bufio.NewReader(rc).ReadString('\n')
+	rc.Close()
+	if err != nil {
+		return nil, fmt.Errorf("sock bootstrap: table read: %w", err)
+	}
+	addrs := strings.Fields(tableLine)
+	if len(addrs) != size {
+		return nil, fmt.Errorf("sock bootstrap: table has %d entries, want %d", len(addrs), size)
+	}
+
+	ch := &SockChannel{rank: rank, size: size, conns: make([]*sockConn, size)}
+
+	// Mesh: dial every lower rank, accept from every higher rank.
+	errc := make(chan error, 2)
+	go func() {
+		for j := 0; j < rank; j++ {
+			conn, err := plat.Dial(addrs[j], dialTimeout)
+			if err != nil {
+				errc <- fmt.Errorf("sock bootstrap: dial rank %d: %w", j, err)
+				return
+			}
+			var id [4]byte
+			binary.LittleEndian.PutUint32(id[:], uint32(rank))
+			if _, err := conn.Write(id[:]); err != nil {
+				errc <- fmt.Errorf("sock bootstrap: identify to %d: %w", j, err)
+				return
+			}
+			ch.conns[j] = &sockConn{c: conn}
+		}
+		errc <- nil
+	}()
+	go func() {
+		for j := rank + 1; j < size; j++ {
+			conn, err := ln.Accept()
+			if err != nil {
+				errc <- fmt.Errorf("sock bootstrap: accept mesh: %w", err)
+				return
+			}
+			var id [4]byte
+			if _, err := io.ReadFull(conn, id[:]); err != nil {
+				errc <- fmt.Errorf("sock bootstrap: mesh identify: %w", err)
+				return
+			}
+			peer := int(binary.LittleEndian.Uint32(id[:]))
+			if peer <= rank || peer >= size || ch.conns[peer] != nil {
+				errc <- fmt.Errorf("sock bootstrap: bad mesh peer %d", peer)
+				return
+			}
+			ch.conns[peer] = &sockConn{c: conn}
+		}
+		errc <- nil
+	}()
+	for i := 0; i < 2; i++ {
+		if err := <-errc; err != nil {
+			ch.Close()
+			return nil, err
+		}
+	}
+	// Disable Nagle where available: the ping-pong pattern is
+	// latency-bound.
+	for _, sc := range ch.conns {
+		if sc != nil {
+			if tc, ok := sc.c.(*net.TCPConn); ok {
+				tc.SetNoDelay(true)
+			}
+		}
+	}
+	return ch, nil
+}
+
+// NewSockGroupLocal builds an n-rank sock world entirely within this
+// process over loopback TCP — the single-node configuration of the
+// paper's evaluation. It hosts the rendezvous service on an ephemeral
+// port and bootstraps every rank concurrently.
+func NewSockGroupLocal(plat pal.Platform, n int) ([]*SockChannel, error) {
+	if plat == nil {
+		plat = pal.Default
+	}
+	if n < 1 {
+		return nil, fmt.Errorf("sock: bad group size %d", n)
+	}
+	if n == 1 {
+		ch, err := Bootstrap(plat, "", 0, 1)
+		if err != nil {
+			return nil, err
+		}
+		return []*SockChannel{ch}, nil
+	}
+	root, err := plat.Listen("")
+	if err != nil {
+		return nil, err
+	}
+	defer root.Close()
+	rootErr := make(chan error, 1)
+	go func() { rootErr <- ServeRoot(root, n) }()
+
+	type res struct {
+		rank int
+		ch   *SockChannel
+		err  error
+	}
+	results := make(chan res, n)
+	for r := 0; r < n; r++ {
+		go func(rank int) {
+			ch, err := Bootstrap(plat, root.Addr().String(), rank, n)
+			results <- res{rank, ch, err}
+		}(r)
+	}
+	chans := make([]*SockChannel, n)
+	var firstErr error
+	for i := 0; i < n; i++ {
+		r := <-results
+		if r.err != nil && firstErr == nil {
+			firstErr = r.err
+		}
+		chans[r.rank] = r.ch
+	}
+	if err := <-rootErr; err != nil && firstErr == nil {
+		firstErr = err
+	}
+	if firstErr != nil {
+		for _, ch := range chans {
+			if ch != nil {
+				ch.Close()
+			}
+		}
+		return nil, firstErr
+	}
+	return chans, nil
+}

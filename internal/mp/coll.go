@@ -1,0 +1,390 @@
+package mp
+
+import (
+	"fmt"
+
+	"motor/internal/mp/adi"
+)
+
+// Collective operations. All collectives run over the communicator's
+// dedicated collective context, so they can never match application
+// point-to-point traffic; per-operation tag bases keep successive
+// collectives from cross-matching when ranks race ahead.
+//
+// Algorithms follow the classic MPICH choices: dissemination barrier,
+// binomial-tree broadcast and reduce, linear scatter/gather from the
+// root, and gather+broadcast allgather.
+
+const (
+	ctagBarrier  = 1 << 20
+	ctagBcast    = 2 << 20
+	ctagScatter  = 3 << 20
+	ctagGather   = 4 << 20
+	ctagReduce   = 5 << 20
+	ctagGatherv  = 6 << 20
+	ctagSizes    = 7 << 20
+	ctagAlltoall = 8 << 20
+)
+
+// csend / crecv are blocking transfers on the collective context.
+func (c *Comm) csend(buf []byte, dest, tag int) error {
+	req, err := c.dev.Isend(adi.SliceBuf(buf), c.ranks[dest], tag, c.cctx, false)
+	if err != nil {
+		return err
+	}
+	_, err = c.dev.WaitReq(req)
+	return err
+}
+
+func (c *Comm) crecv(buf []byte, source, tag int) (adi.Status, error) {
+	req, err := c.dev.Irecv(adi.SliceBuf(buf), c.ranks[source], tag, c.cctx)
+	if err != nil {
+		return adi.Status{}, err
+	}
+	return c.dev.WaitReq(req)
+}
+
+// Barrier blocks until every member has entered it (dissemination
+// algorithm: log2(n) rounds of token exchange).
+func (c *Comm) Barrier() error {
+	n := c.Size()
+	if n == 1 {
+		return nil
+	}
+	r := c.myRank
+	round := 0
+	for k := 1; k < n; k <<= 1 {
+		to := (r + k) % n
+		from := (r - k + n) % n
+		tag := ctagBarrier + round
+		if err := c.csend(nil, to, tag); err != nil {
+			return fmt.Errorf("mp: barrier send: %w", err)
+		}
+		if _, err := c.crecv(nil, from, tag); err != nil {
+			return fmt.Errorf("mp: barrier recv: %w", err)
+		}
+		round++
+	}
+	return nil
+}
+
+// Bcast broadcasts root's buf to every member (binomial tree). All
+// members must pass equal-length buffers.
+func (c *Comm) Bcast(buf []byte, root int) error {
+	n := c.Size()
+	if err := c.checkDest(root); err != nil {
+		return err
+	}
+	if n == 1 {
+		return nil
+	}
+	rel := (c.myRank - root + n) % n
+	// Receive from the parent (ranks other than root).
+	mask := 1
+	for mask < n {
+		if rel&mask != 0 {
+			src := (rel - mask + root + n) % n
+			if _, err := c.crecv(buf, src, ctagBcast+mask); err != nil {
+				return fmt.Errorf("mp: bcast recv: %w", err)
+			}
+			break
+		}
+		mask <<= 1
+	}
+	// Forward to children.
+	mask >>= 1
+	for mask > 0 {
+		if rel+mask < n && rel&(mask-1) == 0 && rel&mask == 0 {
+			dst := (rel + mask + root) % n
+			if err := c.csend(buf, dst, ctagBcast+mask); err != nil {
+				return fmt.Errorf("mp: bcast send: %w", err)
+			}
+		}
+		mask >>= 1
+	}
+	return nil
+}
+
+// Scatter distributes equal chunks of root's sendbuf: rank i receives
+// sendbuf[i*len(recvbuf) : (i+1)*len(recvbuf)]. sendbuf is ignored on
+// non-roots.
+func (c *Comm) Scatter(sendbuf, recvbuf []byte, root int) error {
+	n := c.Size()
+	if err := c.checkDest(root); err != nil {
+		return err
+	}
+	chunk := len(recvbuf)
+	if c.myRank == root {
+		if len(sendbuf) != chunk*n {
+			return fmt.Errorf("%w: scatter sendbuf %d bytes for %d chunks of %d", errInvalid, len(sendbuf), n, chunk)
+		}
+		var reqs []*adi.Request
+		for r := 0; r < n; r++ {
+			part := sendbuf[r*chunk : (r+1)*chunk]
+			if r == root {
+				copy(recvbuf, part)
+				continue
+			}
+			req, err := c.dev.Isend(adi.SliceBuf(part), c.ranks[r], ctagScatter, c.cctx, false)
+			if err != nil {
+				return err
+			}
+			reqs = append(reqs, req)
+		}
+		for _, req := range reqs {
+			if _, err := c.dev.WaitReq(req); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	_, err := c.crecv(recvbuf, root, ctagScatter)
+	return err
+}
+
+// Gather collects equal chunks into root's recvbuf: rank i's sendbuf
+// lands at recvbuf[i*len(sendbuf) : ...]. recvbuf is ignored on
+// non-roots.
+func (c *Comm) Gather(sendbuf, recvbuf []byte, root int) error {
+	n := c.Size()
+	if err := c.checkDest(root); err != nil {
+		return err
+	}
+	chunk := len(sendbuf)
+	if c.myRank != root {
+		return c.csend(sendbuf, root, ctagGather)
+	}
+	if len(recvbuf) != chunk*n {
+		return fmt.Errorf("%w: gather recvbuf %d bytes for %d chunks of %d", errInvalid, len(recvbuf), n, chunk)
+	}
+	copy(recvbuf[root*chunk:], sendbuf)
+	// Post all receives, then progress them to completion.
+	reqs := make([]*adi.Request, 0, n-1)
+	for r := 0; r < n; r++ {
+		if r == root {
+			continue
+		}
+		req, err := c.dev.Irecv(adi.SliceBuf(recvbuf[r*chunk:(r+1)*chunk]), c.ranks[r], ctagGather, c.cctx)
+		if err != nil {
+			return err
+		}
+		reqs = append(reqs, req)
+	}
+	for _, req := range reqs {
+		if _, err := c.dev.WaitReq(req); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Allgather gathers every member's equal-size chunk to all members.
+// recvbuf must hold Size()*len(sendbuf) bytes.
+func (c *Comm) Allgather(sendbuf, recvbuf []byte) error {
+	if err := c.Gather(sendbuf, recvbuf, 0); err != nil {
+		return err
+	}
+	return c.Bcast(recvbuf, 0)
+}
+
+// Scatterv distributes variable-size parts from the root: parts[i]
+// goes to rank i (parts is ignored on non-roots). Each member gets
+// its own part back as a fresh slice. This is the primitive the Motor
+// object-oriented scatter is built on — the custom serializer's split
+// representation yields exactly such parts (paper §7.5).
+func (c *Comm) Scatterv(parts [][]byte, root int) ([]byte, error) {
+	n := c.Size()
+	if err := c.checkDest(root); err != nil {
+		return nil, err
+	}
+	if c.myRank == root {
+		if len(parts) != n {
+			return nil, fmt.Errorf("%w: scatterv %d parts for %d ranks", errInvalid, len(parts), n)
+		}
+		// Announce sizes, then ship parts.
+		sizes := make([]byte, 4*n)
+		for i, p := range parts {
+			putI32(sizes, 4*i, int32(len(p)))
+		}
+		mySize := make([]byte, 4)
+		if err := c.Scatter(sizes, mySize, root); err != nil {
+			return nil, err
+		}
+		var reqs []*adi.Request
+		for r := 0; r < n; r++ {
+			if r == root {
+				continue
+			}
+			req, err := c.dev.Isend(adi.SliceBuf(parts[r]), c.ranks[r], ctagScatter+1, c.cctx, false)
+			if err != nil {
+				return nil, err
+			}
+			reqs = append(reqs, req)
+		}
+		for _, req := range reqs {
+			if _, err := c.dev.WaitReq(req); err != nil {
+				return nil, err
+			}
+		}
+		out := make([]byte, len(parts[root]))
+		copy(out, parts[root])
+		return out, nil
+	}
+	mySize := make([]byte, 4)
+	if err := c.Scatter(nil, mySize, root); err != nil {
+		return nil, err
+	}
+	out := make([]byte, getI32(mySize, 0))
+	if _, err := c.crecv(out, root, ctagScatter+1); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Gatherv collects variable-size parts at the root: the returned
+// slice has one entry per rank at the root, nil elsewhere.
+func (c *Comm) Gatherv(part []byte, root int) ([][]byte, error) {
+	n := c.Size()
+	if err := c.checkDest(root); err != nil {
+		return nil, err
+	}
+	// Gather sizes first.
+	mine := make([]byte, 4)
+	putI32(mine, 0, int32(len(part)))
+	var sizes []byte
+	if c.myRank == root {
+		sizes = make([]byte, 4*n)
+	}
+	if err := c.Gather(mine, sizes, root); err != nil {
+		return nil, err
+	}
+	if c.myRank != root {
+		return nil, c.csend(part, root, ctagGatherv)
+	}
+	out := make([][]byte, n)
+	reqs := make([]*adi.Request, n)
+	for r := 0; r < n; r++ {
+		size := int(getI32(sizes, 4*r))
+		out[r] = make([]byte, size)
+		if r == root {
+			copy(out[r], part)
+			continue
+		}
+		req, err := c.dev.Irecv(adi.SliceBuf(out[r]), c.ranks[r], ctagGatherv, c.cctx)
+		if err != nil {
+			return nil, err
+		}
+		reqs[r] = req
+	}
+	for _, req := range reqs {
+		if req == nil {
+			continue
+		}
+		if _, err := c.dev.WaitReq(req); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// Alltoall exchanges equal chunks between every pair: rank j receives
+// sendbuf[j*chunk:(j+1)*chunk] from every rank i at
+// recvbuf[i*chunk:(i+1)*chunk]. Implemented as a full pairwise
+// exchange with combined send/receive per peer (deadlock-free).
+func (c *Comm) Alltoall(sendbuf, recvbuf []byte) error {
+	n := c.Size()
+	if len(sendbuf)%n != 0 || len(recvbuf) != len(sendbuf) {
+		return fmt.Errorf("%w: alltoall buffers %d/%d bytes for %d ranks", errInvalid, len(sendbuf), len(recvbuf), n)
+	}
+	chunk := len(sendbuf) / n
+	me := c.myRank
+	copy(recvbuf[me*chunk:(me+1)*chunk], sendbuf[me*chunk:(me+1)*chunk])
+	// Post all receives, then all sends, then progress everything:
+	// nonblocking on both sides avoids ordering deadlocks.
+	reqs := make([]*adi.Request, 0, 2*(n-1))
+	for peer := 0; peer < n; peer++ {
+		if peer == me {
+			continue
+		}
+		rr, err := c.dev.Irecv(adi.SliceBuf(recvbuf[peer*chunk:(peer+1)*chunk]), c.ranks[peer], ctagAlltoall, c.cctx)
+		if err != nil {
+			return err
+		}
+		reqs = append(reqs, rr)
+	}
+	for peer := 0; peer < n; peer++ {
+		if peer == me {
+			continue
+		}
+		sr, err := c.dev.Isend(adi.SliceBuf(sendbuf[peer*chunk:(peer+1)*chunk]), c.ranks[peer], ctagAlltoall, c.cctx, false)
+		if err != nil {
+			return err
+		}
+		reqs = append(reqs, sr)
+	}
+	for _, req := range reqs {
+		if _, err := c.dev.WaitReq(req); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Reduce combines every member's sendbuf with op into root's recvbuf
+// (binomial fan-in). recvbuf is ignored on non-roots.
+func (c *Comm) Reduce(sendbuf, recvbuf []byte, dt Datatype, op Op, root int) error {
+	n := c.Size()
+	if err := c.checkDest(root); err != nil {
+		return err
+	}
+	acc := make([]byte, len(sendbuf))
+	copy(acc, sendbuf)
+	tmp := make([]byte, len(sendbuf))
+	rel := (c.myRank - root + n) % n
+	mask := 1
+	for mask < n {
+		if rel&mask != 0 {
+			parent := (rel - mask + root + n) % n
+			if err := c.csend(acc, parent, ctagReduce+mask); err != nil {
+				return fmt.Errorf("mp: reduce send: %w", err)
+			}
+			break
+		}
+		if rel+mask < n {
+			child := (rel + mask + root) % n
+			if _, err := c.crecv(tmp, child, ctagReduce+mask); err != nil {
+				return fmt.Errorf("mp: reduce recv: %w", err)
+			}
+			if err := reduceInto(op, dt, acc, tmp); err != nil {
+				return err
+			}
+		}
+		mask <<= 1
+	}
+	if c.myRank == root {
+		if len(recvbuf) != len(sendbuf) {
+			return fmt.Errorf("%w: reduce recvbuf %d != sendbuf %d", errInvalid, len(recvbuf), len(sendbuf))
+		}
+		copy(recvbuf, acc)
+	}
+	return nil
+}
+
+// Allreduce combines every member's sendbuf into every member's
+// recvbuf (reduce to rank 0, then broadcast).
+func (c *Comm) Allreduce(sendbuf, recvbuf []byte, dt Datatype, op Op) error {
+	if len(recvbuf) != len(sendbuf) {
+		return fmt.Errorf("%w: allreduce recvbuf %d != sendbuf %d", errInvalid, len(recvbuf), len(sendbuf))
+	}
+	if c.myRank != 0 {
+		// Non-roots pass recvbuf as scratch so Reduce's signature works.
+		if err := c.Reduce(sendbuf, nil, dt, op, 0); err != nil {
+			return err
+		}
+	} else {
+		if err := c.Reduce(sendbuf, recvbuf, dt, op, 0); err != nil {
+			return err
+		}
+	}
+	return c.Bcast(recvbuf, 0)
+}

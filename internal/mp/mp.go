@@ -1,0 +1,365 @@
+// Package mp is the MPI layer of the Motor message-passing core: the
+// platform- and interconnect-generic API over the ADI device (paper
+// §6). It provides communicators with rank translation and context
+// isolation, blocking / synchronous / immediate point-to-point
+// operations, probes, and the collective operations of coll.go.
+//
+// Buffers at this layer are plain byte slices (or adi.Buffer for the
+// Motor core's managed-heap ranges); datatype interpretation only
+// matters to reduction operations (op.go).
+package mp
+
+import (
+	"errors"
+	"fmt"
+
+	"motor/internal/mp/adi"
+)
+
+// Wildcards, re-exported from the device layer.
+const (
+	AnySource = adi.AnySource
+	AnyTag    = adi.AnyTag
+)
+
+// MaxUserTag is the largest tag application code may use; larger
+// values (and negative ones) are reserved for collectives.
+const MaxUserTag = 1 << 28
+
+// Status describes a completed receive in communicator rank terms.
+type Status struct {
+	Source int
+	Tag    int
+	Count  int
+}
+
+// Request is a pending immediate operation on a communicator.
+type Request struct {
+	inner *adi.Request
+	comm  *Comm
+}
+
+// Done reports whether the operation has completed (without driving
+// progress; use Test to poll).
+func (r *Request) Done() bool { return r.inner.Done() }
+
+// Comm is a communicator: an isolated context over an ordered group
+// of world ranks.
+type Comm struct {
+	dev    *adi.Device
+	ctx    int32 // point-to-point context id
+	cctx   int32 // collective context id (ctx+1)
+	ranks  []int // communicator rank -> world rank
+	myRank int   // my rank within this communicator
+
+	// nextCtx allocates child context ids. Communicator construction
+	// is collective and SPMD-deterministic, so all members compute
+	// identical ids.
+	nextCtx int32
+}
+
+// errInvalid flags API misuse.
+var errInvalid = errors.New("mp: invalid argument")
+
+func newComm(dev *adi.Device, ctx int32, ranks []int, myWorldRank int) *Comm {
+	c := &Comm{dev: dev, ctx: ctx, cctx: ctx + 1, ranks: ranks, myRank: -1, nextCtx: ctx + 2}
+	for i, wr := range ranks {
+		if wr == myWorldRank {
+			c.myRank = i
+		}
+	}
+	return c
+}
+
+// Rank returns the calling process's rank in this communicator.
+func (c *Comm) Rank() int { return c.myRank }
+
+// Size returns the number of ranks in this communicator.
+func (c *Comm) Size() int { return len(c.ranks) }
+
+// WorldRank translates a communicator rank to a world rank.
+func (c *Comm) WorldRank(rank int) int { return c.ranks[rank] }
+
+// Device exposes the underlying progress engine.
+func (c *Comm) Device() *adi.Device { return c.dev }
+
+// commRankOf translates a world rank back to this communicator's
+// numbering (-1 when the world rank is not a member).
+func (c *Comm) commRankOf(world int) int {
+	for i, wr := range c.ranks {
+		if wr == world {
+			return i
+		}
+	}
+	return -1
+}
+
+func (c *Comm) checkDest(rank int) error {
+	if rank < 0 || rank >= len(c.ranks) {
+		return fmt.Errorf("%w: rank %d of %d", errInvalid, rank, len(c.ranks))
+	}
+	return nil
+}
+
+func (c *Comm) checkTag(tag int) error {
+	if tag < 0 || tag > MaxUserTag {
+		return fmt.Errorf("%w: tag %d", errInvalid, tag)
+	}
+	return nil
+}
+
+func (c *Comm) status(s adi.Status) Status {
+	return Status{Source: c.commRankOf(s.Source), Tag: s.Tag, Count: s.Count}
+}
+
+// --- point-to-point ----------------------------------------------------------
+
+// IsendBuffer starts an immediate send of an abstract buffer. This is
+// the entry point the Motor core uses with managed-heap ranges; plain
+// code should prefer Isend.
+func (c *Comm) IsendBuffer(buf adi.Buffer, dest, tag int, sync bool) (*Request, error) {
+	if err := c.checkDest(dest); err != nil {
+		return nil, err
+	}
+	if err := c.checkTag(tag); err != nil {
+		return nil, err
+	}
+	req, err := c.dev.Isend(buf, c.ranks[dest], tag, c.ctx, sync)
+	if err != nil {
+		return nil, err
+	}
+	return &Request{inner: req, comm: c}, nil
+}
+
+// IrecvBuffer starts an immediate receive into an abstract buffer.
+func (c *Comm) IrecvBuffer(buf adi.Buffer, source, tag int) (*Request, error) {
+	worldSrc := adi.AnySource
+	if source != AnySource {
+		if err := c.checkDest(source); err != nil {
+			return nil, err
+		}
+		worldSrc = c.ranks[source]
+	}
+	if tag != AnyTag {
+		if err := c.checkTag(tag); err != nil {
+			return nil, err
+		}
+	}
+	req, err := c.dev.Irecv(buf, worldSrc, tag, c.ctx)
+	if err != nil {
+		return nil, err
+	}
+	return &Request{inner: req, comm: c}, nil
+}
+
+// Isend starts an immediate standard-mode send.
+func (c *Comm) Isend(buf []byte, dest, tag int) (*Request, error) {
+	return c.IsendBuffer(adi.SliceBuf(buf), dest, tag, false)
+}
+
+// Issend starts an immediate synchronous-mode send: it completes only
+// after the receiver has matched the message.
+func (c *Comm) Issend(buf []byte, dest, tag int) (*Request, error) {
+	return c.IsendBuffer(adi.SliceBuf(buf), dest, tag, true)
+}
+
+// Irecv starts an immediate receive.
+func (c *Comm) Irecv(buf []byte, source, tag int) (*Request, error) {
+	return c.IrecvBuffer(adi.SliceBuf(buf), source, tag)
+}
+
+// Send performs a blocking standard-mode send.
+func (c *Comm) Send(buf []byte, dest, tag int) error {
+	req, err := c.Isend(buf, dest, tag)
+	if err != nil {
+		return err
+	}
+	_, err = c.Wait(req)
+	return err
+}
+
+// Ssend performs a blocking synchronous-mode send.
+func (c *Comm) Ssend(buf []byte, dest, tag int) error {
+	req, err := c.Issend(buf, dest, tag)
+	if err != nil {
+		return err
+	}
+	_, err = c.Wait(req)
+	return err
+}
+
+// Recv performs a blocking receive.
+func (c *Comm) Recv(buf []byte, source, tag int) (Status, error) {
+	req, err := c.Irecv(buf, source, tag)
+	if err != nil {
+		return Status{}, err
+	}
+	return c.Wait(req)
+}
+
+// Wait blocks (polling-wait) until the request completes.
+func (c *Comm) Wait(req *Request) (Status, error) {
+	s, err := c.dev.WaitReq(req.inner)
+	return c.status(s), err
+}
+
+// Test makes one progress pass and reports completion.
+func (c *Comm) Test(req *Request) (bool, Status, error) {
+	done, s, err := c.dev.TestReq(req.inner)
+	if !done {
+		return false, Status{}, err
+	}
+	return true, c.status(s), err
+}
+
+// WaitAll waits for every request, returning the first error.
+func (c *Comm) WaitAll(reqs ...*Request) error {
+	var first error
+	for _, r := range reqs {
+		if r == nil {
+			continue
+		}
+		if _, err := c.Wait(r); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Iprobe reports whether a matching message is available.
+func (c *Comm) Iprobe(source, tag int) (bool, Status, error) {
+	worldSrc := adi.AnySource
+	if source != AnySource {
+		if err := c.checkDest(source); err != nil {
+			return false, Status{}, err
+		}
+		worldSrc = c.ranks[source]
+	}
+	ok, s, err := c.dev.Iprobe(worldSrc, tag, c.ctx)
+	if !ok {
+		return false, Status{}, err
+	}
+	return true, c.status(s), err
+}
+
+// Probe blocks until a matching message is available.
+func (c *Comm) Probe(source, tag int) (Status, error) {
+	for {
+		ok, s, err := c.Iprobe(source, tag)
+		if err != nil {
+			return Status{}, err
+		}
+		if ok {
+			return s, nil
+		}
+		c.dev.Idle()
+	}
+}
+
+// --- communicator management ---------------------------------------------------
+
+// allocCtxPair reserves a (pt2pt, collective) context id pair. All
+// members execute the same communicator-construction sequence, so the
+// ids agree without communication (as in classic MPICH).
+func (c *Comm) allocCtxPair(n int32) int32 {
+	id := c.nextCtx
+	c.nextCtx += 2 * n
+	return id
+}
+
+// Dup creates a communicator with the same group but an isolated
+// context. Collective: every member must call it.
+func (c *Comm) Dup() *Comm {
+	ctx := c.allocCtxPair(1)
+	ranks := append([]int(nil), c.ranks...)
+	return newComm(c.dev, ctx, ranks, c.dev.Rank())
+}
+
+// Split partitions the communicator by color; ranks within each new
+// communicator are ordered by key (ties by old rank). Collective.
+// A negative color yields a nil communicator for that caller, but the
+// caller still participates in the exchange.
+func (c *Comm) Split(color, key int) (*Comm, error) {
+	// Allgather (color, key) over the collective context.
+	mine := [2]int32{int32(color), int32(key)}
+	all := make([][2]int32, c.Size())
+	if err := c.allgatherPairs(mine, all); err != nil {
+		return nil, err
+	}
+	// Deterministic context assignment: distinct non-negative colors
+	// in ascending order each claim one context pair.
+	var colors []int32
+	for _, p := range all {
+		if p[0] < 0 {
+			continue
+		}
+		seen := false
+		for _, cc := range colors {
+			if cc == p[0] {
+				seen = true
+				break
+			}
+		}
+		if !seen {
+			colors = append(colors, p[0])
+		}
+	}
+	sortInt32s(colors)
+	base := c.allocCtxPair(int32(len(colors)))
+	if color < 0 {
+		return nil, nil
+	}
+	var ctx int32
+	for i, cc := range colors {
+		if cc == int32(color) {
+			ctx = base + int32(2*i)
+		}
+	}
+	// Members of my color, ordered by (key, old rank).
+	type member struct {
+		key     int32
+		oldRank int
+	}
+	var members []member
+	for r, p := range all {
+		if p[0] == int32(color) {
+			members = append(members, member{p[1], r})
+		}
+	}
+	for i := 1; i < len(members); i++ {
+		for j := i; j > 0 && (members[j].key < members[j-1].key ||
+			(members[j].key == members[j-1].key && members[j].oldRank < members[j-1].oldRank)); j-- {
+			members[j], members[j-1] = members[j-1], members[j]
+		}
+	}
+	ranks := make([]int, len(members))
+	for i, m := range members {
+		ranks[i] = c.ranks[m.oldRank]
+	}
+	return newComm(c.dev, ctx, ranks, c.dev.Rank()), nil
+}
+
+func sortInt32s(s []int32) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+// allgatherPairs is a tiny fixed-payload allgather used by Split
+// before general collectives are in play.
+func (c *Comm) allgatherPairs(mine [2]int32, out [][2]int32) error {
+	buf := make([]byte, 8)
+	putI32(buf, 0, mine[0])
+	putI32(buf, 4, mine[1])
+	gathered := make([]byte, 8*c.Size())
+	if err := c.Allgather(buf, gathered); err != nil {
+		return err
+	}
+	for i := range out {
+		out[i][0] = getI32(gathered, i*8)
+		out[i][1] = getI32(gathered, i*8+4)
+	}
+	return nil
+}

@@ -1,0 +1,144 @@
+package mp
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Datatype gives reduction operations (and typed convenience APIs in
+// the facade) an element interpretation of byte buffers. The regular
+// Motor bindings derive sizes from objects and do not expose
+// datatypes (paper §4.2.1); this type serves the native layer.
+type Datatype struct {
+	Name string
+	Size int
+}
+
+// The supported element types.
+var (
+	TypeUint8   = Datatype{"uint8", 1}
+	TypeInt32   = Datatype{"int32", 4}
+	TypeInt64   = Datatype{"int64", 8}
+	TypeFloat64 = Datatype{"float64", 8}
+)
+
+// Op is a reduction operator.
+type Op uint8
+
+// Reduction operators.
+const (
+	OpSum Op = iota
+	OpProd
+	OpMin
+	OpMax
+)
+
+// String names the operator.
+func (o Op) String() string {
+	switch o {
+	case OpSum:
+		return "sum"
+	case OpProd:
+		return "prod"
+	case OpMin:
+		return "min"
+	case OpMax:
+		return "max"
+	default:
+		return fmt.Sprintf("op(%d)", uint8(o))
+	}
+}
+
+// reduceInto applies dst = dst ⊕ src elementwise.
+func reduceInto(op Op, dt Datatype, dst, src []byte) error {
+	if len(dst) != len(src) || len(dst)%dt.Size != 0 {
+		return fmt.Errorf("%w: reduce buffers %d/%d bytes of %s", errInvalid, len(dst), len(src), dt.Name)
+	}
+	n := len(dst) / dt.Size
+	switch dt {
+	case TypeUint8:
+		for i := 0; i < n; i++ {
+			dst[i] = reduceU8(op, dst[i], src[i])
+		}
+	case TypeInt32:
+		for i := 0; i < n; i++ {
+			a := getI32(dst, i*4)
+			b := getI32(src, i*4)
+			putI32(dst, i*4, reduceI64Sized32(op, a, b))
+		}
+	case TypeInt64:
+		for i := 0; i < n; i++ {
+			a := int64(binary.LittleEndian.Uint64(dst[i*8:]))
+			b := int64(binary.LittleEndian.Uint64(src[i*8:]))
+			binary.LittleEndian.PutUint64(dst[i*8:], uint64(reduceI64(op, a, b)))
+		}
+	case TypeFloat64:
+		for i := 0; i < n; i++ {
+			a := math.Float64frombits(binary.LittleEndian.Uint64(dst[i*8:]))
+			b := math.Float64frombits(binary.LittleEndian.Uint64(src[i*8:]))
+			binary.LittleEndian.PutUint64(dst[i*8:], math.Float64bits(reduceF64(op, a, b)))
+		}
+	default:
+		return fmt.Errorf("%w: datatype %s", errInvalid, dt.Name)
+	}
+	return nil
+}
+
+func reduceU8(op Op, a, b uint8) uint8 {
+	switch op {
+	case OpSum:
+		return a + b
+	case OpProd:
+		return a * b
+	case OpMin:
+		if b < a {
+			return b
+		}
+		return a
+	default:
+		if b > a {
+			return b
+		}
+		return a
+	}
+}
+
+func reduceI64(op Op, a, b int64) int64 {
+	switch op {
+	case OpSum:
+		return a + b
+	case OpProd:
+		return a * b
+	case OpMin:
+		if b < a {
+			return b
+		}
+		return a
+	default:
+		if b > a {
+			return b
+		}
+		return a
+	}
+}
+
+func reduceI64Sized32(op Op, a, b int32) int32 {
+	return int32(reduceI64(op, int64(a), int64(b)))
+}
+
+func reduceF64(op Op, a, b float64) float64 {
+	switch op {
+	case OpSum:
+		return a + b
+	case OpProd:
+		return a * b
+	case OpMin:
+		return math.Min(a, b)
+	default:
+		return math.Max(a, b)
+	}
+}
+
+func putI32(b []byte, off int, v int32) { binary.LittleEndian.PutUint32(b[off:], uint32(v)) }
+func getI32(b []byte, off int) int32    { return int32(binary.LittleEndian.Uint32(b[off:])) }

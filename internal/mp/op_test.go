@@ -1,0 +1,149 @@
+package mp
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestReduceIntoSumMatchesLoop(t *testing.T) {
+	f := func(a, b []int32) bool {
+		n := len(a)
+		if len(b) < n {
+			n = len(b)
+		}
+		a, b = a[:n], b[:n]
+		dst := make([]byte, 4*n)
+		src := make([]byte, 4*n)
+		for i := 0; i < n; i++ {
+			putI32(dst, 4*i, a[i])
+			putI32(src, 4*i, b[i])
+		}
+		if err := reduceInto(OpSum, TypeInt32, dst, src); err != nil {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			if getI32(dst, 4*i) != a[i]+b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReduceIntoMinMaxProd(t *testing.T) {
+	enc := func(vals []int64) []byte {
+		b := make([]byte, 8*len(vals))
+		for i, v := range vals {
+			binary.LittleEndian.PutUint64(b[i*8:], uint64(v))
+		}
+		return b
+	}
+	dec := func(b []byte) []int64 {
+		out := make([]int64, len(b)/8)
+		for i := range out {
+			out[i] = int64(binary.LittleEndian.Uint64(b[i*8:]))
+		}
+		return out
+	}
+	dst := enc([]int64{3, -5, 10})
+	if err := reduceInto(OpMin, TypeInt64, dst, enc([]int64{1, 0, 20})); err != nil {
+		t.Fatal(err)
+	}
+	if got := dec(dst); got[0] != 1 || got[1] != -5 || got[2] != 10 {
+		t.Errorf("min %v", got)
+	}
+	dst = enc([]int64{3, -5, 10})
+	if err := reduceInto(OpMax, TypeInt64, dst, enc([]int64{1, 0, 20})); err != nil {
+		t.Fatal(err)
+	}
+	if got := dec(dst); got[0] != 3 || got[1] != 0 || got[2] != 20 {
+		t.Errorf("max %v", got)
+	}
+	dst = enc([]int64{3, -5}[:2])
+	if err := reduceInto(OpProd, TypeInt64, dst, enc([]int64{4, 6})); err != nil {
+		t.Fatal(err)
+	}
+	if got := dec(dst); got[0] != 12 || got[1] != -30 {
+		t.Errorf("prod %v", got)
+	}
+}
+
+func TestReduceIntoFloat(t *testing.T) {
+	enc := func(vals []float64) []byte {
+		b := make([]byte, 8*len(vals))
+		for i, v := range vals {
+			binary.LittleEndian.PutUint64(b[i*8:], math.Float64bits(v))
+		}
+		return b
+	}
+	dst := enc([]float64{1.5, -2})
+	if err := reduceInto(OpSum, TypeFloat64, dst, enc([]float64{0.25, 2})); err != nil {
+		t.Fatal(err)
+	}
+	if got := math.Float64frombits(binary.LittleEndian.Uint64(dst)); got != 1.75 {
+		t.Errorf("sum %g", got)
+	}
+	if got := math.Float64frombits(binary.LittleEndian.Uint64(dst[8:])); got != 0 {
+		t.Errorf("sum2 %g", got)
+	}
+	dst = enc([]float64{3})
+	if err := reduceInto(OpMin, TypeFloat64, dst, enc([]float64{-7})); err != nil {
+		t.Fatal(err)
+	}
+	if got := math.Float64frombits(binary.LittleEndian.Uint64(dst)); got != -7 {
+		t.Errorf("min %g", got)
+	}
+}
+
+func TestReduceIntoUint8(t *testing.T) {
+	dst := []byte{10, 200}
+	if err := reduceInto(OpMax, TypeUint8, dst, []byte{50, 100}); err != nil {
+		t.Fatal(err)
+	}
+	if dst[0] != 50 || dst[1] != 200 {
+		t.Errorf("u8 max %v", dst)
+	}
+	dst = []byte{10, 20}
+	if err := reduceInto(OpSum, TypeUint8, dst, []byte{5, 6}); err != nil {
+		t.Fatal(err)
+	}
+	if dst[0] != 15 || dst[1] != 26 {
+		t.Errorf("u8 sum %v", dst)
+	}
+	dst = []byte{10}
+	if err := reduceInto(OpMin, TypeUint8, dst, []byte{3}); err != nil || dst[0] != 3 {
+		t.Errorf("u8 min %v err %v", dst, err)
+	}
+	dst = []byte{10}
+	if err := reduceInto(OpProd, TypeUint8, dst, []byte{3}); err != nil || dst[0] != 30 {
+		t.Errorf("u8 prod %v err %v", dst, err)
+	}
+}
+
+func TestReduceIntoErrors(t *testing.T) {
+	if err := reduceInto(OpSum, TypeInt64, make([]byte, 8), make([]byte, 16)); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if err := reduceInto(OpSum, TypeInt64, make([]byte, 4), make([]byte, 4)); err == nil {
+		t.Error("non-multiple length accepted")
+	}
+	if err := reduceInto(OpSum, Datatype{"bogus", 3}, make([]byte, 3), make([]byte, 3)); err == nil {
+		t.Error("unknown datatype accepted")
+	}
+}
+
+func TestOpString(t *testing.T) {
+	for op, want := range map[Op]string{OpSum: "sum", OpProd: "prod", OpMin: "min", OpMax: "max"} {
+		if op.String() != want {
+			t.Errorf("%d -> %q", op, op.String())
+		}
+	}
+	if Op(9).String() == "" {
+		t.Error("unknown op empty string")
+	}
+}

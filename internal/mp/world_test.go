@@ -1,0 +1,112 @@
+package mp
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+func TestRunLocalPropagatesErrors(t *testing.T) {
+	sentinel := errors.New("rank 1 exploded")
+	err := RunLocal(ChannelShm, 3, 0, func(w *World) error {
+		if w.Rank() == 1 {
+			return sentinel
+		}
+		return nil
+	})
+	if !errors.Is(err, sentinel) {
+		t.Errorf("got %v", err)
+	}
+}
+
+func TestNewLocalWorldsValidation(t *testing.T) {
+	if _, err := NewLocalWorlds(ChannelShm, 0, 0); err == nil {
+		t.Error("zero ranks accepted")
+	}
+	if _, err := NewLocalWorlds(ChannelKind("pigeon"), 2, 0); err == nil {
+		t.Error("unknown channel accepted")
+	}
+}
+
+func TestWorldAccessors(t *testing.T) {
+	run(t, ChannelShm, 3, func(w *World) error {
+		if w.Size() != 3 {
+			return fmt.Errorf("size %d", w.Size())
+		}
+		if w.Rank() != w.Comm.Rank() {
+			return fmt.Errorf("rank mismatch %d/%d", w.Rank(), w.Comm.Rank())
+		}
+		if w.Dev.Rank() != w.Rank() {
+			return fmt.Errorf("device rank %d", w.Dev.Rank())
+		}
+		if w.Comm.WorldRank(2) != 2 {
+			return fmt.Errorf("world rank translation")
+		}
+		if w.Comm.Device() != w.Dev {
+			return errors.New("device accessor mismatch")
+		}
+		return nil
+	})
+}
+
+func TestDeviceStatsCounting(t *testing.T) {
+	run(t, ChannelShm, 2, func(w *World) error {
+		c := w.Comm
+		small := make([]byte, 64)
+		big := make([]byte, 256<<10)
+		if c.Rank() == 0 {
+			if err := c.Send(small, 1, 0); err != nil {
+				return err
+			}
+			if err := c.Send(big, 1, 1); err != nil {
+				return err
+			}
+			if w.Dev.Stats.EagerSent != 1 {
+				return fmt.Errorf("eager sends %d", w.Dev.Stats.EagerSent)
+			}
+			if w.Dev.Stats.RndvSent != 1 {
+				return fmt.Errorf("rendezvous sends %d", w.Dev.Stats.RndvSent)
+			}
+			if w.Dev.Stats.BytesSent != uint64(len(small)+len(big)) {
+				return fmt.Errorf("bytes sent %d", w.Dev.Stats.BytesSent)
+			}
+			return nil
+		}
+		if _, err := c.Recv(small, 0, 0); err != nil {
+			return err
+		}
+		if _, err := c.Recv(big, 0, 1); err != nil {
+			return err
+		}
+		if w.Dev.Stats.BytesRecvd != uint64(len(small)+len(big)) {
+			return fmt.Errorf("bytes recvd %d", w.Dev.Stats.BytesRecvd)
+		}
+		if w.Dev.EagerMax() != 64<<10 {
+			return fmt.Errorf("eager max %d", w.Dev.EagerMax())
+		}
+		return nil
+	})
+}
+
+func TestCustomEagerThresholdWorld(t *testing.T) {
+	// A world built with a 128-byte threshold sends 256-byte messages
+	// via rendezvous.
+	err := RunLocal(ChannelShm, 2, 128, func(w *World) error {
+		buf := make([]byte, 256)
+		if w.Rank() == 0 {
+			if err := w.Comm.Send(buf, 1, 0); err != nil {
+				return err
+			}
+			if w.Dev.Stats.RndvSent != 1 || w.Dev.Stats.EagerSent != 0 {
+				return fmt.Errorf("threshold ignored: eager=%d rndv=%d",
+					w.Dev.Stats.EagerSent, w.Dev.Stats.RndvSent)
+			}
+			return nil
+		}
+		_, err := w.Comm.Recv(buf, 0, 0)
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,388 @@
+package serial
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"motor/internal/vm"
+)
+
+// The reader: parses a representation, resolves the type table
+// against the receiving VM's registry, allocates the objects, and
+// rewires local ids back into references.
+
+type wireField struct {
+	name          string
+	kind          vm.Kind
+	transportable bool
+	local         *vm.FieldDesc
+}
+
+type wireType struct {
+	isArray bool
+	mt      *vm.MethodTable
+	fields  []wireField // classes only
+}
+
+type reader struct {
+	v    *vm.VM
+	data []byte
+	pos  int
+
+	types []wireType
+
+	// refs holds every allocated object; registered as a GC root
+	// provider while deserialization runs (allocation can collect).
+	refs []vm.Ref
+}
+
+// VisitRoots implements vm.RootProvider.
+func (r *reader) VisitRoots(visit func(vm.Ref) vm.Ref) {
+	for i, ref := range r.refs {
+		if ref != vm.NullRef {
+			r.refs[i] = visit(ref)
+		}
+	}
+}
+
+func (r *reader) fail(format string, args ...interface{}) error {
+	return fmt.Errorf("%w: "+format, append([]interface{}{ErrFormat}, args...)...)
+}
+
+func (r *reader) need(n int) error {
+	if r.pos+n > len(r.data) {
+		return r.fail("truncated at %d (+%d of %d)", r.pos, n, len(r.data))
+	}
+	return nil
+}
+
+func (r *reader) u8() (byte, error) {
+	if err := r.need(1); err != nil {
+		return 0, err
+	}
+	b := r.data[r.pos]
+	r.pos++
+	return b, nil
+}
+
+func (r *reader) u16() (uint16, error) {
+	if err := r.need(2); err != nil {
+		return 0, err
+	}
+	v := binary.LittleEndian.Uint16(r.data[r.pos:])
+	r.pos += 2
+	return v, nil
+}
+
+func (r *reader) u32() (uint32, error) {
+	if err := r.need(4); err != nil {
+		return 0, err
+	}
+	v := binary.LittleEndian.Uint32(r.data[r.pos:])
+	r.pos += 4
+	return v, nil
+}
+
+func (r *reader) str() (string, error) {
+	n, err := r.u16()
+	if err != nil {
+		return "", err
+	}
+	if err := r.need(int(n)); err != nil {
+		return "", err
+	}
+	s := string(r.data[r.pos : r.pos+int(n)])
+	r.pos += int(n)
+	return s, nil
+}
+
+func (r *reader) scalar(k vm.Kind) (uint64, error) {
+	n := k.Size()
+	if err := r.need(n); err != nil {
+		return 0, err
+	}
+	var b [8]byte
+	copy(b[:], r.data[r.pos:r.pos+n])
+	r.pos += n
+	// Sign-extension is irrelevant here: the bits are stored back
+	// with the same kind.
+	return binary.LittleEndian.Uint64(b[:]), nil
+}
+
+// parseTypeTable resolves every wire type against the local registry.
+func (r *reader) parseTypeTable() error {
+	count, err := r.u16()
+	if err != nil {
+		return err
+	}
+	r.types = make([]wireType, count)
+	for i := 0; i < int(count); i++ {
+		entryKind, err := r.u8()
+		if err != nil {
+			return err
+		}
+		switch entryKind {
+		case kindArrayEntry:
+			ek, err := r.u8()
+			if err != nil {
+				return err
+			}
+			rank, err := r.u8()
+			if err != nil {
+				return err
+			}
+			elemName, err := r.str()
+			if err != nil {
+				return err
+			}
+			var elemMT *vm.MethodTable
+			if vm.Kind(ek) == vm.KindRef && elemName != "" {
+				mt, err := r.v.ResolveTypeName(elemName)
+				if err != nil {
+					return fmt.Errorf("%w: %v", ErrTypeless, err)
+				}
+				elemMT = mt
+			}
+			r.types[i] = wireType{isArray: true, mt: r.v.ArrayType(vm.Kind(ek), elemMT, int(rank))}
+		case kindClassEntry:
+			name, err := r.str()
+			if err != nil {
+				return err
+			}
+			mt, ok := r.v.TypeByName(name)
+			if !ok || mt.Kind != vm.TKClass {
+				return fmt.Errorf("%w: class %q", ErrTypeless, name)
+			}
+			nf, err := r.u16()
+			if err != nil {
+				return err
+			}
+			wt := wireType{mt: mt, fields: make([]wireField, nf)}
+			for j := 0; j < int(nf); j++ {
+				fname, err := r.str()
+				if err != nil {
+					return err
+				}
+				fk, err := r.u8()
+				if err != nil {
+					return err
+				}
+				fl, err := r.u8()
+				if err != nil {
+					return err
+				}
+				local := mt.FieldByName(fname)
+				if local == nil || local.Kind() != vm.Kind(fk) {
+					return fmt.Errorf("%w: field %s.%s", ErrShape, name, fname)
+				}
+				wt.fields[j] = wireField{name: fname, kind: vm.Kind(fk), transportable: fl&1 != 0, local: local}
+			}
+			r.types[i] = wt
+		default:
+			return r.fail("type entry kind %d", entryKind)
+		}
+	}
+	return nil
+}
+
+// objRecord remembers where an object's payload starts for pass 2.
+type objRecord struct {
+	wt     *wireType
+	length int
+	dims   []int
+	at     int // data position of the field/element payload
+}
+
+// Deserialize reconstructs the object tree from a representation and
+// returns the root reference.
+func Deserialize(v *vm.VM, data []byte) (vm.Ref, error) {
+	r := &reader{v: v, data: data}
+	m, err := r.u32()
+	if err != nil {
+		return vm.NullRef, err
+	}
+	if m != magic {
+		return vm.NullRef, r.fail("bad magic %#x", m)
+	}
+	ver, err := r.u8()
+	if err != nil {
+		return vm.NullRef, err
+	}
+	if ver != version {
+		return vm.NullRef, r.fail("version %d", ver)
+	}
+	r.pos += 3 // pad
+	rootID, err := r.u32()
+	if err != nil {
+		return vm.NullRef, err
+	}
+	objCount, err := r.u32()
+	if err != nil {
+		return vm.NullRef, err
+	}
+	// Plausibility: every object record needs at least a 2-byte type
+	// index, so the count cannot exceed the remaining input. This
+	// bounds allocation against hostile or corrupt representations.
+	if int64(objCount) > int64(len(r.data)) {
+		return vm.NullRef, r.fail("object count %d exceeds input size %d", objCount, len(r.data))
+	}
+	if err := r.parseTypeTable(); err != nil {
+		return vm.NullRef, err
+	}
+
+	// Pass 1: walk records, allocate every object.
+	v.AddRootProvider(r)
+	defer v.RemoveRootProvider(r)
+
+	records := make([]objRecord, objCount)
+	r.refs = make([]vm.Ref, objCount)
+	h := v.Heap
+	for i := 0; i < int(objCount); i++ {
+		ti, err := r.u16()
+		if err != nil {
+			return vm.NullRef, err
+		}
+		if int(ti) >= len(r.types) {
+			return vm.NullRef, r.fail("type index %d", ti)
+		}
+		wt := &r.types[ti]
+		rec := objRecord{wt: wt}
+		if wt.isArray {
+			n, err := r.u32()
+			if err != nil {
+				return vm.NullRef, err
+			}
+			rec.length = int(n)
+			mt := wt.mt
+			// The payload must actually be present before any managed
+			// allocation is sized from the wire-claimed length.
+			if mt.Elem == vm.KindRef {
+				if err := r.need(4 * rec.length); err != nil {
+					return vm.NullRef, err
+				}
+			} else {
+				extra := 0
+				if mt.Rank > 1 {
+					extra = 4 * mt.Rank
+				}
+				if err := r.need(extra + rec.length*mt.ElemSize()); err != nil {
+					return vm.NullRef, err
+				}
+			}
+			var ref vm.Ref
+			if mt.Rank > 1 {
+				dims := make([]int, mt.Rank)
+				total := 1
+				for d := range dims {
+					dv, err := r.u32()
+					if err != nil {
+						return vm.NullRef, err
+					}
+					dims[d] = int(dv)
+					total *= int(dv)
+				}
+				if total != rec.length {
+					return vm.NullRef, r.fail("dims %v != length %d", dims, rec.length)
+				}
+				rec.dims = dims
+				ref, err = h.AllocMultiDim(mt, dims)
+			} else {
+				ref, err = h.AllocArray(mt, rec.length)
+			}
+			if err != nil {
+				return vm.NullRef, err
+			}
+			r.refs[i] = ref
+			rec.at = r.pos
+			// Skip the payload.
+			if mt.Elem == vm.KindRef {
+				if err := r.need(4 * rec.length); err != nil {
+					return vm.NullRef, err
+				}
+				r.pos += 4 * rec.length
+			} else {
+				sz := rec.length * mt.ElemSize()
+				if err := r.need(sz); err != nil {
+					return vm.NullRef, err
+				}
+				r.pos += sz
+			}
+		} else {
+			ref, err := h.AllocClass(wt.mt)
+			if err != nil {
+				return vm.NullRef, err
+			}
+			r.refs[i] = ref
+			rec.at = r.pos
+			for j := range wt.fields {
+				f := &wt.fields[j]
+				sz := f.kind.Size()
+				if f.kind == vm.KindRef {
+					sz = 4
+				}
+				if err := r.need(sz); err != nil {
+					return vm.NullRef, err
+				}
+				r.pos += sz
+			}
+		}
+		records[i] = rec
+	}
+
+	// Pass 2: fill payloads, rewiring local ids into references.
+	resolve := func(id uint32) (vm.Ref, error) {
+		if id == 0 {
+			return vm.NullRef, nil
+		}
+		if int(id) > len(r.refs) {
+			return vm.NullRef, r.fail("object id %d of %d", id, len(r.refs))
+		}
+		return r.refs[id-1], nil
+	}
+	for i := range records {
+		rec := &records[i]
+		r.pos = rec.at
+		ref := r.refs[i]
+		if rec.wt.isArray {
+			mt := rec.wt.mt
+			if mt.Elem == vm.KindRef {
+				for e := 0; e < rec.length; e++ {
+					id, err := r.u32()
+					if err != nil {
+						return vm.NullRef, err
+					}
+					er, err := resolve(id)
+					if err != nil {
+						return vm.NullRef, err
+					}
+					h.SetElemRef(ref, e, er)
+				}
+			} else {
+				sz := rec.length * mt.ElemSize()
+				copy(h.DataBytes(ref), r.data[r.pos:r.pos+sz])
+			}
+			continue
+		}
+		for j := range rec.wt.fields {
+			f := &rec.wt.fields[j]
+			if f.kind == vm.KindRef {
+				id, err := r.u32()
+				if err != nil {
+					return vm.NullRef, err
+				}
+				fr, err := resolve(id)
+				if err != nil {
+					return vm.NullRef, err
+				}
+				h.SetRef(ref, f.local, fr)
+				continue
+			}
+			bits, err := r.scalar(f.kind)
+			if err != nil {
+				return vm.NullRef, err
+			}
+			h.SetScalar(ref, f.local, bits)
+		}
+	}
+	return resolve(rootID)
+}

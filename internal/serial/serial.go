@@ -1,0 +1,294 @@
+// Package serial implements the Motor custom serialization mechanism
+// (paper §7.5): a flat object-tree representation with two parts — a
+// type table describing every class involved, and object data laid
+// out side by side with object references exchanged for local ids.
+//
+// Traversal is driven by the Transportable bit carried directly on
+// the runtime FieldDesc (never by slow reflection metadata):
+//
+//   - a single object's simple data travels; reference fields NOT
+//     marked Transportable are replaced with null on the wire;
+//   - fields marked Transportable are followed recursively;
+//   - arrays of objects travel together with their element objects;
+//   - arrays of simple types travel as raw element data.
+//
+// To support scatter/gather of object arrays, the serializer can emit
+// a SPLIT representation: many standalone parts, each with its own
+// type table and each individually deserializable at the receiving
+// end — the capability the standard Java/CLI serializers lack
+// (paper §2.4, §7.5).
+//
+// The visited-object structure is selectable: VisitedLinear is the
+// paper's implementation ("a linear structure to record objects
+// visited during serialization", the cause of the large-object-count
+// degradation in Figure 10); VisitedMap is the efficient structure
+// the authors name as future work. Ablation A2 benchmarks the two.
+package serial
+
+import (
+	"encoding/binary"
+	"errors"
+
+	"motor/internal/vm"
+)
+
+// Wire format constants.
+const (
+	magic   = 0x4D53_4552 // "MSER"
+	version = 1
+
+	kindClassEntry = 0
+	kindArrayEntry = 1
+)
+
+// Errors.
+var (
+	ErrFormat   = errors.New("serial: malformed representation")
+	ErrTypeless = errors.New("serial: receiver has no matching type")
+	ErrShape    = errors.New("serial: type shape mismatch between sender and receiver")
+)
+
+// VisitedMode selects the visited-object bookkeeping structure.
+type VisitedMode uint8
+
+// Visited-structure choices (see package comment).
+const (
+	VisitedLinear VisitedMode = iota
+	VisitedMap
+)
+
+// Options configures a serializer.
+type Options struct {
+	Visited VisitedMode
+}
+
+// visitedSet records serialized objects and their 1-based local ids.
+type visitedSet interface {
+	lookup(ref vm.Ref) (uint32, bool)
+	add(ref vm.Ref, id uint32)
+	count() int
+}
+
+// linearVisited is the paper's structure: lookup scans the whole
+// list, so cost grows quadratically with the object count.
+type linearVisited struct {
+	refs []vm.Ref
+	ids  []uint32
+}
+
+func (l *linearVisited) lookup(ref vm.Ref) (uint32, bool) {
+	for i, r := range l.refs {
+		if r == ref {
+			return l.ids[i], true
+		}
+	}
+	return 0, false
+}
+
+func (l *linearVisited) add(ref vm.Ref, id uint32) {
+	l.refs = append(l.refs, ref)
+	l.ids = append(l.ids, id)
+}
+
+func (l *linearVisited) count() int { return len(l.refs) }
+
+type mapVisited map[vm.Ref]uint32
+
+func (m mapVisited) lookup(ref vm.Ref) (uint32, bool) {
+	id, ok := m[ref]
+	return id, ok
+}
+
+func (m mapVisited) add(ref vm.Ref, id uint32) { m[ref] = id }
+func (m mapVisited) count() int                { return len(m) }
+
+// writer builds the representation.
+type writer struct {
+	heap *vm.Heap
+
+	types   []*vm.MethodTable
+	typeIdx map[*vm.MethodTable]uint16
+	visited visitedSet
+	pending []vm.Ref // discovered but not yet emitted, in id order
+	objData []byte
+	nextID  uint32
+}
+
+func newWriter(h *vm.Heap, opts Options) *writer {
+	w := &writer{
+		heap:    h,
+		typeIdx: make(map[*vm.MethodTable]uint16),
+		nextID:  1,
+	}
+	if opts.Visited == VisitedMap {
+		w.visited = mapVisited{}
+	} else {
+		w.visited = &linearVisited{}
+	}
+	return w
+}
+
+// assign returns the local id for ref, scheduling it for emission on
+// first sight. includeRefs=false callers still get an id (null is 0).
+func (w *writer) assign(ref vm.Ref) uint32 {
+	if ref == vm.NullRef {
+		return 0
+	}
+	if id, ok := w.visited.lookup(ref); ok {
+		return id
+	}
+	id := w.nextID
+	w.nextID++
+	w.visited.add(ref, id)
+	w.pending = append(w.pending, ref)
+	return id
+}
+
+func (w *writer) typeIndex(mt *vm.MethodTable) uint16 {
+	if i, ok := w.typeIdx[mt]; ok {
+		return i
+	}
+	i := uint16(len(w.types))
+	w.types = append(w.types, mt)
+	w.typeIdx[mt] = i
+	return i
+}
+
+// emit serializes one object's record into objData.
+func (w *writer) emit(ref vm.Ref) error {
+	h := w.heap
+	mt := h.MT(ref)
+	ti := w.typeIndex(mt)
+	w.u16(ti)
+	if mt.Kind == vm.TKArray {
+		n := h.Length(ref)
+		w.u32(uint32(n))
+		if mt.Elem == vm.KindRef {
+			// Arrays travel together with their element objects.
+			for i := 0; i < n; i++ {
+				w.u32(w.assign(h.GetElemRef(ref, i)))
+			}
+			return nil
+		}
+		// Simple arrays: raw element data (including multidim dims).
+		if mt.Rank > 1 {
+			for _, d := range h.Dims(ref) {
+				w.u32(uint32(d))
+			}
+		}
+		w.objData = append(w.objData, h.DataBytes(ref)...)
+		return nil
+	}
+	// Class instance: per-field emission so reference fields can be
+	// swapped for local ids (or null when not Transportable).
+	for i := range mt.Fields {
+		f := &mt.Fields[i]
+		if f.IsRef() {
+			if f.Transportable() {
+				w.u32(w.assign(h.GetRef(ref, f)))
+			} else {
+				w.u32(0) // reference replaced with null (paper §4.2.2)
+			}
+			continue
+		}
+		bits := h.GetScalar(ref, f)
+		w.scalar(f.Kind(), bits)
+	}
+	return nil
+}
+
+func (w *writer) u16(v uint16) {
+	w.objData = append(w.objData, byte(v), byte(v>>8))
+}
+
+func (w *writer) u32(v uint32) {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], v)
+	w.objData = append(w.objData, b[:]...)
+}
+
+func (w *writer) scalar(k vm.Kind, bits uint64) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], bits)
+	w.objData = append(w.objData, b[:k.Size()]...)
+}
+
+// finish assembles header + type table + object data.
+func (w *writer) finish(rootID uint32, out []byte) []byte {
+	out = appendU32(out, magic)
+	out = append(out, version, 0, 0, 0)
+	out = appendU32(out, rootID)
+	out = appendU32(out, w.nextID-1) // object count
+	// Type table.
+	out = appendU16(out, uint16(len(w.types)))
+	for _, mt := range w.types {
+		out = appendTypeEntry(out, mt)
+	}
+	return append(out, w.objData...)
+}
+
+func appendU16(b []byte, v uint16) []byte { return append(b, byte(v), byte(v>>8)) }
+
+func appendU32(b []byte, v uint32) []byte {
+	var t [4]byte
+	binary.LittleEndian.PutUint32(t[:], v)
+	return append(b, t[:]...)
+}
+
+func appendString(b []byte, s string) []byte {
+	b = appendU16(b, uint16(len(s)))
+	return append(b, s...)
+}
+
+// appendTypeEntry writes one type-table record: enough shape
+// information for the receiver to locate its local equivalent and
+// validate layout compatibility.
+func appendTypeEntry(b []byte, mt *vm.MethodTable) []byte {
+	if mt.Kind == vm.TKArray {
+		b = append(b, kindArrayEntry)
+		b = append(b, byte(mt.Elem), byte(mt.Rank))
+		if mt.Elem == vm.KindRef && mt.ElemMT != nil {
+			b = appendString(b, mt.ElemMT.Name)
+		} else {
+			b = appendString(b, "")
+		}
+		return b
+	}
+	b = append(b, kindClassEntry)
+	b = appendString(b, mt.Name)
+	b = appendU16(b, uint16(len(mt.Fields)))
+	for i := range mt.Fields {
+		f := &mt.Fields[i]
+		b = appendString(b, f.Name)
+		flags := byte(0)
+		if f.Transportable() {
+			flags = 1
+		}
+		b = append(b, byte(f.Kind()), flags)
+	}
+	return b
+}
+
+// Serialize flattens the object tree rooted at root into out
+// (appended; pass nil or a recycled buffer). The returned slice is
+// the complete representation.
+func Serialize(h *vm.Heap, root vm.Ref, opts Options, out []byte) ([]byte, error) {
+	w := newWriter(h, opts)
+	rootID := w.assign(root)
+	for len(w.pending) > 0 {
+		ref := w.pending[0]
+		w.pending = w.pending[1:]
+		if err := w.emit(ref); err != nil {
+			return nil, err
+		}
+	}
+	return w.finish(rootID, out), nil
+}
+
+// ObjectCount reports how many objects a representation carries.
+func ObjectCount(data []byte) (int, error) {
+	if len(data) < 16 || binary.LittleEndian.Uint32(data) != magic {
+		return 0, ErrFormat
+	}
+	return int(binary.LittleEndian.Uint32(data[12:])), nil
+}

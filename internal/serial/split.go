@@ -1,0 +1,165 @@
+package serial
+
+import (
+	"fmt"
+
+	"motor/internal/vm"
+)
+
+// The split representation (paper §7.5): one array serialized as many
+// standalone parts, each with its own type table and each
+// individually deserializable — what makes the extended
+// object-oriented scatter/gather operations possible. "For scatter
+// operations the serialization mechanism automatically splits the
+// array and flattens referenced objects. Conversely, for gather
+// operations the deserialization mechanism takes many split
+// representations and reconstructs them into a single array."
+
+// PartRange computes the contiguous element range [lo,hi) of part p
+// when splitting n elements into parts pieces (earlier parts take the
+// remainder, matching MPI scatter conventions).
+func PartRange(n, parts, p int) (lo, hi int) {
+	base := n / parts
+	rem := n % parts
+	lo = p*base + min(p, rem)
+	hi = lo + base
+	if p < rem {
+		hi++
+	}
+	return lo, hi
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// SerializeSplit flattens the array at arr into parts standalone
+// representations. Each part's root is a synthetic sub-array holding
+// that part's element range; referenced objects are flattened into
+// the part that first references them.
+func SerializeSplit(h *vm.Heap, arr vm.Ref, parts int, opts Options) ([][]byte, error) {
+	if arr == vm.NullRef {
+		return nil, fmt.Errorf("serial: split of null array")
+	}
+	mt := h.MT(arr)
+	if mt.Kind != vm.TKArray || mt.Rank != 1 {
+		return nil, fmt.Errorf("serial: split requires a rank-1 array, got %s", mt)
+	}
+	if parts < 1 {
+		return nil, fmt.Errorf("serial: split into %d parts", parts)
+	}
+	n := h.Length(arr)
+	out := make([][]byte, parts)
+	for p := 0; p < parts; p++ {
+		lo, hi := PartRange(n, parts, p)
+		w := newWriter(h, opts)
+		// Synthetic root: id 1 describes the sub-array; it has no
+		// heap object, so it bypasses the visited set.
+		rootID := w.nextID
+		w.nextID++
+		w.u16(w.typeIndex(mt))
+		w.u32(uint32(hi - lo))
+		if mt.Elem == vm.KindRef {
+			for i := lo; i < hi; i++ {
+				w.u32(w.assign(h.GetElemRef(arr, i)))
+			}
+		} else {
+			s, _ := h.DataRange(arr)
+			es := mt.ElemSize()
+			w.objData = append(w.objData, h.Bytes(s+uint32(lo*es), s+uint32(hi*es))...)
+		}
+		for len(w.pending) > 0 {
+			ref := w.pending[0]
+			w.pending = w.pending[1:]
+			if err := w.emit(ref); err != nil {
+				return nil, err
+			}
+		}
+		out[p] = w.finish(rootID, nil)
+	}
+	return out, nil
+}
+
+// DeserializeGather reconstructs the parts of a split representation
+// into a single array on the receiving VM — the gather-side inverse
+// of SerializeSplit. All parts must carry arrays of the same type.
+func DeserializeGather(v *vm.VM, parts [][]byte) (vm.Ref, error) {
+	if len(parts) == 0 {
+		return vm.NullRef, fmt.Errorf("serial: gather of zero parts")
+	}
+	// Deserialize each part, protecting the intermediate sub-arrays
+	// from collection while later parts allocate.
+	subs := make([]vm.Ref, len(parts))
+	guard := &refGuard{refs: subs}
+	v.AddRootProvider(guard)
+	defer v.RemoveRootProvider(guard)
+
+	var mt *vm.MethodTable
+	total := 0
+	for i, part := range parts {
+		ref, err := Deserialize(v, part)
+		if err != nil {
+			return vm.NullRef, fmt.Errorf("serial: gather part %d: %w", i, err)
+		}
+		if ref == vm.NullRef {
+			return vm.NullRef, fmt.Errorf("serial: gather part %d has null root", i)
+		}
+		pm := v.Heap.MT(ref)
+		if pm.Kind != vm.TKArray {
+			return vm.NullRef, fmt.Errorf("serial: gather part %d root is %s, not an array", i, pm)
+		}
+		if mt == nil {
+			mt = pm
+		} else if pm != mt {
+			return vm.NullRef, fmt.Errorf("serial: gather parts disagree on type: %s vs %s", pm, mt)
+		}
+		subs[i] = ref
+		total += v.Heap.Length(ref)
+	}
+	// Concatenate.
+	h := v.Heap
+	result, err := h.AllocArray(mt, total)
+	if err != nil {
+		return vm.NullRef, err
+	}
+	// Protect result too: element copying does not allocate, but be
+	// conservative about future changes.
+	guard2 := &refGuard{refs: []vm.Ref{result}}
+	v.AddRootProvider(guard2)
+	defer v.RemoveRootProvider(guard2)
+	result = guard2.refs[0]
+
+	at := 0
+	for _, sub := range subs {
+		n := h.Length(sub)
+		if mt.Elem == vm.KindRef {
+			for i := 0; i < n; i++ {
+				h.SetElemRef(result, at+i, h.GetElemRef(sub, i))
+			}
+		} else {
+			es := mt.ElemSize()
+			ds, _ := h.DataRange(result)
+			ss, se := h.DataRange(sub)
+			copy(h.Bytes(ds+uint32(at*es), ds+uint32((at+n)*es)), h.Bytes(ss, se))
+		}
+		at += n
+	}
+	return guard2.refs[0], nil
+}
+
+// refGuard is a removable root provider over a ref slice.
+type refGuard struct {
+	refs []vm.Ref
+}
+
+// VisitRoots implements vm.RootProvider.
+func (g *refGuard) VisitRoots(visit func(vm.Ref) vm.Ref) {
+	for i, r := range g.refs {
+		if r != vm.NullRef {
+			g.refs[i] = visit(r)
+		}
+	}
+}

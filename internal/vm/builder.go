@@ -1,0 +1,207 @@
+package vm
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// CodeBuilder assembles method bodies programmatically. It is the
+// back end of the text assembler and the direct authoring surface for
+// tests and benchmarks.
+//
+//	b := vm.NewCodeBuilder()
+//	b.LdcI4(10).StLoc(0).
+//	  Label("loop").
+//	  LdLoc(0).BrFalse("done").
+//	  LdLoc(0).LdcI4(1).Op(OpSub).StLoc(0).
+//	  Br("loop").
+//	  Label("done").Ret()
+//	m := b.Build("countdown", 0, 1, false)
+type CodeBuilder struct {
+	code   []byte
+	labels map[string]int
+	fixups []fixup
+	err    error
+}
+
+type fixup struct {
+	at    int // offset of the i32 operand
+	end   int // pc after the instruction
+	label string
+}
+
+// NewCodeBuilder returns an empty builder.
+func NewCodeBuilder() *CodeBuilder {
+	return &CodeBuilder{labels: make(map[string]int)}
+}
+
+// Op emits a no-operand opcode.
+func (b *CodeBuilder) Op(op Op) *CodeBuilder {
+	if op.operandBytes() != 0 {
+		b.fail("opcode %s requires an operand", op.Name())
+		return b
+	}
+	b.code = append(b.code, byte(op))
+	return b
+}
+
+// U16 emits an opcode with a u16 operand.
+func (b *CodeBuilder) U16(op Op, v int) *CodeBuilder {
+	if opTable[op].width != wU16 {
+		b.fail("opcode %s does not take a u16 operand", op.Name())
+		return b
+	}
+	if v < 0 || v > 0xFFFF {
+		b.fail("u16 operand %d out of range for %s", v, op.Name())
+		return b
+	}
+	b.code = append(b.code, byte(op), byte(v), byte(v>>8))
+	return b
+}
+
+func (b *CodeBuilder) fail(format string, args ...interface{}) {
+	if b.err == nil {
+		b.err = fmt.Errorf(format, args...)
+	}
+}
+
+// LdcI4 pushes an int32 constant.
+func (b *CodeBuilder) LdcI4(v int32) *CodeBuilder {
+	b.code = append(b.code, byte(OpLdcI4), 0, 0, 0, 0)
+	binary.LittleEndian.PutUint32(b.code[len(b.code)-4:], uint32(v))
+	return b
+}
+
+// LdcI8 pushes an int64 constant.
+func (b *CodeBuilder) LdcI8(v int64) *CodeBuilder {
+	b.code = append(b.code, byte(OpLdcI8), 0, 0, 0, 0, 0, 0, 0, 0)
+	binary.LittleEndian.PutUint64(b.code[len(b.code)-8:], uint64(v))
+	return b
+}
+
+// LdcR8 pushes a float64 constant.
+func (b *CodeBuilder) LdcR8(v float64) *CodeBuilder {
+	b.code = append(b.code, byte(OpLdcR8), 0, 0, 0, 0, 0, 0, 0, 0)
+	binary.LittleEndian.PutUint64(b.code[len(b.code)-8:], BitsFromF64(v))
+	return b
+}
+
+// LdNull pushes the null reference.
+func (b *CodeBuilder) LdNull() *CodeBuilder { return b.Op(OpLdNull) }
+
+// LdLoc / StLoc / LdArg / StArg access frame slots.
+func (b *CodeBuilder) LdLoc(i int) *CodeBuilder { return b.U16(OpLdLoc, i) }
+
+// StLoc stores into local i.
+func (b *CodeBuilder) StLoc(i int) *CodeBuilder { return b.U16(OpStLoc, i) }
+
+// LdArg loads argument i.
+func (b *CodeBuilder) LdArg(i int) *CodeBuilder { return b.U16(OpLdArg, i) }
+
+// StArg stores into argument i.
+func (b *CodeBuilder) StArg(i int) *CodeBuilder { return b.U16(OpStArg, i) }
+
+// Label defines a branch target at the current position.
+func (b *CodeBuilder) Label(name string) *CodeBuilder {
+	if _, dup := b.labels[name]; dup {
+		b.fail("duplicate label %q", name)
+		return b
+	}
+	b.labels[name] = len(b.code)
+	return b
+}
+
+func (b *CodeBuilder) branch(op Op, label string) *CodeBuilder {
+	b.code = append(b.code, byte(op), 0, 0, 0, 0)
+	b.fixups = append(b.fixups, fixup{at: len(b.code) - 4, end: len(b.code), label: label})
+	return b
+}
+
+// Br emits an unconditional branch to label.
+func (b *CodeBuilder) Br(label string) *CodeBuilder { return b.branch(OpBr, label) }
+
+// BrTrue branches when the popped value is nonzero.
+func (b *CodeBuilder) BrTrue(label string) *CodeBuilder { return b.branch(OpBrTrue, label) }
+
+// BrFalse branches when the popped value is zero.
+func (b *CodeBuilder) BrFalse(label string) *CodeBuilder { return b.branch(OpBrFalse, label) }
+
+// Call emits a static call.
+func (b *CodeBuilder) Call(m *Method) *CodeBuilder { return b.U16(OpCall, m.Index) }
+
+// CallVirt emits a virtual call through m's vtable slot.
+func (b *CodeBuilder) CallVirt(m *Method) *CodeBuilder { return b.U16(OpCallVirt, m.Index) }
+
+// Intern emits an internal (FCall) invocation by registry index.
+func (b *CodeBuilder) Intern(idx int) *CodeBuilder { return b.U16(OpIntern, idx) }
+
+// InternName emits an internal call resolved by name on v.
+func (b *CodeBuilder) InternName(v *VM, name string) *CodeBuilder {
+	idx, ok := v.InternalIndex(name)
+	if !ok {
+		b.fail("unknown internal call %q", name)
+		return b
+	}
+	return b.Intern(idx)
+}
+
+// Ret returns void.
+func (b *CodeBuilder) Ret() *CodeBuilder { return b.Op(OpRet) }
+
+// RetVal returns the top of stack.
+func (b *CodeBuilder) RetVal() *CodeBuilder { return b.Op(OpRetVal) }
+
+// NewObj allocates an instance of mt.
+func (b *CodeBuilder) NewObj(mt *MethodTable) *CodeBuilder { return b.U16(OpNewObj, mt.Index) }
+
+// NewArr allocates an array of type mt (length popped from stack).
+func (b *CodeBuilder) NewArr(mt *MethodTable) *CodeBuilder { return b.U16(OpNewArr, mt.Index) }
+
+// LdFld loads the named field of the statically-typed receiver.
+func (b *CodeBuilder) LdFld(mt *MethodTable, name string) *CodeBuilder {
+	i := mt.FieldIndex(name)
+	if i < 0 {
+		b.fail("no field %s on %s", name, mt)
+		return b
+	}
+	return b.U16(OpLdFld, i)
+}
+
+// StFld stores the named field.
+func (b *CodeBuilder) StFld(mt *MethodTable, name string) *CodeBuilder {
+	i := mt.FieldIndex(name)
+	if i < 0 {
+		b.fail("no field %s on %s", name, mt)
+		return b
+	}
+	return b.U16(OpStFld, i)
+}
+
+// LdSFld / StSFld access statics by index.
+func (b *CodeBuilder) LdSFld(i int) *CodeBuilder { return b.U16(OpLdSFld, i) }
+
+// StSFld stores static slot i.
+func (b *CodeBuilder) StSFld(i int) *CodeBuilder { return b.U16(OpStSFld, i) }
+
+// Build resolves branches and produces the Method. It panics on
+// builder misuse (unknown label, bad operand) — builder errors are
+// programming errors in test/bench authoring, not runtime conditions.
+func (b *CodeBuilder) Build(name string, nargs, nlocals int, hasRet bool) *Method {
+	if b.err != nil {
+		panic(fmt.Sprintf("vm: building %s: %v", name, b.err))
+	}
+	for _, fx := range b.fixups {
+		target, ok := b.labels[fx.label]
+		if !ok {
+			panic(fmt.Sprintf("vm: building %s: undefined label %q", name, fx.label))
+		}
+		binary.LittleEndian.PutUint32(b.code[fx.at:], uint32(int32(target-fx.end)))
+	}
+	return &Method{
+		Name:    name,
+		NArgs:   nargs,
+		NLocals: nlocals,
+		HasRet:  hasRet,
+		Code:    append([]byte(nil), b.code...),
+	}
+}

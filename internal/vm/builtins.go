@@ -1,0 +1,71 @@
+package vm
+
+import (
+	"fmt"
+	"time"
+)
+
+// registerBuiltins installs the small set of internal calls every VM
+// provides regardless of embedder: console output, clock access and
+// explicit collection. The message-passing FCalls (System.MP) are
+// registered separately by the Motor core when a VM joins a world.
+func registerBuiltins(v *VM) {
+	v.RegisterInternal(InternalFunc{
+		Name: "console.writei", NArgs: 1,
+		Fn: func(t *Thread, args []Value) (Value, error) {
+			fmt.Fprintf(v.stdout(), "%d", args[0].Int())
+			return Value{}, nil
+		},
+	})
+	v.RegisterInternal(InternalFunc{
+		Name: "console.writef", NArgs: 1,
+		Fn: func(t *Thread, args []Value) (Value, error) {
+			fmt.Fprintf(v.stdout(), "%g", args[0].Float())
+			return Value{}, nil
+		},
+	})
+	v.RegisterInternal(InternalFunc{
+		Name: "console.writes", NArgs: 1,
+		Fn: func(t *Thread, args []Value) (Value, error) {
+			// The argument is a char (uint16) array.
+			ref := args[0].Ref()
+			if ref == NullRef {
+				fmt.Fprint(v.stdout(), "<null>")
+				return Value{}, nil
+			}
+			n := v.Heap.Length(ref)
+			runes := make([]rune, n)
+			for i := 0; i < n; i++ {
+				runes[i] = rune(uint16(v.Heap.GetElem(ref, i)))
+			}
+			fmt.Fprint(v.stdout(), string(runes))
+			return Value{}, nil
+		},
+	})
+	v.RegisterInternal(InternalFunc{
+		Name: "console.newline", NArgs: 0,
+		Fn: func(t *Thread, args []Value) (Value, error) {
+			fmt.Fprintln(v.stdout())
+			return Value{}, nil
+		},
+	})
+	v.RegisterInternal(InternalFunc{
+		Name: "sys.ticks", NArgs: 0, HasRet: true,
+		Fn: func(t *Thread, args []Value) (Value, error) {
+			return IntValue(time.Now().UnixNano()), nil
+		},
+	})
+	v.RegisterInternal(InternalFunc{
+		Name: "gc.collect", NArgs: 1,
+		Fn: func(t *Thread, args []Value) (Value, error) {
+			v.collect(args[0].Bool())
+			return Value{}, nil
+		},
+	})
+	v.RegisterInternal(InternalFunc{
+		Name: "gc.scavenges", NArgs: 0, HasRet: true,
+		Fn: func(t *Thread, args []Value) (Value, error) {
+			return IntValue(int64(v.Heap.Stats.Scavenges)), nil
+		},
+	})
+}

@@ -1,0 +1,71 @@
+package vm
+
+import (
+	"encoding/binary"
+	"fmt"
+	"strings"
+)
+
+// Disassemble renders a method body as one instruction per line, for
+// diagnostics and the assembler round-trip tests.
+func (v *VM) Disassemble(m *Method) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "; %s args=%d locals=%d ret=%v\n", m.FullName(), m.NArgs, m.NLocals, m.HasRet)
+	code := m.Code
+	pc := 0
+	for pc < len(code) {
+		op := Op(code[pc])
+		if int(op) >= int(opCount) {
+			fmt.Fprintf(&sb, "%4d: ??? (%d)\n", pc, op)
+			break
+		}
+		operandAt := pc + 1
+		next := pc + 1 + op.operandBytes()
+		if next > len(code) {
+			fmt.Fprintf(&sb, "%4d: %s <truncated>\n", pc, op.Name())
+			break
+		}
+		switch opTable[op].width {
+		case wNone:
+			fmt.Fprintf(&sb, "%4d: %s\n", pc, op.Name())
+		case wU16:
+			arg := int(u16(code, operandAt))
+			fmt.Fprintf(&sb, "%4d: %-10s %s\n", pc, op.Name(), v.describeU16(op, arg))
+		case wI32:
+			n := int32(binary.LittleEndian.Uint32(code[operandAt:]))
+			switch op {
+			case OpBr, OpBrTrue, OpBrFalse:
+				fmt.Fprintf(&sb, "%4d: %-10s -> %d\n", pc, op.Name(), next+int(n))
+			default:
+				fmt.Fprintf(&sb, "%4d: %-10s %d\n", pc, op.Name(), n)
+			}
+		case wI64:
+			bits := binary.LittleEndian.Uint64(code[operandAt:])
+			if op == OpLdcR8 {
+				fmt.Fprintf(&sb, "%4d: %-10s %g\n", pc, op.Name(), F64FromBits(bits))
+			} else {
+				fmt.Fprintf(&sb, "%4d: %-10s %d\n", pc, op.Name(), int64(bits))
+			}
+		}
+		pc = next
+	}
+	return sb.String()
+}
+
+func (v *VM) describeU16(op Op, arg int) string {
+	switch op {
+	case OpCall, OpCallVirt:
+		if m, ok := v.MethodByIndex(arg); ok {
+			return m.FullName()
+		}
+	case OpIntern:
+		if f, ok := v.InternalByIndex(arg); ok {
+			return f.Name
+		}
+	case OpNewObj, OpNewArr:
+		if mt, ok := v.TypeByIndex(arg); ok {
+			return mt.String()
+		}
+	}
+	return fmt.Sprintf("%d", arg)
+}

@@ -1,0 +1,320 @@
+package vm
+
+import "time"
+
+// The collector. Two-generational, stop-the-world (trivially so,
+// because managed execution is cooperatively scheduled — see
+// thread.go):
+//
+//   - A scavenge evacuates the younger block: live objects are copied
+//     into the elder space and every reference is forwarded. Pinned
+//     objects are marked in place and never move; if any survive, the
+//     whole younger block is donated to the elder generation and a
+//     fresh block carved — the exact SSCLI behaviour described in
+//     §5.2 of the paper.
+//   - A full collection additionally mark-sweeps the elder space in
+//     place (the elder generation is never compacted).
+//
+// Conditional pin requests are resolved at the start of the mark
+// phase: requests whose transport operation is still in flight pin
+// their object for the cycle; completed requests are discarded
+// (§4.3, §7.4). The Motor message-passing core registers a GC hook so
+// transport completion state is fresh when the requests are examined.
+
+// collect runs a collection. Callers must be in managed context (own
+// the execution token) — allocation sites and Thread.Collect* satisfy
+// this.
+func (v *VM) collect(full bool) {
+	h := v.Heap
+	if h.inGC {
+		return
+	}
+	h.inGC = true
+	defer func() { h.inGC = false }()
+
+	start := time.Now()
+	for _, hook := range v.gcHooks {
+		hook()
+	}
+	pinned := h.pinnedForCycle()
+	h.scavenge(v, pinned)
+	if full {
+		h.fullMarkSweep(v, pinned)
+	}
+	pause := uint64(time.Since(start).Nanoseconds())
+	h.Stats.PauseNs += pause
+	if pause > h.Stats.MaxPauseNs {
+		h.Stats.MaxPauseNs = pause
+	}
+}
+
+// visitAllRoots enumerates every reference slot outside the heap:
+// the handle table, statics, all managed threads' stacks and
+// protected frames, and embedder-provided root sets.
+func (v *VM) visitAllRoots(visit func(Ref) Ref) {
+	v.Handles.VisitRoots(visit)
+	for i := range v.globals {
+		if v.globals[i].IsRef && v.globals[i].Bits != 0 {
+			v.globals[i].Bits = uint64(visit(Ref(v.globals[i].Bits)))
+		}
+	}
+	v.mu.Lock()
+	threads := make([]*Thread, 0, len(v.threads))
+	for t := range v.threads {
+		threads = append(threads, t)
+	}
+	v.mu.Unlock()
+	for _, t := range threads {
+		t.visitRoots(visit)
+	}
+	for _, p := range v.extraRoots {
+		p.VisitRoots(visit)
+	}
+}
+
+// scanRefSlots applies f to every reference slot inside the object,
+// writing back changed values. Used by both GC phases.
+func (h *Heap) scanRefSlots(obj Ref, f func(Ref) Ref) {
+	mt := h.MT(obj)
+	if mt.Kind == TKArray {
+		if mt.Elem != KindRef {
+			return
+		}
+		base := uint32(obj) + arrayDataOff(mt)
+		n := int(h.arrayLen(obj))
+		for i := 0; i < n; i++ {
+			slot := base + uint32(4*i)
+			if r := Ref(h.u32(slot)); r != NullRef {
+				if nr := f(r); nr != r {
+					h.putU32(slot, uint32(nr))
+				}
+			}
+		}
+		return
+	}
+	for _, off := range mt.RefOffsets {
+		slot := uint32(obj) + HeaderSize + off
+		if r := Ref(h.u32(slot)); r != NullRef {
+			if nr := f(r); nr != r {
+				h.putU32(slot, uint32(nr))
+			}
+		}
+	}
+}
+
+// reservePromotionSpace guarantees a single free elder block large
+// enough to absorb the entire live nursery, so evacuation can never
+// fail partway (which would leave the heap inconsistent). Reports
+// false when the arena cannot provide it.
+func (h *Heap) reservePromotionSpace(need uint32) bool {
+	if need == 0 {
+		return true
+	}
+	// Splitting can absorb up to 8 bytes per promotion (tails smaller
+	// than a header), so pad the reservation by half.
+	need += need/2 + HeaderSize
+	for _, fb := range h.freeList {
+		if fb.size >= need {
+			return true
+		}
+	}
+	size := align8(need + HeaderSize)
+	start, err := h.carve(size)
+	if err != nil {
+		return false
+	}
+	h.addElderRange(start, start+size)
+	return true
+}
+
+// scavenge evacuates the younger block.
+func (h *Heap) scavenge(v *VM, pinned map[Ref]struct{}) {
+	ys, ye, yp := h.youngStart, h.youngEnd, h.youngPos
+	if ys == ye {
+		return // degraded mode: no nursery
+	}
+	if !h.reservePromotionSpace(yp - ys) {
+		// Cannot guarantee evacuation: leave the nursery as is; the
+		// allocator will fall back to the elder space and surface
+		// ErrOutOfMemory there.
+		return
+	}
+	h.Stats.Scavenges++
+	inYoung := func(r Ref) bool { return uint32(r) >= ys && uint32(r) < ye }
+
+	var scan []Ref
+	pinnedSurvivors := false
+
+	var forward func(Ref) Ref
+	forward = func(r Ref) Ref {
+		if r == NullRef || !inYoung(r) {
+			return r
+		}
+		fl := h.flags(r)
+		if fl&flagForwarded != 0 {
+			return Ref(h.u32(uint32(r) + hdrMT))
+		}
+		if _, pin := pinned[r]; pin {
+			if fl&flagMark == 0 {
+				h.orFlags(r, flagMark)
+				pinnedSurvivors = true
+				scan = append(scan, r)
+			}
+			return r
+		}
+		size := h.objSize(r)
+		newOff, ok := h.elderFit(size)
+		if !ok {
+			rangeSize := h.youngSize * 4
+			if rangeSize < size+HeaderSize {
+				rangeSize = align8(size + HeaderSize)
+			}
+			start, err := h.carve(rangeSize)
+			if err != nil {
+				panic(ErrOutOfMemory)
+			}
+			h.addElderRange(start, start+rangeSize)
+			newOff, ok = h.elderFit(size)
+			if !ok {
+				panic(ErrOutOfMemory)
+			}
+		}
+		copy(h.mem[newOff:newOff+size], h.mem[uint32(r):uint32(r)+size])
+		h.putU32(uint32(r)+hdrMT, newOff)
+		h.orFlags(r, flagForwarded)
+		h.Stats.BytesPromoted += uint64(size)
+		scan = append(scan, Ref(newOff))
+		return Ref(newOff)
+	}
+
+	// Roots: external slots, pinned objects (a transport holds their
+	// address, so they are live regardless of managed reachability),
+	// and elder objects recorded by the write barrier.
+	v.visitAllRoots(forward)
+	for r := range pinned {
+		if inYoung(r) {
+			forward(r)
+		}
+	}
+	for obj := range h.remembered {
+		h.scanRefSlots(obj, forward)
+	}
+
+	for len(scan) > 0 {
+		obj := scan[len(scan)-1]
+		scan = scan[:len(scan)-1]
+		h.scanRefSlots(obj, forward)
+	}
+
+	if pinnedSurvivors {
+		h.donateYoungBlock(ys, ye, yp)
+		h.Stats.BlocksDonated++
+		if err := h.newYoungBlock(); err != nil {
+			// Arena exhausted: run without a nursery; allocations
+			// fall through to the elder space.
+			h.youngStart, h.youngPos, h.youngEnd = 0, 0, 0
+		}
+	} else {
+		// The whole block is dead or evacuated: reset and reuse.
+		clearBytes(h.mem[ys:yp])
+		h.youngPos = ys
+	}
+	// The younger generation is empty (or donated): the remembered
+	// set can be rebuilt from scratch by the write barrier.
+	h.remembered = make(map[Ref]struct{})
+}
+
+// donateYoungBlock relabels the current younger block as elder space:
+// pinned survivors stay where they are as elder objects; dead gaps
+// become free blocks.
+func (h *Heap) donateYoungBlock(ys, ye, yp uint32) {
+	h.elderRanges = append(h.elderRanges, rng{ys, ye})
+	freeStart := ys
+	pos := ys
+	flushFree := func(end uint32) {
+		if end > freeStart {
+			size := end - freeStart
+			if size >= HeaderSize {
+				h.writeFreeBlock(freeStart, size)
+				h.freeList = append(h.freeList, freeBlock{freeStart, size})
+			}
+		}
+	}
+	for pos < yp {
+		size := h.objSize(Ref(pos))
+		if size < HeaderSize || pos+size > yp {
+			// Corrupt walk — should not happen; absorb the rest.
+			break
+		}
+		fl := h.flags(Ref(pos))
+		if fl&flagMark != 0 && fl&flagForwarded == 0 {
+			// Pinned survivor: keep in place, now elder.
+			flushFree(pos)
+			h.clearFlags(Ref(pos), flagMark)
+			h.elderUsed += size
+			freeStart = pos + size
+		}
+		pos += size
+	}
+	flushFree(ye)
+}
+
+// fullMarkSweep marks from all roots and sweeps the elder ranges in
+// place, rebuilding the free lists with coalescing.
+func (h *Heap) fullMarkSweep(v *VM, pinned map[Ref]struct{}) {
+	h.Stats.FullGCs++
+	var stack []Ref
+	mark := func(r Ref) Ref {
+		if r == NullRef {
+			return r
+		}
+		if h.flags(r)&flagMark == 0 {
+			h.orFlags(r, flagMark)
+			stack = append(stack, r)
+		}
+		return r
+	}
+	v.visitAllRoots(mark)
+	for r := range pinned {
+		mark(r)
+	}
+	for len(stack) > 0 {
+		obj := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		h.scanRefSlots(obj, mark)
+	}
+
+	// Sweep.
+	h.freeList = h.freeList[:0]
+	h.elderUsed = 0
+	for _, rg := range h.elderRanges {
+		pos := rg.start
+		freeStart := rg.start
+		flush := func(end uint32) {
+			// Runs smaller than a header cannot be described in place;
+			// they are leaked until the surrounding space coalesces.
+			if end > freeStart && end-freeStart >= HeaderSize {
+				size := end - freeStart
+				h.writeFreeBlock(freeStart, size)
+				h.freeList = append(h.freeList, freeBlock{freeStart, size})
+			}
+		}
+		for pos < rg.end {
+			size := h.objSize(Ref(pos))
+			if size < HeaderSize || pos+size > rg.end {
+				break
+			}
+			if h.mtIndex(Ref(pos)) != freeSentinel && h.flags(Ref(pos))&flagMark != 0 {
+				flush(pos)
+				h.clearFlags(Ref(pos), flagMark)
+				h.elderUsed += size
+				freeStart = pos + size
+			} else if h.mtIndex(Ref(pos)) != freeSentinel {
+				h.Stats.BytesSwept += uint64(size)
+			}
+			pos += size
+		}
+		flush(rg.end)
+	}
+	h.sinceFull = 0
+}

@@ -1,0 +1,75 @@
+package vm
+
+// Handle is a stable, GC-updated indirection to a managed object.
+// Go-side subsystems (the message-passing core, serializer buffers,
+// the public facade) hold handles rather than raw Refs so that object
+// movement never invalidates them.
+type Handle int
+
+// InvalidHandle is the zero value returned for failed allocations.
+const InvalidHandle Handle = -1
+
+// HandleTable stores strong handles. It is registered as a GC root
+// provider on every VM.
+type HandleTable struct {
+	slots []Ref
+	free  []int
+}
+
+func newHandleTable() *HandleTable { return &HandleTable{} }
+
+// Alloc creates a handle to ref.
+func (ht *HandleTable) Alloc(ref Ref) Handle {
+	if n := len(ht.free); n > 0 {
+		i := ht.free[n-1]
+		ht.free = ht.free[:n-1]
+		ht.slots[i] = ref
+		return Handle(i)
+	}
+	ht.slots = append(ht.slots, ref)
+	return Handle(len(ht.slots) - 1)
+}
+
+// Get returns the current location of the handle's object.
+func (ht *HandleTable) Get(h Handle) Ref {
+	if h < 0 || int(h) >= len(ht.slots) {
+		return NullRef
+	}
+	return ht.slots[h]
+}
+
+// Set repoints a handle.
+func (ht *HandleTable) Set(h Handle, ref Ref) {
+	if h >= 0 && int(h) < len(ht.slots) {
+		ht.slots[h] = ref
+	}
+}
+
+// Free releases the handle.
+func (ht *HandleTable) Free(h Handle) {
+	if h < 0 || int(h) >= len(ht.slots) {
+		return
+	}
+	ht.slots[h] = NullRef
+	ht.free = append(ht.free, int(h))
+}
+
+// Live counts non-null slots (stats surface).
+func (ht *HandleTable) Live() int {
+	n := 0
+	for _, r := range ht.slots {
+		if r != NullRef {
+			n++
+		}
+	}
+	return n
+}
+
+// VisitRoots implements RootProvider.
+func (ht *HandleTable) VisitRoots(visit func(Ref) Ref) {
+	for i, r := range ht.slots {
+		if r != NullRef {
+			ht.slots[i] = visit(r)
+		}
+	}
+}

@@ -1,0 +1,108 @@
+// Package vm implements the managed virtual machine substrate of the
+// Motor reproduction: a byte-addressable heap with a strongly typed
+// object model, a two-generational garbage collector with pinning
+// (including the conditional pin requests of the paper's §4.3/§7.4),
+// a stack-based bytecode interpreter with a text assembler, and an
+// internal-call (FCall) mechanism with GC-protected pointer frames.
+//
+// The package corresponds to the SSCLI ("Rotor") runtime of the paper.
+package vm
+
+import "fmt"
+
+// Kind identifies a primitive value category used for fields, array
+// elements and interpreter conversions. KindRef identifies an object
+// reference; everything else is an unmanaged scalar.
+type Kind uint8
+
+// The primitive kinds mirror the CLI built-in value types that the
+// paper's MPI bindings accept as "simple types".
+const (
+	KindVoid Kind = iota
+	KindBool
+	KindInt8
+	KindUint8
+	KindInt16
+	KindUint16
+	KindChar // UTF-16 code unit, as in the CLI
+	KindInt32
+	KindUint32
+	KindInt64
+	KindUint64
+	KindFloat32
+	KindFloat64
+	KindRef
+
+	numKinds
+)
+
+var kindSizes = [numKinds]int{
+	KindVoid:    0,
+	KindBool:    1,
+	KindInt8:    1,
+	KindUint8:   1,
+	KindInt16:   2,
+	KindUint16:  2,
+	KindChar:    2,
+	KindInt32:   4,
+	KindUint32:  4,
+	KindInt64:   8,
+	KindUint64:  8,
+	KindFloat32: 4,
+	KindFloat64: 8,
+	KindRef:     4, // object references are 32-bit heap offsets
+}
+
+var kindNames = [numKinds]string{
+	KindVoid:    "void",
+	KindBool:    "bool",
+	KindInt8:    "int8",
+	KindUint8:   "uint8",
+	KindInt16:   "int16",
+	KindUint16:  "uint16",
+	KindChar:    "char",
+	KindInt32:   "int32",
+	KindUint32:  "uint32",
+	KindInt64:   "int64",
+	KindUint64:  "uint64",
+	KindFloat32: "float32",
+	KindFloat64: "float64",
+	KindRef:     "object",
+}
+
+// Size returns the number of heap bytes a value of this kind occupies.
+func (k Kind) Size() int {
+	if int(k) >= len(kindSizes) {
+		return 0
+	}
+	return kindSizes[k]
+}
+
+// Simple reports whether the kind is an unmanaged scalar — the only
+// field kinds the Motor MPI bindings allow in a transport object,
+// preserving object-model integrity (paper §4.2.1).
+func (k Kind) Simple() bool {
+	return k > KindVoid && k < KindRef
+}
+
+// String returns the assembler name of the kind.
+func (k Kind) String() string {
+	if int(k) >= len(kindNames) {
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+	return kindNames[k]
+}
+
+// KindByName resolves an assembler type token ("int32", "float64", …)
+// to its Kind. The second result reports whether the name was known.
+func KindByName(name string) (Kind, bool) {
+	for k, n := range kindNames {
+		if n == name && Kind(k) != KindVoid {
+			return Kind(k), true
+		}
+	}
+	if name == "void" {
+		return KindVoid, true
+	}
+	return KindVoid, false
+}

@@ -1,0 +1,281 @@
+package vm
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// This file provides typed access to managed objects: scalar and
+// reference fields, array elements, and — for the message-passing
+// core — the raw byte range of an object's instance data, which is
+// what a zero-copy transport reads and writes directly (paper §2.3).
+
+// Length returns the total element count of an array object (the
+// product of dimensions for multidimensional arrays), or 0 for class
+// instances.
+func (h *Heap) Length(ref Ref) int { return int(h.arrayLen(ref)) }
+
+// Dims returns the dimension sizes of a multidimensional array, or
+// a single-element slice for vectors.
+func (h *Heap) Dims(ref Ref) []int {
+	mt := h.MT(ref)
+	if mt.Kind != TKArray {
+		return nil
+	}
+	if mt.Rank <= 1 {
+		return []int{int(h.arrayLen(ref))}
+	}
+	dims := make([]int, mt.Rank)
+	for i := range dims {
+		dims[i] = int(h.u32(uint32(ref) + HeaderSize + uint32(4*i)))
+	}
+	return dims
+}
+
+// DataRange returns the [start,end) arena offsets of the object's
+// instance data: field storage for classes, element storage for
+// arrays. This is the buffer a zero-copy transport targets; the
+// object must be protected from movement (pinned, or established as
+// elder-resident) while the range is in use.
+func (h *Heap) DataRange(ref Ref) (start, end uint32) {
+	mt := h.MT(ref)
+	off := uint32(ref)
+	if mt.Kind == TKArray {
+		d := arrayDataOff(mt)
+		return off + d, off + d + uint32(h.Length(ref)*mt.ElemSize())
+	}
+	return off + HeaderSize, off + HeaderSize + mt.InstanceSize
+}
+
+// Bytes returns the live arena slice [start,end). The slice is only
+// valid until the next allocation (the arena may grow) — transports
+// must re-resolve it on every progress step.
+func (h *Heap) Bytes(start, end uint32) []byte { return h.mem[start:end] }
+
+// DataBytes resolves the instance-data slice of an object.
+func (h *Heap) DataBytes(ref Ref) []byte {
+	s, e := h.DataRange(ref)
+	return h.mem[s:e]
+}
+
+// DataSize returns the byte size of the object's instance data — the
+// implicit message length the Motor bindings derive instead of taking
+// a count/datatype pair (paper §4.2.1).
+func (h *Heap) DataSize(ref Ref) int {
+	s, e := h.DataRange(ref)
+	return int(e - s)
+}
+
+// --- field access -------------------------------------------------------
+
+func (h *Heap) fieldOff(ref Ref, f *FieldDesc) uint32 {
+	return uint32(ref) + HeaderSize + f.Offset()
+}
+
+// GetScalar reads a scalar field as raw uint64 bits (sign-extended
+// for signed kinds, IEEE bits for floats).
+func (h *Heap) GetScalar(ref Ref, f *FieldDesc) uint64 {
+	return h.loadKind(h.fieldOff(ref, f), f.Kind())
+}
+
+// SetScalar writes a scalar field from raw bits.
+func (h *Heap) SetScalar(ref Ref, f *FieldDesc, bits uint64) {
+	h.storeKind(h.fieldOff(ref, f), f.Kind(), bits)
+}
+
+// GetRef reads a reference field.
+func (h *Heap) GetRef(ref Ref, f *FieldDesc) Ref {
+	return Ref(h.u32(h.fieldOff(ref, f)))
+}
+
+// SetRef writes a reference field, applying the generational write
+// barrier.
+func (h *Heap) SetRef(ref Ref, f *FieldDesc, val Ref) {
+	h.putU32(h.fieldOff(ref, f), uint32(val))
+	h.recordWrite(ref, val)
+}
+
+// GetField reads any field as (bits, isRef).
+func (h *Heap) GetField(ref Ref, f *FieldDesc) (uint64, bool) {
+	if f.IsRef() {
+		return uint64(h.GetRef(ref, f)), true
+	}
+	return h.GetScalar(ref, f), false
+}
+
+// SetField writes any field from (bits, isRef form implied by f).
+func (h *Heap) SetField(ref Ref, f *FieldDesc, bits uint64) {
+	if f.IsRef() {
+		h.SetRef(ref, f, Ref(bits))
+		return
+	}
+	h.SetScalar(ref, f, bits)
+}
+
+// --- array element access ------------------------------------------------
+
+func (h *Heap) elemOff(ref Ref, mt *MethodTable, i int) uint32 {
+	return uint32(ref) + arrayDataOff(mt) + uint32(i*mt.ElemSize())
+}
+
+// GetElem reads element i of an array as raw bits.
+func (h *Heap) GetElem(ref Ref, i int) uint64 {
+	mt := h.MT(ref)
+	h.boundsCheck(ref, i)
+	return h.loadKind(h.elemOff(ref, mt, i), mt.Elem)
+}
+
+// SetElem writes element i of an array from raw bits, applying the
+// write barrier for reference elements.
+func (h *Heap) SetElem(ref Ref, i int, bits uint64) {
+	mt := h.MT(ref)
+	h.boundsCheck(ref, i)
+	h.storeKind(h.elemOff(ref, mt, i), mt.Elem, bits)
+	if mt.Elem == KindRef {
+		h.recordWrite(ref, Ref(bits))
+	}
+}
+
+// GetElemRef reads a reference element.
+func (h *Heap) GetElemRef(ref Ref, i int) Ref { return Ref(h.GetElem(ref, i)) }
+
+// SetElemRef writes a reference element.
+func (h *Heap) SetElemRef(ref Ref, i int, val Ref) { h.SetElem(ref, i, uint64(val)) }
+
+func (h *Heap) boundsCheck(ref Ref, i int) {
+	if n := int(h.arrayLen(ref)); i < 0 || i >= n {
+		panic(&BoundsError{Ref: ref, Index: i, Length: n})
+	}
+}
+
+// BoundsError is raised (as a panic caught by the interpreter) on an
+// out-of-range array access. Bounds are what stop a transport or a
+// managed program from "overwriting the end of an object" (§2.4).
+type BoundsError struct {
+	Ref    Ref
+	Index  int
+	Length int
+}
+
+// Error implements the error interface.
+func (e *BoundsError) Error() string {
+	return fmt.Sprintf("vm: index %d out of range (length %d) on object %#x", e.Index, e.Length, e.Ref)
+}
+
+// --- scalar load/store by kind -------------------------------------------
+
+func (h *Heap) loadKind(off uint32, k Kind) uint64 {
+	switch k {
+	case KindBool, KindUint8:
+		return uint64(h.mem[off])
+	case KindInt8:
+		return uint64(int64(int8(h.mem[off])))
+	case KindUint16, KindChar:
+		return uint64(binary.LittleEndian.Uint16(h.mem[off:]))
+	case KindInt16:
+		return uint64(int64(int16(binary.LittleEndian.Uint16(h.mem[off:]))))
+	case KindUint32, KindRef:
+		return uint64(binary.LittleEndian.Uint32(h.mem[off:]))
+	case KindInt32:
+		return uint64(int64(int32(binary.LittleEndian.Uint32(h.mem[off:]))))
+	case KindInt64, KindUint64, KindFloat64:
+		return binary.LittleEndian.Uint64(h.mem[off:])
+	case KindFloat32:
+		return uint64(binary.LittleEndian.Uint32(h.mem[off:]))
+	default:
+		panic(fmt.Sprintf("vm: load of kind %s", k))
+	}
+}
+
+func (h *Heap) storeKind(off uint32, k Kind, bits uint64) {
+	switch k {
+	case KindBool, KindInt8, KindUint8:
+		h.mem[off] = byte(bits)
+	case KindInt16, KindUint16, KindChar:
+		binary.LittleEndian.PutUint16(h.mem[off:], uint16(bits))
+	case KindInt32, KindUint32, KindRef, KindFloat32:
+		binary.LittleEndian.PutUint32(h.mem[off:], uint32(bits))
+	case KindInt64, KindUint64, KindFloat64:
+		binary.LittleEndian.PutUint64(h.mem[off:], bits)
+	default:
+		panic(fmt.Sprintf("vm: store of kind %s", k))
+	}
+}
+
+// Float64Bits helpers for interpreter and tests.
+
+// F64FromBits converts raw bits to float64.
+func F64FromBits(b uint64) float64 { return math.Float64frombits(b) }
+
+// BitsFromF64 converts float64 to raw bits.
+func BitsFromF64(f float64) uint64 { return math.Float64bits(f) }
+
+func f32FromBits(b uint32) float32 { return math.Float32frombits(b) }
+func f32Bits(f float32) uint32     { return math.Float32bits(f) }
+
+// --- convenience builders (used heavily by tests, FCalls, benches) --------
+
+// NewInt32Array allocates and fills a rank-1 int32 array.
+func (h *Heap) NewInt32Array(vals []int32) (Ref, error) {
+	mt := h.vm.ArrayType(KindInt32, nil, 1)
+	ref, err := h.AllocArray(mt, len(vals))
+	if err != nil {
+		return NullRef, err
+	}
+	for i, v := range vals {
+		h.SetElem(ref, i, uint64(uint32(v)))
+	}
+	return ref, nil
+}
+
+// NewUint8Array allocates and fills a rank-1 byte array.
+func (h *Heap) NewUint8Array(vals []byte) (Ref, error) {
+	mt := h.vm.ArrayType(KindUint8, nil, 1)
+	ref, err := h.AllocArray(mt, len(vals))
+	if err != nil {
+		return NullRef, err
+	}
+	copy(h.DataBytes(ref), vals)
+	return ref, nil
+}
+
+// NewFloat64Array allocates and fills a rank-1 float64 array.
+func (h *Heap) NewFloat64Array(vals []float64) (Ref, error) {
+	mt := h.vm.ArrayType(KindFloat64, nil, 1)
+	ref, err := h.AllocArray(mt, len(vals))
+	if err != nil {
+		return NullRef, err
+	}
+	for i, v := range vals {
+		h.SetElem(ref, i, BitsFromF64(v))
+	}
+	return ref, nil
+}
+
+// Int32Slice copies out an int32 array's contents.
+func (h *Heap) Int32Slice(ref Ref) []int32 {
+	n := h.Length(ref)
+	out := make([]int32, n)
+	for i := 0; i < n; i++ {
+		out[i] = int32(uint32(h.GetElem(ref, i)))
+	}
+	return out
+}
+
+// Uint8Slice copies out a byte array's contents.
+func (h *Heap) Uint8Slice(ref Ref) []byte {
+	out := make([]byte, h.Length(ref))
+	copy(out, h.DataBytes(ref))
+	return out
+}
+
+// Float64Slice copies out a float64 array's contents.
+func (h *Heap) Float64Slice(ref Ref) []float64 {
+	n := h.Length(ref)
+	out := make([]float64, n)
+	for i := 0; i < n; i++ {
+		out[i] = F64FromBits(h.GetElem(ref, i))
+	}
+	return out
+}

@@ -1,0 +1,193 @@
+package vm
+
+// Op is a bytecode opcode. The instruction set is a compact CIL-like
+// stack machine: enough to express the paper's managed workloads
+// (ping-pong drivers, linked-structure construction, numeric kernels)
+// while keeping the interpreter auditable.
+type Op byte
+
+// Opcodes. Operand widths are fixed per opcode (see opInfo).
+const (
+	OpNop Op = iota
+
+	// Constants.
+	OpLdcI4 // int32 immediate, pushed sign-extended
+	OpLdcI8 // int64 immediate
+	OpLdcR8 // float64 immediate
+	OpLdNull
+
+	// Locals and arguments.
+	OpLdLoc // u16 index
+	OpStLoc // u16 index
+	OpLdArg // u16 index
+	OpStArg // u16 index
+
+	// Stack shuffling.
+	OpDup
+	OpPop
+
+	// Integer arithmetic (int64 semantics).
+	OpAdd
+	OpSub
+	OpMul
+	OpDiv
+	OpRem
+	OpNeg
+	OpAnd
+	OpOr
+	OpXor
+	OpShl
+	OpShr
+	OpNot
+
+	// Float arithmetic (float64 semantics).
+	OpAddF
+	OpSubF
+	OpMulF
+	OpDivF
+	OpNegF
+
+	// Comparisons (push 0/1).
+	OpCeq
+	OpClt
+	OpCgt
+	OpCeqF
+	OpCltF
+	OpCgtF
+
+	// Conversions.
+	OpConvI2F
+	OpConvF2I
+
+	// Control flow. Branch operands are int32 offsets relative to the
+	// end of the instruction.
+	OpBr
+	OpBrTrue
+	OpBrFalse
+
+	// Calls.
+	OpCall     // u16 method index
+	OpCallVirt // u16 method index of the statically named method; dispatched via the receiver's vtable slot
+	OpIntern   // u16 internal-call index (FCall)
+	OpRet      // return void
+	OpRetVal   // return top of stack
+
+	// Objects and arrays.
+	OpNewObj // u16 type index
+	OpNewArr // u16 array-type index; pops length
+	OpNewMD  // u16 array-type index; pops rank dimension sizes (row-major order)
+	OpLdLen
+	OpLdElem // pops index, array
+	OpStElem // pops value, index, array
+	OpLdFld  // u16 field slot; pops object
+	OpStFld  // u16 field slot; pops value, object
+	OpLdSFld // u16 global index
+	OpStSFld // u16 global index
+
+	opCount
+)
+
+// operand width categories
+type opWidth uint8
+
+const (
+	wNone opWidth = iota
+	wU16
+	wI32
+	wI64
+)
+
+type opInfo struct {
+	name  string
+	width opWidth
+}
+
+var opTable = [opCount]opInfo{
+	OpNop:      {"nop", wNone},
+	OpLdcI4:    {"ldc.i4", wI32},
+	OpLdcI8:    {"ldc.i8", wI64},
+	OpLdcR8:    {"ldc.r8", wI64},
+	OpLdNull:   {"ldnull", wNone},
+	OpLdLoc:    {"ldloc", wU16},
+	OpStLoc:    {"stloc", wU16},
+	OpLdArg:    {"ldarg", wU16},
+	OpStArg:    {"starg", wU16},
+	OpDup:      {"dup", wNone},
+	OpPop:      {"pop", wNone},
+	OpAdd:      {"add", wNone},
+	OpSub:      {"sub", wNone},
+	OpMul:      {"mul", wNone},
+	OpDiv:      {"div", wNone},
+	OpRem:      {"rem", wNone},
+	OpNeg:      {"neg", wNone},
+	OpAnd:      {"and", wNone},
+	OpOr:       {"or", wNone},
+	OpXor:      {"xor", wNone},
+	OpShl:      {"shl", wNone},
+	OpShr:      {"shr", wNone},
+	OpNot:      {"not", wNone},
+	OpAddF:     {"add.f", wNone},
+	OpSubF:     {"sub.f", wNone},
+	OpMulF:     {"mul.f", wNone},
+	OpDivF:     {"div.f", wNone},
+	OpNegF:     {"neg.f", wNone},
+	OpCeq:      {"ceq", wNone},
+	OpClt:      {"clt", wNone},
+	OpCgt:      {"cgt", wNone},
+	OpCeqF:     {"ceq.f", wNone},
+	OpCltF:     {"clt.f", wNone},
+	OpCgtF:     {"cgt.f", wNone},
+	OpConvI2F:  {"conv.i2f", wNone},
+	OpConvF2I:  {"conv.f2i", wNone},
+	OpBr:       {"br", wI32},
+	OpBrTrue:   {"brtrue", wI32},
+	OpBrFalse:  {"brfalse", wI32},
+	OpCall:     {"call", wU16},
+	OpCallVirt: {"callvirt", wU16},
+	OpIntern:   {"intern", wU16},
+	OpRet:      {"ret", wNone},
+	OpRetVal:   {"ret.val", wNone},
+	OpNewObj:   {"newobj", wU16},
+	OpNewArr:   {"newarr", wU16},
+	OpNewMD:    {"newmd", wU16},
+	OpLdLen:    {"ldlen", wNone},
+	OpLdElem:   {"ldelem", wNone},
+	OpStElem:   {"stelem", wNone},
+	OpLdFld:    {"ldfld", wU16},
+	OpStFld:    {"stfld", wU16},
+	OpLdSFld:   {"ldsfld", wU16},
+	OpStSFld:   {"stsfld", wU16},
+}
+
+// Name returns the assembler mnemonic.
+func (o Op) Name() string {
+	if int(o) < len(opTable) && opTable[o].name != "" {
+		return opTable[o].name
+	}
+	return "op?"
+}
+
+// width returns the operand byte count.
+func (o Op) operandBytes() int {
+	switch opTable[o].width {
+	case wU16:
+		return 2
+	case wI32:
+		return 4
+	case wI64:
+		return 8
+	default:
+		return 0
+	}
+}
+
+// opByName resolves a mnemonic (used by the text assembler).
+var opByName = func() map[string]Op {
+	m := make(map[string]Op, opCount)
+	for op := Op(0); op < opCount; op++ {
+		if opTable[op].name != "" {
+			m[opTable[op].name] = op
+		}
+	}
+	return m
+}()

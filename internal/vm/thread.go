@@ -1,0 +1,123 @@
+package vm
+
+import "fmt"
+
+// Managed threads are cooperatively scheduled: at most one thread of
+// a VM executes managed code at a time, and control transfers only at
+// GC poll points (branches, calls, allocation, and the polling-waits
+// inside FCalls). This realizes the paper's safepoint discipline —
+// "only when all threads enter the safe state does collection
+// commence" (§5.2) — because any thread that is not running is, by
+// construction, parked at a poll point or executing native code that
+// touches no managed memory.
+//
+// An FCall that needs to wait (for example on message transport) must
+// therefore never block in Go; it loops calling Thread.PollGC, which
+// both yields to sibling threads and lets their collections proceed.
+// This is exactly the polling-wait the paper substitutes for blocking
+// system calls (§7.1).
+
+// Thread is one managed execution context.
+type Thread struct {
+	vm   *VM
+	name string
+
+	// callStack is maintained by the interpreter.
+	callStack []*callFrame
+
+	// prot holds FCall-protected reference slots: Go-side locals that
+	// the collector must treat as roots and update on movement,
+	// mirroring the SSCLI's protected object pointers (§5.1).
+	prot [][]*Ref
+
+	attached bool
+}
+
+// StartThread creates a managed thread and enters managed execution
+// (acquiring the VM's execution token). The caller must End it.
+func (v *VM) StartThread(name string) *Thread {
+	t := &Thread{vm: v, name: name}
+	v.execMu.Lock()
+	v.mu.Lock()
+	v.threads[t] = struct{}{}
+	t.attached = true
+	v.mu.Unlock()
+	return t
+}
+
+// End leaves managed execution and detaches the thread.
+func (t *Thread) End() {
+	if !t.attached {
+		return
+	}
+	t.vm.mu.Lock()
+	delete(t.vm.threads, t)
+	t.attached = false
+	t.vm.mu.Unlock()
+	t.vm.execMu.Unlock()
+}
+
+// VM returns the owning VM.
+func (t *Thread) VM() *VM { return t.vm }
+
+// Name returns the thread's diagnostic name.
+func (t *Thread) Name() string { return t.name }
+
+// PollGC is the cooperative safepoint: it momentarily releases the
+// execution token so sibling threads may run (and collect). The
+// interpreter emits polls at backward branches and calls; FCalls call
+// it on entry, on exit, and inside polling-waits (§7.4).
+func (t *Thread) PollGC() { t.vm.PollPoint() }
+
+// PollPoint is the VM-level safepoint for embedders that hold the
+// execution token but have no Thread at hand (the message-passing
+// engine's internal polling-waits). Equivalent to Thread.PollGC.
+func (v *VM) PollPoint() {
+	v.execMu.Unlock()
+	v.execMu.Lock()
+}
+
+// PushFrame registers FCall-protected reference slots and returns the
+// matching pop function (use with defer). While registered, the slots
+// are GC roots and are forwarded if their objects move.
+func (t *Thread) PushFrame(refs ...*Ref) func() {
+	t.prot = append(t.prot, refs)
+	depth := len(t.prot)
+	return func() {
+		if len(t.prot) != depth {
+			panic(fmt.Sprintf("vm: unbalanced protected frame pop on thread %s", t.name))
+		}
+		t.prot = t.prot[:depth-1]
+	}
+}
+
+// visitRoots applies visit to every reference slot owned by the
+// thread: interpreter locals, evaluation stacks, and protected FCall
+// frames.
+func (t *Thread) visitRoots(visit func(Ref) Ref) {
+	for _, fr := range t.callStack {
+		fr.visitRoots(visit)
+	}
+	for _, frame := range t.prot {
+		for _, slot := range frame {
+			if *slot != NullRef {
+				*slot = visit(*slot)
+			}
+		}
+	}
+}
+
+// WithThread runs f inside a temporary managed thread. It is the
+// standard entry point for tests and embedders that need heap access.
+func (v *VM) WithThread(name string, f func(t *Thread)) {
+	t := v.StartThread(name)
+	defer t.End()
+	f(t)
+}
+
+// CollectYoung forces a scavenge. Must be called from managed context
+// (inside a thread).
+func (t *Thread) CollectYoung() { t.vm.collect(false) }
+
+// CollectFull forces a full (scavenge + elder mark-sweep) collection.
+func (t *Thread) CollectFull() { t.vm.collect(true) }

@@ -1,0 +1,79 @@
+package vm
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Type-name syntax, CLI-style:
+//
+//	int32        primitive kind (not an object type by itself)
+//	Cell         class
+//	int32[]      vector of int32
+//	int32[,]     true rank-2 rectangular array (one object)
+//	Cell[][]     jagged: vector of vectors of Cell references
+//	int32[,][]   vector of rank-2 int32 arrays
+//
+// ArrayType generates these names and ResolveTypeName parses them, so
+// serialized type tables and masm programs agree on array identity.
+
+// arrayTypeName renders the canonical name for an array shape.
+func arrayTypeName(elem Kind, elemMT *MethodTable, rank int) string {
+	base := elem.String()
+	if elem == KindRef && elemMT != nil {
+		base = elemMT.Name
+	}
+	if rank <= 1 {
+		return base + "[]"
+	}
+	return base + "[" + strings.Repeat(",", rank-1) + "]"
+}
+
+// ResolveTypeName resolves a type-name string against the registry,
+// materializing array types on demand. Bare primitive kind names are
+// rejected (they are not object types); use KindByName for those.
+func (v *VM) ResolveTypeName(name string) (*MethodTable, error) {
+	open := strings.IndexByte(name, '[')
+	if open < 0 {
+		if mt, ok := v.TypeByName(name); ok {
+			return mt, nil
+		}
+		return nil, fmt.Errorf("vm: unknown type %q", name)
+	}
+	base := name[:open]
+	rest := name[open:]
+
+	// Parse the bracket groups.
+	var ranks []int
+	for len(rest) > 0 {
+		if rest[0] != '[' {
+			return nil, fmt.Errorf("vm: malformed type name %q", name)
+		}
+		close := strings.IndexByte(rest, ']')
+		if close < 0 {
+			return nil, fmt.Errorf("vm: malformed type name %q", name)
+		}
+		inner := rest[1:close]
+		if strings.Trim(inner, ",") != "" {
+			return nil, fmt.Errorf("vm: malformed array suffix in %q", name)
+		}
+		ranks = append(ranks, len(inner)+1)
+		rest = rest[close+1:]
+	}
+
+	// Innermost array first: base kind or class.
+	var cur *MethodTable
+	if k, ok := KindByName(base); ok && k != KindVoid {
+		cur = v.ArrayType(k, nil, ranks[0])
+	} else if base == "object" {
+		cur = v.ArrayType(KindRef, nil, ranks[0])
+	} else if mt, found := v.TypeByName(base); found {
+		cur = v.ArrayType(KindRef, mt, ranks[0])
+	} else {
+		return nil, fmt.Errorf("vm: unknown type %q in %q", base, name)
+	}
+	for _, r := range ranks[1:] {
+		cur = v.ArrayType(KindRef, cur, r)
+	}
+	return cur, nil
+}

@@ -1,0 +1,38 @@
+package vm
+
+// Value is one interpreter stack slot or local: 64 raw bits plus a
+// tag telling the collector whether the bits are a managed reference.
+// The tag is what lets the GC enumerate stack roots precisely.
+type Value struct {
+	Bits  uint64
+	IsRef bool
+}
+
+// RefValue wraps a managed reference.
+func RefValue(r Ref) Value { return Value{Bits: uint64(r), IsRef: true} }
+
+// IntValue wraps a signed integer.
+func IntValue(i int64) Value { return Value{Bits: uint64(i)} }
+
+// FloatValue wraps a float64.
+func FloatValue(f float64) Value { return Value{Bits: BitsFromF64(f)} }
+
+// BoolValue wraps a bool as 0/1.
+func BoolValue(b bool) Value {
+	if b {
+		return Value{Bits: 1}
+	}
+	return Value{}
+}
+
+// Ref interprets the value as a managed reference.
+func (v Value) Ref() Ref { return Ref(v.Bits) }
+
+// Int interprets the value as a signed integer.
+func (v Value) Int() int64 { return int64(v.Bits) }
+
+// Float interprets the value as a float64.
+func (v Value) Float() float64 { return F64FromBits(v.Bits) }
+
+// Bool interprets the value as a truth value.
+func (v Value) Bool() bool { return v.Bits != 0 }

@@ -1,0 +1,423 @@
+package vm
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"reflect"
+	"sort"
+	"sync"
+)
+
+// Config configures a VM instance.
+type Config struct {
+	Heap HeapConfig
+	// Name labels the VM in diagnostics (usually "rank N").
+	Name string
+	// Stdout receives console output from managed programs; defaults
+	// to os.Stdout.
+	Stdout io.Writer
+}
+
+// VM is one managed runtime instance: a heap, a type registry, static
+// (global) storage, registered internal calls, and a set of managed
+// threads coordinated through cooperative safepoints. In a Motor
+// world each MPI rank owns exactly one VM, as each SSCLI process did
+// in the paper.
+type VM struct {
+	Name string
+	Heap *Heap
+
+	// Handles provides stable, GC-updated references for Go-side
+	// holders of managed objects.
+	Handles *HandleTable
+
+	types      []*MethodTable
+	typeByName map[string]*MethodTable
+	arrayTypes map[arrayKey]*MethodTable
+
+	// ObjectMT is the root of the class hierarchy (System.Object).
+	ObjectMT *MethodTable
+
+	methods []*Method
+
+	globals     []Value
+	globalNames map[string]int
+
+	internals     []InternalFunc
+	internalNames map[string]int
+
+	// extraRoots lets embedders (the message-passing core, the
+	// serializer buffer stack) contribute GC roots.
+	extraRoots []RootProvider
+
+	// gcHooks run at the start of every collection's mark phase,
+	// before roots are traced. The Motor core uses one to reconcile
+	// transport state (paper §7.4).
+	gcHooks []func()
+
+	// execMu is the managed-execution token: held by the one thread
+	// currently running managed code; released at every poll point.
+	execMu sync.Mutex
+	// mu guards the thread registry.
+	mu      sync.Mutex
+	threads map[*Thread]struct{}
+
+	out io.Writer
+}
+
+func (v *VM) stdout() io.Writer {
+	if v.out != nil {
+		return v.out
+	}
+	return os.Stdout
+}
+
+type arrayKey struct {
+	elem Kind
+	mt   *MethodTable
+	rank int
+}
+
+// RootProvider enumerates managed references held outside the heap.
+// The visitor must be applied to every slot; the returned Ref replaces
+// the slot's value (the collector forwards moved objects this way).
+type RootProvider interface {
+	VisitRoots(visit func(Ref) Ref)
+}
+
+// RootFunc adapts a function to RootProvider. RootFunc values are not
+// comparable and therefore cannot be removed again; transient holders
+// should use RefRoots instead.
+type RootFunc func(visit func(Ref) Ref)
+
+// VisitRoots implements RootProvider.
+func (f RootFunc) VisitRoots(visit func(Ref) Ref) { f(visit) }
+
+// RefRoots is a removable RootProvider over a slice of references —
+// the standard way for Go-side code to keep a working set of managed
+// objects alive and up to date across collections.
+type RefRoots struct {
+	Refs []Ref
+}
+
+// VisitRoots implements RootProvider.
+func (g *RefRoots) VisitRoots(visit func(Ref) Ref) {
+	for i, r := range g.Refs {
+		if r != NullRef {
+			g.Refs[i] = visit(r)
+		}
+	}
+}
+
+// New creates a VM with the root object type registered.
+func New(cfg Config) *VM {
+	v := &VM{
+		Name:          cfg.Name,
+		typeByName:    make(map[string]*MethodTable),
+		arrayTypes:    make(map[arrayKey]*MethodTable),
+		globalNames:   make(map[string]int),
+		internalNames: make(map[string]int),
+		threads:       make(map[*Thread]struct{}),
+		out:           cfg.Stdout,
+	}
+	v.Handles = newHandleTable()
+	v.Heap = newHeap(v, cfg.Heap)
+	v.ObjectMT = v.defineType(&MethodTable{Name: "object", Kind: TKClass})
+	registerBuiltins(v)
+	return v
+}
+
+func (v *VM) defineType(mt *MethodTable) *MethodTable {
+	mt.Index = len(v.types)
+	v.types = append(v.types, mt)
+	if mt.Name != "" {
+		v.typeByName[mt.Name] = mt
+	}
+	return mt
+}
+
+// FieldSpec declares one field of a class under construction.
+type FieldSpec struct {
+	Name          string
+	Kind          Kind
+	Type          *MethodTable // declared class for KindRef fields (nil = object)
+	Transportable bool
+}
+
+// DeclareClass registers an empty class shell so that mutually or
+// self-referential field types can be resolved before layout. The
+// shell must be completed with CompleteClass before instantiation.
+func (v *VM) DeclareClass(name string) (*MethodTable, error) {
+	if _, dup := v.typeByName[name]; dup {
+		return nil, fmt.Errorf("vm: duplicate type %q", name)
+	}
+	mt := &MethodTable{Name: name, Kind: TKClass}
+	return v.defineType(mt), nil
+}
+
+// CompleteClass lays out a declared shell: fields are placed after
+// any inherited fields, naturally aligned. The parent (nil means the
+// root object type) must already be completed.
+func (v *VM) CompleteClass(mt *MethodTable, parent *MethodTable, fields []FieldSpec) error {
+	if parent == nil {
+		parent = v.ObjectMT
+	}
+	mt.Parent = parent
+	mt.Fields = append(mt.Fields, parent.Fields...)
+	mt.VTable = append(mt.VTable, parent.VTable...)
+	off := parent.InstanceSize
+	for _, fs := range fields {
+		if mt.FieldByName(fs.Name) != nil {
+			return fmt.Errorf("vm: duplicate field %s.%s", mt.Name, fs.Name)
+		}
+		sz := uint32(fs.Kind.Size())
+		if sz == 0 {
+			return fmt.Errorf("vm: field %s.%s has void kind", mt.Name, fs.Name)
+		}
+		off = alignTo(off, sz)
+		mt.Fields = append(mt.Fields, makeFieldDesc(fs.Name, off, fs.Kind, fs.Transportable, fs.Type))
+		off += sz
+	}
+	mt.InstanceSize = align8(off)
+	mt.RefOffsets = nil
+	for i := range mt.Fields {
+		if mt.Fields[i].IsRef() {
+			mt.RefOffsets = append(mt.RefOffsets, mt.Fields[i].Offset())
+		}
+	}
+	sort.Slice(mt.RefOffsets, func(i, j int) bool { return mt.RefOffsets[i] < mt.RefOffsets[j] })
+	return nil
+}
+
+// NewClass registers and lays out a class type in one step (for
+// types without forward references).
+func (v *VM) NewClass(name string, parent *MethodTable, fields []FieldSpec) (*MethodTable, error) {
+	mt, err := v.DeclareClass(name)
+	if err != nil {
+		return nil, err
+	}
+	if err := v.CompleteClass(mt, parent, fields); err != nil {
+		return nil, err
+	}
+	return mt, nil
+}
+
+// MustNewClass is NewClass that panics on error (test/setup paths).
+func (v *VM) MustNewClass(name string, parent *MethodTable, fields []FieldSpec) *MethodTable {
+	mt, err := v.NewClass(name, parent, fields)
+	if err != nil {
+		panic(err)
+	}
+	return mt
+}
+
+func alignTo(off, a uint32) uint32 {
+	if a > 8 {
+		a = 8
+	}
+	return (off + a - 1) &^ (a - 1)
+}
+
+// ArrayType returns the canonical array type for the element shape,
+// creating it on first use. For object arrays pass KindRef and the
+// element class (nil for arrays of the root object type).
+func (v *VM) ArrayType(elem Kind, elemMT *MethodTable, rank int) *MethodTable {
+	if rank < 1 {
+		rank = 1
+	}
+	key := arrayKey{elem, elemMT, rank}
+	if mt, ok := v.arrayTypes[key]; ok {
+		return mt
+	}
+	name := arrayTypeName(elem, elemMT, rank)
+	mt := &MethodTable{Name: name, Kind: TKArray, Elem: elem, ElemMT: elemMT, Rank: rank}
+	v.arrayTypes[key] = mt
+	return v.defineType(mt)
+}
+
+// TypeByName resolves a registered type name.
+func (v *VM) TypeByName(name string) (*MethodTable, bool) {
+	mt, ok := v.typeByName[name]
+	return mt, ok
+}
+
+// TypeByIndex returns the method table with registry index i.
+func (v *VM) TypeByIndex(i int) (*MethodTable, bool) {
+	if i < 0 || i >= len(v.types) {
+		return nil, false
+	}
+	return v.types[i], true
+}
+
+// NumTypes reports the registry size.
+func (v *VM) NumTypes() int { return len(v.types) }
+
+// AddMethod attaches a method to a type (or to the module when owner
+// is nil) and assigns its global index and virtual slot.
+func (v *VM) AddMethod(owner *MethodTable, m *Method) *Method {
+	m.Owner = owner
+	m.Index = len(v.methods)
+	v.methods = append(v.methods, m)
+	if owner != nil {
+		owner.Methods = append(owner.Methods, m)
+		if m.Virtual {
+			syncVTable(owner)
+			slot := -1
+			for p := owner.Parent; p != nil && slot < 0; p = p.Parent {
+				if pm := p.MethodByName(m.Name); pm != nil && pm.Virtual {
+					slot = pm.VSlot
+				}
+			}
+			if slot < 0 {
+				slot = len(owner.VTable)
+				owner.VTable = append(owner.VTable, m)
+			} else {
+				owner.VTable[slot] = m
+			}
+			m.VSlot = slot
+		}
+	}
+	return m
+}
+
+// syncVTable brings a type's vtable up to date with its ancestors'
+// slots. Base-class virtual methods must be registered before
+// subclass overrides (the assembler's declaration order guarantees
+// this for masm programs).
+func syncVTable(mt *MethodTable) {
+	if mt.Parent == nil {
+		return
+	}
+	syncVTable(mt.Parent)
+	for len(mt.VTable) < len(mt.Parent.VTable) {
+		mt.VTable = append(mt.VTable, mt.Parent.VTable[len(mt.VTable)])
+	}
+}
+
+// lookupVSlot resolves a virtual slot against a receiver type whose
+// own vtable may be shorter than the slot (no overrides registered
+// after ancestors grew): the nearest ancestor covering the slot holds
+// the inherited implementation.
+func lookupVSlot(mt *MethodTable, slot int) *Method {
+	for t := mt; t != nil; t = t.Parent {
+		if slot < len(t.VTable) && t.VTable[slot] != nil {
+			return t.VTable[slot]
+		}
+	}
+	return nil
+}
+
+// MethodByIndex resolves a call operand.
+func (v *VM) MethodByIndex(i int) (*Method, bool) {
+	if i < 0 || i >= len(v.methods) {
+		return nil, false
+	}
+	return v.methods[i], true
+}
+
+// MethodByName finds a module-level method by name.
+func (v *VM) MethodByName(name string) (*Method, bool) {
+	for _, m := range v.methods {
+		if m.Owner == nil && m.Name == name {
+			return m, true
+		}
+	}
+	return nil, false
+}
+
+// --- globals (statics) ----------------------------------------------------
+
+// AddGlobal registers a named static slot and returns its index.
+func (v *VM) AddGlobal(name string) int {
+	if i, ok := v.globalNames[name]; ok {
+		return i
+	}
+	i := len(v.globals)
+	v.globals = append(v.globals, Value{})
+	v.globalNames[name] = i
+	return i
+}
+
+// GlobalIndex resolves a static name.
+func (v *VM) GlobalIndex(name string) (int, bool) {
+	i, ok := v.globalNames[name]
+	return i, ok
+}
+
+// GetGlobal reads static slot i.
+func (v *VM) GetGlobal(i int) Value { return v.globals[i] }
+
+// SetGlobal writes static slot i.
+func (v *VM) SetGlobal(i int, val Value) { v.globals[i] = val }
+
+// --- roots and hooks --------------------------------------------------------
+
+// AddRootProvider registers an additional source of GC roots.
+func (v *VM) AddRootProvider(p RootProvider) { v.extraRoots = append(v.extraRoots, p) }
+
+// RemoveRootProvider unregisters a provider previously added with
+// AddRootProvider (matched by identity; the provider must be of a
+// comparable type such as a pointer — use RefRoots, not RootFunc).
+// Transient holders of managed references — the deserializer while it
+// builds an object graph, for example — register themselves for their
+// lifetime only.
+func (v *VM) RemoveRootProvider(p RootProvider) {
+	if !reflect.TypeOf(p).Comparable() {
+		panic("vm: RemoveRootProvider requires a comparable provider (use *RefRoots, not RootFunc)")
+	}
+	for i, q := range v.extraRoots {
+		if reflect.TypeOf(q).Comparable() && q == p {
+			v.extraRoots = append(v.extraRoots[:i], v.extraRoots[i+1:]...)
+			return
+		}
+	}
+}
+
+// AddGCHook registers a function run at the start of every
+// collection, before marking. The Motor message-passing core uses it
+// to advance transport progress bookkeeping so conditional pin
+// requests observe fresh completion status.
+func (v *VM) AddGCHook(f func()) { v.gcHooks = append(v.gcHooks, f) }
+
+// --- internal calls (FCalls) -------------------------------------------------
+
+// InternalFunc is the Go implementation of an internal call. It runs
+// on the calling managed thread; args are the operands popped from
+// the evaluation stack (in declaration order). Any managed references
+// the implementation holds across a potential GC point must live in a
+// protected Frame (see Thread.PushFrame), mirroring the protected
+// object pointers SSCLI FCalls must declare (paper §5.1).
+type InternalFunc struct {
+	Name   string
+	NArgs  int
+	HasRet bool
+	Fn     func(t *Thread, args []Value) (Value, error)
+}
+
+// RegisterInternal adds an FCall to the registry, replacing any
+// existing registration with the same name.
+func (v *VM) RegisterInternal(f InternalFunc) int {
+	if i, ok := v.internalNames[f.Name]; ok {
+		v.internals[i] = f
+		return i
+	}
+	i := len(v.internals)
+	v.internals = append(v.internals, f)
+	v.internalNames[f.Name] = i
+	return i
+}
+
+// InternalIndex resolves an FCall name to its operand index.
+func (v *VM) InternalIndex(name string) (int, bool) {
+	i, ok := v.internalNames[name]
+	return i, ok
+}
+
+// InternalByIndex returns the FCall with the given operand index.
+func (v *VM) InternalByIndex(i int) (*InternalFunc, bool) {
+	if i < 0 || i >= len(v.internals) {
+		return nil, false
+	}
+	return &v.internals[i], true
+}

@@ -1,0 +1,573 @@
+// Package motor is a reproduction of "Motor: A Virtual Machine for
+// High Performance Computing" (Goscinski & Abramson, HPDC 2006): a
+// managed virtual machine with a high-performance message-passing
+// library integrated directly into the runtime, rather than wrapped
+// behind a JNI / P/Invoke boundary.
+//
+// The package is the public facade over the full system:
+//
+//   - a per-rank virtual machine (moving two-generation GC, strongly
+//     typed object model, bytecode interpreter, masm text assembler);
+//   - an MPICH2-style message-passing core (ADI/CH3 device over
+//     pluggable shm / sock channels);
+//   - the Motor integration: MPI operations with object-model
+//     integrity checks, the paper's pinning policy (generation test,
+//     deferred pins, conditional pin requests resolved at GC mark
+//     time), and the extended object-oriented operations built on a
+//     custom serializer with a split representation.
+//
+// The five-minute tour:
+//
+//	cfg := motor.Config{Ranks: 2}
+//	err := motor.Run(cfg, func(r *motor.Rank) error {
+//	    if r.ID() == 0 {
+//	        msg, _ := r.NewInt32Array([]int32{1, 2, 3})
+//	        return r.Send(msg, 1, 0)
+//	    }
+//	    buf, _ := r.NewInt32Array(make([]int32, 3))
+//	    _, err := r.Recv(buf, 0, 0)
+//	    fmt.Println(r.Int32s(buf))
+//	    return err
+//	})
+package motor
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"motor/internal/core"
+	"motor/internal/mp"
+	"motor/internal/mp/channel"
+	"motor/internal/pal"
+	"motor/internal/serial"
+	"motor/internal/vm"
+)
+
+// Re-exported fundamental types. Aliases keep the public API
+// self-contained while the implementation lives in internal packages.
+type (
+	// Ref is a managed object reference on a rank's heap.
+	Ref = vm.Ref
+	// Kind is a primitive field/element kind.
+	Kind = vm.Kind
+	// FieldSpec declares one field of a managed class.
+	FieldSpec = vm.FieldSpec
+	// MethodTable describes a managed type.
+	MethodTable = vm.MethodTable
+	// Status describes a completed receive.
+	Status = mp.Status
+	// Value is an interpreter value (for calling masm methods).
+	Value = vm.Value
+	// PinPolicy selects the transport pinning policy.
+	PinPolicy = core.PinPolicy
+	// VisitedMode selects the serializer's visited-object structure.
+	VisitedMode = serial.VisitedMode
+)
+
+// NullRef is the managed null reference.
+const NullRef = vm.NullRef
+
+// Field kinds.
+const (
+	Bool    = vm.KindBool
+	Int8    = vm.KindInt8
+	Uint8   = vm.KindUint8
+	Int16   = vm.KindInt16
+	Uint16  = vm.KindUint16
+	Char    = vm.KindChar
+	Int32   = vm.KindInt32
+	Uint32  = vm.KindUint32
+	Int64   = vm.KindInt64
+	Uint64  = vm.KindUint64
+	Float32 = vm.KindFloat32
+	Float64 = vm.KindFloat64
+	Object  = vm.KindRef
+)
+
+// Receive wildcards.
+const (
+	AnySource = mp.AnySource
+	AnyTag    = mp.AnyTag
+)
+
+// Pinning policies (see the paper's §4.3/§7.4 and DESIGN.md).
+const (
+	// PolicyMotor is the paper's pinning policy.
+	PolicyMotor = core.PolicyMotor
+	// PolicyAlwaysPin pins eagerly per operation (wrapper-style).
+	PolicyAlwaysPin = core.PolicyAlwaysPin
+)
+
+// Serializer visited-structure modes.
+const (
+	// VisitedLinear is the paper's linear visited list (degrades at
+	// large object counts, Figure 10).
+	VisitedLinear = serial.VisitedLinear
+	// VisitedMap is the constant-time structure the paper names as
+	// future work.
+	VisitedMap = serial.VisitedMap
+)
+
+// Config describes a Motor world.
+type Config struct {
+	// Ranks is the number of processes (default 2).
+	Ranks int
+	// Channel selects the transport: "shm" (default) or "sock".
+	Channel string
+	// Policy selects the pinning policy (default PolicyMotor).
+	Policy PinPolicy
+	// Visited selects the serializer structure (default VisitedLinear,
+	// as in the paper).
+	Visited VisitedMode
+	// YoungSize / ArenaMax size each rank's heap (defaults 1 MiB /
+	// 256 MiB).
+	YoungSize uint32
+	ArenaMax  uint32
+	// EagerMax is the transport's eager/rendezvous threshold in
+	// bytes (default 64 KiB).
+	EagerMax int
+	// Stdout receives managed console output (default os.Stdout).
+	Stdout io.Writer
+}
+
+func (c *Config) fill() {
+	if c.Ranks == 0 {
+		c.Ranks = 2
+	}
+	if c.Channel == "" {
+		c.Channel = "shm"
+	}
+}
+
+// Rank is one process of a Motor world: a virtual machine, its
+// message-passing engine, and the managed thread running the caller.
+type Rank struct {
+	vm     *vm.VM
+	engine *core.Engine
+	thread *vm.Thread
+	world  *mp.World
+	cfg    Config
+}
+
+// Run builds an in-process world per cfg and executes body once per
+// rank, each on its own goroutine, VM and managed thread. It returns
+// the first error.
+func Run(cfg Config, body func(r *Rank) error) error {
+	cfg.fill()
+	var kind mp.ChannelKind
+	switch cfg.Channel {
+	case "shm":
+		kind = mp.ChannelShm
+	case "sock":
+		kind = mp.ChannelSock
+	default:
+		return fmt.Errorf("motor: unknown channel %q", cfg.Channel)
+	}
+	worlds, err := mp.NewLocalWorlds(kind, cfg.Ranks, cfg.EagerMax)
+	if err != nil {
+		return err
+	}
+	errc := make(chan error, cfg.Ranks)
+	for _, w := range worlds {
+		go func(w *mp.World) {
+			defer w.Close()
+			r := newRank(w, cfg)
+			defer r.thread.End()
+			errc <- body(r)
+		}(w)
+	}
+	var first error
+	for i := 0; i < cfg.Ranks; i++ {
+		if err := <-errc; err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+func newRank(w *mp.World, cfg Config) *Rank {
+	v := vm.New(vm.Config{
+		Name:   fmt.Sprintf("rank%d", w.Rank()),
+		Stdout: cfg.Stdout,
+		Heap:   vm.HeapConfig{YoungSize: cfg.YoungSize, ArenaMax: cfg.ArenaMax},
+	})
+	e := core.Attach(v, w, core.WithPolicy(cfg.Policy), core.WithVisited(cfg.Visited))
+	return &Rank{vm: v, engine: e, thread: v.StartThread("main"), world: w, cfg: cfg}
+}
+
+// Spawn implements dynamic process management (MPI-2; the paper's §9
+// names "transparent process management" as Motor's next step). It is
+// collective over the world and only available on shm worlds: n child
+// ranks join the running fabric, each with a fresh virtual machine
+// and engine, and childBody runs once per child on its own goroutine.
+// Parents and children share a merged communicator (the result of an
+// MPI_Intercomm_merge: parents first, then children), returned as a
+// communicator handle usable with every *On operation.
+//
+// A child's error is the child's to handle — report it to a parent
+// through the merged communicator, as separate OS processes would.
+func (r *Rank) Spawn(n int, childBody func(child *Rank, merged CommID) error) (CommID, error) {
+	merged, err := r.world.Spawn(n, func(cw *mp.World, mc *mp.Comm) error {
+		child := newRank(cw, r.cfg)
+		defer child.thread.End()
+		mid := child.engine.RegisterComm(mc)
+		return childBody(child, mid)
+	})
+	if err != nil {
+		return NullComm, err
+	}
+	return r.engine.RegisterComm(merged), nil
+}
+
+// Serve hosts the rendezvous service for an n-rank multi-process
+// world on addr ("host:port") and returns once every rank has joined
+// and received the address table. Run it in one process (or
+// goroutine); every rank then calls Join with the same address.
+func Serve(addr string, n int) error {
+	ln, err := pal.Default.Listen(addr)
+	if err != nil {
+		return err
+	}
+	defer ln.Close()
+	return channel.ServeRoot(ln, n)
+}
+
+// Join connects this OS process to a multi-process sock world through
+// the rendezvous service at rootAddr, as world rank `rank` of `size`.
+// It returns the rank plus a close function. This is the deployment
+// path of cmd/motor's -mode rank: one Motor VM per OS process,
+// connected over TCP — the paper's sock-channel configuration across
+// real process boundaries.
+func Join(cfg Config, rootAddr string, rank, size int) (*Rank, func() error, error) {
+	cfg.fill()
+	w, err := mp.JoinWorld(rootAddr, rank, size, cfg.EagerMax)
+	if err != nil {
+		return nil, nil, err
+	}
+	r := newRank(w, cfg)
+	closer := func() error {
+		r.thread.End()
+		return w.Close()
+	}
+	return r, closer, nil
+}
+
+// ID returns this rank's index in the world.
+func (r *Rank) ID() int { return r.engine.Comm.Rank() }
+
+// Size returns the world size.
+func (r *Rank) Size() int { return r.engine.Comm.Size() }
+
+// WTime returns elapsed wall-clock seconds (MPI_Wtime analogue).
+func (r *Rank) WTime() float64 { return float64(time.Now().UnixNano()) / 1e9 }
+
+// --- type & object construction -------------------------------------------
+
+// DeclareClass registers an empty class shell (for self-referential
+// types); complete it with CompleteClass.
+func (r *Rank) DeclareClass(name string) (*MethodTable, error) { return r.vm.DeclareClass(name) }
+
+// CompleteClass lays out a declared class.
+func (r *Rank) CompleteClass(mt *MethodTable, parent *MethodTable, fields []FieldSpec) error {
+	return r.vm.CompleteClass(mt, parent, fields)
+}
+
+// DefineClass registers a class in one step.
+func (r *Rank) DefineClass(name string, fields ...FieldSpec) (*MethodTable, error) {
+	return r.vm.NewClass(name, nil, fields)
+}
+
+// ArrayType returns the canonical array type for an element shape.
+func (r *Rank) ArrayType(elem Kind, elemClass *MethodTable, rank int) *MethodTable {
+	return r.vm.ArrayType(elem, elemClass, rank)
+}
+
+// New allocates a class instance.
+func (r *Rank) New(mt *MethodTable) (Ref, error) { return r.vm.Heap.AllocClass(mt) }
+
+// NewArray allocates a rank-1 array of the element shape.
+func (r *Rank) NewArray(elem Kind, length int) (Ref, error) {
+	return r.vm.Heap.AllocArray(r.vm.ArrayType(elem, nil, 1), length)
+}
+
+// NewObjectArray allocates an array of class references.
+func (r *Rank) NewObjectArray(elem *MethodTable, length int) (Ref, error) {
+	return r.vm.Heap.AllocArray(r.vm.ArrayType(Object, elem, 1), length)
+}
+
+// NewMatrix allocates a true rank-2 rectangular array (rows×cols).
+func (r *Rank) NewMatrix(elem Kind, rows, cols int) (Ref, error) {
+	return r.vm.Heap.AllocMultiDim(r.vm.ArrayType(elem, nil, 2), []int{rows, cols})
+}
+
+// NewInt32Array allocates and fills an int32 array.
+func (r *Rank) NewInt32Array(vals []int32) (Ref, error) { return r.vm.Heap.NewInt32Array(vals) }
+
+// NewFloat64Array allocates and fills a float64 array.
+func (r *Rank) NewFloat64Array(vals []float64) (Ref, error) { return r.vm.Heap.NewFloat64Array(vals) }
+
+// NewUint8Array allocates and fills a byte array.
+func (r *Rank) NewUint8Array(vals []byte) (Ref, error) { return r.vm.Heap.NewUint8Array(vals) }
+
+// Int32s copies out an int32 array.
+func (r *Rank) Int32s(ref Ref) []int32 { return r.vm.Heap.Int32Slice(ref) }
+
+// Float64s copies out a float64 array.
+func (r *Rank) Float64s(ref Ref) []float64 { return r.vm.Heap.Float64Slice(ref) }
+
+// Uint8s copies out a byte array.
+func (r *Rank) Uint8s(ref Ref) []byte { return r.vm.Heap.Uint8Slice(ref) }
+
+// Len returns an array's total element count.
+func (r *Rank) Len(ref Ref) int { return r.vm.Heap.Length(ref) }
+
+// GetField / SetField access class fields as raw bits.
+func (r *Rank) GetField(obj Ref, mt *MethodTable, name string) (uint64, bool) {
+	f := mt.FieldByName(name)
+	if f == nil {
+		return 0, false
+	}
+	bits, _ := r.vm.Heap.GetField(obj, f)
+	return bits, true
+}
+
+// SetField writes a class field from raw bits (or a Ref for
+// reference fields).
+func (r *Rank) SetField(obj Ref, mt *MethodTable, name string, bits uint64) bool {
+	f := mt.FieldByName(name)
+	if f == nil {
+		return false
+	}
+	r.vm.Heap.SetField(obj, f, bits)
+	return true
+}
+
+// GetElem / SetElem access array elements as raw bits.
+func (r *Rank) GetElem(arr Ref, i int) uint64 { return r.vm.Heap.GetElem(arr, i) }
+
+// SetElem writes array element i from raw bits.
+func (r *Rank) SetElem(arr Ref, i int, bits uint64) { r.vm.Heap.SetElem(arr, i, bits) }
+
+// BitsFromFloat64 converts a float64 to the raw bits used by field
+// and element accessors.
+func BitsFromFloat64(f float64) uint64 { return vm.BitsFromF64(f) }
+
+// Float64FromBits converts raw bits back to a float64.
+func Float64FromBits(b uint64) float64 { return vm.F64FromBits(b) }
+
+// Protect registers the given Go variables as GC roots until the
+// returned release function is called. Any managed reference held in
+// a plain Go variable across an allocating or communicating call MUST
+// be protected this way (the FCall protected-pointer discipline of
+// the paper's §5.1).
+func (r *Rank) Protect(refs ...*Ref) (release func()) { return r.thread.PushFrame(refs...) }
+
+// --- message passing (regular operations, §4.2.1) ---------------------------
+
+// Send transports a whole object (blocking). The object must contain
+// no references (or be an array of simple types).
+func (r *Rank) Send(obj Ref, dest, tag int) error { return r.engine.Send(r.thread, obj, dest, tag) }
+
+// Ssend is the synchronous-mode Send.
+func (r *Rank) Ssend(obj Ref, dest, tag int) error { return r.engine.Ssend(r.thread, obj, dest, tag) }
+
+// SendRange transports array elements [offset, offset+count).
+func (r *Rank) SendRange(arr Ref, offset, count, dest, tag int) error {
+	return r.engine.SendRange(r.thread, arr, offset, count, dest, tag)
+}
+
+// Recv receives into a whole object (blocking).
+func (r *Rank) Recv(obj Ref, source, tag int) (Status, error) {
+	return r.engine.Recv(r.thread, obj, source, tag)
+}
+
+// RecvRange receives into array elements [offset, offset+count).
+func (r *Rank) RecvRange(arr Ref, offset, count, source, tag int) (Status, error) {
+	return r.engine.RecvRange(r.thread, arr, offset, count, source, tag)
+}
+
+// Isend starts an immediate send; pair with Wait or Test.
+func (r *Rank) Isend(obj Ref, dest, tag int) (int32, error) {
+	return r.engine.Isend(r.thread, obj, dest, tag)
+}
+
+// Irecv starts an immediate receive.
+func (r *Rank) Irecv(obj Ref, source, tag int) (int32, error) {
+	return r.engine.Irecv(r.thread, obj, source, tag)
+}
+
+// Wait blocks until the request completes.
+func (r *Rank) Wait(req int32) (Status, error) { return r.engine.Wait(r.thread, req) }
+
+// Test polls the request once.
+func (r *Rank) Test(req int32) (bool, Status, error) { return r.engine.Test(r.thread, req) }
+
+// Barrier synchronizes all ranks.
+func (r *Rank) Barrier() error { return r.engine.Barrier(r.thread) }
+
+// Bcast broadcasts the root's object contents into every rank's
+// equally-sized object.
+func (r *Rank) Bcast(obj Ref, root int) error { return r.engine.Bcast(r.thread, obj, root) }
+
+// Scatter splits the root's simple array equally into each rank's
+// recv array.
+func (r *Rank) Scatter(send, recv Ref, root int) error {
+	return r.engine.Scatter(r.thread, send, recv, root)
+}
+
+// Gather collects each rank's simple array into the root's recv
+// array.
+func (r *Rank) Gather(send, recv Ref, root int) error {
+	return r.engine.Gather(r.thread, send, recv, root)
+}
+
+// Allgather collects every rank's simple array into every rank's
+// recv array.
+func (r *Rank) Allgather(send, recv Ref) error {
+	return r.engine.Allgather(r.thread, send, recv)
+}
+
+// Sendrecv sends sendObj to dest while receiving into recvObj from
+// source — the deadlock-free combined exchange.
+func (r *Rank) Sendrecv(sendObj Ref, dest, sendTag int, recvObj Ref, source, recvTag int) (Status, error) {
+	return r.engine.Sendrecv(r.thread, sendObj, dest, sendTag, recvObj, source, recvTag)
+}
+
+// Reduction operators.
+type Op = mp.Op
+
+// Reduction operator values.
+const (
+	OpSum  = mp.OpSum
+	OpProd = mp.OpProd
+	OpMin  = mp.OpMin
+	OpMax  = mp.OpMax
+)
+
+// Reduce combines each rank's simple array elementwise into the
+// root's recv array (datatype inferred from the element kind; uint8,
+// int32, int64 and float64 arrays are supported).
+func (r *Rank) Reduce(send, recv Ref, op Op, root int) error {
+	return r.engine.Reduce(r.thread, send, recv, op, root)
+}
+
+// Allreduce combines into every rank's recv array.
+func (r *Rank) Allreduce(send, recv Ref, op Op) error {
+	return r.engine.Allreduce(r.thread, send, recv, op)
+}
+
+// --- communicator management -------------------------------------------------
+
+// CommID is a managed communicator handle; WorldComm (0) addresses
+// the world communicator and NullComm (-1) is returned to callers
+// excluded from a Split.
+type CommID = int32
+
+// Communicator handle constants.
+const (
+	WorldComm = core.WorldComm
+	NullComm  = core.NullComm
+)
+
+// Dup duplicates a communicator (collective over its members).
+func (r *Rank) Dup(id CommID) (CommID, error) { return r.engine.CommDup(r.thread, id) }
+
+// Split partitions a communicator by color, ordering members by key
+// (collective). A negative color yields NullComm.
+func (r *Rank) Split(id CommID, color, key int) (CommID, error) {
+	return r.engine.CommSplit(r.thread, id, color, key)
+}
+
+// CommRank returns the caller's rank within the communicator.
+func (r *Rank) CommRank(id CommID) (int, error) { return r.engine.CommRank(id) }
+
+// CommSize returns a communicator's size.
+func (r *Rank) CommSize(id CommID) (int, error) { return r.engine.CommSize(id) }
+
+// CommFree releases a communicator handle.
+func (r *Rank) CommFree(id CommID) error { return r.engine.CommFree(id) }
+
+// SendOn / RecvOn / BarrierOn / BcastOn / ReduceOn address an
+// explicit communicator.
+func (r *Rank) SendOn(id CommID, obj Ref, dest, tag int) error {
+	return r.engine.SendOn(r.thread, id, obj, dest, tag)
+}
+
+// RecvOn receives over an explicit communicator.
+func (r *Rank) RecvOn(id CommID, obj Ref, source, tag int) (Status, error) {
+	return r.engine.RecvOn(r.thread, id, obj, source, tag)
+}
+
+// BarrierOn synchronizes an explicit communicator.
+func (r *Rank) BarrierOn(id CommID) error { return r.engine.BarrierOn(r.thread, id) }
+
+// BcastOn broadcasts over an explicit communicator.
+func (r *Rank) BcastOn(id CommID, obj Ref, root int) error {
+	return r.engine.BcastOn(r.thread, id, obj, root)
+}
+
+// ReduceOn reduces over an explicit communicator.
+func (r *Rank) ReduceOn(id CommID, send, recv Ref, op Op, root int) error {
+	return r.engine.ReduceOn(r.thread, id, send, recv, op, root)
+}
+
+// --- extended object-oriented operations (§4.2.2) ----------------------------
+
+// OSend transports an object tree (Transportable-annotated references
+// are followed; other references travel as null).
+func (r *Rank) OSend(obj Ref, dest, tag int) error { return r.engine.OSend(r.thread, obj, dest, tag) }
+
+// ORecv receives an object tree, reconstructed on this rank's heap.
+func (r *Rank) ORecv(source, tag int) (Ref, Status, error) {
+	return r.engine.ORecv(r.thread, source, tag)
+}
+
+// OBcast broadcasts an object tree from root.
+func (r *Rank) OBcast(obj Ref, root int) (Ref, error) { return r.engine.OBcast(r.thread, obj, root) }
+
+// OScatter splits the root's object array across ranks (split
+// representation, §7.5); every rank receives its sub-array.
+func (r *Rank) OScatter(arr Ref, root int) (Ref, error) {
+	return r.engine.OScatter(r.thread, arr, root)
+}
+
+// OGather reassembles per-rank object arrays into one array at root.
+func (r *Rank) OGather(arr Ref, root int) (Ref, error) {
+	return r.engine.OGather(r.thread, arr, root)
+}
+
+// --- managed programs ---------------------------------------------------------
+
+// Load assembles a masm module into the rank's VM and returns its
+// main method (nil if the module has none).
+func (r *Rank) Load(masmSource string) (*vm.Method, error) { return r.vm.Assemble(masmSource) }
+
+// Call executes a managed method on this rank's thread.
+func (r *Rank) Call(m *vm.Method, args ...Value) (Value, error) { return r.thread.Call(m, args...) }
+
+// --- introspection --------------------------------------------------------------
+
+// GC forces a collection (full when full is true).
+func (r *Rank) GC(full bool) {
+	if full {
+		r.thread.CollectFull()
+	} else {
+		r.thread.CollectYoung()
+	}
+}
+
+// GCStats returns collector and pinning counters.
+func (r *Rank) GCStats() vm.GCStats { return r.vm.Heap.Stats }
+
+// MPStats returns message-passing engine counters.
+func (r *Rank) MPStats() core.Stats { return r.engine.Stats }
+
+// Engine exposes the underlying integration engine (advanced use).
+func (r *Rank) Engine() *core.Engine { return r.engine }
+
+// VM exposes the underlying virtual machine (advanced use).
+func (r *Rank) VM() *vm.VM { return r.vm }
+
+// Thread exposes the rank's managed thread (advanced use).
+func (r *Rank) Thread() *vm.Thread { return r.thread }

@@ -1,0 +1,477 @@
+package motor_test
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"motor"
+)
+
+// run wraps motor.Run with a deadlock timeout.
+func run(t *testing.T, cfg motor.Config, body func(r *motor.Rank) error) {
+	t.Helper()
+	done := make(chan error, 1)
+	go func() { done <- motor.Run(cfg, body) }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("world deadlocked")
+	}
+}
+
+func TestFacadePingPong(t *testing.T) {
+	for _, channel := range []string{"shm", "sock"} {
+		channel := channel
+		t.Run(channel, func(t *testing.T) {
+			run(t, motor.Config{Ranks: 2, Channel: channel}, func(r *motor.Rank) error {
+				if r.ID() == 0 {
+					msg, err := r.NewInt32Array([]int32{10, 20, 30})
+					if err != nil {
+						return err
+					}
+					if err := r.Send(msg, 1, 7); err != nil {
+						return err
+					}
+					buf, _ := r.NewInt32Array(make([]int32, 3))
+					st, err := r.Recv(buf, 1, 8)
+					if err != nil {
+						return err
+					}
+					if st.Source != 1 || st.Count != 12 {
+						return fmt.Errorf("status %+v", st)
+					}
+					got := r.Int32s(buf)
+					if got[0] != 11 || got[1] != 21 || got[2] != 31 {
+						return fmt.Errorf("reply %v", got)
+					}
+					return nil
+				}
+				buf, _ := r.NewInt32Array(make([]int32, 3))
+				if _, err := r.Recv(buf, 0, 7); err != nil {
+					return err
+				}
+				vals := r.Int32s(buf)
+				for i := range vals {
+					vals[i]++
+				}
+				reply, _ := r.NewInt32Array(vals)
+				return r.Send(reply, 0, 8)
+			})
+		})
+	}
+}
+
+func TestFacadeCollectives(t *testing.T) {
+	run(t, motor.Config{Ranks: 4}, func(r *motor.Rank) error {
+		if err := r.Barrier(); err != nil {
+			return err
+		}
+		// Scatter 16 float64s from rank 3, compute, gather back.
+		var send motor.Ref
+		if r.ID() == 3 {
+			vals := make([]float64, 16)
+			for i := range vals {
+				vals[i] = float64(i)
+			}
+			send, _ = r.NewFloat64Array(vals)
+		}
+		part, _ := r.NewArray(motor.Float64, 4)
+		if err := r.Scatter(send, part, 3); err != nil {
+			return err
+		}
+		got := r.Float64s(part)
+		for i, v := range got {
+			if v != float64(r.ID()*4+i) {
+				return fmt.Errorf("scatter[%d]=%g", i, v)
+			}
+			got[i] = v * 2
+		}
+		doubled, _ := r.NewFloat64Array(got)
+		var all motor.Ref
+		if r.ID() == 3 {
+			all, _ = r.NewArray(motor.Float64, 16)
+		}
+		if err := r.Gather(doubled, all, 3); err != nil {
+			return err
+		}
+		if r.ID() == 3 {
+			for i, v := range r.Float64s(all) {
+				if v != float64(i*2) {
+					return fmt.Errorf("gather[%d]=%g", i, v)
+				}
+			}
+		}
+		return nil
+	})
+}
+
+func TestFacadeObjectTree(t *testing.T) {
+	run(t, motor.Config{Ranks: 2}, func(r *motor.Rank) error {
+		// The paper's Fig. 5 LinkedArray.
+		la, err := r.DeclareClass("LinkedArray")
+		if err != nil {
+			return err
+		}
+		i32arr := r.ArrayType(motor.Int32, nil, 1)
+		if err := r.CompleteClass(la, nil, []motor.FieldSpec{
+			{Name: "array", Kind: motor.Object, Type: i32arr, Transportable: true},
+			{Name: "next", Kind: motor.Object, Type: la, Transportable: true},
+			{Name: "next2", Kind: motor.Object, Type: la},
+		}); err != nil {
+			return err
+		}
+		if r.ID() == 0 {
+			head, _ := r.New(la)
+			release := r.Protect(&head)
+			arr, _ := r.NewInt32Array([]int32{1, 2, 3})
+			r.SetField(head, la, "array", uint64(arr))
+			nxt, _ := r.New(la)
+			r.SetField(head, la, "next", uint64(nxt))
+			r.SetField(head, la, "next2", uint64(head)) // must not travel
+			release()
+			return r.OSend(head, 1, 0)
+		}
+		got, st, err := r.ORecv(0, 0)
+		if err != nil {
+			return err
+		}
+		if st.Source != 0 {
+			return fmt.Errorf("source %d", st.Source)
+		}
+		arrBits, _ := r.GetField(got, la, "array")
+		if motor.Ref(arrBits) == motor.NullRef {
+			return errors.New("array lost")
+		}
+		if got := r.Int32s(motor.Ref(arrBits)); got[2] != 3 {
+			return fmt.Errorf("payload %v", got)
+		}
+		nextBits, _ := r.GetField(got, la, "next")
+		if motor.Ref(nextBits) == motor.NullRef {
+			return errors.New("transportable next lost")
+		}
+		next2Bits, _ := r.GetField(got, la, "next2")
+		if motor.Ref(next2Bits) != motor.NullRef {
+			return errors.New("non-transportable next2 travelled")
+		}
+		return nil
+	})
+}
+
+func TestFacadeOScatterGather(t *testing.T) {
+	run(t, motor.Config{Ranks: 3}, func(r *motor.Rank) error {
+		cell, err := r.DefineClass("Item",
+			motor.FieldSpec{Name: "v", Kind: motor.Int32},
+		)
+		if err != nil {
+			return err
+		}
+		var arr motor.Ref
+		if r.ID() == 0 {
+			arr, _ = r.NewObjectArray(cell, 7)
+			release := r.Protect(&arr)
+			for i := 0; i < 7; i++ {
+				it, _ := r.New(cell)
+				r.SetField(it, cell, "v", uint64(uint32(int32(i*3))))
+				r.VM().Heap.SetElemRef(arr, i, it)
+			}
+			release()
+		}
+		sub, err := r.OScatter(arr, 0)
+		if err != nil {
+			return err
+		}
+		// Parts: 3,2,2.
+		wantLens := []int{3, 2, 2}
+		if r.Len(sub) != wantLens[r.ID()] {
+			return fmt.Errorf("rank %d sub len %d", r.ID(), r.Len(sub))
+		}
+		whole, err := r.OGather(sub, 0)
+		if err != nil {
+			return err
+		}
+		if r.ID() == 0 {
+			if r.Len(whole) != 7 {
+				return fmt.Errorf("gathered %d", r.Len(whole))
+			}
+			for i := 0; i < 7; i++ {
+				it := r.VM().Heap.GetElemRef(whole, i)
+				bits, _ := r.GetField(it, cell, "v")
+				if int32(uint32(bits)) != int32(i*3) {
+					return fmt.Errorf("item %d = %d", i, int32(uint32(bits)))
+				}
+			}
+		}
+		return nil
+	})
+}
+
+func TestFacadeManagedProgram(t *testing.T) {
+	var out bytes.Buffer
+	run(t, motor.Config{Ranks: 2, Stdout: &out}, func(r *motor.Rank) error {
+		main, err := r.Load(`
+.method main (0) int32
+  intern mp.rank
+  intern mp.size
+  mul
+  ret.val
+.end`)
+		if err != nil {
+			return err
+		}
+		v, err := r.Call(main)
+		if err != nil {
+			return err
+		}
+		if v.Int() != int64(r.ID()*2) {
+			return fmt.Errorf("rank %d: got %d", r.ID(), v.Int())
+		}
+		return nil
+	})
+}
+
+func TestFacadeMatrix(t *testing.T) {
+	run(t, motor.Config{Ranks: 2}, func(r *motor.Rank) error {
+		m, err := r.NewMatrix(motor.Float64, 4, 5)
+		if err != nil {
+			return err
+		}
+		if r.Len(m) != 20 {
+			return fmt.Errorf("len %d", r.Len(m))
+		}
+		// True multidimensional arrays are single objects: directly
+		// transportable by the regular operations (paper §3).
+		if r.ID() == 0 {
+			for i := 0; i < 20; i++ {
+				r.SetElem(m, i, motorF64Bits(float64(i)/2))
+			}
+			return r.Send(m, 1, 0)
+		}
+		if _, err := r.Recv(m, 0, 0); err != nil {
+			return err
+		}
+		if got := motorF64From(r.GetElem(m, 19)); got != 9.5 {
+			return fmt.Errorf("elem 19 = %g", got)
+		}
+		return nil
+	})
+}
+
+// Local copies of the float helpers (the facade exposes raw bits).
+func motorF64Bits(f float64) uint64 { return motor.BitsFromFloat64(f) }
+func motorF64From(b uint64) float64 { return motor.Float64FromBits(b) }
+
+func TestFacadeBadChannel(t *testing.T) {
+	err := motor.Run(motor.Config{Ranks: 2, Channel: "carrier-pigeon"}, func(r *motor.Rank) error { return nil })
+	if err == nil || !strings.Contains(err.Error(), "unknown channel") {
+		t.Errorf("err %v", err)
+	}
+}
+
+func TestFacadeStats(t *testing.T) {
+	run(t, motor.Config{Ranks: 2}, func(r *motor.Rank) error {
+		msg, _ := r.NewUint8Array(make([]byte, 64))
+		if r.ID() == 0 {
+			if err := r.Send(msg, 1, 0); err != nil {
+				return err
+			}
+		} else {
+			if _, err := r.Recv(msg, 0, 0); err != nil {
+				return err
+			}
+		}
+		r.GC(true)
+		if r.GCStats().Scavenges == 0 {
+			return errors.New("no collections recorded")
+		}
+		if r.MPStats().Ops == 0 {
+			return errors.New("no ops recorded")
+		}
+		return nil
+	})
+}
+
+func TestFacadeSpawn(t *testing.T) {
+	run(t, motor.Config{Ranks: 2}, func(r *motor.Rank) error {
+		merged, err := r.Spawn(2, func(child *motor.Rank, mc motor.CommID) error {
+			// Children have their own world spanning just the children.
+			if child.Size() != 2 {
+				return fmt.Errorf("child world size %d", child.Size())
+			}
+			// Report our merged rank to merged rank 0.
+			myRank, err := child.CommRank(mc)
+			if err != nil {
+				return err
+			}
+			msg, _ := child.NewInt32Array([]int32{int32(myRank * 7)})
+			return child.SendOn(mc, msg, 0, 11)
+		})
+		if err != nil {
+			return err
+		}
+		size, err := r.CommSize(merged)
+		if err != nil || size != 4 {
+			return fmt.Errorf("merged size %d err %v", size, err)
+		}
+		if r.ID() == 0 {
+			got := map[int]bool{}
+			for i := 0; i < 2; i++ {
+				buf, _ := r.NewInt32Array(make([]int32, 1))
+				st, err := r.RecvOn(merged, buf, motor.AnySource, 11)
+				if err != nil {
+					return err
+				}
+				if r.Int32s(buf)[0] != int32(st.Source*7) {
+					return fmt.Errorf("child %d reported %d", st.Source, r.Int32s(buf)[0])
+				}
+				got[st.Source] = true
+			}
+			if !got[2] || !got[3] {
+				return fmt.Errorf("children %v", got)
+			}
+		}
+		return nil
+	})
+}
+
+func TestFacadeCommRoutinesAndReduce(t *testing.T) {
+	run(t, motor.Config{Ranks: 4}, func(r *motor.Rank) error {
+		// Allreduce over the world.
+		send, _ := r.NewFloat64Array([]float64{float64(r.ID() + 1)})
+		recv, _ := r.NewFloat64Array(make([]float64, 1))
+		if err := r.Allreduce(send, recv, motor.OpProd); err != nil {
+			return err
+		}
+		if got := r.Float64s(recv)[0]; got != 24 { // 1*2*3*4
+			return fmt.Errorf("allreduce prod = %g", got)
+		}
+		// Split by parity; reduce max within each group.
+		sub, err := r.Split(motor.WorldComm, r.ID()%2, 0)
+		if err != nil {
+			return err
+		}
+		isend, _ := r.NewInt32Array([]int32{int32(r.ID() * 10)})
+		var irecv motor.Ref
+		subRank, _ := r.CommRank(sub)
+		if subRank == 0 {
+			irecv, _ = r.NewInt32Array(make([]int32, 1))
+		}
+		if err := r.ReduceOn(sub, isend, irecv, motor.OpMax, 0); err != nil {
+			return err
+		}
+		if subRank == 0 {
+			want := int32((r.ID()%2 + 2) * 10) // larger world rank of the parity group
+			if got := r.Int32s(irecv)[0]; got != want {
+				return fmt.Errorf("group max %d, want %d", got, want)
+			}
+		}
+		return r.CommFree(sub)
+	})
+}
+
+func TestFacadeAllgatherSendrecv(t *testing.T) {
+	run(t, motor.Config{Ranks: 4}, func(r *motor.Rank) error {
+		// Allgather.
+		mine, _ := r.NewFloat64Array([]float64{float64(r.ID() * 2)})
+		all, _ := r.NewArray(motor.Float64, 4)
+		if err := r.Allgather(mine, all); err != nil {
+			return err
+		}
+		for i, v := range r.Float64s(all) {
+			if v != float64(i*2) {
+				return fmt.Errorf("allgather[%d]=%g", i, v)
+			}
+		}
+		// Sendrecv ring shift: everyone simultaneously.
+		right := (r.ID() + 1) % r.Size()
+		left := (r.ID() + r.Size() - 1) % r.Size()
+		out, _ := r.NewInt32Array([]int32{int32(r.ID() + 100)})
+		in, _ := r.NewInt32Array(make([]int32, 1))
+		st, err := r.Sendrecv(out, right, 5, in, left, 5)
+		if err != nil {
+			return err
+		}
+		if st.Source != left {
+			return fmt.Errorf("sendrecv source %d, want %d", st.Source, left)
+		}
+		if got := r.Int32s(in)[0]; got != int32(left+100) {
+			return fmt.Errorf("sendrecv got %d", got)
+		}
+		return nil
+	})
+}
+
+func TestFacadeServeJoinMultiProcess(t *testing.T) {
+	// Three "processes" (goroutines) joining through the public
+	// rendezvous API — the cmd/motor -mode serve / -mode rank path.
+	// The reserve-and-release port trick can race with other
+	// processes, so the whole attempt retries on failure.
+	const n = 3
+	var lastErr error
+	for attempt := 0; attempt < 5; attempt++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		addr := ln.Addr().String()
+		ln.Close() // free the port for Serve
+
+		serveCh := make(chan error, 1)
+		go func() { serveCh <- motor.Serve(addr, n) }()
+		time.Sleep(50 * time.Millisecond)
+
+		errc := make(chan error, n)
+		for rank := 0; rank < n; rank++ {
+			go func(rank int) {
+				r, closer, err := motor.Join(motor.Config{}, addr, rank, n)
+				if err != nil {
+					errc <- err
+					return
+				}
+				defer closer()
+				send, _ := r.NewInt32Array([]int32{int32(rank + 1)})
+				recv, _ := r.NewInt32Array(make([]int32, 1))
+				if err := r.Allreduce(send, recv, motor.OpSum); err != nil {
+					errc <- err
+					return
+				}
+				if got := r.Int32s(recv)[0]; got != 6 {
+					errc <- fmt.Errorf("rank %d sum %d", rank, got)
+					return
+				}
+				errc <- nil
+			}(rank)
+		}
+		lastErr = nil
+		deadline := time.After(15 * time.Second)
+		for i := 0; i < n; i++ {
+			select {
+			case err := <-errc:
+				if err != nil && lastErr == nil {
+					lastErr = err
+				}
+			case <-deadline:
+				t.Fatal("join world deadlocked")
+			}
+		}
+		if lastErr == nil {
+			if err := <-serveCh; err != nil {
+				lastErr = err
+			}
+		}
+		if lastErr == nil {
+			return
+		}
+		// The failed Serve goroutine may still hold the port; give the
+		// OS a beat and retry on a fresh port.
+		time.Sleep(100 * time.Millisecond)
+	}
+	t.Fatalf("all attempts failed: %v", lastErr)
+}
