@@ -6,6 +6,7 @@
 // behaves on a given workload.
 //
 //	mpstat -np 2 -size 4096 -iters 500 [-policy motor|alwayspin] [-oo]
+//	mpstat -channel sock -faultplan 'delay:dial:delay=2ms' -faultseed 7
 package main
 
 import (
@@ -15,6 +16,8 @@ import (
 	"sync"
 
 	"motor"
+	"motor/internal/pal"
+	"motor/internal/pal/fault"
 )
 
 func main() {
@@ -25,11 +28,27 @@ func main() {
 	oo := flag.Bool("oo", false, "use the extended object-oriented operations on a linked list")
 	elements := flag.Int("elements", 16, "linked-list elements for -oo")
 	channel := flag.String("channel", "shm", "transport: shm or sock")
+	faultPlan := flag.String("faultplan", "", "fault plan spec, e.g. 'reset:write:nth=3,delay:dial:delay=2ms' (sock only; see docs/FAULTS.md)")
+	faultSeed := flag.Int64("faultseed", 1, "seed for -faultplan probabilistic rules")
 	flag.Parse()
 
 	cfg := motor.Config{Ranks: *np, Channel: *channel}
 	if *policy == "alwayspin" {
 		cfg.Policy = motor.PolicyAlwaysPin
+	}
+	var faultPlat *fault.Platform
+	if *faultPlan != "" {
+		plan, err := fault.ParsePlan(*faultSeed, *faultPlan)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mpstat:", err)
+			os.Exit(2)
+		}
+		if *channel != "sock" {
+			fmt.Fprintln(os.Stderr, "mpstat: -faultplan requires -channel sock")
+			os.Exit(2)
+		}
+		faultPlat = fault.New(pal.Default, plan)
+		cfg.Platform = faultPlat
 	}
 
 	var mu sync.Mutex
@@ -133,8 +152,24 @@ func main() {
 		fmt.Printf("  ops: regular=%d oo=%d/%d serialized=%dB buffers(reuse/alloc/collected)=%d/%d/%d\n",
 			ms.Ops, ms.OOSends, ms.OORecvs, ms.SerializedBytes,
 			ms.BufferReuses, ms.BufferAllocs, ms.BuffersCollected)
+		ds := r.DeviceStats()
+		fmt.Printf("  transport: errors(op/dev)=%d/%d peersLost=%d\n",
+			ms.TransportErrors, ds.TransportErrors, ds.PeersLost)
+		if ts, ok := r.TransportStats(); ok {
+			fmt.Printf("  sock: dialRetries=%d bootstrapRetries=%d poisoned=%d retired=%d\n",
+				ts.DialRetries, ts.BootstrapRetries, ts.PoisonedConns, ts.PeersRetired)
+		}
 		return nil
 	})
+	if faultPlat != nil {
+		fs := faultPlat.Stats()
+		fmt.Printf("faults: injected=%d refuse=%d reset=%d delay=%d short=%d drop=%d partition=%d (events=%d)\n",
+			fs.Total,
+			fs.Injected[fault.KindRefuse], fs.Injected[fault.KindReset],
+			fs.Injected[fault.KindDelay], fs.Injected[fault.KindShort],
+			fs.Injected[fault.KindDrop], fs.Injected[fault.KindPartition],
+			len(faultPlat.Events()))
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "mpstat:", err)
 		os.Exit(1)

@@ -71,6 +71,7 @@ type Stats struct {
 	BufferReuses     uint64
 	BufferAllocs     uint64
 	BuffersCollected uint64
+	TransportErrors  uint64 // operations that completed with mp.ErrTransport
 }
 
 // Engine integrates one VM with one message-passing world.

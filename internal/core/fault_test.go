@@ -1,0 +1,192 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"motor/internal/mp"
+	"motor/internal/mp/channel"
+	"motor/internal/pal"
+	"motor/internal/pal/fault"
+	"motor/internal/vm"
+)
+
+// Adversarial pinning tests: a transport fault strikes between Isend
+// and Wait, exactly where the paper's conditional pin requests (§7.4)
+// are live. The engine must surface a typed ErrTransport, the dead
+// request's conditional pin must be discarded at the next mark phase,
+// and the heap must come out with no leaked pins and intact
+// invariants.
+
+// runSockRanks mirrors runRanks over a fault-injectable sock world:
+// one platform per rank, and per-rank body errors returned instead of
+// failed so tests can assert on the error class.
+func runSockRanks(t *testing.T, plats []pal.Platform, eagerMax int, body func(r *rank) error) []error {
+	t.Helper()
+	n := len(plats)
+	rp := channel.RetryPolicy{
+		DialAttempts:      4,
+		BootstrapAttempts: 3,
+		BackoffBase:       time.Millisecond,
+		BackoffMax:        10 * time.Millisecond,
+		AcceptTimeout:     5 * time.Second,
+	}
+	worlds, err := mp.NewSockWorldsOn(plats, n, eagerMax, rp)
+	if err != nil {
+		t.Fatalf("world construction: %v", err)
+	}
+	type res struct {
+		rank int
+		err  error
+	}
+	resc := make(chan res, n)
+	for i := 0; i < n; i++ {
+		go func(idx int, w *mp.World) {
+			v := vm.New(vm.Config{
+				Name: fmt.Sprintf("rank%d", w.Rank()),
+				Heap: vm.HeapConfig{YoungSize: 64 << 10, InitialElder: 512 << 10, ArenaMax: 64 << 20},
+			})
+			e := Attach(v, w)
+			th := v.StartThread("main")
+			defer th.End()
+			defer w.Close()
+			resc <- res{idx, body(&rank{v: v, e: e, th: th})}
+		}(i, worlds[i])
+	}
+	errs := make([]error, n)
+	deadline := time.After(30 * time.Second)
+	for i := 0; i < n; i++ {
+		select {
+		case r := <-resc:
+			errs[r.rank] = r.err
+		case <-deadline:
+			t.Fatal("ranks hung: transport fault did not surface")
+		}
+	}
+	return errs
+}
+
+// heapClean asserts the post-fault heap contract: the conditional pin
+// registered for the dead request was dropped, nothing stays pinned,
+// and the heap invariants hold.
+func heapClean(r *rank) error {
+	r.th.CollectYoung() // mark phase resolves conditional pin requests
+	h := r.v.Heap
+	if n := h.CondPinCount(); n != 0 {
+		return fmt.Errorf("CondPinCount = %d after collection, want 0", n)
+	}
+	gs := h.Stats
+	if gs.Pins != gs.Unpins {
+		return fmt.Errorf("leaked explicit pins: Pins=%d Unpins=%d", gs.Pins, gs.Unpins)
+	}
+	if err := h.CheckInvariants(); err != nil {
+		return fmt.Errorf("heap invariants: %w", err)
+	}
+	return nil
+}
+
+// TestCondPinDiscardedOnTransportFault kills a rendezvous transfer at
+// two points (the receiver's CTS write and the sender's DATA write)
+// while the sender sits between Isend and Wait with a conditional pin
+// registered for its young buffer.
+func TestCondPinDiscardedOnTransportFault(t *testing.T) {
+	const eagerMax = 512
+	cases := []struct {
+		name  string
+		plats func() []pal.Platform
+	}{
+		// Receiver's writes: #1 registration, #2 mesh identify, #3 CTS.
+		{"reset-cts", func() []pal.Platform {
+			return []pal.Platform{nil, fault.New(pal.Default, fault.Plan{Seed: 5, Rules: []fault.Rule{
+				{Op: fault.OpWrite, Kind: fault.KindReset, Nth: 3},
+			}})}
+		}},
+		// Sender's writes: #1 registration, #2 RTS header, #3 DATA header.
+		{"reset-data", func() []pal.Platform {
+			return []pal.Platform{fault.New(pal.Default, fault.Plan{Seed: 5, Rules: []fault.Rule{
+				{Op: fault.OpWrite, Kind: fault.KindReset, Nth: 3},
+			}}), nil}
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			errs := runSockRanks(t, tc.plats(), eagerMax, func(r *rank) error {
+				h := r.v.Heap
+				buf, err := h.NewUint8Array(make([]byte, 4<<10)) // young, above eagerMax
+				if err != nil {
+					return err
+				}
+				release := r.th.PushFrame(&buf)
+				defer release()
+				var id int32
+				if r.e.Comm.Rank() == 0 {
+					id, err = r.e.Isend(r.th, buf, 1, 7)
+				} else {
+					id, err = r.e.Irecv(r.th, buf, 0, 7)
+				}
+				if err != nil {
+					return fmt.Errorf("start: %w", err)
+				}
+				if r.e.Stats.CondPins != 1 {
+					return fmt.Errorf("CondPins = %d after immediate op, want 1", r.e.Stats.CondPins)
+				}
+				if _, err := r.e.Wait(r.th, id); !errors.Is(err, mp.ErrTransport) {
+					return fmt.Errorf("Wait err = %v, want ErrTransport", err)
+				}
+				if r.e.Stats.TransportErrors != 1 {
+					return fmt.Errorf("engine TransportErrors = %d, want 1", r.e.Stats.TransportErrors)
+				}
+				if err := heapClean(r); err != nil {
+					return err
+				}
+				if h.Stats.CondPinsDropped < 1 {
+					return fmt.Errorf("CondPinsDropped = %d, want >= 1", h.Stats.CondPinsDropped)
+				}
+				return nil
+			})
+			for r, err := range errs {
+				if err != nil {
+					t.Fatalf("rank %d: %v", r, err)
+				}
+			}
+		})
+	}
+}
+
+// TestBlockingOpTransportFault covers the blocking path: a Send/Recv
+// pair whose connection resets mid-protocol must return ErrTransport
+// from the polling-wait (no conditional pins involved; the deferred
+// pin must still be released).
+func TestBlockingOpTransportFault(t *testing.T) {
+	plats := []pal.Platform{nil, fault.New(pal.Default, fault.Plan{Seed: 2, Rules: []fault.Rule{
+		{Op: fault.OpWrite, Kind: fault.KindReset, Nth: 3}, // CTS write
+	}})}
+	errs := runSockRanks(t, plats, 512, func(r *rank) error {
+		h := r.v.Heap
+		buf, err := h.NewUint8Array(make([]byte, 4<<10))
+		if err != nil {
+			return err
+		}
+		release := r.th.PushFrame(&buf)
+		defer release()
+		if r.e.Comm.Rank() == 0 {
+			err = r.e.Send(r.th, buf, 1, 3)
+		} else {
+			_, err = r.e.Recv(r.th, buf, 0, 3)
+		}
+		if !errors.Is(err, mp.ErrTransport) {
+			return fmt.Errorf("err = %v, want ErrTransport", err)
+		}
+		if r.e.Stats.TransportErrors != 1 {
+			return fmt.Errorf("engine TransportErrors = %d, want 1", r.e.Stats.TransportErrors)
+		}
+		return heapClean(r)
+	})
+	for r, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d: %v", r, err)
+		}
+	}
+}

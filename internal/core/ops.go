@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
 
@@ -51,6 +52,16 @@ func (e *Engine) pinEager(obj vm.Ref) func() {
 	return func() { e.VM.Heap.Unpin(obj) }
 }
 
+// noteErr records transport-class completion failures (mp.ErrTransport)
+// in the engine stats so a rank's exposure to peer loss is observable
+// through MPStats / mpstat.
+func (e *Engine) noteErr(err error) error {
+	if err != nil && errors.Is(err, mp.ErrTransport) {
+		e.Stats.TransportErrors++
+	}
+	return err
+}
+
 // waitBlocking drives a request to completion with the polling-wait:
 // progress, then GC poll, repeatedly (§7.4's three polling points are
 // entry — in the callers —, this loop, and the exit poll).
@@ -62,14 +73,14 @@ func (e *Engine) waitBlocking(t *vm.Thread, c *mp.Comm, obj vm.Ref, req *mp.Requ
 		} else if e.policy == PolicyMotor {
 			e.Stats.PinSkippedElder++
 		}
-		return st, err
+		return st, e.noteErr(err)
 	}
 	unpin := e.pinForWait(obj)
 	defer unpin()
 	for {
 		done, st, err = c.Test(req)
 		if done {
-			return st, err
+			return st, e.noteErr(err)
 		}
 		e.idle(t)
 	}
@@ -267,7 +278,7 @@ func (e *Engine) Wait(t *vm.Thread, id int32) (mp.Status, error) {
 		done, st, err := e.Comm.Test(r.req)
 		if done {
 			e.finish(r)
-			return st, err
+			return st, e.noteErr(err)
 		}
 		e.idle(t)
 	}
@@ -286,7 +297,7 @@ func (e *Engine) Test(t *vm.Thread, id int32) (bool, mp.Status, error) {
 		return false, mp.Status{}, err
 	}
 	e.finish(r)
-	return true, st, err
+	return true, st, e.noteErr(err)
 }
 
 // PendingRequests reports outstanding immediate operations (tests,

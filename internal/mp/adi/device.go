@@ -29,6 +29,12 @@ var (
 	ErrTruncate = errors.New("adi: message truncated (receive buffer too small)")
 	ErrRank     = errors.New("adi: rank out of range")
 	ErrState    = errors.New("adi: request in invalid state")
+	// ErrTransport is the typed error class for transport failures: a
+	// reset, poisoned or prematurely-closed peer connection. Requests
+	// bound to the failed peer complete with an error wrapping
+	// ErrTransport instead of hanging the progress engine; the rest of
+	// the world keeps running.
+	ErrTransport = errors.New("adi: transport failure")
 )
 
 // Buffer abstracts a contiguous transfer buffer. Bytes must be called
@@ -117,6 +123,11 @@ type DeviceStats struct {
 	BytesSent   uint64
 	BytesRecvd  uint64
 	CtrlPackets uint64
+	// TransportErrors counts requests (or operation starts) that
+	// failed with ErrTransport; PeersLost counts peer connections
+	// declared dead by the channel.
+	TransportErrors uint64
+	PeersLost       uint64
 }
 
 // Device is one rank's progress engine and matching state.
@@ -209,7 +220,7 @@ func (d *Device) Isend(buf Buffer, dest, tag int, ctx int32, sync bool) (*Reques
 			Tag: int32(tag), Context: ctx, ReqA: req.id,
 		}
 		if err := d.ch.Send(dest, hdr, buf.Bytes()); err != nil {
-			return nil, err
+			return nil, d.transportErr(err)
 		}
 		d.Stats.EagerSent++
 		d.Stats.BytesSent += uint64(size)
@@ -224,7 +235,7 @@ func (d *Device) Isend(buf Buffer, dest, tag int, ctx int32, sync bool) (*Reques
 		Tag: int32(tag), Context: ctx, ReqA: req.id, ReqB: uint64(size),
 	}
 	if err := d.sendHeaderOnly(dest, hdr); err != nil {
-		return nil, err
+		return nil, d.transportErr(err)
 	}
 	d.Stats.RndvSent++
 	d.active[req.id] = req
@@ -364,7 +375,7 @@ func (d *Device) acceptRendezvous(req *Request, rts channel.Header) {
 		ReqA: rts.ReqA, ReqB: req.id,
 	}
 	if err := d.sendHeaderOnly(int(rts.Source), cts); err != nil && req.err == nil {
-		req.err = err
+		req.err = d.transportErr(err)
 		req.state = stComplete
 		delete(d.active, req.id)
 	}
@@ -395,14 +406,75 @@ func (d *Device) matchPosted(hdr channel.Header) *Request {
 	return nil
 }
 
+// --- transport failure handling ----------------------------------------------
+
+// transportErr converts a channel PeerError into a typed ErrTransport
+// error, failing every other request bound to the same peer first so
+// no request outlives its connection. Non-peer errors pass through.
+func (d *Device) transportErr(err error) error {
+	var pe *channel.PeerError
+	if !errors.As(err, &pe) {
+		return err
+	}
+	d.failPeer(pe.Peer, pe.Err)
+	d.Stats.TransportErrors++
+	return fmt.Errorf("%w: peer %d: %v", ErrTransport, pe.Peer, pe.Err)
+}
+
+// failPeer declares a peer connection dead: every outstanding request
+// bound to that peer — posted receives, rendezvous sends awaiting
+// CTS, receives awaiting DATA — completes with a typed ErrTransport
+// error. Receives posted with AnySource stay posted; they can still
+// be satisfied by surviving peers. Unexpected eager payloads already
+// received from the dead peer remain matchable: their bytes arrived
+// intact before the failure.
+func (d *Device) failPeer(peer int, cause error) {
+	d.Stats.PeersLost++
+	werr := fmt.Errorf("%w: peer %d: %v", ErrTransport, peer, cause)
+	kept := d.posted[:0]
+	for _, r := range d.posted {
+		if r.peer == peer {
+			r.err = werr
+			r.state = stComplete
+			delete(d.active, r.id)
+			d.Stats.TransportErrors++
+			continue
+		}
+		kept = append(kept, r)
+	}
+	d.posted = kept
+	for id, r := range d.active {
+		if r.peer == peer && r.state != stComplete {
+			r.err = werr
+			r.state = stComplete
+			delete(d.active, id)
+			d.Stats.TransportErrors++
+		}
+	}
+}
+
 // --- progress engine -----------------------------------------------------------
 
 // Progress makes one polling pass over the channel. It reports
-// whether any packet was processed.
+// whether any packet was processed. A peer-confined transport failure
+// is absorbed here: the affected requests complete with ErrTransport
+// (observed via TestReq/WaitReq) and the progress engine keeps
+// running for the surviving peers.
 func (d *Device) Progress() (bool, error) {
 	d.Stats.Polls++
 	d.resolveSelfSyncs()
-	return d.ch.Poll(d)
+	progressed, err := d.ch.Poll(d)
+	if err != nil {
+		var pe *channel.PeerError
+		if errors.As(err, &pe) {
+			d.failPeer(pe.Peer, pe.Err)
+			// Report progress: requests changed state, so waiters
+			// must re-check before idling.
+			return true, nil
+		}
+		return progressed, err
+	}
+	return progressed, nil
 }
 
 // WaitReq blocks (polling-wait) until the request completes.
@@ -591,6 +663,9 @@ func (d *Device) Done(hdr channel.Header) {
 		}
 		err := d.ch.Send(req.peer, data, req.buf.Bytes())
 		delete(d.active, req.id)
+		if err != nil {
+			err = d.transportErr(err)
+		}
 		req.err = err
 		req.state = stComplete
 		d.Stats.BytesSent += uint64(req.buf.Len())

@@ -104,3 +104,33 @@ var ErrClosed = errors.New("channel: closed")
 
 // ErrRank is returned for an out-of-range destination.
 var ErrRank = errors.New("channel: rank out of range")
+
+// PeerError reports a transport failure confined to one peer
+// connection: the rest of the mesh stays usable. The device layer
+// translates it into typed MPI error classes on the affected requests
+// instead of stalling the progress engine.
+type PeerError struct {
+	Peer int // world rank of the failed peer connection
+	Err  error
+}
+
+// Error implements error.
+func (e *PeerError) Error() string {
+	return fmt.Sprintf("channel: peer %d: %v", e.Peer, e.Err)
+}
+
+// Unwrap exposes the underlying transport error.
+func (e *PeerError) Unwrap() error { return e.Err }
+
+// TransportStats counts channel-level fault and recovery activity.
+type TransportStats struct {
+	DialRetries      uint64 // re-dials after a failed connection attempt
+	BootstrapRetries uint64 // full rendezvous-exchange retries
+	PoisonedConns    uint64 // connections killed after a partial frame
+	PeersRetired     uint64 // connections retired on graceful close
+}
+
+// StatsSource is implemented by channels that track transport stats.
+type StatsSource interface {
+	TransportStats() TransportStats
+}

@@ -8,6 +8,7 @@ import (
 	"io"
 	"net"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"motor/internal/pal"
@@ -23,6 +24,14 @@ import (
 // buffer handed out by the Sink may be a range of a managed heap that
 // is only guaranteed stable while the managed thread sits inside this
 // call. Only header bytes are buffered across polls.
+//
+// Failure containment: any error that leaves a connection's framing
+// undefined — a write that stopped mid-frame, a read that hit a reset
+// or an EOF inside a packet — poisons that connection: it is closed,
+// recorded, and every later operation on it fails fast with a
+// PeerError naming the peer. Failures never escape the pair: the rest
+// of the mesh keeps progressing, and the device layer converts the
+// PeerError into typed errors on the affected requests.
 
 const (
 	dialTimeout = 10 * time.Second
@@ -33,21 +42,74 @@ const (
 	pollWindow = 100 * time.Microsecond
 )
 
+// RetryPolicy bounds the bootstrap's recovery from transient
+// transport failures: every dial and the whole rendezvous exchange
+// retry with exponential backoff, and mesh accepts are bounded so a
+// peer that gave up cannot hang this rank forever.
+type RetryPolicy struct {
+	DialAttempts      int           // attempts per dial (min 1)
+	BootstrapAttempts int           // attempts for the rendezvous exchange (min 1)
+	BackoffBase       time.Duration // first retry backoff; doubles per retry
+	BackoffMax        time.Duration // backoff ceiling
+	AcceptTimeout     time.Duration // bound on the mesh accept phase; 0 = none
+}
+
+// DefaultRetryPolicy is the policy used by Bootstrap and world
+// construction.
+var DefaultRetryPolicy = RetryPolicy{
+	DialAttempts:      4,
+	BootstrapAttempts: 4,
+	BackoffBase:       5 * time.Millisecond,
+	BackoffMax:        500 * time.Millisecond,
+	AcceptTimeout:     30 * time.Second,
+}
+
+// backoff returns the sleep before retry number n (0-based),
+// deterministic so fault-plan replays stay identical.
+func (p RetryPolicy) backoff(n int) time.Duration {
+	d := p.BackoffBase
+	if d <= 0 {
+		d = time.Millisecond
+	}
+	for i := 0; i < n; i++ {
+		d *= 2
+		if p.BackoffMax > 0 && d >= p.BackoffMax {
+			return p.BackoffMax
+		}
+	}
+	if p.BackoffMax > 0 && d > p.BackoffMax {
+		d = p.BackoffMax
+	}
+	return d
+}
+
 type sockConn struct {
+	peer   int
 	c      net.Conn
 	hdrBuf [HeaderSize]byte
 	hdrGot int
+	poison error // non-nil once the framing is undefined; conn is dead
 }
 
 // SockChannel is one rank's endpoint of a TCP-connected world.
 type SockChannel struct {
 	rank  int
 	size  int
-	conns []*sockConn // indexed by peer rank; nil at self
+	conns []*sockConn // indexed by peer rank; nil at self / retired
 	next  int         // round-robin poll cursor
+
+	stats struct {
+		dialRetries      uint64
+		bootstrapRetries uint64
+		poisonedConns    uint64
+		peersRetired     uint64
+	}
 }
 
-var _ Channel = (*SockChannel)(nil)
+var (
+	_ Channel     = (*SockChannel)(nil)
+	_ StatsSource = (*SockChannel)(nil)
+)
 
 // Rank implements Channel.
 func (c *SockChannel) Rank() int { return c.rank }
@@ -55,8 +117,33 @@ func (c *SockChannel) Rank() int { return c.rank }
 // Size implements Channel.
 func (c *SockChannel) Size() int { return c.size }
 
+// TransportStats implements StatsSource.
+func (c *SockChannel) TransportStats() TransportStats {
+	return TransportStats{
+		DialRetries:      atomic.LoadUint64(&c.stats.dialRetries),
+		BootstrapRetries: atomic.LoadUint64(&c.stats.bootstrapRetries),
+		PoisonedConns:    atomic.LoadUint64(&c.stats.poisonedConns),
+		PeersRetired:     atomic.LoadUint64(&c.stats.peersRetired),
+	}
+}
+
+// poisonConn kills a connection whose framing state is no longer
+// defined (partial frame written or read). Deterministic: the conn is
+// closed immediately and every later Send/Poll involving it returns a
+// PeerError carrying the original cause.
+func (c *SockChannel) poisonConn(sc *sockConn, cause error) *PeerError {
+	if sc.poison == nil {
+		sc.poison = cause
+		sc.c.Close()
+		atomic.AddUint64(&c.stats.poisonedConns, 1)
+	}
+	return &PeerError{Peer: sc.peer, Err: sc.poison}
+}
+
 // Send implements Channel: write header and payload on the pair
-// connection.
+// connection. Any write error mid-frame poisons the connection — a
+// half-written frame can never be resynchronized, so the error state
+// must be made permanent rather than leaving the framing undefined.
 func (c *SockChannel) Send(dest int, hdr Header, payload []byte) error {
 	if dest < 0 || dest >= c.size {
 		return ErrRank
@@ -66,20 +153,23 @@ func (c *SockChannel) Send(dest int, hdr Header, payload []byte) error {
 	}
 	sc := c.conns[dest]
 	if sc == nil {
-		return ErrClosed
+		return &PeerError{Peer: dest, Err: ErrClosed}
+	}
+	if sc.poison != nil {
+		return &PeerError{Peer: dest, Err: sc.poison}
 	}
 	hdr.Size = uint32(len(payload))
 	var hb [HeaderSize]byte
 	hdr.Marshal(hb[:])
 	if err := sc.c.SetWriteDeadline(time.Now().Add(bodyTimeout)); err != nil {
-		return err
+		return c.poisonConn(sc, fmt.Errorf("sock: send deadline to %d: %w", dest, err))
 	}
 	if _, err := sc.c.Write(hb[:]); err != nil {
-		return fmt.Errorf("sock: send header to %d: %w", dest, err)
+		return c.poisonConn(sc, fmt.Errorf("sock: send header to %d: %w", dest, err))
 	}
 	if len(payload) > 0 {
 		if _, err := sc.c.Write(payload); err != nil {
-			return fmt.Errorf("sock: send payload to %d: %w", dest, err)
+			return c.poisonConn(sc, fmt.Errorf("sock: send payload to %d: %w", dest, err))
 		}
 	}
 	return nil
@@ -87,13 +177,15 @@ func (c *SockChannel) Send(dest int, hdr Header, payload []byte) error {
 
 // Poll implements Channel: non-blocking header reads round-robin over
 // peers; when a header completes, the payload is drained into the
-// sink's buffer before returning.
+// sink's buffer before returning. A connection-level failure is
+// returned as a PeerError after the connection is poisoned; other
+// peers are unaffected and keep being polled on later passes.
 func (c *SockChannel) Poll(sink Sink) (bool, error) {
 	n := len(c.conns)
 	for i := 0; i < n; i++ {
 		peer := (c.next + i) % n
 		sc := c.conns[peer]
-		if sc == nil {
+		if sc == nil || sc.poison != nil {
 			continue
 		}
 		progressed, err := c.pollConn(sc, sink)
@@ -113,7 +205,7 @@ func (c *SockChannel) pollConn(sc *sockConn, sink Sink) (bool, error) {
 	// abandons the pass after pollWindow otherwise. (A deadline in
 	// the past would fail without ever attempting the read.)
 	if err := sc.c.SetReadDeadline(time.Now().Add(pollWindow)); err != nil {
-		return false, err
+		return false, c.poisonConn(sc, err)
 	}
 	n, err := sc.c.Read(sc.hdrBuf[sc.hdrGot:])
 	sc.hdrGot += n
@@ -125,17 +217,20 @@ func (c *SockChannel) pollConn(sc *sockConn, sink Sink) (bool, error) {
 			}
 		} else if err == io.EOF {
 			if sc.hdrGot == 0 {
-				// Graceful shutdown between packets: the peer has
-				// finished its communication and closed. Retire the
-				// connection; traffic already delivered is unaffected
-				// and other peers keep progressing.
+				// Close between packets: the peer is gone but framing
+				// is intact. Retire the connection and tell the device
+				// which peer went away, so requests bound to it can be
+				// failed instead of waiting forever; traffic already
+				// delivered is unaffected and other peers keep
+				// progressing.
 				sc.c.Close()
 				c.retire(sc)
-				return false, nil
+				atomic.AddUint64(&c.stats.peersRetired, 1)
+				return false, &PeerError{Peer: sc.peer, Err: io.EOF}
 			}
-			return false, fmt.Errorf("sock: peer closed mid-packet: %w", err)
+			return false, c.poisonConn(sc, fmt.Errorf("sock: peer closed mid-packet: %w", err))
 		} else {
-			return false, err
+			return false, c.poisonConn(sc, err)
 		}
 	}
 	if sc.hdrGot < HeaderSize {
@@ -148,18 +243,18 @@ func (c *SockChannel) pollConn(sc *sockConn, sink Sink) (bool, error) {
 	dst := sink.Deliver(hdr)
 	if hdr.Size > 0 {
 		if err := sc.c.SetReadDeadline(time.Now().Add(bodyTimeout)); err != nil {
-			return false, err
+			return false, c.poisonConn(sc, err)
 		}
 		if dst != nil {
 			if uint32(len(dst)) < hdr.Size {
 				return false, fmt.Errorf("sock: sink buffer %d smaller than payload %d", len(dst), hdr.Size)
 			}
 			if _, err := io.ReadFull(sc.c, dst[:hdr.Size]); err != nil {
-				return false, fmt.Errorf("sock: payload read: %w", err)
+				return false, c.poisonConn(sc, fmt.Errorf("sock: payload read: %w", err))
 			}
 		} else {
 			if _, err := io.CopyN(io.Discard, sc.c, int64(hdr.Size)); err != nil {
-				return false, fmt.Errorf("sock: payload discard: %w", err)
+				return false, c.poisonConn(sc, fmt.Errorf("sock: payload discard: %w", err))
 			}
 		}
 	}
@@ -182,7 +277,7 @@ func (c *SockChannel) Close() error {
 	var first error
 	for _, sc := range c.conns {
 		if sc != nil {
-			if err := sc.c.Close(); err != nil && first == nil {
+			if err := sc.c.Close(); err != nil && first == nil && sc.poison == nil {
 				first = err
 			}
 		}
@@ -192,13 +287,16 @@ func (c *SockChannel) Close() error {
 
 // --- bootstrap -------------------------------------------------------------
 
-// ServeRoot runs the rendezvous service for an n-rank world on ln:
-// it collects one registration line ("rank addr") from every rank and
+// ServeRoot runs the rendezvous service for an n-rank world on ln: it
+// collects one registration line ("rank addr") from every rank and
 // answers each with the full address table. It returns after serving
-// all ranks.
+// all ranks. A connection that fails or misbehaves during
+// registration is dropped and the service keeps waiting — the rank
+// behind it retries with a fresh connection (see Bootstrap) — and a
+// re-registration for an already-seen rank replaces the stale entry.
 func ServeRoot(ln net.Listener, n int) error {
 	addrs := make([]string, n)
-	conns := make([]net.Conn, 0, n)
+	conns := make([]net.Conn, n)
 	seen := 0
 	for seen < n {
 		conn, err := ln.Accept()
@@ -207,38 +305,125 @@ func ServeRoot(ln net.Listener, n int) error {
 		}
 		line, err := bufio.NewReader(conn).ReadString('\n')
 		if err != nil {
+			// A rank's registration died mid-exchange; it will retry.
 			conn.Close()
-			return fmt.Errorf("sock bootstrap: registration read: %w", err)
+			continue
 		}
 		var rank int
 		var addr string
 		if _, err := fmt.Sscanf(strings.TrimSpace(line), "%d %s", &rank, &addr); err != nil {
 			conn.Close()
-			return fmt.Errorf("sock bootstrap: bad registration %q: %w", line, err)
+			continue
 		}
-		if rank < 0 || rank >= n || addrs[rank] != "" {
+		if rank < 0 || rank >= n {
 			conn.Close()
-			return fmt.Errorf("sock bootstrap: bad or duplicate rank %d", rank)
+			continue
+		}
+		if conns[rank] != nil {
+			// Retried registration: the previous exchange failed on
+			// the rank's side after we recorded it. Replace it.
+			conns[rank].Close()
+			seen--
 		}
 		addrs[rank] = addr
-		conns = append(conns, conn)
+		conns[rank] = conn
 		seen++
 	}
 	table := strings.Join(addrs, " ") + "\n"
+	var firstErr error
 	for _, conn := range conns {
-		if _, err := io.WriteString(conn, table); err != nil {
-			return fmt.Errorf("sock bootstrap: table write: %w", err)
+		if _, err := io.WriteString(conn, table); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("sock bootstrap: table write: %w", err)
 		}
 		conn.Close()
 	}
-	return nil
+	// Linger: a rank whose table read failed after we recorded its
+	// registration will retry the whole exchange, and by then the main
+	// loop above is gone — without an answer it would burn its entire
+	// retry budget waiting on a table that never comes. Keep answering
+	// re-registrations with the completed table until the caller closes
+	// the listener.
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(c net.Conn) {
+				defer c.Close()
+				if _, err := bufio.NewReader(c).ReadString('\n'); err != nil {
+					return
+				}
+				io.WriteString(c, table)
+			}(conn)
+		}
+	}()
+	return firstErr
+}
+
+// dialRetry dials with bounded attempts and exponential backoff,
+// counting retries into the given counter.
+func dialRetry(plat pal.Platform, addr string, rp RetryPolicy, retries *uint64) (net.Conn, error) {
+	attempts := rp.DialAttempts
+	if attempts < 1 {
+		attempts = 1
+	}
+	var lastErr error
+	for a := 0; a < attempts; a++ {
+		if a > 0 {
+			atomic.AddUint64(retries, 1)
+			time.Sleep(rp.backoff(a - 1))
+		}
+		conn, err := plat.Dial(addr, dialTimeout)
+		if err == nil {
+			return conn, nil
+		}
+		lastErr = err
+	}
+	return nil, lastErr
+}
+
+// register performs one rendezvous exchange with the root service and
+// returns the address table.
+func register(plat pal.Platform, rootAddr, myAddr string, rank, size int, rp RetryPolicy, dials *uint64) ([]string, error) {
+	rc, err := dialRetry(plat, rootAddr, rp, dials)
+	if err != nil {
+		return nil, fmt.Errorf("sock bootstrap: dial root: %w", err)
+	}
+	defer rc.Close()
+	// Bound the exchange: if another rank never registers, this rank
+	// must time out and fail (or retry) rather than wait forever on a
+	// table that cannot arrive.
+	if rp.AcceptTimeout > 0 {
+		rc.SetDeadline(time.Now().Add(rp.AcceptTimeout))
+	}
+	if _, err := fmt.Fprintf(rc, "%d %s\n", rank, myAddr); err != nil {
+		return nil, fmt.Errorf("sock bootstrap: register: %w", err)
+	}
+	tableLine, err := bufio.NewReader(rc).ReadString('\n')
+	if err != nil {
+		return nil, fmt.Errorf("sock bootstrap: table read: %w", err)
+	}
+	addrs := strings.Fields(tableLine)
+	if len(addrs) != size {
+		return nil, fmt.Errorf("sock bootstrap: table has %d entries, want %d", len(addrs), size)
+	}
+	return addrs, nil
 }
 
 // Bootstrap joins an n-rank sock world through the rendezvous service
-// at rootAddr and establishes the full connection mesh. Every rank of
-// the world must call Bootstrap concurrently (rank 0 does not host
-// the service; see ServeRoot and NewSockGroupLocal).
+// at rootAddr with the default retry policy (see BootstrapWith).
 func Bootstrap(plat pal.Platform, rootAddr string, rank, size int) (*SockChannel, error) {
+	return BootstrapWith(plat, rootAddr, rank, size, DefaultRetryPolicy)
+}
+
+// BootstrapWith joins an n-rank sock world through the rendezvous
+// service at rootAddr and establishes the full connection mesh. Every
+// rank of the world must call it concurrently (rank 0 does not host
+// the service; see ServeRoot and NewSockGroupLocal). Dials and the
+// rendezvous exchange retry per rp; a world that cannot form within
+// the policy's bounds fails with an error instead of hanging.
+func BootstrapWith(plat pal.Platform, rootAddr string, rank, size int, rp RetryPolicy) (*SockChannel, error) {
 	if plat == nil {
 		plat = pal.Default
 	}
@@ -251,32 +436,42 @@ func Bootstrap(plat pal.Platform, rootAddr string, rank, size int) (*SockChannel
 	}
 	defer ln.Close()
 
-	// Register with the rendezvous service and obtain the table.
-	rc, err := plat.Dial(rootAddr, dialTimeout)
+	ch := &SockChannel{rank: rank, size: size, conns: make([]*sockConn, size)}
+
+	// Register with the rendezvous service and obtain the table,
+	// retrying the whole exchange on transient failure.
+	attempts := rp.BootstrapAttempts
+	if attempts < 1 {
+		attempts = 1
+	}
+	var addrs []string
+	for a := 0; a < attempts; a++ {
+		if a > 0 {
+			atomic.AddUint64(&ch.stats.bootstrapRetries, 1)
+			time.Sleep(rp.backoff(a - 1))
+		}
+		addrs, err = register(plat, rootAddr, ln.Addr().String(), rank, size, rp, &ch.stats.dialRetries)
+		if err == nil {
+			break
+		}
+	}
 	if err != nil {
-		return nil, fmt.Errorf("sock bootstrap: dial root: %w", err)
-	}
-	if _, err := fmt.Fprintf(rc, "%d %s\n", rank, ln.Addr().String()); err != nil {
-		rc.Close()
-		return nil, fmt.Errorf("sock bootstrap: register: %w", err)
-	}
-	tableLine, err := bufio.NewReader(rc).ReadString('\n')
-	rc.Close()
-	if err != nil {
-		return nil, fmt.Errorf("sock bootstrap: table read: %w", err)
-	}
-	addrs := strings.Fields(tableLine)
-	if len(addrs) != size {
-		return nil, fmt.Errorf("sock bootstrap: table has %d entries, want %d", len(addrs), size)
+		return nil, err
 	}
 
-	ch := &SockChannel{rank: rank, size: size, conns: make([]*sockConn, size)}
+	// Bound the mesh accept phase: if a lower rank gave up dialing us
+	// we must fail, not wait forever.
+	if rp.AcceptTimeout > 0 {
+		if d, ok := ln.(interface{ SetDeadline(time.Time) error }); ok {
+			d.SetDeadline(time.Now().Add(rp.AcceptTimeout))
+		}
+	}
 
 	// Mesh: dial every lower rank, accept from every higher rank.
 	errc := make(chan error, 2)
 	go func() {
 		for j := 0; j < rank; j++ {
-			conn, err := plat.Dial(addrs[j], dialTimeout)
+			conn, err := dialRetry(plat, addrs[j], rp, &ch.stats.dialRetries)
 			if err != nil {
 				errc <- fmt.Errorf("sock bootstrap: dial rank %d: %w", j, err)
 				return
@@ -287,7 +482,7 @@ func Bootstrap(plat pal.Platform, rootAddr string, rank, size int) (*SockChannel
 				errc <- fmt.Errorf("sock bootstrap: identify to %d: %w", j, err)
 				return
 			}
-			ch.conns[j] = &sockConn{c: conn}
+			ch.conns[j] = &sockConn{peer: j, c: conn}
 		}
 		errc <- nil
 	}()
@@ -300,15 +495,18 @@ func Bootstrap(plat pal.Platform, rootAddr string, rank, size int) (*SockChannel
 			}
 			var id [4]byte
 			if _, err := io.ReadFull(conn, id[:]); err != nil {
-				errc <- fmt.Errorf("sock bootstrap: mesh identify: %w", err)
-				return
+				// The dialing peer may be retrying; take the next
+				// connection instead of aborting the world.
+				conn.Close()
+				j--
+				continue
 			}
 			peer := int(binary.LittleEndian.Uint32(id[:]))
 			if peer <= rank || peer >= size || ch.conns[peer] != nil {
 				errc <- fmt.Errorf("sock bootstrap: bad mesh peer %d", peer)
 				return
 			}
-			ch.conns[peer] = &sockConn{c: conn}
+			ch.conns[peer] = &sockConn{peer: peer, c: conn}
 		}
 		errc <- nil
 	}()
@@ -319,10 +517,11 @@ func Bootstrap(plat pal.Platform, rootAddr string, rank, size int) (*SockChannel
 		}
 	}
 	// Disable Nagle where available: the ping-pong pattern is
-	// latency-bound.
+	// latency-bound. (Interface assertion rather than *net.TCPConn so
+	// wrapped connections — fault injection — forward it.)
 	for _, sc := range ch.conns {
 		if sc != nil {
-			if tc, ok := sc.c.(*net.TCPConn); ok {
+			if tc, ok := sc.c.(interface{ SetNoDelay(bool) error }); ok {
 				tc.SetNoDelay(true)
 			}
 		}
@@ -335,20 +534,32 @@ func Bootstrap(plat pal.Platform, rootAddr string, rank, size int) (*SockChannel
 // paper's evaluation. It hosts the rendezvous service on an ephemeral
 // port and bootstraps every rank concurrently.
 func NewSockGroupLocal(plat pal.Platform, n int) ([]*SockChannel, error) {
-	if plat == nil {
-		plat = pal.Default
+	plats := make([]pal.Platform, n)
+	for i := range plats {
+		plats[i] = plat
 	}
+	return NewSockGroupLocalOn(plats, n, DefaultRetryPolicy)
+}
+
+// NewSockGroupLocalOn is NewSockGroupLocal with one platform per rank
+// and an explicit retry policy — the chaos-testing entry point: each
+// rank can carry its own fault plan while the rendezvous service
+// stays on the host platform.
+func NewSockGroupLocalOn(plats []pal.Platform, n int, rp RetryPolicy) ([]*SockChannel, error) {
 	if n < 1 {
 		return nil, fmt.Errorf("sock: bad group size %d", n)
 	}
+	if len(plats) != n {
+		return nil, fmt.Errorf("sock: %d platforms for %d ranks", len(plats), n)
+	}
 	if n == 1 {
-		ch, err := Bootstrap(plat, "", 0, 1)
+		ch, err := BootstrapWith(plats[0], "", 0, 1, rp)
 		if err != nil {
 			return nil, err
 		}
 		return []*SockChannel{ch}, nil
 	}
-	root, err := plat.Listen("")
+	root, err := pal.Default.Listen("")
 	if err != nil {
 		return nil, err
 	}
@@ -364,7 +575,7 @@ func NewSockGroupLocal(plat pal.Platform, n int) ([]*SockChannel, error) {
 	results := make(chan res, n)
 	for r := 0; r < n; r++ {
 		go func(rank int) {
-			ch, err := Bootstrap(plat, root.Addr().String(), rank, n)
+			ch, err := BootstrapWith(plats[rank], root.Addr().String(), rank, n, rp)
 			results <- res{rank, ch, err}
 		}(r)
 	}
@@ -377,16 +588,25 @@ func NewSockGroupLocal(plat pal.Platform, n int) ([]*SockChannel, error) {
 		}
 		chans[r.rank] = r.ch
 	}
-	if err := <-rootErr; err != nil && firstErr == nil {
-		firstErr = err
-	}
 	if firstErr != nil {
+		// A failed bootstrap may leave ServeRoot waiting on ranks that
+		// will never register; closing the root listener unblocks it.
+		root.Close()
+		<-rootErr
 		for _, ch := range chans {
 			if ch != nil {
 				ch.Close()
 			}
 		}
 		return nil, firstErr
+	}
+	if err := <-rootErr; err != nil {
+		for _, ch := range chans {
+			if ch != nil {
+				ch.Close()
+			}
+		}
+		return nil, err
 	}
 	return chans, nil
 }

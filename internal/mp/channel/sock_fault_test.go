@@ -1,0 +1,132 @@
+package channel
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"motor/internal/pal"
+	"motor/internal/pal/fault"
+)
+
+// Regression test for the silent-hang framing bug: a write that
+// stops mid-frame used to leave the connection open with undefined
+// framing — the receiver would block forever on the missing header
+// bytes. Any partial-frame error must instead poison the connection
+// deterministically: the sender's next operations fail fast and the
+// receiver's poll surfaces a PeerError.
+
+func TestSockShortWritePoisonsConnection(t *testing.T) {
+	// Rank 0's writes: #1 bootstrap registration, #2 first packet
+	// header. 10 bytes of a 40-byte header go out, then a short-write
+	// error — the partial-frame hazard.
+	fp := fault.New(pal.Default, fault.Plan{Seed: 1, Rules: []fault.Rule{
+		{Op: fault.OpWrite, Kind: fault.KindShort, Nth: 2, Bytes: 10},
+	}})
+	rp := RetryPolicy{DialAttempts: 2, BootstrapAttempts: 2,
+		BackoffBase: time.Millisecond, BackoffMax: 10 * time.Millisecond,
+		AcceptTimeout: 5 * time.Second}
+	chans, err := NewSockGroupLocalOn([]pal.Platform{fp, nil}, 2, rp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer chans[0].Close()
+	defer chans[1].Close()
+
+	hdr := Header{Type: PktEager, Source: 0, Tag: 1, Context: 0}
+	payload := []byte("hello")
+
+	// First send hits the short write and must error immediately —
+	// never pretend a half-written frame succeeded.
+	err = chans[0].Send(1, hdr, payload)
+	var pe *PeerError
+	if !errors.As(err, &pe) || pe.Peer != 1 {
+		t.Fatalf("first Send err = %v, want PeerError for peer 1", err)
+	}
+
+	// The connection is poisoned: later sends fail fast and
+	// deterministically with the same peer error, no writes attempted.
+	err = chans[0].Send(1, hdr, payload)
+	if !errors.As(err, &pe) || pe.Peer != 1 {
+		t.Fatalf("second Send err = %v, want PeerError for peer 1", err)
+	}
+	if got := chans[0].TransportStats().PoisonedConns; got != 1 {
+		t.Fatalf("sender PoisonedConns = %d, want 1", got)
+	}
+
+	// The receiver sees 10 bytes of header then the poisoned
+	// connection's close: its Poll must surface a PeerError naming
+	// rank 0 — not block forever on the 30 missing bytes.
+	sink := &collectSink{}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if time.Now().After(deadline) {
+			t.Fatal("receiver never observed the poisoned connection")
+		}
+		_, err := chans[1].Poll(sink)
+		if err == nil {
+			continue
+		}
+		if !errors.As(err, &pe) || pe.Peer != 0 {
+			t.Fatalf("Poll err = %v, want PeerError for peer 0", err)
+		}
+		break
+	}
+	if len(sink.hdrs) != 0 {
+		t.Fatalf("receiver delivered %d packets from a poisoned stream", len(sink.hdrs))
+	}
+	if got := chans[1].TransportStats().PoisonedConns; got != 1 {
+		t.Fatalf("receiver PoisonedConns = %d, want 1", got)
+	}
+
+	// Poisoning is sticky on the receive side too.
+	if _, err := chans[1].Poll(sink); err != nil {
+		t.Fatalf("post-poison Poll err = %v, want nil (conn skipped)", err)
+	}
+}
+
+// TestSockMidPayloadDropPoisons drops the connection inside a payload:
+// the receiver has consumed the header and must poison, not hang,
+// when the payload bytes can never arrive.
+func TestSockMidPayloadDropPoisons(t *testing.T) {
+	// Rank 0's writes: #1 registration, #2 header (intact), #3 payload
+	// — 3 of 64 payload bytes escape before the connection drops.
+	fp := fault.New(pal.Default, fault.Plan{Seed: 1, Rules: []fault.Rule{
+		{Op: fault.OpWrite, Kind: fault.KindDrop, Nth: 3, Bytes: 3},
+	}})
+	rp := RetryPolicy{DialAttempts: 2, BootstrapAttempts: 2,
+		BackoffBase: time.Millisecond, BackoffMax: 10 * time.Millisecond,
+		AcceptTimeout: 5 * time.Second}
+	chans, err := NewSockGroupLocalOn([]pal.Platform{fp, nil}, 2, rp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer chans[0].Close()
+	defer chans[1].Close()
+
+	hdr := Header{Type: PktEager, Source: 0, Tag: 1, Context: 0}
+	err = chans[0].Send(1, hdr, make([]byte, 64))
+	var pe *PeerError
+	if !errors.As(err, &pe) || pe.Peer != 1 {
+		t.Fatalf("Send err = %v, want PeerError for peer 1", err)
+	}
+
+	sink := &collectSink{}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if time.Now().After(deadline) {
+			t.Fatal("receiver hung on a truncated payload")
+		}
+		_, err := chans[1].Poll(sink)
+		if err == nil {
+			continue
+		}
+		if !errors.As(err, &pe) || pe.Peer != 0 {
+			t.Fatalf("Poll err = %v, want PeerError for peer 0", err)
+		}
+		break
+	}
+	if len(sink.hdrs) != 0 {
+		t.Fatalf("receiver completed %d packets from a truncated stream", len(sink.hdrs))
+	}
+}

@@ -22,6 +22,12 @@ const (
 	AnyTag    = adi.AnyTag
 )
 
+// ErrTransport is the typed error class for transport failures,
+// re-exported from the device layer: a Wait/Test on a request whose
+// peer connection died returns an error wrapping ErrTransport rather
+// than hanging (check with errors.Is).
+var ErrTransport = adi.ErrTransport
+
 // MaxUserTag is the largest tag application code may use; larger
 // values (and negative ones) are reserved for collectives.
 const MaxUserTag = 1 << 28

@@ -65,6 +65,14 @@ func worldFromChannel(ch channel.Channel, size int, eagerMax int, fabric *channe
 // returns one World per rank. Rank i's World must only be used from
 // the goroutine driving rank i.
 func NewLocalWorlds(kind ChannelKind, n int, eagerMax int) ([]*World, error) {
+	return NewLocalWorldsOn(kind, n, eagerMax, nil)
+}
+
+// NewLocalWorldsOn is NewLocalWorlds with an explicit platform for
+// the sock transport (nil = the host platform). A fault-injecting
+// platform plugged in here subjects the whole world to its plan; for
+// per-rank plans use NewSockWorldsOn.
+func NewLocalWorldsOn(kind ChannelKind, n int, eagerMax int, plat pal.Platform) ([]*World, error) {
 	if n < 1 {
 		return nil, fmt.Errorf("mp: world size %d", n)
 	}
@@ -77,18 +85,36 @@ func NewLocalWorlds(kind ChannelKind, n int, eagerMax int) ([]*World, error) {
 		}
 		return worlds, nil
 	case ChannelSock:
-		chans, err := channel.NewSockGroupLocal(pal.Default, n)
-		if err != nil {
-			return nil, err
+		plats := make([]pal.Platform, n)
+		for i := range plats {
+			plats[i] = plat
 		}
-		worlds := make([]*World, n)
-		for r := 0; r < n; r++ {
-			worlds[r] = worldFromChannel(chans[r], n, eagerMax, nil)
-		}
-		return worlds, nil
+		return NewSockWorldsOn(plats, n, eagerMax, channel.DefaultRetryPolicy)
 	default:
 		return nil, fmt.Errorf("mp: unknown channel kind %q", kind)
 	}
+}
+
+// NewSockWorldsOn builds an n-rank loopback sock world with one
+// platform per rank (nil entries use the host platform) and an
+// explicit bootstrap retry policy. This is the chaos-testing harness
+// entry point: each rank carries its own seeded fault plan while the
+// rendezvous service stays on the reliable host platform.
+func NewSockWorldsOn(plats []pal.Platform, n int, eagerMax int, rp channel.RetryPolicy) ([]*World, error) {
+	for i := range plats {
+		if plats[i] == nil {
+			plats[i] = pal.Default
+		}
+	}
+	chans, err := channel.NewSockGroupLocalOn(plats, n, rp)
+	if err != nil {
+		return nil, err
+	}
+	worlds := make([]*World, n)
+	for r := 0; r < n; r++ {
+		worlds[r] = worldFromChannel(chans[r], n, eagerMax, nil)
+	}
+	return worlds, nil
 }
 
 // JoinWorld joins a multi-process sock world through the rendezvous

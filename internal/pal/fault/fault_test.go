@@ -1,0 +1,189 @@
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"reflect"
+	"syscall"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"motor/internal/pal"
+)
+
+// TestPlanDeterminism is the reproducibility contract of the chaos
+// suite: identical seed + plan + operation sequence must produce an
+// identical fault sequence, whatever the plan and workload look like.
+func TestPlanDeterminism(t *testing.T) {
+	f := func(seed int64, ops []byte, nth, count uint8, prob uint16) bool {
+		plan := Plan{Seed: seed, Rules: []Rule{
+			{Op: OpWrite, Kind: KindReset, Nth: int(nth % 8), Count: int(count % 4)},
+			{Op: OpRead, Kind: KindShort, Prob: float64(prob%1000) / 1000, Bytes: 3},
+			{Op: OpDial, Kind: KindRefuse, Prob: 0.3, Peer: "p1"},
+			{Op: OpWrite, Kind: KindDrop, Prob: 0.5, Bytes: 7},
+			{Op: OpAccept, Kind: KindRefuse, Nth: 2},
+		}}
+		run := func() ([]Event, Stats) {
+			in := newInjector(plan)
+			for _, b := range ops {
+				in.decide(Op(b%uint8(numOps)), fmt.Sprintf("p%d:900%d", b%3, b%2))
+			}
+			return in.snapshotEvents(), in.snapshotStats()
+		}
+		e1, s1 := run()
+		e2, s2 := run()
+		return reflect.DeepEqual(e1, e2) && s1 == s2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRuleTriggering(t *testing.T) {
+	in := newInjector(Plan{Rules: []Rule{
+		{Op: OpWrite, Kind: KindReset, Nth: 3},          // exactly the 3rd write
+		{Op: OpRead, Kind: KindShort, Nth: 2, Count: 2}, // reads 2 and 3
+	}})
+	var writeFires, readFires []int
+	for i := 1; i <= 6; i++ {
+		if _, ok := in.decide(OpWrite, "a"); ok {
+			writeFires = append(writeFires, i)
+		}
+		if _, ok := in.decide(OpRead, "a"); ok {
+			readFires = append(readFires, i)
+		}
+	}
+	if !reflect.DeepEqual(writeFires, []int{3}) {
+		t.Errorf("write fires = %v, want [3]", writeFires)
+	}
+	if !reflect.DeepEqual(readFires, []int{2, 3}) {
+		t.Errorf("read fires = %v, want [2 3]", readFires)
+	}
+	st := in.snapshotStats()
+	if st.Total != 3 || st.Injected[KindReset] != 1 || st.Injected[KindShort] != 2 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestPeerMatching(t *testing.T) {
+	in := newInjector(Plan{Rules: []Rule{
+		{Op: OpDial, Kind: KindRefuse, Peer: "10.0.0.7"},
+	}})
+	if _, ok := in.decide(OpDial, "10.0.0.8:4000"); ok {
+		t.Error("fired on wrong peer")
+	}
+	if _, ok := in.decide(OpDial, "10.0.0.7:4000"); !ok {
+		t.Error("did not fire on matching peer")
+	}
+}
+
+func TestParsePlan(t *testing.T) {
+	plan, err := ParsePlan(42, "refuse:dial:nth=1:count=2,reset:write:nth=5:peer=x,delay:read:delay=3ms:prob=0.25,short:write:bytes=10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Rule{
+		{Kind: KindRefuse, Op: OpDial, Nth: 1, Count: 2},
+		{Kind: KindReset, Op: OpWrite, Nth: 5, Peer: "x"},
+		{Kind: KindDelay, Op: OpRead, Delay: 3 * time.Millisecond, Prob: 0.25},
+		{Kind: KindShort, Op: OpWrite, Bytes: 10},
+	}
+	if plan.Seed != 42 || !reflect.DeepEqual(plan.Rules, want) {
+		t.Errorf("parsed %+v", plan)
+	}
+	for _, bad := range []string{"reset", "reset:flush", "zap:write", "reset:write:nth", "reset:write:prob=2", "reset:write:x=1"} {
+		if _, err := ParsePlan(0, bad); err == nil {
+			t.Errorf("ParsePlan(%q) accepted", bad)
+		}
+	}
+	if p, err := ParsePlan(7, "  "); err != nil || len(p.Rules) != 0 {
+		t.Errorf("empty spec: %v %+v", err, p)
+	}
+}
+
+// echoServer accepts one connection and echoes whatever arrives.
+func echoServer(t *testing.T) net.Listener {
+	t.Helper()
+	ln, err := pal.Default.Listen("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func() { io.Copy(conn, conn); conn.Close() }()
+		}
+	}()
+	return ln
+}
+
+func TestDialRefuseThenRecover(t *testing.T) {
+	ln := echoServer(t)
+	defer ln.Close()
+	p := New(nil, Plan{Rules: []Rule{{Op: OpDial, Kind: KindRefuse, Nth: 1, Count: 2}}})
+	for i := 0; i < 2; i++ {
+		if _, err := p.Dial(ln.Addr().String(), time.Second); !errors.Is(err, syscall.ECONNREFUSED) {
+			t.Fatalf("dial %d: %v, want ECONNREFUSED", i, err)
+		}
+	}
+	conn, err := p.Dial(ln.Addr().String(), time.Second)
+	if err != nil {
+		t.Fatalf("third dial: %v", err)
+	}
+	conn.Close()
+	ev := p.Events()
+	if len(ev) != 2 || ev[0].Kind != KindRefuse || ev[1].Occurrence != 2 {
+		t.Errorf("events %v", ev)
+	}
+}
+
+func TestWriteFaults(t *testing.T) {
+	ln := echoServer(t)
+	defer ln.Close()
+	p := New(nil, Plan{Rules: []Rule{
+		{Op: OpWrite, Kind: KindShort, Nth: 1, Bytes: 2},
+		{Op: OpWrite, Kind: KindReset, Nth: 2},
+	}})
+	conn, err := p.Dial(ln.Addr().String(), time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	n, err := conn.Write([]byte("hello"))
+	if n != 2 || !errors.Is(err, io.ErrShortWrite) {
+		t.Fatalf("short write: n=%d err=%v", n, err)
+	}
+	if _, err := conn.Write([]byte("world")); !errors.Is(err, syscall.ECONNRESET) {
+		t.Fatalf("reset write: %v", err)
+	}
+	// The reset closed the connection for real.
+	if _, err := conn.Write([]byte("again")); err == nil {
+		t.Fatal("write on reset connection succeeded")
+	}
+}
+
+func TestPartitionRead(t *testing.T) {
+	ln := echoServer(t)
+	defer ln.Close()
+	p := New(nil, Plan{Rules: []Rule{{Op: OpRead, Kind: KindPartition, Delay: time.Millisecond}}})
+	conn, err := p.Dial(ln.Addr().String(), time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write([]byte("ping")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 4)
+	_, err = conn.Read(buf)
+	var ne net.Error
+	if !errors.As(err, &ne) || !ne.Timeout() {
+		t.Fatalf("partitioned read: %v, want timeout net.Error", err)
+	}
+}

@@ -1,0 +1,100 @@
+package fault
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// ParsePlan parses the compact textual plan format used by command-
+// line tools (see docs/FAULTS.md):
+//
+//	rule[,rule...]
+//	rule = kind:op[:key=value...]
+//
+// where kind is one of refuse|reset|delay|short|drop|partition, op is
+// one of dial|accept|read|write, and the optional keys are nth, count,
+// prob, peer, bytes and delay (a Go duration). Example:
+//
+//	"refuse:dial:nth=1:count=2,reset:write:nth=5"
+func ParsePlan(seed int64, spec string) (Plan, error) {
+	plan := Plan{Seed: seed}
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return plan, nil
+	}
+	for _, rs := range strings.Split(spec, ",") {
+		r, err := ParseRule(rs)
+		if err != nil {
+			return Plan{}, err
+		}
+		plan.Rules = append(plan.Rules, r)
+	}
+	return plan, nil
+}
+
+// ParseRule parses one rule of the textual plan format.
+func ParseRule(spec string) (Rule, error) {
+	parts := strings.Split(strings.TrimSpace(spec), ":")
+	if len(parts) < 2 {
+		return Rule{}, fmt.Errorf("fault: rule %q: want kind:op[:key=value...]", spec)
+	}
+	var r Rule
+	kind, err := parseKind(parts[0])
+	if err != nil {
+		return Rule{}, fmt.Errorf("fault: rule %q: %w", spec, err)
+	}
+	op, err := parseOp(parts[1])
+	if err != nil {
+		return Rule{}, fmt.Errorf("fault: rule %q: %w", spec, err)
+	}
+	r.Kind, r.Op = kind, op
+	for _, kv := range parts[2:] {
+		key, val, found := strings.Cut(kv, "=")
+		if !found {
+			return Rule{}, fmt.Errorf("fault: rule %q: option %q is not key=value", spec, kv)
+		}
+		switch key {
+		case "nth":
+			r.Nth, err = strconv.Atoi(val)
+		case "count":
+			r.Count, err = strconv.Atoi(val)
+		case "bytes":
+			r.Bytes, err = strconv.Atoi(val)
+		case "prob":
+			r.Prob, err = strconv.ParseFloat(val, 64)
+		case "delay":
+			r.Delay, err = time.ParseDuration(val)
+		case "peer":
+			r.Peer = val
+		default:
+			return Rule{}, fmt.Errorf("fault: rule %q: unknown option %q", spec, key)
+		}
+		if err != nil {
+			return Rule{}, fmt.Errorf("fault: rule %q: option %q: %w", spec, kv, err)
+		}
+	}
+	if r.Nth < 0 || r.Count < 0 || r.Bytes < 0 || r.Prob < 0 || r.Prob > 1 {
+		return Rule{}, fmt.Errorf("fault: rule %q: out-of-range option", spec)
+	}
+	return r, nil
+}
+
+func parseKind(s string) (Kind, error) {
+	for k, name := range kindNames {
+		if s == name {
+			return Kind(k), nil
+		}
+	}
+	return 0, fmt.Errorf("unknown kind %q", s)
+}
+
+func parseOp(s string) (Op, error) {
+	for o, name := range opNames {
+		if s == name {
+			return Op(o), nil
+		}
+	}
+	return 0, fmt.Errorf("unknown op %q", s)
+}

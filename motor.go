@@ -38,6 +38,7 @@ import (
 
 	"motor/internal/core"
 	"motor/internal/mp"
+	"motor/internal/mp/adi"
 	"motor/internal/mp/channel"
 	"motor/internal/pal"
 	"motor/internal/serial"
@@ -129,6 +130,11 @@ type Config struct {
 	EagerMax int
 	// Stdout receives managed console output (default os.Stdout).
 	Stdout io.Writer
+	// Platform substitutes a pal.Platform for the sock transport
+	// (default: the host platform). Plugging in a fault.Platform here
+	// subjects the whole world to a seeded fault plan (see
+	// docs/FAULTS.md).
+	Platform pal.Platform
 }
 
 func (c *Config) fill() {
@@ -164,7 +170,7 @@ func Run(cfg Config, body func(r *Rank) error) error {
 	default:
 		return fmt.Errorf("motor: unknown channel %q", cfg.Channel)
 	}
-	worlds, err := mp.NewLocalWorlds(kind, cfg.Ranks, cfg.EagerMax)
+	worlds, err := mp.NewLocalWorldsOn(kind, cfg.Ranks, cfg.EagerMax, cfg.Platform)
 	if err != nil {
 		return err
 	}
@@ -562,6 +568,19 @@ func (r *Rank) GCStats() vm.GCStats { return r.vm.Heap.Stats }
 
 // MPStats returns message-passing engine counters.
 func (r *Rank) MPStats() core.Stats { return r.engine.Stats }
+
+// DeviceStats returns the ADI progress-engine counters, including the
+// transport-failure classes (TransportErrors, PeersLost).
+func (r *Rank) DeviceStats() adi.DeviceStats { return r.world.Dev.Stats }
+
+// TransportStats returns the sock channel's retry/poison counters.
+// ok is false when the transport does not expose them (shm).
+func (r *Rank) TransportStats() (channel.TransportStats, bool) {
+	if src, ok := r.world.Dev.Channel().(channel.StatsSource); ok {
+		return src.TransportStats(), true
+	}
+	return channel.TransportStats{}, false
+}
 
 // Engine exposes the underlying integration engine (advanced use).
 func (r *Rank) Engine() *core.Engine { return r.engine }

@@ -1,0 +1,44 @@
+#!/bin/sh
+# Verify tiers for the Motor repo.
+#
+#   tier 1 (default): build + full test suite — the repo's gate.
+#   tier 2 (-race):   vet + race-enabled tests over the whole tree.
+#
+# Usage: scripts/verify.sh [quick|race|all]
+#   quick  tier 1 with -short (chaos sweeps skipped; < ~30s)
+#   race   tier 2 only
+#   all    tier 1 then tier 2 (default)
+set -eu
+cd "$(dirname "$0")/.."
+
+mode="${1:-all}"
+
+tier1() {
+	echo "== tier 1: go build + go test"
+	go build ./...
+	if [ "$1" = short ]; then
+		go test -short ./...
+	else
+		go test ./...
+	fi
+}
+
+tier2() {
+	echo "== tier 2: go vet + go test -race"
+	go vet ./...
+	go test -race ./...
+}
+
+case "$mode" in
+quick) tier1 short ;;
+race) tier2 ;;
+all)
+	tier1 full
+	tier2
+	;;
+*)
+	echo "usage: $0 [quick|race|all]" >&2
+	exit 2
+	;;
+esac
+echo "verify: OK ($mode)"
