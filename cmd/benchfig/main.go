@@ -8,6 +8,8 @@
 //	benchfig -ablate visited   # A2: linear vs hashed visited structure
 //	benchfig -ablate eager     # A5: eager/rendezvous threshold sweep
 //	benchfig -ablate policy    # §7.4 decision counters under GC pressure
+//	benchfig -coll             # collective algorithm size sweep
+//	benchfig -coll -collranks 8 -json   # machine-readable (BENCH_coll.json)
 //	benchfig -quick            # smaller protocol for smoke runs
 //
 // Absolute numbers reflect this machine, not the paper's 2006
@@ -31,6 +33,9 @@ func main() {
 	quick := flag.Bool("quick", false, "reduced protocol for smoke runs")
 	stats := flag.Bool("stats", false, "print the derived statistics (figure 9)")
 	channel := flag.String("channel", "shm", "transport: shm or sock")
+	coll := flag.Bool("coll", false, "run the collective algorithm size sweep")
+	collRanks := flag.Int("collranks", 4, "rank count for -coll")
+	jsonOut := flag.Bool("json", false, "emit -coll results as JSON (BENCH_coll.json format)")
 	flag.Parse()
 
 	proto := bench.PaperProtocol()
@@ -48,6 +53,19 @@ func main() {
 	}
 
 	switch {
+	case *coll:
+		series, err := bench.CollSweep(proto, *collRanks, bench.CollSizes())
+		fatal(err)
+		if *jsonOut {
+			rep := bench.BuildCollReport(proto, *collRanks, series)
+			out, err := bench.MarshalCollReport(rep)
+			fatal(err)
+			fmt.Println(string(out))
+			return
+		}
+		fmt.Print(bench.FormatTable(
+			fmt.Sprintf("Collective algorithm sweep, %d ranks (microseconds per iteration)", *collRanks),
+			"bytes", series))
 	case *fig == 9:
 		series, err := bench.Fig9(proto, bench.Fig9Sizes())
 		fatal(err)

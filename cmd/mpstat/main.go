@@ -26,6 +26,8 @@ func main() {
 	iters := flag.Int("iters", 500, "ping-pong iterations")
 	policy := flag.String("policy", "motor", "pinning policy: motor or alwayspin")
 	oo := flag.Bool("oo", false, "use the extended object-oriented operations on a linked list")
+	coll := flag.Bool("coll", false, "run a collective workload (allreduce+allgather+bcast per iteration) instead of ping-pong")
+	collAlgo := flag.String("collalgo", "", "force collective algorithms, e.g. 'allreduce=ring,bcast=binomial' (MOTOR_COLL_ALGO format)")
 	elements := flag.Int("elements", 16, "linked-list elements for -oo")
 	channel := flag.String("channel", "shm", "transport: shm or sock")
 	faultPlan := flag.String("faultplan", "", "fault plan spec, e.g. 'reset:write:nth=3,delay:dial:delay=2ms' (sock only; see docs/FAULTS.md)")
@@ -54,12 +56,45 @@ func main() {
 	var mu sync.Mutex
 	err := motor.Run(cfg, func(r *motor.Rank) error {
 		peer := (r.ID() + 1) % r.Size()
-		if r.Size()%2 != 0 {
+		if !*coll && r.Size()%2 != 0 {
 			return fmt.Errorf("mpstat needs an even rank count")
+		}
+		if *collAlgo != "" {
+			if err := r.SetCollAlgo(*collAlgo); err != nil {
+				return err
+			}
 		}
 		initiator := r.ID()%2 == 0
 		var work func() error
-		if *oo {
+		if *coll {
+			elems := *size / 8
+			if elems < 1 {
+				elems = 1
+			}
+			send, err := r.NewFloat64Array(make([]float64, elems))
+			if err != nil {
+				return err
+			}
+			recv, err := r.NewFloat64Array(make([]float64, elems))
+			if err != nil {
+				return err
+			}
+			gathered, err := r.NewFloat64Array(make([]float64, elems*r.Size()))
+			if err != nil {
+				return err
+			}
+			release := r.Protect(&send, &recv, &gathered)
+			defer release()
+			work = func() error {
+				if err := r.Allreduce(send, recv, motor.OpSum); err != nil {
+					return err
+				}
+				if err := r.Allgather(send, gathered); err != nil {
+					return err
+				}
+				return r.Bcast(recv, 0)
+			}
+		} else if *oo {
 			cell, err := r.DeclareClass("Cell")
 			if err != nil {
 				return err
@@ -153,8 +188,13 @@ func main() {
 			ms.Ops, ms.OOSends, ms.OORecvs, ms.SerializedBytes,
 			ms.BufferReuses, ms.BufferAllocs, ms.BuffersCollected)
 		ds := r.DeviceStats()
-		fmt.Printf("  transport: errors(op/dev)=%d/%d peersLost=%d\n",
-			ms.TransportErrors, ds.TransportErrors, ds.PeersLost)
+		fmt.Printf("  transport: errors(op/dev)=%d/%d peersLost=%d cancelled=%d\n",
+			ms.TransportErrors, ds.TransportErrors, ds.PeersLost, ds.Cancelled)
+		cs := r.CollStats()
+		fmt.Printf("  coll: ops=%d allreduce(rb/rd/ring)=%d/%d/%d allgather(gb/ring)=%d/%d bcast(bin/pipe)=%d/%d bytes=%dB maxInFlight=%d\n",
+			cs.Ops, cs.AllreduceReduceBcast, cs.AllreduceRecDbl, cs.AllreduceRing,
+			cs.AllgatherGatherBcast, cs.AllgatherRing,
+			cs.BcastBinomial, cs.BcastPipelined, cs.BytesMoved, cs.MaxSegsInFlight)
 		if ts, ok := r.TransportStats(); ok {
 			fmt.Printf("  sock: dialRetries=%d bootstrapRetries=%d poisoned=%d retired=%d\n",
 				ts.DialRetries, ts.BootstrapRetries, ts.PoisonedConns, ts.PeersRetired)

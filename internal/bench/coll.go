@@ -1,0 +1,258 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"motor/internal/mp"
+)
+
+// Collective size sweep: measures each collective algorithm across
+// message sizes at a configurable rank count, so the size-aware
+// selector's crossover points can be validated on the machine at hand
+// (and regressions in the bandwidth algorithms caught). Shared by
+// cmd/benchfig -coll and scripts/bench_coll.sh.
+
+// CollSpec is one measured configuration: a collective operation and
+// a forced algorithm ("auto" leaves the selector in charge).
+type CollSpec struct {
+	Op   string // "allreduce", "allgather" or "bcast"
+	Algo string // "auto" or a forced algorithm name
+}
+
+func (s CollSpec) label() string { return s.Op + "/" + s.Algo }
+
+// CollSizes is the sweep grid: 256 B … 512 KiB, powers of two. The
+// small end exercises the latency algorithms, the large end the
+// bandwidth (ring / pipelined) algorithms; selector crossovers are at
+// 16–64 KiB.
+func CollSizes() []int {
+	var out []int
+	for s := 256; s <= 512<<10; s *= 4 {
+		out = append(out, s)
+	}
+	return out
+}
+
+// CollSweepSpecs pairs each operation's seed-shaped baseline with the
+// new algorithms and the selector.
+func CollSweepSpecs() []CollSpec {
+	return []CollSpec{
+		{"allreduce", "reducebcast"}, // seed baseline
+		{"allreduce", "recdbl"},
+		{"allreduce", "ring"},
+		{"allreduce", "auto"},
+		{"allgather", "gatherbcast"}, // seed baseline
+		{"allgather", "ring"},
+		{"allgather", "auto"},
+		{"bcast", "binomial"}, // seed baseline
+		{"bcast", "pipelined"},
+		{"bcast", "auto"},
+	}
+}
+
+// RunColl measures one collective configuration across sizes on a
+// fresh world of the given rank count. X is the per-rank payload
+// (sendbuf bytes; the bcast buffer length), Us the per-iteration
+// latency observed at rank 0.
+func RunColl(spec CollSpec, proto Protocol, ranks int, sizes []int) (Series, error) {
+	worlds, err := mp.NewLocalWorlds(proto.Channel, ranks, proto.EagerMax)
+	if err != nil {
+		return Series{}, err
+	}
+	type res struct {
+		points []Point
+		err    error
+	}
+	results := make(chan res, ranks)
+	for _, w := range worlds {
+		go func(w *mp.World) {
+			defer w.Close()
+			points, err := collRankLoop(spec, w, proto, sizes)
+			results <- res{points, err}
+		}(w)
+	}
+	series := Series{Impl: spec.label()}
+	var firstErr error
+	for i := 0; i < ranks; i++ {
+		r := <-results
+		if r.err != nil && firstErr == nil {
+			firstErr = r.err
+		}
+		if r.points != nil {
+			series.Points = r.points
+		}
+	}
+	return series, firstErr
+}
+
+func collRankLoop(spec CollSpec, w *mp.World, proto Protocol, sizes []int) ([]Point, error) {
+	c := w.Comm
+	if spec.Algo != "auto" {
+		if err := c.SetCollAlgo(spec.Op + "=" + spec.Algo); err != nil {
+			return nil, err
+		}
+	}
+	n := c.Size()
+	me := c.Rank()
+	var points []Point
+	for _, size := range sizes {
+		var step func() error
+		switch spec.Op {
+		case "allreduce":
+			send := make([]byte, size)
+			recv := make([]byte, size)
+			step = func() error { return c.Allreduce(send, recv, mp.TypeFloat64, mp.OpSum) }
+		case "allgather":
+			send := make([]byte, size)
+			recv := make([]byte, size*n)
+			step = func() error { return c.Allgather(send, recv) }
+		case "bcast":
+			buf := make([]byte, size)
+			step = func() error { return c.Bcast(buf, 0) }
+		default:
+			return nil, fmt.Errorf("bench: unknown collective %q", spec.Op)
+		}
+		reps := make([]float64, 0, proto.Repeats)
+		for rep := 0; rep < proto.Repeats; rep++ {
+			// Align the ranks so the timer doesn't absorb arrival skew
+			// from the previous configuration.
+			if err := c.Barrier(); err != nil {
+				return nil, err
+			}
+			iters := proto.Warmup + proto.Timed
+			var t0 time.Time
+			for i := 0; i < iters; i++ {
+				if i == proto.Warmup {
+					t0 = time.Now()
+				}
+				if err := step(); err != nil {
+					return nil, fmt.Errorf("%s size %d: %w", spec.label(), size, err)
+				}
+			}
+			reps = append(reps, float64(time.Since(t0).Nanoseconds())/1e3/float64(proto.Timed))
+		}
+		if me == 0 {
+			points = append(points, Point{X: size, Us: median(reps)})
+		}
+	}
+	if me == 0 {
+		return points, nil
+	}
+	return nil, nil
+}
+
+// RunCollN measures one collective configuration at one size for
+// exactly n timed iterations (testing.B integration).
+func RunCollN(spec CollSpec, ranks, size, n int) (float64, error) {
+	proto := Protocol{Warmup: 3, Timed: n, Repeats: 1, Channel: mp.ChannelShm}
+	s, err := RunColl(spec, proto, ranks, []int{size})
+	if err != nil {
+		return 0, err
+	}
+	if len(s.Points) == 0 {
+		return 0, fmt.Errorf("no points for %s", spec.label())
+	}
+	return s.Points[0].Us, nil
+}
+
+// CollSweep runs every spec and returns the series in spec order.
+func CollSweep(proto Protocol, ranks int, sizes []int) ([]Series, error) {
+	var out []Series
+	for _, spec := range CollSweepSpecs() {
+		s, err := RunColl(spec, proto, ranks, sizes)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+// CollReport is the JSON document emitted by scripts/bench_coll.sh
+// (committed as BENCH_coll.json): enough context to interpret the
+// numbers plus a machine-checkable speedup summary.
+type CollReport struct {
+	Ranks    int              `json:"ranks"`
+	Channel  string           `json:"channel"`
+	Protocol map[string]int   `json:"protocol"`
+	Series   []CollJSONSeries `json:"series"`
+	// Speedups compares each operation's best new algorithm against
+	// the seed baseline at the largest swept size.
+	Speedups map[string]float64 `json:"speedup_vs_seed_at_max_size"`
+}
+
+// CollJSONSeries is one configuration's line.
+type CollJSONSeries struct {
+	Op     string          `json:"op"`
+	Algo   string          `json:"algo"`
+	Points []CollJSONPoint `json:"points"`
+}
+
+// CollJSONPoint is one measurement.
+type CollJSONPoint struct {
+	Bytes int     `json:"bytes"`
+	Us    float64 `json:"us_per_iter"`
+}
+
+// collBaselines names each operation's seed-shaped algorithm.
+var collBaselines = map[string]string{
+	"allreduce": "reducebcast",
+	"allgather": "gatherbcast",
+	"bcast":     "binomial",
+}
+
+// BuildCollReport assembles the JSON document from swept series.
+func BuildCollReport(proto Protocol, ranks int, series []Series) CollReport {
+	rep := CollReport{
+		Ranks:   ranks,
+		Channel: map[mp.ChannelKind]string{mp.ChannelShm: "shm", mp.ChannelSock: "sock"}[proto.Channel],
+		Protocol: map[string]int{
+			"warmup": proto.Warmup, "timed": proto.Timed, "repeats": proto.Repeats,
+		},
+		Speedups: map[string]float64{},
+	}
+	lastUs := map[string]float64{} // label -> Us at max size
+	for _, s := range series {
+		op, algo := s.Impl, "" // label is "op/algo"
+		for i := 0; i < len(s.Impl); i++ {
+			if s.Impl[i] == '/' {
+				op, algo = s.Impl[:i], s.Impl[i+1:]
+				break
+			}
+		}
+		js := CollJSONSeries{Op: op, Algo: algo}
+		for _, p := range s.Points {
+			js.Points = append(js.Points, CollJSONPoint{Bytes: p.X, Us: p.Us})
+		}
+		rep.Series = append(rep.Series, js)
+		if len(s.Points) > 0 {
+			lastUs[s.Impl] = s.Points[len(s.Points)-1].Us
+		}
+	}
+	for op, base := range collBaselines {
+		baseUs, ok := lastUs[op+"/"+base]
+		if !ok || baseUs <= 0 {
+			continue
+		}
+		best := 0.0
+		for label, us := range lastUs {
+			if us <= 0 || label == op+"/"+base || len(label) < len(op)+1 || label[:len(op)+1] != op+"/" {
+				continue
+			}
+			if sp := baseUs / us; sp > best {
+				best = sp
+			}
+		}
+		if best > 0 {
+			rep.Speedups[op] = best
+		}
+	}
+	return rep
+}
+
+// MarshalCollReport renders the report as indented JSON.
+func MarshalCollReport(rep CollReport) ([]byte, error) {
+	return json.MarshalIndent(rep, "", "  ")
+}

@@ -137,7 +137,7 @@ func (e *Engine) BarrierOn(t *vm.Thread, id int32) error {
 	}
 	t.PollGC()
 	defer t.PollGC()
-	return c.Barrier()
+	return e.noteErr(c.Barrier())
 }
 
 // BcastOn broadcasts over an explicit communicator.
@@ -155,7 +155,25 @@ func (e *Engine) BcastOn(t *vm.Thread, id int32, obj vm.Ref, root int) error {
 	e.Stats.Ops++
 	unpin := e.collectivePin(obj)
 	defer unpin()
-	return c.Bcast(buf.Bytes(), root)
+	return e.noteErr(c.Bcast(buf.Bytes(), root))
+}
+
+// AllgatherOn is Allgather over an explicit communicator.
+func (e *Engine) AllgatherOn(t *vm.Thread, id int32, sendArr, recvArr vm.Ref) error {
+	c, err := e.commByID(id)
+	if err != nil {
+		return err
+	}
+	return e.allgatherOn(t, c, sendArr, recvArr)
+}
+
+// AlltoallOn is Alltoall over an explicit communicator.
+func (e *Engine) AlltoallOn(t *vm.Thread, id int32, sendArr, recvArr vm.Ref) error {
+	c, err := e.commByID(id)
+	if err != nil {
+		return err
+	}
+	return e.alltoallOn(t, c, sendArr, recvArr)
 }
 
 // --- reductions over simple arrays ---------------------------------------------
@@ -244,7 +262,7 @@ func (e *Engine) reduceOn(t *vm.Thread, c *mp.Comm, sendArr, recvArr vm.Ref, op 
 		recvBytes = recvBuf.Bytes()
 	}
 	if all {
-		return c.Allreduce(sendBuf.Bytes(), recvBytes, dt, op)
+		return e.noteErr(c.Allreduce(sendBuf.Bytes(), recvBytes, dt, op))
 	}
-	return c.Reduce(sendBuf.Bytes(), recvBytes, dt, op, root)
+	return e.noteErr(c.Reduce(sendBuf.Bytes(), recvBytes, dt, op, root))
 }

@@ -190,3 +190,49 @@ func TestBlockingOpTransportFault(t *testing.T) {
 		}
 	}
 }
+
+// TestCollectiveTransportFault runs an engine-level allreduce whose
+// ring is cut by a connection reset on rank 2's first collective data
+// write. Every rank must surface a typed ErrTransport (never hang),
+// the collective drain must leave no request registered with the
+// device, and the heap must come out pin-clean with invariants
+// intact.
+func TestCollectiveTransportFault(t *testing.T) {
+	const n = 4
+	// Rank 2's sock writes: #1 registration, #2..#3 mesh identify to
+	// ranks 0 and 1, #4 first collective frame.
+	plats := make([]pal.Platform, n)
+	plats[2] = fault.New(pal.Default, fault.Plan{Seed: 9, Rules: []fault.Rule{
+		{Op: fault.OpWrite, Kind: fault.KindReset, Nth: 4},
+	}})
+	errs := runSockRanks(t, plats, 0, func(r *rank) error {
+		h := r.v.Heap
+		send, err := h.NewUint8Array(make([]byte, 64<<10))
+		if err != nil {
+			return err
+		}
+		release := r.th.PushFrame(&send)
+		defer release()
+		recv, err := h.NewUint8Array(make([]byte, 64<<10))
+		if err != nil {
+			return err
+		}
+		release2 := r.th.PushFrame(&recv)
+		defer release2()
+		if err := r.e.Allreduce(r.th, send, recv, mp.OpSum); !errors.Is(err, mp.ErrTransport) {
+			return fmt.Errorf("allreduce err = %v, want ErrTransport", err)
+		}
+		if r.e.Stats.TransportErrors != 1 {
+			return fmt.Errorf("engine TransportErrors = %d, want 1", r.e.Stats.TransportErrors)
+		}
+		if out := r.e.Comm.Outstanding(); out != 0 {
+			return fmt.Errorf("%d requests leaked past the failed collective", out)
+		}
+		return heapClean(r)
+	})
+	for r, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d: %v", r, err)
+		}
+	}
+}

@@ -29,7 +29,8 @@ func mpOp(code int64) mp.Op { return mp.Op(code) }
 //	mp.wait(id) int                mp.test(id) bool
 //	mp.barrier()                   mp.bcast(obj, root)
 //	mp.scatter(send, recv, root)   mp.gather(send, recv, root)
-//	mp.allgather(send, recv)       mp.sendrecv(s, dst, stag, r, src, rtag) int
+//	mp.allgather(send, recv)       mp.alltoall(send, recv)
+//	mp.sendrecv(s, dst, stag, r, src, rtag) int
 //	mp.reduce(send, recv, op, root)        mp.allreduce(send, recv, op)
 //	  (op: 0=sum 1=prod 2=min 3=max; arrays of uint8/int32/int64/float64)
 //	mp.commdup(id) int             mp.commsplit(id, color, key) int
@@ -38,6 +39,7 @@ func mpOp(code int64) mp.Op { return mp.Op(code) }
 //	mp.sendon(id, obj, dest, tag)  mp.recvon(id, obj, src, tag) int
 //	mp.barrieron(id)               mp.bcaston(id, obj, root)
 //	mp.reduceon(id, send, recv, op, root)
+//	mp.allgatheron(id, send, recv) mp.alltoallon(id, send, recv)
 //	mp.osend(obj, dest, tag)       mp.orecv(src, tag) object
 //	mp.obcast(obj, root) object
 //	mp.oscatter(arr, root) object  mp.ogather(arr, root) object
@@ -109,6 +111,9 @@ func (e *Engine) registerFCalls() {
 	reg("mp.allgather", 2, false, func(t *vm.Thread, a []vm.Value) (vm.Value, error) {
 		return vm.Value{}, e.Allgather(t, a[0].Ref(), a[1].Ref())
 	})
+	reg("mp.alltoall", 2, false, func(t *vm.Thread, a []vm.Value) (vm.Value, error) {
+		return vm.Value{}, e.Alltoall(t, a[0].Ref(), a[1].Ref())
+	})
 	reg("mp.sendrecv", 6, true, func(t *vm.Thread, a []vm.Value) (vm.Value, error) {
 		st, err := e.Sendrecv(t, a[0].Ref(), int(a[1].Int()), int(a[2].Int()), a[3].Ref(), int(a[4].Int()), int(a[5].Int()))
 		return vm.IntValue(int64(st.Count)), err
@@ -155,6 +160,12 @@ func (e *Engine) registerFCalls() {
 	})
 	reg("mp.reduceon", 5, false, func(t *vm.Thread, a []vm.Value) (vm.Value, error) {
 		return vm.Value{}, e.ReduceOn(t, int32(a[0].Int()), a[1].Ref(), a[2].Ref(), mpOp(a[3].Int()), int(a[4].Int()))
+	})
+	reg("mp.allgatheron", 3, false, func(t *vm.Thread, a []vm.Value) (vm.Value, error) {
+		return vm.Value{}, e.AllgatherOn(t, int32(a[0].Int()), a[1].Ref(), a[2].Ref())
+	})
+	reg("mp.alltoallon", 3, false, func(t *vm.Thread, a []vm.Value) (vm.Value, error) {
+		return vm.Value{}, e.AlltoallOn(t, int32(a[0].Int()), a[1].Ref(), a[2].Ref())
 	})
 
 	reg("mp.osend", 3, false, func(t *vm.Thread, a []vm.Value) (vm.Value, error) {

@@ -335,7 +335,7 @@ func (e *Engine) collectivePin(obj vm.Ref) func() {
 func (e *Engine) Barrier(t *vm.Thread) error {
 	t.PollGC()
 	defer t.PollGC()
-	return e.Comm.Barrier()
+	return e.noteErr(e.Comm.Barrier())
 }
 
 // Bcast broadcasts the root's object contents into every rank's
@@ -350,7 +350,7 @@ func (e *Engine) Bcast(t *vm.Thread, obj vm.Ref, root int) error {
 	e.Stats.Ops++
 	unpin := e.collectivePin(obj)
 	defer unpin()
-	return e.Comm.Bcast(buf.Bytes(), root)
+	return e.noteErr(e.Comm.Bcast(buf.Bytes(), root))
 }
 
 // Scatter splits the root's simple array equally across ranks into
@@ -376,12 +376,16 @@ func (e *Engine) Scatter(t *vm.Thread, sendArr, recvArr vm.Ref, root int) error 
 	}
 	unpin := e.collectivePin(recvArr)
 	defer unpin()
-	return e.Comm.Scatter(sendBytes, recvBuf.Bytes(), root)
+	return e.noteErr(e.Comm.Scatter(sendBytes, recvBuf.Bytes(), root))
 }
 
 // Allgather collects every rank's simple array into every rank's
 // recv array (recv must hold Size() times the send array's bytes).
 func (e *Engine) Allgather(t *vm.Thread, sendArr, recvArr vm.Ref) error {
+	return e.allgatherOn(t, e.Comm, sendArr, recvArr)
+}
+
+func (e *Engine) allgatherOn(t *vm.Thread, c *mp.Comm, sendArr, recvArr vm.Ref) error {
 	t.PollGC()
 	defer t.PollGC()
 	sendBuf, err := e.wholeBuf(sendArr)
@@ -394,16 +398,48 @@ func (e *Engine) Allgather(t *vm.Thread, sendArr, recvArr vm.Ref) error {
 	}
 	// Validate locally on every rank so an erroneous program fails
 	// consistently instead of deadlocking mid-collective.
-	if recvBuf.Len() != sendBuf.Len()*e.Comm.Size() {
+	if recvBuf.Len() != sendBuf.Len()*c.Size() {
 		return fmt.Errorf("core: allgather recv %d bytes, want %d (send %d × %d ranks)",
-			recvBuf.Len(), sendBuf.Len()*e.Comm.Size(), sendBuf.Len(), e.Comm.Size())
+			recvBuf.Len(), sendBuf.Len()*c.Size(), sendBuf.Len(), c.Size())
 	}
 	e.Stats.Ops++
 	unpinSend := e.collectivePin(sendArr)
 	defer unpinSend()
 	unpinRecv := e.collectivePin(recvArr)
 	defer unpinRecv()
-	return e.Comm.Allgather(sendBuf.Bytes(), recvBuf.Bytes())
+	return e.noteErr(c.Allgather(sendBuf.Bytes(), recvBuf.Bytes()))
+}
+
+// Alltoall exchanges equal chunks of every rank's simple send array:
+// rank j's chunk i lands in rank i's recv array at chunk j. Both
+// arrays must hold Size() equal chunks.
+func (e *Engine) Alltoall(t *vm.Thread, sendArr, recvArr vm.Ref) error {
+	return e.alltoallOn(t, e.Comm, sendArr, recvArr)
+}
+
+func (e *Engine) alltoallOn(t *vm.Thread, c *mp.Comm, sendArr, recvArr vm.Ref) error {
+	t.PollGC()
+	defer t.PollGC()
+	sendBuf, err := e.wholeBuf(sendArr)
+	if err != nil {
+		return err
+	}
+	recvBuf, err := e.wholeBuf(recvArr)
+	if err != nil {
+		return err
+	}
+	// Validate locally on every rank so an erroneous program fails
+	// consistently instead of deadlocking mid-collective.
+	if recvBuf.Len() != sendBuf.Len() || sendBuf.Len()%c.Size() != 0 {
+		return fmt.Errorf("core: alltoall buffers %d/%d bytes for %d ranks",
+			sendBuf.Len(), recvBuf.Len(), c.Size())
+	}
+	e.Stats.Ops++
+	unpinSend := e.collectivePin(sendArr)
+	defer unpinSend()
+	unpinRecv := e.collectivePin(recvArr)
+	defer unpinRecv()
+	return e.noteErr(c.Alltoall(sendBuf.Bytes(), recvBuf.Bytes()))
 }
 
 // Sendrecv performs the classic combined exchange: send sendObj to
@@ -474,5 +510,5 @@ func (e *Engine) Gather(t *vm.Thread, sendArr, recvArr vm.Ref, root int) error {
 		defer unpinRecv()
 		recvBytes = recvBuf.Bytes()
 	}
-	return e.Comm.Gather(sendBuf.Bytes(), recvBytes, root)
+	return e.noteErr(e.Comm.Gather(sendBuf.Bytes(), recvBytes, root))
 }

@@ -35,6 +35,9 @@ var (
 	// ErrTransport instead of hanging the progress engine; the rest of
 	// the world keeps running.
 	ErrTransport = errors.New("adi: transport failure")
+	// ErrCancelled is the terminal error of a request abandoned via
+	// CancelReq (collective error-drain paths).
+	ErrCancelled = errors.New("adi: request cancelled")
 )
 
 // Buffer abstracts a contiguous transfer buffer. Bytes must be called
@@ -128,6 +131,8 @@ type DeviceStats struct {
 	// declared dead by the channel.
 	TransportErrors uint64
 	PeersLost       uint64
+	// Cancelled counts requests abandoned via CancelReq.
+	Cancelled uint64
 }
 
 // Device is one rank's progress engine and matching state.
@@ -159,6 +164,15 @@ type Device struct {
 	// pendingSelfSyncs are synchronous self-sends awaiting their
 	// local match.
 	pendingSelfSyncs []selfSync
+
+	// lost remembers peers declared dead, with the failure that killed
+	// them. Peer death is a sticky condition: a send or receive posted
+	// after the failure must fail immediately — the edge-triggered
+	// failPeer sweep can only reach requests that already exist, and a
+	// later post would otherwise wait forever on a peer that can no
+	// longer answer (a receive touches no connection, so the channel
+	// cannot refuse it).
+	lost map[int]error
 
 	Stats DeviceStats
 }
@@ -210,6 +224,10 @@ func (d *Device) Isend(buf Buffer, dest, tag int, ctx int32, sync bool) (*Reques
 	}
 	if dest == d.rank {
 		return d.selfSend(buf, tag, ctx, sync)
+	}
+	if werr, dead := d.lost[dest]; dead {
+		d.Stats.TransportErrors++
+		return nil, werr
 	}
 	req := d.newRequest(reqSend, buf, dest, tag, ctx)
 	req.sync = sync
@@ -341,6 +359,15 @@ func (d *Device) Irecv(buf Buffer, source, tag int, ctx int32) (*Request, error)
 		}
 		return req, nil
 	}
+	// Only after the unexpected queue comes up empty: traffic that
+	// arrived before a peer died is still valid and must stay
+	// receivable.
+	if source != AnySource {
+		if werr, dead := d.lost[source]; dead {
+			d.Stats.TransportErrors++
+			return nil, werr
+		}
+	}
 	d.posted = append(d.posted, req)
 	d.active[req.id] = req
 	return req, nil
@@ -406,6 +433,43 @@ func (d *Device) matchPosted(hdr channel.Header) *Request {
 	return nil
 }
 
+// CancelReq abandons an incomplete request: a posted receive is
+// removed from the match list and any request is marked complete with
+// ErrCancelled. Collective error paths use this so a failing
+// operation never leaves buffers registered in the device. Cancelling
+// a rendezvous send whose CTS later arrives is safe for this device
+// (the CTS is dropped), but the peer's posted receive then depends on
+// its own failure handling — cancellation is strictly a
+// teardown-path tool. Completed requests are left untouched.
+func (d *Device) CancelReq(req *Request) {
+	if req == nil || req.state == stComplete {
+		return
+	}
+	for i, r := range d.posted {
+		if r == req {
+			d.posted = append(d.posted[:i], d.posted[i+1:]...)
+			break
+		}
+	}
+	delete(d.active, req.id)
+	kept := d.pendingSelfSyncs[:0]
+	for _, ss := range d.pendingSelfSyncs {
+		if ss.req != req {
+			kept = append(kept, ss)
+		}
+	}
+	d.pendingSelfSyncs = kept
+	req.err = ErrCancelled
+	req.state = stComplete
+	d.Stats.Cancelled++
+}
+
+// Outstanding reports the number of incomplete requests registered
+// with the device (posted receives plus protocol-pending sends). The
+// collective layer's drain discipline guarantees this returns to zero
+// after every collective, successful or not.
+func (d *Device) Outstanding() int { return len(d.active) }
+
 // --- transport failure handling ----------------------------------------------
 
 // transportErr converts a channel PeerError into a typed ErrTransport
@@ -429,8 +493,14 @@ func (d *Device) transportErr(err error) error {
 // received from the dead peer remain matchable: their bytes arrived
 // intact before the failure.
 func (d *Device) failPeer(peer int, cause error) {
-	d.Stats.PeersLost++
 	werr := fmt.Errorf("%w: peer %d: %v", ErrTransport, peer, cause)
+	if d.lost == nil {
+		d.lost = make(map[int]error)
+	}
+	if _, seen := d.lost[peer]; !seen {
+		d.Stats.PeersLost++
+		d.lost[peer] = werr
+	}
 	kept := d.posted[:0]
 	for _, r := range d.posted {
 		if r.peer == peer {

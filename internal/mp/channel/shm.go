@@ -15,10 +15,15 @@ type shmFrame struct {
 	payload []byte
 }
 
-// shmRing is a FIFO for one (sender, receiver) pair.
+// shmRing is a FIFO for one (sender, receiver) pair. Pops advance a
+// head index in O(1); popped slots are zeroed immediately so their
+// payloads are collectable, and the slice itself is compacted once
+// the dead prefix dominates, so a long-lived ring cannot pin an
+// unbounded backing array.
 type shmRing struct {
 	mu     sync.Mutex
 	frames []shmFrame
+	head   int
 	closed bool
 }
 
@@ -35,13 +40,23 @@ func (r *shmRing) push(f shmFrame) error {
 func (r *shmRing) pop() (shmFrame, bool) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if len(r.frames) == 0 {
+	if r.head == len(r.frames) {
 		return shmFrame{}, false
 	}
-	f := r.frames[0]
-	// Slide rather than re-slice forever so memory is reclaimed.
-	copy(r.frames, r.frames[1:])
-	r.frames = r.frames[:len(r.frames)-1]
+	f := r.frames[r.head]
+	r.frames[r.head] = shmFrame{}
+	r.head++
+	if r.head == len(r.frames) {
+		// Drained: reuse the backing array from the start.
+		r.frames = r.frames[:0]
+		r.head = 0
+	} else if r.head >= 32 && r.head > len(r.frames)/2 {
+		// Mostly-dead prefix: one O(live) compaction reclaims it.
+		n := copy(r.frames, r.frames[r.head:])
+		clear(r.frames[n:])
+		r.frames = r.frames[:n]
+		r.head = 0
+	}
 	return f, true
 }
 
@@ -49,6 +64,7 @@ func (r *shmRing) close() {
 	r.mu.Lock()
 	r.closed = true
 	r.frames = nil
+	r.head = 0
 	r.mu.Unlock()
 }
 

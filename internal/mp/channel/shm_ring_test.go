@@ -1,0 +1,173 @@
+package channel
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// Regression tests for the shmRing pop path. The seed implementation
+// memmoved the whole remaining queue on every pop (frames =
+// frames[1:] via copy), turning an n-frame burst into O(n²) bytes of
+// memmove. The fix advances a head index in O(1) and compacts only
+// when the dead prefix dominates.
+
+func ringFrame(i int) shmFrame {
+	return shmFrame{hdr: Header{Tag: int32(i)}, payload: []byte{byte(i)}}
+}
+
+// TestShmRingFIFO checks ordering and emptiness across interleaved
+// push/pop bursts, including through the compaction triggers.
+func TestShmRingFIFO(t *testing.T) {
+	r := &shmRing{}
+	next, expect := 0, 0
+	pushN := func(n int) {
+		for i := 0; i < n; i++ {
+			if err := r.push(ringFrame(next)); err != nil {
+				t.Fatal(err)
+			}
+			next++
+		}
+	}
+	popN := func(n int) {
+		for i := 0; i < n; i++ {
+			f, ok := r.pop()
+			if !ok {
+				t.Fatalf("pop %d: ring empty, want frame %d", expect, expect)
+			}
+			if int(f.hdr.Tag) != expect {
+				t.Fatalf("pop out of order: got %d want %d", f.hdr.Tag, expect)
+			}
+			expect++
+		}
+	}
+	pushN(100)
+	popN(40) // past the head>=32 compaction threshold
+	pushN(10)
+	popN(70) // drain completely
+	if f, ok := r.pop(); ok {
+		t.Fatalf("pop on empty ring returned frame %d", f.hdr.Tag)
+	}
+	pushN(5)
+	popN(5)
+	if next != expect {
+		t.Fatalf("accounting: pushed %d popped %d", next, expect)
+	}
+}
+
+// TestShmRingReclaimsMemory checks the two reclamation guarantees:
+// popped slots are zeroed immediately (payloads collectable), and the
+// backing slice never keeps an unbounded dead prefix.
+func TestShmRingReclaimsMemory(t *testing.T) {
+	r := &shmRing{}
+	const n = 200
+	for i := 0; i < n; i++ {
+		if err := r.push(ringFrame(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < n-1; i++ {
+		r.pop()
+		r.mu.Lock()
+		// Every slot behind head must be zeroed so the payload is
+		// collectable even before compaction runs.
+		for j := 0; j < r.head; j++ {
+			if r.frames[j].payload != nil {
+				r.mu.Unlock()
+				t.Fatalf("after %d pops: slot %d still holds its payload", i+1, j)
+			}
+		}
+		// The dead prefix is bounded: compaction keeps head under
+		// max(32, live+1).
+		if r.head >= 32 && r.head > len(r.frames)-r.head+1 {
+			head, live := r.head, len(r.frames)-r.head
+			r.mu.Unlock()
+			t.Fatalf("after %d pops: dead prefix %d dominates %d live frames", i+1, head, live)
+		}
+		r.mu.Unlock()
+	}
+	r.pop()
+	r.mu.Lock()
+	if len(r.frames) != 0 || r.head != 0 {
+		t.Fatalf("drained ring not reset: len=%d head=%d", len(r.frames), r.head)
+	}
+	r.mu.Unlock()
+}
+
+// TestShmRingBurstLinear is the timing regression: a large burst must
+// drain in roughly linear time. On the pre-fix O(n²) pop, 120k queued
+// frames memmove ~7e9 frame slots (hundreds of GB); even a fast
+// machine takes minutes. The generous 10s guard only trips on a
+// complexity regression, not on a slow CI box.
+func TestShmRingBurstLinear(t *testing.T) {
+	if testing.Short() {
+		t.Skip("burst timing test skipped in -short mode")
+	}
+	r := &shmRing{}
+	const n = 120_000
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		if err := r.push(shmFrame{hdr: Header{Tag: int32(i)}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < n; i++ {
+		f, ok := r.pop()
+		if !ok || int(f.hdr.Tag) != i {
+			t.Fatalf("pop %d: ok=%v tag=%d", i, ok, f.hdr.Tag)
+		}
+	}
+	if d := time.Since(start); d > 10*time.Second {
+		t.Fatalf("burst of %d frames took %v: pop is super-linear again", n, d)
+	}
+}
+
+// BenchmarkShmRingBurst measures queue-then-drain cost per frame at
+// increasing burst depths. Pre-fix this went quadratic with depth;
+// post-fix the per-frame cost is flat.
+func BenchmarkShmRingBurst(b *testing.B) {
+	for _, depth := range []int{16, 256, 4096} {
+		b.Run(fmt.Sprintf("depth=%d", depth), func(b *testing.B) {
+			r := &shmRing{}
+			f := shmFrame{hdr: Header{Tag: 7}}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				for j := 0; j < depth; j++ {
+					if err := r.push(f); err != nil {
+						b.Fatal(err)
+					}
+				}
+				for j := 0; j < depth; j++ {
+					if _, ok := r.pop(); !ok {
+						b.Fatal("ring empty mid-drain")
+					}
+				}
+			}
+			b.SetBytes(0)
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*depth), "ns/frame")
+		})
+	}
+}
+
+// BenchmarkShmRingSteady interleaves push/pop at a fixed queue depth —
+// the common collective pattern where a receiver keeps up with a
+// sender but a backlog persists.
+func BenchmarkShmRingSteady(b *testing.B) {
+	const backlog = 64
+	r := &shmRing{}
+	f := shmFrame{hdr: Header{Tag: 7}}
+	for j := 0; j < backlog; j++ {
+		if err := r.push(f); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := r.push(f); err != nil {
+			b.Fatal(err)
+		}
+		if _, ok := r.pop(); !ok {
+			b.Fatal("ring empty")
+		}
+	}
+}

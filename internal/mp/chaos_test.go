@@ -308,3 +308,111 @@ func TestChaosSeedSweep(t *testing.T) {
 		}
 	}
 }
+
+// TestChaosResetDuringAllreduce injects a connection reset into rank
+// 2's first collective data write during a 4-rank ring allreduce. The
+// hardening contract extends to collectives: every rank must surface
+// ErrTransport within the deadline (never hang mid-ring), and the
+// drain discipline must leave zero outstanding requests on every
+// device.
+func TestChaosResetDuringAllreduce(t *testing.T) {
+	const n = 4
+	// Rank 2's sock writes: #1 registers with the bootstrap service,
+	// #2..#3 identify to the lower ranks it dials (0 and 1), so #4 is
+	// its first protocol write — the first allreduce frame.
+	fp := fault.New(pal.Default, fault.Plan{Seed: 11, Rules: []fault.Rule{
+		{Op: fault.OpWrite, Kind: fault.KindReset, Nth: 4},
+	}})
+	plats := make([]pal.Platform, n)
+	plats[2] = fp
+	outstanding := make([]int, n)
+	body := func(w *World) error {
+		send := make([]byte, 64<<10)
+		for i := range send {
+			send[i] = byte(w.Rank())
+		}
+		recv := make([]byte, len(send))
+		err := w.Comm.Allreduce(send, recv, TypeUint8, OpSum)
+		outstanding[w.Rank()] = w.Dev.Outstanding()
+		return err
+	}
+	bodies := make([]func(w *World) error, n)
+	for i := range bodies {
+		bodies[i] = body
+	}
+	errs := runChaos(t, plats, 0, bodies)
+	for r, err := range errs {
+		if !errors.Is(err, ErrTransport) {
+			t.Fatalf("rank %d: err = %v, want ErrTransport", r, err)
+		}
+	}
+	for r, out := range outstanding {
+		if out != 0 {
+			t.Fatalf("rank %d: %d requests leaked past the failed allreduce", r, out)
+		}
+	}
+	if fp.Stats().Injected[fault.KindReset] != 1 {
+		t.Fatalf("injected resets = %d, want 1", fp.Stats().Injected[fault.KindReset])
+	}
+}
+
+// TestChaosCollectiveSweep runs a mixed collective workload under
+// probabilistic write faults on two ranks: every rank must either
+// finish or fail with ErrTransport — no hang, no leak — across
+// algorithms (recursive doubling, ring, binomial and pipelined trees).
+func TestChaosCollectiveSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("collective chaos sweep skipped in -short mode")
+	}
+	const n = 4
+	for seed := int64(1); seed <= 4; seed++ {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			fp := fault.New(pal.Default, fault.Plan{Seed: seed, Rules: []fault.Rule{
+				{Op: fault.OpWrite, Kind: fault.KindReset, Nth: 4, Count: 1, Prob: 0.4},
+			}})
+			plats := make([]pal.Platform, n)
+			plats[1] = fp
+			outstanding := make([]int, n)
+			body := func(w *World) error {
+				defer func() { outstanding[w.Rank()] = w.Dev.Outstanding() }()
+				small := make([]byte, 512)
+				large := make([]byte, 48<<10)
+				out := make([]byte, len(large))
+				for i := 0; i < 6; i++ {
+					if err := w.Comm.Allreduce(small, small[:len(small):len(small)], TypeUint8, OpMax); err != nil {
+						return err
+					}
+					if err := w.Comm.Allreduce(large, out, TypeUint8, OpSum); err != nil {
+						return err
+					}
+					if err := w.Comm.Bcast(large, i%n); err != nil {
+						return err
+					}
+					if err := w.Comm.Allgather(small, make([]byte, len(small)*n)); err != nil {
+						return err
+					}
+				}
+				return nil
+			}
+			bodies := make([]func(w *World) error, n)
+			for i := range bodies {
+				bodies[i] = body
+			}
+			errs := runChaos(t, plats, 0, bodies)
+			anyErr := false
+			for r, err := range errs {
+				if err != nil {
+					anyErr = true
+					if !errors.Is(err, ErrTransport) {
+						t.Fatalf("rank %d: non-transport error %v", r, err)
+					}
+				}
+			}
+			for r, out := range outstanding {
+				if out != 0 {
+					t.Fatalf("rank %d: %d requests leaked (anyErr=%v)", r, out, anyErr)
+				}
+			}
+		})
+	}
+}

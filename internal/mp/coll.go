@@ -8,102 +8,331 @@ import (
 
 // Collective operations. All collectives run over the communicator's
 // dedicated collective context, so they can never match application
-// point-to-point traffic; per-operation tag bases keep successive
-// collectives from cross-matching when ranks race ahead.
+// point-to-point traffic.
 //
-// Algorithms follow the classic MPICH choices: dissemination barrier,
-// binomial-tree broadcast and reduce, linear scatter/gather from the
-// root, and gather+broadcast allgather.
+// The internals are nonblocking: every algorithm posts Isend/Irecv
+// requests and keeps multiple links in flight, so one slow edge no
+// longer serializes the whole operation. Algorithms are chosen per
+// call by the size-aware selector in collalgo.go: dissemination
+// barrier; binomial or segmented-pipeline broadcast; linear
+// scatter/gather from the root; recursive-doubling or pipelined-ring
+// allreduce; ring or gather+broadcast allgather.
+//
+// Tag layout (collective context only): bits 22+ carry the operation
+// code, bits 12..21 a per-communicator sequence number (mod 1024) so
+// back-to-back collectives on the same communicator can never
+// cross-match even when ranks race ahead, and bits 0..11 a sub-tag
+// (round, tree level, segment or ring step).
 
+// Collective op codes (tag bits 22+).
 const (
-	ctagBarrier  = 1 << 20
-	ctagBcast    = 2 << 20
-	ctagScatter  = 3 << 20
-	ctagGather   = 4 << 20
-	ctagReduce   = 5 << 20
-	ctagGatherv  = 6 << 20
-	ctagSizes    = 7 << 20
-	ctagAlltoall = 8 << 20
+	opcBarrier = iota + 1
+	opcBcast
+	opcBcastSeg
+	opcScatter
+	opcScatterv
+	opcGather
+	opcGatherv
+	opcAlltoall
+	opcReduce
+	opcRingRS // ring allreduce, reduce-scatter phase
+	opcRingAG // ring allgather (and allreduce's allgather phase)
+	opcRecDbl
+	opcFold // recursive doubling's non-power-of-two fold/unfold
 )
 
-// csend / crecv are blocking transfers on the collective context.
-func (c *Comm) csend(buf []byte, dest, tag int) error {
-	req, err := c.dev.Isend(adi.SliceBuf(buf), c.ranks[dest], tag, c.cctx, false)
-	if err != nil {
-		return err
-	}
-	_, err = c.dev.WaitReq(req)
-	return err
+// Sub-tags for the fold/unfold exchanges around recursive doubling.
+const (
+	subFoldDown = 0
+	subFoldUp   = 1 << 11
+)
+
+// collTag builds a collective tag from op code, per-comm sequence
+// number and sub-tag. The sub-tag space is 12 bits (0..4095); every
+// algorithm bounds its sub-tags accordingly (ringMaxRanks, the
+// segment-count clamp in bcastPipelined, log2(n) tree levels).
+func collTag(op int, seq uint32, sub int) int {
+	return op<<22 | int(seq%1024)<<12 | sub
 }
 
-func (c *Comm) crecv(buf []byte, source, tag int) (adi.Status, error) {
-	req, err := c.dev.Irecv(adi.SliceBuf(buf), c.ranks[source], tag, c.cctx)
-	if err != nil {
-		return adi.Status{}, err
-	}
-	return c.dev.WaitReq(req)
+// nextCollSeq advances this communicator's collective sequence
+// number. Collectives are called in the same order on every member
+// (an MPI-standard requirement), so the per-call values agree across
+// ranks without communication.
+func (c *Comm) nextCollSeq() uint32 {
+	s := c.collSeq
+	c.collSeq++
+	return s
 }
+
+// --- nonblocking request tracking -------------------------------------------
+
+// Outstanding reports the number of incomplete requests registered
+// with this communicator's device — the drain discipline keeps it at
+// zero after every collective, successful or not.
+func (c *Comm) Outstanding() int { return c.dev.Outstanding() }
+
+// collReqs tracks the requests a collective has in flight and
+// enforces the drain discipline: no matter how the collective exits,
+// every posted request is completed or cancelled before control
+// returns, so nothing leaks into the device match lists
+// (Device.Outstanding returns to zero).
+type collReqs struct {
+	c    *Comm
+	live []*adi.Request
+	err  error
+}
+
+func (c *Comm) newReqs() *collReqs { return &collReqs{c: c} }
+
+// recv posts an Irecv on the collective context. After the first
+// error it becomes a no-op returning nil.
+func (q *collReqs) recv(buf []byte, src, tag int) *adi.Request {
+	if q.err != nil {
+		return nil
+	}
+	req, err := q.c.dev.Irecv(adi.SliceBuf(buf), q.c.ranks[src], tag, q.c.cctx)
+	if err != nil {
+		q.err = err
+		return nil
+	}
+	q.live = append(q.live, req)
+	q.c.coll.noteSegs(len(q.live))
+	return req
+}
+
+// send posts an Isend on the collective context and counts the
+// payload toward BytesMoved.
+func (q *collReqs) send(buf []byte, dst, tag int) *adi.Request {
+	if q.err != nil {
+		return nil
+	}
+	req, err := q.c.dev.Isend(adi.SliceBuf(buf), q.c.ranks[dst], tag, q.c.cctx, false)
+	if err != nil {
+		q.err = err
+		return nil
+	}
+	q.live = append(q.live, req)
+	q.c.coll.noteSegs(len(q.live))
+	q.c.coll.stats.BytesMoved += uint64(len(buf))
+	return req
+}
+
+// wait blocks until req completes. A nil req (failed post) or a prior
+// error returns the recorded error immediately.
+func (q *collReqs) wait(req *adi.Request) error {
+	if q.err != nil || req == nil {
+		return q.err
+	}
+	if _, err := q.c.dev.WaitReq(req); err != nil {
+		q.err = err
+		// A progress-engine error can surface with req still
+		// incomplete; cancel (no-op if complete) so it cannot stay
+		// registered with the device.
+		q.c.dev.CancelReq(req)
+	}
+	for i, r := range q.live {
+		if r == req {
+			q.live = append(q.live[:i], q.live[i+1:]...)
+			break
+		}
+	}
+	return q.err
+}
+
+// finish drains every remaining request. While healthy it waits for
+// each in posting order. After the first error it stops blocking:
+// the progress engine gets one pass to complete what it can, then the
+// remainder is cancelled so no request outlives the collective.
+func (q *collReqs) finish() error {
+	for q.err == nil && len(q.live) > 0 {
+		req := q.live[0]
+		if _, err := q.c.dev.WaitReq(req); err != nil {
+			q.err = err
+			q.c.dev.CancelReq(req)
+		}
+		q.live = q.live[1:]
+	}
+	if q.err == nil {
+		return nil
+	}
+	for _, req := range q.live {
+		q.c.dev.TestReq(req)
+	}
+	for _, req := range q.live {
+		q.c.dev.CancelReq(req)
+	}
+	q.live = nil
+	return q.err
+}
+
+// --- barrier ----------------------------------------------------------------
 
 // Barrier blocks until every member has entered it (dissemination
-// algorithm: log2(n) rounds of token exchange).
+// algorithm: log2(n) rounds of token exchange; each round's send
+// stays in flight while the next round starts).
 func (c *Comm) Barrier() error {
 	n := c.Size()
 	if n == 1 {
 		return nil
 	}
+	seq := c.nextCollSeq()
+	c.coll.stats.Ops++
+	q := c.newReqs()
 	r := c.myRank
 	round := 0
 	for k := 1; k < n; k <<= 1 {
 		to := (r + k) % n
 		from := (r - k + n) % n
-		tag := ctagBarrier + round
-		if err := c.csend(nil, to, tag); err != nil {
-			return fmt.Errorf("mp: barrier send: %w", err)
-		}
-		if _, err := c.crecv(nil, from, tag); err != nil {
-			return fmt.Errorf("mp: barrier recv: %w", err)
+		tag := collTag(opcBarrier, seq, round)
+		rr := q.recv(nil, from, tag)
+		q.send(nil, to, tag)
+		if err := q.wait(rr); err != nil {
+			break
 		}
 		round++
+	}
+	if err := q.finish(); err != nil {
+		return fmt.Errorf("mp: barrier: %w", err)
 	}
 	return nil
 }
 
-// Bcast broadcasts root's buf to every member (binomial tree). All
-// members must pass equal-length buffers.
+// --- broadcast --------------------------------------------------------------
+
+// Bcast broadcasts root's buf to every member. All members must pass
+// equal-length buffers. Small payloads use a binomial tree with all
+// child sends in flight; large payloads stream down the same tree in
+// segments (see collalgo.go).
 func (c *Comm) Bcast(buf []byte, root int) error {
-	n := c.Size()
 	if err := c.checkDest(root); err != nil {
 		return err
 	}
+	n := c.Size()
 	if n == 1 {
 		return nil
 	}
+	seq := c.nextCollSeq()
+	c.coll.stats.Ops++
+	var err error
+	if c.pickBcast(len(buf), n) == AlgoPipelined {
+		c.coll.stats.BcastPipelined++
+		err = c.bcastPipelined(buf, root, seq)
+	} else {
+		c.coll.stats.BcastBinomial++
+		err = c.bcastBinomial(buf, root, seq)
+	}
+	if err != nil {
+		return fmt.Errorf("mp: bcast: %w", err)
+	}
+	return nil
+}
+
+// bcastTree computes this rank's parent (-1 at the root) and children
+// in the binomial tree rooted at root: a rank receives on its lowest
+// set relative bit and feeds the subtrees below it.
+func (c *Comm) bcastTree(root int) (parent int, children []int) {
+	n := c.Size()
 	rel := (c.myRank - root + n) % n
-	// Receive from the parent (ranks other than root).
+	parent = -1
 	mask := 1
 	for mask < n {
 		if rel&mask != 0 {
-			src := (rel - mask + root + n) % n
-			if _, err := c.crecv(buf, src, ctagBcast+mask); err != nil {
-				return fmt.Errorf("mp: bcast recv: %w", err)
-			}
+			parent = (rel - mask + root + n) % n
 			break
 		}
 		mask <<= 1
 	}
-	// Forward to children.
-	mask >>= 1
-	for mask > 0 {
-		if rel+mask < n && rel&(mask-1) == 0 && rel&mask == 0 {
-			dst := (rel + mask + root) % n
-			if err := c.csend(buf, dst, ctagBcast+mask); err != nil {
-				return fmt.Errorf("mp: bcast send: %w", err)
+	for m := mask >> 1; m > 0; m >>= 1 {
+		if rel+m < n {
+			children = append(children, (rel+m+root)%n)
+		}
+	}
+	return parent, children
+}
+
+func (c *Comm) bcastBinomial(buf []byte, root int, seq uint32) error {
+	parent, children := c.bcastTree(root)
+	q := c.newReqs()
+	if parent >= 0 {
+		rr := q.recv(buf, parent, collTag(opcBcast, seq, 0))
+		if err := q.wait(rr); err != nil {
+			return q.finish()
+		}
+	}
+	for _, ch := range children {
+		q.send(buf, ch, collTag(opcBcast, seq, 0))
+	}
+	return q.finish()
+}
+
+// bcastPipelined cuts buf into segments that stream down the binomial
+// tree: an interior rank forwards segment i as soon as it lands while
+// segments i+1.. are still arriving, keeping collWindow receives
+// posted ahead and at most collWindow sends per child edge in flight.
+func (c *Comm) bcastPipelined(buf []byte, root int, seq uint32) error {
+	segSize := bcastSegSize
+	// The sub-tag carries the segment index, so clamp the count to the
+	// 12-bit sub-tag space for huge payloads.
+	if minSeg := (len(buf) + 4095) / 4096; segSize < minSeg {
+		segSize = minSeg
+	}
+	nseg := (len(buf) + segSize - 1) / segSize
+	if nseg == 0 {
+		nseg = 1 // zero-length broadcast still synchronizes the tree
+	}
+	segAt := func(i int) []byte {
+		lo := i * segSize
+		hi := min(lo+segSize, len(buf))
+		return buf[lo:hi]
+	}
+	parent, children := c.bcastTree(root)
+	q := c.newReqs()
+	sendCap := collWindow * max(len(children), 1)
+	var sends []*adi.Request
+	if parent < 0 {
+		for i := 0; i < nseg; i++ {
+			for len(sends) >= sendCap {
+				if err := q.wait(sends[0]); err != nil {
+					return q.finish()
+				}
+				sends = sends[1:]
+			}
+			for _, ch := range children {
+				sends = append(sends, q.send(segAt(i), ch, collTag(opcBcastSeg, seq, i)))
 			}
 		}
-		mask >>= 1
+		return q.finish()
 	}
-	return nil
+	recvs := make([]*adi.Request, 0, collWindow)
+	next := 0
+	for next < nseg && len(recvs) < collWindow {
+		recvs = append(recvs, q.recv(segAt(next), parent, collTag(opcBcastSeg, seq, next)))
+		next++
+	}
+	for i := 0; i < nseg; i++ {
+		if err := q.wait(recvs[0]); err != nil {
+			return q.finish()
+		}
+		recvs = recvs[1:]
+		if next < nseg {
+			recvs = append(recvs, q.recv(segAt(next), parent, collTag(opcBcastSeg, seq, next)))
+			next++
+		}
+		for len(sends) >= sendCap {
+			if err := q.wait(sends[0]); err != nil {
+				return q.finish()
+			}
+			sends = sends[1:]
+		}
+		for _, ch := range children {
+			sends = append(sends, q.send(segAt(i), ch, collTag(opcBcastSeg, seq, i)))
+		}
+	}
+	return q.finish()
 }
+
+// --- scatter / gather -------------------------------------------------------
 
 // Scatter distributes equal chunks of root's sendbuf: rank i receives
 // sendbuf[i*len(recvbuf) : (i+1)*len(recvbuf)]. sendbuf is ignored on
@@ -114,32 +343,32 @@ func (c *Comm) Scatter(sendbuf, recvbuf []byte, root int) error {
 		return err
 	}
 	chunk := len(recvbuf)
-	if c.myRank == root {
-		if len(sendbuf) != chunk*n {
-			return fmt.Errorf("%w: scatter sendbuf %d bytes for %d chunks of %d", errInvalid, len(sendbuf), n, chunk)
-		}
-		var reqs []*adi.Request
-		for r := 0; r < n; r++ {
-			part := sendbuf[r*chunk : (r+1)*chunk]
-			if r == root {
-				copy(recvbuf, part)
-				continue
-			}
-			req, err := c.dev.Isend(adi.SliceBuf(part), c.ranks[r], ctagScatter, c.cctx, false)
-			if err != nil {
-				return err
-			}
-			reqs = append(reqs, req)
-		}
-		for _, req := range reqs {
-			if _, err := c.dev.WaitReq(req); err != nil {
-				return err
-			}
-		}
-		return nil
+	if c.myRank == root && len(sendbuf) != chunk*n {
+		return fmt.Errorf("%w: scatter sendbuf %d bytes for %d chunks of %d", errInvalid, len(sendbuf), n, chunk)
 	}
-	_, err := c.crecv(recvbuf, root, ctagScatter)
-	return err
+	seq := c.nextCollSeq()
+	c.coll.stats.Ops++
+	return c.scatterLinear(sendbuf, recvbuf, root, seq)
+}
+
+func (c *Comm) scatterLinear(sendbuf, recvbuf []byte, root int, seq uint32) error {
+	n := c.Size()
+	chunk := len(recvbuf)
+	if c.myRank != root {
+		q := c.newReqs()
+		q.recv(recvbuf, root, collTag(opcScatter, seq, 0))
+		return q.finish()
+	}
+	q := c.newReqs()
+	for r := 0; r < n; r++ {
+		part := sendbuf[r*chunk : (r+1)*chunk]
+		if r == root {
+			copy(recvbuf, part)
+			continue
+		}
+		q.send(part, r, collTag(opcScatter, seq, 0))
+	}
+	return q.finish()
 }
 
 // Gather collects equal chunks into root's recvbuf: rank i's sendbuf
@@ -150,42 +379,104 @@ func (c *Comm) Gather(sendbuf, recvbuf []byte, root int) error {
 	if err := c.checkDest(root); err != nil {
 		return err
 	}
-	chunk := len(sendbuf)
-	if c.myRank != root {
-		return c.csend(sendbuf, root, ctagGather)
+	if c.myRank == root && len(recvbuf) != len(sendbuf)*n {
+		return fmt.Errorf("%w: gather recvbuf %d bytes for %d chunks of %d", errInvalid, len(recvbuf), n, len(sendbuf))
 	}
-	if len(recvbuf) != chunk*n {
-		return fmt.Errorf("%w: gather recvbuf %d bytes for %d chunks of %d", errInvalid, len(recvbuf), n, chunk)
+	seq := c.nextCollSeq()
+	c.coll.stats.Ops++
+	return c.gatherLinear(sendbuf, recvbuf, root, seq)
+}
+
+func (c *Comm) gatherLinear(sendbuf, recvbuf []byte, root int, seq uint32) error {
+	n := c.Size()
+	chunk := len(sendbuf)
+	q := c.newReqs()
+	if c.myRank != root {
+		q.send(sendbuf, root, collTag(opcGather, seq, 0))
+		return q.finish()
 	}
 	copy(recvbuf[root*chunk:], sendbuf)
-	// Post all receives, then progress them to completion.
-	reqs := make([]*adi.Request, 0, n-1)
 	for r := 0; r < n; r++ {
 		if r == root {
 			continue
 		}
-		req, err := c.dev.Irecv(adi.SliceBuf(recvbuf[r*chunk:(r+1)*chunk]), c.ranks[r], ctagGather, c.cctx)
-		if err != nil {
-			return err
-		}
-		reqs = append(reqs, req)
+		q.recv(recvbuf[r*chunk:(r+1)*chunk], r, collTag(opcGather, seq, 0))
 	}
-	for _, req := range reqs {
-		if _, err := c.dev.WaitReq(req); err != nil {
-			return err
-		}
+	return q.finish()
+}
+
+// --- allgather --------------------------------------------------------------
+
+// Allgather gathers every member's equal-size chunk to all members.
+// recvbuf must hold Size()*len(sendbuf) bytes. Large totals rotate
+// around a ring (every link busy every step); small ones gather to
+// rank 0 and broadcast.
+func (c *Comm) Allgather(sendbuf, recvbuf []byte) error {
+	n := c.Size()
+	chunk := len(sendbuf)
+	if len(recvbuf) != chunk*n {
+		return fmt.Errorf("%w: allgather recvbuf %d bytes for %d chunks of %d", errInvalid, len(recvbuf), n, chunk)
+	}
+	if n == 1 {
+		copy(recvbuf, sendbuf)
+		return nil
+	}
+	c.coll.stats.Ops++
+	var err error
+	if c.pickAllgather(chunk, n) == AlgoRing {
+		c.coll.stats.AllgatherRing++
+		err = c.allgatherRing(sendbuf, recvbuf, c.nextCollSeq())
+	} else {
+		c.coll.stats.AllgatherGatherBcast++
+		err = c.allgatherGatherBcast(sendbuf, recvbuf)
+	}
+	if err != nil {
+		return fmt.Errorf("mp: allgather: %w", err)
 	}
 	return nil
 }
 
-// Allgather gathers every member's equal-size chunk to all members.
-// recvbuf must hold Size()*len(sendbuf) bytes.
-func (c *Comm) Allgather(sendbuf, recvbuf []byte) error {
-	if err := c.Gather(sendbuf, recvbuf, 0); err != nil {
+// allgatherRing rotates chunks around the ring: step s sends chunk
+// (me-s) right and receives chunk (me-s-1) from the left. All n-1
+// receives are posted upfront (the chunks are disjoint and the
+// sub-tag carries the step), so a fast neighbor can run ahead.
+func (c *Comm) allgatherRing(sendbuf, recvbuf []byte, seq uint32) error {
+	n := c.Size()
+	chunk := len(sendbuf)
+	me := c.myRank
+	copy(recvbuf[me*chunk:], sendbuf)
+	right := (me + 1) % n
+	left := (me - 1 + n) % n
+	q := c.newReqs()
+	recvs := make([]*adi.Request, n-1)
+	for s := 0; s < n-1; s++ {
+		idx := (me - s - 1 + n) % n
+		recvs[s] = q.recv(recvbuf[idx*chunk:(idx+1)*chunk], left, collTag(opcRingAG, seq, s))
+	}
+	for s := 0; s < n-1; s++ {
+		idx := (me - s + n) % n
+		q.send(recvbuf[idx*chunk:(idx+1)*chunk], right, collTag(opcRingAG, seq, s))
+		if err := q.wait(recvs[s]); err != nil {
+			break
+		}
+	}
+	return q.finish()
+}
+
+// allgatherGatherBcast is the small-message algorithm (and the seed
+// baseline): gather to rank 0, then broadcast the assembled buffer.
+func (c *Comm) allgatherGatherBcast(sendbuf, recvbuf []byte) error {
+	if err := c.gatherLinear(sendbuf, recvbuf, 0, c.nextCollSeq()); err != nil {
 		return err
 	}
-	return c.Bcast(recvbuf, 0)
+	seq := c.nextCollSeq()
+	if c.pickBcast(len(recvbuf), c.Size()) == AlgoPipelined {
+		return c.bcastPipelined(recvbuf, 0, seq)
+	}
+	return c.bcastBinomial(recvbuf, 0, seq)
 }
+
+// --- variable-size scatter / gather -----------------------------------------
 
 // Scatterv distributes variable-size parts from the root: parts[i]
 // goes to rank i (parts is ignored on non-roots). Each member gets
@@ -210,21 +501,16 @@ func (c *Comm) Scatterv(parts [][]byte, root int) ([]byte, error) {
 		if err := c.Scatter(sizes, mySize, root); err != nil {
 			return nil, err
 		}
-		var reqs []*adi.Request
+		seq := c.nextCollSeq()
+		q := c.newReqs()
 		for r := 0; r < n; r++ {
 			if r == root {
 				continue
 			}
-			req, err := c.dev.Isend(adi.SliceBuf(parts[r]), c.ranks[r], ctagScatter+1, c.cctx, false)
-			if err != nil {
-				return nil, err
-			}
-			reqs = append(reqs, req)
+			q.send(parts[r], r, collTag(opcScatterv, seq, 0))
 		}
-		for _, req := range reqs {
-			if _, err := c.dev.WaitReq(req); err != nil {
-				return nil, err
-			}
+		if err := q.finish(); err != nil {
+			return nil, err
 		}
 		out := make([]byte, len(parts[root]))
 		copy(out, parts[root])
@@ -234,8 +520,11 @@ func (c *Comm) Scatterv(parts [][]byte, root int) ([]byte, error) {
 	if err := c.Scatter(nil, mySize, root); err != nil {
 		return nil, err
 	}
+	seq := c.nextCollSeq()
 	out := make([]byte, getI32(mySize, 0))
-	if _, err := c.crecv(out, root, ctagScatter+1); err != nil {
+	q := c.newReqs()
+	q.recv(out, root, collTag(opcScatterv, seq, 0))
+	if err := q.finish(); err != nil {
 		return nil, err
 	}
 	return out, nil
@@ -258,11 +547,16 @@ func (c *Comm) Gatherv(part []byte, root int) ([][]byte, error) {
 	if err := c.Gather(mine, sizes, root); err != nil {
 		return nil, err
 	}
+	seq := c.nextCollSeq()
+	q := c.newReqs()
 	if c.myRank != root {
-		return nil, c.csend(part, root, ctagGatherv)
+		q.send(part, root, collTag(opcGatherv, seq, 0))
+		if err := q.finish(); err != nil {
+			return nil, err
+		}
+		return nil, nil
 	}
 	out := make([][]byte, n)
-	reqs := make([]*adi.Request, n)
 	for r := 0; r < n; r++ {
 		size := int(getI32(sizes, 4*r))
 		out[r] = make([]byte, size)
@@ -270,121 +564,296 @@ func (c *Comm) Gatherv(part []byte, root int) ([][]byte, error) {
 			copy(out[r], part)
 			continue
 		}
-		req, err := c.dev.Irecv(adi.SliceBuf(out[r]), c.ranks[r], ctagGatherv, c.cctx)
-		if err != nil {
-			return nil, err
-		}
-		reqs[r] = req
+		q.recv(out[r], r, collTag(opcGatherv, seq, 0))
 	}
-	for _, req := range reqs {
-		if req == nil {
-			continue
-		}
-		if _, err := c.dev.WaitReq(req); err != nil {
-			return nil, err
-		}
+	if err := q.finish(); err != nil {
+		return nil, err
 	}
 	return out, nil
 }
 
+// --- alltoall ---------------------------------------------------------------
+
 // Alltoall exchanges equal chunks between every pair: rank j receives
 // sendbuf[j*chunk:(j+1)*chunk] from every rank i at
-// recvbuf[i*chunk:(i+1)*chunk]. Implemented as a full pairwise
-// exchange with combined send/receive per peer (deadlock-free).
+// recvbuf[i*chunk:(i+1)*chunk]. All receives are posted before all
+// sends (deadlock-free), and on error every outstanding request is
+// drained or cancelled before returning.
 func (c *Comm) Alltoall(sendbuf, recvbuf []byte) error {
 	n := c.Size()
 	if len(sendbuf)%n != 0 || len(recvbuf) != len(sendbuf) {
 		return fmt.Errorf("%w: alltoall buffers %d/%d bytes for %d ranks", errInvalid, len(sendbuf), len(recvbuf), n)
 	}
 	chunk := len(sendbuf) / n
+	seq := c.nextCollSeq()
+	c.coll.stats.Ops++
 	me := c.myRank
 	copy(recvbuf[me*chunk:(me+1)*chunk], sendbuf[me*chunk:(me+1)*chunk])
-	// Post all receives, then all sends, then progress everything:
-	// nonblocking on both sides avoids ordering deadlocks.
-	reqs := make([]*adi.Request, 0, 2*(n-1))
+	q := c.newReqs()
 	for peer := 0; peer < n; peer++ {
 		if peer == me {
 			continue
 		}
-		rr, err := c.dev.Irecv(adi.SliceBuf(recvbuf[peer*chunk:(peer+1)*chunk]), c.ranks[peer], ctagAlltoall, c.cctx)
-		if err != nil {
-			return err
-		}
-		reqs = append(reqs, rr)
+		q.recv(recvbuf[peer*chunk:(peer+1)*chunk], peer, collTag(opcAlltoall, seq, 0))
 	}
 	for peer := 0; peer < n; peer++ {
 		if peer == me {
 			continue
 		}
-		sr, err := c.dev.Isend(adi.SliceBuf(sendbuf[peer*chunk:(peer+1)*chunk]), c.ranks[peer], ctagAlltoall, c.cctx, false)
-		if err != nil {
-			return err
-		}
-		reqs = append(reqs, sr)
+		q.send(sendbuf[peer*chunk:(peer+1)*chunk], peer, collTag(opcAlltoall, seq, 0))
 	}
-	for _, req := range reqs {
-		if _, err := c.dev.WaitReq(req); err != nil {
-			return err
-		}
+	if err := q.finish(); err != nil {
+		return fmt.Errorf("mp: alltoall: %w", err)
 	}
 	return nil
 }
 
+// --- reduce / allreduce -----------------------------------------------------
+
 // Reduce combines every member's sendbuf with op into root's recvbuf
-// (binomial fan-in). recvbuf is ignored on non-roots.
+// (binomial fan-in with all child receives posted upfront). recvbuf
+// is ignored on non-roots.
 func (c *Comm) Reduce(sendbuf, recvbuf []byte, dt Datatype, op Op, root int) error {
-	n := c.Size()
 	if err := c.checkDest(root); err != nil {
 		return err
 	}
+	if c.myRank == root && len(recvbuf) != len(sendbuf) {
+		return fmt.Errorf("%w: reduce recvbuf %d != sendbuf %d", errInvalid, len(recvbuf), len(sendbuf))
+	}
+	seq := c.nextCollSeq()
+	c.coll.stats.Ops++
+	return c.reduceBinomial(sendbuf, recvbuf, dt, op, root, seq)
+}
+
+func (c *Comm) reduceBinomial(sendbuf, recvbuf []byte, dt Datatype, op Op, root int, seq uint32) error {
+	n := c.Size()
 	acc := make([]byte, len(sendbuf))
 	copy(acc, sendbuf)
-	tmp := make([]byte, len(sendbuf))
 	rel := (c.myRank - root + n) % n
-	mask := 1
+	q := c.newReqs()
+	// Post every child receive upfront so subtree results arriving out
+	// of order overlap; combine in mask order for determinism.
+	type childRecv struct {
+		req *adi.Request
+		buf []byte
+	}
+	var kids []childRecv
+	parent, pbit := -1, 0
+	mask, bit := 1, 0
 	for mask < n {
 		if rel&mask != 0 {
-			parent := (rel - mask + root + n) % n
-			if err := c.csend(acc, parent, ctagReduce+mask); err != nil {
-				return fmt.Errorf("mp: reduce send: %w", err)
-			}
+			parent = (rel - mask + root + n) % n
+			pbit = bit
 			break
 		}
 		if rel+mask < n {
 			child := (rel + mask + root) % n
-			if _, err := c.crecv(tmp, child, ctagReduce+mask); err != nil {
-				return fmt.Errorf("mp: reduce recv: %w", err)
-			}
-			if err := reduceInto(op, dt, acc, tmp); err != nil {
-				return err
-			}
+			tmp := make([]byte, len(sendbuf))
+			kids = append(kids, childRecv{q.recv(tmp, child, collTag(opcReduce, seq, bit)), tmp})
 		}
 		mask <<= 1
+		bit++
+	}
+	for _, k := range kids {
+		if err := q.wait(k.req); err != nil {
+			return q.finish()
+		}
+		if err := reduceInto(op, dt, acc, k.buf); err != nil {
+			q.finish()
+			return err
+		}
+	}
+	if parent >= 0 {
+		q.send(acc, parent, collTag(opcReduce, seq, pbit))
+	}
+	if err := q.finish(); err != nil {
+		return err
 	}
 	if c.myRank == root {
-		if len(recvbuf) != len(sendbuf) {
-			return fmt.Errorf("%w: reduce recvbuf %d != sendbuf %d", errInvalid, len(recvbuf), len(sendbuf))
-		}
 		copy(recvbuf, acc)
 	}
 	return nil
 }
 
 // Allreduce combines every member's sendbuf into every member's
-// recvbuf (reduce to rank 0, then broadcast).
+// recvbuf. Large payloads use the bandwidth-optimal pipelined ring;
+// small ones use recursive doubling; the seed reduce+bcast shape
+// remains available as an explicit override.
 func (c *Comm) Allreduce(sendbuf, recvbuf []byte, dt Datatype, op Op) error {
 	if len(recvbuf) != len(sendbuf) {
 		return fmt.Errorf("%w: allreduce recvbuf %d != sendbuf %d", errInvalid, len(recvbuf), len(sendbuf))
 	}
-	if c.myRank != 0 {
-		// Non-roots pass recvbuf as scratch so Reduce's signature works.
-		if err := c.Reduce(sendbuf, nil, dt, op, 0); err != nil {
-			return err
+	n := c.Size()
+	if n == 1 {
+		copy(recvbuf, sendbuf)
+		return nil
+	}
+	if dt.Size <= 0 || len(sendbuf)%dt.Size != 0 {
+		return fmt.Errorf("%w: allreduce buffer %d bytes for %s", errInvalid, len(sendbuf), dt.Name)
+	}
+	c.coll.stats.Ops++
+	var err error
+	switch c.pickAllreduce(len(sendbuf), n) {
+	case AlgoRing:
+		c.coll.stats.AllreduceRing++
+		err = c.allreduceRing(sendbuf, recvbuf, dt, op, c.nextCollSeq())
+	case AlgoReduceBcast:
+		c.coll.stats.AllreduceReduceBcast++
+		err = c.allreduceReduceBcast(sendbuf, recvbuf, dt, op)
+	default:
+		c.coll.stats.AllreduceRecDbl++
+		err = c.allreduceRecDbl(sendbuf, recvbuf, dt, op, c.nextCollSeq())
+	}
+	if err != nil {
+		return fmt.Errorf("mp: allreduce: %w", err)
+	}
+	return nil
+}
+
+// allreduceRing is the bandwidth-optimal pipelined ring: an
+// element-aligned reduce-scatter (n-1 steps; after which rank r owns
+// the fully reduced chunk r+1) followed by a ring allgather of the
+// reduced chunks. Every link carries 2·bytes·(n-1)/n total and every
+// link is busy every step.
+func (c *Comm) allreduceRing(sendbuf, recvbuf []byte, dt Datatype, op Op, seq uint32) error {
+	n := c.Size()
+	me := c.myRank
+	copy(recvbuf, sendbuf)
+	elems := len(sendbuf) / dt.Size
+	off := make([]int, n+1)
+	for i := 0; i <= n; i++ {
+		off[i] = elems * i / n * dt.Size
+	}
+	chunkAt := func(i int) []byte {
+		i = ((i % n) + n) % n
+		return recvbuf[off[i]:off[i+1]]
+	}
+	maxChunk := 0
+	for i := 0; i < n; i++ {
+		maxChunk = max(maxChunk, off[i+1]-off[i])
+	}
+	tmp := make([]byte, maxChunk)
+	right := (me + 1) % n
+	left := (me - 1 + n) % n
+	q := c.newReqs()
+	// Phase 1: reduce-scatter. Step s sends chunk (me-s) right and
+	// reduces the incoming chunk (me-s-1) from the left.
+	for s := 0; s < n-1; s++ {
+		rchunk := chunkAt(me - s - 1)
+		rr := q.recv(tmp[:len(rchunk)], left, collTag(opcRingRS, seq, s))
+		q.send(chunkAt(me-s), right, collTag(opcRingRS, seq, s))
+		if err := q.wait(rr); err != nil {
+			return q.finish()
 		}
-	} else {
-		if err := c.Reduce(sendbuf, recvbuf, dt, op, 0); err != nil {
+		if err := reduceInto(op, dt, rchunk, tmp[:len(rchunk)]); err != nil {
+			q.finish()
 			return err
 		}
 	}
-	return c.Bcast(recvbuf, 0)
+	// Drain phase-1 sends before phase 2 overwrites their chunks: a
+	// rendezvous send still in flight reads its buffer at CTS time.
+	if err := q.finish(); err != nil {
+		return err
+	}
+	// Phase 2: allgather of the reduced chunks. Step s sends chunk
+	// (me+1-s) right and receives chunk (me-s) from the left.
+	for s := 0; s < n-1; s++ {
+		rr := q.recv(chunkAt(me-s), left, collTag(opcRingAG, seq, s))
+		q.send(chunkAt(me+1-s), right, collTag(opcRingAG, seq, s))
+		if err := q.wait(rr); err != nil {
+			break
+		}
+	}
+	return q.finish()
+}
+
+// allreduceRecDbl is recursive doubling: non-power-of-two ranks fold
+// into the nearest power of two, log2 rounds of pairwise exchange run
+// the reduction, and the folded ranks get the result back. All Motor
+// reduction ops are commutative, so combine order per round is free.
+func (c *Comm) allreduceRecDbl(sendbuf, recvbuf []byte, dt Datatype, op Op, seq uint32) error {
+	n := c.Size()
+	me := c.myRank
+	copy(recvbuf, sendbuf)
+	tmp := make([]byte, len(sendbuf))
+	pof2 := 1
+	for pof2*2 <= n {
+		pof2 *= 2
+	}
+	rem := n - pof2
+	q := c.newReqs()
+	newRank := -1
+	if me < 2*rem {
+		if me%2 == 0 {
+			// Fold: donate to the odd neighbor and sit out the rounds.
+			sr := q.send(recvbuf, me+1, collTag(opcFold, seq, subFoldDown))
+			if err := q.wait(sr); err != nil {
+				return q.finish()
+			}
+		} else {
+			rr := q.recv(tmp, me-1, collTag(opcFold, seq, subFoldDown))
+			if err := q.wait(rr); err != nil {
+				return q.finish()
+			}
+			if err := reduceInto(op, dt, recvbuf, tmp); err != nil {
+				q.finish()
+				return err
+			}
+			newRank = me / 2
+		}
+	} else {
+		newRank = me - rem
+	}
+	if newRank >= 0 {
+		bit := 1
+		for mask := 1; mask < pof2; mask <<= 1 {
+			peerNew := newRank ^ mask
+			peer := peerNew*2 + 1
+			if peerNew >= rem {
+				peer = peerNew + rem
+			}
+			tag := collTag(opcRecDbl, seq, bit)
+			rr := q.recv(tmp, peer, tag)
+			sr := q.send(recvbuf, peer, tag)
+			if err := q.wait(rr); err != nil {
+				return q.finish()
+			}
+			// The outgoing copy of recvbuf must be on the wire before
+			// the combine overwrites it.
+			if err := q.wait(sr); err != nil {
+				return q.finish()
+			}
+			if err := reduceInto(op, dt, recvbuf, tmp); err != nil {
+				q.finish()
+				return err
+			}
+			bit++
+		}
+	}
+	// Unfold: hand the result back to the folded even ranks.
+	if me < 2*rem {
+		if me%2 == 1 {
+			q.send(recvbuf, me-1, collTag(opcFold, seq, subFoldUp))
+		} else {
+			rr := q.recv(recvbuf, me+1, collTag(opcFold, seq, subFoldUp))
+			if err := q.wait(rr); err != nil {
+				return q.finish()
+			}
+		}
+	}
+	return q.finish()
+}
+
+// allreduceReduceBcast is the seed algorithm, kept as an explicit
+// override so benchmarks can measure the win: binomial reduce to rank
+// 0, then binomial broadcast.
+func (c *Comm) allreduceReduceBcast(sendbuf, recvbuf []byte, dt Datatype, op Op) error {
+	var rb []byte
+	if c.myRank == 0 {
+		rb = recvbuf
+	}
+	if err := c.reduceBinomial(sendbuf, rb, dt, op, 0, c.nextCollSeq()); err != nil {
+		return err
+	}
+	return c.bcastBinomial(recvbuf, 0, c.nextCollSeq())
 }

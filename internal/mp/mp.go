@@ -62,13 +62,24 @@ type Comm struct {
 	// is collective and SPMD-deterministic, so all members compute
 	// identical ids.
 	nextCtx int32
+
+	// coll is the collective configuration and counters, shared with
+	// every communicator derived from the same world (collalgo.go).
+	// collSeq is this communicator's own collective sequence number,
+	// mixed into collective tags so back-to-back collectives never
+	// cross-match (coll.go).
+	coll    *collConfig
+	collSeq uint32
 }
 
 // errInvalid flags API misuse.
 var errInvalid = errors.New("mp: invalid argument")
 
-func newComm(dev *adi.Device, ctx int32, ranks []int, myWorldRank int) *Comm {
-	c := &Comm{dev: dev, ctx: ctx, cctx: ctx + 1, ranks: ranks, myRank: -1, nextCtx: ctx + 2}
+func newComm(dev *adi.Device, ctx int32, ranks []int, myWorldRank int, coll *collConfig) *Comm {
+	if coll == nil {
+		coll = newCollConfig()
+	}
+	c := &Comm{dev: dev, ctx: ctx, cctx: ctx + 1, ranks: ranks, myRank: -1, nextCtx: ctx + 2, coll: coll}
 	for i, wr := range ranks {
 		if wr == myWorldRank {
 			c.myRank = i
@@ -278,7 +289,7 @@ func (c *Comm) allocCtxPair(n int32) int32 {
 func (c *Comm) Dup() *Comm {
 	ctx := c.allocCtxPair(1)
 	ranks := append([]int(nil), c.ranks...)
-	return newComm(c.dev, ctx, ranks, c.dev.Rank())
+	return newComm(c.dev, ctx, ranks, c.dev.Rank(), c.coll)
 }
 
 // Split partitions the communicator by color; ranks within each new
@@ -342,7 +353,7 @@ func (c *Comm) Split(color, key int) (*Comm, error) {
 	for i, m := range members {
 		ranks[i] = c.ranks[m.oldRank]
 	}
-	return newComm(c.dev, ctx, ranks, c.dev.Rank()), nil
+	return newComm(c.dev, ctx, ranks, c.dev.Rank(), c.coll), nil
 }
 
 func sortInt32s(s []int32) {

@@ -58,7 +58,7 @@ func (w *World) Spawn(n int, body func(child *World, merged *Comm) error) (*Comm
 	// Deterministic context for this spawn tree, derived from the
 	// first child rank so repeated spawns get distinct contexts.
 	mergedCtx := int32(spawnCtxBase + 4*first)
-	merged := newComm(w.Dev, mergedCtx, mergedRanks, w.rank)
+	merged := newComm(w.Dev, mergedCtx, mergedRanks, w.rank, w.Comm.coll)
 
 	// Rank 0 launches the children.
 	if w.Comm.Rank() == 0 {
@@ -73,8 +73,8 @@ func (w *World) Spawn(n int, body func(child *World, merged *Comm) error) (*Comm
 				// The child's world communicator spans the children.
 				cw.rank = cr
 				cw.size = count
-				cw.Comm = newComm(cw.Dev, mergedCtx+2, childRanks, cr)
-				childMerged := newComm(cw.Dev, mergedCtx, mergedRanks, cr)
+				cw.Comm = newComm(cw.Dev, mergedCtx+2, childRanks, cr, nil)
+				childMerged := newComm(cw.Dev, mergedCtx, mergedRanks, cr, cw.Comm.coll)
 				if err := body(cw, childMerged); err != nil {
 					// Child errors surface through the merged comm's
 					// traffic timing out; log-free library: panic is

@@ -57,7 +57,7 @@ func worldFromChannel(ch channel.Channel, size int, eagerMax int, fabric *channe
 	for i := range ranks {
 		ranks[i] = i
 	}
-	w.Comm = newComm(dev, worldContext, ranks, w.rank)
+	w.Comm = newComm(dev, worldContext, ranks, w.rank, nil)
 	return w
 }
 

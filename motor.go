@@ -434,6 +434,13 @@ func (r *Rank) Allgather(send, recv Ref) error {
 	return r.engine.Allgather(r.thread, send, recv)
 }
 
+// Alltoall exchanges equal chunks of every rank's simple send array:
+// this rank's chunk j lands in rank j's recv array at this rank's
+// chunk index.
+func (r *Rank) Alltoall(send, recv Ref) error {
+	return r.engine.Alltoall(r.thread, send, recv)
+}
+
 // Sendrecv sends sendObj to dest while receiving into recvObj from
 // source — the deadlock-free combined exchange.
 func (r *Rank) Sendrecv(sendObj Ref, dest, sendTag int, recvObj Ref, source, recvTag int) (Status, error) {
@@ -518,6 +525,22 @@ func (r *Rank) ReduceOn(id CommID, send, recv Ref, op Op, root int) error {
 	return r.engine.ReduceOn(r.thread, id, send, recv, op, root)
 }
 
+// AllreduceOn combines into every member's recv array over an
+// explicit communicator.
+func (r *Rank) AllreduceOn(id CommID, send, recv Ref, op Op) error {
+	return r.engine.AllreduceOn(r.thread, id, send, recv, op)
+}
+
+// AllgatherOn gathers over an explicit communicator.
+func (r *Rank) AllgatherOn(id CommID, send, recv Ref) error {
+	return r.engine.AllgatherOn(r.thread, id, send, recv)
+}
+
+// AlltoallOn exchanges over an explicit communicator.
+func (r *Rank) AlltoallOn(id CommID, send, recv Ref) error {
+	return r.engine.AlltoallOn(r.thread, id, send, recv)
+}
+
 // --- extended object-oriented operations (§4.2.2) ----------------------------
 
 // OSend transports an object tree (Transportable-annotated references
@@ -568,6 +591,16 @@ func (r *Rank) GCStats() vm.GCStats { return r.vm.Heap.Stats }
 
 // MPStats returns message-passing engine counters.
 func (r *Rank) MPStats() core.Stats { return r.engine.Stats }
+
+// CollStats returns the collective-layer counters: operations run,
+// algorithm chosen per call, payload bytes moved and the peak number
+// of transfers in flight (see mp.CollStats).
+func (r *Rank) CollStats() mp.CollStats { return r.engine.Comm.CollStats() }
+
+// SetCollAlgo forces collective algorithm choices for this rank —
+// the MOTOR_COLL_ALGO spec format, e.g. "allreduce=ring,bcast=binomial".
+// Must be applied identically on every rank.
+func (r *Rank) SetCollAlgo(spec string) error { return r.engine.Comm.SetCollAlgo(spec) }
 
 // DeviceStats returns the ADI progress-engine counters, including the
 // transport-failure classes (TransportErrors, PeersLost).

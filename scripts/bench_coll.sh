@@ -1,0 +1,32 @@
+#!/bin/sh
+# Collective algorithm size sweep: measures the seed-shaped baselines
+# (reducebcast / gatherbcast / binomial) against the size-aware
+# algorithms (recursive doubling, ring, pipelined) and the auto
+# selector, then writes the machine-readable report to BENCH_coll.json
+# at the repo root.
+#
+# Usage: scripts/bench_coll.sh [ranks] [quick]
+#   ranks  world size for the sweep (default 4)
+#   quick  reduced protocol for smoke runs
+#
+# The committed BENCH_coll.json documents the large-message win of the
+# ring algorithms on the machine that produced it; regenerate it here
+# when touching the collective layer. The speedup_vs_seed_at_max_size
+# section is the acceptance summary: values > 1.0 mean the new
+# algorithms beat the seed at the largest swept size.
+set -eu
+cd "$(dirname "$0")/.."
+
+ranks="${1:-4}"
+out=BENCH_coll.json
+
+flags="-coll -collranks $ranks -json"
+if [ "${2:-}" = quick ]; then
+	flags="$flags -quick"
+fi
+
+echo "== collective sweep: $ranks ranks -> $out"
+# shellcheck disable=SC2086
+go run ./cmd/benchfig $flags > "$out"
+echo "== speedups vs seed baselines (largest size)"
+grep -A 4 speedup_vs_seed_at_max_size "$out" || true

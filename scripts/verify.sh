@@ -3,11 +3,14 @@
 #
 #   tier 1 (default): build + full test suite — the repo's gate.
 #   tier 2 (-race):   vet + race-enabled tests over the whole tree.
+#   tier 3 (bench):   opt-in collective sweep -> BENCH_coll.json.
 #
-# Usage: scripts/verify.sh [quick|race|all]
+# Usage: scripts/verify.sh [quick|race|all|bench]
 #   quick  tier 1 with -short (chaos sweeps skipped; < ~30s)
 #   race   tier 2 only
 #   all    tier 1 then tier 2 (default)
+#   bench  tier 1 quick, then the collective benchmark sweep
+#          (scripts/bench_coll.sh); opt-in because timing-sensitive
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -29,6 +32,11 @@ tier2() {
 	go test -race ./...
 }
 
+tier3() {
+	echo "== tier 3: collective benchmark sweep"
+	sh scripts/bench_coll.sh "${BENCH_COLL_RANKS:-4}"
+}
+
 case "$mode" in
 quick) tier1 short ;;
 race) tier2 ;;
@@ -36,8 +44,12 @@ all)
 	tier1 full
 	tier2
 	;;
+bench)
+	tier1 short
+	tier3
+	;;
 *)
-	echo "usage: $0 [quick|race|all]" >&2
+	echo "usage: $0 [quick|race|all|bench]" >&2
 	exit 2
 	;;
 esac
