@@ -7,6 +7,7 @@
 //
 //	mpstat -np 2 -size 4096 -iters 500 [-policy motor|alwayspin] [-oo]
 //	mpstat -channel sock -faultplan 'delay:dial:delay=2ms' -faultseed 7
+//	mpstat -trace /tmp/motor.json -metrics   # Perfetto trace + flat metrics
 package main
 
 import (
@@ -16,6 +17,7 @@ import (
 	"sync"
 
 	"motor"
+	"motor/internal/obs"
 	"motor/internal/pal"
 	"motor/internal/pal/fault"
 )
@@ -32,9 +34,11 @@ func main() {
 	channel := flag.String("channel", "shm", "transport: shm or sock")
 	faultPlan := flag.String("faultplan", "", "fault plan spec, e.g. 'reset:write:nth=3,delay:dial:delay=2ms' (sock only; see docs/FAULTS.md)")
 	faultSeed := flag.Int64("faultseed", 1, "seed for -faultplan probabilistic rules")
+	trace := flag.String("trace", "", "write a Chrome trace_event JSON file of the run (also set by MOTOR_TRACE)")
+	metrics := flag.Bool("metrics", false, "print the unified flat metrics snapshot per rank (all subsystems)")
 	flag.Parse()
 
-	cfg := motor.Config{Ranks: *np, Channel: *channel}
+	cfg := motor.Config{Ranks: *np, Channel: *channel, Trace: *trace}
 	if *policy == "alwayspin" {
 		cfg.Policy = motor.PolicyAlwaysPin
 	}
@@ -196,8 +200,16 @@ func main() {
 			cs.AllgatherGatherBcast, cs.AllgatherRing,
 			cs.BcastBinomial, cs.BcastPipelined, cs.BytesMoved, cs.MaxSegsInFlight)
 		if ts, ok := r.TransportStats(); ok {
+			fmt.Printf("  wire: frames(out/in)=%d/%d bytes(out/in)=%dB/%dB ringCompactions=%d\n",
+				ts.FramesSent, ts.FramesRecvd, ts.BytesSent, ts.BytesRecvd, ts.RingCompactions)
 			fmt.Printf("  sock: dialRetries=%d bootstrapRetries=%d poisoned=%d retired=%d\n",
 				ts.DialRetries, ts.BootstrapRetries, ts.PoisonedConns, ts.PeersRetired)
+		}
+		if *metrics {
+			fmt.Printf("-- metrics rank %d --\n", r.ID())
+			if err := obs.WriteMetricsText(os.Stdout, r.StatsSnapshot()); err != nil {
+				return err
+			}
 		}
 		return nil
 	})

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"motor/internal/mp"
+	"motor/internal/obs"
 	"motor/internal/vm"
 )
 
@@ -137,6 +138,8 @@ func (e *Engine) BarrierOn(t *vm.Thread, id int32) error {
 	}
 	t.PollGC()
 	defer t.PollGC()
+	tr := e.opBegin(obs.OpBarrier, 0, -1)
+	defer e.opEnd(tr)
 	return e.noteErr(c.Barrier())
 }
 
@@ -152,7 +155,9 @@ func (e *Engine) BcastOn(t *vm.Thread, id int32, obj vm.Ref, root int) error {
 	if err != nil {
 		return err
 	}
-	e.Stats.Ops++
+	bump(&e.Stats.Ops, 1)
+	tr := e.opBegin(obs.OpBcast, buf.Len(), root)
+	defer e.opEnd(tr)
 	unpin := e.collectivePin(obj)
 	defer unpin()
 	return e.noteErr(c.Bcast(buf.Bytes(), root))
@@ -239,7 +244,14 @@ func (e *Engine) reduceOn(t *vm.Thread, c *mp.Comm, sendArr, recvArr vm.Ref, op 
 	if err != nil {
 		return err
 	}
-	e.Stats.Ops++
+	bump(&e.Stats.Ops, 1)
+	opc := obs.OpReduce
+	peer := root
+	if all {
+		opc, peer = obs.OpAllreduce, -1
+	}
+	tr := e.opBegin(opc, sendBuf.Len(), peer)
+	defer e.opEnd(tr)
 	unpinSend := e.collectivePin(sendArr)
 	defer unpinSend()
 	needRecv := all || c.Rank() == root

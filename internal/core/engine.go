@@ -19,8 +19,11 @@ package core
 import (
 	"errors"
 	"fmt"
+	"sync/atomic"
 
 	"motor/internal/mp"
+	"motor/internal/mp/channel"
+	"motor/internal/obs"
 	"motor/internal/serial"
 	"motor/internal/vm"
 )
@@ -58,6 +61,11 @@ var (
 
 // Stats counts pinning-policy and OO-operation activity; the paper's
 // §7.4 behaviour is asserted against these in tests.
+//
+// All increments go through atomic adds (see bump): the engine itself
+// is single-goroutine per rank, but snapshot readers — the obs
+// registry, mpstat's -metrics collector — may run concurrently with
+// nonblocking operations. Read a consistent copy with Snapshot.
 type Stats struct {
 	Ops              uint64 // regular MPI operations started
 	PinSkippedElder  uint64 // no pin: object resident in elder space
@@ -72,6 +80,28 @@ type Stats struct {
 	BufferAllocs     uint64
 	BuffersCollected uint64
 	TransportErrors  uint64 // operations that completed with mp.ErrTransport
+}
+
+// bump atomically increments one counter field.
+func bump(f *uint64, n uint64) { atomic.AddUint64(f, n) }
+
+// Snapshot returns a race-safe copy of the counters.
+func (s *Stats) Snapshot() Stats {
+	return Stats{
+		Ops:              atomic.LoadUint64(&s.Ops),
+		PinSkippedElder:  atomic.LoadUint64(&s.PinSkippedElder),
+		PinAvoidedFast:   atomic.LoadUint64(&s.PinAvoidedFast),
+		PinDeferred:      atomic.LoadUint64(&s.PinDeferred),
+		PinEager:         atomic.LoadUint64(&s.PinEager),
+		CondPins:         atomic.LoadUint64(&s.CondPins),
+		OOSends:          atomic.LoadUint64(&s.OOSends),
+		OORecvs:          atomic.LoadUint64(&s.OORecvs),
+		SerializedBytes:  atomic.LoadUint64(&s.SerializedBytes),
+		BufferReuses:     atomic.LoadUint64(&s.BufferReuses),
+		BufferAllocs:     atomic.LoadUint64(&s.BufferAllocs),
+		BuffersCollected: atomic.LoadUint64(&s.BuffersCollected),
+		TransportErrors:  atomic.LoadUint64(&s.TransportErrors),
+	}
 }
 
 // Engine integrates one VM with one message-passing world.
@@ -92,6 +122,9 @@ type Engine struct {
 	nextComm int32
 
 	bufs bufferStack
+
+	// lane is this rank's trace lane (world rank), fixed at Attach.
+	lane int
 
 	Stats Stats
 }
@@ -129,6 +162,8 @@ func Attach(v *vm.VM, w *mp.World, opts ...Option) *Engine {
 	for _, opt := range opts {
 		opt(e)
 	}
+	e.lane = w.Rank()
+	v.SetTraceLane(w.Rank())
 	// Polling-waits inside the MP core yield to the collector — the
 	// paper's replacement of blocking system calls (§7.1).
 	w.Dev.Yield = v.PollPoint
@@ -138,7 +173,7 @@ func Attach(v *vm.VM, w *mp.World, opts ...Option) *Engine {
 	// and the OO buffer stack ages one generation.
 	v.AddGCHook(func() {
 		_, _ = w.Dev.Progress()
-		e.Stats.BuffersCollected += e.bufs.age()
+		bump(&e.Stats.BuffersCollected, e.bufs.age())
 	})
 	e.registerFCalls()
 	return e
@@ -146,6 +181,21 @@ func Attach(v *vm.VM, w *mp.World, opts ...Option) *Engine {
 
 // Policy returns the engine's pinning policy.
 func (e *Engine) Policy() PinPolicy { return e.policy }
+
+// RegisterStats exposes every subsystem this engine can see — its own
+// counters, the ADI device, the collective layer, the collector, and
+// the transport channel (when it implements channel.StatsSource) —
+// through one obs.Registry, so a single Snapshot covers the whole
+// stack (§ISSUE: unified metrics).
+func (e *Engine) RegisterStats(reg *obs.Registry) {
+	reg.Register("engine", func() any { return e.Stats.Snapshot() })
+	reg.Register("device", func() any { return e.World.Dev.Stats })
+	reg.Register("coll", func() any { return e.Comm.CollStats() })
+	reg.Register("gc", func() any { return e.VM.Heap.Stats })
+	if src, ok := e.World.Dev.Channel().(channel.StatsSource); ok {
+		reg.Register("transport", func() any { return src.TransportStats() })
+	}
+}
 
 // --- managed-heap transfer buffers -----------------------------------------
 
@@ -228,11 +278,11 @@ func (s *bufferStack) get(minCap int, st *Stats) []byte {
 		if cap(s.bufs[i].data) >= minCap {
 			b := s.bufs[i].data
 			s.bufs = append(s.bufs[:i], s.bufs[i+1:]...)
-			st.BufferReuses++
+			bump(&st.BufferReuses, 1)
 			return b[:0]
 		}
 	}
-	st.BufferAllocs++
+	bump(&st.BufferAllocs, 1)
 	if minCap < 1024 {
 		minCap = 1024
 	}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"motor/internal/mp"
+	"motor/internal/obs"
 	"motor/internal/serial"
 	"motor/internal/vm"
 )
@@ -24,23 +25,52 @@ import (
 
 const ooSizeBytes = 8
 
-// serialize flattens obj into a recycled buffer.
+// serialize flattens obj into a recycled buffer. The KSerial span
+// carries the representation size (unknown before the walk), so it
+// uses the explicit-identity Span form rather than Begin/End.
 func (e *Engine) serialize(obj vm.Ref) ([]byte, error) {
+	tr := obs.Active()
+	var spanID, parent uint64
+	var spanStart int64
+	if tr != nil {
+		spanID, parent, spanStart = tr.NewSpanID(), tr.Current(e.lane), tr.Now()
+	}
 	buf := e.bufs.get(256, &e.Stats)
 	data, err := serial.Serialize(e.VM.Heap, obj, e.serOpts, buf)
 	if err != nil {
 		e.bufs.put(buf)
 		return nil, err
 	}
-	e.Stats.SerializedBytes += uint64(len(data))
+	bump(&e.Stats.SerializedBytes, uint64(len(data)))
+	if tr != nil {
+		tr.Span(e.lane, obs.KSerial, spanID, parent, spanStart, 0, uint64(len(data)))
+	}
 	return data, nil
+}
+
+// deserialize reconstructs an object tree, tracing the work as the
+// inverse KSerial span.
+func (e *Engine) deserialize(data []byte) (vm.Ref, error) {
+	tr := obs.Active()
+	var spanID, parent uint64
+	var spanStart int64
+	if tr != nil {
+		spanID, parent, spanStart = tr.NewSpanID(), tr.Current(e.lane), tr.Now()
+	}
+	ref, err := serial.Deserialize(e.VM, data)
+	if tr != nil {
+		tr.Span(e.lane, obs.KSerial, spanID, parent, spanStart, 1, uint64(len(data)))
+	}
+	return ref, err
 }
 
 // OSend transports an object tree to dest (blocking).
 func (e *Engine) OSend(t *vm.Thread, obj vm.Ref, dest, tag int) error {
 	t.PollGC()
 	defer t.PollGC()
-	e.Stats.OOSends++
+	bump(&e.Stats.OOSends, 1)
+	tr := e.opBegin(obs.OpOSend, 0, dest)
+	defer e.opEnd(tr)
 	data, err := e.serialize(obj)
 	if err != nil {
 		return err
@@ -74,7 +104,9 @@ func (e *Engine) commSendYielding(t *vm.Thread, data []byte, dest, tag int) erro
 func (e *Engine) ORecv(t *vm.Thread, source, tag int) (vm.Ref, mp.Status, error) {
 	t.PollGC()
 	defer t.PollGC()
-	e.Stats.OORecvs++
+	bump(&e.Stats.OORecvs, 1)
+	tr := e.opBegin(obs.OpORecv, 0, source)
+	defer e.opEnd(tr)
 	var szb [ooSizeBytes]byte
 	st, err := e.commRecvYielding(t, szb[:], source, tag)
 	if err != nil {
@@ -90,7 +122,7 @@ func (e *Engine) ORecv(t *vm.Thread, source, tag int) (vm.Ref, mp.Status, error)
 	if err != nil {
 		return vm.NullRef, st2, err
 	}
-	ref, err := serial.Deserialize(e.VM, buf)
+	ref, err := e.deserialize(buf)
 	if err != nil {
 		return vm.NullRef, st2, err
 	}
@@ -116,11 +148,13 @@ func (e *Engine) commRecvYielding(t *vm.Thread, buf []byte, source, tag int) (mp
 func (e *Engine) OBcast(t *vm.Thread, obj vm.Ref, root int) (vm.Ref, error) {
 	t.PollGC()
 	defer t.PollGC()
+	tr := e.opBegin(obs.OpOBcast, 0, root)
+	defer e.opEnd(tr)
 	isRoot := e.Comm.Rank() == root
 	var data []byte
 	szb := make([]byte, ooSizeBytes)
 	if isRoot {
-		e.Stats.OOSends++
+		bump(&e.Stats.OOSends, 1)
 		var err error
 		data, err = e.serialize(obj)
 		if err != nil {
@@ -133,7 +167,7 @@ func (e *Engine) OBcast(t *vm.Thread, obj vm.Ref, root int) (vm.Ref, error) {
 		return vm.NullRef, err
 	}
 	if !isRoot {
-		e.Stats.OORecvs++
+		bump(&e.Stats.OORecvs, 1)
 		size := binary.LittleEndian.Uint64(szb)
 		data = e.bufs.get(int(size), &e.Stats)[:size]
 		defer e.bufs.put(data)
@@ -144,7 +178,7 @@ func (e *Engine) OBcast(t *vm.Thread, obj vm.Ref, root int) (vm.Ref, error) {
 	if isRoot {
 		return obj, nil
 	}
-	return serial.Deserialize(e.VM, data)
+	return e.deserialize(data)
 }
 
 // OScatter splits the root's object array across ranks: each rank
@@ -155,24 +189,26 @@ func (e *Engine) OBcast(t *vm.Thread, obj vm.Ref, root int) (vm.Ref, error) {
 func (e *Engine) OScatter(t *vm.Thread, arr vm.Ref, root int) (vm.Ref, error) {
 	t.PollGC()
 	defer t.PollGC()
+	tr := e.opBegin(obs.OpOScatter, 0, root)
+	defer e.opEnd(tr)
 	var parts [][]byte
 	if e.Comm.Rank() == root {
-		e.Stats.OOSends++
+		bump(&e.Stats.OOSends, 1)
 		var err error
 		parts, err = serial.SerializeSplit(e.VM.Heap, arr, e.Comm.Size(), e.serOpts)
 		if err != nil {
 			return vm.NullRef, err
 		}
 		for _, p := range parts {
-			e.Stats.SerializedBytes += uint64(len(p))
+			bump(&e.Stats.SerializedBytes, uint64(len(p)))
 		}
 	}
 	mine, err := e.Comm.Scatterv(parts, root)
 	if err != nil {
 		return vm.NullRef, err
 	}
-	e.Stats.OORecvs++
-	return serial.Deserialize(e.VM, mine)
+	bump(&e.Stats.OORecvs, 1)
+	return e.deserialize(mine)
 }
 
 // OGather reassembles per-rank object arrays into one array at the
@@ -189,7 +225,9 @@ func (e *Engine) OGather(t *vm.Thread, arr vm.Ref, root int) (vm.Ref, error) {
 	if mt.Kind != vm.TKArray {
 		return vm.NullRef, fmt.Errorf("%w: OGather of %s", ErrNotArray, mt)
 	}
-	e.Stats.OOSends++
+	bump(&e.Stats.OOSends, 1)
+	tr := e.opBegin(obs.OpOGather, 0, root)
+	defer e.opEnd(tr)
 	data, err := e.serialize(arr)
 	if err != nil {
 		return vm.NullRef, err
@@ -202,6 +240,6 @@ func (e *Engine) OGather(t *vm.Thread, arr vm.Ref, root int) (vm.Ref, error) {
 	if e.Comm.Rank() != root {
 		return vm.NullRef, nil
 	}
-	e.Stats.OORecvs++
+	bump(&e.Stats.OORecvs, 1)
 	return serial.DeserializeGather(e.VM, parts)
 }

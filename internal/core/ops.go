@@ -6,6 +6,7 @@ import (
 	"runtime"
 
 	"motor/internal/mp"
+	"motor/internal/obs"
 	"motor/internal/vm"
 )
 
@@ -33,10 +34,12 @@ func (e *Engine) pinForWait(obj vm.Ref) func() {
 	default:
 		if !h.IsYoung(obj) {
 			// Elder residents are never moved: no pin needed.
-			e.Stats.PinSkippedElder++
+			bump(&e.Stats.PinSkippedElder, 1)
+			e.notePin(obs.PinSkippedElder, obj)
 			return func() {}
 		}
-		e.Stats.PinDeferred++
+		bump(&e.Stats.PinDeferred, 1)
+		e.notePin(obs.PinDeferred, obj)
 		h.Pin(obj)
 		return func() { h.Unpin(obj) }
 	}
@@ -47,7 +50,8 @@ func (e *Engine) pinEager(obj vm.Ref) func() {
 	if e.policy != PolicyAlwaysPin || obj == vm.NullRef {
 		return func() {}
 	}
-	e.Stats.PinEager++
+	bump(&e.Stats.PinEager, 1)
+	e.notePin(obs.PinEager, obj)
 	e.VM.Heap.Pin(obj)
 	return func() { e.VM.Heap.Unpin(obj) }
 }
@@ -57,7 +61,7 @@ func (e *Engine) pinEager(obj vm.Ref) func() {
 // through MPStats / mpstat.
 func (e *Engine) noteErr(err error) error {
 	if err != nil && errors.Is(err, mp.ErrTransport) {
-		e.Stats.TransportErrors++
+		bump(&e.Stats.TransportErrors, 1)
 	}
 	return err
 }
@@ -65,18 +69,33 @@ func (e *Engine) noteErr(err error) error {
 // waitBlocking drives a request to completion with the polling-wait:
 // progress, then GC poll, repeatedly (§7.4's three polling points are
 // entry — in the callers —, this loop, and the exit poll).
-func (e *Engine) waitBlocking(t *vm.Thread, c *mp.Comm, obj vm.Ref, req *mp.Request) (mp.Status, error) {
+func (e *Engine) waitBlocking(t *vm.Thread, c *mp.Comm, obj vm.Ref, req *mp.Request, op obs.OpCode) (mp.Status, error) {
 	done, st, err := c.Test(req)
 	if done {
 		if e.policy == PolicyMotor && e.VM.Heap.IsYoung(obj) {
-			e.Stats.PinAvoidedFast++
+			bump(&e.Stats.PinAvoidedFast, 1)
+			e.notePin(obs.PinAvoidedFast, obj)
 		} else if e.policy == PolicyMotor {
-			e.Stats.PinSkippedElder++
+			bump(&e.Stats.PinSkippedElder, 1)
+			e.notePin(obs.PinSkippedElder, obj)
 		}
 		return st, e.noteErr(err)
 	}
+	// The operation enters its polling-wait: open the wait span first
+	// so the pin decision below lands inside it — that nesting is the
+	// §7.4 claim ("the pin is taken only when the wait is entered")
+	// made visible in the trace.
+	tr := obs.Active()
+	if tr != nil {
+		tr.Begin(e.lane, obs.KWait, uint64(op))
+	}
 	unpin := e.pinForWait(obj)
 	defer unpin()
+	defer func() {
+		if tr != nil {
+			tr.Record(obs.HistRequestWait, tr.End(e.lane))
+		}
+	}()
 	for {
 		done, st, err = c.Test(req)
 		if done {
@@ -125,14 +144,16 @@ func (e *Engine) sendCommonOn(t *vm.Thread, c *mp.Comm, obj vm.Ref, dest, tag in
 	if err != nil {
 		return err
 	}
-	e.Stats.Ops++
+	bump(&e.Stats.Ops, 1)
+	tr := e.opBegin(obs.OpSend, buf.Len(), dest)
+	defer e.opEnd(tr)
 	unpinEager := e.pinEager(obj)
 	defer unpinEager()
 	req, err := c.IsendBuffer(buf, dest, tag, sync)
 	if err != nil {
 		return err
 	}
-	_, err = e.waitBlocking(t, c, obj, req)
+	_, err = e.waitBlocking(t, c, obj, req, obs.OpSend)
 	return err
 }
 
@@ -164,14 +185,16 @@ func (e *Engine) recvCommonOn(t *vm.Thread, c *mp.Comm, obj vm.Ref, source, tag 
 	if err != nil {
 		return mp.Status{}, err
 	}
-	e.Stats.Ops++
+	bump(&e.Stats.Ops, 1)
+	tr := e.opBegin(obs.OpRecv, buf.Len(), source)
+	defer e.opEnd(tr)
 	unpinEager := e.pinEager(obj)
 	defer unpinEager()
 	req, err := c.IrecvBuffer(buf, source, tag)
 	if err != nil {
 		return mp.Status{}, err
 	}
-	return e.waitBlocking(t, c, obj, req)
+	return e.waitBlocking(t, c, obj, req, obs.OpRecv)
 }
 
 // --- immediate (non-blocking) operations --------------------------------------
@@ -194,11 +217,13 @@ func (e *Engine) condPin(obj vm.Ref, req *mp.Request) {
 	}
 	if req.Done() || !e.VM.Heap.IsYoung(obj) {
 		if !e.VM.Heap.IsYoung(obj) {
-			e.Stats.PinSkippedElder++
+			bump(&e.Stats.PinSkippedElder, 1)
+			e.notePin(obs.PinSkippedElder, obj)
 		}
 		return
 	}
-	e.Stats.CondPins++
+	bump(&e.Stats.CondPins, 1)
+	e.notePin(obs.PinCond, obj)
 	e.VM.Heap.AddCondPin(obj, func() bool { return !req.Done() })
 }
 
@@ -210,10 +235,13 @@ func (e *Engine) Isend(t *vm.Thread, obj vm.Ref, dest, tag int) (int32, error) {
 	if err != nil {
 		return 0, err
 	}
-	e.Stats.Ops++
+	bump(&e.Stats.Ops, 1)
+	tr := e.opBegin(obs.OpIsend, buf.Len(), dest)
+	defer e.opEndQuick(tr)
 	pinned := false
 	if e.policy == PolicyAlwaysPin {
-		e.Stats.PinEager++
+		bump(&e.Stats.PinEager, 1)
+		e.notePin(obs.PinEager, obj)
 		e.VM.Heap.Pin(obj)
 		pinned = true
 	}
@@ -235,10 +263,13 @@ func (e *Engine) Irecv(t *vm.Thread, obj vm.Ref, source, tag int) (int32, error)
 	if err != nil {
 		return 0, err
 	}
-	e.Stats.Ops++
+	bump(&e.Stats.Ops, 1)
+	tr := e.opBegin(obs.OpIrecv, buf.Len(), source)
+	defer e.opEndQuick(tr)
 	pinned := false
 	if e.policy == PolicyAlwaysPin {
-		e.Stats.PinEager++
+		bump(&e.Stats.PinEager, 1)
+		e.notePin(obs.PinEager, obj)
 		e.VM.Heap.Pin(obj)
 		pinned = true
 	}
@@ -274,9 +305,16 @@ func (e *Engine) Wait(t *vm.Thread, id int32) (mp.Status, error) {
 	if err != nil {
 		return mp.Status{}, err
 	}
+	tr := obs.Active()
+	if tr != nil {
+		tr.Begin(e.lane, obs.KWait, uint64(obs.OpWait))
+	}
 	for {
 		done, st, err := e.Comm.Test(r.req)
 		if done {
+			if tr != nil {
+				tr.Record(obs.HistRequestWait, tr.End(e.lane))
+			}
 			e.finish(r)
 			return st, e.noteErr(err)
 		}
@@ -317,15 +355,18 @@ func (e *Engine) collectivePin(obj vm.Ref) func() {
 	case PolicyNever:
 		return func() {}
 	case PolicyAlwaysPin:
-		e.Stats.PinEager++
+		bump(&e.Stats.PinEager, 1)
+		e.notePin(obs.PinEager, obj)
 		h.Pin(obj)
 		return func() { h.Unpin(obj) }
 	default:
 		if !h.IsYoung(obj) {
-			e.Stats.PinSkippedElder++
+			bump(&e.Stats.PinSkippedElder, 1)
+			e.notePin(obs.PinSkippedElder, obj)
 			return func() {}
 		}
-		e.Stats.PinDeferred++
+		bump(&e.Stats.PinDeferred, 1)
+		e.notePin(obs.PinDeferred, obj)
 		h.Pin(obj)
 		return func() { h.Unpin(obj) }
 	}
@@ -335,6 +376,8 @@ func (e *Engine) collectivePin(obj vm.Ref) func() {
 func (e *Engine) Barrier(t *vm.Thread) error {
 	t.PollGC()
 	defer t.PollGC()
+	tr := e.opBegin(obs.OpBarrier, 0, -1)
+	defer e.opEnd(tr)
 	return e.noteErr(e.Comm.Barrier())
 }
 
@@ -347,7 +390,9 @@ func (e *Engine) Bcast(t *vm.Thread, obj vm.Ref, root int) error {
 	if err != nil {
 		return err
 	}
-	e.Stats.Ops++
+	bump(&e.Stats.Ops, 1)
+	tr := e.opBegin(obs.OpBcast, buf.Len(), root)
+	defer e.opEnd(tr)
 	unpin := e.collectivePin(obj)
 	defer unpin()
 	return e.noteErr(e.Comm.Bcast(buf.Bytes(), root))
@@ -362,7 +407,9 @@ func (e *Engine) Scatter(t *vm.Thread, sendArr, recvArr vm.Ref, root int) error 
 	if err != nil {
 		return err
 	}
-	e.Stats.Ops++
+	bump(&e.Stats.Ops, 1)
+	tr := e.opBegin(obs.OpScatter, recvBuf.Len(), root)
+	defer e.opEnd(tr)
 	var sendBytes []byte
 	var unpinSend func()
 	if e.Comm.Rank() == root {
@@ -402,7 +449,9 @@ func (e *Engine) allgatherOn(t *vm.Thread, c *mp.Comm, sendArr, recvArr vm.Ref) 
 		return fmt.Errorf("core: allgather recv %d bytes, want %d (send %d × %d ranks)",
 			recvBuf.Len(), sendBuf.Len()*c.Size(), sendBuf.Len(), c.Size())
 	}
-	e.Stats.Ops++
+	bump(&e.Stats.Ops, 1)
+	tr := e.opBegin(obs.OpAllgather, sendBuf.Len(), -1)
+	defer e.opEnd(tr)
 	unpinSend := e.collectivePin(sendArr)
 	defer unpinSend()
 	unpinRecv := e.collectivePin(recvArr)
@@ -434,7 +483,9 @@ func (e *Engine) alltoallOn(t *vm.Thread, c *mp.Comm, sendArr, recvArr vm.Ref) e
 		return fmt.Errorf("core: alltoall buffers %d/%d bytes for %d ranks",
 			sendBuf.Len(), recvBuf.Len(), c.Size())
 	}
-	e.Stats.Ops++
+	bump(&e.Stats.Ops, 1)
+	tr := e.opBegin(obs.OpAlltoall, sendBuf.Len(), -1)
+	defer e.opEnd(tr)
 	unpinSend := e.collectivePin(sendArr)
 	defer unpinSend()
 	unpinRecv := e.collectivePin(recvArr)
@@ -456,7 +507,9 @@ func (e *Engine) Sendrecv(t *vm.Thread, sendObj vm.Ref, dest, sendTag int, recvO
 	if err != nil {
 		return mp.Status{}, err
 	}
-	e.Stats.Ops += 2
+	bump(&e.Stats.Ops, 2)
+	tr := e.opBegin(obs.OpSendrecv, sendBuf.Len(), dest)
+	defer e.opEnd(tr)
 	unpinS := e.collectivePin(sendObj)
 	defer unpinS()
 	unpinR := e.collectivePin(recvObj)
@@ -497,7 +550,9 @@ func (e *Engine) Gather(t *vm.Thread, sendArr, recvArr vm.Ref, root int) error {
 	if err != nil {
 		return err
 	}
-	e.Stats.Ops++
+	bump(&e.Stats.Ops, 1)
+	tr := e.opBegin(obs.OpGather, sendBuf.Len(), root)
+	defer e.opEnd(tr)
 	unpinSend := e.collectivePin(sendArr)
 	defer unpinSend()
 	var recvBytes []byte

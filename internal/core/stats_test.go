@@ -1,0 +1,121 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"motor/internal/obs"
+)
+
+// TestStatsConcurrentSnapshot hammers the engines with ping-pong
+// traffic while another goroutine continuously snapshots their
+// counters — the monitoring pattern of mpstat -metrics. Under -race
+// this fails if any increment or the Snapshot reads are non-atomic.
+func TestStatsConcurrentSnapshot(t *testing.T) {
+	runRanks(t, 2, nil, func(r *rank) error {
+		stop := make(chan struct{})
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var last uint64
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				st := r.e.Stats.Snapshot()
+				if st.Ops < last {
+					panic(fmt.Sprintf("ops went backwards: %d -> %d", last, st.Ops))
+				}
+				last = st.Ops
+			}
+		}()
+
+		h := r.v.Heap
+		const iters = 200
+		err := func() error {
+			peer := 1 - r.e.Comm.Rank()
+			for i := 0; i < iters; i++ {
+				msg, err := h.NewInt32Array([]int32{int32(i)})
+				if err != nil {
+					return err
+				}
+				if r.e.Comm.Rank() == 0 {
+					if err := r.e.Send(r.th, msg, peer, 0); err != nil {
+						return err
+					}
+					if _, err := r.e.Recv(r.th, msg, peer, 0); err != nil {
+						return err
+					}
+				} else {
+					if _, err := r.e.Recv(r.th, msg, peer, 0); err != nil {
+						return err
+					}
+					if err := r.e.Send(r.th, msg, peer, 0); err != nil {
+						return err
+					}
+				}
+			}
+			return nil
+		}()
+		close(stop)
+		wg.Wait()
+		if err != nil {
+			return err
+		}
+		st := r.e.Stats.Snapshot()
+		if st.Ops != 2*iters {
+			return fmt.Errorf("ops = %d, want %d", st.Ops, 2*iters)
+		}
+		return nil
+	})
+}
+
+// TestRegisterStats verifies the registry snapshot exposes all the
+// engine-visible subsystems with their live counter values.
+func TestRegisterStats(t *testing.T) {
+	runRanks(t, 2, nil, func(r *rank) error {
+		h := r.v.Heap
+		msg, err := h.NewInt32Array([]int32{1, 2, 3})
+		if err != nil {
+			return err
+		}
+		peer := 1 - r.e.Comm.Rank()
+		if r.e.Comm.Rank() == 0 {
+			if err := r.e.Send(r.th, msg, peer, 0); err != nil {
+				return err
+			}
+		} else if _, err := r.e.Recv(r.th, msg, peer, 0); err != nil {
+			return err
+		}
+		if err := r.e.Barrier(r.th); err != nil {
+			return err
+		}
+
+		reg := new(obs.Registry)
+		r.e.RegisterStats(reg)
+		snap := reg.Snapshot()
+		got := map[string]map[string]uint64{}
+		for _, g := range snap.Groups {
+			got[g.Name] = map[string]uint64{}
+			for _, f := range g.Fields {
+				got[g.Name][f.Name] = f.Value
+			}
+		}
+		for _, want := range []string{"engine", "device", "coll", "gc", "transport"} {
+			if _, ok := got[want]; !ok {
+				return fmt.Errorf("snapshot missing group %q (have %v)", want, snap.Groups)
+			}
+		}
+		if got["engine"]["Ops"] == 0 {
+			return fmt.Errorf("engine.Ops = 0 after traffic")
+		}
+		if got["transport"]["FramesSent"] == 0 {
+			return fmt.Errorf("transport.FramesSent = 0 after traffic")
+		}
+		return nil
+	})
+}

@@ -1,0 +1,48 @@
+package core
+
+import (
+	"motor/internal/obs"
+	"motor/internal/vm"
+)
+
+// Tracing hooks for the engine layer. Every helper starts with the
+// one-atomic-load gate (obs.Active); with tracing off they cost one
+// predictable branch.
+
+// opBegin opens a KOp span for an engine operation. peer < 0 (any-
+// source receives, peerless collectives) encodes as ^0 so the export
+// layer can omit it.
+func (e *Engine) opBegin(op obs.OpCode, bytes, peer int) *obs.Tracer {
+	tr := obs.Active()
+	if tr != nil {
+		p := ^uint64(0)
+		if peer >= 0 {
+			p = uint64(peer)
+		}
+		tr.Begin(e.lane, obs.KOp, uint64(op), uint64(bytes), p)
+	}
+	return tr
+}
+
+// opEnd closes a blocking operation's span and feeds the blocking-op
+// latency histogram.
+func (e *Engine) opEnd(tr *obs.Tracer) {
+	if tr != nil {
+		tr.Record(obs.HistBlockingOp, tr.End(e.lane))
+	}
+}
+
+// opEndQuick closes a non-blocking operation's posting span without a
+// histogram sample (post cost is not an operation latency).
+func (e *Engine) opEndQuick(tr *obs.Tracer) {
+	if tr != nil {
+		tr.End(e.lane)
+	}
+}
+
+// notePin emits a pin-decision instant under the current op span.
+func (e *Engine) notePin(d obs.PinDecision, ref vm.Ref) {
+	if tr := obs.Active(); tr != nil {
+		tr.Instant(e.lane, obs.KPin, uint64(d), uint64(ref))
+	}
+}

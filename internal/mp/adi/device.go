@@ -16,6 +16,7 @@ import (
 	"runtime"
 
 	"motor/internal/mp/channel"
+	"motor/internal/obs"
 )
 
 // Wildcards for receive matching.
@@ -96,6 +97,14 @@ type Request struct {
 	state  reqState
 	err    error
 	status Status
+
+	// Trace identity, assigned at post time when a tracer is active.
+	// The request's lifetime is an async obs span: it can complete
+	// under a different engine op than the one that posted it (or
+	// under none), so it cannot live on the lane's span stack.
+	traceSpan   uint64
+	traceParent uint64
+	traceStart  int64
 }
 
 // Done reports completion (poll via Device.TestReq).
@@ -209,7 +218,41 @@ func (d *Device) Channel() channel.Channel { return d.ch }
 
 func (d *Device) newRequest(kind reqKind, buf Buffer, peer, tag int, ctx int32) *Request {
 	d.nextID++
-	return &Request{id: d.nextID, kind: kind, buf: buf, peer: peer, tag: tag, ctx: ctx}
+	req := &Request{id: d.nextID, kind: kind, buf: buf, peer: peer, tag: tag, ctx: ctx}
+	if tr := obs.Active(); tr != nil {
+		req.traceSpan = tr.NewSpanID()
+		req.traceParent = tr.Current(d.rank)
+		req.traceStart = tr.Now()
+	}
+	return req
+}
+
+// complete marks a request terminal and emits its trace span. Every
+// completion path funnels through here so the request's full lifetime
+// (post → protocol steps → completion/cancel/failure) is observable
+// no matter which step finished it.
+func (d *Device) complete(req *Request) {
+	req.state = stComplete
+	if req.traceSpan == 0 {
+		return
+	}
+	if tr := obs.Active(); tr != nil {
+		dir := obs.ReqSend
+		if req.kind == reqRecv {
+			dir = obs.ReqRecv
+		}
+		peer := req.peer
+		if peer < 0 { // AnySource: report the matched sender
+			peer = req.status.Source
+		}
+		var size int
+		if req.buf != nil {
+			size = req.buf.Len()
+		}
+		tr.Span(d.rank, obs.KADIReq, req.traceSpan, req.traceParent, req.traceStart,
+			uint64(dir), uint64(peer), uint64(size))
+	}
+	req.traceSpan = 0
 }
 
 // --- send path --------------------------------------------------------------
@@ -242,7 +285,7 @@ func (d *Device) Isend(buf Buffer, dest, tag int, ctx int32, sync bool) (*Reques
 		}
 		d.Stats.EagerSent++
 		d.Stats.BytesSent += uint64(size)
-		req.state = stComplete
+		d.complete(req)
 		return req, nil
 	}
 	// Rendezvous: announce, wait for clear-to-send. The RTS carries
@@ -282,7 +325,7 @@ func (d *Device) selfSend(buf Buffer, tag int, ctx int32, sync bool) (*Request, 
 	if posted := d.matchPosted(hdr); posted != nil {
 		d.completeEagerRecv(posted, hdr, buf.Bytes())
 		delete(d.active, posted.id)
-		req.state = stComplete
+		d.complete(req)
 		d.Stats.BytesSent += uint64(buf.Len())
 		return req, nil
 	}
@@ -297,7 +340,7 @@ func (d *Device) selfSend(buf Buffer, tag int, ctx int32, sync bool) (*Request, 
 		d.pendingSelfSyncs = append(d.pendingSelfSyncs, selfSync{req: req, hdr: hdr})
 		return req, nil
 	}
-	req.state = stComplete
+	d.complete(req)
 	d.Stats.BytesSent += uint64(buf.Len())
 	return req, nil
 }
@@ -324,7 +367,7 @@ func (d *Device) resolveSelfSyncs() {
 			}
 		}
 		if consumed {
-			ss.req.state = stComplete
+			d.complete(ss.req)
 			delete(d.active, ss.req.id)
 			d.Stats.BytesSent += uint64(ss.req.buf.Len())
 		} else {
@@ -383,7 +426,7 @@ func (d *Device) completeEagerRecv(req *Request, hdr channel.Header, payload []b
 	}
 	copy(req.buf.Bytes()[:n], payload[:n])
 	req.status = Status{Source: int(hdr.Source), Tag: int(hdr.Tag), Count: n}
-	req.state = stComplete
+	d.complete(req)
 	d.Stats.BytesRecvd += uint64(n)
 }
 
@@ -403,7 +446,7 @@ func (d *Device) acceptRendezvous(req *Request, rts channel.Header) {
 	}
 	if err := d.sendHeaderOnly(int(rts.Source), cts); err != nil && req.err == nil {
 		req.err = d.transportErr(err)
-		req.state = stComplete
+		d.complete(req)
 		delete(d.active, req.id)
 	}
 }
@@ -460,7 +503,7 @@ func (d *Device) CancelReq(req *Request) {
 	}
 	d.pendingSelfSyncs = kept
 	req.err = ErrCancelled
-	req.state = stComplete
+	d.complete(req)
 	d.Stats.Cancelled++
 }
 
@@ -505,7 +548,7 @@ func (d *Device) failPeer(peer int, cause error) {
 	for _, r := range d.posted {
 		if r.peer == peer {
 			r.err = werr
-			r.state = stComplete
+			d.complete(r)
 			delete(d.active, r.id)
 			d.Stats.TransportErrors++
 			continue
@@ -516,7 +559,7 @@ func (d *Device) failPeer(peer int, cause error) {
 	for id, r := range d.active {
 		if r.peer == peer && r.state != stComplete {
 			r.err = werr
-			r.state = stComplete
+			d.complete(r)
 			delete(d.active, id)
 			d.Stats.TransportErrors++
 		}
@@ -700,7 +743,7 @@ func (d *Device) Done(hdr channel.Header) {
 		case d.curReq != nil && !d.curUnexp:
 			req := d.curReq
 			req.status = Status{Source: int(hdr.Source), Tag: int(hdr.Tag), Count: int(hdr.Size)}
-			req.state = stComplete
+			d.complete(req)
 			delete(d.active, req.id)
 			d.Stats.BytesRecvd += uint64(hdr.Size)
 		case d.curReq != nil: // matched but truncated, payload in scratch
@@ -737,7 +780,7 @@ func (d *Device) Done(hdr channel.Header) {
 			err = d.transportErr(err)
 		}
 		req.err = err
-		req.state = stComplete
+		d.complete(req)
 		d.Stats.BytesSent += uint64(req.buf.Len())
 
 	case channel.PktData:
@@ -753,7 +796,7 @@ func (d *Device) Done(hdr channel.Header) {
 				}
 				req.status.Count = n
 			}
-			req.state = stComplete
+			d.complete(req)
 			delete(d.active, req.id)
 			d.Stats.BytesRecvd += uint64(req.status.Count)
 		}

@@ -122,8 +122,16 @@ func (e *PeerError) Error() string {
 // Unwrap exposes the underlying transport error.
 func (e *PeerError) Unwrap() error { return e.Err }
 
-// TransportStats counts channel-level fault and recovery activity.
+// TransportStats counts channel-level traffic, fault and recovery
+// activity. Frame counts are per wire packet (header + payload);
+// byte counts cover payloads only — header overhead is fixed per
+// frame (see headerSize).
 type TransportStats struct {
+	FramesSent       uint64 // packets pushed to peers
+	FramesRecvd      uint64 // packets delivered to the sink
+	BytesSent        uint64 // payload bytes pushed to peers
+	BytesRecvd       uint64 // payload bytes delivered to the sink
+	RingCompactions  uint64 // shm ring prefix compactions (shm only)
 	DialRetries      uint64 // re-dials after a failed connection attempt
 	BootstrapRetries uint64 // full rendezvous-exchange retries
 	PoisonedConns    uint64 // connections killed after a partial frame

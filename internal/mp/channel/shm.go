@@ -2,6 +2,9 @@ package channel
 
 import (
 	"sync"
+	"sync/atomic"
+
+	"motor/internal/obs"
 )
 
 // The shm channel: in-process "shared memory" transport. Each ordered
@@ -25,6 +28,10 @@ type shmRing struct {
 	frames []shmFrame
 	head   int
 	closed bool
+
+	// compactions counts prefix compactions; atomic so the receiving
+	// channel's TransportStats can read it without taking mu.
+	compactions atomic.Uint64
 }
 
 func (r *shmRing) push(f shmFrame) error {
@@ -56,6 +63,7 @@ func (r *shmRing) pop() (shmFrame, bool) {
 		clear(r.frames[n:])
 		r.frames = r.frames[:n]
 		r.head = 0
+		r.compactions.Add(1)
 	}
 	return f, true
 }
@@ -119,9 +127,38 @@ type ShmChannel struct {
 	fabric *ShmFabric
 	rank   int
 	closed bool
+
+	stats struct {
+		framesSent  atomic.Uint64
+		framesRecvd atomic.Uint64
+		bytesSent   atomic.Uint64
+		bytesRecvd  atomic.Uint64
+	}
 }
 
-var _ Channel = (*ShmChannel)(nil)
+var (
+	_ Channel     = (*ShmChannel)(nil)
+	_ StatsSource = (*ShmChannel)(nil)
+)
+
+// TransportStats implements StatsSource. Ring compactions are charged
+// to the receiving rank (pops drive compaction).
+func (c *ShmChannel) TransportStats() TransportStats {
+	st := TransportStats{
+		FramesSent:  c.stats.framesSent.Load(),
+		FramesRecvd: c.stats.framesRecvd.Load(),
+		BytesSent:   c.stats.bytesSent.Load(),
+		BytesRecvd:  c.stats.bytesRecvd.Load(),
+	}
+	n := c.fabric.Size()
+	for from := 0; from < n; from++ {
+		if from == c.rank {
+			continue
+		}
+		st.RingCompactions += c.fabric.ring(from, c.rank).compactions.Load()
+	}
+	return st
+}
 
 // Rank implements Channel.
 func (c *ShmChannel) Rank() int { return c.rank }
@@ -142,7 +179,16 @@ func (c *ShmChannel) Send(dest int, hdr Header, payload []byte) error {
 	if len(payload) > 0 {
 		f.payload = append([]byte(nil), payload...)
 	}
-	return c.fabric.ring(c.rank, dest).push(f)
+	if err := c.fabric.ring(c.rank, dest).push(f); err != nil {
+		return err
+	}
+	c.stats.framesSent.Add(1)
+	c.stats.bytesSent.Add(uint64(len(payload)))
+	if tr := obs.Active(); tr != nil {
+		tr.Instant(c.rank, obs.KFrame,
+			uint64(obs.FrameOut), uint64(hdr.Type), uint64(dest), uint64(len(payload)))
+	}
+	return nil
 }
 
 // Poll implements Channel: round-robin over the incoming rings.
@@ -157,6 +203,12 @@ func (c *ShmChannel) Poll(sink Sink) (bool, error) {
 		}
 		ring := c.fabric.ring(from, c.rank)
 		if f, ok := ring.pop(); ok {
+			c.stats.framesRecvd.Add(1)
+			c.stats.bytesRecvd.Add(uint64(len(f.payload)))
+			if tr := obs.Active(); tr != nil {
+				tr.Instant(c.rank, obs.KFrame,
+					uint64(obs.FrameIn), uint64(f.hdr.Type), uint64(f.hdr.Source), uint64(len(f.payload)))
+			}
 			dst := sink.Deliver(f.hdr)
 			if len(f.payload) > 0 && dst != nil {
 				copy(dst, f.payload)

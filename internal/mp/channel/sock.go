@@ -11,6 +11,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"motor/internal/obs"
 	"motor/internal/pal"
 )
 
@@ -99,6 +100,10 @@ type SockChannel struct {
 	next  int         // round-robin poll cursor
 
 	stats struct {
+		framesSent       uint64
+		framesRecvd      uint64
+		bytesSent        uint64
+		bytesRecvd       uint64
 		dialRetries      uint64
 		bootstrapRetries uint64
 		poisonedConns    uint64
@@ -120,6 +125,10 @@ func (c *SockChannel) Size() int { return c.size }
 // TransportStats implements StatsSource.
 func (c *SockChannel) TransportStats() TransportStats {
 	return TransportStats{
+		FramesSent:       atomic.LoadUint64(&c.stats.framesSent),
+		FramesRecvd:      atomic.LoadUint64(&c.stats.framesRecvd),
+		BytesSent:        atomic.LoadUint64(&c.stats.bytesSent),
+		BytesRecvd:       atomic.LoadUint64(&c.stats.bytesRecvd),
 		DialRetries:      atomic.LoadUint64(&c.stats.dialRetries),
 		BootstrapRetries: atomic.LoadUint64(&c.stats.bootstrapRetries),
 		PoisonedConns:    atomic.LoadUint64(&c.stats.poisonedConns),
@@ -171,6 +180,12 @@ func (c *SockChannel) Send(dest int, hdr Header, payload []byte) error {
 		if _, err := sc.c.Write(payload); err != nil {
 			return c.poisonConn(sc, fmt.Errorf("sock: send payload to %d: %w", dest, err))
 		}
+	}
+	atomic.AddUint64(&c.stats.framesSent, 1)
+	atomic.AddUint64(&c.stats.bytesSent, uint64(len(payload)))
+	if tr := obs.Active(); tr != nil {
+		tr.Instant(c.rank, obs.KFrame,
+			uint64(obs.FrameOut), uint64(hdr.Type), uint64(dest), uint64(len(payload)))
 	}
 	return nil
 }
@@ -259,6 +274,12 @@ func (c *SockChannel) pollConn(sc *sockConn, sink Sink) (bool, error) {
 		}
 	}
 	sink.Done(hdr)
+	atomic.AddUint64(&c.stats.framesRecvd, 1)
+	atomic.AddUint64(&c.stats.bytesRecvd, uint64(hdr.Size))
+	if tr := obs.Active(); tr != nil {
+		tr.Instant(c.rank, obs.KFrame,
+			uint64(obs.FrameIn), uint64(hdr.Type), uint64(hdr.Source), uint64(hdr.Size))
+	}
 	return true, nil
 }
 

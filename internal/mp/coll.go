@@ -4,7 +4,55 @@ import (
 	"fmt"
 
 	"motor/internal/mp/adi"
+	"motor/internal/obs"
 )
+
+func init() {
+	// Let the obs export layer print the selector's algorithm names
+	// without importing mp (obs is a leaf package).
+	obs.CollAlgoName = func(code uint64) string { return CollAlgo(code).String() }
+}
+
+// collBegin opens the KColl span covering one collective call and
+// returns the tracer (nil when tracing is off). The span records the
+// operation, the selected algorithm and the per-rank payload size;
+// collEnd closes it and feeds the collective-wall-time histogram.
+func (c *Comm) collBegin(op obs.OpCode, algo CollAlgo, bytes int) *obs.Tracer {
+	tr := obs.Active()
+	if tr != nil {
+		tr.Begin(c.dev.Rank(), obs.KColl, uint64(op), uint64(algo), uint64(bytes))
+	}
+	return tr
+}
+
+func (c *Comm) collEnd(tr *obs.Tracer) {
+	if tr != nil {
+		tr.Record(obs.HistCollective, tr.End(c.dev.Rank()))
+	}
+}
+
+// stepSpan captures the identity of one in-progress algorithm step
+// (ring segment, recursive-doubling round). Steps that error out
+// mid-body are simply not emitted.
+type stepSpan struct {
+	id    uint64
+	start int64
+}
+
+func (c *Comm) stepBegin(tr *obs.Tracer) stepSpan {
+	if tr == nil {
+		return stepSpan{}
+	}
+	return stepSpan{id: tr.NewSpanID(), start: tr.Now()}
+}
+
+func (c *Comm) stepEnd(tr *obs.Tracer, sp stepSpan, step, bytes int) {
+	if tr == nil || sp.id == 0 {
+		return
+	}
+	lane := c.dev.Rank()
+	tr.Span(lane, obs.KCollStep, sp.id, tr.Current(lane), sp.start, uint64(step), uint64(bytes))
+}
 
 // Collective operations. All collectives run over the communicator's
 // dedicated collective context, so they can never match application
@@ -178,6 +226,8 @@ func (c *Comm) Barrier() error {
 	}
 	seq := c.nextCollSeq()
 	c.coll.stats.Ops++
+	tr := c.collBegin(obs.OpBarrier, AlgoAuto, 0)
+	defer c.collEnd(tr)
 	q := c.newReqs()
 	r := c.myRank
 	round := 0
@@ -185,11 +235,13 @@ func (c *Comm) Barrier() error {
 		to := (r + k) % n
 		from := (r - k + n) % n
 		tag := collTag(opcBarrier, seq, round)
+		sp := c.stepBegin(tr)
 		rr := q.recv(nil, from, tag)
 		q.send(nil, to, tag)
 		if err := q.wait(rr); err != nil {
 			break
 		}
+		c.stepEnd(tr, sp, round, 0)
 		round++
 	}
 	if err := q.finish(); err != nil {
@@ -217,10 +269,14 @@ func (c *Comm) Bcast(buf []byte, root int) error {
 	var err error
 	if c.pickBcast(len(buf), n) == AlgoPipelined {
 		c.coll.stats.BcastPipelined++
+		tr := c.collBegin(obs.OpBcast, AlgoPipelined, len(buf))
 		err = c.bcastPipelined(buf, root, seq)
+		c.collEnd(tr)
 	} else {
 		c.coll.stats.BcastBinomial++
+		tr := c.collBegin(obs.OpBcast, AlgoBinomial, len(buf))
 		err = c.bcastBinomial(buf, root, seq)
+		c.collEnd(tr)
 	}
 	if err != nil {
 		return fmt.Errorf("mp: bcast: %w", err)
@@ -348,6 +404,8 @@ func (c *Comm) Scatter(sendbuf, recvbuf []byte, root int) error {
 	}
 	seq := c.nextCollSeq()
 	c.coll.stats.Ops++
+	tr := c.collBegin(obs.OpScatter, AlgoAuto, len(recvbuf))
+	defer c.collEnd(tr)
 	return c.scatterLinear(sendbuf, recvbuf, root, seq)
 }
 
@@ -384,6 +442,8 @@ func (c *Comm) Gather(sendbuf, recvbuf []byte, root int) error {
 	}
 	seq := c.nextCollSeq()
 	c.coll.stats.Ops++
+	tr := c.collBegin(obs.OpGather, AlgoAuto, len(sendbuf))
+	defer c.collEnd(tr)
 	return c.gatherLinear(sendbuf, recvbuf, root, seq)
 }
 
@@ -425,10 +485,14 @@ func (c *Comm) Allgather(sendbuf, recvbuf []byte) error {
 	var err error
 	if c.pickAllgather(chunk, n) == AlgoRing {
 		c.coll.stats.AllgatherRing++
+		tr := c.collBegin(obs.OpAllgather, AlgoRing, chunk)
 		err = c.allgatherRing(sendbuf, recvbuf, c.nextCollSeq())
+		c.collEnd(tr)
 	} else {
 		c.coll.stats.AllgatherGatherBcast++
+		tr := c.collBegin(obs.OpAllgather, AlgoGatherBcast, chunk)
 		err = c.allgatherGatherBcast(sendbuf, recvbuf)
+		c.collEnd(tr)
 	}
 	if err != nil {
 		return fmt.Errorf("mp: allgather: %w", err)
@@ -448,17 +512,20 @@ func (c *Comm) allgatherRing(sendbuf, recvbuf []byte, seq uint32) error {
 	right := (me + 1) % n
 	left := (me - 1 + n) % n
 	q := c.newReqs()
+	tr := obs.Active()
 	recvs := make([]*adi.Request, n-1)
 	for s := 0; s < n-1; s++ {
 		idx := (me - s - 1 + n) % n
 		recvs[s] = q.recv(recvbuf[idx*chunk:(idx+1)*chunk], left, collTag(opcRingAG, seq, s))
 	}
 	for s := 0; s < n-1; s++ {
+		sp := c.stepBegin(tr)
 		idx := (me - s + n) % n
 		q.send(recvbuf[idx*chunk:(idx+1)*chunk], right, collTag(opcRingAG, seq, s))
 		if err := q.wait(recvs[s]); err != nil {
 			break
 		}
+		c.stepEnd(tr, sp, s, chunk)
 	}
 	return q.finish()
 }
@@ -587,6 +654,8 @@ func (c *Comm) Alltoall(sendbuf, recvbuf []byte) error {
 	chunk := len(sendbuf) / n
 	seq := c.nextCollSeq()
 	c.coll.stats.Ops++
+	tr := c.collBegin(obs.OpAlltoall, AlgoAuto, chunk)
+	defer c.collEnd(tr)
 	me := c.myRank
 	copy(recvbuf[me*chunk:(me+1)*chunk], sendbuf[me*chunk:(me+1)*chunk])
 	q := c.newReqs()
@@ -622,6 +691,8 @@ func (c *Comm) Reduce(sendbuf, recvbuf []byte, dt Datatype, op Op, root int) err
 	}
 	seq := c.nextCollSeq()
 	c.coll.stats.Ops++
+	tr := c.collBegin(obs.OpReduce, AlgoBinomial, len(sendbuf))
+	defer c.collEnd(tr)
 	return c.reduceBinomial(sendbuf, recvbuf, dt, op, root, seq)
 }
 
@@ -696,13 +767,19 @@ func (c *Comm) Allreduce(sendbuf, recvbuf []byte, dt Datatype, op Op) error {
 	switch c.pickAllreduce(len(sendbuf), n) {
 	case AlgoRing:
 		c.coll.stats.AllreduceRing++
+		tr := c.collBegin(obs.OpAllreduce, AlgoRing, len(sendbuf))
 		err = c.allreduceRing(sendbuf, recvbuf, dt, op, c.nextCollSeq())
+		c.collEnd(tr)
 	case AlgoReduceBcast:
 		c.coll.stats.AllreduceReduceBcast++
+		tr := c.collBegin(obs.OpAllreduce, AlgoReduceBcast, len(sendbuf))
 		err = c.allreduceReduceBcast(sendbuf, recvbuf, dt, op)
+		c.collEnd(tr)
 	default:
 		c.coll.stats.AllreduceRecDbl++
+		tr := c.collBegin(obs.OpAllreduce, AlgoRecDbl, len(sendbuf))
 		err = c.allreduceRecDbl(sendbuf, recvbuf, dt, op, c.nextCollSeq())
+		c.collEnd(tr)
 	}
 	if err != nil {
 		return fmt.Errorf("mp: allreduce: %w", err)
@@ -736,9 +813,11 @@ func (c *Comm) allreduceRing(sendbuf, recvbuf []byte, dt Datatype, op Op, seq ui
 	right := (me + 1) % n
 	left := (me - 1 + n) % n
 	q := c.newReqs()
+	tr := obs.Active()
 	// Phase 1: reduce-scatter. Step s sends chunk (me-s) right and
 	// reduces the incoming chunk (me-s-1) from the left.
 	for s := 0; s < n-1; s++ {
+		sp := c.stepBegin(tr)
 		rchunk := chunkAt(me - s - 1)
 		rr := q.recv(tmp[:len(rchunk)], left, collTag(opcRingRS, seq, s))
 		q.send(chunkAt(me-s), right, collTag(opcRingRS, seq, s))
@@ -749,6 +828,7 @@ func (c *Comm) allreduceRing(sendbuf, recvbuf []byte, dt Datatype, op Op, seq ui
 			q.finish()
 			return err
 		}
+		c.stepEnd(tr, sp, s, len(rchunk))
 	}
 	// Drain phase-1 sends before phase 2 overwrites their chunks: a
 	// rendezvous send still in flight reads its buffer at CTS time.
@@ -758,11 +838,13 @@ func (c *Comm) allreduceRing(sendbuf, recvbuf []byte, dt Datatype, op Op, seq ui
 	// Phase 2: allgather of the reduced chunks. Step s sends chunk
 	// (me+1-s) right and receives chunk (me-s) from the left.
 	for s := 0; s < n-1; s++ {
+		sp := c.stepBegin(tr)
 		rr := q.recv(chunkAt(me-s), left, collTag(opcRingAG, seq, s))
 		q.send(chunkAt(me+1-s), right, collTag(opcRingAG, seq, s))
 		if err := q.wait(rr); err != nil {
 			break
 		}
+		c.stepEnd(tr, sp, n-1+s, len(chunkAt(me-s)))
 	}
 	return q.finish()
 }
@@ -805,8 +887,10 @@ func (c *Comm) allreduceRecDbl(sendbuf, recvbuf []byte, dt Datatype, op Op, seq 
 		newRank = me - rem
 	}
 	if newRank >= 0 {
+		tr := obs.Active()
 		bit := 1
 		for mask := 1; mask < pof2; mask <<= 1 {
+			sp := c.stepBegin(tr)
 			peerNew := newRank ^ mask
 			peer := peerNew*2 + 1
 			if peerNew >= rem {
@@ -827,6 +911,7 @@ func (c *Comm) allreduceRecDbl(sendbuf, recvbuf []byte, dt Datatype, op Op, seq 
 				q.finish()
 				return err
 			}
+			c.stepEnd(tr, sp, bit, len(recvbuf))
 			bit++
 		}
 	}

@@ -1,0 +1,155 @@
+package obs
+
+import (
+	"math/bits"
+	"sync/atomic"
+)
+
+// HistID names one of the tracer's fixed latency histograms.
+type HistID int
+
+// Tracer histograms. All record nanoseconds.
+const (
+	HistBlockingOp  HistID = iota // blocking Send/Recv wall time
+	HistRequestWait               // polling-wait span (Wait / blocking completion)
+	HistCollective                // collective wall time
+	HistGCPause                   // GC stop-the-rank pause
+	HistCount
+)
+
+// HistNames maps HistID to its exported metric name.
+var HistNames = [HistCount]string{
+	"blocking_op_ns",
+	"request_wait_ns",
+	"collective_ns",
+	"gc_pause_ns",
+}
+
+// Histogram layout: HDR-style log-linear buckets. Values are split
+// into a power-of-two "tier" and histSub linear sub-buckets within
+// the tier, giving a worst-case quantile error of 1/histSub
+// (~3% relative) with a small fixed footprint and no allocation.
+const (
+	histSub   = 32 // sub-buckets per power of two (power of two itself)
+	histTiers = 59 // covers int64 nanoseconds (~292 years)
+	histSubLg = 5  // log2(histSub)
+)
+
+// Histogram is a fixed-size concurrent latency histogram. The zero
+// value is ready to use; Record is safe from any goroutine.
+type Histogram struct {
+	counts [histTiers * histSub]atomic.Uint64
+	total  atomic.Uint64
+	sum    atomic.Uint64
+	max    atomic.Int64
+}
+
+// bucketOf maps a value to its bucket index.
+func bucketOf(v int64) int {
+	if v < histSub {
+		return int(v) // tier 0: exact
+	}
+	lg := 63 - bits.LeadingZeros64(uint64(v))
+	tier := lg - histSubLg + 1
+	sub := (v >> (lg - histSubLg)) & (histSub - 1)
+	return tier*histSub + int(sub)
+}
+
+// bucketLow returns the smallest value mapping to bucket i — reported
+// as the quantile estimate for samples landing in the bucket.
+func bucketLow(i int) int64 {
+	tier := i / histSub
+	sub := int64(i % histSub)
+	if tier == 0 {
+		return sub
+	}
+	return (int64(histSub) + sub) << (tier - 1)
+}
+
+// Record adds one sample. Negative samples are clamped to zero
+// (monotonic-clock differences shouldn't produce them, but a clamp is
+// cheaper than a branch to drop them).
+func (h *Histogram) Record(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	h.counts[bucketOf(v)].Add(1)
+	h.total.Add(1)
+	h.sum.Add(uint64(v))
+	for {
+		cur := h.max.Load()
+		if v <= cur || h.max.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// Count returns the number of recorded samples.
+func (h *Histogram) Count() uint64 { return h.total.Load() }
+
+// Max returns the largest recorded sample (0 when empty).
+func (h *Histogram) Max() int64 { return h.max.Load() }
+
+// Mean returns the mean of recorded samples (0 when empty).
+func (h *Histogram) Mean() float64 {
+	n := h.total.Load()
+	if n == 0 {
+		return 0
+	}
+	return float64(h.sum.Load()) / float64(n)
+}
+
+// Quantile returns the value at quantile q in [0,1] — the lower bound
+// of the bucket holding the q-th sample, except q=1 which returns the
+// exact recorded maximum. Concurrent Records make the answer
+// approximate; that is fine for monitoring.
+func (h *Histogram) Quantile(q float64) int64 {
+	n := h.total.Load()
+	if n == 0 {
+		return 0
+	}
+	if q >= 1 {
+		return h.Max()
+	}
+	if q < 0 {
+		q = 0
+	}
+	rank := uint64(q * float64(n))
+	if rank >= n {
+		rank = n - 1
+	}
+	var seen uint64
+	for i := range h.counts {
+		c := h.counts[i].Load()
+		if c == 0 {
+			continue
+		}
+		seen += c
+		if seen > rank {
+			return bucketLow(i)
+		}
+	}
+	return h.Max()
+}
+
+// HistSnapshot is a point-in-time percentile summary.
+type HistSnapshot struct {
+	Count uint64  `json:"count"`
+	Mean  float64 `json:"mean"`
+	P50   int64   `json:"p50"`
+	P95   int64   `json:"p95"`
+	P99   int64   `json:"p99"`
+	Max   int64   `json:"max"`
+}
+
+// Snapshot summarizes the histogram.
+func (h *Histogram) Snapshot() HistSnapshot {
+	return HistSnapshot{
+		Count: h.Count(),
+		Mean:  h.Mean(),
+		P50:   h.Quantile(0.50),
+		P95:   h.Quantile(0.95),
+		P99:   h.Quantile(0.99),
+		Max:   h.Max(),
+	}
+}

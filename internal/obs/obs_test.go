@@ -1,0 +1,329 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+)
+
+// TestSpanNesting checks Begin/End stack discipline: children carry
+// their parent's span id and durations nest.
+func TestSpanNesting(t *testing.T) {
+	tr := NewTracer(Options{Shards: 1})
+	tr.Begin(0, KOp, uint64(OpSend), 128, 1)
+	tr.Begin(0, KWait, uint64(OpSend))
+	tr.Instant(0, KPin, uint64(PinDeferred), 0xbeef)
+	tr.End(0)
+	tr.End(0)
+
+	evs := tr.Events()
+	if len(evs) != 3 {
+		t.Fatalf("got %d events, want 3", len(evs))
+	}
+	// Emission order: instant, inner span (ended first), outer span.
+	pin, wait, op := evs[0], evs[1], evs[2]
+	if pin.Kind != KPin || wait.Kind != KWait || op.Kind != KOp {
+		t.Fatalf("unexpected kinds: %v %v %v", pin.Kind, wait.Kind, op.Kind)
+	}
+	if op.Parent != 0 {
+		t.Errorf("outer span parent = %d, want 0", op.Parent)
+	}
+	if wait.Parent != op.Span {
+		t.Errorf("inner span parent = %d, want outer id %d", wait.Parent, op.Span)
+	}
+	if pin.Parent != wait.Span {
+		t.Errorf("instant parent = %d, want inner id %d", pin.Parent, wait.Span)
+	}
+	if wait.TS < op.TS || wait.TS+wait.Dur > op.TS+op.Dur {
+		t.Errorf("inner span [%d,+%d] not nested in outer [%d,+%d]",
+			wait.TS, wait.Dur, op.TS, op.Dur)
+	}
+}
+
+// TestSpanStackOverflow checks that Begins past the depth bound are
+// dropped and their Ends unwind cleanly without corrupting the stack.
+func TestSpanStackOverflow(t *testing.T) {
+	tr := NewTracer(Options{Shards: 1})
+	total := spanDepth + 5
+	for i := 0; i < total; i++ {
+		tr.Begin(0, KOp, uint64(OpSend))
+	}
+	for i := 0; i < total; i++ {
+		tr.End(0)
+	}
+	if got := len(tr.Events()); got != spanDepth {
+		t.Errorf("got %d events, want %d recorded spans", got, spanDepth)
+	}
+	if d := tr.End(0); d != 0 {
+		t.Errorf("End on empty stack returned %d", d)
+	}
+}
+
+// TestRingWrap fills a shard past capacity and checks the snapshot
+// holds exactly the newest shardSize events in order.
+func TestRingWrap(t *testing.T) {
+	tr := NewTracer(Options{Shards: 1})
+	total := shardSize + 100
+	for i := 0; i < total; i++ {
+		tr.Emit(Event{TS: int64(i), Kind: KFrame})
+	}
+	evs := tr.Events()
+	if len(evs) != shardSize {
+		t.Fatalf("got %d events, want %d", len(evs), shardSize)
+	}
+	for i, ev := range evs {
+		want := int64(total - shardSize + i)
+		if ev.TS != want {
+			t.Fatalf("event %d has TS %d, want %d", i, ev.TS, want)
+		}
+	}
+	if d := tr.Dropped(); d != 100 {
+		t.Errorf("Dropped() = %d, want 100", d)
+	}
+}
+
+// TestConcurrentEmit hammers the ring from many goroutines (run under
+// -race in the verify tier) and checks nothing is lost before wrap.
+func TestConcurrentEmit(t *testing.T) {
+	tr := NewTracer(Options{Shards: 4})
+	const goroutines, per = 8, 1000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(lane int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				tr.Instant(lane, KFrame, uint64(FrameOut), 1, 0, 64)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := len(tr.Events()); got != goroutines*per {
+		t.Errorf("got %d events, want %d", got, goroutines*per)
+	}
+}
+
+// TestHistogramPercentiles checks quantiles against a known uniform
+// distribution: with values 1..N each once, the q-quantile is q*N
+// within the log-linear bucket resolution (1/32 relative).
+func TestHistogramPercentiles(t *testing.T) {
+	var h Histogram
+	const n = 100000
+	perm := rand.New(rand.NewSource(1)).Perm(n)
+	for _, v := range perm {
+		h.Record(int64(v) + 1)
+	}
+	if h.Count() != n {
+		t.Fatalf("Count = %d, want %d", h.Count(), n)
+	}
+	if h.Max() != n {
+		t.Fatalf("Max = %d, want %d", h.Max(), n)
+	}
+	if m := h.Mean(); m < float64(n)/2*0.999 || m > float64(n)/2*1.001 {
+		t.Errorf("Mean = %f, want ~%d", m, n/2)
+	}
+	for _, q := range []float64{0.5, 0.9, 0.95, 0.99} {
+		got := float64(h.Quantile(q))
+		want := q * n
+		// Bucket lower bound: got is in (want*(1-2/32), want].
+		if got > want || got < want*(1-2.0/histSub) {
+			t.Errorf("Quantile(%v) = %v, want within [%v, %v]",
+				q, got, want*(1-2.0/histSub), want)
+		}
+	}
+	if h.Quantile(1) != n {
+		t.Errorf("Quantile(1) = %d, want exact max %d", h.Quantile(1), n)
+	}
+}
+
+// TestHistogramExact checks tier-0 values (< histSub) are exact.
+func TestHistogramExact(t *testing.T) {
+	var h Histogram
+	for i := 0; i < 10; i++ {
+		h.Record(7)
+	}
+	h.Record(31)
+	if got := h.Quantile(0.5); got != 7 {
+		t.Errorf("Quantile(0.5) = %d, want 7", got)
+	}
+	if got := h.Quantile(1); got != 31 {
+		t.Errorf("Quantile(1) = %d, want 31", got)
+	}
+	if got := h.Quantile(0); got != 7 {
+		t.Errorf("Quantile(0) = %d, want 7", got)
+	}
+}
+
+// TestHistogramBuckets checks bucketOf/bucketLow are consistent:
+// bucketLow(bucketOf(v)) <= v and monotone.
+func TestHistogramBuckets(t *testing.T) {
+	vals := []int64{0, 1, 31, 32, 33, 63, 64, 100, 1000, 1 << 20, 1<<40 + 12345}
+	for _, v := range vals {
+		b := bucketOf(v)
+		lo := bucketLow(b)
+		if lo > v {
+			t.Errorf("bucketLow(bucketOf(%d)) = %d > value", v, lo)
+		}
+		if b+1 < histTiers*histSub && bucketLow(b+1) <= v {
+			t.Errorf("value %d should be below next bucket bound %d", v, bucketLow(b+1))
+		}
+	}
+}
+
+// TestActiveGate checks Start/Stop publish and unpublish the process
+// tracer and that a second Start is refused.
+func TestActiveGate(t *testing.T) {
+	if Active() != nil {
+		t.Fatal("tracer already active at test start")
+	}
+	tr := Start(Options{Shards: 1})
+	if tr == nil {
+		t.Fatal("Start returned nil with no active tracer")
+	}
+	defer Stop(tr)
+	if Active() != tr {
+		t.Fatal("Active() != started tracer")
+	}
+	if Start(Options{Shards: 1}) != nil {
+		t.Fatal("second Start should return nil")
+	}
+	Stop(tr)
+	if Active() != nil {
+		t.Fatal("tracer still active after Stop")
+	}
+}
+
+// TestRegistrySnapshot checks reflection flattening, name dedup, and
+// snapshot versioning.
+func TestRegistrySnapshot(t *testing.T) {
+	type inner struct{ Hits uint64 }
+	type stats struct {
+		Ops     uint64
+		Pause   int64
+		Nested  inner
+		skipped uint64 //nolint:unused // exercised: unexported must be skipped
+	}
+	var r Registry
+	r.Register("engine/0", func() any { return stats{Ops: 7, Pause: -1, Nested: inner{Hits: 3}} })
+	r.Register("engine/0", func() any { return &stats{Ops: 9} })
+
+	snap := r.Snapshot()
+	if snap.Version != SnapshotVersion {
+		t.Errorf("Version = %d, want %d", snap.Version, SnapshotVersion)
+	}
+	if snap.Seq != 1 {
+		t.Errorf("Seq = %d, want 1", snap.Seq)
+	}
+	if len(snap.Groups) != 2 {
+		t.Fatalf("got %d groups, want 2", len(snap.Groups))
+	}
+	names := []string{snap.Groups[0].Name, snap.Groups[1].Name}
+	sort.Strings(names)
+	if names[0] != "engine/0" || names[1] != "engine/0#1" {
+		t.Errorf("group names = %v, want dedup suffix", names)
+	}
+	var g Group
+	for _, cand := range snap.Groups {
+		if cand.Name == "engine/0" {
+			g = cand
+		}
+	}
+	want := map[string]uint64{"Ops": 7, "Pause": ^uint64(0), "Nested.Hits": 3}
+	if len(g.Fields) != len(want) {
+		t.Fatalf("fields = %+v, want %d entries", g.Fields, len(want))
+	}
+	for _, f := range g.Fields {
+		if want[f.Name] != f.Value {
+			t.Errorf("field %s = %d, want %d", f.Name, f.Value, want[f.Name])
+		}
+	}
+	if snap2 := r.Snapshot(); snap2.Seq != 2 {
+		t.Errorf("second Seq = %d, want 2", snap2.Seq)
+	}
+}
+
+// TestChromeExport validates the exporter's output against the
+// trace_event schema: every record has name/ph/ts/pid/tid, complete
+// events carry dur, async begin/end ids pair up.
+func TestChromeExport(t *testing.T) {
+	tr := NewTracer(Options{Shards: 1})
+	tr.Begin(1, KOp, uint64(OpSend), 4096, 0)
+	tr.Instant(1, KPin, uint64(PinDeferred), 0xabc)
+	reqID := tr.NewSpanID()
+	start := tr.Now()
+	tr.Instant(1, KFrame, uint64(FrameOut), 1, 0, 4096)
+	tr.Span(1, KADIReq, reqID, tr.Current(1), start, uint64(ReqSend), 0, 4096)
+	tr.End(1)
+
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	asyncIDs := map[string][2]int{}
+	for _, ev := range doc.TraceEvents {
+		for _, key := range []string{"name", "ph", "pid", "tid"} {
+			if _, ok := ev[key]; !ok {
+				t.Fatalf("event missing %q: %v", key, ev)
+			}
+		}
+		ph := ev["ph"].(string)
+		if ph != "M" {
+			if _, ok := ev["ts"].(float64); !ok {
+				t.Fatalf("event missing numeric ts: %v", ev)
+			}
+		}
+		switch ph {
+		case "X":
+			if _, ok := ev["dur"].(float64); !ok {
+				t.Fatalf("complete event missing dur: %v", ev)
+			}
+		case "b", "e":
+			id, ok := ev["id"].(string)
+			if !ok {
+				t.Fatalf("async event missing id: %v", ev)
+			}
+			c := asyncIDs[id]
+			if ph == "b" {
+				c[0]++
+			} else {
+				c[1]++
+			}
+			asyncIDs[id] = c
+		case "i":
+			if ev["s"] != "t" {
+				t.Fatalf("instant missing thread scope: %v", ev)
+			}
+		}
+	}
+	if len(asyncIDs) != 1 {
+		t.Fatalf("got %d async ids, want 1", len(asyncIDs))
+	}
+	for id, c := range asyncIDs {
+		if c[0] != 1 || c[1] != 1 {
+			t.Errorf("async id %s has %d begins / %d ends", id, c[0], c[1])
+		}
+	}
+}
+
+// TestMetricsText smoke-tests the text exporter format.
+func TestMetricsText(t *testing.T) {
+	var r Registry
+	r.Register("gc", func() any { return struct{ Scavenges uint64 }{4} })
+	var buf bytes.Buffer
+	if err := WriteMetricsText(&buf, r.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !bytes.Contains(buf.Bytes(), []byte("gc.Scavenges 4\n")) {
+		t.Errorf("text metrics missing counter line:\n%s", out)
+	}
+}

@@ -1,6 +1,10 @@
 package vm
 
-import "time"
+import (
+	"time"
+
+	"motor/internal/obs"
+)
 
 // The collector. Two-generational, stop-the-world (trivially so,
 // because managed execution is cooperatively scheduled — see
@@ -32,12 +36,35 @@ func (v *VM) collect(full bool) {
 	h.inGC = true
 	defer func() { h.inGC = false }()
 
+	tr := obs.Active()
+	if tr != nil {
+		kind := obs.GCScavenge
+		if full {
+			kind = obs.GCFull
+		}
+		tr.Begin(v.traceLane, obs.KGC, uint64(kind))
+	}
+
 	start := time.Now()
+	if tr != nil {
+		tr.Begin(v.traceLane, obs.KGCPhase, uint64(obs.PhaseHooks))
+	}
 	for _, hook := range v.gcHooks {
 		hook()
 	}
+	if tr != nil {
+		tr.End(v.traceLane)
+		tr.Begin(v.traceLane, obs.KGCPhase, uint64(obs.PhaseCondPins))
+	}
 	pinned := h.pinnedForCycle()
+	if tr != nil {
+		tr.End(v.traceLane)
+		tr.Begin(v.traceLane, obs.KGCPhase, uint64(obs.PhaseScavenge))
+	}
 	h.scavenge(v, pinned)
+	if tr != nil {
+		tr.End(v.traceLane)
+	}
 	if full {
 		h.fullMarkSweep(v, pinned)
 	}
@@ -45,6 +72,10 @@ func (v *VM) collect(full bool) {
 	h.Stats.PauseNs += pause
 	if pause > h.Stats.MaxPauseNs {
 		h.Stats.MaxPauseNs = pause
+	}
+	if tr != nil {
+		tr.End(v.traceLane)
+		tr.Record(obs.HistGCPause, int64(pause))
 	}
 }
 
@@ -263,6 +294,10 @@ func (h *Heap) donateYoungBlock(ys, ye, yp uint32) {
 // place, rebuilding the free lists with coalescing.
 func (h *Heap) fullMarkSweep(v *VM, pinned map[Ref]struct{}) {
 	h.Stats.FullGCs++
+	tr := obs.Active()
+	if tr != nil {
+		tr.Begin(v.traceLane, obs.KGCPhase, uint64(obs.PhaseMark))
+	}
 	var stack []Ref
 	mark := func(r Ref) Ref {
 		if r == NullRef {
@@ -282,6 +317,10 @@ func (h *Heap) fullMarkSweep(v *VM, pinned map[Ref]struct{}) {
 		obj := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
 		h.scanRefSlots(obj, mark)
+	}
+	if tr != nil {
+		tr.End(v.traceLane)
+		tr.Begin(v.traceLane, obs.KGCPhase, uint64(obs.PhaseSweep))
 	}
 
 	// Sweep.
@@ -315,6 +354,9 @@ func (h *Heap) fullMarkSweep(v *VM, pinned map[Ref]struct{}) {
 			pos += size
 		}
 		flush(rg.end)
+	}
+	if tr != nil {
+		tr.End(v.traceLane)
 	}
 	h.sinceFull = 0
 }

@@ -4,6 +4,8 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+
+	"motor/internal/obs"
 )
 
 // Ref is a managed object reference: a byte offset into the heap
@@ -574,14 +576,21 @@ func (h *Heap) pinnedForCycle() map[Ref]struct{} {
 	for _, p := range h.pinList {
 		set[p.ref] = struct{}{}
 	}
+	tr := obs.Active()
 	kept := h.condPins[:0]
 	for _, cp := range h.condPins {
 		if cp.Active() {
 			set[cp.Ref] = struct{}{}
 			kept = append(kept, cp)
 			h.Stats.CondPinsHeld++
+			if tr != nil {
+				tr.Instant(h.vm.traceLane, obs.KCondPin, 1, uint64(cp.Ref))
+			}
 		} else {
 			h.Stats.CondPinsDropped++
+			if tr != nil {
+				tr.Instant(h.vm.traceLane, obs.KCondPin, 0, uint64(cp.Ref))
+			}
 		}
 	}
 	h.condPins = kept

@@ -56,6 +56,11 @@ type VM struct {
 	// transport state (paper §7.4).
 	gcHooks []func()
 
+	// traceLane is the obs lane (world rank) this VM's events are
+	// recorded under; set by the message-passing core at attach time,
+	// 0 for VMs outside a world.
+	traceLane int
+
 	// execMu is the managed-execution token: held by the one thread
 	// currently running managed code; released at every poll point.
 	execMu sync.Mutex
@@ -379,6 +384,10 @@ func (v *VM) RemoveRootProvider(p RootProvider) {
 // to advance transport progress bookkeeping so conditional pin
 // requests observe fresh completion status.
 func (v *VM) AddGCHook(f func()) { v.gcHooks = append(v.gcHooks, f) }
+
+// SetTraceLane assigns the obs lane (world rank) for this VM's GC
+// trace events.
+func (v *VM) SetTraceLane(rank int) { v.traceLane = rank }
 
 // --- internal calls (FCalls) -------------------------------------------------
 

@@ -34,12 +34,14 @@ package motor
 import (
 	"fmt"
 	"io"
+	"os"
 	"time"
 
 	"motor/internal/core"
 	"motor/internal/mp"
 	"motor/internal/mp/adi"
 	"motor/internal/mp/channel"
+	"motor/internal/obs"
 	"motor/internal/pal"
 	"motor/internal/serial"
 	"motor/internal/vm"
@@ -135,6 +137,12 @@ type Config struct {
 	// subjects the whole world to a seeded fault plan (see
 	// docs/FAULTS.md).
 	Platform pal.Platform
+	// Trace names a file to receive a Chrome trace_event JSON trace
+	// (about:tracing / Perfetto) of the whole run: op-lifecycle spans,
+	// pin decisions, ADI requests, channel frames, GC phases and
+	// collective steps. Empty disables tracing unless the MOTOR_TRACE
+	// environment variable names a file. See docs/OBSERVABILITY.md.
+	Trace string
 }
 
 func (c *Config) fill() {
@@ -170,8 +178,21 @@ func Run(cfg Config, body func(r *Rank) error) error {
 	default:
 		return fmt.Errorf("motor: unknown channel %q", cfg.Channel)
 	}
+	tracePath := cfg.Trace
+	if tracePath == "" {
+		tracePath = os.Getenv("MOTOR_TRACE")
+	}
+	var tracer *obs.Tracer
+	if tracePath != "" {
+		// The first Run to start a session owns it; nested/concurrent
+		// Runs trace into the owner's session and the owner exports.
+		tracer = obs.Start(obs.Options{})
+	}
 	worlds, err := mp.NewLocalWorldsOn(kind, cfg.Ranks, cfg.EagerMax, cfg.Platform)
 	if err != nil {
+		if tracer != nil {
+			obs.Stop(tracer)
+		}
 		return err
 	}
 	errc := make(chan error, cfg.Ranks)
@@ -189,7 +210,25 @@ func Run(cfg Config, body func(r *Rank) error) error {
 			first = err
 		}
 	}
+	if tracer != nil {
+		obs.Stop(tracer)
+		if err := writeTrace(tracePath, tracer); err != nil && first == nil {
+			first = err
+		}
+	}
 	return first
+}
+
+func writeTrace(path string, t *obs.Tracer) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("motor: trace: %w", err)
+	}
+	if err := t.WriteChromeTrace(f); err != nil {
+		f.Close()
+		return fmt.Errorf("motor: trace: %w", err)
+	}
+	return f.Close()
 }
 
 func newRank(w *mp.World, cfg Config) *Rank {
@@ -589,8 +628,25 @@ func (r *Rank) GC(full bool) {
 // GCStats returns collector and pinning counters.
 func (r *Rank) GCStats() vm.GCStats { return r.vm.Heap.Stats }
 
-// MPStats returns message-passing engine counters.
-func (r *Rank) MPStats() core.Stats { return r.engine.Stats }
+// MPStats returns message-passing engine counters (a race-safe
+// snapshot; see core.Stats.Snapshot).
+func (r *Rank) MPStats() core.Stats { return r.engine.Stats.Snapshot() }
+
+// StatsSnapshot aggregates every subsystem this rank can see —
+// engine, ADI device, collective layer, GC, transport — into one
+// versioned obs snapshot, with latency histograms when a trace
+// session is active. Render it with obs.WriteMetricsJSON or
+// obs.WriteMetricsText.
+func (r *Rank) StatsSnapshot() obs.Snapshot {
+	reg := new(obs.Registry)
+	r.engine.RegisterStats(reg)
+	return reg.Snapshot()
+}
+
+// RegisterStats adds this rank's stats sources to a shared registry —
+// the multi-rank form of StatsSnapshot (same-named groups from later
+// ranks get a #N suffix).
+func (r *Rank) RegisterStats(reg *obs.Registry) { r.engine.RegisterStats(reg) }
 
 // CollStats returns the collective-layer counters: operations run,
 // algorithm chosen per call, payload bytes moved and the peak number

@@ -37,12 +37,30 @@ tier3() {
 	sh scripts/bench_coll.sh "${BENCH_COLL_RANKS:-4}"
 }
 
+# Trace smoke: a traced mpstat run must produce a loadable Chrome
+# trace (exercises the MOTOR_TRACE env path end to end).
+smoke_trace() {
+	echo "== smoke: MOTOR_TRACE Chrome trace export"
+	out=$(mktemp /tmp/motor-trace.XXXXXX)
+	MOTOR_TRACE="$out" go run ./cmd/mpstat -np 2 -size 1024 -iters 20 -metrics >/dev/null
+	grep -q '"traceEvents"' "$out" || {
+		echo "verify: $out is not a Chrome trace" >&2
+		rm -f "$out"
+		exit 1
+	}
+	rm -f "$out"
+}
+
 case "$mode" in
-quick) tier1 short ;;
+quick)
+	tier1 short
+	smoke_trace
+	;;
 race) tier2 ;;
 all)
 	tier1 full
 	tier2
+	smoke_trace
 	;;
 bench)
 	tier1 short
