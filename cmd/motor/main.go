@@ -13,6 +13,13 @@
 //	motor -mode serve -addr :7777 -np 4            # rendezvous service
 //	motor -mode rank -root HOST:7777 -rank I -np 4 program.masm
 //
+// Usage (static verification only, no world, exit 1 on rejection):
+//
+//	motor -mode check program.masm [more.masm ...]
+//
+// Modules are statically verified at load (docs/VERIFIER.md); pass
+// -noverify to run unchecked bytecode.
+//
 // The program's main method may return void or int32; a non-zero
 // int32 becomes the exit code.
 package main
@@ -23,20 +30,66 @@ import (
 	"os"
 
 	"motor"
+	"motor/internal/core"
+	"motor/internal/vm"
+	"motor/internal/vm/bcverify"
 )
+
+// check verifies each module file without building a world: it
+// assembles against a bare VM with the System.MP surface stubbed in
+// and runs the full verifier. Returns the process exit code.
+func check(files []string) int {
+	exit := 0
+	for _, path := range files {
+		src, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "motor:", err)
+			return 1
+		}
+		v := vm.New(vm.Config{})
+		core.RegisterVerifyStubs(v)
+		mod, err := v.AssembleModule(string(src))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", path, err)
+			exit = 1
+			continue
+		}
+		stats, err := bcverify.VerifyModule(v, mod.Methods, bcverify.Options{Sigs: core.Signatures()})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", path, err)
+			exit = 1
+			continue
+		}
+		fmt.Printf("%s: OK (%d methods, %d instructions, %d transport-verified)\n",
+			path, stats.Methods, stats.Insts, stats.Transportable)
+	}
+	return exit
+}
 
 func main() {
 	np := flag.Int("np", 2, "number of ranks")
 	channel := flag.String("channel", "shm", "transport: shm or sock (local mode)")
 	policy := flag.String("policy", "motor", "pinning policy: motor or alwayspin")
 	gcstats := flag.Bool("gcstats", false, "print per-rank GC and MP stats on exit")
-	mode := flag.String("mode", "local", "local, serve (rendezvous host), or rank (join a multi-process world)")
+	mode := flag.String("mode", "local", "local, serve (rendezvous host), rank (join a multi-process world), or check (verify only)")
 	addr := flag.String("addr", "127.0.0.1:7777", "serve mode: rendezvous listen address")
 	root := flag.String("root", "127.0.0.1:7777", "rank mode: rendezvous address to join")
 	rankID := flag.Int("rank", 0, "rank mode: this process's world rank")
+	noverify := flag.Bool("noverify", false, "skip load-time bytecode verification")
 	flag.Parse()
 
+	if *mode == "check" {
+		if flag.NArg() == 0 {
+			fmt.Fprintln(os.Stderr, "usage: motor -mode check program.masm [more.masm ...]")
+			os.Exit(2)
+		}
+		os.Exit(check(flag.Args()))
+	}
+
 	cfg := motor.Config{Ranks: *np, Channel: *channel}
+	if *noverify {
+		cfg.Verify = motor.VerifyOff
+	}
 	switch *policy {
 	case "motor":
 		cfg.Policy = motor.PolicyMotor

@@ -22,6 +22,22 @@ import (
 	"motor/internal/pal/fault"
 )
 
+// probeMasm is a tiny managed module loaded (never executed) on every
+// rank so each mpstat run exercises the load-time verifier end to end:
+// it interns an MPI transfer on a simple array, which the static
+// transferability pass must prove integrity-safe.
+const probeMasm = `
+; verifier probe: loaded for verification only, never called.
+.method probe (0) void
+  ldc.i4 1
+  newarr int32
+  ldc.i4 0
+  ldc.i4 0
+  intern mp.send
+  ret
+.end
+`
+
 func main() {
 	np := flag.Int("np", 2, "ranks")
 	size := flag.Int("size", 4096, "message bytes (regular ops) / payload bytes (OO)")
@@ -36,9 +52,13 @@ func main() {
 	faultSeed := flag.Int64("faultseed", 1, "seed for -faultplan probabilistic rules")
 	trace := flag.String("trace", "", "write a Chrome trace_event JSON file of the run (also set by MOTOR_TRACE)")
 	metrics := flag.Bool("metrics", false, "print the unified flat metrics snapshot per rank (all subsystems)")
+	noverify := flag.Bool("noverify", false, "skip load-time bytecode verification of the probe module")
 	flag.Parse()
 
 	cfg := motor.Config{Ranks: *np, Channel: *channel, Trace: *trace}
+	if *noverify {
+		cfg.Verify = motor.VerifyOff
+	}
 	if *policy == "alwayspin" {
 		cfg.Policy = motor.PolicyAlwaysPin
 	}
@@ -59,6 +79,20 @@ func main() {
 
 	var mu sync.Mutex
 	err := motor.Run(cfg, func(r *motor.Rank) error {
+		// Load the managed probe so every run exercises the load-time
+		// verifier (unless -noverify); rank 0 reports what it checked.
+		if _, err := r.Load(probeMasm); err != nil {
+			return fmt.Errorf("rank %d: probe module: %w", r.ID(), err)
+		}
+		if r.ID() == 0 {
+			vs := r.VerifyStats()
+			if vs.Methods > 0 {
+				fmt.Printf("verifier: %d methods, %d instructions, %d transport-verified in %dus\n",
+					vs.Methods, vs.Insts, vs.Transportable, vs.ElapsedNs/1000)
+			} else {
+				fmt.Println("verifier: off")
+			}
+		}
 		peer := (r.ID() + 1) % r.Size()
 		if !*coll && r.Size()%2 != 0 {
 			return fmt.Errorf("mpstat needs an even rank count")

@@ -151,7 +151,7 @@ func (e *Engine) BcastOn(t *vm.Thread, id int32, obj vm.Ref, root int) error {
 	}
 	t.PollGC()
 	defer t.PollGC()
-	buf, err := e.wholeBuf(obj)
+	buf, err := e.wholeBuf(t, obj)
 	if err != nil {
 		return err
 	}
@@ -236,7 +236,7 @@ func (e *Engine) AllreduceOn(t *vm.Thread, id int32, sendArr, recvArr vm.Ref, op
 func (e *Engine) reduceOn(t *vm.Thread, c *mp.Comm, sendArr, recvArr vm.Ref, op mp.Op, root int, all bool) error {
 	t.PollGC()
 	defer t.PollGC()
-	sendBuf, err := e.wholeBuf(sendArr)
+	sendBuf, err := e.wholeBuf(t, sendArr)
 	if err != nil {
 		return err
 	}
@@ -257,7 +257,7 @@ func (e *Engine) reduceOn(t *vm.Thread, c *mp.Comm, sendArr, recvArr vm.Ref, op 
 	needRecv := all || c.Rank() == root
 	var recvBytes []byte
 	if needRecv {
-		recvBuf, err := e.wholeBuf(recvArr)
+		recvBuf, err := e.wholeBuf(t, recvArr)
 		if err != nil {
 			return err
 		}

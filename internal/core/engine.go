@@ -26,6 +26,7 @@ import (
 	"motor/internal/obs"
 	"motor/internal/serial"
 	"motor/internal/vm"
+	"motor/internal/vm/bcverify"
 )
 
 // PinPolicy selects how transport buffers are protected from the
@@ -80,6 +81,14 @@ type Stats struct {
 	BufferAllocs     uint64
 	BuffersCollected uint64
 	TransportErrors  uint64 // operations that completed with mp.ErrTransport
+
+	// TransferChecksDyn counts dynamic object-model integrity checks
+	// (§4.2.1); TransferChecksFast counts transfers that skipped the
+	// check because the calling method was statically verified
+	// transport-safe (bcverify). On a fully verified workload Dyn
+	// stays at zero.
+	TransferChecksDyn  uint64
+	TransferChecksFast uint64
 }
 
 // bump atomically increments one counter field.
@@ -101,6 +110,29 @@ func (s *Stats) Snapshot() Stats {
 		BufferAllocs:     atomic.LoadUint64(&s.BufferAllocs),
 		BuffersCollected: atomic.LoadUint64(&s.BuffersCollected),
 		TransportErrors:  atomic.LoadUint64(&s.TransportErrors),
+
+		TransferChecksDyn:  atomic.LoadUint64(&s.TransferChecksDyn),
+		TransferChecksFast: atomic.LoadUint64(&s.TransferChecksFast),
+	}
+}
+
+// VerifyStats aggregates load-time verification activity on this
+// engine (Engine.VerifyModule). Uint64 fields so the obs registry
+// flattens them like every other counter group.
+type VerifyStats struct {
+	Methods       uint64 // methods verified
+	Insts         uint64 // instructions decoded and checked
+	Transportable uint64 // methods proven transport-safe
+	ElapsedNs     uint64 // wall time spent verifying
+}
+
+// Snapshot returns a race-safe copy of the counters.
+func (s *VerifyStats) Snapshot() VerifyStats {
+	return VerifyStats{
+		Methods:       atomic.LoadUint64(&s.Methods),
+		Insts:         atomic.LoadUint64(&s.Insts),
+		Transportable: atomic.LoadUint64(&s.Transportable),
+		ElapsedNs:     atomic.LoadUint64(&s.ElapsedNs),
 	}
 }
 
@@ -126,7 +158,8 @@ type Engine struct {
 	// lane is this rank's trace lane (world rank), fixed at Attach.
 	lane int
 
-	Stats Stats
+	Stats  Stats
+	Verify VerifyStats
 }
 
 type mpReq struct {
@@ -189,6 +222,7 @@ func (e *Engine) Policy() PinPolicy { return e.policy }
 // stack (§ISSUE: unified metrics).
 func (e *Engine) RegisterStats(reg *obs.Registry) {
 	reg.Register("engine", func() any { return e.Stats.Snapshot() })
+	reg.Register("verify", func() any { return e.Verify.Snapshot() })
 	reg.Register("device", func() any { return e.World.Dev.Stats })
 	reg.Register("coll", func() any { return e.Comm.CollStats() })
 	reg.Register("gc", func() any { return e.VM.Heap.Stats })
@@ -218,16 +252,51 @@ func (b heapBuf) Len() int { return int(b.end - b.start) }
 // themselves are what pinning keeps stable).
 func (b heapBuf) Bytes() []byte { return b.h.Bytes(b.start, b.end) }
 
+// VerifyModule runs the load-time bytecode verifier over a freshly
+// assembled module with this engine's FCall signatures, so methods
+// whose transport buffers are provably integrity-safe take the
+// checked-free fast path in wholeBuf/rangeBuf. Counters land in
+// e.Verify (obs group "verify").
+func (e *Engine) VerifyModule(methods []*vm.Method) error {
+	st, err := bcverify.VerifyModule(e.VM, methods, bcverify.Options{Sigs: Signatures()})
+	bump(&e.Verify.Methods, uint64(st.Methods))
+	bump(&e.Verify.Insts, uint64(st.Insts))
+	bump(&e.Verify.Transportable, uint64(st.Transportable))
+	bump(&e.Verify.ElapsedNs, uint64(st.Elapsed.Nanoseconds()))
+	return err
+}
+
+// DebugAssertTransferable, when set (tests), re-runs the integrity
+// check on the verified fast path and panics if the static judgment
+// was wrong — the §4.2.1 rule must hold with or without the verifier.
+var DebugAssertTransferable bool
+
+// trusted reports whether the §4.2.1 integrity check may be skipped:
+// the innermost managed frame belongs to a method the verifier proved
+// transport-safe. Go-API calls (nil or unmanaged thread) stay dynamic.
+func (e *Engine) trusted(t *vm.Thread) bool {
+	return t != nil && t.InTransportVerified()
+}
+
 // wholeBuf builds the transfer buffer for an entire object after the
-// integrity checks of §4.2.1.
-func (e *Engine) wholeBuf(obj vm.Ref) (heapBuf, error) {
+// integrity checks of §4.2.1. On the statically verified path the
+// HasRefFields check is skipped (bcverify proved it).
+func (e *Engine) wholeBuf(t *vm.Thread, obj vm.Ref) (heapBuf, error) {
 	if obj == vm.NullRef {
 		return heapBuf{}, ErrNullObject
 	}
 	h := e.VM.Heap
 	mt := h.MT(obj)
-	if mt.HasRefFields() {
-		return heapBuf{}, fmt.Errorf("%w (%s)", ErrObjectModel, mt)
+	if e.trusted(t) {
+		bump(&e.Stats.TransferChecksFast, 1)
+		if DebugAssertTransferable && mt.HasRefFields() {
+			panic(fmt.Sprintf("core: verifier admitted non-transferable %s", mt))
+		}
+	} else {
+		bump(&e.Stats.TransferChecksDyn, 1)
+		if mt.HasRefFields() {
+			return heapBuf{}, fmt.Errorf("%w (%s)", ErrObjectModel, mt)
+		}
 	}
 	s, en := h.DataRange(obj)
 	return heapBuf{h: h, start: s, end: en}, nil
@@ -235,17 +304,27 @@ func (e *Engine) wholeBuf(obj vm.Ref) (heapBuf, error) {
 
 // rangeBuf builds the transfer buffer for a sub-range of a simple
 // array ("transporting portions of an array is supported", §4.2.1).
-func (e *Engine) rangeBuf(obj vm.Ref, offset, count int) (heapBuf, error) {
+// The bounds check always runs — only the type checks are covered by
+// static verification.
+func (e *Engine) rangeBuf(t *vm.Thread, obj vm.Ref, offset, count int) (heapBuf, error) {
 	if obj == vm.NullRef {
 		return heapBuf{}, ErrNullObject
 	}
 	h := e.VM.Heap
 	mt := h.MT(obj)
-	if mt.Kind != vm.TKArray {
-		return heapBuf{}, ErrNotArray
-	}
-	if !mt.IsSimpleArray() {
-		return heapBuf{}, fmt.Errorf("%w (%s)", ErrObjectModel, mt)
+	if e.trusted(t) {
+		bump(&e.Stats.TransferChecksFast, 1)
+		if DebugAssertTransferable && !mt.IsSimpleArray() {
+			panic(fmt.Sprintf("core: verifier admitted non-simple-array %s", mt))
+		}
+	} else {
+		bump(&e.Stats.TransferChecksDyn, 1)
+		if mt.Kind != vm.TKArray {
+			return heapBuf{}, ErrNotArray
+		}
+		if !mt.IsSimpleArray() {
+			return heapBuf{}, fmt.Errorf("%w (%s)", ErrObjectModel, mt)
+		}
 	}
 	n := h.Length(obj)
 	if offset < 0 || count < 0 || offset+count > n {

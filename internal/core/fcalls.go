@@ -46,144 +46,147 @@ func mpOp(code int64) mp.Op { return mp.Op(code) }
 //	mp.wtime() float64             (seconds, monotonic)
 func (e *Engine) registerFCalls() {
 	v := e.VM
-	reg := func(name string, nargs int, hasRet bool, fn func(t *vm.Thread, a []vm.Value) (vm.Value, error)) {
-		v.RegisterInternal(vm.InternalFunc{Name: name, NArgs: nargs, HasRet: hasRet, Fn: fn})
+	// Arity and result kind come from the declarative fcallSigs table
+	// (verifysigs.go) so the verifier and the registry cannot drift.
+	reg := func(name string, fn func(t *vm.Thread, a []vm.Value) (vm.Value, error)) {
+		sig := fcallSig(name)
+		v.RegisterInternal(vm.InternalFunc{Name: name, NArgs: sig.NArgs, HasRet: sig.Ret != vm.KindVoid, Fn: fn})
 	}
 
-	reg("mp.rank", 0, true, func(t *vm.Thread, a []vm.Value) (vm.Value, error) {
+	reg("mp.rank", func(t *vm.Thread, a []vm.Value) (vm.Value, error) {
 		return vm.IntValue(int64(e.Comm.Rank())), nil
 	})
-	reg("mp.size", 0, true, func(t *vm.Thread, a []vm.Value) (vm.Value, error) {
+	reg("mp.size", func(t *vm.Thread, a []vm.Value) (vm.Value, error) {
 		return vm.IntValue(int64(e.Comm.Size())), nil
 	})
-	reg("mp.wtime", 0, true, func(t *vm.Thread, a []vm.Value) (vm.Value, error) {
+	reg("mp.wtime", func(t *vm.Thread, a []vm.Value) (vm.Value, error) {
 		return vm.FloatValue(float64(time.Now().UnixNano()) / 1e9), nil
 	})
 
-	reg("mp.send", 3, false, func(t *vm.Thread, a []vm.Value) (vm.Value, error) {
+	reg("mp.send", func(t *vm.Thread, a []vm.Value) (vm.Value, error) {
 		return vm.Value{}, e.Send(t, a[0].Ref(), int(a[1].Int()), int(a[2].Int()))
 	})
-	reg("mp.ssend", 3, false, func(t *vm.Thread, a []vm.Value) (vm.Value, error) {
+	reg("mp.ssend", func(t *vm.Thread, a []vm.Value) (vm.Value, error) {
 		return vm.Value{}, e.Ssend(t, a[0].Ref(), int(a[1].Int()), int(a[2].Int()))
 	})
-	reg("mp.recv", 3, true, func(t *vm.Thread, a []vm.Value) (vm.Value, error) {
+	reg("mp.recv", func(t *vm.Thread, a []vm.Value) (vm.Value, error) {
 		st, err := e.Recv(t, a[0].Ref(), int(a[1].Int()), int(a[2].Int()))
 		return vm.IntValue(int64(st.Count)), err
 	})
-	reg("mp.sendrange", 5, false, func(t *vm.Thread, a []vm.Value) (vm.Value, error) {
+	reg("mp.sendrange", func(t *vm.Thread, a []vm.Value) (vm.Value, error) {
 		return vm.Value{}, e.SendRange(t, a[0].Ref(), int(a[1].Int()), int(a[2].Int()), int(a[3].Int()), int(a[4].Int()))
 	})
-	reg("mp.recvrange", 5, true, func(t *vm.Thread, a []vm.Value) (vm.Value, error) {
+	reg("mp.recvrange", func(t *vm.Thread, a []vm.Value) (vm.Value, error) {
 		st, err := e.RecvRange(t, a[0].Ref(), int(a[1].Int()), int(a[2].Int()), int(a[3].Int()), int(a[4].Int()))
 		return vm.IntValue(int64(st.Count)), err
 	})
 
-	reg("mp.isend", 3, true, func(t *vm.Thread, a []vm.Value) (vm.Value, error) {
+	reg("mp.isend", func(t *vm.Thread, a []vm.Value) (vm.Value, error) {
 		id, err := e.Isend(t, a[0].Ref(), int(a[1].Int()), int(a[2].Int()))
 		return vm.IntValue(int64(id)), err
 	})
-	reg("mp.irecv", 3, true, func(t *vm.Thread, a []vm.Value) (vm.Value, error) {
+	reg("mp.irecv", func(t *vm.Thread, a []vm.Value) (vm.Value, error) {
 		id, err := e.Irecv(t, a[0].Ref(), int(a[1].Int()), int(a[2].Int()))
 		return vm.IntValue(int64(id)), err
 	})
-	reg("mp.wait", 1, true, func(t *vm.Thread, a []vm.Value) (vm.Value, error) {
+	reg("mp.wait", func(t *vm.Thread, a []vm.Value) (vm.Value, error) {
 		st, err := e.Wait(t, int32(a[0].Int()))
 		return vm.IntValue(int64(st.Count)), err
 	})
-	reg("mp.test", 1, true, func(t *vm.Thread, a []vm.Value) (vm.Value, error) {
+	reg("mp.test", func(t *vm.Thread, a []vm.Value) (vm.Value, error) {
 		done, _, err := e.Test(t, int32(a[0].Int()))
 		return vm.BoolValue(done), err
 	})
 
-	reg("mp.barrier", 0, false, func(t *vm.Thread, a []vm.Value) (vm.Value, error) {
+	reg("mp.barrier", func(t *vm.Thread, a []vm.Value) (vm.Value, error) {
 		return vm.Value{}, e.Barrier(t)
 	})
-	reg("mp.bcast", 2, false, func(t *vm.Thread, a []vm.Value) (vm.Value, error) {
+	reg("mp.bcast", func(t *vm.Thread, a []vm.Value) (vm.Value, error) {
 		return vm.Value{}, e.Bcast(t, a[0].Ref(), int(a[1].Int()))
 	})
-	reg("mp.scatter", 3, false, func(t *vm.Thread, a []vm.Value) (vm.Value, error) {
+	reg("mp.scatter", func(t *vm.Thread, a []vm.Value) (vm.Value, error) {
 		return vm.Value{}, e.Scatter(t, a[0].Ref(), a[1].Ref(), int(a[2].Int()))
 	})
-	reg("mp.gather", 3, false, func(t *vm.Thread, a []vm.Value) (vm.Value, error) {
+	reg("mp.gather", func(t *vm.Thread, a []vm.Value) (vm.Value, error) {
 		return vm.Value{}, e.Gather(t, a[0].Ref(), a[1].Ref(), int(a[2].Int()))
 	})
 
-	reg("mp.allgather", 2, false, func(t *vm.Thread, a []vm.Value) (vm.Value, error) {
+	reg("mp.allgather", func(t *vm.Thread, a []vm.Value) (vm.Value, error) {
 		return vm.Value{}, e.Allgather(t, a[0].Ref(), a[1].Ref())
 	})
-	reg("mp.alltoall", 2, false, func(t *vm.Thread, a []vm.Value) (vm.Value, error) {
+	reg("mp.alltoall", func(t *vm.Thread, a []vm.Value) (vm.Value, error) {
 		return vm.Value{}, e.Alltoall(t, a[0].Ref(), a[1].Ref())
 	})
-	reg("mp.sendrecv", 6, true, func(t *vm.Thread, a []vm.Value) (vm.Value, error) {
+	reg("mp.sendrecv", func(t *vm.Thread, a []vm.Value) (vm.Value, error) {
 		st, err := e.Sendrecv(t, a[0].Ref(), int(a[1].Int()), int(a[2].Int()), a[3].Ref(), int(a[4].Int()), int(a[5].Int()))
 		return vm.IntValue(int64(st.Count)), err
 	})
-	reg("mp.reduce", 4, false, func(t *vm.Thread, a []vm.Value) (vm.Value, error) {
+	reg("mp.reduce", func(t *vm.Thread, a []vm.Value) (vm.Value, error) {
 		return vm.Value{}, e.Reduce(t, a[0].Ref(), a[1].Ref(), mpOp(a[2].Int()), int(a[3].Int()))
 	})
-	reg("mp.allreduce", 3, false, func(t *vm.Thread, a []vm.Value) (vm.Value, error) {
+	reg("mp.allreduce", func(t *vm.Thread, a []vm.Value) (vm.Value, error) {
 		return vm.Value{}, e.Allreduce(t, a[0].Ref(), a[1].Ref(), mpOp(a[2].Int()))
 	})
 
 	// Communicator management: handles are integers, 0 = world.
-	reg("mp.commdup", 1, true, func(t *vm.Thread, a []vm.Value) (vm.Value, error) {
+	reg("mp.commdup", func(t *vm.Thread, a []vm.Value) (vm.Value, error) {
 		id, err := e.CommDup(t, int32(a[0].Int()))
 		return vm.IntValue(int64(id)), err
 	})
-	reg("mp.commsplit", 3, true, func(t *vm.Thread, a []vm.Value) (vm.Value, error) {
+	reg("mp.commsplit", func(t *vm.Thread, a []vm.Value) (vm.Value, error) {
 		id, err := e.CommSplit(t, int32(a[0].Int()), int(a[1].Int()), int(a[2].Int()))
 		return vm.IntValue(int64(id)), err
 	})
-	reg("mp.commrank", 1, true, func(t *vm.Thread, a []vm.Value) (vm.Value, error) {
+	reg("mp.commrank", func(t *vm.Thread, a []vm.Value) (vm.Value, error) {
 		r, err := e.CommRank(int32(a[0].Int()))
 		return vm.IntValue(int64(r)), err
 	})
-	reg("mp.commsize", 1, true, func(t *vm.Thread, a []vm.Value) (vm.Value, error) {
+	reg("mp.commsize", func(t *vm.Thread, a []vm.Value) (vm.Value, error) {
 		n, err := e.CommSize(int32(a[0].Int()))
 		return vm.IntValue(int64(n)), err
 	})
-	reg("mp.commfree", 1, false, func(t *vm.Thread, a []vm.Value) (vm.Value, error) {
+	reg("mp.commfree", func(t *vm.Thread, a []vm.Value) (vm.Value, error) {
 		return vm.Value{}, e.CommFree(int32(a[0].Int()))
 	})
-	reg("mp.sendon", 4, false, func(t *vm.Thread, a []vm.Value) (vm.Value, error) {
+	reg("mp.sendon", func(t *vm.Thread, a []vm.Value) (vm.Value, error) {
 		return vm.Value{}, e.SendOn(t, int32(a[0].Int()), a[1].Ref(), int(a[2].Int()), int(a[3].Int()))
 	})
-	reg("mp.recvon", 4, true, func(t *vm.Thread, a []vm.Value) (vm.Value, error) {
+	reg("mp.recvon", func(t *vm.Thread, a []vm.Value) (vm.Value, error) {
 		st, err := e.RecvOn(t, int32(a[0].Int()), a[1].Ref(), int(a[2].Int()), int(a[3].Int()))
 		return vm.IntValue(int64(st.Count)), err
 	})
-	reg("mp.barrieron", 1, false, func(t *vm.Thread, a []vm.Value) (vm.Value, error) {
+	reg("mp.barrieron", func(t *vm.Thread, a []vm.Value) (vm.Value, error) {
 		return vm.Value{}, e.BarrierOn(t, int32(a[0].Int()))
 	})
-	reg("mp.bcaston", 3, false, func(t *vm.Thread, a []vm.Value) (vm.Value, error) {
+	reg("mp.bcaston", func(t *vm.Thread, a []vm.Value) (vm.Value, error) {
 		return vm.Value{}, e.BcastOn(t, int32(a[0].Int()), a[1].Ref(), int(a[2].Int()))
 	})
-	reg("mp.reduceon", 5, false, func(t *vm.Thread, a []vm.Value) (vm.Value, error) {
+	reg("mp.reduceon", func(t *vm.Thread, a []vm.Value) (vm.Value, error) {
 		return vm.Value{}, e.ReduceOn(t, int32(a[0].Int()), a[1].Ref(), a[2].Ref(), mpOp(a[3].Int()), int(a[4].Int()))
 	})
-	reg("mp.allgatheron", 3, false, func(t *vm.Thread, a []vm.Value) (vm.Value, error) {
+	reg("mp.allgatheron", func(t *vm.Thread, a []vm.Value) (vm.Value, error) {
 		return vm.Value{}, e.AllgatherOn(t, int32(a[0].Int()), a[1].Ref(), a[2].Ref())
 	})
-	reg("mp.alltoallon", 3, false, func(t *vm.Thread, a []vm.Value) (vm.Value, error) {
+	reg("mp.alltoallon", func(t *vm.Thread, a []vm.Value) (vm.Value, error) {
 		return vm.Value{}, e.AlltoallOn(t, int32(a[0].Int()), a[1].Ref(), a[2].Ref())
 	})
 
-	reg("mp.osend", 3, false, func(t *vm.Thread, a []vm.Value) (vm.Value, error) {
+	reg("mp.osend", func(t *vm.Thread, a []vm.Value) (vm.Value, error) {
 		return vm.Value{}, e.OSend(t, a[0].Ref(), int(a[1].Int()), int(a[2].Int()))
 	})
-	reg("mp.orecv", 2, true, func(t *vm.Thread, a []vm.Value) (vm.Value, error) {
+	reg("mp.orecv", func(t *vm.Thread, a []vm.Value) (vm.Value, error) {
 		ref, _, err := e.ORecv(t, int(a[0].Int()), int(a[1].Int()))
 		return vm.RefValue(ref), err
 	})
-	reg("mp.obcast", 2, true, func(t *vm.Thread, a []vm.Value) (vm.Value, error) {
+	reg("mp.obcast", func(t *vm.Thread, a []vm.Value) (vm.Value, error) {
 		ref, err := e.OBcast(t, a[0].Ref(), int(a[1].Int()))
 		return vm.RefValue(ref), err
 	})
-	reg("mp.oscatter", 2, true, func(t *vm.Thread, a []vm.Value) (vm.Value, error) {
+	reg("mp.oscatter", func(t *vm.Thread, a []vm.Value) (vm.Value, error) {
 		ref, err := e.OScatter(t, a[0].Ref(), int(a[1].Int()))
 		return vm.RefValue(ref), err
 	})
-	reg("mp.ogather", 2, true, func(t *vm.Thread, a []vm.Value) (vm.Value, error) {
+	reg("mp.ogather", func(t *vm.Thread, a []vm.Value) (vm.Value, error) {
 		ref, err := e.OGather(t, a[0].Ref(), int(a[1].Int()))
 		return vm.RefValue(ref), err
 	})

@@ -137,9 +137,9 @@ func (e *Engine) sendCommonOn(t *vm.Thread, c *mp.Comm, obj vm.Ref, dest, tag in
 	var buf heapBuf
 	var err error
 	if offset >= 0 {
-		buf, err = e.rangeBuf(obj, offset, count)
+		buf, err = e.rangeBuf(t, obj, offset, count)
 	} else {
-		buf, err = e.wholeBuf(obj)
+		buf, err = e.wholeBuf(t, obj)
 	}
 	if err != nil {
 		return err
@@ -178,9 +178,9 @@ func (e *Engine) recvCommonOn(t *vm.Thread, c *mp.Comm, obj vm.Ref, source, tag 
 	var buf heapBuf
 	var err error
 	if offset >= 0 {
-		buf, err = e.rangeBuf(obj, offset, count)
+		buf, err = e.rangeBuf(t, obj, offset, count)
 	} else {
-		buf, err = e.wholeBuf(obj)
+		buf, err = e.wholeBuf(t, obj)
 	}
 	if err != nil {
 		return mp.Status{}, err
@@ -231,7 +231,7 @@ func (e *Engine) condPin(obj vm.Ref, req *mp.Request) {
 // Test.
 func (e *Engine) Isend(t *vm.Thread, obj vm.Ref, dest, tag int) (int32, error) {
 	t.PollGC()
-	buf, err := e.wholeBuf(obj)
+	buf, err := e.wholeBuf(t, obj)
 	if err != nil {
 		return 0, err
 	}
@@ -259,7 +259,7 @@ func (e *Engine) Isend(t *vm.Thread, obj vm.Ref, dest, tag int) (int32, error) {
 // Irecv starts an immediate receive.
 func (e *Engine) Irecv(t *vm.Thread, obj vm.Ref, source, tag int) (int32, error) {
 	t.PollGC()
-	buf, err := e.wholeBuf(obj)
+	buf, err := e.wholeBuf(t, obj)
 	if err != nil {
 		return 0, err
 	}
@@ -386,7 +386,7 @@ func (e *Engine) Barrier(t *vm.Thread) error {
 func (e *Engine) Bcast(t *vm.Thread, obj vm.Ref, root int) error {
 	t.PollGC()
 	defer t.PollGC()
-	buf, err := e.wholeBuf(obj)
+	buf, err := e.wholeBuf(t, obj)
 	if err != nil {
 		return err
 	}
@@ -403,7 +403,7 @@ func (e *Engine) Bcast(t *vm.Thread, obj vm.Ref, root int) error {
 func (e *Engine) Scatter(t *vm.Thread, sendArr, recvArr vm.Ref, root int) error {
 	t.PollGC()
 	defer t.PollGC()
-	recvBuf, err := e.wholeBuf(recvArr)
+	recvBuf, err := e.wholeBuf(t, recvArr)
 	if err != nil {
 		return err
 	}
@@ -413,7 +413,7 @@ func (e *Engine) Scatter(t *vm.Thread, sendArr, recvArr vm.Ref, root int) error 
 	var sendBytes []byte
 	var unpinSend func()
 	if e.Comm.Rank() == root {
-		sendBuf, err := e.wholeBuf(sendArr)
+		sendBuf, err := e.wholeBuf(t, sendArr)
 		if err != nil {
 			return err
 		}
@@ -435,11 +435,11 @@ func (e *Engine) Allgather(t *vm.Thread, sendArr, recvArr vm.Ref) error {
 func (e *Engine) allgatherOn(t *vm.Thread, c *mp.Comm, sendArr, recvArr vm.Ref) error {
 	t.PollGC()
 	defer t.PollGC()
-	sendBuf, err := e.wholeBuf(sendArr)
+	sendBuf, err := e.wholeBuf(t, sendArr)
 	if err != nil {
 		return err
 	}
-	recvBuf, err := e.wholeBuf(recvArr)
+	recvBuf, err := e.wholeBuf(t, recvArr)
 	if err != nil {
 		return err
 	}
@@ -469,11 +469,11 @@ func (e *Engine) Alltoall(t *vm.Thread, sendArr, recvArr vm.Ref) error {
 func (e *Engine) alltoallOn(t *vm.Thread, c *mp.Comm, sendArr, recvArr vm.Ref) error {
 	t.PollGC()
 	defer t.PollGC()
-	sendBuf, err := e.wholeBuf(sendArr)
+	sendBuf, err := e.wholeBuf(t, sendArr)
 	if err != nil {
 		return err
 	}
-	recvBuf, err := e.wholeBuf(recvArr)
+	recvBuf, err := e.wholeBuf(t, recvArr)
 	if err != nil {
 		return err
 	}
@@ -499,11 +499,11 @@ func (e *Engine) alltoallOn(t *vm.Thread, c *mp.Comm, sendArr, recvArr vm.Ref) e
 func (e *Engine) Sendrecv(t *vm.Thread, sendObj vm.Ref, dest, sendTag int, recvObj vm.Ref, source, recvTag int) (mp.Status, error) {
 	t.PollGC()
 	defer t.PollGC()
-	sendBuf, err := e.wholeBuf(sendObj)
+	sendBuf, err := e.wholeBuf(t, sendObj)
 	if err != nil {
 		return mp.Status{}, err
 	}
-	recvBuf, err := e.wholeBuf(recvObj)
+	recvBuf, err := e.wholeBuf(t, recvObj)
 	if err != nil {
 		return mp.Status{}, err
 	}
@@ -546,7 +546,7 @@ func (e *Engine) Sendrecv(t *vm.Thread, sendObj vm.Ref, dest, sendTag int, recvO
 func (e *Engine) Gather(t *vm.Thread, sendArr, recvArr vm.Ref, root int) error {
 	t.PollGC()
 	defer t.PollGC()
-	sendBuf, err := e.wholeBuf(sendArr)
+	sendBuf, err := e.wholeBuf(t, sendArr)
 	if err != nil {
 		return err
 	}
@@ -557,7 +557,7 @@ func (e *Engine) Gather(t *vm.Thread, sendArr, recvArr vm.Ref, root int) error {
 	defer unpinSend()
 	var recvBytes []byte
 	if e.Comm.Rank() == root {
-		recvBuf, err := e.wholeBuf(recvArr)
+		recvBuf, err := e.wholeBuf(t, recvArr)
 		if err != nil {
 			return err
 		}

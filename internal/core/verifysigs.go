@@ -1,0 +1,138 @@
+package core
+
+// Verifier-facing description of the System.MP FCall surface. The
+// table is the single source of truth for arity and result kind:
+// registerFCalls derives every RegisterInternal call from it (a
+// missing or disagreeing entry is a programming error and panics at
+// engine construction), and the load-time verifier (internal/vm/
+// bcverify) consumes it via Signatures to type intern results and to
+// prove transferability of buffer arguments statically.
+//
+// Buffer parameters carry the integrity constraint the engine
+// otherwise checks dynamically (paper §4.2.1): NoRefFields for
+// whole-object transfers (engine.wholeBuf), SimpleArray for the
+// offset/count range transfers (engine.rangeBuf). The object-oriented
+// operations (mp.osend and friends) transfer arbitrary object graphs
+// by marshalling and therefore constrain nothing.
+
+import (
+	"fmt"
+	"sort"
+
+	"motor/internal/vm"
+	"motor/internal/vm/bcverify"
+)
+
+// whole marks args as NoRefFields transport buffers.
+func whole(args ...int) []bcverify.BufParam {
+	bps := make([]bcverify.BufParam, len(args))
+	for i, a := range args {
+		bps[i] = bcverify.BufParam{Arg: a, Constraint: bcverify.NoRefFields}
+	}
+	return bps
+}
+
+// ranged marks args as SimpleArray transport buffers.
+func ranged(args ...int) []bcverify.BufParam {
+	bps := make([]bcverify.BufParam, len(args))
+	for i, a := range args {
+		bps[i] = bcverify.BufParam{Arg: a, Constraint: bcverify.SimpleArray}
+	}
+	return bps
+}
+
+var fcallSigs = map[string]bcverify.Sig{
+	"mp.rank":  {NArgs: 0, Ret: vm.KindInt64},
+	"mp.size":  {NArgs: 0, Ret: vm.KindInt64},
+	"mp.wtime": {NArgs: 0, Ret: vm.KindFloat64},
+
+	"mp.send":      {NArgs: 3, Bufs: whole(0)},
+	"mp.ssend":     {NArgs: 3, Bufs: whole(0)},
+	"mp.recv":      {NArgs: 3, Ret: vm.KindInt64, Bufs: whole(0)},
+	"mp.sendrange": {NArgs: 5, Bufs: ranged(0)},
+	"mp.recvrange": {NArgs: 5, Ret: vm.KindInt64, Bufs: ranged(0)},
+
+	"mp.isend": {NArgs: 3, Ret: vm.KindInt64, Bufs: whole(0)},
+	"mp.irecv": {NArgs: 3, Ret: vm.KindInt64, Bufs: whole(0)},
+	"mp.wait":  {NArgs: 1, Ret: vm.KindInt64},
+	"mp.test":  {NArgs: 1, Ret: vm.KindBool},
+
+	"mp.barrier":   {NArgs: 0},
+	"mp.bcast":     {NArgs: 2, Bufs: whole(0)},
+	"mp.scatter":   {NArgs: 3, Bufs: whole(0, 1)},
+	"mp.gather":    {NArgs: 3, Bufs: whole(0, 1)},
+	"mp.allgather": {NArgs: 2, Bufs: whole(0, 1)},
+	"mp.alltoall":  {NArgs: 2, Bufs: whole(0, 1)},
+	"mp.sendrecv":  {NArgs: 6, Ret: vm.KindInt64, Bufs: whole(0, 3)},
+	"mp.reduce":    {NArgs: 4, Bufs: whole(0, 1)},
+	"mp.allreduce": {NArgs: 3, Bufs: whole(0, 1)},
+
+	"mp.commdup":   {NArgs: 1, Ret: vm.KindInt64},
+	"mp.commsplit": {NArgs: 3, Ret: vm.KindInt64},
+	"mp.commrank":  {NArgs: 1, Ret: vm.KindInt64},
+	"mp.commsize":  {NArgs: 1, Ret: vm.KindInt64},
+	"mp.commfree":  {NArgs: 1},
+
+	"mp.sendon":      {NArgs: 4, Bufs: whole(1)},
+	"mp.recvon":      {NArgs: 4, Ret: vm.KindInt64, Bufs: whole(1)},
+	"mp.barrieron":   {NArgs: 1},
+	"mp.bcaston":     {NArgs: 3, Bufs: whole(1)},
+	"mp.reduceon":    {NArgs: 5, Bufs: whole(1, 2)},
+	"mp.allgatheron": {NArgs: 3, Bufs: whole(1, 2)},
+	"mp.alltoallon":  {NArgs: 3, Bufs: whole(1, 2)},
+
+	"mp.osend":    {NArgs: 3},
+	"mp.orecv":    {NArgs: 2, Ret: vm.KindRef},
+	"mp.obcast":   {NArgs: 2, Ret: vm.KindRef},
+	"mp.oscatter": {NArgs: 2, Ret: vm.KindRef},
+	"mp.ogather":  {NArgs: 2, Ret: vm.KindRef},
+}
+
+// Signatures returns the verifier signatures of the System.MP FCall
+// surface, keyed by intern name. Pass the result to
+// bcverify.Options.Sigs (Engine.VerifyModule does this).
+func Signatures() map[string]bcverify.Sig {
+	out := make(map[string]bcverify.Sig, len(fcallSigs))
+	for name, s := range fcallSigs {
+		s.Name = name
+		out[name] = s
+	}
+	return out
+}
+
+// fcallSig looks up the signature for a registration and panics on a
+// missing entry — the table and registerFCalls must stay in sync.
+func fcallSig(name string) bcverify.Sig {
+	s, ok := fcallSigs[name]
+	if !ok {
+		panic(fmt.Sprintf("core: FCall %s has no entry in fcallSigs", name))
+	}
+	return s
+}
+
+// RegisterVerifyStubs registers the whole System.MP surface on a bare
+// VM as error-returning stubs. This lets tools (cmd/motor -check) and
+// tests assemble and verify modules that intern mp.* without building
+// a world; executing a stub traps.
+func RegisterVerifyStubs(v *vm.VM) {
+	names := make([]string, 0, len(fcallSigs))
+	for name := range fcallSigs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if _, ok := v.InternalIndex(name); ok {
+			continue
+		}
+		sig := fcallSigs[name]
+		stubName := name
+		v.RegisterInternal(vm.InternalFunc{
+			Name:   name,
+			NArgs:  sig.NArgs,
+			HasRet: sig.Ret != vm.KindVoid,
+			Fn: func(t *vm.Thread, a []vm.Value) (vm.Value, error) {
+				return vm.Value{}, fmt.Errorf("core: %s is a verify-only stub (no engine attached)", stubName)
+			},
+		})
+	}
+}

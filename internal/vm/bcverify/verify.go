@@ -1,0 +1,794 @@
+package bcverify
+
+// The abstract interpreter. One mver per method: decode the code into
+// instructions, run a worklist fixpoint propagating abstract frame
+// states (operand stack + locals + args), then judge transferability
+// of every intern site against the recorded entry states.
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"motor/internal/vm"
+)
+
+// Verifier limits.
+const (
+	// maxVStack bounds the abstract operand stack; deeper methods are
+	// rejected (the interpreter would accept them, but no reasonable
+	// program needs 64k live operands).
+	maxVStack = 1 << 16
+)
+
+// vt is one abstract stack/local slot.
+type vt struct {
+	kind vm.StackKind
+	// mt is the statically known class or array type for SKRef slots;
+	// nil means "some object" (as does mt == VM.ObjectMT for the
+	// transferability judgment).
+	mt *vm.MethodTable
+	// null marks the slot as definitely the null constant.
+	null bool
+	// init is false only for locals that may be read before being
+	// assigned. Stack slots are always init.
+	init bool
+}
+
+var (
+	vInt   = vt{kind: vm.SKInt, init: true}
+	vFloat = vt{kind: vm.SKFloat, init: true}
+	vAny   = vt{kind: vm.SKAny, init: true}
+	vNull  = vt{kind: vm.SKRef, null: true, init: true}
+)
+
+func vRef(mt *vm.MethodTable) vt { return vt{kind: vm.SKRef, mt: mt, init: true} }
+
+// kindVT maps a declared Kind (field, element, return) to its stack
+// classification.
+func kindVT(k vm.Kind, class *vm.MethodTable) vt {
+	switch k {
+	case vm.KindRef:
+		return vRef(class)
+	case vm.KindFloat32, vm.KindFloat64:
+		return vFloat
+	case vm.KindVoid:
+		// Unknown-typed result (builder methods without declared
+		// return types).
+		return vAny
+	default:
+		return vInt
+	}
+}
+
+// String renders the slot for diagnostics.
+func (t vt) String() string {
+	if !t.init {
+		return "uninitialized"
+	}
+	switch t.kind {
+	case vm.SKInt:
+		return "int"
+	case vm.SKFloat:
+		return "float"
+	case vm.SKRef:
+		if t.null {
+			return "null"
+		}
+		if t.mt != nil {
+			return t.mt.String()
+		}
+		return "object"
+	default:
+		return "any"
+	}
+}
+
+// state is the abstract frame at one program point.
+type state struct {
+	stack  []vt
+	locals []vt
+	args   []vt
+}
+
+func (s *state) clone() *state {
+	return &state{
+		stack:  append([]vt(nil), s.stack...),
+		locals: append([]vt(nil), s.locals...),
+		args:   append([]vt(nil), s.args...),
+	}
+}
+
+// mergeVT joins two slot facts. The second result is a non-empty
+// conflict description when the slots are irreconcilable.
+func mergeVT(a, b vt) (vt, string) {
+	if !a.init || !b.init {
+		return vt{}, "" // uninitialized wins (reads are then rejected)
+	}
+	if a.kind == vm.SKAny || b.kind == vm.SKAny {
+		return vAny, ""
+	}
+	if a.kind != b.kind {
+		return vt{}, fmt.Sprintf("%s vs %s", a, b)
+	}
+	if a.kind == vm.SKRef {
+		switch {
+		case a.null && b.null:
+			return vNull, ""
+		case a.null:
+			return vRef(b.mt), ""
+		case b.null:
+			return vRef(a.mt), ""
+		}
+		return vRef(commonAncestor(a.mt, b.mt)), ""
+	}
+	return a, ""
+}
+
+// commonAncestor computes the join of two static reference types; nil
+// is the unknown-object top.
+func commonAncestor(a, b *vm.MethodTable) *vm.MethodTable {
+	if a == b {
+		return a
+	}
+	if a == nil || b == nil {
+		return nil
+	}
+	if a.Kind == vm.TKArray || b.Kind == vm.TKArray {
+		return nil // distinct array types (or array vs class) join at object
+	}
+	for t := a; t != nil; t = t.Parent {
+		if b.IsSubclassOf(t) {
+			return t
+		}
+	}
+	return nil
+}
+
+func eqVT(a, b vt) bool {
+	return a.kind == b.kind && a.mt == b.mt && a.null == b.null && a.init == b.init
+}
+
+// inst is one decoded instruction.
+type inst struct {
+	pc     int
+	op     vm.Op
+	arg    int64
+	size   int
+	target int // branch target as an instruction index; len(insts) = method end; -1 none
+}
+
+// vfail carries a *Error through panic so deep helpers stay linear.
+type vfail struct{ e *Error }
+
+// mver verifies one method.
+type mver struct {
+	v    *vm.VM
+	m    *vm.Method
+	sigs map[string]Sig
+
+	insts  []inst
+	pcIdx  map[int]int
+	states []*state
+	inWork []bool
+	work   []int
+
+	maxDepth int
+}
+
+func verifyMethod(v *vm.VM, m *vm.Method, sigs map[string]Sig) (insts int, transportable bool, err error) {
+	c := &mver{v: v, m: m, sigs: sigs, pcIdx: make(map[int]int)}
+	defer func() {
+		if r := recover(); r != nil {
+			if f, ok := r.(vfail); ok {
+				err = f.e
+				return
+			}
+			panic(r)
+		}
+	}()
+	if m.NArgs < 0 || m.NArgs > maxFrame || m.NLocals < 0 || m.NLocals > maxFrame {
+		return 0, false, c.errAt(-1, "frame too large: %d args, %d locals", m.NArgs, m.NLocals)
+	}
+	if err := c.decode(); err != nil {
+		return len(c.insts), false, err
+	}
+	if err := c.fixpoint(); err != nil {
+		return len(c.insts), false, err
+	}
+	ok, terr := c.transferPass()
+	if terr != nil {
+		return len(c.insts), false, terr
+	}
+	if c.maxDepth > m.MaxStack {
+		m.MaxStack = c.maxDepth
+	}
+	return len(c.insts), ok, nil
+}
+
+// maxFrame bounds argument and local counts (u16 operand space).
+const maxFrame = 0xFFFF
+
+func (c *mver) errAt(idx int, format string, args ...interface{}) *Error {
+	pc := 0
+	if idx >= 0 && idx < len(c.insts) {
+		pc = c.insts[idx].pc
+	} else if idx >= len(c.insts) {
+		pc = len(c.m.Code)
+	}
+	return &Error{
+		Method: c.m.FullName(),
+		Inst:   idx,
+		PC:     pc,
+		Line:   c.m.LineForPC(pc),
+		Msg:    fmt.Sprintf(format, args...),
+	}
+}
+
+func (c *mver) fail(idx int, format string, args ...interface{}) {
+	panic(vfail{c.errAt(idx, format, args...)})
+}
+
+// decode splits Code into instructions, validating opcodes, operand
+// lengths and branch targets.
+func (c *mver) decode() *Error {
+	code := c.m.Code
+	pc := 0
+	for pc < len(code) {
+		op := vm.Op(code[pc])
+		if !op.Valid() {
+			return &Error{Method: c.m.FullName(), Inst: len(c.insts), PC: pc,
+				Line: c.m.LineForPC(pc), Msg: fmt.Sprintf("unknown opcode 0x%02x", code[pc])}
+		}
+		n := op.OperandBytes()
+		if pc+1+n > len(code) {
+			return &Error{Method: c.m.FullName(), Inst: len(c.insts), PC: pc,
+				Line: c.m.LineForPC(pc), Msg: fmt.Sprintf("truncated operand for %s", op.Name())}
+		}
+		var arg int64
+		switch n {
+		case 2:
+			arg = int64(binary.LittleEndian.Uint16(code[pc+1:]))
+		case 4:
+			arg = int64(int32(binary.LittleEndian.Uint32(code[pc+1:])))
+		case 8:
+			arg = int64(binary.LittleEndian.Uint64(code[pc+1:]))
+		}
+		c.pcIdx[pc] = len(c.insts)
+		c.insts = append(c.insts, inst{pc: pc, op: op, arg: arg, size: 1 + n, target: -1})
+		pc += 1 + n
+	}
+	for i := range c.insts {
+		in := &c.insts[i]
+		if !in.op.Effect().Branch {
+			continue
+		}
+		tgt := in.pc + in.size + int(int32(in.arg))
+		if tgt == len(code) {
+			in.target = len(c.insts) // branch to the implicit method end
+			continue
+		}
+		j, ok := c.pcIdx[tgt]
+		if !ok {
+			return c.errAt(i, "branch target pc=%d is not an instruction boundary", tgt)
+		}
+		in.target = j
+	}
+	return nil
+}
+
+// entry builds the method entry state: empty stack, SKAny arguments,
+// uninitialized locals.
+func (c *mver) entry() *state {
+	st := &state{
+		locals: make([]vt, c.m.NLocals),
+		args:   make([]vt, c.m.NArgs),
+	}
+	for i := range st.args {
+		st.args[i] = vAny
+	}
+	return st
+}
+
+// fixpoint runs the worklist until states stabilize.
+func (c *mver) fixpoint() *Error {
+	if len(c.insts) == 0 {
+		return c.endCheck(-1, c.entry())
+	}
+	c.states = make([]*state, len(c.insts))
+	c.inWork = make([]bool, len(c.insts))
+	c.states[0] = c.entry()
+	c.push(0)
+
+	// Each slot's fact can only coarsen a bounded number of times, so
+	// the fixpoint terminates; the step cap is a backstop for fuzzed
+	// pathological inputs.
+	steps, maxSteps := 0, 128*len(c.insts)+1024
+	for len(c.work) > 0 {
+		if steps++; steps > maxSteps {
+			return c.errAt(0, "verification did not converge after %d steps", maxSteps)
+		}
+		idx := c.pop()
+		st := c.states[idx].clone()
+		if err := c.step(idx, st); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (c *mver) push(idx int) {
+	if !c.inWork[idx] {
+		c.inWork[idx] = true
+		c.work = append(c.work, idx)
+	}
+}
+
+func (c *mver) pop() int {
+	idx := c.work[len(c.work)-1]
+	c.work = c.work[:len(c.work)-1]
+	c.inWork[idx] = false
+	return idx
+}
+
+// flowTo propagates st into successor succ (len(insts) = method end).
+func (c *mver) flowTo(from, succ int, st *state) *Error {
+	if succ == len(c.insts) {
+		return c.endCheck(from, st)
+	}
+	cur := c.states[succ]
+	if cur == nil {
+		c.states[succ] = st.clone()
+		c.push(succ)
+		return nil
+	}
+	if len(cur.stack) != len(st.stack) {
+		return c.errAt(succ, "stack depth mismatch on merge: %d vs %d values", len(cur.stack), len(st.stack))
+	}
+	changed := false
+	mergeSlots := func(dst, src []vt, what string) *Error {
+		for i := range dst {
+			nv, conflict := mergeVT(dst[i], src[i])
+			if conflict != "" {
+				return c.errAt(succ, "type confusion on merge (%s %d: %s)", what, i, conflict)
+			}
+			if !eqVT(nv, dst[i]) {
+				dst[i] = nv
+				changed = true
+			}
+		}
+		return nil
+	}
+	if err := mergeSlots(cur.stack, st.stack, "stack slot"); err != nil {
+		return err
+	}
+	if err := mergeSlots(cur.locals, st.locals, "local"); err != nil {
+		return err
+	}
+	if err := mergeSlots(cur.args, st.args, "arg"); err != nil {
+		return err
+	}
+	if changed {
+		c.push(succ)
+	}
+	return nil
+}
+
+// endCheck validates the state when control reaches the end of the
+// code (an implicit void return).
+func (c *mver) endCheck(from int, st *state) *Error {
+	if c.m.HasRet {
+		return c.errAt(from, "control falls off the end of a value-returning method")
+	}
+	if len(st.stack) != 0 {
+		return c.errAt(from, "stack not empty at method end (%d values left)", len(st.stack))
+	}
+	return nil
+}
+
+// --- per-instruction transfer ------------------------------------------------
+
+func (c *mver) popAny(st *state, idx int) vt {
+	if len(st.stack) == 0 {
+		c.fail(idx, "stack underflow in %s", c.insts[idx].op.Name())
+	}
+	v := st.stack[len(st.stack)-1]
+	st.stack = st.stack[:len(st.stack)-1]
+	return v
+}
+
+func (c *mver) popKind(st *state, idx int, want vm.StackKind) vt {
+	v := c.popAny(st, idx)
+	if want != vm.SKAny && v.kind != vm.SKAny && v.kind != want {
+		c.fail(idx, "%s operand: expected %s, found %s", c.insts[idx].op.Name(), want, v)
+	}
+	return v
+}
+
+func (c *mver) pushVT(st *state, idx int, v vt) {
+	if len(st.stack) >= maxVStack {
+		c.fail(idx, "operand stack exceeds %d slots", maxVStack)
+	}
+	st.stack = append(st.stack, v)
+	if d := len(st.stack); d > c.maxDepth {
+		c.maxDepth = d
+	}
+}
+
+// step transfers st across instruction idx and flows the result to
+// its successors.
+func (c *mver) step(idx int, st *state) *Error {
+	in := c.insts[idx]
+	eff := in.op.Effect()
+
+	switch in.op {
+	case vm.OpLdLoc, vm.OpStLoc, vm.OpLdArg, vm.OpStArg:
+		slots, what := st.locals, "local"
+		if in.op == vm.OpLdArg || in.op == vm.OpStArg {
+			slots, what = st.args, "argument"
+		}
+		i := int(in.arg)
+		if i >= len(slots) {
+			c.fail(idx, "%s index %d out of range (%d %ss)", in.op.Name(), i, len(slots), what)
+		}
+		switch in.op {
+		case vm.OpLdLoc, vm.OpLdArg:
+			v := slots[i]
+			if !v.init {
+				c.fail(idx, "%s %d may be read before initialization", what, i)
+			}
+			c.pushVT(st, idx, v)
+		default:
+			slots[i] = c.popAny(st, idx)
+		}
+
+	case vm.OpDup:
+		if len(st.stack) == 0 {
+			c.fail(idx, "stack underflow in dup")
+		}
+		c.pushVT(st, idx, st.stack[len(st.stack)-1])
+
+	case vm.OpCeq:
+		b := c.popAny(st, idx)
+		a := c.popAny(st, idx)
+		if a.kind != vm.SKAny && b.kind != vm.SKAny && a.kind != b.kind {
+			c.fail(idx, "ceq on mismatched operands (%s vs %s)", a, b)
+		}
+		c.pushVT(st, idx, vInt)
+
+	case vm.OpBrTrue, vm.OpBrFalse:
+		v := c.popAny(st, idx)
+		if v.kind == vm.SKFloat {
+			c.fail(idx, "branch condition must be int or reference, found float")
+		}
+
+	case vm.OpCall, vm.OpCallVirt:
+		callee, ok := c.v.MethodByIndex(int(in.arg))
+		if !ok {
+			c.fail(idx, "call target index %d out of range (%d methods)", in.arg, c.v.NumMethods())
+		}
+		if in.op == vm.OpCallVirt {
+			if !callee.Virtual || callee.Owner == nil {
+				c.fail(idx, "callvirt %s: method is not virtual", callee.FullName())
+			}
+			if callee.NArgs < 1 {
+				c.fail(idx, "callvirt %s: virtual method without a receiver", callee.FullName())
+			}
+		}
+		argv := make([]vt, callee.NArgs)
+		for i := callee.NArgs - 1; i >= 0; i-- {
+			argv[i] = c.popAny(st, idx)
+		}
+		if in.op == vm.OpCallVirt {
+			recv := argv[0]
+			if recv.kind == vm.SKInt || recv.kind == vm.SKFloat {
+				c.fail(idx, "callvirt receiver must be an object reference, found %s", recv)
+			}
+			if recv.kind == vm.SKRef && recv.null {
+				c.fail(idx, "callvirt receiver is always null")
+			}
+			if recv.kind == vm.SKRef && recv.mt != nil && recv.mt.Kind == vm.TKClass &&
+				!recv.mt.IsSubclassOf(callee.Owner) {
+				c.fail(idx, "callvirt receiver %s is not a %s", recv.mt, callee.Owner)
+			}
+		}
+		if callee.HasRet {
+			c.pushVT(st, idx, kindVT(callee.RetKind, callee.RetClass))
+		}
+
+	case vm.OpIntern:
+		fn, ok := c.v.InternalByIndex(int(in.arg))
+		if !ok {
+			c.fail(idx, "internal call index %d out of range", in.arg)
+		}
+		sig, hasSig := c.sigs[fn.Name]
+		if hasSig && (sig.NArgs != fn.NArgs || (sig.Ret != vm.KindVoid) != fn.HasRet) {
+			c.fail(idx, "internal %s: registered arity (%d args, ret=%v) disagrees with the signature table (%d args, ret=%s)",
+				fn.Name, fn.NArgs, fn.HasRet, sig.NArgs, sig.Ret)
+		}
+		for i := 0; i < fn.NArgs; i++ {
+			c.popAny(st, idx)
+		}
+		if fn.HasRet {
+			if hasSig {
+				c.pushVT(st, idx, kindVT(sig.Ret, nil))
+			} else {
+				c.pushVT(st, idx, vAny)
+			}
+		}
+
+	case vm.OpRet:
+		if c.m.HasRet {
+			c.fail(idx, "ret in a value-returning method (use ret.val)")
+		}
+		if len(st.stack) != 0 {
+			c.fail(idx, "stack not empty at ret (%d values left)", len(st.stack))
+		}
+
+	case vm.OpRetVal:
+		if !c.m.HasRet {
+			c.fail(idx, "ret.val in a void method")
+		}
+		rv := c.popAny(st, idx)
+		c.checkRet(idx, rv)
+		if len(st.stack) != 0 {
+			c.fail(idx, "stack not empty at ret.val (%d values left)", len(st.stack))
+		}
+
+	case vm.OpNewObj:
+		mt, ok := c.v.TypeByIndex(int(in.arg))
+		if !ok {
+			c.fail(idx, "newobj: type index %d out of range", in.arg)
+		}
+		if mt.Kind != vm.TKClass {
+			c.fail(idx, "newobj on array type %s", mt)
+		}
+		c.pushVT(st, idx, vRef(mt))
+
+	case vm.OpNewArr:
+		c.popKind(st, idx, vm.SKInt)
+		mt, ok := c.v.TypeByIndex(int(in.arg))
+		if !ok {
+			c.fail(idx, "newarr: type index %d out of range", in.arg)
+		}
+		if mt.Kind != vm.TKArray {
+			c.fail(idx, "newarr on non-array type %s", mt)
+		}
+		c.pushVT(st, idx, vRef(mt))
+
+	case vm.OpNewMD:
+		mt, ok := c.v.TypeByIndex(int(in.arg))
+		if !ok {
+			c.fail(idx, "newmd: type index %d out of range", in.arg)
+		}
+		if mt.Kind != vm.TKArray || mt.Rank < 2 {
+			c.fail(idx, "newmd requires a multidimensional array type, got %s", mt)
+		}
+		for i := 0; i < mt.Rank; i++ {
+			c.popKind(st, idx, vm.SKInt)
+		}
+		c.pushVT(st, idx, vRef(mt))
+
+	case vm.OpLdLen:
+		arr := c.popKind(st, idx, vm.SKRef)
+		c.checkArrayRef(idx, arr, "ldlen")
+		c.pushVT(st, idx, vInt)
+
+	case vm.OpLdElem:
+		c.popKind(st, idx, vm.SKInt)
+		arr := c.popKind(st, idx, vm.SKRef)
+		c.checkArrayRef(idx, arr, "ldelem")
+		if amt := arrayMT(arr); amt != nil {
+			c.pushVT(st, idx, kindVT(amt.Elem, amt.ElemMT))
+		} else {
+			c.pushVT(st, idx, vAny)
+		}
+
+	case vm.OpStElem:
+		val := c.popAny(st, idx)
+		c.popKind(st, idx, vm.SKInt)
+		arr := c.popKind(st, idx, vm.SKRef)
+		c.checkArrayRef(idx, arr, "stelem")
+		if amt := arrayMT(arr); amt != nil {
+			c.checkStore(idx, val, amt.Elem, fmt.Sprintf("element of %s", amt))
+		}
+
+	case vm.OpLdFld, vm.OpStFld:
+		var val vt
+		if in.op == vm.OpStFld {
+			val = c.popAny(st, idx)
+		}
+		obj := c.popKind(st, idx, vm.SKRef)
+		if obj.null {
+			c.fail(idx, "%s on a null object", in.op.Name())
+		}
+		f := c.fieldFor(idx, obj, int(in.arg))
+		if in.op == vm.OpLdFld {
+			if f != nil {
+				c.pushVT(st, idx, kindVT(f.Kind(), f.DeclaredType))
+			} else {
+				c.pushVT(st, idx, vAny)
+			}
+		} else if f != nil {
+			c.checkStore(idx, val, f.Kind(), "field "+f.Name)
+		}
+
+	case vm.OpLdSFld, vm.OpStSFld:
+		if int(in.arg) >= c.v.NumGlobals() {
+			c.fail(idx, "%s: global index %d out of range (%d globals)", in.op.Name(), in.arg, c.v.NumGlobals())
+		}
+		if in.op == vm.OpStSFld {
+			c.popAny(st, idx)
+		} else {
+			c.pushVT(st, idx, vAny)
+		}
+
+	default:
+		// Table-driven opcodes: fixed pops and pushes.
+		for _, want := range eff.Pop {
+			c.popKind(st, idx, want)
+		}
+		for _, k := range eff.Push {
+			c.pushVT(st, idx, vtOf(k))
+		}
+	}
+
+	// Successors.
+	if eff.Terminator {
+		return nil
+	}
+	if eff.Branch {
+		if err := c.flowTo(idx, c.insts[idx].target, st); err != nil {
+			return err
+		}
+		if eff.Uncond {
+			return nil
+		}
+	}
+	return c.flowTo(idx, idx+1, st)
+}
+
+func vtOf(k vm.StackKind) vt {
+	switch k {
+	case vm.SKInt:
+		return vInt
+	case vm.SKFloat:
+		return vFloat
+	case vm.SKRef:
+		// Among table-driven opcodes only ldnull pushes a reference.
+		return vNull
+	default:
+		return vAny
+	}
+}
+
+// checkRet validates a ret.val operand against the declared result.
+func (c *mver) checkRet(idx int, rv vt) {
+	if rv.kind == vm.SKAny || c.m.RetKind == vm.KindVoid {
+		return // untyped value or untyped signature: accept
+	}
+	want := kindVT(c.m.RetKind, c.m.RetClass)
+	if rv.kind != want.kind {
+		c.fail(idx, "ret.val: returning %s from a method declared %s", rv, c.m.RetKind)
+	}
+	if want.kind == vm.SKRef && want.mt != nil && rv.mt != nil && !rv.null &&
+		want.mt.Kind == vm.TKClass && rv.mt.Kind == vm.TKClass && !rv.mt.IsSubclassOf(want.mt) {
+		c.fail(idx, "ret.val: returning %s from a method declared %s", rv.mt, want.mt)
+	}
+}
+
+// checkArrayRef rejects statically known non-arrays (and definite
+// nulls) flowing into array operations.
+func (c *mver) checkArrayRef(idx int, arr vt, opName string) {
+	if arr.null {
+		c.fail(idx, "%s on a null array", opName)
+	}
+	if arr.kind == vm.SKRef && arr.mt != nil && arr.mt.Kind != vm.TKArray && arr.mt != c.v.ObjectMT {
+		c.fail(idx, "%s on non-array %s", opName, arr.mt)
+	}
+}
+
+// arrayMT returns the array type of a slot when statically known.
+func arrayMT(arr vt) *vm.MethodTable {
+	if arr.kind == vm.SKRef && arr.mt != nil && arr.mt.Kind == vm.TKArray {
+		return arr.mt
+	}
+	return nil
+}
+
+// fieldFor resolves a field slot against the static receiver type;
+// nil when the receiver type is unknown (the interpreter then checks
+// dynamically).
+func (c *mver) fieldFor(idx int, obj vt, slot int) *vm.FieldDesc {
+	if obj.kind != vm.SKRef || obj.mt == nil || obj.mt == c.v.ObjectMT {
+		return nil
+	}
+	if obj.mt.Kind == vm.TKArray {
+		c.fail(idx, "field access on array %s", obj.mt)
+	}
+	if slot >= len(obj.mt.Fields) {
+		c.fail(idx, "field slot %d out of range on %s (%d fields)", slot, obj.mt, len(obj.mt.Fields))
+	}
+	return &obj.mt.Fields[slot]
+}
+
+// checkStore validates a stored value against a declared kind.
+func (c *mver) checkStore(idx int, val vt, k vm.Kind, what string) {
+	if val.kind == vm.SKAny {
+		return
+	}
+	want := kindVT(k, nil)
+	if val.kind != want.kind {
+		c.fail(idx, "storing %s into %s %s", val, k, what)
+	}
+}
+
+// --- static transferability ---------------------------------------------------
+
+// transferPass judges every intern site with transport buffer
+// parameters against the recorded entry states. Provably bad buffers
+// reject the method; unknown (SKAny, untyped object) buffers merely
+// leave the method out of the verified fast path.
+func (c *mver) transferPass() (bool, *Error) {
+	allProven := true
+	for idx := range c.insts {
+		in := c.insts[idx]
+		if in.op != vm.OpIntern {
+			continue
+		}
+		st := c.states[idx]
+		if st == nil {
+			continue // unreachable
+		}
+		fn, _ := c.v.InternalByIndex(int(in.arg))
+		sig, hasSig := c.sigs[fn.Name]
+		if !hasSig {
+			// Unknown FCall: structurally fine, but nothing vouches
+			// for its parameters.
+			allProven = false
+			continue
+		}
+		for _, bp := range sig.Bufs {
+			// Argument i sits at depth NArgs-1-i from the top of the
+			// entry stack (the fixpoint already proved depth >= NArgs).
+			v := st.stack[len(st.stack)-fn.NArgs+bp.Arg]
+			proven, err := c.judgeBuf(idx, fn.Name, bp, v)
+			if err != nil {
+				return false, err
+			}
+			if !proven {
+				allProven = false
+			}
+		}
+	}
+	return allProven, nil
+}
+
+// judgeBuf implements the three-valued transferability judgment for
+// one buffer argument: provably transferable (true), provably not
+// (error), or unknown (false — keep the dynamic check).
+func (c *mver) judgeBuf(idx int, fcall string, bp BufParam, v vt) (bool, *Error) {
+	switch v.kind {
+	case vm.SKInt, vm.SKFloat:
+		return false, c.errAt(idx, "argument %d of %s must be an object reference, found %s", bp.Arg, fcall, v)
+	case vm.SKRef:
+		if v.null {
+			return false, c.errAt(idx, "argument %d of %s is always null", bp.Arg, fcall)
+		}
+		if v.mt == nil || v.mt == c.v.ObjectMT {
+			return false, nil // statically unknown object
+		}
+		switch bp.Constraint {
+		case SimpleArray:
+			if !v.mt.IsSimpleArray() {
+				return false, c.errAt(idx, "argument %d of %s: %s is not a %s", bp.Arg, fcall, v.mt, bp.Constraint)
+			}
+		default: // NoRefFields
+			if v.mt.HasRefFields() {
+				return false, c.errAt(idx, "argument %d of %s: %s contains reference fields and is not transferable (use the object-oriented operations)", bp.Arg, fcall, v.mt)
+			}
+		}
+		return true, nil
+	default:
+		return false, nil // SKAny
+	}
+}

@@ -21,6 +21,7 @@ type CodeBuilder struct {
 	code   []byte
 	labels map[string]int
 	fixups []fixup
+	lines  []LineEntry
 	err    error
 }
 
@@ -100,6 +101,23 @@ func (b *CodeBuilder) LdArg(i int) *CodeBuilder { return b.U16(OpLdArg, i) }
 
 // StArg stores into argument i.
 func (b *CodeBuilder) StArg(i int) *CodeBuilder { return b.U16(OpStArg, i) }
+
+// MarkLine records that code emitted from the current position on
+// originates at the given 1-based source line. The text assembler
+// calls it per source line; the entries become the method's line
+// table, which the verifier uses for diagnostics.
+func (b *CodeBuilder) MarkLine(line int) *CodeBuilder {
+	if n := len(b.lines); n > 0 && b.lines[n-1].Line == line {
+		return b
+	}
+	if n := len(b.lines); n > 0 && b.lines[n-1].PC == len(b.code) {
+		// No code was emitted for the previous line; overwrite.
+		b.lines[n-1].Line = line
+		return b
+	}
+	b.lines = append(b.lines, LineEntry{PC: len(b.code), Line: line})
+	return b
+}
 
 // Label defines a branch target at the current position.
 func (b *CodeBuilder) Label(name string) *CodeBuilder {
@@ -203,5 +221,6 @@ func (b *CodeBuilder) Build(name string, nargs, nlocals int, hasRet bool) *Metho
 		NLocals: nlocals,
 		HasRet:  hasRet,
 		Code:    append([]byte(nil), b.code...),
+		Lines:   append([]LineEntry(nil), b.lines...),
 	}
 }

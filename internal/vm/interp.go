@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"runtime"
 )
 
 // The bytecode interpreter. One callFrame per activation; the frame
@@ -95,6 +96,17 @@ func (t *Thread) run(base int) (result Value, err error) {
 			case *BoundsError:
 				fr := t.callStack[len(t.callStack)-1]
 				err = fr.trap("index out of range", e.Error())
+			case runtime.Error:
+				// Malformed (unverified) bytecode: operand-stack
+				// underflow, out-of-range frame slots, truncated
+				// operands. Surface as a typed trap instead of
+				// crashing the host; verified modules never get here.
+				if len(t.callStack) > base {
+					fr := t.callStack[len(t.callStack)-1]
+					err = fr.trap("invalid program", e.Error())
+				} else {
+					err = &Trap{Kind: "invalid program", Detail: e.Error(), Method: "?", PC: 0}
+				}
 			case error:
 				if errors.Is(e, ErrOutOfMemory) {
 					err = e

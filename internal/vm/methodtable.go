@@ -75,12 +75,53 @@ type Method struct {
 	Virtual bool
 	VSlot   int // slot in the owner's VTable when Virtual
 
+	// RetKind describes the declared result when HasRet: a scalar
+	// Kind, or KindRef with RetClass naming the declared class (nil =
+	// the root object type or an untyped array). Methods built
+	// directly through CodeBuilder carry KindVoid with HasRet set,
+	// meaning "value of unknown type" — the verifier then accepts any
+	// returned category.
+	RetKind  Kind
+	RetClass *MethodTable
+
 	Code     []byte
 	MaxStack int
+
+	// Lines maps bytecode offsets to masm source lines (sorted by PC,
+	// recorded by the text assembler). Empty for hand-built methods.
+	Lines []LineEntry
+
+	// Verified is set once the bytecode verifier has accepted the
+	// method; TransportVerified additionally records that every value
+	// this method passes to an MPI buffer parameter is provably
+	// transferable, letting the engine skip the dynamic object-model
+	// check (paper §4.2.1) while this method's frame is on top.
+	Verified          bool
+	TransportVerified bool
 
 	// Index is the method's position in the assembly's method list,
 	// the operand space of call instructions.
 	Index int
+}
+
+// LineEntry associates the instruction at PC (and all following
+// instructions up to the next entry) with a 1-based source line.
+type LineEntry struct {
+	PC   int
+	Line int
+}
+
+// LineForPC returns the source line covering the given bytecode
+// offset, or 0 when the method has no line table.
+func (m *Method) LineForPC(pc int) int {
+	line := 0
+	for _, e := range m.Lines {
+		if e.PC > pc {
+			break
+		}
+		line = e.Line
+	}
+	return line
 }
 
 // FullName returns "Type.Method" or just the method name for

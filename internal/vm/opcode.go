@@ -167,8 +167,16 @@ func (o Op) Name() string {
 	return "op?"
 }
 
+// Valid reports whether the byte encodes a defined opcode.
+func (o Op) Valid() bool { return o < opCount && opTable[o].name != "" }
+
 // width returns the operand byte count.
 func (o Op) operandBytes() int {
+	if o >= opCount {
+		// Undefined opcodes decode as operand-free so the interpreter
+		// reaches its bad-opcode trap instead of indexing out of range.
+		return 0
+	}
 	switch opTable[o].width {
 	case wU16:
 		return 2
@@ -181,6 +189,9 @@ func (o Op) operandBytes() int {
 	}
 }
 
+// OperandBytes is the exported operand width (0 for undefined opcodes).
+func (o Op) OperandBytes() int { return o.operandBytes() }
+
 // opByName resolves a mnemonic (used by the text assembler).
 var opByName = func() map[string]Op {
 	m := make(map[string]Op, opCount)
@@ -191,3 +202,147 @@ var opByName = func() map[string]Op {
 	}
 	return m
 }()
+
+// --- static opcode metadata ---------------------------------------------------
+
+// StackKind is the coarse classification of one evaluation-stack slot
+// used by the static metadata below and by the bytecode verifier
+// (internal/vm/bcverify). It is deliberately smaller than Kind: the
+// evaluation stack only ever holds int64s, float64s and references.
+type StackKind uint8
+
+// Stack slot classifications.
+const (
+	// SKAny matches any slot (used where the static table cannot
+	// commit: arguments, globals, untyped FCall results).
+	SKAny StackKind = iota
+	// SKInt is a value with int64 semantics.
+	SKInt
+	// SKFloat is a value with float64 semantics.
+	SKFloat
+	// SKRef is an object reference (possibly null).
+	SKRef
+)
+
+// String names the classification for diagnostics.
+func (k StackKind) String() string {
+	switch k {
+	case SKInt:
+		return "int"
+	case SKFloat:
+		return "float"
+	case SKRef:
+		return "ref"
+	default:
+		return "any"
+	}
+}
+
+// Effect is the declarative stack contract of one opcode: what it pops
+// (top of stack first), what it pushes, and how it transfers control.
+// Interp.go remains the executable semantics; this table makes the
+// implicit knowledge spread through its switch available to static
+// tools — the verifier checks every method against it, and a unit test
+// keeps it consistent with the operand-width table.
+type Effect struct {
+	// Pop lists the operand kinds consumed, top of stack first. Nil for
+	// Variable opcodes, whose arity depends on operand resolution.
+	Pop []StackKind
+	// Push lists the result kinds produced (at most one today).
+	Push []StackKind
+	// Branch marks opcodes with an i32 branch-offset operand.
+	Branch bool
+	// Uncond marks branches with no fall-through successor (br).
+	Uncond bool
+	// Terminator marks opcodes that end the method (ret, ret.val).
+	Terminator bool
+	// Variable marks opcodes whose pops/pushes depend on the resolved
+	// operand (call, callvirt, intern, newmd); the verifier computes
+	// their effect from the method / FCall / type registries.
+	Variable bool
+}
+
+var effAnyAny = []StackKind{SKAny, SKAny}
+var effIntInt = []StackKind{SKInt, SKInt}
+var effFltFlt = []StackKind{SKFloat, SKFloat}
+
+var effectTable = [opCount]Effect{
+	OpNop:    {},
+	OpLdcI4:  {Push: []StackKind{SKInt}},
+	OpLdcI8:  {Push: []StackKind{SKInt}},
+	OpLdcR8:  {Push: []StackKind{SKFloat}},
+	OpLdNull: {Push: []StackKind{SKRef}},
+
+	// Frame-slot accesses: pops/pushes are fixed, but the pushed type
+	// is the tracked slot type — the verifier refines SKAny.
+	OpLdLoc: {Push: []StackKind{SKAny}},
+	OpStLoc: {Pop: []StackKind{SKAny}},
+	OpLdArg: {Push: []StackKind{SKAny}},
+	OpStArg: {Pop: []StackKind{SKAny}},
+
+	OpDup: {Pop: []StackKind{SKAny}, Push: effAnyAny},
+	OpPop: {Pop: []StackKind{SKAny}},
+
+	OpAdd: {Pop: effIntInt, Push: []StackKind{SKInt}},
+	OpSub: {Pop: effIntInt, Push: []StackKind{SKInt}},
+	OpMul: {Pop: effIntInt, Push: []StackKind{SKInt}},
+	OpDiv: {Pop: effIntInt, Push: []StackKind{SKInt}},
+	OpRem: {Pop: effIntInt, Push: []StackKind{SKInt}},
+	OpNeg: {Pop: []StackKind{SKInt}, Push: []StackKind{SKInt}},
+	OpAnd: {Pop: effIntInt, Push: []StackKind{SKInt}},
+	OpOr:  {Pop: effIntInt, Push: []StackKind{SKInt}},
+	OpXor: {Pop: effIntInt, Push: []StackKind{SKInt}},
+	OpShl: {Pop: effIntInt, Push: []StackKind{SKInt}},
+	OpShr: {Pop: effIntInt, Push: []StackKind{SKInt}},
+	OpNot: {Pop: []StackKind{SKInt}, Push: []StackKind{SKInt}},
+
+	OpAddF: {Pop: effFltFlt, Push: []StackKind{SKFloat}},
+	OpSubF: {Pop: effFltFlt, Push: []StackKind{SKFloat}},
+	OpMulF: {Pop: effFltFlt, Push: []StackKind{SKFloat}},
+	OpDivF: {Pop: effFltFlt, Push: []StackKind{SKFloat}},
+	OpNegF: {Pop: []StackKind{SKFloat}, Push: []StackKind{SKFloat}},
+
+	// ceq compares raw bits: both operands must be of one category,
+	// checked by the verifier (ints with ints, refs with refs, ...).
+	OpCeq:  {Pop: effAnyAny, Push: []StackKind{SKInt}},
+	OpClt:  {Pop: effIntInt, Push: []StackKind{SKInt}},
+	OpCgt:  {Pop: effIntInt, Push: []StackKind{SKInt}},
+	OpCeqF: {Pop: effFltFlt, Push: []StackKind{SKInt}},
+	OpCltF: {Pop: effFltFlt, Push: []StackKind{SKInt}},
+	OpCgtF: {Pop: effFltFlt, Push: []StackKind{SKInt}},
+
+	OpConvI2F: {Pop: []StackKind{SKInt}, Push: []StackKind{SKFloat}},
+	OpConvF2I: {Pop: []StackKind{SKFloat}, Push: []StackKind{SKInt}},
+
+	OpBr: {Branch: true, Uncond: true},
+	// Branch conditions test raw bits: int or ref (null test), never
+	// float — the verifier rejects float conditions.
+	OpBrTrue:  {Pop: []StackKind{SKAny}, Branch: true},
+	OpBrFalse: {Pop: []StackKind{SKAny}, Branch: true},
+
+	OpCall:     {Variable: true},
+	OpCallVirt: {Variable: true},
+	OpIntern:   {Variable: true},
+	OpRet:      {Terminator: true},
+	OpRetVal:   {Pop: []StackKind{SKAny}, Terminator: true},
+
+	OpNewObj: {Push: []StackKind{SKRef}},
+	OpNewArr: {Pop: []StackKind{SKInt}, Push: []StackKind{SKRef}},
+	OpNewMD:  {Variable: true}, // pops Rank lengths
+	OpLdLen:  {Pop: []StackKind{SKRef}, Push: []StackKind{SKInt}},
+	OpLdElem: {Pop: []StackKind{SKInt, SKRef}, Push: []StackKind{SKAny}},
+	OpStElem: {Pop: []StackKind{SKAny, SKInt, SKRef}},
+	OpLdFld:  {Pop: []StackKind{SKRef}, Push: []StackKind{SKAny}},
+	OpStFld:  {Pop: []StackKind{SKAny, SKRef}},
+	OpLdSFld: {Push: []StackKind{SKAny}},
+	OpStSFld: {Pop: []StackKind{SKAny}},
+}
+
+// Effect returns the opcode's static stack contract (the zero Effect
+// for undefined opcodes).
+func (o Op) Effect() Effect {
+	if !o.Valid() {
+		return Effect{}
+	}
+	return effectTable[o]
+}

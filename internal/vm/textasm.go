@@ -74,15 +74,36 @@ type asmMethodDecl struct {
 	nargs   int
 	nlocals int
 	hasRet  bool
+	retType string
 	virtual bool
 	body    []asmLine
 	line    int
+}
+
+// Module is the result of assembling one masm source unit: every
+// method it registered (in declaration order, module-level first,
+// then per-class) and the entry method when one is named "main".
+// Load-time verification runs over Methods.
+type Module struct {
+	Methods []*Method
+	Main    *Method
 }
 
 // Assemble parses masm source and registers its classes, globals and
 // methods on the VM. It returns the module's entry method (named
 // "main") when present.
 func (v *VM) Assemble(src string) (*Method, error) {
+	mod, err := v.AssembleModule(src)
+	if err != nil {
+		return nil, err
+	}
+	return mod.Main, nil
+}
+
+// AssembleModule is Assemble returning the full module, so callers
+// (Rank.Load, cmd/motor -check) can hand every method to the
+// verifier, not just main.
+func (v *VM) AssembleModule(src string) (*Module, error) {
 	lines, err := lexMasm(src)
 	if err != nil {
 		return nil, err
@@ -171,6 +192,13 @@ func (v *VM) Assemble(src string) (*Method, error) {
 			HasRet:  md.hasRet,
 			Virtual: md.virtual,
 		}
+		if md.hasRet {
+			kind, class, err := v.resolveRetType(md)
+			if err != nil {
+				return nil, err
+			}
+			m.RetKind, m.RetClass = kind, class
+		}
 		var owner *MethodTable
 		if md.owner != "" {
 			o, ok := v.TypeByName(md.owner)
@@ -185,17 +213,37 @@ func (v *VM) Assemble(src string) (*Method, error) {
 
 	// Pass 2: bodies.
 	for idx, md := range methods {
-		code, err := v.assembleBody(md)
+		code, lineTab, err := v.assembleBody(md)
 		if err != nil {
 			return nil, err
 		}
 		built[idx].Code = code
+		built[idx].Lines = lineTab
 	}
 
+	mod := &Module{Methods: built}
 	if m, ok := v.MethodByName("main"); ok {
-		return m, nil
+		mod.Main = m
 	}
-	return nil, nil
+	return mod, nil
+}
+
+// resolveRetType maps a .method return-type token to a Kind (and the
+// declared class for reference results). Called after class shells are
+// registered, so methods may return module classes and arrays.
+func (v *VM) resolveRetType(md *asmMethodDecl) (Kind, *MethodTable, error) {
+	tn := md.retType
+	if k, ok := KindByName(tn); ok && k != KindVoid {
+		return k, nil, nil
+	}
+	if tn == "object" {
+		return KindRef, nil, nil
+	}
+	mt, err := v.resolveTypeToken(tn, md.line)
+	if err != nil {
+		return KindVoid, nil, &AsmError{md.line, "unknown return type " + tn}
+	}
+	return KindRef, mt, nil
 }
 
 func lexMasm(src string) ([]asmLine, error) {
@@ -279,13 +327,14 @@ func parseMethod(lines []asmLine, i int, owner string) (*asmMethodDecl, int, err
 	md.name = toks[0]
 	argStr := strings.Trim(toks[1], "()")
 	n, err := strconv.Atoi(argStr)
-	if err != nil || n < 0 {
+	if err != nil || n < 0 || n > maxFrameSlots {
 		return nil, 0, &AsmError{ln.num, "bad argument count " + toks[1]}
 	}
 	md.nargs = n
 	if md.virtual {
 		md.nargs++ // implicit receiver
 	}
+	md.retType = toks[2]
 	md.hasRet = toks[2] != "void"
 	i++
 	for i < len(lines) {
@@ -298,7 +347,7 @@ func parseMethod(lines []asmLine, i int, owner string) (*asmMethodDecl, int, err
 				return nil, 0, &AsmError{ln.num, ".locals N"}
 			}
 			nl, err := strconv.Atoi(ln.tokens[1])
-			if err != nil || nl < 0 {
+			if err != nil || nl < 0 || nl > maxFrameSlots {
 				return nil, 0, &AsmError{ln.num, "bad locals count"}
 			}
 			md.nlocals = nl
@@ -357,10 +406,16 @@ func (v *VM) resolveTypeToken(tok string, line int) (*MethodTable, error) {
 	return nil, &AsmError{line, "unknown type " + tok}
 }
 
-func (v *VM) assembleBody(md *asmMethodDecl) ([]byte, error) {
+// maxFrameSlots bounds .locals and argument counts: frame slots are
+// addressed by u16 operands, and the bound keeps hostile modules from
+// demanding unbounded frame allocations before verification.
+const maxFrameSlots = 0xFFFF
+
+func (v *VM) assembleBody(md *asmMethodDecl) ([]byte, []LineEntry, error) {
 	b := NewCodeBuilder()
 	for _, ln := range md.body {
 		toks := ln.tokens
+		b.MarkLine(ln.num)
 		// Allow several instructions per line; labels end with ':'.
 		for len(toks) > 0 {
 			tok := toks[0]
@@ -371,11 +426,11 @@ func (v *VM) assembleBody(md *asmMethodDecl) ([]byte, error) {
 			}
 			op, ok := opByName[tok]
 			if !ok {
-				return nil, &AsmError{ln.num, "unknown instruction " + tok}
+				return nil, nil, &AsmError{ln.num, "unknown instruction " + tok}
 			}
 			need := operandCount(op)
 			if len(toks) < need {
-				return nil, &AsmError{ln.num, tok + " missing operand"}
+				return nil, nil, &AsmError{ln.num, tok + " missing operand"}
 			}
 			var operand string
 			if need == 1 {
@@ -383,20 +438,20 @@ func (v *VM) assembleBody(md *asmMethodDecl) ([]byte, error) {
 				toks = toks[1:]
 			}
 			if err := v.emit(b, op, operand, ln.num); err != nil {
-				return nil, err
+				return nil, nil, err
 			}
 		}
 	}
 	if b.err != nil {
-		return nil, &AsmError{md.line, b.err.Error()}
+		return nil, nil, &AsmError{md.line, b.err.Error()}
 	}
 	for _, fx := range b.fixups {
 		if _, ok := b.labels[fx.label]; !ok {
-			return nil, &AsmError{md.line, "undefined label " + fx.label}
+			return nil, nil, &AsmError{md.line, "undefined label " + fx.label}
 		}
 	}
 	m := b.Build(md.name, md.nargs, md.nlocals, md.hasRet)
-	return m.Code, nil
+	return m.Code, m.Lines, nil
 }
 
 func operandCount(op Op) int {

@@ -77,6 +77,19 @@ func (v *VM) PollPoint() {
 	v.execMu.Lock()
 }
 
+// InTransportVerified reports whether the innermost managed frame on
+// this thread belongs to a method the load-time verifier proved
+// transport-safe. FCalls do not push frames, so during an intern call
+// the top frame is the calling method — the Motor engine consults
+// this to skip the dynamic object-model check on the verified path.
+// False when no managed code is running (Go-API calls stay dynamic).
+func (t *Thread) InTransportVerified() bool {
+	if n := len(t.callStack); n > 0 {
+		return t.callStack[n-1].method.TransportVerified
+	}
+	return false
+}
+
 // PushFrame registers FCall-protected reference slots and returns the
 // matching pop function (use with defer). While registered, the slots
 // are GC roots and are forwarded if their objects move.

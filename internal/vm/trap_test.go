@@ -1,0 +1,60 @@
+package vm
+
+import (
+	"errors"
+	"testing"
+)
+
+// Regression tests for the interpreter's malformed-bytecode hardening:
+// unverified code that underflows the operand stack, indexes frame
+// slots out of range, or truncates an operand must surface as a typed
+// *Trap from Thread.Call — never as a Go panic that kills the host.
+
+func callExpectTrap(t *testing.T, v *VM, m *Method, kind string) {
+	t.Helper()
+	v.WithThread("t", func(th *Thread) {
+		_, err := th.Call(m)
+		if err == nil {
+			t.Fatalf("%s: expected a trap, got success", m.FullName())
+		}
+		var trap *Trap
+		if !errors.As(err, &trap) {
+			t.Fatalf("%s: error %v (%T) is not a *Trap", m.FullName(), err, err)
+		}
+		if trap.Kind != kind {
+			t.Fatalf("%s: trap kind = %q, want %q (%v)", m.FullName(), trap.Kind, kind, trap)
+		}
+	})
+}
+
+func TestTrapOnStackUnderflow(t *testing.T) {
+	v := testVM()
+	m := v.AddMethod(nil, &Method{Name: "underflow", Code: []byte{byte(OpAdd), byte(OpRet)}})
+	callExpectTrap(t, v, m, "invalid program")
+}
+
+func TestTrapOnLocalOutOfRange(t *testing.T) {
+	v := testVM()
+	// ldloc 5 with zero locals.
+	m := v.AddMethod(nil, &Method{Name: "badlocal", Code: []byte{byte(OpLdLoc), 5, 0, byte(OpRet)}})
+	callExpectTrap(t, v, m, "invalid program")
+}
+
+func TestTrapOnTruncatedOperand(t *testing.T) {
+	v := testVM()
+	// ldc.i4 needs 4 operand bytes; provide one.
+	m := v.AddMethod(nil, &Method{Name: "truncated", Code: []byte{byte(OpLdcI4), 1}})
+	callExpectTrap(t, v, m, "invalid program")
+}
+
+func TestTrapOnUndefinedOpcode(t *testing.T) {
+	v := testVM()
+	m := v.AddMethod(nil, &Method{Name: "badop", Code: []byte{0xEE}})
+	callExpectTrap(t, v, m, "bad opcode")
+}
+
+func TestTrapOnArgOutOfRange(t *testing.T) {
+	v := testVM()
+	m := v.AddMethod(nil, &Method{Name: "badarg", Code: []byte{byte(OpLdArg), 3, 0, byte(OpRet)}})
+	callExpectTrap(t, v, m, "invalid program")
+}

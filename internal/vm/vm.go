@@ -321,6 +321,10 @@ func (v *VM) MethodByIndex(i int) (*Method, bool) {
 	return v.methods[i], true
 }
 
+// NumMethods reports the number of registered methods (the operand
+// space of call instructions).
+func (v *VM) NumMethods() int { return len(v.methods) }
+
 // MethodByName finds a module-level method by name.
 func (v *VM) MethodByName(name string) (*Method, bool) {
 	for _, m := range v.methods {
@@ -343,6 +347,10 @@ func (v *VM) AddGlobal(name string) int {
 	v.globalNames[name] = i
 	return i
 }
+
+// NumGlobals reports the number of registered static slots (the
+// operand space of ldsfld/stsfld, used by the verifier).
+func (v *VM) NumGlobals() int { return len(v.globals) }
 
 // GlobalIndex resolves a static name.
 func (v *VM) GlobalIndex(name string) (int, bool) {

@@ -112,6 +112,22 @@ const (
 	VisitedMap = serial.VisitedMap
 )
 
+// VerifyMode controls load-time bytecode verification.
+type VerifyMode uint8
+
+// Verification modes. The zero value verifies, so embedders opt out
+// explicitly (cmd/motor and cmd/mpstat expose -noverify).
+const (
+	// VerifyOn statically verifies every module at Load: stack-type
+	// abstract interpretation plus the static transferability pass
+	// (docs/VERIFIER.md). Rejected modules fail Load with a
+	// *bcverify.Error naming method, instruction and source line.
+	VerifyOn VerifyMode = iota
+	// VerifyOff loads modules unchecked; safety then rests on the
+	// interpreter's traps and the engine's dynamic integrity checks.
+	VerifyOff
+)
+
 // Config describes a Motor world.
 type Config struct {
 	// Ranks is the number of processes (default 2).
@@ -132,6 +148,9 @@ type Config struct {
 	EagerMax int
 	// Stdout receives managed console output (default os.Stdout).
 	Stdout io.Writer
+	// Verify controls load-time bytecode verification (default
+	// VerifyOn).
+	Verify VerifyMode
 	// Platform substitutes a pal.Platform for the sock transport
 	// (default: the host platform). Plugging in a fault.Platform here
 	// subjects the whole world to a seeded fault plan (see
@@ -608,8 +627,27 @@ func (r *Rank) OGather(arr Ref, root int) (Ref, error) {
 // --- managed programs ---------------------------------------------------------
 
 // Load assembles a masm module into the rank's VM and returns its
-// main method (nil if the module has none).
-func (r *Rank) Load(masmSource string) (*vm.Method, error) { return r.vm.Assemble(masmSource) }
+// main method (nil if the module has none). Unless the world was
+// configured with VerifyOff, every method is statically verified
+// before it becomes callable: ill-typed or ill-formed bytecode fails
+// Load with a *bcverify.Error naming the method, instruction and masm
+// source line, and methods whose MPI buffer arguments are provably
+// integrity-safe skip the engine's dynamic §4.2.1 check at run time.
+func (r *Rank) Load(masmSource string) (*vm.Method, error) {
+	mod, err := r.vm.AssembleModule(masmSource)
+	if err != nil {
+		return nil, err
+	}
+	if r.cfg.Verify == VerifyOn {
+		if err := r.engine.VerifyModule(mod.Methods); err != nil {
+			return nil, err
+		}
+	}
+	return mod.Main, nil
+}
+
+// VerifyStats returns load-time verification counters for this rank.
+func (r *Rank) VerifyStats() core.VerifyStats { return r.engine.Verify.Snapshot() }
 
 // Call executes a managed method on this rank's thread.
 func (r *Rank) Call(m *vm.Method, args ...Value) (Value, error) { return r.thread.Call(m, args...) }

@@ -4,13 +4,16 @@
 #   tier 1 (default): build + full test suite — the repo's gate.
 #   tier 2 (-race):   vet + race-enabled tests over the whole tree.
 #   tier 3 (bench):   opt-in collective sweep -> BENCH_coll.json.
+#   vet tier:         go vet + the load-time bytecode verifier over
+#                     every masm module under examples/.
 #
-# Usage: scripts/verify.sh [quick|race|all|bench]
+# Usage: scripts/verify.sh [quick|race|all|bench|vet]
 #   quick  tier 1 with -short (chaos sweeps skipped; < ~30s)
 #   race   tier 2 only
-#   all    tier 1 then tier 2 (default)
+#   all    tier 1 then tier 2 then vet (default)
 #   bench  tier 1 quick, then the collective benchmark sweep
 #          (scripts/bench_coll.sh); opt-in because timing-sensitive
+#   vet    static checks only: go vet + motor -mode check examples/
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -37,6 +40,19 @@ tier3() {
 	sh scripts/bench_coll.sh "${BENCH_COLL_RANKS:-4}"
 }
 
+# Static tier: go vet plus the MASM bytecode verifier over every
+# example module. A module that stops verifying is a regression in
+# either the module or the verifier.
+tier_vet() {
+	echo "== vet: go vet + bytecode verifier over examples/"
+	go vet ./...
+	modules=$(find examples -name '*.masm' | sort)
+	if [ -n "$modules" ]; then
+		# shellcheck disable=SC2086
+		go run ./cmd/motor -mode check $modules
+	fi
+}
+
 # Trace smoke: a traced mpstat run must produce a loadable Chrome
 # trace (exercises the MOTOR_TRACE env path end to end).
 smoke_trace() {
@@ -60,14 +76,16 @@ race) tier2 ;;
 all)
 	tier1 full
 	tier2
+	tier_vet
 	smoke_trace
 	;;
 bench)
 	tier1 short
 	tier3
 	;;
+vet) tier_vet ;;
 *)
-	echo "usage: $0 [quick|race|all|bench]" >&2
+	echo "usage: $0 [quick|race|all|bench|vet]" >&2
 	exit 2
 	;;
 esac
