@@ -27,6 +27,13 @@ type vt struct {
 	// nil means "some object" (as does mt == VM.ObjectMT for the
 	// transferability judgment).
 	mt *vm.MethodTable
+	// exact marks mt as the value's exact runtime type, not just an
+	// upper bound: set only by newobj/newarr/newmd (and ldnull), and
+	// lost on merges of unequal types, call returns and field/element
+	// loads. Only exact types may prove transferability — a slot whose
+	// static class is a mere upper bound can hold a subclass with
+	// reference fields at runtime.
+	exact bool
 	// null marks the slot as definitely the null constant.
 	null bool
 	// init is false only for locals that may be read before being
@@ -38,10 +45,15 @@ var (
 	vInt   = vt{kind: vm.SKInt, init: true}
 	vFloat = vt{kind: vm.SKFloat, init: true}
 	vAny   = vt{kind: vm.SKAny, init: true}
-	vNull  = vt{kind: vm.SKRef, null: true, init: true}
+	vNull  = vt{kind: vm.SKRef, null: true, exact: true, init: true}
 )
 
 func vRef(mt *vm.MethodTable) vt { return vt{kind: vm.SKRef, mt: mt, init: true} }
+
+// vRefExact types a freshly allocated object: mt is the runtime type.
+func vRefExact(mt *vm.MethodTable) vt {
+	return vt{kind: vm.SKRef, mt: mt, exact: true, init: true}
+}
 
 // kindVT maps a declared Kind (field, element, return) to its stack
 // classification.
@@ -115,9 +127,12 @@ func mergeVT(a, b vt) (vt, string) {
 		case a.null && b.null:
 			return vNull, ""
 		case a.null:
-			return vRef(b.mt), ""
+			return b, ""
 		case b.null:
-			return vRef(a.mt), ""
+			return a, ""
+		}
+		if a.mt == b.mt && a.exact && b.exact {
+			return vRefExact(a.mt), ""
 		}
 		return vRef(commonAncestor(a.mt, b.mt)), ""
 	}
@@ -145,7 +160,8 @@ func commonAncestor(a, b *vm.MethodTable) *vm.MethodTable {
 }
 
 func eqVT(a, b vt) bool {
-	return a.kind == b.kind && a.mt == b.mt && a.null == b.null && a.init == b.init
+	return a.kind == b.kind && a.mt == b.mt && a.exact == b.exact &&
+		a.null == b.null && a.init == b.init
 }
 
 // inst is one decoded instruction.
@@ -542,7 +558,7 @@ func (c *mver) step(idx int, st *state) *Error {
 		if mt.Kind != vm.TKClass {
 			c.fail(idx, "newobj on array type %s", mt)
 		}
-		c.pushVT(st, idx, vRef(mt))
+		c.pushVT(st, idx, vRefExact(mt))
 
 	case vm.OpNewArr:
 		c.popKind(st, idx, vm.SKInt)
@@ -553,7 +569,7 @@ func (c *mver) step(idx int, st *state) *Error {
 		if mt.Kind != vm.TKArray {
 			c.fail(idx, "newarr on non-array type %s", mt)
 		}
-		c.pushVT(st, idx, vRef(mt))
+		c.pushVT(st, idx, vRefExact(mt))
 
 	case vm.OpNewMD:
 		mt, ok := c.v.TypeByIndex(int(in.arg))
@@ -566,7 +582,7 @@ func (c *mver) step(idx int, st *state) *Error {
 		for i := 0; i < mt.Rank; i++ {
 			c.popKind(st, idx, vm.SKInt)
 		}
-		c.pushVT(st, idx, vRef(mt))
+		c.pushVT(st, idx, vRefExact(mt))
 
 	case vm.OpLdLen:
 		arr := c.popKind(st, idx, vm.SKRef)
@@ -589,7 +605,7 @@ func (c *mver) step(idx int, st *state) *Error {
 		arr := c.popKind(st, idx, vm.SKRef)
 		c.checkArrayRef(idx, arr, "stelem")
 		if amt := arrayMT(arr); amt != nil {
-			c.checkStore(idx, val, amt.Elem, fmt.Sprintf("element of %s", amt))
+			c.checkStore(idx, val, amt.Elem, amt.ElemMT, fmt.Sprintf("element of %s", amt))
 		}
 
 	case vm.OpLdFld, vm.OpStFld:
@@ -609,7 +625,7 @@ func (c *mver) step(idx int, st *state) *Error {
 				c.pushVT(st, idx, vAny)
 			}
 		} else if f != nil {
-			c.checkStore(idx, val, f.Kind(), "field "+f.Name)
+			c.checkStore(idx, val, f.Kind(), f.DeclaredType, "field "+f.Name)
 		}
 
 	case vm.OpLdSFld, vm.OpStSFld:
@@ -711,14 +727,22 @@ func (c *mver) fieldFor(idx int, obj vt, slot int) *vm.FieldDesc {
 	return &obj.mt.Fields[slot]
 }
 
-// checkStore validates a stored value against a declared kind.
-func (c *mver) checkStore(idx int, val vt, k vm.Kind, what string) {
+// checkStore validates a stored value against a declared kind and,
+// for reference stores, the declared class: without the class check
+// any object could land in a field declared as class A, and the
+// DeclaredType fact the verifier reads back at ldfld would be
+// meaningless (nil class means the root object type — anything goes).
+func (c *mver) checkStore(idx int, val vt, k vm.Kind, class *vm.MethodTable, what string) {
 	if val.kind == vm.SKAny {
 		return
 	}
 	want := kindVT(k, nil)
 	if val.kind != want.kind {
 		c.fail(idx, "storing %s into %s %s", val, k, what)
+	}
+	if k == vm.KindRef && class != nil && class != c.v.ObjectMT &&
+		val.kind == vm.SKRef && !val.null && val.mt != nil && !val.mt.IsSubclassOf(class) {
+		c.fail(idx, "storing %s into %s declared %s", val.mt, what, class)
 	}
 }
 
@@ -766,6 +790,15 @@ func (c *mver) transferPass() (bool, *Error) {
 // judgeBuf implements the three-valued transferability judgment for
 // one buffer argument: provably transferable (true), provably not
 // (error), or unknown (false — keep the dynamic check).
+//
+// The negative judgments are sound even when mt is only an upper
+// bound: a subclass inherits every reference field of its ancestors,
+// and no array is a subclass of a class, so a bad upper bound means
+// every possible runtime type is bad. The positive judgment demands an
+// exact type — a slot statically typed as a reference-free class could
+// otherwise hold a subclass with reference fields at runtime, and
+// skipping the dynamic check would let raw reference bits cross the
+// transport (the very §4.2.1 violation the check exists to prevent).
 func (c *mver) judgeBuf(idx int, fcall string, bp BufParam, v vt) (bool, *Error) {
 	switch v.kind {
 	case vm.SKInt, vm.SKFloat:
@@ -786,6 +819,9 @@ func (c *mver) judgeBuf(idx int, fcall string, bp BufParam, v vt) (bool, *Error)
 			if v.mt.HasRefFields() {
 				return false, c.errAt(idx, "argument %d of %s: %s contains reference fields and is not transferable (use the object-oriented operations)", bp.Arg, fcall, v.mt)
 			}
+		}
+		if !v.exact {
+			return false, nil // upper bound only: keep the dynamic check
 		}
 		return true, nil
 	default:

@@ -90,13 +90,24 @@ func (t *Thread) pushCallFrame(m *Method, args []Value) {
 // run executes until the frame stack shrinks back to depth base.
 // The result of the last returning frame is propagated.
 func (t *Thread) run(base int) (result Value, err error) {
+	callerInFCall := t.inFCall
+	t.inFCall = false
 	defer func() {
+		panickedInFCall := t.inFCall
+		t.inFCall = callerInFCall
 		if r := recover(); r != nil {
 			switch e := r.(type) {
 			case *BoundsError:
 				fr := t.callStack[len(t.callStack)-1]
 				err = fr.trap("index out of range", e.Error())
 			case runtime.Error:
+				if panickedInFCall {
+					// The panic unwound out of a host FCall, not the
+					// dispatch loop: that is a bug in engine/host Go
+					// code. Re-panic rather than masking it as a guest
+					// "invalid program" trap.
+					panic(r)
+				}
 				// Malformed (unverified) bytecode: operand-stack
 				// underflow, out-of-range frame slots, truncated
 				// operands. Surface as a typed trap instead of
@@ -295,7 +306,9 @@ func (t *Thread) run(base int) (result Value, err error) {
 				args[i] = fr.pop()
 			}
 			fr.pc = nextPC // commit pc before any GC inside the FCall
+			t.inFCall = true
 			ret, err := fn.Fn(t, args)
+			t.inFCall = false
 			if err != nil {
 				return Value{}, fmt.Errorf("vm: internal call %s: %w", fn.Name, err)
 			}

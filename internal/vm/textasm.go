@@ -102,8 +102,16 @@ func (v *VM) Assemble(src string) (*Method, error) {
 
 // AssembleModule is Assemble returning the full module, so callers
 // (Rank.Load, cmd/motor -check) can hand every method to the
-// verifier, not just main.
-func (v *VM) AssembleModule(src string) (*Module, error) {
+// verifier, not just main. A failed assembly rolls the VM's registries
+// back to their pre-call state, so a rejected source unit leaves no
+// half-registered classes, globals or methods behind.
+func (v *VM) AssembleModule(src string) (mod *Module, err error) {
+	mark := v.Mark()
+	defer func() {
+		if err != nil {
+			v.RollbackRegistry(mark)
+		}
+	}()
 	lines, err := lexMasm(src)
 	if err != nil {
 		return nil, err
@@ -221,7 +229,7 @@ func (v *VM) AssembleModule(src string) (*Module, error) {
 		built[idx].Lines = lineTab
 	}
 
-	mod := &Module{Methods: built}
+	mod = &Module{Methods: built}
 	if m, ok := v.MethodByName("main"); ok {
 		mod.Main = m
 	}

@@ -30,6 +30,14 @@ type Thread struct {
 	// mirroring the SSCLI's protected object pointers (§5.1).
 	prot [][]*Ref
 
+	// inFCall is true while the interpreter is inside an OpIntern
+	// host-function invocation. The trap recovery uses it to tell a
+	// guest-program fault (malformed bytecode tripping a Go runtime
+	// error in the dispatch loop — reported as a trap) from a bug in
+	// host Go code (re-panicked, so it crashes loudly instead of being
+	// blamed on the bytecode).
+	inFCall bool
+
 	attached bool
 }
 

@@ -58,3 +58,47 @@ func TestTrapOnArgOutOfRange(t *testing.T) {
 	m := v.AddMethod(nil, &Method{Name: "badarg", Code: []byte{byte(OpLdArg), 3, 0, byte(OpRet)}})
 	callExpectTrap(t, v, m, "invalid program")
 }
+
+// TestHostFCallPanicEscapes: a Go runtime error raised inside a host
+// FCall implementation is a bug in engine/host code, not malformed
+// bytecode. It must escape Thread.Call as a panic so it crashes loudly
+// instead of being converted into an "invalid program" trap that
+// blames the guest.
+func TestHostFCallPanicEscapes(t *testing.T) {
+	v := testVM()
+	idx := v.RegisterInternal(InternalFunc{
+		Name:  "test.crash",
+		NArgs: 0,
+		Fn: func(th *Thread, args []Value) (Value, error) {
+			var m map[string]int
+			m["boom"] = 1 // nil map write: a genuine runtime.Error
+			return Value{}, nil
+		},
+	})
+	m := v.AddMethod(nil, &Method{Name: "crasher",
+		Code: []byte{byte(OpIntern), byte(idx), byte(idx >> 8), byte(OpRet)}})
+	v.WithThread("t", func(th *Thread) {
+		defer func() {
+			if recover() == nil {
+				t.Error("host FCall runtime error was swallowed, want it to escape as a panic")
+			}
+		}()
+		_, _ = th.Call(m)
+	})
+}
+
+// TestTrapAfterFCallStaysTrap: the FCall passthrough must not widen —
+// a dispatch-loop runtime error in bytecode that runs after a
+// successful FCall is still the guest's fault and still traps.
+func TestTrapAfterFCallStaysTrap(t *testing.T) {
+	v := testVM()
+	idx := v.RegisterInternal(InternalFunc{
+		Name:  "test.ok",
+		NArgs: 0,
+		Fn:    func(th *Thread, args []Value) (Value, error) { return Value{}, nil },
+	})
+	// intern test.ok, then underflow the stack.
+	m := v.AddMethod(nil, &Method{Name: "afterfcall",
+		Code: []byte{byte(OpIntern), byte(idx), byte(idx >> 8), byte(OpAdd), byte(OpRet)}})
+	callExpectTrap(t, v, m, "invalid program")
+}

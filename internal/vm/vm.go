@@ -335,6 +335,90 @@ func (v *VM) MethodByName(name string) (*Method, bool) {
 	return nil, false
 }
 
+// --- registry rollback ------------------------------------------------------
+
+// RegistryMark captures the sizes of the VM's append-only registries
+// (types, methods, globals, internal calls) so a failed module load
+// can be undone. Take one with Mark before assembling; pass it to
+// RollbackRegistry if assembly or verification rejects the module.
+type RegistryMark struct {
+	types, methods, globals, internals int
+}
+
+// Mark snapshots the registries.
+func (v *VM) Mark() RegistryMark {
+	return RegistryMark{
+		types:     len(v.types),
+		methods:   len(v.methods),
+		globals:   len(v.globals),
+		internals: len(v.internals),
+	}
+}
+
+// RollbackRegistry removes every type, method, global and internal
+// call registered after mark, so a rejected module leaves nothing
+// callable behind — a later module's call operands cannot reach its
+// unverified methods, and its class and global names become free
+// again. Only artifacts registered since the mark are touched; methods
+// attached to pre-existing types are detached and their vtable slots
+// restored to the inherited implementation.
+func (v *VM) RollbackRegistry(mark RegistryMark) {
+	for i := len(v.methods) - 1; i >= mark.methods; i-- {
+		m := v.methods[i]
+		o := m.Owner
+		if o == nil || o.Index >= mark.types {
+			continue // owner is being removed wholesale (or module-level)
+		}
+		for j := len(o.Methods) - 1; j >= 0; j-- {
+			if o.Methods[j] == m {
+				o.Methods = append(o.Methods[:j], o.Methods[j+1:]...)
+				break
+			}
+		}
+		if m.Virtual && m.VSlot < len(o.VTable) && o.VTable[m.VSlot] == m {
+			var inherited *Method
+			if o.Parent != nil {
+				inherited = lookupVSlot(o.Parent, m.VSlot)
+			}
+			switch {
+			case inherited != nil:
+				o.VTable[m.VSlot] = inherited
+			case m.VSlot == len(o.VTable)-1:
+				o.VTable = o.VTable[:m.VSlot]
+			default:
+				o.VTable[m.VSlot] = nil
+			}
+		}
+	}
+	v.methods = v.methods[:mark.methods]
+
+	for _, mt := range v.types[mark.types:] {
+		if mt.Name != "" {
+			delete(v.typeByName, mt.Name)
+		}
+	}
+	for key, mt := range v.arrayTypes {
+		if mt.Index >= mark.types {
+			delete(v.arrayTypes, key)
+		}
+	}
+	v.types = v.types[:mark.types]
+
+	for name, i := range v.globalNames {
+		if i >= mark.globals {
+			delete(v.globalNames, name)
+		}
+	}
+	v.globals = v.globals[:mark.globals]
+
+	for name, i := range v.internalNames {
+		if i >= mark.internals {
+			delete(v.internalNames, name)
+		}
+	}
+	v.internals = v.internals[:mark.internals]
+}
+
 // --- globals (statics) ----------------------------------------------------
 
 // AddGlobal registers a named static slot and returns its index.

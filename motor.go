@@ -633,13 +633,22 @@ func (r *Rank) OGather(arr Ref, root int) (Ref, error) {
 // Load with a *bcverify.Error naming the method, instruction and masm
 // source line, and methods whose MPI buffer arguments are provably
 // integrity-safe skip the engine's dynamic §4.2.1 check at run time.
+// A rejected module is unregistered again in full — none of its
+// classes, globals or (unverified) methods remain reachable, so a
+// failed Load may simply be retried with corrected source.
 func (r *Rank) Load(masmSource string) (*vm.Method, error) {
+	mark := r.vm.Mark()
 	mod, err := r.vm.AssembleModule(masmSource)
 	if err != nil {
 		return nil, err
 	}
 	if r.cfg.Verify == VerifyOn {
 		if err := r.engine.VerifyModule(mod.Methods); err != nil {
+			// Assembly already registered the module's classes, globals
+			// and methods on the VM; unwind them so nothing rejected
+			// stays reachable (a later module could otherwise call the
+			// unverified methods by index).
+			r.vm.RollbackRegistry(mark)
 			return nil, err
 		}
 	}

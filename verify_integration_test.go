@@ -174,3 +174,117 @@ func errorsAs(err error, target **bcverify.Error) bool {
 	}
 	return false
 }
+
+// TestLoadRejectionUnregistersModule: Load assembles before verifying,
+// so a rejected module's classes, globals and (unverified) methods
+// were already on the VM — Load must roll them back, leaving nothing a
+// later module could call by index and freeing the names for a
+// corrected retry.
+func TestLoadRejectionUnregistersModule(t *testing.T) {
+	const bad = `
+.class Payload
+  .field int64 v
+.end
+.global state
+.method helper (0) void
+  ret
+.end
+.method main (0) void
+  .locals 1
+  ldloc 0
+  pop
+  ret
+.end`
+	const good = `
+.class Payload
+  .field int64 v
+.end
+.global state
+.method helper (0) void
+  ret
+.end
+.method main (0) int32
+  ldc.i4 7
+  ret.val
+.end`
+	run(t, motor.Config{Ranks: 2}, func(r *motor.Rank) error {
+		nm, nt := r.VM().NumMethods(), r.VM().NumTypes()
+		if _, err := r.Load(bad); err == nil {
+			t.Error("Load accepted an unverifiable module")
+			return nil
+		}
+		if got := r.VM().NumMethods(); got != nm {
+			t.Errorf("rejected Load left %d methods registered, want %d", got, nm)
+		}
+		if got := r.VM().NumTypes(); got != nt {
+			t.Errorf("rejected Load left %d types registered, want %d", got, nt)
+		}
+		main, err := r.Load(good)
+		if err != nil {
+			t.Errorf("corrected module failed to load: %v", err)
+			return nil
+		}
+		res, err := r.Call(main)
+		if err != nil {
+			return err
+		}
+		if res.Int() != 7 {
+			t.Errorf("corrected main returned %d, want 7", res.Int())
+		}
+		return nil
+	})
+}
+
+// superclassJoin sends an object whose static type after a branch
+// join is the reference-free superclass Plain, while the runtime
+// value is the reference-bearing subclass Linked. The verifier must
+// NOT prove this transferable (the join is only an upper bound); the
+// dynamic check must then reject the send at run time.
+const superclassJoin = `
+.class Plain
+  .field int64 v
+.end
+.class Linked extends Plain
+  .field object next
+.end
+.method main (0) void
+  .locals 1
+  ldc.i4 1
+  brtrue linked
+  newobj Plain
+  stloc 0
+  br send
+linked:
+  newobj Linked
+  stloc 0
+send:
+  ldloc 0
+  ldc.i4 0
+  ldc.i4 3
+  intern mp.send
+  ret
+.end`
+
+func TestSuperclassJoinKeepsDynamicCheck(t *testing.T) {
+	core.DebugAssertTransferable = true
+	defer func() { core.DebugAssertTransferable = false }()
+
+	var dyn atomic.Uint64
+	run(t, motor.Config{Ranks: 2}, func(r *motor.Rank) error {
+		main, err := r.Load(superclassJoin)
+		if err != nil {
+			return err
+		}
+		_, err = r.Call(main)
+		if err == nil {
+			t.Error("sending a reference-bearing subclass through a superclass-typed join succeeded")
+		} else if !strings.Contains(err.Error(), "object contains references") {
+			t.Errorf("unexpected error from joined send: %v", err)
+		}
+		dyn.Add(r.MPStats().TransferChecksDyn)
+		return nil
+	})
+	if dyn.Load() == 0 {
+		t.Error("join-typed send skipped the dynamic integrity check")
+	}
+}
