@@ -10,6 +10,8 @@
 //	benchfig -ablate policy    # §7.4 decision counters under GC pressure
 //	benchfig -coll             # collective algorithm size sweep
 //	benchfig -coll -collranks 8 -json   # machine-readable (BENCH_coll.json)
+//	benchfig -oo               # OO transport sweep: v1 buffer vs chunked stream
+//	benchfig -oo -json         # machine-readable (BENCH_oo.json)
 //	benchfig -quick            # smaller protocol for smoke runs
 //
 // Absolute numbers reflect this machine, not the paper's 2006
@@ -35,7 +37,8 @@ func main() {
 	channel := flag.String("channel", "shm", "transport: shm or sock")
 	coll := flag.Bool("coll", false, "run the collective algorithm size sweep")
 	collRanks := flag.Int("collranks", 4, "rank count for -coll")
-	jsonOut := flag.Bool("json", false, "emit -coll results as JSON (BENCH_coll.json format)")
+	oo := flag.Bool("oo", false, "run the OO transport sweep (v1 buffer vs chunked stream)")
+	jsonOut := flag.Bool("json", false, "emit -coll/-oo results as JSON")
 	flag.Parse()
 
 	proto := bench.PaperProtocol()
@@ -53,6 +56,23 @@ func main() {
 	}
 
 	switch {
+	case *oo:
+		ooProto := bench.OOProtocol()
+		ooProto.Channel = proto.Channel
+		grid := bench.OOGrid()
+		if *quick {
+			ooProto.Repeats, ooProto.Timed = 1, 3
+			grid = bench.OOQuickGrid()
+		}
+		rep, err := bench.RunOOSweep(ooProto, grid)
+		fatal(err)
+		if *jsonOut {
+			out, err := bench.MarshalOOReport(rep)
+			fatal(err)
+			fmt.Println(string(out))
+			return
+		}
+		fmt.Print(bench.FormatOOTable(rep))
 	case *coll:
 		series, err := bench.CollSweep(proto, *collRanks, bench.CollSizes())
 		fatal(err)

@@ -1,0 +1,433 @@
+package bench
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"motor/internal/core"
+	"motor/internal/mp"
+	"motor/internal/serial"
+	"motor/internal/vm"
+)
+
+// Object-transport streaming sweep: the v1 whole-buffer protocol
+// (8-byte size prefix, one contiguous representation, linear visited
+// list — the shape of the transport before chunked streams) against
+// the engine's chunked v2 stream with the type-table cache, across an
+// object-count x payload-size grid. Shared by cmd/benchfig -oo and
+// scripts/bench_oo.sh; the committed BENCH_oo.json is the acceptance
+// artifact for the streaming transport.
+
+// OOCell is one grid configuration: a linked list of Objects cells
+// whose payload arrays total TotalBytes.
+type OOCell struct {
+	Objects    int
+	TotalBytes int
+}
+
+// OOGrid is the sweep: small/medium/large structures crossed with
+// payloads up to several MiB, so the large column exercises
+// representations well past 1 MiB (the streaming transport's target
+// regime) while the small corner keeps the latency overhead honest.
+func OOGrid() []OOCell {
+	var out []OOCell
+	for _, objs := range []int{16, 256, 2048} {
+		for _, bytes := range []int{64 << 10, 1 << 20, 4 << 20} {
+			out = append(out, OOCell{Objects: objs, TotalBytes: bytes})
+		}
+	}
+	return out
+}
+
+// OOQuickGrid is a reduced grid for smoke runs.
+func OOQuickGrid() []OOCell {
+	return []OOCell{{16, 64 << 10}, {256, 1 << 20}}
+}
+
+// OOProtocol sizes iteration counts for multi-MiB round trips (the
+// paper protocol's hundreds of iterations would take minutes per
+// cell at 4 MiB).
+func OOProtocol() Protocol {
+	return Protocol{Warmup: 2, Timed: 10, Repeats: 5, Channel: mp.ChannelShm}
+}
+
+// ooRank is one rank's implementation of the grid ping-pong.
+type ooRank interface {
+	Build(cell OOCell) error
+	Initiate(peer, tag int) error
+	Echo(peer, tag int) error
+	Close()
+}
+
+// --- baseline: the pre-streaming protocol --------------------------------------
+
+// v1Rank replicates the transport's original object path at the
+// bench level: serialize the whole tree into one buffer with the
+// linear visited list (the engine's former default), send an 8-byte
+// size prefix, send the representation as a single message, and
+// deserialize from the contiguous buffer on the far side.
+type v1Rank struct {
+	v       *vm.VM
+	c       *mp.Comm
+	th      *vm.Thread
+	mt      *vm.MethodTable
+	head    vm.Handle
+	scratch []byte // persistent staging buffer (generous to the baseline)
+}
+
+func newV1Rank(w *mp.World) (*v1Rank, error) {
+	v := benchVM(fmt.Sprintf("oov1_%d", w.Rank()), vm.PinHandleTable)
+	return &v1Rank{v: v, c: w.Comm, th: v.StartThread("bench"), mt: cellClass(v), head: vm.InvalidHandle}, nil
+}
+
+func (r *v1Rank) Build(cell OOCell) error {
+	if r.head != vm.InvalidHandle {
+		r.v.Handles.Free(r.head)
+	}
+	head, err := buildCells(r.v, r.mt, cell.Objects, cell.TotalBytes)
+	if err != nil {
+		return err
+	}
+	r.head = r.v.Handles.Alloc(head)
+	return nil
+}
+
+func (r *v1Rank) sendTree(root vm.Ref, peer, tag int) error {
+	data, err := serial.Serialize(r.v.Heap, root, serial.Options{Visited: serial.VisitedLinear}, r.scratch)
+	if err != nil {
+		return err
+	}
+	r.scratch = data[:0]
+	var szb [8]byte
+	binary.LittleEndian.PutUint64(szb[:], uint64(len(data)))
+	if err := r.c.Send(szb[:], peer, tag); err != nil {
+		return err
+	}
+	return r.c.Send(data, peer, tag)
+}
+
+func (r *v1Rank) recvTree(peer, tag int) (vm.Ref, error) {
+	var szb [8]byte
+	if _, err := r.c.Recv(szb[:], peer, tag); err != nil {
+		return vm.NullRef, err
+	}
+	size := int(binary.LittleEndian.Uint64(szb[:]))
+	buf := make([]byte, size)
+	if _, err := r.c.Recv(buf, peer, tag); err != nil {
+		return vm.NullRef, err
+	}
+	return serial.Deserialize(r.v, buf)
+}
+
+func (r *v1Rank) Initiate(peer, tag int) error {
+	if err := r.sendTree(r.v.Handles.Get(r.head), peer, tag); err != nil {
+		return err
+	}
+	_, err := r.recvTree(peer, tag)
+	return err
+}
+
+func (r *v1Rank) Echo(peer, tag int) error {
+	got, err := r.recvTree(peer, tag)
+	if err != nil {
+		return err
+	}
+	pop := r.th.PushFrame(&got)
+	defer pop()
+	return r.sendTree(got, peer, tag)
+}
+
+func (r *v1Rank) Close() { r.th.End() }
+
+// --- streaming: the engine's chunked v2 transport ------------------------------
+
+// streamRank uses the engine's OSend/ORecv: chunked v2 streams
+// pipelined with the wire and the per-peer type-table cache.
+type streamRank struct {
+	v    *vm.VM
+	e    *core.Engine
+	th   *vm.Thread
+	mt   *vm.MethodTable
+	head vm.Handle
+}
+
+func newStreamRank(w *mp.World) (*streamRank, error) {
+	v := benchVM(fmt.Sprintf("oov2_%d", w.Rank()), vm.PinHandleTable)
+	e := core.Attach(v, w)
+	return &streamRank{v: v, e: e, th: v.StartThread("bench"), mt: cellClass(v), head: vm.InvalidHandle}, nil
+}
+
+func (r *streamRank) Build(cell OOCell) error {
+	if r.head != vm.InvalidHandle {
+		r.v.Handles.Free(r.head)
+	}
+	head, err := buildCells(r.v, r.mt, cell.Objects, cell.TotalBytes)
+	if err != nil {
+		return err
+	}
+	r.head = r.v.Handles.Alloc(head)
+	return nil
+}
+
+func (r *streamRank) Initiate(peer, tag int) error {
+	if err := r.e.OSend(r.th, r.v.Handles.Get(r.head), peer, tag); err != nil {
+		return err
+	}
+	_, _, err := r.e.ORecv(r.th, peer, tag)
+	return err
+}
+
+func (r *streamRank) Echo(peer, tag int) error {
+	got, _, err := r.e.ORecv(r.th, peer, tag)
+	if err != nil {
+		return err
+	}
+	pop := r.th.PushFrame(&got)
+	defer pop()
+	return r.e.OSend(r.th, got, peer, tag)
+}
+
+func (r *streamRank) Close() { r.th.End() }
+
+// --- runner --------------------------------------------------------------------
+
+// OOPoint is one measured cell.
+type OOPoint struct {
+	Objects int     `json:"objects"`
+	Bytes   int     `json:"payload_bytes"`
+	Us      float64 `json:"us_per_iter"`
+}
+
+// ooSweepResult carries rank 0's measurements plus (streaming only)
+// the type-table cache evidence.
+type ooSweepResult struct {
+	points []OOPoint
+	tt     serial.TTCacheStats
+	// warmTableBytes is the table traffic of one extra exchange run
+	// after the sweep with the cache warm — the acceptance criterion
+	// says it must be zero.
+	warmTableBytes uint64
+	warmHits       uint64
+}
+
+// runOOImpl sweeps one implementation over the grid on a fresh
+// 2-rank world.
+func runOOImpl(mk func(w *mp.World) (ooRank, error), proto Protocol, cells []OOCell, stats bool) (ooSweepResult, error) {
+	worlds, err := mp.NewLocalWorlds(proto.Channel, 2, proto.EagerMax)
+	if err != nil {
+		return ooSweepResult{}, err
+	}
+	type res struct {
+		r   ooSweepResult
+		err error
+	}
+	results := make(chan res, 2)
+	for _, w := range worlds {
+		go func(w *mp.World) {
+			defer w.Close()
+			r, err := ooImplRankLoop(mk, w, proto, cells, stats)
+			results <- res{r, err}
+		}(w)
+	}
+	var out ooSweepResult
+	var firstErr error
+	for i := 0; i < 2; i++ {
+		r := <-results
+		if r.err != nil && firstErr == nil {
+			firstErr = r.err
+		}
+		if r.r.points != nil {
+			out = r.r
+		}
+	}
+	return out, firstErr
+}
+
+func ooImplRankLoop(mk func(w *mp.World) (ooRank, error), w *mp.World, proto Protocol, cells []OOCell, stats bool) (ooSweepResult, error) {
+	or, err := mk(w)
+	if err != nil {
+		return ooSweepResult{}, err
+	}
+	defer or.Close()
+	me := w.Rank()
+	peer := 1 - me
+	var out ooSweepResult
+	for _, cell := range cells {
+		if err := or.Build(cell); err != nil {
+			return out, fmt.Errorf("build %dx%d: %w", cell.Objects, cell.TotalBytes, err)
+		}
+		reps := make([]float64, 0, proto.Repeats)
+		for rep := 0; rep < proto.Repeats; rep++ {
+			iters := proto.Warmup + proto.Timed
+			var t0 time.Time
+			for i := 0; i < iters; i++ {
+				if i == proto.Warmup {
+					t0 = time.Now()
+				}
+				if me == 0 {
+					err = or.Initiate(peer, 1)
+				} else {
+					err = or.Echo(peer, 1)
+				}
+				if err != nil {
+					return out, fmt.Errorf("cell %dx%d: %w", cell.Objects, cell.TotalBytes, err)
+				}
+			}
+			reps = append(reps, float64(time.Since(t0).Nanoseconds())/1e3/float64(proto.Timed))
+		}
+		if me == 0 {
+			out.points = append(out.points, OOPoint{Objects: cell.Objects, Bytes: cell.TotalBytes, Us: median(reps)})
+		}
+	}
+	// One extra exchange with the cache warm: the table-byte delta
+	// across it is the "zero type-table bytes after the first
+	// same-shape message" proof.
+	var before serial.TTCacheStats
+	sr, isStream := or.(*streamRank)
+	if stats && isStream {
+		before = sr.e.TTCache.Snapshot()
+	}
+	if me == 0 {
+		err = or.Initiate(peer, 1)
+	} else {
+		err = or.Echo(peer, 1)
+	}
+	if err != nil {
+		return out, fmt.Errorf("warm exchange: %w", err)
+	}
+	if stats && isStream && me == 0 {
+		after := sr.e.TTCache.Snapshot()
+		out.tt = after
+		out.warmTableBytes = after.TableBytes - before.TableBytes
+		out.warmHits = after.Hits - before.Hits
+	}
+	if me == 0 {
+		return out, nil
+	}
+	return ooSweepResult{}, nil
+}
+
+// --- report --------------------------------------------------------------------
+
+// OOCellJSON is one grid cell's comparison.
+type OOCellJSON struct {
+	Objects    int     `json:"objects"`
+	Bytes      int     `json:"payload_bytes"`
+	BaselineUs float64 `json:"v1_us_per_iter"`
+	StreamUs   float64 `json:"stream_us_per_iter"`
+	Speedup    float64 `json:"speedup"`
+}
+
+// OOReport is the JSON document emitted by scripts/bench_oo.sh
+// (committed as BENCH_oo.json). SpeedupBig summarises the cells whose
+// payload is >= 1 MiB — the streaming transport's acceptance regime —
+// and TTCache carries the cache-hit evidence: WarmTableBytes is the
+// type-table traffic of one post-sweep exchange (must be 0),
+// WarmHits the cache hits it scored instead.
+type OOReport struct {
+	Ranks          int                `json:"ranks"`
+	Channel        string             `json:"channel"`
+	Protocol       map[string]int     `json:"protocol"`
+	Cells          []OOCellJSON       `json:"cells"`
+	SpeedupBig     map[string]float64 `json:"speedup_vs_v1_at_1mib_plus"`
+	TTCache        map[string]uint64  `json:"ttcache"`
+	WarmTableBytes uint64             `json:"warm_exchange_table_bytes"`
+	WarmHits       uint64             `json:"warm_exchange_cache_hits"`
+}
+
+// RunOOSweep measures both implementations over the grid and builds
+// the report.
+func RunOOSweep(proto Protocol, cells []OOCell) (OOReport, error) {
+	base, err := runOOImpl(func(w *mp.World) (ooRank, error) { return newV1Rank(w) }, proto, cells, false)
+	if err != nil {
+		return OOReport{}, fmt.Errorf("v1 baseline: %w", err)
+	}
+	stream, err := runOOImpl(func(w *mp.World) (ooRank, error) { return newStreamRank(w) }, proto, cells, true)
+	if err != nil {
+		return OOReport{}, fmt.Errorf("stream: %w", err)
+	}
+	rep := OOReport{
+		Ranks:   2,
+		Channel: map[mp.ChannelKind]string{mp.ChannelShm: "shm", mp.ChannelSock: "sock"}[proto.Channel],
+		Protocol: map[string]int{
+			"warmup": proto.Warmup, "timed": proto.Timed, "repeats": proto.Repeats,
+		},
+		SpeedupBig: map[string]float64{},
+		TTCache: map[string]uint64{
+			"hits":        stream.tt.Hits,
+			"misses":      stream.tt.Misses,
+			"nacks":       stream.tt.Nacks,
+			"resets":      stream.tt.Resets,
+			"table_bytes": stream.tt.TableBytes,
+		},
+		WarmTableBytes: stream.warmTableBytes,
+		WarmHits:       stream.warmHits,
+	}
+	sIdx := map[[2]int]float64{}
+	for _, p := range stream.points {
+		sIdx[[2]int{p.Objects, p.Bytes}] = p.Us
+	}
+	var bigMin, bigMax, bigSum float64
+	bigN := 0
+	for _, p := range base.points {
+		sUs, ok := sIdx[[2]int{p.Objects, p.Bytes}]
+		if !ok || sUs <= 0 {
+			continue
+		}
+		cell := OOCellJSON{Objects: p.Objects, Bytes: p.Bytes, BaselineUs: p.Us, StreamUs: sUs, Speedup: p.Us / sUs}
+		rep.Cells = append(rep.Cells, cell)
+		if p.Bytes >= 1<<20 {
+			if bigN == 0 || cell.Speedup < bigMin {
+				bigMin = cell.Speedup
+			}
+			if cell.Speedup > bigMax {
+				bigMax = cell.Speedup
+			}
+			bigSum += cell.Speedup
+			bigN++
+		}
+	}
+	if bigN > 0 {
+		rep.SpeedupBig["min"] = bigMin
+		rep.SpeedupBig["max"] = bigMax
+		rep.SpeedupBig["mean"] = bigSum / float64(bigN)
+	}
+	return rep, nil
+}
+
+// MarshalOOReport renders the report as indented JSON.
+func MarshalOOReport(rep OOReport) ([]byte, error) {
+	return json.MarshalIndent(rep, "", "  ")
+}
+
+// FormatOOTable renders the comparison as an aligned text table.
+func FormatOOTable(rep OOReport) string {
+	out := fmt.Sprintf("OO transport sweep: v1 whole-buffer vs chunked stream (microseconds per round trip)\n")
+	out += fmt.Sprintf("%8s %12s %14s %14s %9s\n", "objects", "bytes", "v1", "stream", "speedup")
+	for _, c := range rep.Cells {
+		out += fmt.Sprintf("%8d %12d %14.1f %14.1f %8.2fx\n", c.Objects, c.Bytes, c.BaselineUs, c.StreamUs, c.Speedup)
+	}
+	out += fmt.Sprintf("ttcache: hits=%d misses=%d table_bytes=%d; warm exchange: table_bytes=%d hits=%d\n",
+		rep.TTCache["hits"], rep.TTCache["misses"], rep.TTCache["table_bytes"], rep.WarmTableBytes, rep.WarmHits)
+	return out
+}
+
+// RunOON measures one implementation at one cell for exactly n timed
+// iterations (testing.B integration).
+func RunOON(streamImpl bool, cell OOCell, n int) (float64, error) {
+	proto := Protocol{Warmup: 2, Timed: n, Repeats: 1, Channel: mp.ChannelShm}
+	mk := func(w *mp.World) (ooRank, error) { return newV1Rank(w) }
+	if streamImpl {
+		mk = func(w *mp.World) (ooRank, error) { return newStreamRank(w) }
+	}
+	r, err := runOOImpl(mk, proto, []OOCell{cell}, false)
+	if err != nil {
+		return 0, err
+	}
+	if len(r.points) == 0 {
+		return 0, fmt.Errorf("no points")
+	}
+	return r.points[0].Us, nil
+}

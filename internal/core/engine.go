@@ -58,7 +58,15 @@ var (
 	ErrNotArray = errors.New("core: offset/count transport requires an array")
 	// ErrBadRequest flags an unknown request id.
 	ErrBadRequest = errors.New("core: unknown request id")
+	// ErrOversize rejects an incoming OO message whose wire-claimed
+	// size exceeds MaxOOMessage — the allocation never happens, so a
+	// corrupt or adversarial peer cannot force unbounded memory use.
+	ErrOversize = errors.New("core: object message exceeds MaxOOMessage")
 )
+
+// DefaultMaxOOMessage caps the accumulated size of one incoming OO
+// representation (WithMaxOOMessage overrides).
+const DefaultMaxOOMessage = 1 << 30
 
 // Stats counts pinning-policy and OO-operation activity; the paper's
 // §7.4 behaviour is asserted against these in tests.
@@ -76,6 +84,8 @@ type Stats struct {
 	CondPins         uint64 // conditional pin requests registered (non-blocking ops)
 	OOSends          uint64
 	OORecvs          uint64
+	OOChunksSent     uint64 // v2 stream chunks put on the wire
+	OOChunksRecvd    uint64 // v2 stream chunks taken off the wire
 	SerializedBytes  uint64
 	BufferReuses     uint64
 	BufferAllocs     uint64
@@ -105,6 +115,8 @@ func (s *Stats) Snapshot() Stats {
 		CondPins:         atomic.LoadUint64(&s.CondPins),
 		OOSends:          atomic.LoadUint64(&s.OOSends),
 		OORecvs:          atomic.LoadUint64(&s.OORecvs),
+		OOChunksSent:     atomic.LoadUint64(&s.OOChunksSent),
+		OOChunksRecvd:    atomic.LoadUint64(&s.OOChunksRecvd),
 		SerializedBytes:  atomic.LoadUint64(&s.SerializedBytes),
 		BufferReuses:     atomic.LoadUint64(&s.BufferReuses),
 		BufferAllocs:     atomic.LoadUint64(&s.BufferAllocs),
@@ -145,6 +157,16 @@ type Engine struct {
 	policy  PinPolicy
 	serOpts serial.Options
 
+	// maxOO caps incoming OO representation sizes (ErrOversize);
+	// ooChunk is the streaming chunk target.
+	maxOO   int
+	ooChunk int
+
+	// Type-table caches, keyed by world-communicator peer rank:
+	// peerCaches is the sender side, mirrors the receiver side.
+	peerCaches map[int]*serial.PeerCache
+	mirrors    map[int]*serial.TableMirror
+
 	requests map[int32]*mpReq
 	nextReq  int32
 
@@ -158,8 +180,9 @@ type Engine struct {
 	// lane is this rank's trace lane (world rank), fixed at Attach.
 	lane int
 
-	Stats  Stats
-	Verify VerifyStats
+	Stats   Stats
+	Verify  VerifyStats
+	TTCache serial.TTCacheStats
 }
 
 type mpReq struct {
@@ -175,11 +198,22 @@ type Option func(*Engine)
 // WithPolicy selects the pinning policy.
 func WithPolicy(p PinPolicy) Option { return func(e *Engine) { e.policy = p } }
 
-// WithVisited selects the serializer's visited-object structure
-// (paper default: linear; see ablation A2).
+// WithVisited selects the serializer's visited-object structure. The
+// engine defaults to VisitedMap (the efficient structure the paper
+// names as future work); pass VisitedLinear for the paper's original
+// behaviour (ablation A2 benchmarks both).
 func WithVisited(m serial.VisitedMode) Option {
 	return func(e *Engine) { e.serOpts.Visited = m }
 }
+
+// WithMaxOOMessage caps the accumulated size of one incoming OO
+// representation; oversized wire claims fail with ErrOversize before
+// any allocation (default DefaultMaxOOMessage).
+func WithMaxOOMessage(n int) Option { return func(e *Engine) { e.maxOO = n } }
+
+// WithOOChunk sets the streaming-serialization chunk target (default
+// serial.DefaultChunkTarget).
+func WithOOChunk(n int) Option { return func(e *Engine) { e.ooChunk = n } }
 
 // Attach integrates a VM with a world: it wires the device's
 // polling-wait yield to the VM's GC poll point, installs the GC hook
@@ -187,10 +221,15 @@ func WithVisited(m serial.VisitedMode) Option {
 // ages the OO buffer stack, and registers the System.MP FCalls.
 func Attach(v *vm.VM, w *mp.World, opts ...Option) *Engine {
 	e := &Engine{
-		VM:       v,
-		World:    w,
-		Comm:     w.Comm,
-		requests: make(map[int32]*mpReq),
+		VM:         v,
+		World:      w,
+		Comm:       w.Comm,
+		maxOO:      DefaultMaxOOMessage,
+		ooChunk:    serial.DefaultChunkTarget,
+		serOpts:    serial.Options{Visited: serial.VisitedMap},
+		peerCaches: make(map[int]*serial.PeerCache),
+		mirrors:    make(map[int]*serial.TableMirror),
+		requests:   make(map[int32]*mpReq),
 	}
 	for _, opt := range opts {
 		opt(e)
@@ -223,6 +262,7 @@ func (e *Engine) Policy() PinPolicy { return e.policy }
 func (e *Engine) RegisterStats(reg *obs.Registry) {
 	reg.Register("engine", func() any { return e.Stats.Snapshot() })
 	reg.Register("verify", func() any { return e.Verify.Snapshot() })
+	reg.Register("serial.ttcache", func() any { return e.TTCache.Snapshot() })
 	reg.Register("device", func() any { return e.World.Dev.Stats })
 	reg.Register("coll", func() any { return e.Comm.CollStats() })
 	reg.Register("gc", func() any { return e.VM.Heap.Stats })
@@ -345,6 +385,11 @@ func (e *Engine) rangeBuf(t *vm.Thread, obj vm.Ref, offset, count int) (heapBuf,
 type bufferStack struct {
 	bufs []poolBuf
 	gen  uint64
+	// out counts buffers handed out and not yet returned. The pool
+	// does not track buffer identity (a borrower may grow and return a
+	// different backing array), but every get must be balanced by
+	// exactly one put — tests assert out == 0 after every error path.
+	out int
 }
 
 type poolBuf struct {
@@ -353,6 +398,7 @@ type poolBuf struct {
 }
 
 func (s *bufferStack) get(minCap int, st *Stats) []byte {
+	s.out++
 	for i := len(s.bufs) - 1; i >= 0; i-- {
 		if cap(s.bufs[i].data) >= minCap {
 			b := s.bufs[i].data
@@ -369,6 +415,7 @@ func (s *bufferStack) get(minCap int, st *Stats) []byte {
 }
 
 func (s *bufferStack) put(b []byte) {
+	s.out--
 	s.bufs = append(s.bufs, poolBuf{data: b, gen: s.gen})
 }
 
@@ -391,3 +438,34 @@ func (s *bufferStack) age() uint64 {
 
 // PooledBuffers reports the current stack depth (tests).
 func (e *Engine) PooledBuffers() int { return len(e.bufs.bufs) }
+
+// BufferOutstanding reports how many pooled buffers are currently
+// handed out; zero between operations proves no error path leaks.
+func (e *Engine) BufferOutstanding() int { return e.bufs.out }
+
+// --- type-table caches (serial.ttcache) -------------------------------------
+
+// peerCache returns the sender-side type-table cache for a world-comm
+// peer, resynchronized against the VM's type-registry generation.
+func (e *Engine) peerCache(rank int) *serial.PeerCache {
+	pc, ok := e.peerCaches[rank]
+	if !ok {
+		pc = serial.NewPeerCache(e.VM.TypeGen())
+		e.peerCaches[rank] = pc
+		return pc
+	}
+	if pc.Sync(e.VM.TypeGen()) {
+		bump(&e.TTCache.Resets, 1)
+	}
+	return pc
+}
+
+// mirror returns the receiver-side type-table mirror for a peer.
+func (e *Engine) mirror(rank int) *serial.TableMirror {
+	m, ok := e.mirrors[rank]
+	if !ok {
+		m = serial.NewTableMirror()
+		e.mirrors[rank] = m
+	}
+	return m
+}

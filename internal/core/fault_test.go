@@ -25,6 +25,13 @@ import (
 // failed so tests can assert on the error class.
 func runSockRanks(t *testing.T, plats []pal.Platform, eagerMax int, body func(r *rank) error) []error {
 	t.Helper()
+	return runSockRanksOpts(t, plats, eagerMax, nil, body)
+}
+
+// runSockRanksOpts is runSockRanks with engine options (the OO chaos
+// tests shrink chunk targets to force multi-chunk streams).
+func runSockRanksOpts(t *testing.T, plats []pal.Platform, eagerMax int, opts []Option, body func(r *rank) error) []error {
+	t.Helper()
 	n := len(plats)
 	rp := channel.RetryPolicy{
 		DialAttempts:      4,
@@ -48,7 +55,7 @@ func runSockRanks(t *testing.T, plats []pal.Platform, eagerMax int, body func(r 
 				Name: fmt.Sprintf("rank%d", w.Rank()),
 				Heap: vm.HeapConfig{YoungSize: 64 << 10, InitialElder: 512 << 10, ArenaMax: 64 << 20},
 			})
-			e := Attach(v, w)
+			e := Attach(v, w, opts...)
 			th := v.StartThread("main")
 			defer th.End()
 			defer w.Close()

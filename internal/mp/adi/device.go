@@ -649,6 +649,16 @@ func (d *Device) Iprobe(source, tag int, ctx int32) (bool, Status, error) {
 			return true, Status{Source: int(h.Source), Tag: int(h.Tag), Count: count}, nil
 		}
 	}
+	// Nothing queued from this source: a probe aimed at a dead peer can
+	// never be satisfied, so surface the failure instead of letting the
+	// caller poll forever (same ordering as Irecv — traffic that arrived
+	// before the peer died stays matchable above).
+	if source != AnySource {
+		if werr, dead := d.lost[source]; dead {
+			d.Stats.TransportErrors++
+			return false, Status{}, werr
+		}
+	}
 	return false, Status{}, nil
 }
 
@@ -670,6 +680,14 @@ func (d *Device) PollCtrl(source, tag int, ctx int32) (bool, error) {
 		if matches(probe, d.ctrl[i]) {
 			d.ctrl = append(d.ctrl[:i], d.ctrl[i+1:]...)
 			return true, nil
+		}
+	}
+	// As with Iprobe: a control packet from a dead peer will never
+	// arrive, so a poll aimed at it must fail typed rather than spin.
+	if source != AnySource {
+		if werr, dead := d.lost[source]; dead {
+			d.Stats.TransportErrors++
+			return false, werr
 		}
 	}
 	return false, nil

@@ -70,6 +70,10 @@ type Comm struct {
 	// cross-match (coll.go).
 	coll    *collConfig
 	collSeq uint32
+
+	// ooSeq sequences OO collective part streams (oo.go), mixed into
+	// their tags the same way collSeq is for buffered collectives.
+	ooSeq uint32
 }
 
 // errInvalid flags API misuse.

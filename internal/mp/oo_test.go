@@ -1,0 +1,172 @@
+package mp
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// TestOOWireTagSpacesDisjoint: every (space, user tag) pair maps to a
+// distinct wire tag, none of which a regular operation can produce.
+func TestOOWireTagSpacesDisjoint(t *testing.T) {
+	spaces := []OOSpace{OOSpaceData, OOSpaceAck, OOSpaceNack, OOSpaceTable, OOSpaceColl}
+	seen := map[int]bool{}
+	for _, sp := range spaces {
+		for _, tag := range []int{0, 1, 12345, MaxUserTag} {
+			wt := OOWireTag(sp, tag)
+			if wt <= MaxUserTag {
+				t.Fatalf("space %d tag %d wire tag %d inside user range", sp, tag, wt)
+			}
+			if int64(wt) != int64(int32(wt)) {
+				t.Fatalf("space %d tag %d wire tag %d overflows int32", sp, tag, wt)
+			}
+			if seen[wt] {
+				t.Fatalf("space %d tag %d collides at wire tag %d", sp, tag, wt)
+			}
+			seen[wt] = true
+		}
+	}
+}
+
+func TestOOTagValidation(t *testing.T) {
+	worlds, err := NewLocalWorlds(ChannelShm, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer worlds[0].Close()
+	defer worlds[1].Close()
+	c := worlds[0].Comm
+	if _, err := c.IsendOO(nil, 1, OOSpace(0), 0); err == nil {
+		t.Error("space 0 accepted")
+	}
+	if _, err := c.IsendOO(nil, 1, OOSpace(ooSpaceHi+1), 0); err == nil {
+		t.Error("space beyond hi accepted")
+	}
+	if _, err := c.IsendOO(nil, 1, OOSpaceData, -1); err == nil {
+		t.Error("negative tag accepted")
+	}
+	if _, err := c.IsendOO(nil, 1, OOSpaceData, MaxUserTag+1); err == nil {
+		t.Error("oversized tag accepted")
+	}
+	if _, err := c.IrecvOO(nil, 0, OOSpaceData, MaxUserTag+1); err == nil {
+		t.Error("recv oversized tag accepted")
+	}
+}
+
+// TestOOSpacesNeverCrossMatch sends the same user tag through three
+// different categories at once — a data chunk, a user-level message,
+// and an ACK control — and verifies each arrives only through its own
+// space.
+func TestOOSpacesNeverCrossMatch(t *testing.T) {
+	worlds, err := NewLocalWorlds(ChannelShm, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const tag = 7
+	done := make(chan error, 2)
+	go func() {
+		c := worlds[0].Comm
+		defer worlds[0].Close()
+		// Post everything before any receive matches: user payload,
+		// OO data payload, OO collective payload, then the ACK ctrl.
+		r1, err := c.Isend([]byte("user"), 1, tag)
+		if err != nil {
+			done <- err
+			return
+		}
+		r2, err := c.IsendOO([]byte("oodata"), 1, OOSpaceData, tag)
+		if err != nil {
+			done <- err
+			return
+		}
+		r3, err := c.IsendOO([]byte("oocoll"), 1, OOSpaceColl, tag)
+		if err != nil {
+			done <- err
+			return
+		}
+		if err := c.SendCtrlOO(1, OOSpaceAck, tag); err != nil {
+			done <- err
+			return
+		}
+		done <- c.WaitAll(r1, r2, r3)
+	}()
+	go func() {
+		c := worlds[1].Comm
+		defer worlds[1].Close()
+		check := func(sp OOSpace, want string) error {
+			buf := make([]byte, 16)
+			req, err := c.IrecvOO(buf, 0, sp, tag)
+			if err != nil {
+				return err
+			}
+			st, err := c.Wait(req)
+			if err != nil {
+				return err
+			}
+			if got := string(buf[:st.Count]); got != want {
+				return errf("space %d delivered %q, want %q", sp, got, want)
+			}
+			// Wait reports the raw wire tag (space encoded); IprobeOO is
+			// the entry point that strips it.
+			if st.Tag != OOWireTag(sp, tag) || st.Source != 0 {
+				return errf("space %d status %+v", sp, st)
+			}
+			return nil
+		}
+		// Drain in the REVERSE of send order: each space must match
+		// only its own message.
+		if err := check(OOSpaceColl, "oocoll"); err != nil {
+			done <- err
+			return
+		}
+		if err := check(OOSpaceData, "oodata"); err != nil {
+			done <- err
+			return
+		}
+		// The ACK control is visible only to PollCtrlOO in its space.
+		deadline := time.Now().Add(5 * time.Second)
+		for {
+			ok, err := c.PollCtrlOO(0, OOSpaceAck, tag)
+			if err != nil {
+				done <- err
+				return
+			}
+			if ok {
+				break
+			}
+			if time.Now().After(deadline) {
+				done <- errf("ACK ctrl never arrived")
+				return
+			}
+		}
+		// A NACK poll on the same tag must see nothing.
+		if ok, err := c.PollCtrlOO(0, OOSpaceNack, tag); err != nil || ok {
+			done <- errf("NACK space matched ACK ctrl (ok=%v err=%v)", ok, err)
+			return
+		}
+		// The plain user message is still there, untouched by OO drains.
+		buf := make([]byte, 16)
+		st, err := c.Recv(buf, 0, tag)
+		if err != nil {
+			done <- err
+			return
+		}
+		if string(buf[:st.Count]) != "user" {
+			done <- errf("user message corrupted: %q", buf[:st.Count])
+			return
+		}
+		done <- nil
+	}()
+	for i := 0; i < 2; i++ {
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatal(err)
+			}
+		case <-time.After(20 * time.Second):
+			t.Fatal("OO tag test hung")
+		}
+	}
+}
+
+func errf(format string, args ...any) error { return fmt.Errorf(format, args...) }

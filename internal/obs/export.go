@@ -188,6 +188,17 @@ func renderEvent(ev Event) []traceEvent {
 		}
 		base["bytes"] = ev.Arg1
 		return complete(name, "oo", base)
+	case KChunk:
+		name := "chunk:serialize"
+		switch ev.Arg0 {
+		case 1:
+			name = "chunk:send"
+		case 2:
+			name = "chunk:recv"
+		}
+		base["chunk"] = ev.Arg1
+		base["bytes"] = ev.Arg2
+		return complete(name, "oo", base)
 	default:
 		return instant("event:"+strconv.Itoa(int(ev.Kind)), "misc", base)
 	}

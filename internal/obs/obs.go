@@ -67,6 +67,10 @@ const (
 	// KSerial is a serialization / deserialization span
 	// (Arg0 = 0 serialize / 1 deserialize, Arg1 = bytes).
 	KSerial
+	// KChunk is one streaming-OO chunk span nested in the op span
+	// (Arg0 = 0 serialize / 1 send / 2 recv, Arg1 = chunk index,
+	// Arg2 = bytes).
+	KChunk
 )
 
 // OpCode identifies the engine operation a KOp/KWait span covers.

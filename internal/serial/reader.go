@@ -9,7 +9,13 @@ import (
 
 // The reader: parses a representation, resolves the type table
 // against the receiving VM's registry, allocates the objects, and
-// rewires local ids back into references.
+// rewires local ids back into references. The record machinery is
+// shared between the v1 one-shot Deserialize and the v2 StreamReader:
+// allocRecord consumes one record — validating the payload's presence
+// before sizing any managed allocation from wire-claimed lengths,
+// then filling simple payloads and scalar fields immediately — and
+// fillRefs runs once at the end, rewiring only reference slots (ids
+// can point forward, so references cannot be resolved inline).
 
 type wireField struct {
 	name          string
@@ -20,20 +26,23 @@ type wireField struct {
 
 type wireType struct {
 	isArray bool
+	hasRefs bool // array-of-refs, or class with at least one ref field
 	mt      *vm.MethodTable
 	fields  []wireField // classes only
 }
 
 type reader struct {
-	v    *vm.VM
-	data []byte
-	pos  int
+	v     *vm.VM
+	data  []byte
+	pos   int
+	limit int // parsing bound: len(data), or the current data run's end
 
 	types []wireType
 
 	// refs holds every allocated object; registered as a GC root
 	// provider while deserialization runs (allocation can collect).
-	refs []vm.Ref
+	refs    []vm.Ref
+	records []objRecord
 }
 
 // VisitRoots implements vm.RootProvider.
@@ -50,8 +59,8 @@ func (r *reader) fail(format string, args ...interface{}) error {
 }
 
 func (r *reader) need(n int) error {
-	if r.pos+n > len(r.data) {
-		return r.fail("truncated at %d (+%d of %d)", r.pos, n, len(r.data))
+	if r.pos+n > r.limit {
+		return r.fail("truncated at %d (+%d of %d)", r.pos, n, r.limit)
 	}
 	return nil
 }
@@ -109,7 +118,83 @@ func (r *reader) scalar(k vm.Kind) (uint64, error) {
 	return binary.LittleEndian.Uint64(b[:]), nil
 }
 
-// parseTypeTable resolves every wire type against the local registry.
+// parseOneType consumes one type-table entry at the cursor and
+// resolves it against the local registry.
+func (r *reader) parseOneType() (wireType, error) {
+	entryKind, err := r.u8()
+	if err != nil {
+		return wireType{}, err
+	}
+	switch entryKind {
+	case kindArrayEntry:
+		ek, err := r.u8()
+		if err != nil {
+			return wireType{}, err
+		}
+		rank, err := r.u8()
+		if err != nil {
+			return wireType{}, err
+		}
+		elemName, err := r.str()
+		if err != nil {
+			return wireType{}, err
+		}
+		var elemMT *vm.MethodTable
+		if vm.Kind(ek) == vm.KindRef && elemName != "" {
+			mt, err := r.v.ResolveTypeName(elemName)
+			if err != nil {
+				return wireType{}, fmt.Errorf("%w: %v", ErrTypeless, err)
+			}
+			elemMT = mt
+		}
+		return wireType{
+			isArray: true,
+			hasRefs: vm.Kind(ek) == vm.KindRef,
+			mt:      r.v.ArrayType(vm.Kind(ek), elemMT, int(rank)),
+		}, nil
+	case kindClassEntry:
+		name, err := r.str()
+		if err != nil {
+			return wireType{}, err
+		}
+		mt, ok := r.v.TypeByName(name)
+		if !ok || mt.Kind != vm.TKClass {
+			return wireType{}, fmt.Errorf("%w: class %q", ErrTypeless, name)
+		}
+		nf, err := r.u16()
+		if err != nil {
+			return wireType{}, err
+		}
+		wt := wireType{mt: mt, fields: make([]wireField, nf)}
+		for j := 0; j < int(nf); j++ {
+			fname, err := r.str()
+			if err != nil {
+				return wireType{}, err
+			}
+			fk, err := r.u8()
+			if err != nil {
+				return wireType{}, err
+			}
+			fl, err := r.u8()
+			if err != nil {
+				return wireType{}, err
+			}
+			local := mt.FieldByName(fname)
+			if local == nil || local.Kind() != vm.Kind(fk) {
+				return wireType{}, fmt.Errorf("%w: field %s.%s", ErrShape, name, fname)
+			}
+			if vm.Kind(fk) == vm.KindRef {
+				wt.hasRefs = true
+			}
+			wt.fields[j] = wireField{name: fname, kind: vm.Kind(fk), transportable: fl&1 != 0, local: local}
+		}
+		return wt, nil
+	default:
+		return wireType{}, r.fail("type entry kind %d", entryKind)
+	}
+}
+
+// parseTypeTable resolves the v1 inline type table.
 func (r *reader) parseTypeTable() error {
 	count, err := r.u16()
 	if err != nil {
@@ -117,75 +202,31 @@ func (r *reader) parseTypeTable() error {
 	}
 	r.types = make([]wireType, count)
 	for i := 0; i < int(count); i++ {
-		entryKind, err := r.u8()
+		wt, err := r.parseOneType()
 		if err != nil {
 			return err
 		}
-		switch entryKind {
-		case kindArrayEntry:
-			ek, err := r.u8()
-			if err != nil {
-				return err
-			}
-			rank, err := r.u8()
-			if err != nil {
-				return err
-			}
-			elemName, err := r.str()
-			if err != nil {
-				return err
-			}
-			var elemMT *vm.MethodTable
-			if vm.Kind(ek) == vm.KindRef && elemName != "" {
-				mt, err := r.v.ResolveTypeName(elemName)
-				if err != nil {
-					return fmt.Errorf("%w: %v", ErrTypeless, err)
-				}
-				elemMT = mt
-			}
-			r.types[i] = wireType{isArray: true, mt: r.v.ArrayType(vm.Kind(ek), elemMT, int(rank))}
-		case kindClassEntry:
-			name, err := r.str()
-			if err != nil {
-				return err
-			}
-			mt, ok := r.v.TypeByName(name)
-			if !ok || mt.Kind != vm.TKClass {
-				return fmt.Errorf("%w: class %q", ErrTypeless, name)
-			}
-			nf, err := r.u16()
-			if err != nil {
-				return err
-			}
-			wt := wireType{mt: mt, fields: make([]wireField, nf)}
-			for j := 0; j < int(nf); j++ {
-				fname, err := r.str()
-				if err != nil {
-					return err
-				}
-				fk, err := r.u8()
-				if err != nil {
-					return err
-				}
-				fl, err := r.u8()
-				if err != nil {
-					return err
-				}
-				local := mt.FieldByName(fname)
-				if local == nil || local.Kind() != vm.Kind(fk) {
-					return fmt.Errorf("%w: field %s.%s", ErrShape, name, fname)
-				}
-				wt.fields[j] = wireField{name: fname, kind: vm.Kind(fk), transportable: fl&1 != 0, local: local}
-			}
-			r.types[i] = wt
-		default:
-			return r.fail("type entry kind %d", entryKind)
-		}
+		r.types[i] = wt
 	}
 	return nil
 }
 
-// objRecord remembers where an object's payload starts for pass 2.
+// parseEntry resolves one standalone (length-delimited) type entry —
+// the v2 table-section / table-blob form.
+func parseEntry(v *vm.VM, raw []byte) (wireType, error) {
+	tr := &reader{v: v, data: raw, limit: len(raw)}
+	wt, err := tr.parseOneType()
+	if err != nil {
+		return wireType{}, err
+	}
+	if tr.pos != len(raw) {
+		return wireType{}, tr.fail("trailing bytes in type entry")
+	}
+	return wt, nil
+}
+
+// objRecord remembers where an object's payload starts so fillRefs can
+// revisit the reference slots.
 type objRecord struct {
 	wt     *wireType
 	length int
@@ -193,10 +234,163 @@ type objRecord struct {
 	at     int // data position of the field/element payload
 }
 
-// Deserialize reconstructs the object tree from a representation and
-// returns the root reference.
+// allocRecord consumes the record at the cursor: validates, allocates
+// the object, fills simple payloads and scalar fields, and records the
+// payload position for the reference pass. The payload must be fully
+// present (within limit) before any managed allocation is sized from
+// the wire-claimed length.
+func (r *reader) allocRecord() error {
+	h := r.v.Heap
+	ti, err := r.u16()
+	if err != nil {
+		return err
+	}
+	if int(ti) >= len(r.types) {
+		return r.fail("type index %d", ti)
+	}
+	wt := &r.types[ti]
+	rec := objRecord{wt: wt}
+	if wt.isArray {
+		n, err := r.u32()
+		if err != nil {
+			return err
+		}
+		rec.length = int(n)
+		mt := wt.mt
+		if mt.Elem == vm.KindRef {
+			if err := r.need(4 * rec.length); err != nil {
+				return err
+			}
+		} else {
+			extra := 0
+			if mt.Rank > 1 {
+				extra = 4 * mt.Rank
+			}
+			if err := r.need(extra + rec.length*mt.ElemSize()); err != nil {
+				return err
+			}
+		}
+		var ref vm.Ref
+		if mt.Rank > 1 {
+			dims := make([]int, mt.Rank)
+			total := 1
+			for d := range dims {
+				dv, err := r.u32()
+				if err != nil {
+					return err
+				}
+				dims[d] = int(dv)
+				total *= int(dv)
+			}
+			if total != rec.length {
+				return r.fail("dims %v != length %d", dims, rec.length)
+			}
+			rec.dims = dims
+			ref, err = h.AllocMultiDim(mt, dims)
+		} else {
+			ref, err = h.AllocArray(mt, rec.length)
+		}
+		if err != nil {
+			return err
+		}
+		r.refs = append(r.refs, ref)
+		rec.at = r.pos
+		if mt.Elem == vm.KindRef {
+			r.pos += 4 * rec.length // ids rewired by fillRefs
+		} else {
+			sz := rec.length * mt.ElemSize()
+			copy(h.DataBytes(ref), r.data[rec.at:rec.at+sz])
+			r.pos += sz
+		}
+	} else {
+		ref, err := h.AllocClass(wt.mt)
+		if err != nil {
+			return err
+		}
+		r.refs = append(r.refs, ref)
+		rec.at = r.pos
+		for j := range wt.fields {
+			f := &wt.fields[j]
+			if f.kind == vm.KindRef {
+				if err := r.need(4); err != nil {
+					return err
+				}
+				r.pos += 4 // id rewired by fillRefs
+				continue
+			}
+			bits, err := r.scalar(f.kind)
+			if err != nil {
+				return err
+			}
+			h.SetScalar(ref, f.local, bits)
+		}
+	}
+	r.records = append(r.records, rec)
+	return nil
+}
+
+// resolve maps a wire-local id to the allocated reference.
+func (r *reader) resolve(id uint32) (vm.Ref, error) {
+	if id == 0 {
+		return vm.NullRef, nil
+	}
+	if int(id) > len(r.refs) {
+		return vm.NullRef, r.fail("object id %d of %d", id, len(r.refs))
+	}
+	return r.refs[id-1], nil
+}
+
+// fillRefs is the reference pass: every record's reference slots are
+// rewired from wire-local ids to heap references. Runs after all
+// records are allocated, because ids can point forward.
+func (r *reader) fillRefs() error {
+	h := r.v.Heap
+	r.limit = len(r.data)
+	for i := range r.records {
+		rec := &r.records[i]
+		if !rec.wt.hasRefs {
+			continue
+		}
+		r.pos = rec.at
+		ref := r.refs[i]
+		if rec.wt.isArray {
+			for e := 0; e < rec.length; e++ {
+				id, err := r.u32()
+				if err != nil {
+					return err
+				}
+				er, err := r.resolve(id)
+				if err != nil {
+					return err
+				}
+				h.SetElemRef(ref, e, er)
+			}
+			continue
+		}
+		for j := range rec.wt.fields {
+			f := &rec.wt.fields[j]
+			if f.kind == vm.KindRef {
+				id, err := r.u32()
+				if err != nil {
+					return err
+				}
+				fr, err := r.resolve(id)
+				if err != nil {
+					return err
+				}
+				h.SetRef(ref, f.local, fr)
+				continue
+			}
+			r.pos += f.kind.Size()
+		}
+	}
+	return nil
+}
+
+// Deserialize reconstructs the object tree from a v1 representation
+// and returns the root reference.
 func Deserialize(v *vm.VM, data []byte) (vm.Ref, error) {
-	r := &reader{v: v, data: data}
+	r := &reader{v: v, data: data, limit: len(data)}
 	m, err := r.u32()
 	if err != nil {
 		return vm.NullRef, err
@@ -230,159 +424,18 @@ func Deserialize(v *vm.VM, data []byte) (vm.Ref, error) {
 		return vm.NullRef, err
 	}
 
-	// Pass 1: walk records, allocate every object.
 	v.AddRootProvider(r)
 	defer v.RemoveRootProvider(r)
 
-	records := make([]objRecord, objCount)
-	r.refs = make([]vm.Ref, objCount)
-	h := v.Heap
+	r.refs = make([]vm.Ref, 0, objCount)
+	r.records = make([]objRecord, 0, objCount)
 	for i := 0; i < int(objCount); i++ {
-		ti, err := r.u16()
-		if err != nil {
+		if err := r.allocRecord(); err != nil {
 			return vm.NullRef, err
 		}
-		if int(ti) >= len(r.types) {
-			return vm.NullRef, r.fail("type index %d", ti)
-		}
-		wt := &r.types[ti]
-		rec := objRecord{wt: wt}
-		if wt.isArray {
-			n, err := r.u32()
-			if err != nil {
-				return vm.NullRef, err
-			}
-			rec.length = int(n)
-			mt := wt.mt
-			// The payload must actually be present before any managed
-			// allocation is sized from the wire-claimed length.
-			if mt.Elem == vm.KindRef {
-				if err := r.need(4 * rec.length); err != nil {
-					return vm.NullRef, err
-				}
-			} else {
-				extra := 0
-				if mt.Rank > 1 {
-					extra = 4 * mt.Rank
-				}
-				if err := r.need(extra + rec.length*mt.ElemSize()); err != nil {
-					return vm.NullRef, err
-				}
-			}
-			var ref vm.Ref
-			if mt.Rank > 1 {
-				dims := make([]int, mt.Rank)
-				total := 1
-				for d := range dims {
-					dv, err := r.u32()
-					if err != nil {
-						return vm.NullRef, err
-					}
-					dims[d] = int(dv)
-					total *= int(dv)
-				}
-				if total != rec.length {
-					return vm.NullRef, r.fail("dims %v != length %d", dims, rec.length)
-				}
-				rec.dims = dims
-				ref, err = h.AllocMultiDim(mt, dims)
-			} else {
-				ref, err = h.AllocArray(mt, rec.length)
-			}
-			if err != nil {
-				return vm.NullRef, err
-			}
-			r.refs[i] = ref
-			rec.at = r.pos
-			// Skip the payload.
-			if mt.Elem == vm.KindRef {
-				if err := r.need(4 * rec.length); err != nil {
-					return vm.NullRef, err
-				}
-				r.pos += 4 * rec.length
-			} else {
-				sz := rec.length * mt.ElemSize()
-				if err := r.need(sz); err != nil {
-					return vm.NullRef, err
-				}
-				r.pos += sz
-			}
-		} else {
-			ref, err := h.AllocClass(wt.mt)
-			if err != nil {
-				return vm.NullRef, err
-			}
-			r.refs[i] = ref
-			rec.at = r.pos
-			for j := range wt.fields {
-				f := &wt.fields[j]
-				sz := f.kind.Size()
-				if f.kind == vm.KindRef {
-					sz = 4
-				}
-				if err := r.need(sz); err != nil {
-					return vm.NullRef, err
-				}
-				r.pos += sz
-			}
-		}
-		records[i] = rec
 	}
-
-	// Pass 2: fill payloads, rewiring local ids into references.
-	resolve := func(id uint32) (vm.Ref, error) {
-		if id == 0 {
-			return vm.NullRef, nil
-		}
-		if int(id) > len(r.refs) {
-			return vm.NullRef, r.fail("object id %d of %d", id, len(r.refs))
-		}
-		return r.refs[id-1], nil
+	if err := r.fillRefs(); err != nil {
+		return vm.NullRef, err
 	}
-	for i := range records {
-		rec := &records[i]
-		r.pos = rec.at
-		ref := r.refs[i]
-		if rec.wt.isArray {
-			mt := rec.wt.mt
-			if mt.Elem == vm.KindRef {
-				for e := 0; e < rec.length; e++ {
-					id, err := r.u32()
-					if err != nil {
-						return vm.NullRef, err
-					}
-					er, err := resolve(id)
-					if err != nil {
-						return vm.NullRef, err
-					}
-					h.SetElemRef(ref, e, er)
-				}
-			} else {
-				sz := rec.length * mt.ElemSize()
-				copy(h.DataBytes(ref), r.data[r.pos:r.pos+sz])
-			}
-			continue
-		}
-		for j := range rec.wt.fields {
-			f := &rec.wt.fields[j]
-			if f.kind == vm.KindRef {
-				id, err := r.u32()
-				if err != nil {
-					return vm.NullRef, err
-				}
-				fr, err := resolve(id)
-				if err != nil {
-					return vm.NullRef, err
-				}
-				h.SetRef(ref, f.local, fr)
-				continue
-			}
-			bits, err := r.scalar(f.kind)
-			if err != nil {
-				return vm.NullRef, err
-			}
-			h.SetScalar(ref, f.local, bits)
-		}
-	}
-	return resolve(rootID)
+	return r.resolve(rootID)
 }

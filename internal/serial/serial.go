@@ -63,10 +63,14 @@ type Options struct {
 }
 
 // visitedSet records serialized objects and their 1-based local ids.
+// visit lets a streaming serialization survive collections between
+// chunks: the recorded refs are GC roots and must follow moved
+// objects, or later lookups would miss and re-emit duplicates.
 type visitedSet interface {
 	lookup(ref vm.Ref) (uint32, bool)
 	add(ref vm.Ref, id uint32)
 	count() int
+	visit(visit func(vm.Ref) vm.Ref)
 }
 
 // linearVisited is the paper's structure: lookup scans the whole
@@ -92,6 +96,12 @@ func (l *linearVisited) add(ref vm.Ref, id uint32) {
 
 func (l *linearVisited) count() int { return len(l.refs) }
 
+func (l *linearVisited) visit(visit func(vm.Ref) vm.Ref) {
+	for i, r := range l.refs {
+		l.refs[i] = visit(r)
+	}
+}
+
 type mapVisited map[vm.Ref]uint32
 
 func (m mapVisited) lookup(ref vm.Ref) (uint32, bool) {
@@ -101,6 +111,24 @@ func (m mapVisited) lookup(ref vm.Ref) (uint32, bool) {
 
 func (m mapVisited) add(ref vm.Ref, id uint32) { m[ref] = id }
 func (m mapVisited) count() int                { return len(m) }
+
+func (m mapVisited) visit(visit func(vm.Ref) vm.Ref) {
+	// Keys are ref values, so a move must re-key the map.
+	type pair struct {
+		ref vm.Ref
+		id  uint32
+	}
+	moved := make([]pair, 0, len(m))
+	for r, id := range m {
+		moved = append(moved, pair{visit(r), id})
+	}
+	for r := range m {
+		delete(m, r)
+	}
+	for _, p := range moved {
+		m[p.ref] = p.id
+	}
+}
 
 // writer builds the representation.
 type writer struct {

@@ -86,6 +86,7 @@ func SerializeSplit(h *vm.Heap, arr vm.Ref, parts int, opts Options) ([][]byte, 
 // DeserializeGather reconstructs the parts of a split representation
 // into a single array on the receiving VM — the gather-side inverse
 // of SerializeSplit. All parts must carry arrays of the same type.
+// Parts may be in either wire format (v1 one-shot or v2 stream).
 func DeserializeGather(v *vm.VM, parts [][]byte) (vm.Ref, error) {
 	if len(parts) == 0 {
 		return vm.NullRef, fmt.Errorf("serial: gather of zero parts")
@@ -97,13 +98,32 @@ func DeserializeGather(v *vm.VM, parts [][]byte) (vm.Ref, error) {
 	v.AddRootProvider(guard)
 	defer v.RemoveRootProvider(guard)
 
-	var mt *vm.MethodTable
-	total := 0
 	for i, part := range parts {
-		ref, err := Deserialize(v, part)
+		ref, err := DeserializeStream(v, part)
 		if err != nil {
 			return vm.NullRef, fmt.Errorf("serial: gather part %d: %w", i, err)
 		}
+		subs[i] = ref
+	}
+	return GatherRefs(v, subs)
+}
+
+// GatherRefs concatenates already-deserialized sub-arrays into a
+// single array — the final step of any gather, shared by the buffered
+// path above and the core's streaming OGather. All subs must be
+// non-null arrays of the same type; they need not be rooted by the
+// caller beyond the call itself.
+func GatherRefs(v *vm.VM, subs []vm.Ref) (vm.Ref, error) {
+	if len(subs) == 0 {
+		return vm.NullRef, fmt.Errorf("serial: gather of zero parts")
+	}
+	guard := &refGuard{refs: subs}
+	v.AddRootProvider(guard)
+	defer v.RemoveRootProvider(guard)
+
+	var mt *vm.MethodTable
+	total := 0
+	for i, ref := range subs {
 		if ref == vm.NullRef {
 			return vm.NullRef, fmt.Errorf("serial: gather part %d has null root", i)
 		}
@@ -116,10 +136,8 @@ func DeserializeGather(v *vm.VM, parts [][]byte) (vm.Ref, error) {
 		} else if pm != mt {
 			return vm.NullRef, fmt.Errorf("serial: gather parts disagree on type: %s vs %s", pm, mt)
 		}
-		subs[i] = ref
 		total += v.Heap.Length(ref)
 	}
-	// Concatenate.
 	h := v.Heap
 	result, err := h.AllocArray(mt, total)
 	if err != nil {

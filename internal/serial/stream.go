@@ -1,0 +1,303 @@
+package serial
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"motor/internal/vm"
+)
+
+// The v2 stream format: the same type-table + object-record content as
+// the v1 representation, reorganized so it can be produced and
+// consumed as a sequence of bounded chunks. A stream is
+//
+//	header   u32 magic "MSS2", u8 version=2, u8 flags, u16 reserved,
+//	         u32 epoch, u32 rootID
+//	section* one of
+//	         secTableFull  u8 tag, u32 cacheID, u16 len, type entry
+//	         secTableRef   u8 tag, u32 cacheID
+//	         secData       u8 tag, u32 len, object records (v1 layout)
+//	         secEnd        u8 tag, u32 objCount
+//
+// Invariants the writer maintains and the reader enforces:
+//
+//   - a type's table section precedes the first record that uses it,
+//     and the k-th table section defines stream-local type index k
+//     (records reference types by that index, exactly as in v1);
+//   - an object record never straddles two data sections (a record
+//     larger than the chunk target simply yields an oversized chunk);
+//   - the stream ends with exactly one secEnd carrying the object
+//     count, which the reader cross-checks against the records seen.
+//
+// Epoch 0 marks a self-describing stream (every table section is
+// full); a nonzero epoch ties table references to the sender's
+// per-peer cache generation (cache.go).
+const (
+	streamMagic   = 0x4D53_5332 // "MSS2"
+	streamVersion = 2
+
+	secTableFull = 1
+	secTableRef  = 2
+	secData      = 3
+	secEnd       = 4
+
+	streamHeaderSize = 16
+)
+
+// DefaultChunkTarget is the chunk size streaming serialization aims
+// for when the caller does not specify one.
+const DefaultChunkTarget = 256 << 10
+
+// ErrStreamDone flags Next being called after the final chunk.
+var ErrStreamDone = errors.New("serial: stream already complete")
+
+// StreamWriter emits the representation of one object tree as a
+// sequence of bounded chunks, so transport can overlap serialization
+// with the wire and never materializes the whole representation.
+//
+// The writer holds live references between chunks (the pending queue
+// and the visited structure); register it as a vm.RootProvider while
+// the stream is being produced.
+type StreamWriter struct {
+	w      *writer
+	rootID uint32
+	epoch  uint32
+	cache  *PeerCache
+	target int
+
+	started bool
+	done    bool
+
+	// rootRec holds a synthetic root record (split parts) staged at
+	// construction, emitted at the front of the first chunk.
+	rootRec []byte
+	rootMT  *vm.MethodTable
+
+	scratch []byte // type-entry staging
+
+	// Per-stream accounting, read by the engine's ttcache counters.
+	TableFulls int // full table sections emitted
+	TableRefs  int // table sections replaced by cache references
+	TableBytes int // type-entry bytes actually transmitted
+	Chunks     int
+}
+
+// NewStreamWriter starts a stream for the tree rooted at root. target
+// is the chunk size aimed for (<=0 selects DefaultChunkTarget). cache,
+// when non-nil, enables table-reference emission against a per-peer
+// type-table cache; nil produces a self-describing (epoch 0) stream.
+func NewStreamWriter(h *vm.Heap, root vm.Ref, opts Options, target int, cache *PeerCache) *StreamWriter {
+	if target <= 0 {
+		target = DefaultChunkTarget
+	}
+	w := newWriter(h, opts)
+	sw := &StreamWriter{w: w, target: target, cache: cache}
+	if cache != nil {
+		sw.epoch = cache.Epoch
+	}
+	sw.rootID = w.assign(root)
+	return sw
+}
+
+// NewStreamWriterPart starts a stream whose root is a synthetic
+// sub-array over arr's element range [lo,hi) — the streaming form of
+// one SerializeSplit part (scatter). Parts are always self-describing.
+func NewStreamWriterPart(h *vm.Heap, arr vm.Ref, lo, hi int, opts Options, target int) (*StreamWriter, error) {
+	if arr == vm.NullRef {
+		return nil, fmt.Errorf("serial: split of null array")
+	}
+	mt := h.MT(arr)
+	if mt.Kind != vm.TKArray || mt.Rank != 1 {
+		return nil, fmt.Errorf("serial: split requires a rank-1 array, got %s", mt)
+	}
+	n := h.Length(arr)
+	if lo < 0 || hi < lo || hi > n {
+		return nil, fmt.Errorf("serial: split range [%d,%d) outside array of %d", lo, hi, n)
+	}
+	if target <= 0 {
+		target = DefaultChunkTarget
+	}
+	w := newWriter(h, opts)
+	sw := &StreamWriter{w: w, target: target, rootMT: mt}
+	// Synthetic root: id 1 describes the sub-array; it has no heap
+	// object, so it bypasses the visited set. The record is staged now
+	// (element payload copied, element objects scheduled) so the
+	// source array need not survive until the first chunk.
+	sw.rootID = w.nextID
+	w.nextID++
+	w.u16(w.typeIndex(mt))
+	w.u32(uint32(hi - lo))
+	if mt.Elem == vm.KindRef {
+		for i := lo; i < hi; i++ {
+			w.u32(w.assign(h.GetElemRef(arr, i)))
+		}
+	} else {
+		s, _ := h.DataRange(arr)
+		es := mt.ElemSize()
+		w.objData = append(w.objData, h.Bytes(s+uint32(lo*es), s+uint32(hi*es))...)
+	}
+	sw.rootRec = w.objData
+	w.objData = nil
+	return sw, nil
+}
+
+// VisitRoots implements vm.RootProvider: the not-yet-emitted queue and
+// the visited structure hold live (movable) references between chunks.
+func (sw *StreamWriter) VisitRoots(visit func(vm.Ref) vm.Ref) {
+	for i, ref := range sw.w.pending {
+		sw.w.pending[i] = visit(ref)
+	}
+	sw.w.visited.visit(visit)
+}
+
+// Done reports whether the final chunk has been produced.
+func (sw *StreamWriter) Done() bool { return sw.done }
+
+// ObjectCount reports how many objects the stream has assigned so far
+// (final only once Done).
+func (sw *StreamWriter) ObjectCount() int { return int(sw.w.nextID - 1) }
+
+// Epoch reports the stream's cache epoch (0 = self-describing).
+func (sw *StreamWriter) Epoch() uint32 { return sw.epoch }
+
+// Next appends the next chunk to buf (pass a recycled buffer with the
+// chunk target's capacity; records are emitted directly into it, so
+// there is no whole-representation staging copy). The chunk is
+// complete and transportable as produced; after the chunk carrying the
+// end section, Done reports true.
+func (sw *StreamWriter) Next(buf []byte) ([]byte, error) {
+	if sw.done {
+		return nil, ErrStreamDone
+	}
+	out := buf
+	if !sw.started {
+		sw.started = true
+		out = appendU32(out, streamMagic)
+		out = append(out, streamVersion, 0, 0, 0)
+		out = appendU32(out, sw.epoch)
+		out = appendU32(out, sw.rootID)
+	}
+	w := sw.w
+	// One open data section at a time; its length is patched when a
+	// table section or the end section closes it.
+	dataAt := -1
+	openData := func() {
+		if dataAt < 0 {
+			dataAt = len(out)
+			out = append(out, secData, 0, 0, 0, 0)
+		}
+	}
+	closeData := func() {
+		if dataAt >= 0 {
+			binary.LittleEndian.PutUint32(out[dataAt+1:], uint32(len(out)-(dataAt+5)))
+			dataAt = -1
+		}
+	}
+	if sw.rootRec != nil {
+		var err error
+		out, err = sw.tableSection(out, sw.rootMT)
+		if err != nil {
+			return nil, err
+		}
+		openData()
+		out = append(out, sw.rootRec...)
+		sw.rootRec = nil
+	}
+	for len(w.pending) > 0 && len(out) < sw.target {
+		ref := w.pending[0]
+		w.pending = w.pending[1:]
+		mt := w.heap.MT(ref)
+		if _, known := w.typeIdx[mt]; !known {
+			closeData()
+			var err error
+			out, err = sw.tableSection(out, mt)
+			if err != nil {
+				return nil, err
+			}
+		}
+		openData()
+		// Emit the record directly into the chunk.
+		w.objData = out
+		err := w.emit(ref)
+		out = w.objData
+		w.objData = nil
+		if err != nil {
+			return nil, err
+		}
+	}
+	closeData()
+	if len(w.pending) == 0 {
+		out = append(out, secEnd)
+		out = appendU32(out, w.nextID-1)
+		sw.done = true
+	}
+	sw.Chunks++
+	return out, nil
+}
+
+// tableSection emits the table section introducing mt, registering its
+// stream-local index. With a cache, a previously shipped type costs
+// five bytes (a reference) instead of the full entry.
+func (sw *StreamWriter) tableSection(out []byte, mt *vm.MethodTable) ([]byte, error) {
+	sw.w.typeIndex(mt) // stream-local index = section order
+	if sw.cache != nil {
+		if id, ok := sw.cache.ids[mt]; ok {
+			sw.TableRefs++
+			out = append(out, secTableRef)
+			return appendU32(out, id), nil
+		}
+	}
+	sw.scratch = appendTypeEntry(sw.scratch[:0], mt)
+	if len(sw.scratch) > 0xFFFF {
+		return nil, fmt.Errorf("%w: type entry of %d bytes", ErrFormat, len(sw.scratch))
+	}
+	id := uint32(len(sw.w.types)) // ordinal id when uncached
+	if sw.cache != nil {
+		id = sw.cache.assign(mt)
+	}
+	sw.TableFulls++
+	sw.TableBytes += len(sw.scratch)
+	out = append(out, secTableFull)
+	out = appendU32(out, id)
+	out = appendU16(out, uint16(len(sw.scratch)))
+	return append(out, sw.scratch...), nil
+}
+
+// TableBlob appends the self-describing table fallback: every type
+// this stream used, with its cache id — the payload a sender ships
+// when the receiver NACKs unresolved table references.
+//
+//	u32 epoch, u32 count, count x (u32 cacheID, u16 len, type entry)
+func (sw *StreamWriter) TableBlob(out []byte) ([]byte, error) {
+	out = appendU32(out, sw.epoch)
+	out = appendU32(out, uint32(len(sw.w.types)))
+	for i, mt := range sw.w.types {
+		id := uint32(i + 1)
+		if sw.cache != nil {
+			id = sw.cache.ids[mt]
+		}
+		sw.scratch = appendTypeEntry(sw.scratch[:0], mt)
+		if len(sw.scratch) > 0xFFFF {
+			return nil, fmt.Errorf("%w: type entry of %d bytes", ErrFormat, len(sw.scratch))
+		}
+		out = appendU32(out, id)
+		out = appendU16(out, uint16(len(sw.scratch)))
+		out = append(out, sw.scratch...)
+	}
+	return out, nil
+}
+
+// SerializeStream produces the whole v2 stream into one buffer (the
+// one-shot form; transport uses the chunked writer directly).
+func SerializeStream(h *vm.Heap, root vm.Ref, opts Options, out []byte) ([]byte, error) {
+	sw := NewStreamWriter(h, root, opts, 0, nil)
+	for !sw.Done() {
+		var err error
+		out, err = sw.Next(out)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,63 @@
+package serial
+
+import (
+	"testing"
+)
+
+// FuzzDeserializeStream fuzzes the v2 entry point (which also sniffs
+// and dispatches v1). Seeds cover the interesting failure classes:
+// valid streams in both formats, truncated chunks, a stale-epoch
+// cached stream, and table references with no matching entry.
+func FuzzDeserializeStream(f *testing.F) {
+	src := newVM()
+	mt := linkedArrayTypes(src)
+	head := buildList(src, mt, 4, 3)
+
+	v2, err := SerializeStream(src.Heap, head, Options{}, nil)
+	if err != nil {
+		f.Fatal(err)
+	}
+	v1, err := Serialize(src.Heap, head, Options{}, nil)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(v2)
+	f.Add(v1)
+	// Truncated chunks: cut inside the header, a section header, and a
+	// data run.
+	f.Add(v2[:8])
+	f.Add(v2[:streamHeaderSize+3])
+	f.Add(v2[:len(v2)-6])
+	f.Add(v1[:len(v1)/2])
+	// A cached (nonzero-epoch) stream whose references can never
+	// resolve without a mirror: stale epoch + ref-to-missing-entry.
+	cache := NewPeerCache(src.TypeGen())
+	warm := NewStreamWriter(src.Heap, head, Options{}, 0, cache)
+	for !warm.Done() {
+		if _, err := warm.Next(nil); err != nil {
+			f.Fatal(err)
+		}
+	}
+	cached := NewStreamWriter(src.Heap, head, Options{}, 0, cache)
+	var refStream []byte
+	for !cached.Done() {
+		chunk, err := cached.Next(nil)
+		if err != nil {
+			f.Fatal(err)
+		}
+		refStream = append(refStream, chunk...)
+	}
+	f.Add(refStream)
+	f.Add(refStream[:len(refStream)-3])
+	// Pure garbage with a valid magic.
+	garbage := append([]byte(nil), v2[:streamHeaderSize]...)
+	garbage = append(garbage, 0xEE, 0xFF, 0x01, 0x02)
+	f.Add(garbage)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dst := newVM()
+		linkedArrayTypes(dst)
+		// Must error or succeed — never panic, never hang.
+		_, _ = DeserializeStream(dst, data)
+	})
+}

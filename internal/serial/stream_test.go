@@ -1,0 +1,555 @@
+package serial
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"motor/internal/vm"
+)
+
+// collectStream runs a StreamWriter to completion with the given chunk
+// target, returning the individual chunks.
+func collectStream(t *testing.T, sw *StreamWriter) [][]byte {
+	t.Helper()
+	var chunks [][]byte
+	for !sw.Done() {
+		chunk, err := sw.Next(nil)
+		if err != nil {
+			t.Fatalf("Next: %v", err)
+		}
+		chunks = append(chunks, chunk)
+	}
+	return chunks
+}
+
+// feedStream drives a StreamReader over the chunks, optionally breaking
+// each chunk into pieces of at most pieceMax bytes to exercise the
+// incremental section scanner across arbitrary boundaries.
+func feedStream(v *vm.VM, mirror *TableMirror, chunks [][]byte, pieceMax int) (*StreamReader, error) {
+	sr := NewStreamReader(v, mirror, nil)
+	v.AddRootProvider(sr)
+	defer v.RemoveRootProvider(sr)
+	for _, chunk := range chunks {
+		for len(chunk) > 0 {
+			n := len(chunk)
+			if pieceMax > 0 && n > pieceMax {
+				n = pieceMax
+			}
+			copy(sr.Grow(n), chunk[:n])
+			if err := sr.Commit(n); err != nil {
+				return sr, err
+			}
+			chunk = chunk[n:]
+		}
+	}
+	return sr, nil
+}
+
+func TestStreamRoundtrip(t *testing.T) {
+	src := newVM()
+	mt := linkedArrayTypes(src)
+	head := buildList(src, mt, 10, 16)
+	data, err := SerializeStream(src.Heap, head, Options{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := newVM()
+	dmt := linkedArrayTypes(dst)
+	out, err := DeserializeStream(dst, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := dst.Heap
+	count := 0
+	for n := out; n != vm.NullRef; n = h.GetRef(n, dmt.FieldByName("next")) {
+		if got := int32(uint32(h.GetScalar(n, dmt.FieldByName("id")))); got != int32(count) {
+			t.Fatalf("node %d id %d", count, got)
+		}
+		if h.GetRef(n, dmt.FieldByName("next2")) != vm.NullRef {
+			t.Fatalf("node %d: next2 travelled", count)
+		}
+		count++
+	}
+	if count != 10 {
+		t.Fatalf("list length %d", count)
+	}
+}
+
+func TestStreamAcceptsV1(t *testing.T) {
+	// The stream entry point must keep deserializing v1 one-shot
+	// representations (wire compatibility with old senders).
+	src := newVM()
+	mt := linkedArrayTypes(src)
+	head := buildList(src, mt, 4, 8)
+	v1, err := Serialize(src.Heap, head, Options{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := newVM()
+	linkedArrayTypes(dst)
+	out, err := DeserializeStream(dst, v1)
+	if err != nil {
+		t.Fatalf("v1 representation rejected: %v", err)
+	}
+	if out == vm.NullRef {
+		t.Fatal("null result")
+	}
+}
+
+func TestStreamVisitedModesAgree(t *testing.T) {
+	src := newVM()
+	mt := linkedArrayTypes(src)
+	head := buildList(src, mt, 20, 8)
+	a, err := SerializeStream(src.Heap, head, Options{Visited: VisitedLinear}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SerializeStream(src.Heap, head, Options{Visited: VisitedMap}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != string(b) {
+		t.Error("linear and map visited modes produce different stream bytes")
+	}
+}
+
+func TestStreamChunkedSmallTarget(t *testing.T) {
+	// A tiny chunk target must yield many chunks, each independently
+	// transportable, and the reader must reassemble across arbitrary
+	// piece boundaries (including byte-at-a-time).
+	src := newVM()
+	mt := linkedArrayTypes(src)
+	head := buildList(src, mt, 12, 8)
+	sw := NewStreamWriter(src.Heap, head, Options{}, 64, nil)
+	src.AddRootProvider(sw)
+	chunks := collectStream(t, sw)
+	src.RemoveRootProvider(sw)
+	if len(chunks) < 4 {
+		t.Fatalf("only %d chunks at target 64", len(chunks))
+	}
+	for _, pieceMax := range []int{0, 1, 7} {
+		dst := newVM()
+		dmt := linkedArrayTypes(dst)
+		sr, err := feedStream(dst, nil, chunks, pieceMax)
+		if err != nil {
+			t.Fatalf("pieceMax %d: %v", pieceMax, err)
+		}
+		if !sr.Ended() {
+			t.Fatalf("pieceMax %d: stream not ended", pieceMax)
+		}
+		out, err := sr.Finish()
+		if err != nil {
+			t.Fatalf("pieceMax %d: Finish: %v", pieceMax, err)
+		}
+		h := dst.Heap
+		count := 0
+		for n := out; n != vm.NullRef; n = h.GetRef(n, dmt.FieldByName("next")) {
+			count++
+		}
+		if count != 12 {
+			t.Fatalf("pieceMax %d: %d nodes", pieceMax, count)
+		}
+	}
+}
+
+func TestStreamCacheRefsSecondSend(t *testing.T) {
+	// First stream to a peer ships full type entries; the second stream
+	// of the same shapes ships only 5-byte references — zero type-entry
+	// bytes — and the receiver resolves them from its mirror without a
+	// NACK.
+	src := newVM()
+	mt := linkedArrayTypes(src)
+	head := buildList(src, mt, 5, 4)
+	cache := NewPeerCache(src.TypeGen())
+
+	sw1 := NewStreamWriter(src.Heap, head, Options{}, 0, cache)
+	chunks1 := collectStream(t, sw1)
+	if sw1.TableFulls == 0 || sw1.TableRefs != 0 {
+		t.Fatalf("first stream: fulls=%d refs=%d", sw1.TableFulls, sw1.TableRefs)
+	}
+
+	dst := newVM()
+	linkedArrayTypes(dst)
+	mirror := NewTableMirror()
+	sr1, err := feedStream(dst, mirror, chunks1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sr1.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	if mirror.Entries() != sw1.TableFulls {
+		t.Fatalf("mirror holds %d entries, want %d", mirror.Entries(), sw1.TableFulls)
+	}
+
+	sw2 := NewStreamWriter(src.Heap, head, Options{}, 0, cache)
+	chunks2 := collectStream(t, sw2)
+	if sw2.TableFulls != 0 || sw2.TableRefs == 0 || sw2.TableBytes != 0 {
+		t.Fatalf("second stream: fulls=%d refs=%d bytes=%d", sw2.TableFulls, sw2.TableRefs, sw2.TableBytes)
+	}
+	sr2, err := feedStream(dst, mirror, chunks2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sr2.SawRefs() {
+		t.Error("receiver did not see table references")
+	}
+	if sr2.MissingTables() != 0 {
+		t.Fatalf("%d unresolved references with a warm mirror", sr2.MissingTables())
+	}
+	if _, err := sr2.Finish(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStreamNackInstallTable(t *testing.T) {
+	// A cached stream arriving at a cold mirror stalls; installing the
+	// sender's TableBlob completes the parse — the NACK recovery path.
+	src := newVM()
+	mt := linkedArrayTypes(src)
+	head := buildList(src, mt, 4, 4)
+	cache := NewPeerCache(src.TypeGen())
+	// Warm the cache with a first stream nobody reads.
+	collectStream(t, NewStreamWriter(src.Heap, head, Options{}, 0, cache))
+
+	sw := NewStreamWriter(src.Heap, head, Options{}, 0, cache)
+	chunks := collectStream(t, sw)
+	if sw.TableRefs == 0 {
+		t.Fatal("second stream carries no references")
+	}
+	blob, err := sw.TableBlob(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dst := newVM()
+	linkedArrayTypes(dst)
+	sr, err := feedStream(dst, NewTableMirror(), chunks, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sr.MissingTables() == 0 {
+		t.Fatal("cold mirror resolved references")
+	}
+	if _, err := sr.Finish(); !errors.Is(err, ErrTypeless) {
+		t.Fatalf("Finish before install: %v, want ErrTypeless", err)
+	}
+	dst2 := newVM()
+	linkedArrayTypes(dst2)
+	sr2, err := feedStream(dst2, NewTableMirror(), chunks, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst2.AddRootProvider(sr2)
+	defer dst2.RemoveRootProvider(sr2)
+	if err := sr2.InstallTable(blob); err != nil {
+		t.Fatal(err)
+	}
+	if sr2.MissingTables() != 0 {
+		t.Fatalf("%d still unresolved after install", sr2.MissingTables())
+	}
+	if _, err := sr2.Finish(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStreamEpochInvalidation(t *testing.T) {
+	// A cache flush (registry churn) bumps the epoch; the mirror drops
+	// its entries when the new epoch arrives, and the stream — full
+	// tables again after the flush — still round-trips.
+	src := newVM()
+	mt := linkedArrayTypes(src)
+	head := buildList(src, mt, 3, 4)
+	cache := NewPeerCache(src.TypeGen())
+	collectStream(t, NewStreamWriter(src.Heap, head, Options{}, 0, cache))
+	oldEpoch := cache.Epoch
+
+	dst := newVM()
+	linkedArrayTypes(dst)
+	mirror := NewTableMirror()
+	sw := NewStreamWriter(src.Heap, head, Options{}, 0, cache)
+	chunks := collectStream(t, sw)
+	blob, _ := sw.TableBlob(nil)
+	sr, err := feedStream(dst, mirror, chunks, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sr.InstallTable(blob); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sr.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	if mirror.Entries() == 0 {
+		t.Fatal("mirror empty after install")
+	}
+
+	if !cache.Sync(src.TypeGen() + 1) {
+		t.Fatal("Sync did not flush on generation change")
+	}
+	if cache.Epoch == oldEpoch || cache.Entries() != 0 {
+		t.Fatalf("epoch %d entries %d after flush", cache.Epoch, cache.Entries())
+	}
+	sw2 := NewStreamWriter(src.Heap, head, Options{}, 0, cache)
+	chunks2 := collectStream(t, sw2)
+	if sw2.TableRefs != 0 {
+		t.Fatal("flushed cache still emitted references")
+	}
+	sr2, err := feedStream(dst, mirror, chunks2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mirror.Epoch != cache.Epoch {
+		t.Fatalf("mirror epoch %d, want %d", mirror.Epoch, cache.Epoch)
+	}
+	if _, err := sr2.Finish(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStreamPartRoundtrip(t *testing.T) {
+	v := newVM()
+	mt := linkedArrayTypes(v)
+	h := v.Heap
+	arrT := v.ArrayType(vm.KindRef, mt, 1)
+	guard := &refGuard{refs: make([]vm.Ref, 1)}
+	v.AddRootProvider(guard)
+	arr, _ := h.AllocArray(arrT, 9)
+	guard.refs[0] = arr
+	for i := 0; i < 9; i++ {
+		node, _ := h.AllocClass(mt)
+		h.SetScalar(node, mt.FieldByName("id"), uint64(uint32(int32(i))))
+		h.SetElemRef(guard.refs[0], i, node)
+	}
+	arr = guard.refs[0]
+	v.RemoveRootProvider(guard)
+
+	sw, err := NewStreamWriterPart(h, arr, 3, 7, Options{}, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chunks := collectStream(t, sw)
+	dst := newVM()
+	dmt := linkedArrayTypes(dst)
+	sr, err := feedStream(dst, nil, chunks, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, err := sr.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dst.Heap.Length(sub) != 4 {
+		t.Fatalf("part length %d", dst.Heap.Length(sub))
+	}
+	for i := 0; i < 4; i++ {
+		node := dst.Heap.GetElemRef(sub, i)
+		if got := int32(uint32(dst.Heap.GetScalar(node, dmt.FieldByName("id")))); got != int32(3+i) {
+			t.Errorf("elem %d id %d", i, got)
+		}
+	}
+
+	// Simple-kind parts take the payload-copy path.
+	vals := make([]int32, 50)
+	for i := range vals {
+		vals[i] = int32(i * 2)
+	}
+	ints, _ := h.NewInt32Array(vals)
+	swi, err := NewStreamWriterPart(h, ints, 10, 20, Options{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := DeserializeStream(newVM(), concatChunks(collectStream(t, swi)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = out
+}
+
+func concatChunks(chunks [][]byte) []byte {
+	var all []byte
+	for _, c := range chunks {
+		all = append(all, c...)
+	}
+	return all
+}
+
+func TestStreamPartErrors(t *testing.T) {
+	v := newVM()
+	mt := linkedArrayTypes(v)
+	if _, err := NewStreamWriterPart(v.Heap, vm.NullRef, 0, 0, Options{}, 0); err == nil {
+		t.Error("null part accepted")
+	}
+	node, _ := v.Heap.AllocClass(mt)
+	if _, err := NewStreamWriterPart(v.Heap, node, 0, 0, Options{}, 0); err == nil {
+		t.Error("class part accepted")
+	}
+	arr, _ := v.Heap.NewInt32Array([]int32{1, 2})
+	if _, err := NewStreamWriterPart(v.Heap, arr, 1, 5, Options{}, 0); err == nil {
+		t.Error("out-of-range part accepted")
+	}
+}
+
+func TestStreamTruncationErrors(t *testing.T) {
+	src := newVM()
+	mt := linkedArrayTypes(src)
+	head := buildList(src, mt, 4, 4)
+	data, err := SerializeStream(src.Heap, head, Options{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cut := range []int{1, 5, streamHeaderSize, len(data) / 2, len(data) - 1} {
+		dst := newVM()
+		linkedArrayTypes(dst)
+		sr := NewStreamReader(dst, nil, nil)
+		dst.AddRootProvider(sr)
+		copy(sr.Grow(cut), data[:cut])
+		err := sr.Commit(cut)
+		if err == nil {
+			_, err = sr.Finish()
+		}
+		dst.RemoveRootProvider(sr)
+		if err == nil {
+			t.Errorf("truncation at %d accepted", cut)
+		}
+	}
+}
+
+func TestStreamRefWithoutMirrorFails(t *testing.T) {
+	// A cached stream read through the mirror-less one-shot path must
+	// fail typed, not panic or fabricate types.
+	src := newVM()
+	mt := linkedArrayTypes(src)
+	head := buildList(src, mt, 3, 2)
+	cache := NewPeerCache(src.TypeGen())
+	collectStream(t, NewStreamWriter(src.Heap, head, Options{}, 0, cache))
+	data := concatChunks(collectStream(t, NewStreamWriter(src.Heap, head, Options{}, 0, cache)))
+
+	dst := newVM()
+	linkedArrayTypes(dst)
+	if _, err := DeserializeStream(dst, data); !errors.Is(err, ErrTypeless) {
+		t.Fatalf("err %v, want ErrTypeless", err)
+	}
+}
+
+func TestStreamBlobEpochMismatchRejected(t *testing.T) {
+	src := newVM()
+	mt := linkedArrayTypes(src)
+	head := buildList(src, mt, 2, 2)
+	cache := NewPeerCache(src.TypeGen())
+	collectStream(t, NewStreamWriter(src.Heap, head, Options{}, 0, cache))
+	sw := NewStreamWriter(src.Heap, head, Options{}, 0, cache)
+	chunks := collectStream(t, sw)
+
+	// Blob stamped under a later epoch (as if the sender churned
+	// between the stream and the NACK answer).
+	cache.Sync(99)
+	sw2 := NewStreamWriter(src.Heap, head, Options{}, 0, cache)
+	collectStream(t, sw2)
+	staleBlob, _ := sw2.TableBlob(nil)
+
+	dst := newVM()
+	linkedArrayTypes(dst)
+	sr, err := feedStream(dst, NewTableMirror(), chunks, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sr.InstallTable(staleBlob); err == nil {
+		t.Fatal("stale-epoch blob accepted")
+	}
+}
+
+// TestQuickStreamRandomChunks is the streaming property test: random
+// graphs, random chunk targets, random wire fragmentation — every
+// combination must round-trip exactly and match the v1 payload.
+func TestQuickStreamRandomChunks(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for iter := 0; iter < 25; iter++ {
+		n := 1 + rng.Intn(30)
+		payload := rng.Intn(24)
+		target := 32 + rng.Intn(4096)
+		mode := VisitedMode(rng.Intn(2))
+
+		src := newVM()
+		mt := linkedArrayTypes(src)
+		head := buildList(src, mt, n, payload)
+		sw := NewStreamWriter(src.Heap, head, Options{Visited: mode}, target, nil)
+		src.AddRootProvider(sw)
+		chunks := collectStream(t, sw)
+		src.RemoveRootProvider(sw)
+
+		dst := newVM()
+		dmt := linkedArrayTypes(dst)
+		sr, err := feedStream(dst, nil, chunks, 1+rng.Intn(512))
+		if err != nil {
+			t.Fatalf("iter %d: %v", iter, err)
+		}
+		out, err := sr.Finish()
+		if err != nil {
+			t.Fatalf("iter %d: Finish: %v", iter, err)
+		}
+		h := dst.Heap
+		count := 0
+		for node := out; node != vm.NullRef; node = h.GetRef(node, dmt.FieldByName("next")) {
+			if got := int32(uint32(h.GetScalar(node, dmt.FieldByName("id")))); got != int32(count) {
+				t.Fatalf("iter %d node %d id %d", iter, count, got)
+			}
+			arr := h.GetRef(node, dmt.FieldByName("array"))
+			vals := h.Int32Slice(arr)
+			if len(vals) != payload {
+				t.Fatalf("iter %d node %d payload %d", iter, count, len(vals))
+			}
+			for j, val := range vals {
+				if val != int32(count*1000+j) {
+					t.Fatalf("iter %d node %d payload[%d]=%d", iter, count, j, val)
+				}
+			}
+			count++
+		}
+		if count != n {
+			t.Fatalf("iter %d: %d nodes, want %d", iter, count, n)
+		}
+	}
+}
+
+// TestStreamNeverPanics mirrors the v1 robustness test for the v2
+// entry point: garbage and mutations error, never panic.
+func TestStreamNeverPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(4041))
+	src := newVM()
+	mt := linkedArrayTypes(src)
+	head := buildList(src, mt, 5, 3)
+	valid, err := SerializeStream(src.Heap, head, Options{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tryOne := func(data []byte) {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("stream deserialize panicked on %d bytes: %v", len(data), r)
+			}
+		}()
+		dst := newVM()
+		linkedArrayTypes(dst)
+		_, _ = DeserializeStream(dst, data)
+	}
+	for i := 0; i < 200; i++ {
+		data := make([]byte, rng.Intn(300))
+		rng.Read(data)
+		tryOne(data)
+	}
+	for i := 0; i < 400; i++ {
+		data := append([]byte(nil), valid...)
+		switch rng.Intn(3) {
+		case 0:
+			data[rng.Intn(len(data))] ^= byte(1 << rng.Intn(8))
+		case 1:
+			data = data[:rng.Intn(len(data)+1)]
+		case 2:
+			at := rng.Intn(len(data))
+			data = append(data[:at], append([]byte{byte(rng.Intn(256))}, data[at:]...)...)
+		}
+		tryOne(data)
+	}
+}

@@ -51,6 +51,12 @@ type VM struct {
 	// serializer buffer stack) contribute GC roots.
 	extraRoots []RootProvider
 
+	// typeGen counts registry events that invalidate externally held
+	// method-table references (today: Load rollback unregistering
+	// types). The serializer's per-peer type-table caches compare it
+	// to decide when to resynchronize.
+	typeGen uint64
+
 	// gcHooks run at the start of every collection's mark phase,
 	// before roots are traced. The Motor core uses one to reconcile
 	// transport state (paper §7.4).
@@ -258,6 +264,11 @@ func (v *VM) TypeByIndex(i int) (*MethodTable, bool) {
 // NumTypes reports the registry size.
 func (v *VM) NumTypes() int { return len(v.types) }
 
+// TypeGen reports the current type-registry generation. It changes
+// whenever previously registered types become invalid (Load rollback);
+// callers holding *MethodTable-keyed caches must flush when it moves.
+func (v *VM) TypeGen() uint64 { return v.typeGen }
+
 // AddMethod attaches a method to a type (or to the module when owner
 // is nil) and assigns its global index and virtual slot.
 func (v *VM) AddMethod(owner *MethodTable, m *Method) *Method {
@@ -363,6 +374,12 @@ func (v *VM) Mark() RegistryMark {
 // attached to pre-existing types are detached and their vtable slots
 // restored to the inherited implementation.
 func (v *VM) RollbackRegistry(mark RegistryMark) {
+	if len(v.types) > mark.types {
+		// Unregistering types invalidates anything keyed on method
+		// tables outside the VM (the serializer's per-peer type-table
+		// caches); bump the generation so they resynchronize.
+		v.typeGen++
+	}
 	for i := len(v.methods) - 1; i >= mark.methods; i-- {
 		m := v.methods[i]
 		o := m.Owner

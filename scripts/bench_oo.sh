@@ -1,0 +1,32 @@
+#!/bin/sh
+# OO transport sweep: the v1 whole-buffer object protocol (8-byte size
+# prefix + one contiguous representation + linear visited list) against
+# the engine's chunked v2 stream with the type-table cache, over an
+# object-count x payload-size grid. Writes the machine-readable report
+# to BENCH_oo.json at the repo root.
+#
+# Usage: scripts/bench_oo.sh [quick]
+#   quick  reduced grid/protocol for smoke runs
+#
+# The committed BENCH_oo.json is the streaming transport's acceptance
+# artifact: speedup_vs_v1_at_1mib_plus.min >= 1.25 is the throughput
+# criterion, and warm_exchange_table_bytes == 0 (with
+# warm_exchange_cache_hits > 0) proves the type-table cache removes
+# all table traffic after the first same-shape message. Regenerate it
+# here when touching the serializer or the OO transport.
+set -eu
+cd "$(dirname "$0")/.."
+
+out=BENCH_oo.json
+
+flags="-oo -json"
+if [ "${1:-}" = quick ]; then
+	flags="$flags -quick"
+fi
+
+echo "== OO transport sweep -> $out"
+# shellcheck disable=SC2086
+go run ./cmd/benchfig $flags > "$out"
+echo "== speedups vs v1 at >= 1 MiB payloads"
+grep -A 4 speedup_vs_v1_at_1mib_plus "$out" || true
+grep warm_exchange "$out" || true

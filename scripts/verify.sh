@@ -3,7 +3,7 @@
 #
 #   tier 1 (default): build + full test suite — the repo's gate.
 #   tier 2 (-race):   vet + race-enabled tests over the whole tree.
-#   tier 3 (bench):   opt-in collective sweep -> BENCH_coll.json.
+#   tier 3 (bench):   opt-in sweeps -> BENCH_coll.json + BENCH_oo.json.
 #   vet tier:         go vet + the load-time bytecode verifier over
 #                     every masm module under examples/.
 #
@@ -11,8 +11,9 @@
 #   quick  tier 1 with -short (chaos sweeps skipped; < ~30s)
 #   race   tier 2 only
 #   all    tier 1 then tier 2 then vet (default)
-#   bench  tier 1 quick, then the collective benchmark sweep
-#          (scripts/bench_coll.sh); opt-in because timing-sensitive
+#   bench  tier 1 quick, then the collective and OO benchmark sweeps
+#          (scripts/bench_coll.sh, scripts/bench_oo.sh); opt-in
+#          because timing-sensitive
 #   vet    static checks only: go vet + motor -mode check examples/
 set -eu
 cd "$(dirname "$0")/.."
@@ -38,6 +39,8 @@ tier2() {
 tier3() {
 	echo "== tier 3: collective benchmark sweep"
 	sh scripts/bench_coll.sh "${BENCH_COLL_RANKS:-4}"
+	echo "== tier 3: OO transport sweep"
+	sh scripts/bench_oo.sh
 }
 
 # Static tier: go vet plus the MASM bytecode verifier over every
