@@ -38,7 +38,8 @@ func main() {
 	coll := flag.Bool("coll", false, "run the collective algorithm size sweep")
 	collRanks := flag.Int("collranks", 4, "rank count for -coll")
 	oo := flag.Bool("oo", false, "run the OO transport sweep (v1 buffer vs chunked stream)")
-	jsonOut := flag.Bool("json", false, "emit -coll/-oo results as JSON")
+	async := flag.Bool("async", false, "run the async-progress overlap benchmark (inline vs background engine)")
+	jsonOut := flag.Bool("json", false, "emit -coll/-oo/-async results as JSON")
 	flag.Parse()
 
 	proto := bench.PaperProtocol()
@@ -56,6 +57,20 @@ func main() {
 	}
 
 	switch {
+	case *async:
+		cfg := bench.AsyncGrid()
+		if *quick {
+			cfg = bench.AsyncQuickGrid()
+		}
+		rep, err := bench.RunAsyncOverlap(cfg)
+		fatal(err)
+		if *jsonOut {
+			out, err := bench.MarshalAsyncReport(rep)
+			fatal(err)
+			fmt.Println(string(out))
+			return
+		}
+		fmt.Print(bench.FormatAsyncTable(rep))
 	case *oo:
 		ooProto := bench.OOProtocol()
 		ooProto.Channel = proto.Channel

@@ -1,0 +1,270 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"motor/internal/core"
+	"motor/internal/mp"
+	"motor/internal/vm"
+)
+
+// The async-progress benchmark measures compute/communication
+// overlap: each iteration posts a symmetric nonblocking rendezvous
+// exchange, runs a duty-cycle compute phase, and only then waits.
+// The compute phase models the FCall workloads the progress engine
+// exists for — each slice burns a little CPU while holding the
+// execution token, then parks the thread (native I/O, accelerator
+// offload, memory stall) with the token released. With inline
+// polling, the protocol only advances once the guest reaches Wait,
+// so wall time is compute + comm; with the background engine, the
+// protocol advances inside the parked gaps and wall time approaches
+// max(compute, comm). The overlap ratio is inline/async wall time.
+
+// AsyncConfig sizes one overlap run. The compute phase is
+// deadline-driven (busy-spin then park, repeated until ComputeUs of
+// wall time has elapsed) rather than slice-counted: time.Sleep
+// granularity varies wildly between hosts and even between runs, so
+// a fixed sleep count would give a different compute duration in
+// each mode. A wall deadline makes the compute phase identical
+// across modes by construction; ComputeUs == 0 calibrates it to
+// 1.5x the measured comm-only time.
+type AsyncConfig struct {
+	MsgBytes  int // per-exchange payload (must exceed eager max: rendezvous)
+	Msgs      int // concurrent exchanges per iteration
+	ComputeUs int // compute-phase wall budget per iteration (0 = calibrate)
+	BusyUs    int // busy-spin per slice, token held
+	ParkUs    int // parked (token released) sleep per slice
+	Warmup    int
+	Timed     int
+	Repeats   int
+}
+
+// AsyncGrid is the committed-artifact configuration.
+func AsyncGrid() AsyncConfig {
+	return AsyncConfig{MsgBytes: 1 << 20, Msgs: 16, BusyUs: 25, ParkUs: 200, Warmup: 3, Timed: 16, Repeats: 3}
+}
+
+// AsyncQuickGrid is the smoke-run configuration.
+func AsyncQuickGrid() AsyncConfig {
+	return AsyncConfig{MsgBytes: 256 << 10, Msgs: 8, BusyUs: 25, ParkUs: 200, Warmup: 2, Timed: 6, Repeats: 2}
+}
+
+// AsyncReport is the machine-readable result (BENCH_async.json).
+type AsyncReport struct {
+	Ranks     int            `json:"ranks"`
+	Channel   string         `json:"channel"`
+	MsgBytes  int            `json:"msg_bytes"`
+	Msgs      int            `json:"msgs_per_iter"`
+	Protocol  map[string]int `json:"protocol"`
+	CommUs    float64        `json:"comm_only_us"`
+	ComputeUs float64        `json:"compute_us"`
+	InlineUs  float64        `json:"inline_us"`
+	AsyncUs   float64        `json:"async_us"`
+	Overlap   float64        `json:"overlap_ratio"`
+	Passes    uint64         `json:"progress_passes"`
+}
+
+// busySpin burns roughly d of CPU while holding the execution token —
+// the managed-compute fraction of a slice.
+func busySpin(d time.Duration) {
+	deadline := time.Now().Add(d)
+	x := 1
+	for time.Now().Before(deadline) {
+		for i := 0; i < 1024; i++ {
+			x = x*31 + i
+		}
+	}
+	_ = x
+}
+
+// runAsyncMode times the exchange+compute loop on a fresh 2-rank shm
+// world. With cfg.ComputeUs == 0 the compute phase is skipped
+// entirely (the comm-only calibration run). Returns mean wall
+// microseconds per iteration and the total progress passes across
+// ranks.
+func runAsyncMode(cfg AsyncConfig, async bool) (float64, uint64, error) {
+	worlds, err := mp.NewLocalWorlds(mp.ChannelShm, 2, 0)
+	if err != nil {
+		return 0, 0, err
+	}
+	type res struct {
+		us     float64
+		passes uint64
+		err    error
+	}
+	resc := make(chan res, 2)
+	for _, w := range worlds {
+		go func(w *mp.World) {
+			defer w.Close()
+			v := benchVM(fmt.Sprintf("async%d", w.Rank()), vm.PinHandleTable)
+			e := core.Attach(v, w, core.WithAsyncProgress(async))
+			defer e.Close()
+			th := v.StartThread("bench")
+			defer th.End()
+
+			u8 := v.ArrayType(vm.KindUint8, nil, 1)
+			msgs := cfg.Msgs
+			if msgs < 1 {
+				msgs = 1
+			}
+			sendRefs := make([]vm.Ref, msgs)
+			recvRefs := make([]vm.Ref, msgs)
+			// Root the slots before allocating: a collection triggered
+			// by a later allocation must forward the earlier refs.
+			var slots []*vm.Ref
+			for m := 0; m < msgs; m++ {
+				slots = append(slots, &sendRefs[m], &recvRefs[m])
+			}
+			defer th.PushFrame(slots...)()
+			for m := 0; m < msgs; m++ {
+				if sendRefs[m], err = v.Heap.AllocArray(u8, cfg.MsgBytes); err == nil {
+					recvRefs[m], err = v.Heap.AllocArray(u8, cfg.MsgBytes)
+				}
+				if err != nil {
+					resc <- res{err: err}
+					return
+				}
+			}
+			peer := 1 - w.Rank()
+			park := time.Duration(cfg.ParkUs) * time.Microsecond
+			busy := time.Duration(cfg.BusyUs) * time.Microsecond
+			compute := time.Duration(cfg.ComputeUs) * time.Microsecond
+
+			sids := make([]int32, msgs)
+			rids := make([]int32, msgs)
+			iter := func() error {
+				for m := 0; m < msgs; m++ {
+					rid, err := e.Irecv(th, recvRefs[m], peer, m)
+					if err != nil {
+						return err
+					}
+					sid, err := e.Isend(th, sendRefs[m], peer, m)
+					if err != nil {
+						return err
+					}
+					sids[m], rids[m] = sid, rid
+				}
+				for phase := time.Now(); time.Since(phase) < compute; {
+					busySpin(busy)
+					th.Park(func() { time.Sleep(park) })
+				}
+				for m := 0; m < msgs; m++ {
+					if _, err := e.Wait(th, sids[m]); err != nil {
+						return err
+					}
+					if _, err := e.Wait(th, rids[m]); err != nil {
+						return err
+					}
+				}
+				return nil
+			}
+
+			if err := e.Barrier(th); err != nil {
+				resc <- res{err: err}
+				return
+			}
+			for i := 0; i < cfg.Warmup; i++ {
+				if err := iter(); err != nil {
+					resc <- res{err: err}
+					return
+				}
+			}
+			best := 0.0
+			for r := 0; r < cfg.Repeats; r++ {
+				if err := e.Barrier(th); err != nil {
+					resc <- res{err: err}
+					return
+				}
+				start := time.Now()
+				for i := 0; i < cfg.Timed; i++ {
+					if err := iter(); err != nil {
+						resc <- res{err: err}
+						return
+					}
+				}
+				us := float64(time.Since(start).Microseconds()) / float64(cfg.Timed)
+				if r == 0 || us < best {
+					best = us
+				}
+			}
+			resc <- res{us: best, passes: e.ProgressStats().Passes}
+		}(w)
+	}
+	var worst float64
+	var passes uint64
+	for i := 0; i < 2; i++ {
+		r := <-resc
+		if r.err != nil {
+			return 0, 0, r.err
+		}
+		if r.us > worst {
+			worst = r.us
+		}
+		passes += r.passes
+	}
+	return worst, passes, nil
+}
+
+// RunAsyncOverlap calibrates, then measures inline vs background-
+// engine wall time. Calibration measures the comm-only iteration
+// time and budgets the compute phase at 1.5x that, so communication
+// is ~40% of an ideally-overlapped iteration — big enough that
+// hiding it moves the needle, small enough that the parked gaps can
+// absorb it.
+func RunAsyncOverlap(cfg AsyncConfig) (AsyncReport, error) {
+	commOnly := cfg
+	commOnly.ComputeUs = 0
+	commUs, _, err := runAsyncMode(commOnly, false)
+	if err != nil {
+		return AsyncReport{}, fmt.Errorf("comm calibration: %w", err)
+	}
+	if cfg.ComputeUs == 0 {
+		cfg.ComputeUs = int(1.5 * commUs)
+	}
+	computeUs := float64(cfg.ComputeUs)
+
+	inlineUs, _, err := runAsyncMode(cfg, false)
+	if err != nil {
+		return AsyncReport{}, fmt.Errorf("inline run: %w", err)
+	}
+	asyncUs, passes, err := runAsyncMode(cfg, true)
+	if err != nil {
+		return AsyncReport{}, fmt.Errorf("async run: %w", err)
+	}
+	rep := AsyncReport{
+		Ranks:    2,
+		Channel:  "shm",
+		MsgBytes: cfg.MsgBytes,
+		Msgs:     cfg.Msgs,
+		Protocol: map[string]int{
+			"warmup": cfg.Warmup, "timed": cfg.Timed, "repeats": cfg.Repeats,
+			"busy_us": cfg.BusyUs, "park_us": cfg.ParkUs,
+		},
+		CommUs:    commUs,
+		ComputeUs: computeUs,
+		InlineUs:  inlineUs,
+		AsyncUs:   asyncUs,
+		Passes:    passes,
+	}
+	if asyncUs > 0 {
+		rep.Overlap = inlineUs / asyncUs
+	}
+	return rep, nil
+}
+
+// MarshalAsyncReport renders the report as indented JSON.
+func MarshalAsyncReport(rep AsyncReport) ([]byte, error) {
+	return json.MarshalIndent(rep, "", "  ")
+}
+
+// FormatAsyncTable renders the result as text.
+func FormatAsyncTable(rep AsyncReport) string {
+	out := "async progress overlap: inline polling vs background engine (us per iteration)\n"
+	out += fmt.Sprintf("%d x %d bytes per iter (comm-only %.0f us, compute budget %.0f us)\n",
+		rep.Msgs, rep.MsgBytes, rep.CommUs, rep.ComputeUs)
+	out += fmt.Sprintf("%10s %10s %10s %8s\n", "inline", "async", "passes", "overlap")
+	out += fmt.Sprintf("%10.1f %10.1f %10d %7.2fx\n", rep.InlineUs, rep.AsyncUs, rep.Passes, rep.Overlap)
+	return out
+}

@@ -234,6 +234,7 @@ func (e *Engine) AllreduceOn(t *vm.Thread, id int32, sendArr, recvArr vm.Ref, op
 }
 
 func (e *Engine) reduceOn(t *vm.Thread, c *mp.Comm, sendArr, recvArr vm.Ref, op mp.Op, root int, all bool) error {
+	defer t.PushFrame(&sendArr, &recvArr)()
 	t.PollGC()
 	defer t.PollGC()
 	sendBuf, err := e.wholeBuf(t, sendArr)

@@ -180,6 +180,14 @@ type Engine struct {
 	// lane is this rank's trace lane (world rank), fixed at Attach.
 	lane int
 
+	// asyncProgress selects the background progress engine; progress is
+	// the running engine (nil in inline-polling mode or after Close).
+	// Blocking waits branch on it: inline mode spins through GC polls,
+	// async mode parks the thread until the completion continuation
+	// fires (see waitStep in ops.go).
+	asyncProgress bool
+	progress      *mp.Progress
+
 	Stats   Stats
 	Verify  VerifyStats
 	TTCache serial.TTCacheStats
@@ -215,6 +223,13 @@ func WithMaxOOMessage(n int) Option { return func(e *Engine) { e.maxOO = n } }
 // serial.DefaultChunkTarget).
 func WithOOChunk(n int) Option { return func(e *Engine) { e.ooChunk = n } }
 
+// WithAsyncProgress enables the background progress engine: a
+// per-rank goroutine that drives the device while guest code
+// computes, gated through the VM execution token so every pass
+// respects the collector's safepoint discipline (docs/PROGRESS.md).
+// Off by default (inline polling-waits only).
+func WithAsyncProgress(on bool) Option { return func(e *Engine) { e.asyncProgress = on } }
+
 // Attach integrates a VM with a world: it wires the device's
 // polling-wait yield to the VM's GC poll point, installs the GC hook
 // that refreshes transport status for conditional pin requests and
@@ -248,7 +263,41 @@ func Attach(v *vm.VM, w *mp.World, opts ...Option) *Engine {
 		bump(&e.Stats.BuffersCollected, e.bufs.age())
 	})
 	e.registerFCalls()
+	if e.asyncProgress {
+		// The gate is the VM execution token: a pass runs only while no
+		// managed thread executes and no collection is in flight, so the
+		// progress goroutine may complete requests into pinned managed
+		// buffers. The GC hook above doubles as the collector-side
+		// refresh; both paths funnel into the same locked device.
+		e.progress = mp.StartProgress(w.Dev, mp.ProgressOptions{
+			Gate: v.ExecRun,
+			Lane: w.Rank(),
+		})
+	}
 	return e
+}
+
+// Close stops the background progress engine (no-op in inline mode;
+// idempotent). Call it after every managed thread has ended — a
+// thread still holding the execution token would deadlock the gated
+// loop's final pass against Stop.
+func (e *Engine) Close() {
+	if e.progress != nil {
+		e.progress.Stop()
+	}
+}
+
+// AsyncProgress reports whether the background progress engine is
+// configured.
+func (e *Engine) AsyncProgress() bool { return e.asyncProgress }
+
+// ProgressStats returns a snapshot of the background progress
+// engine's counters (zero value in inline mode).
+func (e *Engine) ProgressStats() mp.ProgressStats {
+	if e.progress == nil {
+		return mp.ProgressStats{}
+	}
+	return e.progress.Stats()
 }
 
 // Policy returns the engine's pinning policy.
@@ -263,9 +312,15 @@ func (e *Engine) RegisterStats(reg *obs.Registry) {
 	reg.Register("engine", func() any { return e.Stats.Snapshot() })
 	reg.Register("verify", func() any { return e.Verify.Snapshot() })
 	reg.Register("serial.ttcache", func() any { return e.TTCache.Snapshot() })
-	reg.Register("device", func() any { return e.World.Dev.Stats })
+	// Snapshot accessors everywhere: a registry read may race a
+	// background progress pass or a sibling guest thread bumping the
+	// same counters.
+	reg.Register("device", func() any { return e.World.Dev.StatsSnapshot() })
 	reg.Register("coll", func() any { return e.Comm.CollStats() })
-	reg.Register("gc", func() any { return e.VM.Heap.Stats })
+	reg.Register("gc", func() any { return e.VM.Heap.Stats.Snapshot() })
+	if e.progress != nil {
+		reg.Register("progress", func() any { return e.progress.Stats() })
+	}
 	if src, ok := e.World.Dev.Channel().(channel.StatsSource); ok {
 		reg.Register("transport", func() any { return src.TransportStats() })
 	}

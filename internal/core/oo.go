@@ -67,7 +67,7 @@ func (e *Engine) waitYielding(t *vm.Thread, req *mp.Request) error {
 		if done {
 			return err
 		}
-		e.idle(t)
+		e.waitStep(t, req)
 	}
 }
 
@@ -188,6 +188,7 @@ func (e *Engine) awaitTableAck(t *vm.Thread, sw *serial.StreamWriter, dest, tag 
 
 // OSend transports an object tree to dest (blocking).
 func (e *Engine) OSend(t *vm.Thread, obj vm.Ref, dest, tag int) error {
+	defer t.PushFrame(&obj)()
 	t.PollGC()
 	defer t.PollGC()
 	bump(&e.Stats.OOSends, 1)
@@ -315,6 +316,7 @@ func (e *Engine) ORecv(t *vm.Thread, source, tag int) (vm.Ref, mp.Status, error)
 // round; chunk targets stay below the eager threshold so a rank that
 // bails (oversize cap) cannot strand the root in a rendezvous.
 func (e *Engine) OBcast(t *vm.Thread, obj vm.Ref, root int) (vm.Ref, error) {
+	defer t.PushFrame(&obj)()
 	t.PollGC()
 	defer t.PollGC()
 	tr := e.opBegin(obs.OpOBcast, 0, root)
@@ -441,6 +443,7 @@ func (e *Engine) loopback(t *vm.Thread, sw *serial.StreamWriter) (vm.Ref, error)
 // each part independently deserializable — the capability the paper
 // highlights as impossible with standard Java/CLI serialization.
 func (e *Engine) OScatter(t *vm.Thread, arr vm.Ref, root int) (vm.Ref, error) {
+	defer t.PushFrame(&arr)()
 	t.PollGC()
 	defer t.PollGC()
 	tr := e.opBegin(obs.OpOScatter, 0, root)
@@ -503,6 +506,7 @@ func (e *Engine) OScatter(t *vm.Thread, arr vm.Ref, root int) (vm.Ref, error) {
 // Every rank streams its whole array to the root under the OO
 // collective tag space; non-roots return the null reference.
 func (e *Engine) OGather(t *vm.Thread, arr vm.Ref, root int) (vm.Ref, error) {
+	defer t.PushFrame(&arr)()
 	t.PollGC()
 	defer t.PollGC()
 	if arr == vm.NullRef {

@@ -101,7 +101,7 @@ func (e *Engine) waitBlocking(t *vm.Thread, c *mp.Comm, obj vm.Ref, req *mp.Requ
 		if done {
 			return st, e.noteErr(err)
 		}
-		e.idle(t)
+		e.waitStep(t, req)
 	}
 }
 
@@ -110,6 +110,23 @@ func (e *Engine) waitBlocking(t *vm.Thread, c *mp.Comm, obj vm.Ref, req *mp.Requ
 func (e *Engine) idle(t *vm.Thread) {
 	t.PollGC()
 	runtime.Gosched()
+}
+
+// waitStep is one iteration of a blocking wait on req. Inline mode
+// yields to the collector between the caller's progress passes (the
+// classic polling-wait). With the background progress engine running,
+// the thread instead parks — releasing the execution token for its
+// whole sleep — until the engine's completion continuation fires, so
+// a blocked thread burns no CPU and steals no token time from
+// siblings or the progress loop.
+func (e *Engine) waitStep(t *vm.Thread, req *mp.Request) {
+	if e.progress != nil {
+		ch := make(chan struct{})
+		req.OnComplete(func() { close(ch) })
+		t.Park(func() { <-ch })
+		return
+	}
+	e.idle(t)
 }
 
 // Send transports a whole object (blocking, standard mode).
@@ -132,6 +149,12 @@ func (e *Engine) sendCommon(t *vm.Thread, obj vm.Ref, dest, tag int, sync bool, 
 }
 
 func (e *Engine) sendCommonOn(t *vm.Thread, c *mp.Comm, obj vm.Ref, dest, tag int, sync bool, offset, count int) error {
+	// Root the ref argument for the whole operation: the entry poll
+	// below is a safepoint, and with several VM threads sharing the
+	// rank a sibling's collection can move the object before the
+	// buffer is derived (the pin policy only takes over at wait
+	// entry). Every Ref-taking entry point follows this discipline.
+	defer t.PushFrame(&obj)()
 	t.PollGC()
 	defer t.PollGC()
 	var buf heapBuf
@@ -173,6 +196,7 @@ func (e *Engine) recvCommon(t *vm.Thread, obj vm.Ref, source, tag int, offset, c
 }
 
 func (e *Engine) recvCommonOn(t *vm.Thread, c *mp.Comm, obj vm.Ref, source, tag int, offset, count int) (mp.Status, error) {
+	defer t.PushFrame(&obj)()
 	t.PollGC()
 	defer t.PollGC()
 	var buf heapBuf
@@ -230,6 +254,7 @@ func (e *Engine) condPin(obj vm.Ref, req *mp.Request) {
 // Isend starts an immediate send and returns a request id for Wait /
 // Test.
 func (e *Engine) Isend(t *vm.Thread, obj vm.Ref, dest, tag int) (int32, error) {
+	defer t.PushFrame(&obj)()
 	t.PollGC()
 	buf, err := e.wholeBuf(t, obj)
 	if err != nil {
@@ -258,6 +283,7 @@ func (e *Engine) Isend(t *vm.Thread, obj vm.Ref, dest, tag int) (int32, error) {
 
 // Irecv starts an immediate receive.
 func (e *Engine) Irecv(t *vm.Thread, obj vm.Ref, source, tag int) (int32, error) {
+	defer t.PushFrame(&obj)()
 	t.PollGC()
 	buf, err := e.wholeBuf(t, obj)
 	if err != nil {
@@ -318,7 +344,7 @@ func (e *Engine) Wait(t *vm.Thread, id int32) (mp.Status, error) {
 			e.finish(r)
 			return st, e.noteErr(err)
 		}
-		e.idle(t)
+		e.waitStep(t, r.req)
 	}
 }
 
@@ -384,6 +410,7 @@ func (e *Engine) Barrier(t *vm.Thread) error {
 // Bcast broadcasts the root's object contents into every rank's
 // object (equal sizes required, as in MPI).
 func (e *Engine) Bcast(t *vm.Thread, obj vm.Ref, root int) error {
+	defer t.PushFrame(&obj)()
 	t.PollGC()
 	defer t.PollGC()
 	buf, err := e.wholeBuf(t, obj)
@@ -401,6 +428,7 @@ func (e *Engine) Bcast(t *vm.Thread, obj vm.Ref, root int) error {
 // Scatter splits the root's simple array equally across ranks into
 // each rank's recv array (sendArr is ignored on non-roots).
 func (e *Engine) Scatter(t *vm.Thread, sendArr, recvArr vm.Ref, root int) error {
+	defer t.PushFrame(&sendArr, &recvArr)()
 	t.PollGC()
 	defer t.PollGC()
 	recvBuf, err := e.wholeBuf(t, recvArr)
@@ -433,6 +461,7 @@ func (e *Engine) Allgather(t *vm.Thread, sendArr, recvArr vm.Ref) error {
 }
 
 func (e *Engine) allgatherOn(t *vm.Thread, c *mp.Comm, sendArr, recvArr vm.Ref) error {
+	defer t.PushFrame(&sendArr, &recvArr)()
 	t.PollGC()
 	defer t.PollGC()
 	sendBuf, err := e.wholeBuf(t, sendArr)
@@ -467,6 +496,7 @@ func (e *Engine) Alltoall(t *vm.Thread, sendArr, recvArr vm.Ref) error {
 }
 
 func (e *Engine) alltoallOn(t *vm.Thread, c *mp.Comm, sendArr, recvArr vm.Ref) error {
+	defer t.PushFrame(&sendArr, &recvArr)()
 	t.PollGC()
 	defer t.PollGC()
 	sendBuf, err := e.wholeBuf(t, sendArr)
@@ -497,6 +527,7 @@ func (e *Engine) alltoallOn(t *vm.Thread, c *mp.Comm, sendArr, recvArr vm.Ref) e
 // dest while receiving into recvObj from source, deadlock-free even
 // when every rank calls it simultaneously.
 func (e *Engine) Sendrecv(t *vm.Thread, sendObj vm.Ref, dest, sendTag int, recvObj vm.Ref, source, recvTag int) (mp.Status, error) {
+	defer t.PushFrame(&sendObj, &recvObj)()
 	t.PollGC()
 	defer t.PollGC()
 	sendBuf, err := e.wholeBuf(t, sendObj)
@@ -530,20 +561,21 @@ func (e *Engine) Sendrecv(t *vm.Thread, sendObj vm.Ref, dest, sendTag int, recvO
 		if done {
 			break
 		}
-		e.idle(t)
+		e.waitStep(t, sreq)
 	}
 	for {
 		done, st, err := e.Comm.Test(rreq)
 		if done {
 			return st, err
 		}
-		e.idle(t)
+		e.waitStep(t, rreq)
 	}
 }
 
 // Gather collects every rank's simple array into the root's recv
 // array (recvArr is ignored on non-roots).
 func (e *Engine) Gather(t *vm.Thread, sendArr, recvArr vm.Ref, root int) error {
+	defer t.PushFrame(&sendArr, &recvArr)()
 	t.PollGC()
 	defer t.PollGC()
 	sendBuf, err := e.wholeBuf(t, sendArr)

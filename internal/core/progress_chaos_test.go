@@ -1,0 +1,257 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"motor/internal/mp"
+	"motor/internal/obs"
+	"motor/internal/vm"
+)
+
+// The progress chaos tier runs the full stack — managed threads,
+// cooperative execution token, GC, message passing — with several VM
+// threads sharing one rank while the background progress engine (or
+// the inline polling baseline) completes their requests. It is the
+// -race regression suite for the token/park discipline and for the
+// snapshot-consistency fixes in the stats registry.
+
+// runRanksAsync is runRanks with engine-lifecycle teardown in the
+// order async progress requires: the main thread ends first
+// (releasing the execution token so a gated pass can finish), then
+// the progress engine stops, then the world closes.
+func runRanksAsync(t *testing.T, n int, async bool, body func(r *rank) error) {
+	t.Helper()
+	worlds, err := mp.NewLocalWorlds(mp.ChannelShm, n, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	errc := make(chan error, n)
+	for i := 0; i < n; i++ {
+		go func(w *mp.World) {
+			v := vm.New(vm.Config{
+				Name: fmt.Sprintf("rank%d", w.Rank()),
+				Heap: vm.HeapConfig{YoungSize: 64 << 10, InitialElder: 512 << 10, ArenaMax: 64 << 20},
+			})
+			e := Attach(v, w, WithAsyncProgress(async))
+			th := v.StartThread("main")
+			err := body(&rank{v: v, e: e, th: th})
+			th.End()
+			e.Close()
+			w.Close()
+			errc <- err
+		}(worlds[i])
+	}
+	deadline := time.After(60 * time.Second)
+	for i := 0; i < n; i++ {
+		select {
+		case err := <-errc:
+			if err != nil {
+				t.Fatal(err)
+			}
+		case <-deadline:
+			t.Fatal("ranks deadlocked")
+		}
+	}
+}
+
+// chaosThreads runs K extra managed threads per rank, each allocating
+// garbage (young GC pressure) and exchanging tagged arrays with its
+// peer-rank twin, while a monitoring goroutine continuously snapshots
+// the stats registry. The main thread parks on the workers' join —
+// exercising Thread.Park — so the token circulates between workers,
+// GC, and (in async mode) the gated progress engine.
+func chaosThreads(t *testing.T, async bool) {
+	K := 4
+	iters := 30
+	if testing.Short() {
+		K, iters = 2, 10
+	}
+	runRanksAsync(t, 2, async, func(r *rank) error {
+		peer := 1 - r.e.Comm.Rank()
+
+		reg := new(obs.Registry)
+		r.e.RegisterStats(reg)
+		stopMon := make(chan struct{})
+		var mon sync.WaitGroup
+		mon.Add(1)
+		go func() {
+			defer mon.Done()
+			for {
+				select {
+				case <-stopMon:
+					return
+				default:
+				}
+				snap := reg.Snapshot()
+				if len(snap.Groups) == 0 {
+					panic("empty registry snapshot")
+				}
+			}
+		}()
+
+		var wg sync.WaitGroup
+		werrs := make(chan error, K)
+		for k := 0; k < K; k++ {
+			wg.Add(1)
+			go func(k int) {
+				defer wg.Done()
+				th := r.v.StartThread(fmt.Sprintf("worker%d", k))
+				defer th.End()
+				h := r.v.Heap
+				for i := 0; i < iters; i++ {
+					if err := func() error {
+						// Garbage to keep the young collector busy
+						// while siblings are parked in waits.
+						if _, err := h.NewInt32Array(make([]int32, 64)); err != nil {
+							return err
+						}
+						msg, err := h.NewInt32Array([]int32{int32(k), int32(i)})
+						if err != nil {
+							return err
+						}
+						// Root the ref: sibling threads trigger
+						// collections while this one is parked.
+						release := th.PushFrame(&msg)
+						defer release()
+						tag := k*iters + i
+						if r.e.Comm.Rank() == 0 {
+							if err := r.e.Send(th, msg, peer, tag); err != nil {
+								return fmt.Errorf("worker %d send %d: %w", k, i, err)
+							}
+							if _, err := r.e.Recv(th, msg, peer, tag); err != nil {
+								return fmt.Errorf("worker %d recv %d: %w", k, i, err)
+							}
+						} else {
+							if _, err := r.e.Recv(th, msg, peer, tag); err != nil {
+								return fmt.Errorf("worker %d recv %d: %w", k, i, err)
+							}
+							got := h.Int32Slice(msg)
+							if got[0] != int32(k) || got[1] != int32(i) {
+								return fmt.Errorf("worker %d msg %d: got %v", k, i, got[:2])
+							}
+							if err := r.e.Send(th, msg, peer, tag); err != nil {
+								return fmt.Errorf("worker %d send %d: %w", k, i, err)
+							}
+						}
+						return nil
+					}(); err != nil {
+						werrs <- err
+						return
+					}
+					if i%10 == 9 {
+						th.CollectYoung()
+					}
+				}
+			}(k)
+		}
+		// Park the main thread on the join: the execution token must
+		// keep circulating among the workers (and the progress engine)
+		// while it sleeps.
+		r.th.Park(wg.Wait)
+		close(stopMon)
+		mon.Wait()
+		close(werrs)
+		for err := range werrs {
+			return err
+		}
+		if n := r.e.World.Dev.Outstanding(); n != 0 {
+			return fmt.Errorf("%d requests leaked", n)
+		}
+		if async {
+			if st := r.e.ProgressStats(); st.Passes == 0 {
+				return fmt.Errorf("async mode but progress engine never ran: %+v", st)
+			}
+		}
+		gc := r.v.Heap.Stats.Snapshot()
+		if gc.Scavenges+gc.FullGCs == 0 {
+			return fmt.Errorf("no collections despite GC pressure")
+		}
+		return nil
+	})
+}
+
+// TestProgressChaosMultiThread is the differential form of the chaos
+// run: the identical multi-threaded workload must pass with inline
+// polling and with the background progress engine.
+func TestProgressChaosMultiThread(t *testing.T) {
+	for _, async := range []bool{false, true} {
+		async := async
+		t.Run(fmt.Sprintf("async=%v", async), func(t *testing.T) {
+			chaosThreads(t, async)
+		})
+	}
+}
+
+// TestProgressRegistrySnapshotRace is the focused regression test for
+// the snapshot-consistency fix: registry snapshots (which aggregate
+// engine, device, GC, collective and progress counters) must be safe
+// while a full send/recv + GC workload mutates every one of those
+// counter sets. Before the fix, GCStats and CollStats were read
+// field-by-field without atomics and -race flagged this exact
+// pattern.
+func TestProgressRegistrySnapshotRace(t *testing.T) {
+	runRanksAsync(t, 2, true, func(r *rank) error {
+		reg := new(obs.Registry)
+		r.e.RegisterStats(reg)
+
+		stop := make(chan struct{})
+		var mon sync.WaitGroup
+		for m := 0; m < 2; m++ {
+			mon.Add(1)
+			go func() {
+				defer mon.Done()
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					reg.Snapshot()
+				}
+			}()
+		}
+
+		h := r.v.Heap
+		peer := 1 - r.e.Comm.Rank()
+		iters := 100
+		if testing.Short() {
+			iters = 25
+		}
+		err := func() error {
+			for i := 0; i < iters; i++ {
+				msg, err := h.NewInt32Array([]int32{int32(i)})
+				if err != nil {
+					return err
+				}
+				if r.e.Comm.Rank() == 0 {
+					if err := r.e.Send(r.th, msg, peer, 0); err != nil {
+						return err
+					}
+					if _, err := r.e.Recv(r.th, msg, peer, 0); err != nil {
+						return err
+					}
+				} else {
+					if _, err := r.e.Recv(r.th, msg, peer, 0); err != nil {
+						return err
+					}
+					if err := r.e.Send(r.th, msg, peer, 0); err != nil {
+						return err
+					}
+				}
+				if err := r.e.Barrier(r.th); err != nil {
+					return err
+				}
+				if i%20 == 19 {
+					r.th.CollectFull()
+				}
+			}
+			return nil
+		}()
+		close(stop)
+		mon.Wait()
+		return err
+	})
+}

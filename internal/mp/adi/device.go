@@ -14,6 +14,8 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"motor/internal/mp/channel"
 	"motor/internal/obs"
@@ -75,7 +77,7 @@ const (
 )
 
 // reqState tracks protocol progress.
-type reqState uint8
+type reqState uint32
 
 const (
 	stActive   reqState = iota // posted / awaiting protocol step
@@ -94,9 +96,20 @@ type Request struct {
 
 	sync bool // synchronous send: complete only when matched
 
-	state  reqState
+	// state is written last on every completion path (an atomic
+	// release store in complete) and loaded first by readers (an
+	// atomic acquire load in Done), so err and status — written
+	// before the store — are visible to any goroutine that has
+	// observed Done() == true, without taking the device lock.
+	state  atomic.Uint32
 	err    error
 	status Status
+
+	// onDone holds completion continuations (device lock). They are
+	// queued by complete and run after the device lock is released —
+	// never under it, since a continuation may re-enter the device
+	// (a parked waiter immediately testing its request).
+	onDone []func()
 
 	// Trace identity, assigned at post time when a tracer is active.
 	// The request's lifetime is an async obs span: it can complete
@@ -107,10 +120,13 @@ type Request struct {
 	traceStart  int64
 }
 
-// Done reports completion (poll via Device.TestReq).
-func (r *Request) Done() bool { return r.state == stComplete }
+// Done reports completion (poll via Device.TestReq). Safe to call
+// from any goroutine — this is the check conditional pin requests
+// evaluate during the collector's mark phase while a background
+// progress engine may be completing the request.
+func (r *Request) Done() bool { return reqState(r.state.Load()) == stComplete }
 
-// Err returns the request's terminal error, if any.
+// Err returns the request's terminal error, if any (valid once Done).
 func (r *Request) Err() error { return r.err }
 
 // Status returns the receive status (valid once Done).
@@ -145,7 +161,18 @@ type DeviceStats struct {
 }
 
 // Device is one rank's progress engine and matching state.
+//
+// Every public method is safe for concurrent use: all matching and
+// protocol state is guarded by one mutex, so multiple guest threads
+// and a background progress engine (mp.Progress) can share a rank.
+// The lock order is strictly device mutex → channel internals; the
+// device never blocks on anything but the channel while holding its
+// lock, and the embedder yield (Yield, the Motor GC poll) only runs
+// from idle, outside the lock — a GC hook may therefore call
+// Progress without deadlocking.
 type Device struct {
+	mu sync.Mutex
+
 	ch   channel.Channel
 	rank int
 
@@ -183,6 +210,18 @@ type Device struct {
 	// cannot refuse it).
 	lost map[int]error
 
+	// cbq holds completion continuations queued by complete while the
+	// lock was held; unlockNotify drains it after release.
+	cbq []func()
+
+	// wake, when set (SetWake), is fired outside the lock after a post
+	// leaves new protocol work behind — the background progress
+	// engine's doorbell.
+	wake func()
+
+	// Stats is guarded by mu. Concurrent readers (the obs registry,
+	// mpstat -metrics) must use StatsSnapshot; direct field access is
+	// only safe when nothing else touches the device.
 	Stats DeviceStats
 }
 
@@ -227,12 +266,70 @@ func (d *Device) newRequest(kind reqKind, buf Buffer, peer, tag int, ctx int32) 
 	return req
 }
 
+// SetWake installs (or clears, with nil) the post doorbell: it is
+// fired outside the lock whenever a post leaves an incomplete request
+// behind, so a parked background progress engine can cut its sleep
+// short. Install it before the device is shared between goroutines.
+func (d *Device) SetWake(wake func()) {
+	d.mu.Lock()
+	d.wake = wake
+	d.mu.Unlock()
+}
+
+// OnComplete registers a continuation that runs exactly once when the
+// request completes — on whichever goroutine's device call (or
+// progress pass) completes it, after the device lock is released. A
+// request that is already complete runs f immediately on the calling
+// goroutine. This is what lets Isend/Irecv finish without the caller
+// ever re-entering Wait.
+func (d *Device) OnComplete(req *Request, f func()) {
+	d.mu.Lock()
+	if req.Done() {
+		d.mu.Unlock()
+		f()
+		return
+	}
+	req.onDone = append(req.onDone, f)
+	d.mu.Unlock()
+}
+
+// unlockNotify releases the device lock and then runs the completion
+// continuations queued since it was taken. Every public entry point
+// that can complete requests exits through here; continuations must
+// not run under the lock because they may re-enter the device.
+func (d *Device) unlockNotify() {
+	cbs := d.cbq
+	if cbs != nil {
+		d.cbq = nil
+	}
+	d.mu.Unlock()
+	for _, cb := range cbs {
+		cb()
+	}
+}
+
+// unlockWake is unlockNotify plus the progress-engine doorbell, for
+// posts that leave new protocol work behind.
+func (d *Device) unlockWake() {
+	wake := d.wake
+	d.unlockNotify()
+	if wake != nil {
+		wake()
+	}
+}
+
 // complete marks a request terminal and emits its trace span. Every
-// completion path funnels through here so the request's full lifetime
-// (post → protocol steps → completion/cancel/failure) is observable
-// no matter which step finished it.
+// completion path funnels through here (lock held) so the request's
+// full lifetime (post → protocol steps → completion/cancel/failure)
+// is observable no matter which step finished it.
 func (d *Device) complete(req *Request) {
-	req.state = stComplete
+	// err and status are fully written by now; the release store
+	// publishes them to lock-free Done readers.
+	req.state.Store(uint32(stComplete))
+	if len(req.onDone) > 0 {
+		d.cbq = append(d.cbq, req.onDone...)
+		req.onDone = nil
+	}
 	if req.traceSpan == 0 {
 		return
 	}
@@ -262,6 +359,17 @@ func (d *Device) complete(req *Request) {
 // are delivered locally without touching the channel (MPI requires
 // self-sends to work on every transport).
 func (d *Device) Isend(buf Buffer, dest, tag int, ctx int32, sync bool) (*Request, error) {
+	d.mu.Lock()
+	req, err := d.isendLocked(buf, dest, tag, ctx, sync)
+	if req != nil && !req.Done() {
+		d.unlockWake()
+	} else {
+		d.unlockNotify()
+	}
+	return req, err
+}
+
+func (d *Device) isendLocked(buf Buffer, dest, tag int, ctx int32, sync bool) (*Request, error) {
 	if dest < 0 || dest >= d.Size() {
 		return nil, fmt.Errorf("%w: dest %d of %d", ErrRank, dest, d.Size())
 	}
@@ -382,6 +490,17 @@ func (d *Device) resolveSelfSyncs() {
 // Irecv posts a receive and returns immediately. Earlier unexpected
 // arrivals are matched first, preserving MPI ordering semantics.
 func (d *Device) Irecv(buf Buffer, source, tag int, ctx int32) (*Request, error) {
+	d.mu.Lock()
+	req, err := d.irecvLocked(buf, source, tag, ctx)
+	if req != nil && !req.Done() {
+		d.unlockWake()
+	} else {
+		d.unlockNotify()
+	}
+	return req, err
+}
+
+func (d *Device) irecvLocked(buf Buffer, source, tag int, ctx int32) (*Request, error) {
 	if source != AnySource && (source < 0 || source >= d.Size()) {
 		return nil, fmt.Errorf("%w: source %d of %d", ErrRank, source, d.Size())
 	}
@@ -485,9 +604,19 @@ func (d *Device) matchPosted(hdr channel.Header) *Request {
 // its own failure handling — cancellation is strictly a
 // teardown-path tool. Completed requests are left untouched.
 func (d *Device) CancelReq(req *Request) {
-	if req == nil || req.state == stComplete {
+	if req == nil {
 		return
 	}
+	d.mu.Lock()
+	if req.Done() {
+		d.mu.Unlock()
+		return
+	}
+	d.cancelLocked(req)
+	d.unlockNotify()
+}
+
+func (d *Device) cancelLocked(req *Request) {
 	for i, r := range d.posted {
 		if r == req {
 			d.posted = append(d.posted[:i], d.posted[i+1:]...)
@@ -511,7 +640,21 @@ func (d *Device) CancelReq(req *Request) {
 // with the device (posted receives plus protocol-pending sends). The
 // collective layer's drain discipline guarantees this returns to zero
 // after every collective, successful or not.
-func (d *Device) Outstanding() int { return len(d.active) }
+func (d *Device) Outstanding() int {
+	d.mu.Lock()
+	n := len(d.active)
+	d.mu.Unlock()
+	return n
+}
+
+// StatsSnapshot returns a consistent copy of the device counters,
+// safe to call while other goroutines drive the device.
+func (d *Device) StatsSnapshot() DeviceStats {
+	d.mu.Lock()
+	s := d.Stats
+	d.mu.Unlock()
+	return s
+}
 
 // --- transport failure handling ----------------------------------------------
 
@@ -557,7 +700,7 @@ func (d *Device) failPeer(peer int, cause error) {
 	}
 	d.posted = kept
 	for id, r := range d.active {
-		if r.peer == peer && r.state != stComplete {
+		if r.peer == peer && !r.Done() {
 			r.err = werr
 			d.complete(r)
 			delete(d.active, id)
@@ -574,6 +717,13 @@ func (d *Device) failPeer(peer int, cause error) {
 // (observed via TestReq/WaitReq) and the progress engine keeps
 // running for the surviving peers.
 func (d *Device) Progress() (bool, error) {
+	d.mu.Lock()
+	progressed, err := d.progressLocked()
+	d.unlockNotify()
+	return progressed, err
+}
+
+func (d *Device) progressLocked() (bool, error) {
 	d.Stats.Polls++
 	d.resolveSelfSyncs()
 	progressed, err := d.ch.Poll(d)
@@ -590,14 +740,17 @@ func (d *Device) Progress() (bool, error) {
 	return progressed, nil
 }
 
-// WaitReq blocks (polling-wait) until the request completes.
+// WaitReq blocks (polling-wait) until the request completes. The
+// embedder yield (idle) runs between fruitless passes, outside the
+// device lock, so a GC triggered from the yield may itself drive
+// Progress.
 func (d *Device) WaitReq(req *Request) (Status, error) {
-	for req.state != stComplete {
+	for !req.Done() {
 		progressed, err := d.Progress()
 		if err != nil {
 			return req.status, err
 		}
-		if !progressed {
+		if !progressed && !req.Done() {
 			d.idle()
 		}
 	}
@@ -621,12 +774,12 @@ func (d *Device) idle() {
 
 // TestReq makes one progress pass and reports completion.
 func (d *Device) TestReq(req *Request) (bool, Status, error) {
-	if req.state != stComplete {
+	if !req.Done() {
 		if _, err := d.Progress(); err != nil {
 			return false, req.status, err
 		}
 	}
-	if req.state != stComplete {
+	if !req.Done() {
 		return false, Status{}, nil
 	}
 	return true, req.status, req.err
@@ -635,7 +788,9 @@ func (d *Device) TestReq(req *Request) (bool, Status, error) {
 // Iprobe checks (with one progress pass) whether a matching message
 // has arrived without receiving it.
 func (d *Device) Iprobe(source, tag int, ctx int32) (bool, Status, error) {
-	if _, err := d.Progress(); err != nil {
+	d.mu.Lock()
+	if _, err := d.progressLocked(); err != nil {
+		d.unlockNotify()
 		return false, Status{}, err
 	}
 	probe := &Request{peer: source, tag: tag, ctx: ctx}
@@ -646,6 +801,7 @@ func (d *Device) Iprobe(source, tag int, ctx int32) (bool, Status, error) {
 			if h.Type == channel.PktRTS {
 				count = int(h.ReqB)
 			}
+			d.unlockNotify()
 			return true, Status{Source: int(h.Source), Tag: int(h.Tag), Count: count}, nil
 		}
 	}
@@ -656,9 +812,11 @@ func (d *Device) Iprobe(source, tag int, ctx int32) (bool, Status, error) {
 	if source != AnySource {
 		if werr, dead := d.lost[source]; dead {
 			d.Stats.TransportErrors++
+			d.unlockNotify()
 			return false, Status{}, werr
 		}
 	}
+	d.unlockNotify()
 	return false, Status{}, nil
 }
 
@@ -666,19 +824,25 @@ func (d *Device) Iprobe(source, tag int, ctx int32) (bool, Status, error) {
 // tokens that bypass matching).
 func (d *Device) SendCtrl(dest int, tag int, ctx int32) error {
 	hdr := channel.Header{Type: channel.PktCtrl, Source: int32(d.rank), Tag: int32(tag), Context: ctx}
-	return d.sendHeaderOnly(dest, hdr)
+	d.mu.Lock()
+	err := d.sendHeaderOnly(dest, hdr)
+	d.unlockNotify()
+	return err
 }
 
 // PollCtrl removes and returns the first control packet matching
 // (source, tag, ctx), making one progress pass first.
 func (d *Device) PollCtrl(source, tag int, ctx int32) (bool, error) {
-	if _, err := d.Progress(); err != nil {
+	d.mu.Lock()
+	if _, err := d.progressLocked(); err != nil {
+		d.unlockNotify()
 		return false, err
 	}
 	probe := &Request{peer: source, tag: tag, ctx: ctx}
 	for i := range d.ctrl {
 		if matches(probe, d.ctrl[i]) {
 			d.ctrl = append(d.ctrl[:i], d.ctrl[i+1:]...)
+			d.unlockNotify()
 			return true, nil
 		}
 	}
@@ -687,9 +851,11 @@ func (d *Device) PollCtrl(source, tag int, ctx int32) (bool, error) {
 	if source != AnySource {
 		if werr, dead := d.lost[source]; dead {
 			d.Stats.TransportErrors++
+			d.unlockNotify()
 			return false, werr
 		}
 	}
+	d.unlockNotify()
 	return false, nil
 }
 

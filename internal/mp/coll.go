@@ -2,6 +2,7 @@ package mp
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"motor/internal/mp/adi"
 	"motor/internal/obs"
@@ -108,9 +109,7 @@ func collTag(op int, seq uint32, sub int) int {
 // (an MPI-standard requirement), so the per-call values agree across
 // ranks without communication.
 func (c *Comm) nextCollSeq() uint32 {
-	s := c.collSeq
-	c.collSeq++
-	return s
+	return atomic.AddUint32(&c.collSeq, 1) - 1
 }
 
 // --- nonblocking request tracking -------------------------------------------
@@ -162,7 +161,7 @@ func (q *collReqs) send(buf []byte, dst, tag int) *adi.Request {
 	}
 	q.live = append(q.live, req)
 	q.c.coll.noteSegs(len(q.live))
-	q.c.coll.stats.BytesMoved += uint64(len(buf))
+	atomic.AddUint64(&q.c.coll.stats.BytesMoved, uint64(len(buf)))
 	return req
 }
 
@@ -225,7 +224,7 @@ func (c *Comm) Barrier() error {
 		return nil
 	}
 	seq := c.nextCollSeq()
-	c.coll.stats.Ops++
+	atomic.AddUint64(&c.coll.stats.Ops, 1)
 	tr := c.collBegin(obs.OpBarrier, AlgoAuto, 0)
 	defer c.collEnd(tr)
 	q := c.newReqs()
@@ -265,15 +264,15 @@ func (c *Comm) Bcast(buf []byte, root int) error {
 		return nil
 	}
 	seq := c.nextCollSeq()
-	c.coll.stats.Ops++
+	atomic.AddUint64(&c.coll.stats.Ops, 1)
 	var err error
 	if c.pickBcast(len(buf), n) == AlgoPipelined {
-		c.coll.stats.BcastPipelined++
+		atomic.AddUint64(&c.coll.stats.BcastPipelined, 1)
 		tr := c.collBegin(obs.OpBcast, AlgoPipelined, len(buf))
 		err = c.bcastPipelined(buf, root, seq)
 		c.collEnd(tr)
 	} else {
-		c.coll.stats.BcastBinomial++
+		atomic.AddUint64(&c.coll.stats.BcastBinomial, 1)
 		tr := c.collBegin(obs.OpBcast, AlgoBinomial, len(buf))
 		err = c.bcastBinomial(buf, root, seq)
 		c.collEnd(tr)
@@ -403,7 +402,7 @@ func (c *Comm) Scatter(sendbuf, recvbuf []byte, root int) error {
 		return fmt.Errorf("%w: scatter sendbuf %d bytes for %d chunks of %d", errInvalid, len(sendbuf), n, chunk)
 	}
 	seq := c.nextCollSeq()
-	c.coll.stats.Ops++
+	atomic.AddUint64(&c.coll.stats.Ops, 1)
 	tr := c.collBegin(obs.OpScatter, AlgoAuto, len(recvbuf))
 	defer c.collEnd(tr)
 	return c.scatterLinear(sendbuf, recvbuf, root, seq)
@@ -441,7 +440,7 @@ func (c *Comm) Gather(sendbuf, recvbuf []byte, root int) error {
 		return fmt.Errorf("%w: gather recvbuf %d bytes for %d chunks of %d", errInvalid, len(recvbuf), n, len(sendbuf))
 	}
 	seq := c.nextCollSeq()
-	c.coll.stats.Ops++
+	atomic.AddUint64(&c.coll.stats.Ops, 1)
 	tr := c.collBegin(obs.OpGather, AlgoAuto, len(sendbuf))
 	defer c.collEnd(tr)
 	return c.gatherLinear(sendbuf, recvbuf, root, seq)
@@ -481,15 +480,15 @@ func (c *Comm) Allgather(sendbuf, recvbuf []byte) error {
 		copy(recvbuf, sendbuf)
 		return nil
 	}
-	c.coll.stats.Ops++
+	atomic.AddUint64(&c.coll.stats.Ops, 1)
 	var err error
 	if c.pickAllgather(chunk, n) == AlgoRing {
-		c.coll.stats.AllgatherRing++
+		atomic.AddUint64(&c.coll.stats.AllgatherRing, 1)
 		tr := c.collBegin(obs.OpAllgather, AlgoRing, chunk)
 		err = c.allgatherRing(sendbuf, recvbuf, c.nextCollSeq())
 		c.collEnd(tr)
 	} else {
-		c.coll.stats.AllgatherGatherBcast++
+		atomic.AddUint64(&c.coll.stats.AllgatherGatherBcast, 1)
 		tr := c.collBegin(obs.OpAllgather, AlgoGatherBcast, chunk)
 		err = c.allgatherGatherBcast(sendbuf, recvbuf)
 		c.collEnd(tr)
@@ -653,7 +652,7 @@ func (c *Comm) Alltoall(sendbuf, recvbuf []byte) error {
 	}
 	chunk := len(sendbuf) / n
 	seq := c.nextCollSeq()
-	c.coll.stats.Ops++
+	atomic.AddUint64(&c.coll.stats.Ops, 1)
 	tr := c.collBegin(obs.OpAlltoall, AlgoAuto, chunk)
 	defer c.collEnd(tr)
 	me := c.myRank
@@ -690,7 +689,7 @@ func (c *Comm) Reduce(sendbuf, recvbuf []byte, dt Datatype, op Op, root int) err
 		return fmt.Errorf("%w: reduce recvbuf %d != sendbuf %d", errInvalid, len(recvbuf), len(sendbuf))
 	}
 	seq := c.nextCollSeq()
-	c.coll.stats.Ops++
+	atomic.AddUint64(&c.coll.stats.Ops, 1)
 	tr := c.collBegin(obs.OpReduce, AlgoBinomial, len(sendbuf))
 	defer c.collEnd(tr)
 	return c.reduceBinomial(sendbuf, recvbuf, dt, op, root, seq)
@@ -762,21 +761,21 @@ func (c *Comm) Allreduce(sendbuf, recvbuf []byte, dt Datatype, op Op) error {
 	if dt.Size <= 0 || len(sendbuf)%dt.Size != 0 {
 		return fmt.Errorf("%w: allreduce buffer %d bytes for %s", errInvalid, len(sendbuf), dt.Name)
 	}
-	c.coll.stats.Ops++
+	atomic.AddUint64(&c.coll.stats.Ops, 1)
 	var err error
 	switch c.pickAllreduce(len(sendbuf), n) {
 	case AlgoRing:
-		c.coll.stats.AllreduceRing++
+		atomic.AddUint64(&c.coll.stats.AllreduceRing, 1)
 		tr := c.collBegin(obs.OpAllreduce, AlgoRing, len(sendbuf))
 		err = c.allreduceRing(sendbuf, recvbuf, dt, op, c.nextCollSeq())
 		c.collEnd(tr)
 	case AlgoReduceBcast:
-		c.coll.stats.AllreduceReduceBcast++
+		atomic.AddUint64(&c.coll.stats.AllreduceReduceBcast, 1)
 		tr := c.collBegin(obs.OpAllreduce, AlgoReduceBcast, len(sendbuf))
 		err = c.allreduceReduceBcast(sendbuf, recvbuf, dt, op)
 		c.collEnd(tr)
 	default:
-		c.coll.stats.AllreduceRecDbl++
+		atomic.AddUint64(&c.coll.stats.AllreduceRecDbl, 1)
 		tr := c.collBegin(obs.OpAllreduce, AlgoRecDbl, len(sendbuf))
 		err = c.allreduceRecDbl(sendbuf, recvbuf, dt, op, c.nextCollSeq())
 		c.collEnd(tr)

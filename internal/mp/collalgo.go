@@ -5,6 +5,7 @@ import (
 	"os"
 	"strings"
 	"sync"
+	"sync/atomic"
 )
 
 // Collective algorithm selection. Each collective picks an algorithm
@@ -215,8 +216,24 @@ func algoValidFor(op collOp, a CollAlgo) bool {
 // Like the env knob, it must be applied identically on every rank.
 func (c *Comm) SetCollAlgo(spec string) error { return c.coll.apply(spec) }
 
-// CollStats returns this rank's collective counters.
-func (c *Comm) CollStats() CollStats { return c.coll.stats }
+// CollStats returns a consistent snapshot of this rank's collective
+// counters. Writers bump atomically, so this is safe while other
+// goroutines (or the background progress engine) run collectives.
+func (c *Comm) CollStats() CollStats {
+	s := &c.coll.stats
+	return CollStats{
+		Ops:                  atomic.LoadUint64(&s.Ops),
+		AllreduceReduceBcast: atomic.LoadUint64(&s.AllreduceReduceBcast),
+		AllreduceRecDbl:      atomic.LoadUint64(&s.AllreduceRecDbl),
+		AllreduceRing:        atomic.LoadUint64(&s.AllreduceRing),
+		AllgatherGatherBcast: atomic.LoadUint64(&s.AllgatherGatherBcast),
+		AllgatherRing:        atomic.LoadUint64(&s.AllgatherRing),
+		BcastBinomial:        atomic.LoadUint64(&s.BcastBinomial),
+		BcastPipelined:       atomic.LoadUint64(&s.BcastPipelined),
+		BytesMoved:           atomic.LoadUint64(&s.BytesMoved),
+		MaxSegsInFlight:      atomic.LoadUint64(&s.MaxSegsInFlight),
+	}
+}
 
 // pickAllreduce selects the allreduce algorithm for a payload of the
 // given size on n ranks.
@@ -262,7 +279,11 @@ func (c *Comm) pickBcast(bytes, n int) CollAlgo {
 
 // noteSegs records a new peak of concurrent in-flight transfers.
 func (cfg *collConfig) noteSegs(inFlight int) {
-	if uint64(inFlight) > cfg.stats.MaxSegsInFlight {
-		cfg.stats.MaxSegsInFlight = uint64(inFlight)
+	n := uint64(inFlight)
+	for {
+		max := atomic.LoadUint64(&cfg.stats.MaxSegsInFlight)
+		if n <= max || atomic.CompareAndSwapUint64(&cfg.stats.MaxSegsInFlight, max, n) {
+			return
+		}
 	}
 }

@@ -12,6 +12,7 @@ package mp
 import (
 	"errors"
 	"fmt"
+	"sync/atomic"
 
 	"motor/internal/mp/adi"
 )
@@ -46,8 +47,23 @@ type Request struct {
 }
 
 // Done reports whether the operation has completed (without driving
-// progress; use Test to poll).
+// progress; use Test to poll). Safe from any goroutine.
 func (r *Request) Done() bool { return r.inner.Done() }
+
+// OnComplete registers f to run exactly once when the request
+// completes — on whichever goroutine completes it (a background
+// progress pass, a sibling thread's Wait, or f immediately if the
+// request is already done). With an async progress engine running, a
+// waiter can park on a channel that f closes instead of re-entering
+// the polling-wait.
+func (r *Request) OnComplete(f func()) { r.comm.dev.OnComplete(r.inner, f) }
+
+// Status returns the receive status in communicator ranks (valid
+// once Done — inside an OnComplete continuation, for example).
+func (r *Request) Status() Status { return r.comm.status(r.inner.Status()) }
+
+// Err returns the request's terminal error (valid once Done).
+func (r *Request) Err() error { return r.inner.Err() }
 
 // Comm is a communicator: an isolated context over an ordered group
 // of world ranks.
@@ -283,9 +299,7 @@ func (c *Comm) Probe(source, tag int) (Status, error) {
 // members execute the same communicator-construction sequence, so the
 // ids agree without communication (as in classic MPICH).
 func (c *Comm) allocCtxPair(n int32) int32 {
-	id := c.nextCtx
-	c.nextCtx += 2 * n
-	return id
+	return atomic.AddInt32(&c.nextCtx, 2*n) - 2*n
 }
 
 // Dup creates a communicator with the same group but an isolated

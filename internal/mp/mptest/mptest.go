@@ -1,0 +1,181 @@
+// Package mptest is a deterministic concurrency harness for the
+// message-passing core. It runs guest actors and manual-mode
+// progress engines (mp.StartProgress with ProgressOptions.Manual)
+// under one seeded virtual scheduler: every interleaving of guest
+// steps and progress passes is a pure function of the seed, so a
+// failing schedule replays exactly by re-running with the same seed.
+//
+// The harness controls the two decision points that matter to the
+// progress engine's correctness: WHEN each guest actor executes its
+// next unit of work, and WHEN each rank's progress engine runs a
+// pass. Guest code participates by splitting its work into units
+// delimited by step() calls; the scheduler runs exactly one unit (or
+// one progress pass) at a time, in the seeded order — strict
+// alternation, no actor ever runs concurrently with another.
+//
+// Units must be non-blocking: post (Isend/Irecv), poll (Test,
+// Iprobe), compute, allocate — never a blocking Wait, which would
+// stall the scheduler. A completion dependency is expressed as a
+// Test loop with a step() before each poll; the seeded stream
+// interleaves the peer's units and progress passes until the poll
+// succeeds.
+package mptest
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"motor/internal/mp"
+)
+
+type actorState struct {
+	waiting  bool // parked in step(), ready for a grant
+	finished bool
+}
+
+// Driver schedules guest units against manual progress engines.
+type Driver struct {
+	seed int64
+	rng  *rand.Rand
+
+	engines []*mp.Progress
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	turn   int // actor granted the current unit (-1: none)
+	actors []*actorState
+
+	// trace records the executed schedule ("gN" guest unit, "pN"
+	// progress pass) so a failure report shows the interleaving
+	// alongside the seed.
+	trace []string
+}
+
+// New creates a driver. The same seed over the same program yields
+// the same schedule.
+func New(seed int64) *Driver {
+	d := &Driver{seed: seed, rng: rand.New(rand.NewSource(seed)), turn: -1}
+	d.cond = sync.NewCond(&d.mu)
+	return d
+}
+
+// Seed returns the driver's seed (print it on failure).
+func (d *Driver) Seed() int64 { return d.seed }
+
+// Trace returns the executed schedule.
+func (d *Driver) Trace() []string { return d.trace }
+
+// AddEngine registers a manual progress engine as a schedulable
+// actor. Engines are stepped only by the scheduler, never
+// concurrently with a guest unit.
+func (d *Driver) AddEngine(p *mp.Progress) {
+	if !p.Manual() {
+		panic("mptest: driver requires a manual-mode progress engine")
+	}
+	d.engines = append(d.engines, p)
+}
+
+// Go starts a guest actor: body runs on its own goroutine but only
+// advances when the scheduler grants it a unit. body must call
+// step() before each unit of work and must split at every point
+// whose ordering matters.
+func (d *Driver) Go(body func(step func())) {
+	d.mu.Lock()
+	id := len(d.actors)
+	st := &actorState{}
+	d.actors = append(d.actors, st)
+	d.mu.Unlock()
+
+	step := func() {
+		d.mu.Lock()
+		st.waiting = true
+		d.cond.Broadcast()
+		for d.turn != id {
+			d.cond.Wait()
+		}
+		st.waiting = false
+		d.turn = -1
+		d.mu.Unlock()
+	}
+
+	go func() {
+		body(step)
+		d.mu.Lock()
+		st.finished = true
+		d.mu.Unlock()
+		d.cond.Broadcast()
+	}()
+}
+
+// grant runs one unit of actor id to completion: wait for the actor
+// to reach a step boundary, hand it the turn, then wait until it is
+// back at a boundary (or finished). Strict alternation — nothing
+// else runs in between.
+func (d *Driver) grant(id int) {
+	st := d.actors[id]
+	d.mu.Lock()
+	for !st.waiting && !st.finished {
+		d.cond.Wait()
+	}
+	if st.finished {
+		d.mu.Unlock()
+		return
+	}
+	d.turn = id
+	d.cond.Broadcast()
+	for d.turn == id {
+		d.cond.Wait()
+	}
+	for !st.waiting && !st.finished {
+		d.cond.Wait()
+	}
+	d.mu.Unlock()
+}
+
+// Run drives the schedule until every guest actor has finished: each
+// round the seeded stream picks either one guest unit or one
+// progress pass. Returns the number of rounds executed.
+func (d *Driver) Run() int {
+	rounds := 0
+	for {
+		d.mu.Lock()
+		finished := true
+		for _, st := range d.actors {
+			if !st.finished {
+				finished = false
+				break
+			}
+		}
+		n := len(d.actors)
+		d.mu.Unlock()
+		if finished {
+			return rounds
+		}
+		rounds++
+		pick := d.rng.Intn(n + len(d.engines))
+		if pick < n {
+			d.trace = append(d.trace, fmt.Sprintf("g%d", pick))
+			d.grant(pick)
+		} else {
+			ei := pick - n
+			d.trace = append(d.trace, fmt.Sprintf("p%d", ei))
+			_, _ = d.engines[ei].Step()
+		}
+	}
+}
+
+// Drain steps every engine until none reports progress — the
+// end-of-test settle that completes in-flight protocol tails.
+func (d *Driver) Drain() {
+	for {
+		progressed := false
+		for _, p := range d.engines {
+			ok, _ := p.Step()
+			progressed = progressed || ok
+		}
+		if !progressed {
+			return
+		}
+	}
+}

@@ -2,6 +2,7 @@ package mp
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"motor/internal/mp/adi"
 )
@@ -156,8 +157,7 @@ func (c *Comm) PollCtrlOO(source int, sp OOSpace, tag int) (bool, error) {
 // with buffered collectives — every rank calls this in lockstep so
 // back-to-back OO collectives never cross-match.
 func (c *Comm) NextOOSeq() int {
-	c.ooSeq++
-	return int(c.ooSeq-1) % (MaxUserTag + 1)
+	return int(atomic.AddUint32(&c.ooSeq, 1)-1) % (MaxUserTag + 1)
 }
 
 // EagerMax exposes the device's eager/rendezvous threshold; the OO

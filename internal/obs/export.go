@@ -199,6 +199,14 @@ func renderEvent(ev Event) []traceEvent {
 		base["chunk"] = ev.Arg1
 		base["bytes"] = ev.Arg2
 		return complete(name, "oo", base)
+	case KProgress:
+		// Async track: the progress engine runs outside any op span.
+		base["passes"] = ev.Arg0
+		id := strconv.FormatUint(ev.Span, 16)
+		return []traceEvent{
+			{Name: "progress", Cat: "progress", Phase: "b", TS: us, PID: ev.Lane, TID: tidAsync, ID: id, Args: base},
+			{Name: "progress", Cat: "progress", Phase: "e", TS: us + dur, PID: ev.Lane, TID: tidAsync, ID: id},
+		}
 	default:
 		return instant("event:"+strconv.Itoa(int(ev.Kind)), "misc", base)
 	}

@@ -71,6 +71,11 @@ const (
 	// (Arg0 = 0 serialize / 1 send / 2 recv, Arg1 = chunk index,
 	// Arg2 = bytes).
 	KChunk
+	// KProgress is a background progress-engine activity span covering
+	// a burst of progress passes that made progress (Arg0 = passes
+	// coalesced into the span). Emitted async (Tracer.Span) because the
+	// progress goroutine owns no lane stack.
+	KProgress
 )
 
 // OpCode identifies the engine operation a KOp/KWait span covers.

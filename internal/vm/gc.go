@@ -1,6 +1,7 @@
 package vm
 
 import (
+	"sync/atomic"
 	"time"
 
 	"motor/internal/obs"
@@ -69,9 +70,12 @@ func (v *VM) collect(full bool) {
 		h.fullMarkSweep(v, pinned)
 	}
 	pause := uint64(time.Since(start).Nanoseconds())
-	h.Stats.PauseNs += pause
-	if pause > h.Stats.MaxPauseNs {
-		h.Stats.MaxPauseNs = pause
+	atomic.AddUint64(&h.Stats.PauseNs, pause)
+	for {
+		max := atomic.LoadUint64(&h.Stats.MaxPauseNs)
+		if pause <= max || atomic.CompareAndSwapUint64(&h.Stats.MaxPauseNs, max, pause) {
+			break
+		}
 	}
 	if tr != nil {
 		tr.End(v.traceLane)
@@ -170,7 +174,7 @@ func (h *Heap) scavenge(v *VM, pinned map[Ref]struct{}) {
 		// ErrOutOfMemory there.
 		return
 	}
-	h.Stats.Scavenges++
+	atomic.AddUint64(&h.Stats.Scavenges, 1)
 	inYoung := func(r Ref) bool { return uint32(r) >= ys && uint32(r) < ye }
 
 	var scan []Ref
@@ -213,7 +217,7 @@ func (h *Heap) scavenge(v *VM, pinned map[Ref]struct{}) {
 		copy(h.mem[newOff:newOff+size], h.mem[uint32(r):uint32(r)+size])
 		h.putU32(uint32(r)+hdrMT, newOff)
 		h.orFlags(r, flagForwarded)
-		h.Stats.BytesPromoted += uint64(size)
+		atomic.AddUint64(&h.Stats.BytesPromoted, uint64(size))
 		scan = append(scan, Ref(newOff))
 		return Ref(newOff)
 	}
@@ -239,7 +243,7 @@ func (h *Heap) scavenge(v *VM, pinned map[Ref]struct{}) {
 
 	if pinnedSurvivors {
 		h.donateYoungBlock(ys, ye, yp)
-		h.Stats.BlocksDonated++
+		atomic.AddUint64(&h.Stats.BlocksDonated, 1)
 		if err := h.newYoungBlock(); err != nil {
 			// Arena exhausted: run without a nursery; allocations
 			// fall through to the elder space.
@@ -293,7 +297,7 @@ func (h *Heap) donateYoungBlock(ys, ye, yp uint32) {
 // fullMarkSweep marks from all roots and sweeps the elder ranges in
 // place, rebuilding the free lists with coalescing.
 func (h *Heap) fullMarkSweep(v *VM, pinned map[Ref]struct{}) {
-	h.Stats.FullGCs++
+	atomic.AddUint64(&h.Stats.FullGCs, 1)
 	tr := obs.Active()
 	if tr != nil {
 		tr.Begin(v.traceLane, obs.KGCPhase, uint64(obs.PhaseMark))
@@ -349,7 +353,7 @@ func (h *Heap) fullMarkSweep(v *VM, pinned map[Ref]struct{}) {
 				h.elderUsed += size
 				freeStart = pos + size
 			} else if h.mtIndex(Ref(pos)) != freeSentinel {
-				h.Stats.BytesSwept += uint64(size)
+				atomic.AddUint64(&h.Stats.BytesSwept, uint64(size))
 			}
 			pos += size
 		}

@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"sync/atomic"
 
 	"motor/internal/obs"
 )
@@ -91,6 +92,27 @@ type GCStats struct {
 
 	PauseNs    uint64 // total stop-the-world nanoseconds
 	MaxPauseNs uint64 // longest single collection
+}
+
+// Snapshot returns a consistent copy of the counters. All writers
+// bump atomically (and only under the execution token), so this is
+// safe to call from any goroutine — the obs registry and the async
+// progress engine read stats while managed threads collect.
+func (s *GCStats) Snapshot() GCStats {
+	return GCStats{
+		Scavenges:       atomic.LoadUint64(&s.Scavenges),
+		FullGCs:         atomic.LoadUint64(&s.FullGCs),
+		BytesPromoted:   atomic.LoadUint64(&s.BytesPromoted),
+		BytesSwept:      atomic.LoadUint64(&s.BytesSwept),
+		BlocksDonated:   atomic.LoadUint64(&s.BlocksDonated),
+		Pins:            atomic.LoadUint64(&s.Pins),
+		Unpins:          atomic.LoadUint64(&s.Unpins),
+		CondPinsAdded:   atomic.LoadUint64(&s.CondPinsAdded),
+		CondPinsHeld:    atomic.LoadUint64(&s.CondPinsHeld),
+		CondPinsDropped: atomic.LoadUint64(&s.CondPinsDropped),
+		PauseNs:         atomic.LoadUint64(&s.PauseNs),
+		MaxPauseNs:      atomic.LoadUint64(&s.MaxPauseNs),
+	}
 }
 
 type rng struct{ start, end uint32 }
@@ -488,7 +510,7 @@ func (h *Heap) Pin(ref Ref) {
 	if ref == NullRef {
 		return
 	}
-	h.Stats.Pins++
+	atomic.AddUint64(&h.Stats.Pins, 1)
 	switch h.pinMode {
 	case PinHandleTable:
 		h.pinCounts[ref]++
@@ -511,7 +533,7 @@ func (h *Heap) Unpin(ref Ref) {
 	if ref == NullRef {
 		return
 	}
-	h.Stats.Unpins++
+	atomic.AddUint64(&h.Stats.Unpins, 1)
 	switch h.pinMode {
 	case PinHandleTable:
 		if c := h.pinCounts[ref]; c > 1 {
@@ -556,7 +578,7 @@ func (h *Heap) AddCondPin(ref Ref, active func() bool) {
 	if ref == NullRef || active == nil {
 		return
 	}
-	h.Stats.CondPinsAdded++
+	atomic.AddUint64(&h.Stats.CondPinsAdded, 1)
 	h.condPins = append(h.condPins, CondPin{Ref: ref, Active: active})
 }
 
@@ -582,12 +604,12 @@ func (h *Heap) pinnedForCycle() map[Ref]struct{} {
 		if cp.Active() {
 			set[cp.Ref] = struct{}{}
 			kept = append(kept, cp)
-			h.Stats.CondPinsHeld++
+			atomic.AddUint64(&h.Stats.CondPinsHeld, 1)
 			if tr != nil {
 				tr.Instant(h.vm.traceLane, obs.KCondPin, 1, uint64(cp.Ref))
 			}
 		} else {
-			h.Stats.CondPinsDropped++
+			atomic.AddUint64(&h.Stats.CondPinsDropped, 1)
 			if tr != nil {
 				tr.Instant(h.vm.traceLane, obs.KCondPin, 0, uint64(cp.Ref))
 			}

@@ -85,6 +85,35 @@ func (v *VM) PollPoint() {
 	v.execMu.Lock()
 }
 
+// ExecRun runs f while holding the execution token, from a goroutine
+// that is NOT a managed thread. This is the background progress
+// engine's gate: while f runs, no managed thread executes and no
+// collection can start, so f may touch pinned managed buffers and
+// complete requests whose conditional pins the collector would
+// otherwise be resolving concurrently. f must not block and must not
+// re-enter managed execution (StartThread/ExecRun) — it is a
+// safepoint-shaped critical section, kept as short as one progress
+// pass.
+func (v *VM) ExecRun(f func()) {
+	v.execMu.Lock()
+	defer v.execMu.Unlock()
+	f()
+}
+
+// Park releases the execution token for the whole duration of wait —
+// unlike PollGC's momentary release — and reacquires it before
+// returning. It is the blocking form of the polling-wait: a thread
+// whose request will be completed by the background progress engine
+// parks on a channel instead of spinning through poll points. While
+// parked the thread is at a safepoint by construction (§5.2): its
+// roots are stable and sibling threads may run and collect. wait must
+// not touch managed memory.
+func (t *Thread) Park(wait func()) {
+	t.vm.execMu.Unlock()
+	wait()
+	t.vm.execMu.Lock()
+}
+
 // InTransportVerified reports whether the innermost managed frame on
 // this thread belongs to a method the load-time verifier proved
 // transport-safe. FCalls do not push frames, so during an intern call

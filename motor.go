@@ -162,6 +162,13 @@ type Config struct {
 	// collective steps. Empty disables tracing unless the MOTOR_TRACE
 	// environment variable names a file. See docs/OBSERVABILITY.md.
 	Trace string
+	// AsyncProgress runs a background progress engine per rank: posted
+	// operations complete while guest code computes, and multiple VM
+	// threads (Go) may share the rank. Off by default (inline polling
+	// only); the MOTOR_PROGRESS environment variable ("1"/"async"
+	// enables, "0"/"inline" disables) overrides an unset field. See
+	// docs/PROGRESS.md.
+	AsyncProgress bool
 }
 
 func (c *Config) fill() {
@@ -170,6 +177,12 @@ func (c *Config) fill() {
 	}
 	if c.Channel == "" {
 		c.Channel = "shm"
+	}
+	if !c.AsyncProgress {
+		switch os.Getenv("MOTOR_PROGRESS") {
+		case "1", "async", "on":
+			c.AsyncProgress = true
+		}
 	}
 }
 
@@ -219,6 +232,11 @@ func Run(cfg Config, body func(r *Rank) error) error {
 		go func(w *mp.World) {
 			defer w.Close()
 			r := newRank(w, cfg)
+			// LIFO teardown: the main thread ends first (releasing the
+			// execution token), then the progress engine stops (its gated
+			// loop needs the token to finish a pass), then the world
+			// closes.
+			defer r.engine.Close()
 			defer r.thread.End()
 			errc <- body(r)
 		}(w)
@@ -256,7 +274,10 @@ func newRank(w *mp.World, cfg Config) *Rank {
 		Stdout: cfg.Stdout,
 		Heap:   vm.HeapConfig{YoungSize: cfg.YoungSize, ArenaMax: cfg.ArenaMax},
 	})
-	e := core.Attach(v, w, core.WithPolicy(cfg.Policy), core.WithVisited(cfg.Visited))
+	e := core.Attach(v, w,
+		core.WithPolicy(cfg.Policy),
+		core.WithVisited(cfg.Visited),
+		core.WithAsyncProgress(cfg.AsyncProgress))
 	return &Rank{vm: v, engine: e, thread: v.StartThread("main"), world: w, cfg: cfg}
 }
 
@@ -274,6 +295,7 @@ func newRank(w *mp.World, cfg Config) *Rank {
 func (r *Rank) Spawn(n int, childBody func(child *Rank, merged CommID) error) (CommID, error) {
 	merged, err := r.world.Spawn(n, func(cw *mp.World, mc *mp.Comm) error {
 		child := newRank(cw, r.cfg)
+		defer child.engine.Close()
 		defer child.thread.End()
 		mid := child.engine.RegisterComm(mc)
 		return childBody(child, mid)
@@ -312,6 +334,7 @@ func Join(cfg Config, rootAddr string, rank, size int) (*Rank, func() error, err
 	r := newRank(w, cfg)
 	closer := func() error {
 		r.thread.End()
+		r.engine.Close()
 		return w.Close()
 	}
 	return r, closer, nil
@@ -672,8 +695,9 @@ func (r *Rank) GC(full bool) {
 	}
 }
 
-// GCStats returns collector and pinning counters.
-func (r *Rank) GCStats() vm.GCStats { return r.vm.Heap.Stats }
+// GCStats returns collector and pinning counters (a race-safe
+// snapshot).
+func (r *Rank) GCStats() vm.GCStats { return r.vm.Heap.Stats.Snapshot() }
 
 // MPStats returns message-passing engine counters (a race-safe
 // snapshot; see core.Stats.Snapshot).
@@ -705,9 +729,18 @@ func (r *Rank) CollStats() mp.CollStats { return r.engine.Comm.CollStats() }
 // Must be applied identically on every rank.
 func (r *Rank) SetCollAlgo(spec string) error { return r.engine.Comm.SetCollAlgo(spec) }
 
-// DeviceStats returns the ADI progress-engine counters, including the
-// transport-failure classes (TransportErrors, PeersLost).
-func (r *Rank) DeviceStats() adi.DeviceStats { return r.world.Dev.Stats }
+// DeviceStats returns the ADI device counters, including the
+// transport-failure classes (TransportErrors, PeersLost), as a
+// race-safe snapshot.
+func (r *Rank) DeviceStats() adi.DeviceStats { return r.world.Dev.StatsSnapshot() }
+
+// ProgressStats returns the background progress engine's counters
+// (all zero when Config.AsyncProgress is off).
+func (r *Rank) ProgressStats() mp.ProgressStats { return r.engine.ProgressStats() }
+
+// AsyncProgress reports whether this rank runs the background
+// progress engine.
+func (r *Rank) AsyncProgress() bool { return r.engine.AsyncProgress() }
 
 // TransportStats returns the sock channel's retry/poison counters.
 // ok is false when the transport does not expose them (shm).
@@ -716,6 +749,120 @@ func (r *Rank) TransportStats() (channel.TransportStats, bool) {
 		return src.TransportStats(), true
 	}
 	return channel.TransportStats{}, false
+}
+
+// Go runs body on a new managed thread of this rank's VM, sharing
+// the rank's communicators and heap, and returns a join function that
+// blocks until body finishes and reports its error. Requires
+// Config.AsyncProgress: the device and engine are then safe for
+// concurrent use from multiple threads. Every spawned thread must be
+// joined before the rank's body returns. Collectives remain
+// MPI-semantics: at most one collective per communicator at a time
+// across all of a rank's threads.
+func (r *Rank) Go(name string, body func(rt *RankThread) error) (join func() error) {
+	if name == "" {
+		name = "worker"
+	}
+	errc := make(chan error, 1)
+	go func() {
+		t := r.vm.StartThread(name)
+		defer t.End()
+		errc <- body(&RankThread{rank: r, thread: t})
+	}()
+	return func() error {
+		var err error
+		// Parked join: release the execution token while waiting so the
+		// worker (and the progress engine) can run.
+		r.thread.Park(func() { err = <-errc })
+		return err
+	}
+}
+
+// RankThread is a sibling managed thread created by Rank.Go: the same
+// rank (same VM, heap, communicators, world rank) on its own managed
+// thread, so its operations interleave safely with the parent's.
+type RankThread struct {
+	rank   *Rank
+	thread *vm.Thread
+}
+
+// ID returns the world rank (shared with the parent Rank).
+func (rt *RankThread) ID() int { return rt.rank.ID() }
+
+// Size returns the world size.
+func (rt *RankThread) Size() int { return rt.rank.Size() }
+
+// Thread exposes the worker's managed thread.
+func (rt *RankThread) Thread() *vm.Thread { return rt.thread }
+
+// Protect registers Go-held refs as GC roots on the worker thread.
+func (rt *RankThread) Protect(refs ...*Ref) (release func()) {
+	return rt.thread.PushFrame(refs...)
+}
+
+// NewInt32Array allocates and fills an int32 array on the shared heap.
+func (rt *RankThread) NewInt32Array(vals []int32) (Ref, error) {
+	return rt.rank.vm.Heap.NewInt32Array(vals)
+}
+
+// NewUint8Array allocates and fills a byte array on the shared heap.
+func (rt *RankThread) NewUint8Array(vals []byte) (Ref, error) {
+	return rt.rank.vm.Heap.NewUint8Array(vals)
+}
+
+// Int32s copies out an int32 array.
+func (rt *RankThread) Int32s(ref Ref) []int32 { return rt.rank.vm.Heap.Int32Slice(ref) }
+
+// Uint8s copies out a byte array.
+func (rt *RankThread) Uint8s(ref Ref) []byte { return rt.rank.vm.Heap.Uint8Slice(ref) }
+
+// Send transports a whole object from this worker thread (blocking).
+func (rt *RankThread) Send(obj Ref, dest, tag int) error {
+	return rt.rank.engine.Send(rt.thread, obj, dest, tag)
+}
+
+// Recv receives into a whole object on this worker thread (blocking).
+func (rt *RankThread) Recv(obj Ref, source, tag int) (Status, error) {
+	return rt.rank.engine.Recv(rt.thread, obj, source, tag)
+}
+
+// Isend starts an immediate send on this worker thread.
+func (rt *RankThread) Isend(obj Ref, dest, tag int) (int32, error) {
+	return rt.rank.engine.Isend(rt.thread, obj, dest, tag)
+}
+
+// Irecv starts an immediate receive on this worker thread.
+func (rt *RankThread) Irecv(obj Ref, source, tag int) (int32, error) {
+	return rt.rank.engine.Irecv(rt.thread, obj, source, tag)
+}
+
+// Wait blocks this worker thread until the request completes.
+func (rt *RankThread) Wait(req int32) (Status, error) {
+	return rt.rank.engine.Wait(rt.thread, req)
+}
+
+// Test polls the request once from this worker thread.
+func (rt *RankThread) Test(req int32) (bool, Status, error) {
+	return rt.rank.engine.Test(rt.thread, req)
+}
+
+// OSend transports an object tree from this worker thread.
+func (rt *RankThread) OSend(obj Ref, dest, tag int) error {
+	return rt.rank.engine.OSend(rt.thread, obj, dest, tag)
+}
+
+// ORecv receives an object tree on this worker thread.
+func (rt *RankThread) ORecv(source, tag int) (Ref, Status, error) {
+	return rt.rank.engine.ORecv(rt.thread, source, tag)
+}
+
+// GC forces a collection from this worker thread.
+func (rt *RankThread) GC(full bool) {
+	if full {
+		rt.thread.CollectFull()
+	} else {
+		rt.thread.CollectYoung()
+	}
 }
 
 // Engine exposes the underlying integration engine (advanced use).

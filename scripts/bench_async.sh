@@ -1,0 +1,31 @@
+#!/bin/sh
+# Async-progress overlap benchmark: nonblocking rendezvous exchanges
+# posted before a duty-cycle compute phase (busy-spin holding the
+# execution token, then parked sleep with the token released), waited
+# only afterwards. Inline polling pays compute + comm; the background
+# progress engine hides the comm inside the parked gaps. Writes the
+# machine-readable report to BENCH_async.json at the repo root.
+#
+# Usage: scripts/bench_async.sh [quick]
+#   quick  reduced protocol for smoke runs
+#
+# The committed BENCH_async.json is the progress engine's acceptance
+# artifact: overlap_ratio >= 1.3 (inline wall time / async wall time)
+# with progress_passes > 0 proving the engine, not the callers' Waits,
+# completed the requests. Regenerate it here when touching the
+# progress engine, the ADI, or the polling-wait discipline.
+set -eu
+cd "$(dirname "$0")/.."
+
+out=BENCH_async.json
+
+flags="-async -json"
+if [ "${1:-}" = quick ]; then
+	flags="$flags -quick"
+fi
+
+echo "== async progress overlap -> $out"
+# shellcheck disable=SC2086
+go run ./cmd/benchfig $flags > "$out"
+echo "== overlap ratio (inline / async wall time)"
+grep -E "overlap_ratio|inline_us|async_us|progress_passes" "$out" || true

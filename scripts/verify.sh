@@ -3,18 +3,25 @@
 #
 #   tier 1 (default): build + full test suite — the repo's gate.
 #   tier 2 (-race):   vet + race-enabled tests over the whole tree.
-#   tier 3 (bench):   opt-in sweeps -> BENCH_coll.json + BENCH_oo.json.
+#   tier 3 (bench):   opt-in sweeps -> BENCH_coll.json + BENCH_oo.json
+#                     + BENCH_async.json.
+#   stress tier:      race-enabled concurrency stress/chaos/progress
+#                     tests with GORACE=halt_on_error=1 — the async
+#                     progress engine's acceptance gate.
 #   vet tier:         go vet + the load-time bytecode verifier over
 #                     every masm module under examples/.
 #
-# Usage: scripts/verify.sh [quick|race|all|bench|vet]
-#   quick  tier 1 with -short (chaos sweeps skipped; < ~30s)
-#   race   tier 2 only
-#   all    tier 1 then tier 2 then vet (default)
-#   bench  tier 1 quick, then the collective and OO benchmark sweeps
-#          (scripts/bench_coll.sh, scripts/bench_oo.sh); opt-in
-#          because timing-sensitive
-#   vet    static checks only: go vet + motor -mode check examples/
+# Usage: scripts/verify.sh [quick|race|stress|all|bench|vet]
+#   quick   tier 1 with -short (chaos sweeps skipped; < ~30s)
+#   race    tier 2 only
+#   stress  stress tier only: shared-rank goroutine stress, fault
+#           injection, deterministic-harness property/replay tests,
+#           registry snapshot races — all under -race
+#   all     tier 1 then tier 2 then vet (default)
+#   bench   tier 1 quick, then the collective, OO and async-progress
+#           benchmark sweeps (scripts/bench_coll.sh, scripts/bench_oo.sh,
+#           scripts/bench_async.sh); opt-in because timing-sensitive
+#   vet     static checks only: go vet + motor -mode check examples/
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -41,6 +48,20 @@ tier3() {
 	sh scripts/bench_coll.sh "${BENCH_COLL_RANKS:-4}"
 	echo "== tier 3: OO transport sweep"
 	sh scripts/bench_oo.sh
+	echo "== tier 3: async progress overlap"
+	sh scripts/bench_async.sh
+}
+
+# Stress tier: the concurrency acceptance gate for the async progress
+# engine. Every test here shares one rank's Comm/Device between many
+# goroutines (or drives it from the seeded deterministic harness) and
+# must stay race-clean with zero leaked requests; halt_on_error makes
+# the first race fatal instead of a warning.
+tier_stress() {
+	echo "== stress: -race concurrency stress + chaos + progress harness"
+	GORACE=halt_on_error=1 go test -race -timeout 600s \
+		-run 'Stress|Chaos|Progress|Snapshot' \
+		./internal/mp/ ./internal/core/
 }
 
 # Static tier: go vet plus the MASM bytecode verifier over every
@@ -76,6 +97,7 @@ quick)
 	smoke_trace
 	;;
 race) tier2 ;;
+stress) tier_stress ;;
 all)
 	tier1 full
 	tier2
@@ -88,7 +110,7 @@ bench)
 	;;
 vet) tier_vet ;;
 *)
-	echo "usage: $0 [quick|race|all|bench|vet]" >&2
+	echo "usage: $0 [quick|race|stress|all|bench|vet]" >&2
 	exit 2
 	;;
 esac
