@@ -12,6 +12,8 @@
 //	benchfig -coll -collranks 8 -json   # machine-readable (BENCH_coll.json)
 //	benchfig -oo               # OO transport sweep: v1 buffer vs chunked stream
 //	benchfig -oo -json         # machine-readable (BENCH_oo.json)
+//	benchfig -interp           # interpreter quickening: baseline vs quickened dispatch
+//	benchfig -interp -json     # machine-readable (BENCH_interp.json)
 //	benchfig -quick            # smaller protocol for smoke runs
 //
 // Absolute numbers reflect this machine, not the paper's 2006
@@ -39,7 +41,8 @@ func main() {
 	collRanks := flag.Int("collranks", 4, "rank count for -coll")
 	oo := flag.Bool("oo", false, "run the OO transport sweep (v1 buffer vs chunked stream)")
 	async := flag.Bool("async", false, "run the async-progress overlap benchmark (inline vs background engine)")
-	jsonOut := flag.Bool("json", false, "emit -coll/-oo/-async results as JSON")
+	interp := flag.Bool("interp", false, "run the interpreter quickening benchmark (baseline vs quickened dispatch)")
+	jsonOut := flag.Bool("json", false, "emit -coll/-oo/-async/-interp results as JSON")
 	flag.Parse()
 
 	proto := bench.PaperProtocol()
@@ -57,6 +60,20 @@ func main() {
 	}
 
 	switch {
+	case *interp:
+		cfg := bench.InterpGrid()
+		if *quick {
+			cfg = bench.InterpQuickGrid()
+		}
+		rep, err := bench.RunInterpBench(cfg)
+		fatal(err)
+		if *jsonOut {
+			out, err := bench.MarshalInterpReport(rep)
+			fatal(err)
+			fmt.Println(string(out))
+			return
+		}
+		fmt.Print(bench.FormatInterpTable(rep))
 	case *async:
 		cfg := bench.AsyncGrid()
 		if *quick {

@@ -76,6 +76,7 @@ func main() {
 	root := flag.String("root", "127.0.0.1:7777", "rank mode: rendezvous address to join")
 	rankID := flag.Int("rank", 0, "rank mode: this process's world rank")
 	noverify := flag.Bool("noverify", false, "skip load-time bytecode verification")
+	noquicken := flag.Bool("noquicken", false, "skip load-time quickening (baseline interpreter dispatch)")
 	flag.Parse()
 
 	if *mode == "check" {
@@ -89,6 +90,9 @@ func main() {
 	cfg := motor.Config{Ranks: *np, Channel: *channel}
 	if *noverify {
 		cfg.Verify = motor.VerifyOff
+	}
+	if *noquicken {
+		cfg.Quicken = motor.QuickenOff
 	}
 	switch *policy {
 	case "motor":

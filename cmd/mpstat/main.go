@@ -53,11 +53,15 @@ func main() {
 	trace := flag.String("trace", "", "write a Chrome trace_event JSON file of the run (also set by MOTOR_TRACE)")
 	metrics := flag.Bool("metrics", false, "print the unified flat metrics snapshot per rank (all subsystems)")
 	noverify := flag.Bool("noverify", false, "skip load-time bytecode verification of the probe module")
+	noquicken := flag.Bool("noquicken", false, "skip load-time quickening of the probe module")
 	flag.Parse()
 
 	cfg := motor.Config{Ranks: *np, Channel: *channel, Trace: *trace}
 	if *noverify {
 		cfg.Verify = motor.VerifyOff
+	}
+	if *noquicken {
+		cfg.Quicken = motor.QuickenOff
 	}
 	if *policy == "alwayspin" {
 		cfg.Policy = motor.PolicyAlwaysPin
@@ -86,11 +90,25 @@ func main() {
 		}
 		if r.ID() == 0 {
 			vs := r.VerifyStats()
-			if vs.Methods > 0 {
+			qs := r.QuickenStats()
+			switch {
+			case vs.Methods > 0:
 				fmt.Printf("verifier: %d methods, %d instructions, %d transport-verified in %dus\n",
 					vs.Methods, vs.Insts, vs.Transportable, vs.ElapsedNs/1000)
-			} else {
+			case qs.VerifyCacheHits > 0:
+				// A sibling rank verified the identical module first; this
+				// rank applied the cached verdict.
+				fmt.Printf("verifier: %d module loads served from the verdict cache\n",
+					qs.VerifyCacheHits)
+			default:
 				fmt.Println("verifier: off")
+			}
+			if qs.Methods > 0 || qs.Skipped > 0 {
+				fmt.Printf("quicken: %d methods (%d->%d insts, %d fused, %d devirt), cache %d hit/%d miss in %dus\n",
+					qs.Methods, qs.InstsIn, qs.InstsOut, qs.Fused, qs.Devirted,
+					qs.VerifyCacheHits, qs.VerifyCacheMisses, qs.ElapsedNs/1000)
+			} else {
+				fmt.Println("quicken: off")
 			}
 		}
 		peer := (r.ID() + 1) % r.Size()

@@ -1,0 +1,380 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"motor/internal/vm"
+	"motor/internal/vm/bcverify"
+)
+
+// The interpreter benchmark measures the load-time quickening pass
+// (docs/QUICKEN.md): each kernel is a compute-bound masm module run
+// under baseline single-switch dispatch and under quickened dispatch
+// (pre-decoded wide instructions, superinstructions, baked field
+// offsets, devirtualized calls), on otherwise identical fresh VMs.
+// The speedup column is baseline wall time / quickened wall time.
+
+// InterpConfig sizes one run. Each measurement calls the kernel's
+// main repeatedly until MinTime of wall clock has elapsed and takes
+// the mean; Repeats such measurements are taken and the best kept.
+type InterpConfig struct {
+	MinTime time.Duration
+	Repeats int
+}
+
+// InterpGrid is the committed-artifact configuration.
+func InterpGrid() InterpConfig { return InterpConfig{MinTime: 300 * time.Millisecond, Repeats: 3} }
+
+// InterpQuickGrid is the smoke-run configuration.
+func InterpQuickGrid() InterpConfig { return InterpConfig{MinTime: 40 * time.Millisecond, Repeats: 2} }
+
+// InterpKernel is one benchmark program. All kernels are verified
+// before execution — quickening only accepts verified methods — and
+// each kernel's main returns a checksum that must agree across
+// engines.
+type InterpKernel struct {
+	Name string
+	What string
+	Src  string
+}
+
+// InterpKernels returns the kernel set. Each targets a distinct
+// quickening win: fused increments and compare-branches, float
+// arithmetic with saturating conv.f2i, call-heavy recursion, exact
+// field offsets from allocation-site facts, and array element loops.
+func InterpKernels() []InterpKernel {
+	return []InterpKernel{
+		{
+			Name: "intsum",
+			What: "integer loop: fused ldloc+ldc+add+stloc increments and cmp+branch",
+			Src: `
+.method main (0) int32
+  .locals 2
+  ldc.i4 0
+  stloc 0
+  ldc.i4 0
+  stloc 1
+loop:
+  ldloc 1
+  ldloc 0
+  add
+  stloc 1
+  ldloc 0
+  ldc.i4 1
+  add
+  stloc 0
+  ldloc 0
+  ldc.i4 300000
+  clt
+  brtrue loop
+  ldloc 1
+  ret.val
+.end
+`,
+		},
+		{
+			Name: "floatpoly",
+			What: "float polynomial per iteration, saturating conv.f2i back to int",
+			Src: `
+.method main (0) int32
+  .locals 2
+  ldc.i4 0
+  stloc 0
+  ldc.i4 0
+  stloc 1
+loop:
+  ldloc 0
+  conv.i2f
+  ldc.r8 0.5
+  mul.f
+  ldloc 0
+  conv.i2f
+  ldc.r8 1.25
+  mul.f
+  add.f
+  conv.f2i
+  ldloc 1
+  add
+  stloc 1
+  ldloc 0
+  ldc.i4 1
+  add
+  stloc 0
+  ldloc 0
+  ldc.i4 150000
+  clt
+  brtrue loop
+  ldloc 1
+  ret.val
+.end
+`,
+		},
+		{
+			Name: "fib",
+			What: "call-heavy recursion: fused ldarg+call, frame push/pop",
+			Src: `
+.method fib (1) int32
+  ldarg 0
+  ldc.i4 2
+  clt
+  brfalse rec
+  ldarg 0
+  ret.val
+rec:
+  ldarg 0
+  ldc.i4 1
+  sub
+  call fib
+  ldarg 0
+  ldc.i4 2
+  sub
+  call fib
+  add
+  ret.val
+.end
+.method main (0) int32
+  ldc.i4 21
+  call fib
+  ret.val
+.end
+`,
+		},
+		{
+			Name: "fields",
+			What: "object field traffic with allocation-site exact type: baked offsets",
+			Src: `
+.class Acc
+  .field int32 sum
+  .field int32 step
+.end
+.method main (0) int32
+  .locals 2
+  newobj Acc
+  stloc 1
+  ldloc 1
+  ldc.i4 3
+  stfld Acc.step
+  ldc.i4 0
+  stloc 0
+loop:
+  ldloc 1
+  ldloc 1
+  ldfld Acc.sum
+  ldloc 1
+  ldfld Acc.step
+  add
+  stfld Acc.sum
+  ldloc 0
+  ldc.i4 1
+  add
+  stloc 0
+  ldloc 0
+  ldc.i4 150000
+  clt
+  brtrue loop
+  ldloc 1
+  ldfld Acc.sum
+  ret.val
+.end
+`,
+		},
+		{
+			Name: "arraysum",
+			What: "array fill + reduce: exact array type from newarr, fused loop heads",
+			Src: `
+.method main (0) int32
+  .locals 3
+  ldc.i4 8192
+  newarr int64
+  stloc 2
+  ldc.i4 0
+  stloc 0
+fill:
+  ldloc 2
+  ldloc 0
+  ldloc 0
+  stelem
+  ldloc 0
+  ldc.i4 1
+  add
+  stloc 0
+  ldloc 0
+  ldc.i4 8192
+  clt
+  brtrue fill
+  ldc.i4 0
+  stloc 0
+  ldc.i4 0
+  stloc 1
+sum:
+  ldloc 1
+  ldloc 2
+  ldloc 0
+  ldelem
+  add
+  stloc 1
+  ldloc 0
+  ldc.i4 1
+  add
+  stloc 0
+  ldloc 0
+  ldc.i4 8192
+  clt
+  brtrue sum
+  ldloc 1
+  ret.val
+.end
+`,
+		},
+	}
+}
+
+// InterpKernelResult is one row of the report.
+type InterpKernelResult struct {
+	Name       string  `json:"name"`
+	What       string  `json:"what"`
+	Checksum   int64   `json:"checksum"`
+	BaselineUs float64 `json:"baseline_us"`
+	QuickUs    float64 `json:"quickened_us"`
+	Speedup    float64 `json:"speedup"`
+	Fused      int     `json:"fused"`
+	Devirted   int     `json:"devirted"`
+}
+
+// InterpReport is the machine-readable result (BENCH_interp.json).
+type InterpReport struct {
+	Protocol    map[string]int       `json:"protocol"`
+	Kernels     []InterpKernelResult `json:"kernels"`
+	BestSpeedup float64              `json:"best_speedup"`
+	MeanSpeedup float64              `json:"mean_speedup"`
+}
+
+// interpVM assembles and verifies src on a fresh VM sized like the
+// transport benchmarks' guests.
+func interpVM(src string) (*vm.VM, *vm.Module, error) {
+	v := vm.New(vm.Config{Name: "interp", Heap: vm.HeapConfig{
+		YoungSize: 2 << 20, InitialElder: 8 << 20, ArenaMax: 512 << 20}})
+	mod, err := v.AssembleModule(src)
+	if err != nil {
+		return nil, nil, err
+	}
+	if _, err := bcverify.VerifyModule(v, mod.Methods, bcverify.Options{}); err != nil {
+		return nil, nil, err
+	}
+	if mod.Main == nil {
+		return nil, nil, fmt.Errorf("kernel has no main")
+	}
+	return v, mod, nil
+}
+
+// timeInterpKernel measures one kernel under one engine and returns
+// the checksum, the best mean microseconds per main call, and the
+// quickening counters (zero for baseline).
+func timeInterpKernel(cfg InterpConfig, src string, quicken bool) (int64, float64, int, int, error) {
+	v, mod, err := interpVM(src)
+	if err != nil {
+		return 0, 0, 0, 0, err
+	}
+	fused, devirted := 0, 0
+	if quicken {
+		for _, m := range mod.Methods {
+			info, err := v.QuickenMethod(m)
+			if err != nil {
+				return 0, 0, 0, 0, fmt.Errorf("quicken %s: %w", m.FullName(), err)
+			}
+			fused += info.Fused
+			devirted += info.Devirted
+		}
+	}
+	var sum int64
+	best := 0.0
+	var callErr error
+	v.WithThread("bench", func(th *vm.Thread) {
+		// Warmup run also captures the checksum.
+		val, err := th.Call(mod.Main)
+		if err != nil {
+			callErr = err
+			return
+		}
+		sum = val.Int()
+		for r := 0; r < cfg.Repeats; r++ {
+			iters := 0
+			start := time.Now()
+			for time.Since(start) < cfg.MinTime {
+				if _, err := th.Call(mod.Main); err != nil {
+					callErr = err
+					return
+				}
+				iters++
+			}
+			us := float64(time.Since(start).Microseconds()) / float64(iters)
+			if r == 0 || us < best {
+				best = us
+			}
+		}
+	})
+	if callErr != nil {
+		return 0, 0, 0, 0, callErr
+	}
+	return sum, best, fused, devirted, nil
+}
+
+// RunInterpBench measures every kernel under both engines and cross-
+// checks the checksums — a speedup from a wrong answer is not a
+// speedup.
+func RunInterpBench(cfg InterpConfig) (InterpReport, error) {
+	rep := InterpReport{Protocol: map[string]int{
+		"min_time_ms": int(cfg.MinTime / time.Millisecond),
+		"repeats":     cfg.Repeats,
+	}}
+	for _, k := range InterpKernels() {
+		bSum, bUs, _, _, err := timeInterpKernel(cfg, k.Src, false)
+		if err != nil {
+			return rep, fmt.Errorf("%s baseline: %w", k.Name, err)
+		}
+		qSum, qUs, fused, devirted, err := timeInterpKernel(cfg, k.Src, true)
+		if err != nil {
+			return rep, fmt.Errorf("%s quickened: %w", k.Name, err)
+		}
+		if bSum != qSum {
+			return rep, fmt.Errorf("%s: baseline checksum %d, quickened %d", k.Name, bSum, qSum)
+		}
+		r := InterpKernelResult{
+			Name: k.Name, What: k.What, Checksum: bSum,
+			BaselineUs: bUs, QuickUs: qUs,
+			Fused: fused, Devirted: devirted,
+		}
+		if qUs > 0 {
+			r.Speedup = bUs / qUs
+		}
+		rep.Kernels = append(rep.Kernels, r)
+		if r.Speedup > rep.BestSpeedup {
+			rep.BestSpeedup = r.Speedup
+		}
+		rep.MeanSpeedup += r.Speedup
+	}
+	if n := len(rep.Kernels); n > 0 {
+		rep.MeanSpeedup /= float64(n)
+	}
+	return rep, nil
+}
+
+// MarshalInterpReport renders the report as indented JSON.
+func MarshalInterpReport(rep InterpReport) ([]byte, error) {
+	return json.MarshalIndent(rep, "", "  ")
+}
+
+// FormatInterpTable renders the result as text.
+func FormatInterpTable(rep InterpReport) string {
+	out := "interpreter quickening: baseline vs quickened dispatch (us per kernel run)\n"
+	out += fmt.Sprintf("%-10s %12s %12s %9s %6s %5s\n",
+		"kernel", "baseline", "quickened", "speedup", "fused", "devirt")
+	for _, k := range rep.Kernels {
+		out += fmt.Sprintf("%-10s %12.1f %12.1f %8.2fx %6d %5d\n",
+			k.Name, k.BaselineUs, k.QuickUs, k.Speedup, k.Fused, k.Devirted)
+	}
+	out += fmt.Sprintf("best %.2fx, mean %.2fx\n", rep.BestSpeedup, rep.MeanSpeedup)
+	return out
+}

@@ -190,6 +190,7 @@ type Engine struct {
 
 	Stats   Stats
 	Verify  VerifyStats
+	Quicken QuickenStats
 	TTCache serial.TTCacheStats
 }
 
@@ -311,6 +312,7 @@ func (e *Engine) Policy() PinPolicy { return e.policy }
 func (e *Engine) RegisterStats(reg *obs.Registry) {
 	reg.Register("engine", func() any { return e.Stats.Snapshot() })
 	reg.Register("verify", func() any { return e.Verify.Snapshot() })
+	reg.Register("quicken", func() any { return e.Quicken.Snapshot() })
 	reg.Register("serial.ttcache", func() any { return e.TTCache.Snapshot() })
 	// Snapshot accessors everywhere: a registry read may race a
 	// background progress pass or a sibling guest thread bumping the

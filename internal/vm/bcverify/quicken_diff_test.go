@@ -1,0 +1,395 @@
+package bcverify_test
+
+// End-to-end quickening tests at the masm level: the verifier's fact
+// collection feeding vm.QuickenMethod, and the differential property
+// — quickened and baseline execution of VERIFIED modules agree on
+// results, stdout and traps — over hand-written modules and the whole
+// valid corpus. The package-internal differential suite (internal/vm/
+// quicken_diff_test.go) covers randomized raw bytecode; this file
+// covers the assembled + verified pipeline exactly as Rank.Load runs
+// it.
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"testing"
+
+	"motor/internal/core"
+	"motor/internal/vm"
+	"motor/internal/vm/bcverify"
+)
+
+// TestFactsFromAllocationSite: a receiver flowing straight from
+// newobj carries an exact-type fact at its field accesses, and the
+// store's value category is recorded as checked.
+func TestFactsFromAllocationSite(t *testing.T) {
+	src := `
+.class P
+  .field int32 x
+.end
+.method main (0) int32
+  .locals 1
+  newobj P
+  stloc 0
+  ldloc 0
+  ldc.i4 5
+  stfld P.x
+  ldloc 0
+  ldfld P.x
+  ret.val
+.end
+`
+	mod, _, verr := verifyCorpusModule(t, src)
+	if verr != nil {
+		t.Fatal(verr)
+	}
+	var main *vm.Method
+	for _, m := range mod.Methods {
+		if m.Name == "main" {
+			main = m
+		}
+	}
+	if main == nil || main.Facts == nil {
+		t.Fatalf("main has no facts")
+	}
+	if len(main.Facts) != 2 {
+		t.Fatalf("facts = %v, want exactly the stfld and the ldfld", main.Facts)
+	}
+	var checked int
+	for pc, f := range main.Facts {
+		if f.ExactType == 0 {
+			t.Errorf("fact at pc=%d has no exact type", pc)
+		}
+		if f.StoreChecked {
+			checked++
+		}
+	}
+	if checked != 1 {
+		t.Errorf("%d store-checked facts, want 1 (the stfld)", checked)
+	}
+}
+
+// TestFactsNotFromUpperBound: a receiver read back out of a field has
+// a declared class (an upper bound) but no allocation-site exactness —
+// no fact may be recorded, so quickening keeps dynamic dispatch.
+func TestFactsNotFromUpperBound(t *testing.T) {
+	src := `
+.class Q
+  .field int32 x
+.end
+.class Holder
+  .field Q q
+.end
+.method main (0) int32
+  .locals 1
+  newobj Holder
+  stloc 0
+  ldloc 0
+  ldfld Holder.q
+  ldfld Q.x
+  ret.val
+.end
+`
+	mod, _, verr := verifyCorpusModule(t, src)
+	if verr != nil {
+		t.Fatal(verr)
+	}
+	for _, m := range mod.Methods {
+		if m.Name != "main" {
+			continue
+		}
+		// The first ldfld's receiver (the Holder) IS exact; the second
+		// ldfld's receiver (the loaded Q) must not be.
+		exact := 0
+		for _, f := range m.Facts {
+			if f.ExactType != 0 {
+				exact++
+			}
+		}
+		if exact != 1 {
+			t.Fatalf("facts = %v, want exactly one exact receiver (the Holder)", m.Facts)
+		}
+	}
+}
+
+// --- masm-level differential execution -------------------------------------
+
+type masmOutcome struct {
+	val vm.Value
+	err error
+	out string
+}
+
+// buildExecVM assembles and verifies src on a fresh VM with the
+// System.MP surface stubbed and a deterministic clock, mirroring the
+// `motor -mode check` environment plus execution.
+func buildExecVM(t *testing.T, src string, out *bytes.Buffer) (*vm.VM, *vm.Module) {
+	t.Helper()
+	v := vm.New(vm.Config{Name: "diff", Stdout: out,
+		Heap: vm.HeapConfig{YoungSize: 64 << 10, InitialElder: 256 << 10, ArenaMax: 32 << 20}})
+	core.RegisterVerifyStubs(v)
+	// sys.ticks is wall-clock; re-point it at a counter so two runs of
+	// the same module cannot diverge through time.
+	ticks := int64(0)
+	v.RegisterInternal(vm.InternalFunc{
+		Name: "sys.ticks", NArgs: 0, HasRet: true,
+		Fn: func(t *vm.Thread, args []vm.Value) (vm.Value, error) {
+			ticks++
+			return vm.IntValue(ticks), nil
+		},
+	})
+	mod, err := v.AssembleModule(src)
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	if _, verr := bcverify.VerifyModule(v, mod.Methods, bcverify.Options{Sigs: core.Signatures()}); verr != nil {
+		t.Fatalf("verify: %v", verr)
+	}
+	return v, mod
+}
+
+func execModule(t *testing.T, src string, quicken bool) (masmOutcome, bool) {
+	t.Helper()
+	var buf bytes.Buffer
+	v, mod := buildExecVM(t, src, &buf)
+	if mod.Main == nil || mod.Main.NArgs != 0 {
+		return masmOutcome{}, false
+	}
+	if quicken {
+		for _, m := range mod.Methods {
+			if _, err := v.QuickenMethod(m); err != nil {
+				t.Fatalf("quicken %s: %v", m.FullName(), err)
+			}
+			if !m.Quickened() {
+				t.Fatalf("%s not quickened", m.FullName())
+			}
+		}
+	}
+	o := masmOutcome{}
+	v.WithThread("t", func(th *vm.Thread) {
+		th.SetStepBudget(200_000)
+		o.val, o.err = th.Call(mod.Main)
+	})
+	o.out = buf.String()
+	return o, true
+}
+
+// diffModule runs src on both engines and fails on any observable
+// divergence; it reports whether a main existed to run.
+func diffModule(t *testing.T, src string) bool {
+	t.Helper()
+	q, ran := execModule(t, src, true)
+	if !ran {
+		return false
+	}
+	b, _ := execModule(t, src, false)
+	if q.val != b.val {
+		t.Errorf("quickened value %+v, baseline %+v", q.val, b.val)
+	}
+	if q.out != b.out {
+		t.Errorf("quickened stdout %q, baseline %q", q.out, b.out)
+	}
+	switch {
+	case (q.err == nil) != (b.err == nil):
+		t.Errorf("quickened err %v, baseline err %v", q.err, b.err)
+	case q.err != nil:
+		var qt, bt *vm.Trap
+		qTrap, bTrap := errors.As(q.err, &qt), errors.As(b.err, &bt)
+		if qTrap != bTrap {
+			t.Errorf("quickened err %v (%T), baseline %v (%T)", q.err, q.err, b.err, b.err)
+		} else if qTrap && *qt != *bt {
+			t.Errorf("quickened trap %+v, baseline trap %+v", *qt, *bt)
+		} else if !qTrap && q.err.Error() != b.err.Error() {
+			t.Errorf("quickened err %q, baseline err %q", q.err, b.err)
+		}
+	}
+	return true
+}
+
+// TestQuickenValidCorpusDifferential executes every valid-corpus
+// module under both engines. Most of them hit the mp.* stubs and stop
+// with the stub error — which must still be byte-identical.
+func TestQuickenValidCorpusDifferential(t *testing.T) {
+	ran := 0
+	for _, path := range corpusFiles(t, "valid") {
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Run(pathBase(path), func(t *testing.T) {
+			if diffModule(t, string(raw)) {
+				ran++
+			}
+		})
+	}
+	if ran == 0 {
+		t.Fatal("no valid-corpus module had a runnable main")
+	}
+}
+
+func pathBase(p string) string {
+	for i := len(p) - 1; i >= 0; i-- {
+		if p[i] == '/' {
+			return p[i+1:]
+		}
+	}
+	return p
+}
+
+// TestQuickenMasmDevirt: the full pipeline — assemble, verify (facts),
+// quicken — devirtualizes an allocation-site virtual call and computes
+// the same answer as baseline dispatch.
+func TestQuickenMasmDevirt(t *testing.T) {
+	src := `
+.class Shape
+  .method virtual area (0) int32
+    ldc.i4 0
+    ret.val
+  .end
+.end
+.class Square extends Shape
+  .field int32 side
+  .method virtual area (0) int32
+    ldarg 0
+    ldfld Square.side
+    ldarg 0
+    ldfld Square.side
+    mul
+    ret.val
+  .end
+.end
+.method main (0) int32
+  .locals 1
+  newobj Square
+  stloc 0
+  ldloc 0
+  ldc.i4 7
+  stfld Square.side
+  ldloc 0
+  callvirt Shape.area
+  ret.val
+.end
+`
+	var buf bytes.Buffer
+	v, mod := buildExecVM(t, src, &buf)
+	devirted := 0
+	for _, m := range mod.Methods {
+		info, err := v.QuickenMethod(m)
+		if err != nil {
+			t.Fatalf("quicken %s: %v", m.FullName(), err)
+		}
+		devirted += info.Devirted
+	}
+	if devirted != 1 {
+		t.Errorf("Devirted = %d, want 1 (the allocation-site callvirt)", devirted)
+	}
+	var got vm.Value
+	var err error
+	v.WithThread("t", func(th *vm.Thread) { got, err = th.Call(mod.Main) })
+	if err != nil || got.Int() != 49 {
+		t.Fatalf("main = %v, %v; want 49", got, err)
+	}
+	if !diffModule(t, src) {
+		t.Fatal("module did not run")
+	}
+}
+
+// TestQuickenMasmKernels: compute-bound masm kernels (the shapes the
+// interpreter benchmark uses) agree across engines, including console
+// output and conv.f2i rounding.
+func TestQuickenMasmKernels(t *testing.T) {
+	kernels := map[string]string{
+		"intsum": `
+.method main (0) int32
+  .locals 2
+  ldc.i4 0
+  stloc 0
+  ldc.i4 0
+  stloc 1
+loop:
+  ldloc 1
+  ldloc 0
+  add
+  stloc 1
+  ldloc 0
+  ldc.i4 1
+  add
+  stloc 0
+  ldloc 0
+  ldc.i4 1000
+  clt
+  brtrue loop
+  ldloc 1
+  ret.val
+.end
+`,
+		"floatpoly": `
+.method main (0) int32
+  .locals 2
+  ldc.i4 0
+  stloc 0
+  ldc.i4 0
+  stloc 1
+loop:
+  ldloc 0
+  conv.i2f
+  ldc.r8 0.5
+  mul.f
+  ldloc 0
+  conv.i2f
+  add.f
+  conv.f2i
+  ldloc 1
+  add
+  stloc 1
+  ldloc 0
+  ldc.i4 1
+  add
+  stloc 0
+  ldloc 0
+  ldc.i4 500
+  clt
+  brtrue loop
+  ldloc 1
+  ret.val
+.end
+`,
+		"fib": `
+.method fib (1) int32
+  ldarg 0
+  ldc.i4 2
+  clt
+  brfalse rec
+  ldarg 0
+  ret.val
+rec:
+  ldarg 0
+  ldc.i4 1
+  sub
+  call fib
+  ldarg 0
+  ldc.i4 2
+  sub
+  call fib
+  add
+  ret.val
+.end
+.method main (0) int32
+  ldc.i4 18
+  call fib
+  intern console.writei
+  ldc.i4 18
+  call fib
+  ret.val
+.end
+`,
+	}
+	for name, src := range kernels {
+		t.Run(name, func(t *testing.T) {
+			if !diffModule(t, src) {
+				t.Fatal("kernel did not run")
+			}
+		})
+	}
+}

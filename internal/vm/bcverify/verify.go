@@ -218,7 +218,81 @@ func verifyMethod(v *vm.VM, m *vm.Method, sigs map[string]Sig) (insts int, trans
 	if c.maxDepth > m.MaxStack {
 		m.MaxStack = c.maxDepth
 	}
+	m.Facts = c.collectFacts()
 	return len(c.insts), ok, nil
+}
+
+// collectFacts distills per-instruction facts out of the fixpoint
+// states for the quickening pass (vm.QuickenMethod): exact receiver /
+// array types, and stores whose value category was statically checked.
+// Exactness comes only from allocation-site flow (vt.exact) — static
+// upper bounds are never recorded as ExactType, because a slot typed
+// as class A can hold any value at runtime once SKAny launders through
+// a frame slot; baking layout from an upper bound would be unsound.
+// Facts are pointer-free (registry indices), so they survive in core's
+// cross-VM module verdict cache.
+func (c *mver) collectFacts() map[int]vm.InstFact {
+	var facts map[int]vm.InstFact
+	put := func(pc int, f vm.InstFact) {
+		if facts == nil {
+			facts = make(map[int]vm.InstFact)
+		}
+		facts[pc] = f
+	}
+	exactIdx := func(v vt, kind vm.TypeKind) uint32 {
+		if v.kind == vm.SKRef && v.exact && !v.null && v.mt != nil && v.mt.Kind == kind {
+			return uint32(v.mt.Index) + 1
+		}
+		return 0
+	}
+	for idx := range c.insts {
+		in := c.insts[idx]
+		st := c.states[idx]
+		if st == nil {
+			continue // unreachable
+		}
+		switch in.op {
+		case vm.OpCallVirt:
+			callee, ok := c.v.MethodByIndex(int(in.arg))
+			if !ok || callee.NArgs < 1 || len(st.stack) < callee.NArgs {
+				continue
+			}
+			if e := exactIdx(st.stack[len(st.stack)-callee.NArgs], vm.TKClass); e != 0 {
+				put(in.pc, vm.InstFact{ExactType: e})
+			}
+		case vm.OpLdFld:
+			if len(st.stack) < 1 {
+				continue
+			}
+			if e := exactIdx(st.stack[len(st.stack)-1], vm.TKClass); e != 0 {
+				put(in.pc, vm.InstFact{ExactType: e})
+			}
+		case vm.OpStFld:
+			if len(st.stack) < 2 {
+				continue
+			}
+			val := st.stack[len(st.stack)-1]
+			if e := exactIdx(st.stack[len(st.stack)-2], vm.TKClass); e != 0 {
+				put(in.pc, vm.InstFact{ExactType: e, StoreChecked: val.kind != vm.SKAny})
+			}
+		case vm.OpLdElem:
+			if len(st.stack) < 2 {
+				continue
+			}
+			if e := exactIdx(st.stack[len(st.stack)-2], vm.TKArray); e != 0 {
+				put(in.pc, vm.InstFact{ExactType: e})
+			}
+		case vm.OpStElem:
+			if len(st.stack) < 3 {
+				continue
+			}
+			val := st.stack[len(st.stack)-1]
+			if e := exactIdx(st.stack[len(st.stack)-3], vm.TKArray); e != 0 {
+				put(in.pc, vm.InstFact{ExactType: e, StoreChecked: val.kind != vm.SKAny})
+			}
+		}
+	}
+	return facts
 }
 
 // maxFrame bounds argument and local counts (u16 operand space).
@@ -466,6 +540,13 @@ func (c *mver) step(idx int, st *state) *Error {
 	case vm.OpCeq:
 		b := c.popAny(st, idx)
 		a := c.popAny(st, idx)
+		// ceq is raw bit equality — identity for references, value
+		// equality for ints. On floats that would make NaN equal itself
+		// and distinguish +0.0 from -0.0, so float operands are
+		// rejected outright rather than silently misbehaving.
+		if a.kind == vm.SKFloat || b.kind == vm.SKFloat {
+			c.fail(idx, "ceq on float operands compares raw bits (NaN, signed zeros); use ceq.f")
+		}
 		if a.kind != vm.SKAny && b.kind != vm.SKAny && a.kind != b.kind {
 			c.fail(idx, "ceq on mismatched operands (%s vs %s)", a, b)
 		}

@@ -1,0 +1,26 @@
+package vm
+
+// InstFact is one pointer-free fact the load-time verifier proved
+// about a single instruction, keyed by bytecode offset in
+// Method.Facts. The quickening pass (quicken.go) consumes these to
+// specialize dispatch: facts carry registry indices rather than
+// *MethodTable / *FieldDesc pointers so the verifier package never
+// depends on interpreter internals and the facts themselves can be
+// cached across VMs (core's module verdict cache).
+type InstFact struct {
+	// ExactType is the registry index + 1 of a type the verifier
+	// proved EXACT (the runtime type, not an upper bound; exactness
+	// flows only from allocation sites). Zero means unknown. Per
+	// opcode it types:
+	//   callvirt       — the receiver (enables direct vtable-slot calls)
+	//   ldfld / stfld  — the receiver (enables baked field descriptors)
+	//   ldelem / stelem — the array (enables baked element layout)
+	ExactType uint32
+
+	// StoreChecked marks stfld/stelem sites where the verifier
+	// statically checked the stored value's category, so the
+	// quickened store may skip the dynamic scalar-into-reference
+	// check. Upper-bound receiver/array types are sound for this
+	// judgment; exactness is not required.
+	StoreChecked bool
+}

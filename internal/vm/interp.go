@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"math"
 	"runtime"
 )
 
@@ -40,6 +41,11 @@ type callFrame struct {
 	locals []Value
 	stack  []Value
 	pc     int
+	// qpc is the resume index into the quickened body when the method
+	// runs on the fast dispatch loop (quickrun.go); pc still tracks
+	// the original bytecode offset at every trap and GC-capable point
+	// so diagnostics and line mapping stay engine-independent.
+	qpc int
 }
 
 func (f *callFrame) visitRoots(visit func(Ref) Ref) {
@@ -79,10 +85,21 @@ func (t *Thread) Call(m *Method, args ...Value) (Value, error) {
 }
 
 func (t *Thread) pushCallFrame(m *Method, args []Value) {
+	t.pushFrameOwned(m, append([]Value(nil), args...))
+}
+
+// pushFrameOwned pushes a frame taking ownership of args (no copy).
+// Verified methods carry MaxStack, so the operand stack can be sized
+// once here and never grow — the quickened loop relies on this to
+// keep pushes allocation-free between safepoints.
+func (t *Thread) pushFrameOwned(m *Method, args []Value) {
 	fr := &callFrame{
 		method: m,
-		args:   append([]Value(nil), args...),
+		args:   args,
 		locals: make([]Value, m.NLocals),
+	}
+	if m.MaxStack > 0 {
+		fr.stack = make([]Value, 0, m.MaxStack)
 	}
 	t.callStack = append(t.callStack, fr)
 }
@@ -134,6 +151,27 @@ func (t *Thread) run(base int) (result Value, err error) {
 	h := t.vm.Heap
 	for len(t.callStack) > base {
 		fr := t.callStack[len(t.callStack)-1]
+		if fr.method.quick != nil {
+			// Quickened method: run the fast loop until the frame
+			// either returns (pop it, propagate the result) or pushes
+			// a managed callee (loop around to dispatch the new top
+			// frame on whichever engine it carries).
+			rv, hasRV, returned, qerr := t.runQuick(fr)
+			if qerr != nil {
+				return Value{}, qerr
+			}
+			if returned {
+				t.callStack = t.callStack[:len(t.callStack)-1]
+				if hasRV {
+					if len(t.callStack) > base {
+						t.callStack[len(t.callStack)-1].push(rv)
+					} else {
+						result = rv
+					}
+				}
+			}
+			continue
+		}
 		code := fr.method.Code
 		if fr.pc >= len(code) {
 			// Fell off the end: treat as void return.
@@ -247,7 +285,7 @@ func (t *Thread) run(base int) (result Value, err error) {
 		case OpConvI2F:
 			fr.push(FloatValue(float64(fr.pop().Int())))
 		case OpConvF2I:
-			fr.push(IntValue(int64(fr.pop().Float())))
+			fr.push(IntValue(convF2I(fr.pop().Float())))
 
 		case OpBr:
 			nextPC += int(int32(binary.LittleEndian.Uint32(code[operandAt:])))
@@ -290,8 +328,14 @@ func (t *Thread) run(base int) (result Value, err error) {
 			if len(t.callStack) >= maxCallDepth {
 				return Value{}, ErrCallDepth
 			}
+			if t.stepBudget != 0 {
+				t.stepBudget--
+				if t.stepBudget == 0 {
+					return Value{}, fr.trap("step budget exhausted", callee.FullName())
+				}
+			}
 			fr.pc = nextPC
-			t.pushCallFrame(callee, args)
+			t.pushFrameOwned(callee, args)
 			t.PollGC()
 			continue
 
@@ -456,7 +500,13 @@ func (t *Thread) run(base int) (result Value, err error) {
 		}
 
 		if nextPC < fr.pc {
-			// Backward branch: GC poll point.
+			// Backward branch: GC poll point (and step-budget charge).
+			if t.stepBudget != 0 {
+				t.stepBudget--
+				if t.stepBudget == 0 {
+					return Value{}, fr.trap("step budget exhausted", "backward branch")
+				}
+			}
 			fr.pc = nextPC
 			t.PollGC()
 		} else {
@@ -491,3 +541,21 @@ func storeBits(k Kind, v Value) uint64 {
 }
 
 func u16(code []byte, at int) uint16 { return binary.LittleEndian.Uint16(code[at:]) }
+
+// convF2I converts float64 to int64 with saturating, platform-
+// independent semantics: NaN -> 0, out-of-range values clamp to
+// MinInt64/MaxInt64. Go's int64(f) is implementation-defined for those
+// inputs (amd64 and arm64 disagree), which would break the bit-identical
+// cross-rank results the deterministic arithmetic contract requires.
+func convF2I(f float64) int64 {
+	switch {
+	case math.IsNaN(f):
+		return 0
+	case f >= 9223372036854775808.0: // 2^63
+		return math.MaxInt64
+	case f < -9223372036854775808.0: // -2^63
+		return math.MinInt64
+	default:
+		return int64(f)
+	}
+}

@@ -99,10 +99,23 @@ type Method struct {
 	Verified          bool
 	TransportVerified bool
 
+	// Facts holds per-instruction verifier facts (exact receiver
+	// types, statically checked stores), keyed by bytecode offset.
+	// Populated by bcverify on success; consumed by the quickening
+	// pass. Nil for unverified methods.
+	Facts map[int]InstFact
+
+	// quick is the quickened body compiled by VM.QuickenMethod, or nil
+	// when the method runs on the baseline switch dispatch.
+	quick *quickBody
+
 	// Index is the method's position in the assembly's method list,
 	// the operand space of call instructions.
 	Index int
 }
+
+// Quickened reports whether the method carries a quickened body.
+func (m *Method) Quickened() bool { return m.quick != nil }
 
 // LineEntry associates the instruction at PC (and all following
 // instructions up to the next entry) with a 1-based source line.

@@ -302,8 +302,10 @@ var effectTable = [opCount]Effect{
 	OpDivF: {Pop: effFltFlt, Push: []StackKind{SKFloat}},
 	OpNegF: {Pop: []StackKind{SKFloat}, Push: []StackKind{SKFloat}},
 
-	// ceq compares raw bits: both operands must be of one category,
-	// checked by the verifier (ints with ints, refs with refs, ...).
+	// ceq compares raw bits — identity for refs, equality for ints. The
+	// verifier requires both operands in one category and rejects float
+	// operands outright (bit equality would make NaN==NaN true and
+	// +0.0==-0.0 false; guests must use ceq.f).
 	OpCeq:  {Pop: effAnyAny, Push: []StackKind{SKInt}},
 	OpClt:  {Pop: effIntInt, Push: []StackKind{SKInt}},
 	OpCgt:  {Pop: effIntInt, Push: []StackKind{SKInt}},

@@ -1,0 +1,489 @@
+package vm
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Load-time quickening (ROADMAP item 2). The bytecode verifier already
+// proves, per instruction, operand stack kinds, exact receiver classes
+// and checked stores. This pass spends those proofs once at load time:
+// verified methods are rewritten into a pre-decoded internal form —
+// wide instructions with resolved operands, fused superinstructions
+// for hot pairs, direct calls where the receiver class is exact, and
+// inline caches elsewhere — executed by the second dispatch loop in
+// quickrun.go. Baseline semantics in interp.go remain the reference:
+// the quickened form must produce identical results, traps (kind,
+// detail, method, pc) and GC-poll placement, a property enforced by
+// the differential suite in quicken_diff_test.go.
+//
+// Soundness note: non-exact static ref types from the verifier are
+// upper bounds only and are NOT trusted for layout decisions; baked
+// field descriptors, baked array layouts and devirtualized calls
+// require an exact type fact (Method.Facts), which flows only from
+// allocation sites. Everything else keeps the baseline's dynamic
+// method-table consultation.
+
+// quickBody is a method's quickened instruction stream. Branch targets
+// are indices into insts; every qinst records the bytecode offset(s)
+// of the source instruction(s) it covers so traps map back through
+// Method.Lines exactly as baseline dispatch does.
+type quickBody struct {
+	insts []qinst
+}
+
+// qOp enumerates quickened operations. The set mirrors Op plus fused
+// superinstructions (qCmpBr, qIncLoc, qLdLocFld*, qLdArgCall) and
+// specialized forms (qCallExact, qLdFldD/qStFldD, qLdElemK/qStElemK)
+// that bake verifier-proven exact-type facts.
+type qOp uint8
+
+const (
+	qNop qOp = iota
+	qLdc     // push Value{Bits: imm}
+	qLdNull
+
+	qLdLoc // a = slot
+	qStLoc
+	qLdArg
+	qStArg
+
+	qDup
+	qPop
+
+	qAdd
+	qSub
+	qMul
+	qDiv
+	qRem
+	qAnd
+	qOr
+	qXor
+	qShl
+	qShr
+	qNeg
+	qNot
+
+	qAddF
+	qSubF
+	qMulF
+	qDivF
+	qNegF
+
+	qCeq
+	qClt
+	qCgt
+	qCeqF
+	qCltF
+	qCgtF
+
+	qConvI2F
+	qConvF2I
+
+	qBr      // t = target index
+	qBrTrue  // t = target index
+	qBrFalse // t = target index
+	qCmpBr   // fused compare+branch: a = selector, b = branch-on-true, t = target
+	qIncLoc  // fused ldloc a; ldc.i4 imm; add; stloc a
+
+	qCall      // m = callee
+	qLdArgCall // fused ldarg a; call m
+	qCallExact // devirtualized callvirt: m = proven implementation
+	qCallVirt  // m = statically named method; cmt/cimpl inline cache
+	qIntern    // a = internal index (resolved per dispatch; registry may be re-pointed)
+
+	qRet
+	qRetVal
+
+	qNewObj // mt = class
+	qNewArr // mt = array type
+	qNewMD  // mt = multidim array type (rank from mt)
+
+	qLdLen
+	qLdElem  // dynamic: element kind from the receiver's method table
+	qLdElemK // mt = exact array type (layout baked)
+	qStElem  // dynamic; full store checks
+	qStElemK // mt = exact array type; b = 1 when the store is verifier-checked
+	qLdFld   // dynamic: a = field slot
+	qLdFldD  // fld = baked descriptor (exact receiver)
+	qLdLocFld  // fused ldloc a; ldfld b (dynamic)
+	qLdLocFldD // fused ldloc a; ldfld with baked fld
+	qStFld   // dynamic: a = field slot
+	qStFldD  // fld = baked descriptor; b = 1 when the store is verifier-checked
+	qLdSFld  // a = global index
+	qStSFld
+)
+
+// qinst is one pre-decoded quickened instruction. It is deliberately
+// wide: operand decoding, registry lookups and branch-target
+// resolution all happen once at quicken time.
+type qinst struct {
+	op   qOp
+	a, b int32 // small operands: slots, selectors, flags
+	t    int32 // branch target (index into insts after fixup)
+	// pc is the bytecode offset of the source instruction (the fusion
+	// head for superinstructions); pc2 is the offset of the fused
+	// second instruction. Traps raised by a fused component report the
+	// component's own offset so LineForPC attributes the original masm
+	// line, not the fusion head's.
+	pc, pc2 int32
+	imm     uint64 // immediate constant bits
+	back    bool   // branch whose target precedes it: GC poll + step charge
+
+	m   *Method
+	mt  *MethodTable
+	fld *FieldDesc
+
+	// Inline monomorphic cache for qCallVirt: the last receiver type
+	// and its resolved implementation. Mutated during execution; safe
+	// because the VM's execution token serializes managed dispatch.
+	cmt   *MethodTable
+	cimpl *Method
+}
+
+// QuickenInfo summarizes one method's quickening for stats.
+type QuickenInfo struct {
+	In       int // source instructions decoded
+	Out      int // quickened instructions emitted
+	Fused    int // superinstructions formed
+	Devirted int // callvirt sites bound to an exact implementation
+}
+
+// rawInst is the decode-pass view of one bytecode instruction.
+type rawInst struct {
+	pc   int
+	op   Op
+	arg  int    // u16 operand, or absolute branch-target pc
+	imm  uint64 // i32 (sign-extended) / i64 / r8 immediate bits
+	size int
+}
+
+// QuickenMethod compiles a verified method's bytecode into quickened
+// form and installs it, so subsequent activations dispatch through the
+// fast loop. Unverified methods are rejected: quickening trusts the
+// verifier's stack-shape and exact-type proofs. On any error the
+// method is left unquickened (baseline dispatch remains correct).
+func (v *VM) QuickenMethod(m *Method) (QuickenInfo, error) {
+	if !m.Verified {
+		return QuickenInfo{}, fmt.Errorf("vm: quicken %s: method not verified", m.FullName())
+	}
+	code := m.Code
+
+	// Pass 1: decode, collect branch-target offsets.
+	var raw []rawInst
+	targets := make(map[int]bool)
+	for pc := 0; pc < len(code); {
+		op := Op(code[pc])
+		if !op.Valid() {
+			return QuickenInfo{}, fmt.Errorf("vm: quicken %s: bad opcode %d at pc=%d", m.FullName(), op, pc)
+		}
+		size := 1 + op.operandBytes()
+		if pc+size > len(code) {
+			return QuickenInfo{}, fmt.Errorf("vm: quicken %s: truncated operand at pc=%d", m.FullName(), pc)
+		}
+		ri := rawInst{pc: pc, op: op, size: size}
+		switch opTable[op].width {
+		case wU16:
+			ri.arg = int(u16(code, pc+1))
+		case wI32:
+			v32 := int32(binary.LittleEndian.Uint32(code[pc+1:]))
+			if op == OpLdcI4 {
+				ri.imm = uint64(int64(v32))
+			} else {
+				ri.arg = pc + size + int(v32) // absolute target
+			}
+		case wI64:
+			ri.imm = binary.LittleEndian.Uint64(code[pc+1:])
+		}
+		if op.Effect().Branch {
+			if ri.arg < 0 || ri.arg > len(code) {
+				return QuickenInfo{}, fmt.Errorf("vm: quicken %s: branch target %d out of range at pc=%d", m.FullName(), ri.arg, pc)
+			}
+			targets[ri.arg] = true
+		}
+		raw = append(raw, ri)
+		pc += size
+	}
+
+	// factExact resolves an exact-type fact at a bytecode offset.
+	factExact := func(pc int) *MethodTable {
+		f, ok := m.Facts[pc]
+		if !ok || f.ExactType == 0 {
+			return nil
+		}
+		mt, ok := v.TypeByIndex(int(f.ExactType) - 1)
+		if !ok {
+			return nil
+		}
+		return mt
+	}
+	storeChecked := func(pc int) int32 {
+		if m.Facts[pc].StoreChecked {
+			return 1
+		}
+		return 0
+	}
+	// A raw instruction may be absorbed into a superinstruction only if
+	// no branch lands on it (its offset would have no quickened index).
+	free := func(j int) bool { return j < len(raw) && !targets[raw[j].pc] }
+
+	// Pass 2: emit, fusing where legal.
+	info := QuickenInfo{In: len(raw)}
+	insts := make([]qinst, 0, len(raw))
+	pcToQ := make(map[int]int, len(raw))
+	for i := 0; i < len(raw); {
+		r := raw[i]
+		pcToQ[r.pc] = len(insts)
+
+		// ldloc X; ldc.i4 K; add; stloc X  →  qIncLoc
+		if r.op == OpLdLoc && i+3 < len(raw) &&
+			free(i+1) && free(i+2) && free(i+3) &&
+			raw[i+1].op == OpLdcI4 && raw[i+2].op == OpAdd &&
+			raw[i+3].op == OpStLoc && raw[i+3].arg == r.arg {
+			insts = append(insts, qinst{op: qIncLoc, a: int32(r.arg), imm: raw[i+1].imm, pc: int32(r.pc)})
+			info.Fused++
+			i += 4
+			continue
+		}
+		// compare; brtrue/brfalse  →  qCmpBr
+		if sel, isCmp := cmpSelector(r.op); isCmp && free(i+1) &&
+			(raw[i+1].op == OpBrTrue || raw[i+1].op == OpBrFalse) {
+			sense := int32(0)
+			if raw[i+1].op == OpBrTrue {
+				sense = 1
+			}
+			insts = append(insts, qinst{
+				op: qCmpBr, a: sel, b: sense, t: int32(raw[i+1].arg),
+				pc: int32(r.pc), pc2: int32(raw[i+1].pc),
+			})
+			info.Fused++
+			i += 2
+			continue
+		}
+		// ldloc X; ldfld slot  →  qLdLocFld[D]
+		if r.op == OpLdLoc && free(i+1) && raw[i+1].op == OpLdFld {
+			slot := raw[i+1].arg
+			fpc := raw[i+1].pc
+			q := qinst{op: qLdLocFld, a: int32(r.arg), b: int32(slot), pc: int32(r.pc), pc2: int32(fpc)}
+			if mt := factExact(fpc); mt != nil && mt.Kind == TKClass && slot < len(mt.Fields) {
+				q.op = qLdLocFldD
+				q.fld = &mt.Fields[slot]
+			}
+			insts = append(insts, q)
+			info.Fused++
+			i += 2
+			continue
+		}
+		// ldarg X; call M  →  qLdArgCall
+		if r.op == OpLdArg && free(i+1) && raw[i+1].op == OpCall {
+			if callee, ok := v.MethodByIndex(raw[i+1].arg); ok && callee.NArgs >= 1 {
+				insts = append(insts, qinst{
+					op: qLdArgCall, a: int32(r.arg), m: callee,
+					pc: int32(r.pc), pc2: int32(raw[i+1].pc),
+				})
+				info.Fused++
+				i += 2
+				continue
+			}
+		}
+
+		q := qinst{pc: int32(r.pc)}
+		switch r.op {
+		case OpNop:
+			q.op = qNop
+		case OpLdcI4, OpLdcI8, OpLdcR8:
+			q.op, q.imm = qLdc, r.imm
+		case OpLdNull:
+			q.op = qLdNull
+		case OpLdLoc:
+			q.op, q.a = qLdLoc, int32(r.arg)
+		case OpStLoc:
+			q.op, q.a = qStLoc, int32(r.arg)
+		case OpLdArg:
+			q.op, q.a = qLdArg, int32(r.arg)
+		case OpStArg:
+			q.op, q.a = qStArg, int32(r.arg)
+		case OpDup:
+			q.op = qDup
+		case OpPop:
+			q.op = qPop
+		case OpAdd:
+			q.op = qAdd
+		case OpSub:
+			q.op = qSub
+		case OpMul:
+			q.op = qMul
+		case OpDiv:
+			q.op = qDiv
+		case OpRem:
+			q.op = qRem
+		case OpAnd:
+			q.op = qAnd
+		case OpOr:
+			q.op = qOr
+		case OpXor:
+			q.op = qXor
+		case OpShl:
+			q.op = qShl
+		case OpShr:
+			q.op = qShr
+		case OpNeg:
+			q.op = qNeg
+		case OpNot:
+			q.op = qNot
+		case OpAddF:
+			q.op = qAddF
+		case OpSubF:
+			q.op = qSubF
+		case OpMulF:
+			q.op = qMulF
+		case OpDivF:
+			q.op = qDivF
+		case OpNegF:
+			q.op = qNegF
+		case OpCeq:
+			q.op = qCeq
+		case OpClt:
+			q.op = qClt
+		case OpCgt:
+			q.op = qCgt
+		case OpCeqF:
+			q.op = qCeqF
+		case OpCltF:
+			q.op = qCltF
+		case OpCgtF:
+			q.op = qCgtF
+		case OpConvI2F:
+			q.op = qConvI2F
+		case OpConvF2I:
+			q.op = qConvF2I
+		case OpBr:
+			q.op, q.t = qBr, int32(r.arg)
+		case OpBrTrue:
+			q.op, q.t = qBrTrue, int32(r.arg)
+		case OpBrFalse:
+			q.op, q.t = qBrFalse, int32(r.arg)
+		case OpCall, OpCallVirt:
+			callee, ok := v.MethodByIndex(r.arg)
+			if !ok {
+				return QuickenInfo{}, fmt.Errorf("vm: quicken %s: bad method index %d at pc=%d", m.FullName(), r.arg, r.pc)
+			}
+			q.op, q.m = qCall, callee
+			if r.op == OpCallVirt {
+				q.op = qCallVirt
+				if mt := factExact(r.pc); mt != nil && callee.Virtual && callee.Owner != nil {
+					if impl := lookupVSlot(mt, callee.VSlot); impl != nil {
+						q.op, q.m = qCallExact, impl
+						info.Devirted++
+					}
+				}
+			}
+		case OpIntern:
+			if _, ok := v.InternalByIndex(r.arg); !ok {
+				return QuickenInfo{}, fmt.Errorf("vm: quicken %s: bad internal index %d at pc=%d", m.FullName(), r.arg, r.pc)
+			}
+			q.op, q.a = qIntern, int32(r.arg)
+		case OpRet:
+			q.op = qRet
+		case OpRetVal:
+			q.op = qRetVal
+		case OpNewObj, OpNewArr, OpNewMD:
+			mt, ok := v.TypeByIndex(r.arg)
+			if !ok {
+				return QuickenInfo{}, fmt.Errorf("vm: quicken %s: bad type index %d at pc=%d", m.FullName(), r.arg, r.pc)
+			}
+			switch {
+			case r.op == OpNewObj && mt.Kind == TKClass:
+				q.op = qNewObj
+			case r.op == OpNewArr && mt.Kind == TKArray:
+				q.op = qNewArr
+			case r.op == OpNewMD && mt.Kind == TKArray && mt.Rank >= 2:
+				q.op = qNewMD
+			default:
+				return QuickenInfo{}, fmt.Errorf("vm: quicken %s: type %s unfit for %s at pc=%d", m.FullName(), mt, r.op.Name(), r.pc)
+			}
+			q.mt = mt
+		case OpLdLen:
+			q.op = qLdLen
+		case OpLdElem:
+			q.op = qLdElem
+			if mt := factExact(r.pc); mt != nil && mt.Kind == TKArray {
+				q.op, q.mt = qLdElemK, mt
+			}
+		case OpStElem:
+			q.op = qStElem
+			if mt := factExact(r.pc); mt != nil && mt.Kind == TKArray {
+				q.op, q.mt, q.b = qStElemK, mt, storeChecked(r.pc)
+			}
+		case OpLdFld:
+			q.op, q.a = qLdFld, int32(r.arg)
+			if mt := factExact(r.pc); mt != nil && mt.Kind == TKClass && r.arg < len(mt.Fields) {
+				q.op, q.fld = qLdFldD, &mt.Fields[r.arg]
+			}
+		case OpStFld:
+			q.op, q.a = qStFld, int32(r.arg)
+			if mt := factExact(r.pc); mt != nil && mt.Kind == TKClass && r.arg < len(mt.Fields) {
+				q.op, q.fld, q.b = qStFldD, &mt.Fields[r.arg], storeChecked(r.pc)
+			}
+		case OpLdSFld:
+			q.op, q.a = qLdSFld, int32(r.arg)
+		case OpStSFld:
+			q.op, q.a = qStSFld, int32(r.arg)
+		default:
+			return QuickenInfo{}, fmt.Errorf("vm: quicken %s: unhandled opcode %s at pc=%d", m.FullName(), r.op.Name(), r.pc)
+		}
+		insts = append(insts, q)
+		i++
+	}
+
+	// Pass 3: branch fixup — targets become quickened indices, and
+	// backward branches (the GC poll / step-charge points) are marked
+	// using original bytecode offsets, so poll placement matches the
+	// baseline loop's nextPC < pc test exactly.
+	for idx := range insts {
+		q := &insts[idx]
+		switch q.op {
+		case qBr, qBrTrue, qBrFalse, qCmpBr:
+			tpc := int(q.t)
+			bpc := int(q.pc)
+			if q.op == qCmpBr {
+				bpc = int(q.pc2)
+			}
+			q.back = tpc < bpc
+			if tpc == len(code) {
+				q.t = int32(len(insts)) // falls off the end: void return
+			} else if qi, ok := pcToQ[tpc]; ok {
+				q.t = int32(qi)
+			} else {
+				return QuickenInfo{}, fmt.Errorf("vm: quicken %s: branch into fused instruction at pc=%d", m.FullName(), tpc)
+			}
+		}
+	}
+
+	info.Out = len(insts)
+	m.quick = &quickBody{insts: insts}
+	return info, nil
+}
+
+// Unquicken removes a method's quickened body, restoring baseline
+// dispatch (the -noquicken escape hatch and tests use this).
+func (m *Method) Unquicken() { m.quick = nil }
+
+// cmpSelector maps a comparison opcode to the qCmpBr selector.
+func cmpSelector(op Op) (int32, bool) {
+	switch op {
+	case OpCeq:
+		return 0, true
+	case OpClt:
+		return 1, true
+	case OpCgt:
+		return 2, true
+	case OpCeqF:
+		return 3, true
+	case OpCltF:
+		return 4, true
+	case OpCgtF:
+		return 5, true
+	}
+	return 0, false
+}

@@ -1,0 +1,296 @@
+package vm
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+// Differential property suite: quickened and baseline dispatch must be
+// observably indistinguishable — same return value, same stdout, and
+// on failure the same trap (kind, detail, method, pc) — over randomly
+// generated programs. Each seed builds the SAME program on two fresh
+// VMs with identical registration and allocation histories (so even
+// trap details that embed heap addresses must match), quickens one,
+// and compares everything.
+//
+// The generator emits structured, stack-balanced code on purpose:
+// statements are stack-neutral, expressions push exactly one value.
+// Traps still arise naturally — division by zero, out-of-bounds
+// element access, field access on a non-object, null dereference —
+// and runaway loops (a random store can clobber a loop counter) are
+// cut by the step budget, whose exhaustion must also match exactly.
+
+const (
+	diffLocals   = 6 // 0-2 scratch ints, 3 ref slot, 4-5 loop counters
+	diffArgs     = 2
+	diffBudget   = 50_000
+	diffPrograms = 150
+)
+
+type diffGen struct {
+	rng    *rand.Rand
+	b      *CodeBuilder
+	v      *VM
+	pt     *MethodTable // Point class (scalar fields)
+	at     *MethodTable // int64[]
+	hadd   *Method
+	hdiv   *Method
+	labels int
+	loops  int
+}
+
+func (g *diffGen) label() string {
+	g.labels++
+	return "L" + string(rune('a'+g.labels/26)) + string(rune('a'+g.labels%26))
+}
+
+// expr emits code pushing exactly one value.
+func (g *diffGen) expr(depth int) {
+	c := g.rng.Intn(10)
+	if depth <= 0 && c >= 3 {
+		c = g.rng.Intn(3)
+	}
+	switch c {
+	case 0:
+		// Constants skew small; zero stays common enough to exercise
+		// division traps.
+		g.b.LdcI4(int32(g.rng.Intn(7) - 2))
+	case 1:
+		g.b.LdLoc(g.rng.Intn(3))
+	case 2:
+		g.b.LdArg(g.rng.Intn(diffArgs))
+	case 3:
+		g.expr(depth - 1)
+		g.b.Op([]Op{OpNeg, OpNot, OpConvI2F, OpConvF2I}[g.rng.Intn(4)])
+	case 4, 5, 6:
+		g.expr(depth - 1)
+		g.expr(depth - 1)
+		g.b.Op([]Op{OpAdd, OpSub, OpMul, OpAnd, OpOr, OpXor, OpShl, OpShr,
+			OpClt, OpCgt, OpCeq, OpDiv, OpRem}[g.rng.Intn(13)])
+	case 7:
+		// Float excursion: convert, operate, compare or convert back.
+		g.expr(depth - 1)
+		g.b.Op(OpConvI2F)
+		g.expr(depth - 1)
+		g.b.Op(OpConvI2F)
+		op := []Op{OpAddF, OpSubF, OpMulF, OpDivF, OpCltF, OpCgtF, OpCeqF}[g.rng.Intn(7)]
+		g.b.Op(op)
+		if op == OpAddF || op == OpSubF || op == OpMulF || op == OpDivF {
+			g.b.Op(OpConvF2I)
+		}
+	case 8:
+		g.expr(depth - 1)
+		g.expr(depth - 1)
+		if g.rng.Intn(2) == 0 {
+			g.b.Call(g.hadd)
+		} else {
+			g.b.Call(g.hdiv)
+		}
+	case 9:
+		// dup/pop noise around a real expression, still net +1.
+		g.expr(depth - 1)
+		g.b.Op(OpDup)
+		g.b.Op(OpPop)
+	}
+}
+
+// stmt emits stack-neutral code.
+func (g *diffGen) stmt(depth int) {
+	c := g.rng.Intn(10)
+	if depth <= 0 && c >= 6 {
+		c = g.rng.Intn(6)
+	}
+	switch c {
+	case 0, 1:
+		g.expr(3)
+		g.b.StLoc(g.rng.Intn(3))
+	case 2:
+		g.expr(2)
+		g.b.InternName(g.v, "console.writei")
+	case 3:
+		// Fusable increment on a scratch local.
+		l := g.rng.Intn(3)
+		g.b.LdLoc(l).LdcI4(int32(g.rng.Intn(5) + 1)).Op(OpAdd).StLoc(l)
+	case 4:
+		// Array or object into the ref slot.
+		if g.rng.Intn(2) == 0 {
+			g.b.LdcI4(int32(g.rng.Intn(5))).NewArr(g.at).StLoc(3)
+		} else {
+			g.b.NewObj(g.pt).StLoc(3)
+		}
+	case 5:
+		// Touch the ref slot: element or field traffic. Whatever local 3
+		// currently holds (array, object, scalar, null) both engines
+		// must agree on the outcome.
+		switch g.rng.Intn(4) {
+		case 0:
+			g.b.LdLoc(3)
+			g.b.LdcI4(int32(g.rng.Intn(6) - 1)) // sometimes out of bounds
+			g.expr(1)
+			g.b.Op(OpStElem)
+		case 1:
+			g.b.LdLoc(3).LdcI4(int32(g.rng.Intn(6) - 1)).Op(OpLdElem)
+			g.b.InternName(g.v, "console.writei")
+		case 2:
+			g.b.LdLoc(3)
+			g.expr(1)
+			g.b.StFld(g.pt, "x")
+		case 3:
+			g.b.LdLoc(3).LdFld(g.pt, "tag")
+			g.b.InternName(g.v, "console.writei")
+		}
+	case 6, 7:
+		// if/else
+		elseL, endL := g.label(), g.label()
+		g.expr(2)
+		g.b.BrFalse(elseL)
+		g.stmt(depth - 1)
+		g.b.Br(endL)
+		g.b.Label(elseL)
+		g.stmt(depth - 1)
+		g.b.Label(endL)
+	case 8, 9:
+		// Bounded loop on a dedicated counter (4 or 5). A nested random
+		// store can still clobber it; the step budget breaks the tie.
+		cnt := 4 + g.loops%2
+		g.loops++
+		topL := g.label()
+		g.b.LdcI4(0).StLoc(cnt)
+		g.b.Label(topL)
+		g.stmt(depth - 1)
+		g.b.LdLoc(cnt).LdcI4(1).Op(OpAdd).StLoc(cnt)
+		g.b.LdLoc(cnt).LdcI4(int32(g.rng.Intn(4) + 2)).Op(OpClt).BrTrue(topL)
+	}
+}
+
+// diffVM builds one side of the comparison: a fresh VM with the fixed
+// registration order and the seed-determined method. The returned
+// helpers are the callee pool (for quickening them too).
+func diffVM(seed int64, out *bytes.Buffer) (*VM, *Method, []*Method) {
+	v := New(Config{Name: "diff", Stdout: out,
+		Heap: HeapConfig{YoungSize: 64 << 10, InitialElder: 256 << 10, ArenaMax: 32 << 20}})
+	pt := pointClass(v)
+	hadd := v.AddMethod(nil, NewCodeBuilder().
+		LdArg(0).LdArg(1).Op(OpAdd).RetVal().Build("hadd", 2, 0, true))
+	hadd.Verified = true
+	hdiv := v.AddMethod(nil, NewCodeBuilder().
+		LdArg(0).LdArg(1).Op(OpDiv).RetVal().Build("hdiv", 2, 0, true))
+	hdiv.Verified = true
+
+	g := &diffGen{
+		rng: rand.New(rand.NewSource(seed)),
+		b:   NewCodeBuilder(), v: v, pt: pt,
+		at: v.ArrayType(KindInt64, nil, 1), hadd: hadd, hdiv: hdiv,
+	}
+	n := 4 + g.rng.Intn(6)
+	for i := 0; i < n; i++ {
+		g.b.MarkLine(i + 1)
+		g.stmt(2)
+	}
+	g.b.LdLoc(0).RetVal()
+	m := v.AddMethod(nil, g.b.Build("prog", diffArgs, diffLocals, true))
+	m.Verified = true
+	return v, m, []*Method{hadd, hdiv}
+}
+
+type diffOutcome struct {
+	val  Value
+	err  error
+	out  string
+	line int // masm line of the trap, if any
+}
+
+func runDiff(t *testing.T, seed int64, quicken bool, helpersToo bool) diffOutcome {
+	t.Helper()
+	var buf bytes.Buffer
+	v, m, helpers := diffVM(seed, &buf)
+	if quicken {
+		if _, err := v.QuickenMethod(m); err != nil {
+			t.Fatalf("seed %d: quicken: %v", seed, err)
+		}
+	}
+	if helpersToo {
+		for _, hm := range helpers {
+			if _, err := v.QuickenMethod(hm); err != nil {
+				t.Fatalf("seed %d: quicken %s: %v", seed, hm.Name, err)
+			}
+		}
+	}
+	o := diffOutcome{}
+	v.WithThread("t", func(th *Thread) {
+		th.SetStepBudget(diffBudget)
+		o.val, o.err = th.Call(m, IntValue(7), IntValue(-3))
+	})
+	o.out = buf.String()
+	var trap *Trap
+	if errors.As(o.err, &trap) {
+		o.line = m.LineForPC(trap.PC)
+	}
+	return o
+}
+
+func compareOutcomes(t *testing.T, seed int64, q, b diffOutcome, qname, bname string) {
+	t.Helper()
+	if q.val != b.val {
+		t.Errorf("seed %d: %s value %+v, %s value %+v", seed, qname, q.val, bname, b.val)
+	}
+	if q.out != b.out {
+		t.Errorf("seed %d: %s stdout %q, %s stdout %q", seed, qname, q.out, bname, b.out)
+	}
+	if q.line != b.line {
+		t.Errorf("seed %d: trap line %d vs %d", seed, q.line, b.line)
+	}
+	compareErrs(t, qname, q.err, b.err)
+}
+
+// TestQuickenDifferential is the core property: for every seed, the
+// quickened engine and the baseline engine agree bit-for-bit on value,
+// stdout, trap identity and trap line attribution.
+func TestQuickenDifferential(t *testing.T) {
+	trapped := 0
+	for seed := int64(0); seed < diffPrograms; seed++ {
+		q := runDiff(t, seed, true, false)
+		b := runDiff(t, seed, false, false)
+		compareOutcomes(t, seed, q, b, "quickened", "baseline")
+		if q.err != nil {
+			trapped++
+		}
+		if t.Failed() {
+			t.Fatalf("seed %d diverged", seed)
+		}
+	}
+	// The generator must actually exercise the trap paths; a suite
+	// where nothing ever traps proves much less.
+	if trapped == 0 || trapped == diffPrograms {
+		t.Fatalf("degenerate corpus: %d/%d programs trapped", trapped, diffPrograms)
+	}
+	t.Logf("%d/%d programs trapped (both engines identically)", trapped, diffPrograms)
+}
+
+// TestQuickenDifferentialMixed re-runs the corpus with helper callees
+// also quickened (quick→quick calls) against fully-baseline execution.
+func TestQuickenDifferentialMixed(t *testing.T) {
+	for seed := int64(0); seed < diffPrograms/3; seed++ {
+		q := runDiff(t, seed, true, true)
+		b := runDiff(t, seed, false, false)
+		compareOutcomes(t, seed, q, b, "all-quickened", "baseline")
+		if t.Failed() {
+			t.Fatalf("seed %d diverged", seed)
+		}
+	}
+}
+
+// TestQuickenDeterministic: the same seed must produce identical code
+// bytes on two fresh VMs — the two-VM comparison above depends on it.
+func TestQuickenDeterministic(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		var b1, b2 bytes.Buffer
+		_, m1, _ := diffVM(seed, &b1)
+		_, m2, _ := diffVM(seed, &b2)
+		if !bytes.Equal(m1.Code, m2.Code) {
+			t.Fatalf("seed %d: generator is not deterministic", seed)
+		}
+	}
+}

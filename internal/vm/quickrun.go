@@ -1,0 +1,546 @@
+package vm
+
+import "fmt"
+
+// The quickened dispatch loop. runQuick executes one frame's quickened
+// body; run() (interp.go) remains the driver, so mixed stacks — a
+// quickened caller invoking a baseline callee or vice versa — work
+// frame by frame. Semantics must match interp.go observably: results,
+// traps (kind, detail, method, pc), GC-poll placement and step-budget
+// charges are bit-identical, which the differential suite asserts.
+//
+// Safepoint discipline: the loop caches fr.stack in a local (pushes
+// stay allocation-free thanks to the MaxStack preallocation) and
+// writes it back before every GC-capable point — managed calls,
+// FCalls, allocations, backward-branch polls — so collections always
+// see the frame's true root set. locals/args are mutated in place and
+// never reallocated, so they need no writeback. fr.pc is committed
+// before any operation that can raise a trap out of line (bounds
+// panics, allocation failure), keeping trap attribution exact.
+
+// runQuick executes fr until it returns, pushes a managed callee, or
+// traps. Return contract: (rv, hasRV, returned, err) — when returned,
+// run() pops the frame and propagates rv; when not returned and err is
+// nil, a callee frame was pushed and fr resumes later at fr.qpc.
+func (t *Thread) runQuick(fr *callFrame) (Value, bool, bool, error) {
+	insts := fr.method.quick.insts
+	h := t.vm.Heap
+	stack := fr.stack
+	locals := fr.locals
+	args := fr.args
+	qpc := fr.qpc
+
+	for qpc < len(insts) {
+		q := &insts[qpc]
+		switch q.op {
+		case qNop:
+
+		case qLdc:
+			stack = append(stack, Value{Bits: q.imm})
+		case qLdNull:
+			stack = append(stack, Value{IsRef: true})
+
+		case qLdLoc:
+			stack = append(stack, locals[q.a])
+		case qStLoc:
+			locals[q.a] = stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+		case qLdArg:
+			stack = append(stack, args[q.a])
+		case qStArg:
+			args[q.a] = stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+
+		case qDup:
+			stack = append(stack, stack[len(stack)-1])
+		case qPop:
+			stack = stack[:len(stack)-1]
+
+		case qAdd:
+			n := len(stack)
+			stack[n-2] = IntValue(stack[n-2].Int() + stack[n-1].Int())
+			stack = stack[:n-1]
+		case qSub:
+			n := len(stack)
+			stack[n-2] = IntValue(stack[n-2].Int() - stack[n-1].Int())
+			stack = stack[:n-1]
+		case qMul:
+			n := len(stack)
+			stack[n-2] = IntValue(stack[n-2].Int() * stack[n-1].Int())
+			stack = stack[:n-1]
+		case qDiv:
+			n := len(stack)
+			b := stack[n-1].Int()
+			if b == 0 {
+				fr.stack = stack[:n-2]
+				fr.pc = int(q.pc)
+				return Value{}, false, false, fr.trap("division by zero", "div")
+			}
+			stack[n-2] = IntValue(stack[n-2].Int() / b)
+			stack = stack[:n-1]
+		case qRem:
+			n := len(stack)
+			b := stack[n-1].Int()
+			if b == 0 {
+				fr.stack = stack[:n-2]
+				fr.pc = int(q.pc)
+				return Value{}, false, false, fr.trap("division by zero", "rem")
+			}
+			stack[n-2] = IntValue(stack[n-2].Int() % b)
+			stack = stack[:n-1]
+		case qAnd:
+			n := len(stack)
+			stack[n-2] = IntValue(stack[n-2].Int() & stack[n-1].Int())
+			stack = stack[:n-1]
+		case qOr:
+			n := len(stack)
+			stack[n-2] = IntValue(stack[n-2].Int() | stack[n-1].Int())
+			stack = stack[:n-1]
+		case qXor:
+			n := len(stack)
+			stack[n-2] = IntValue(stack[n-2].Int() ^ stack[n-1].Int())
+			stack = stack[:n-1]
+		case qShl:
+			n := len(stack)
+			stack[n-2] = IntValue(stack[n-2].Int() << (uint64(stack[n-1].Int()) & 63))
+			stack = stack[:n-1]
+		case qShr:
+			n := len(stack)
+			stack[n-2] = IntValue(stack[n-2].Int() >> (uint64(stack[n-1].Int()) & 63))
+			stack = stack[:n-1]
+		case qNeg:
+			n := len(stack)
+			stack[n-1] = IntValue(-stack[n-1].Int())
+		case qNot:
+			n := len(stack)
+			stack[n-1] = IntValue(^stack[n-1].Int())
+
+		case qAddF:
+			n := len(stack)
+			stack[n-2] = FloatValue(stack[n-2].Float() + stack[n-1].Float())
+			stack = stack[:n-1]
+		case qSubF:
+			n := len(stack)
+			stack[n-2] = FloatValue(stack[n-2].Float() - stack[n-1].Float())
+			stack = stack[:n-1]
+		case qMulF:
+			n := len(stack)
+			stack[n-2] = FloatValue(stack[n-2].Float() * stack[n-1].Float())
+			stack = stack[:n-1]
+		case qDivF:
+			n := len(stack)
+			stack[n-2] = FloatValue(stack[n-2].Float() / stack[n-1].Float())
+			stack = stack[:n-1]
+		case qNegF:
+			n := len(stack)
+			stack[n-1] = FloatValue(-stack[n-1].Float())
+
+		case qCeq:
+			n := len(stack)
+			stack[n-2] = BoolValue(stack[n-2].Bits == stack[n-1].Bits)
+			stack = stack[:n-1]
+		case qClt:
+			n := len(stack)
+			stack[n-2] = BoolValue(stack[n-2].Int() < stack[n-1].Int())
+			stack = stack[:n-1]
+		case qCgt:
+			n := len(stack)
+			stack[n-2] = BoolValue(stack[n-2].Int() > stack[n-1].Int())
+			stack = stack[:n-1]
+		case qCeqF:
+			n := len(stack)
+			stack[n-2] = BoolValue(stack[n-2].Float() == stack[n-1].Float())
+			stack = stack[:n-1]
+		case qCltF:
+			n := len(stack)
+			stack[n-2] = BoolValue(stack[n-2].Float() < stack[n-1].Float())
+			stack = stack[:n-1]
+		case qCgtF:
+			n := len(stack)
+			stack[n-2] = BoolValue(stack[n-2].Float() > stack[n-1].Float())
+			stack = stack[:n-1]
+
+		case qConvI2F:
+			n := len(stack)
+			stack[n-1] = FloatValue(float64(stack[n-1].Int()))
+		case qConvF2I:
+			n := len(stack)
+			stack[n-1] = IntValue(convF2I(stack[n-1].Float()))
+
+		case qBr:
+			if q.back {
+				if t.stepBudget != 0 {
+					t.stepBudget--
+					if t.stepBudget == 0 {
+						fr.stack = stack
+						fr.pc = int(q.pc)
+						return Value{}, false, false, fr.trap("step budget exhausted", "backward branch")
+					}
+				}
+				fr.stack = stack
+				t.PollGC()
+			}
+			qpc = int(q.t)
+			continue
+		case qBrTrue, qBrFalse:
+			c := stack[len(stack)-1].Bool()
+			stack = stack[:len(stack)-1]
+			if c == (q.op == qBrTrue) {
+				if q.back {
+					if t.stepBudget != 0 {
+						t.stepBudget--
+						if t.stepBudget == 0 {
+							fr.stack = stack
+							fr.pc = int(q.pc)
+							return Value{}, false, false, fr.trap("step budget exhausted", "backward branch")
+						}
+					}
+					fr.stack = stack
+					t.PollGC()
+				}
+				qpc = int(q.t)
+				continue
+			}
+		case qCmpBr:
+			n := len(stack)
+			b, a := stack[n-1], stack[n-2]
+			stack = stack[:n-2]
+			var cond bool
+			switch q.a {
+			case 0:
+				cond = a.Bits == b.Bits
+			case 1:
+				cond = a.Int() < b.Int()
+			case 2:
+				cond = a.Int() > b.Int()
+			case 3:
+				cond = a.Float() == b.Float()
+			case 4:
+				cond = a.Float() < b.Float()
+			default:
+				cond = a.Float() > b.Float()
+			}
+			if cond == (q.b != 0) {
+				if q.back {
+					if t.stepBudget != 0 {
+						t.stepBudget--
+						if t.stepBudget == 0 {
+							fr.stack = stack
+							fr.pc = int(q.pc2) // the branch half charges, as baseline does
+							return Value{}, false, false, fr.trap("step budget exhausted", "backward branch")
+						}
+					}
+					fr.stack = stack
+					t.PollGC()
+				}
+				qpc = int(q.t)
+				continue
+			}
+		case qIncLoc:
+			locals[q.a] = IntValue(locals[q.a].Int() + int64(q.imm))
+
+		case qCall:
+			callee := q.m
+			n := callee.NArgs
+			cargs := make([]Value, n)
+			copy(cargs, stack[len(stack)-n:])
+			stack = stack[:len(stack)-n]
+			fr.stack = stack
+			if err := t.qpushCall(fr, callee, cargs, qpc, q.pc); err != nil {
+				return Value{}, false, false, err
+			}
+			return Value{}, false, false, nil
+		case qLdArgCall:
+			callee := q.m
+			n := callee.NArgs
+			cargs := make([]Value, n)
+			cargs[n-1] = args[q.a] // the fused ldarg pushes the last argument
+			copy(cargs[:n-1], stack[len(stack)-(n-1):])
+			stack = stack[:len(stack)-(n-1)]
+			fr.stack = stack
+			if err := t.qpushCall(fr, callee, cargs, qpc, q.pc2); err != nil {
+				return Value{}, false, false, err
+			}
+			return Value{}, false, false, nil
+		case qCallExact:
+			callee := q.m
+			n := callee.NArgs
+			cargs := make([]Value, n)
+			copy(cargs, stack[len(stack)-n:])
+			stack = stack[:len(stack)-n]
+			fr.stack = stack
+			// Exactness fixes the implementation but not nullness.
+			if !cargs[0].IsRef || cargs[0].Bits == 0 {
+				fr.pc = int(q.pc)
+				return Value{}, false, false, fr.trap("null reference", "callvirt receiver")
+			}
+			if err := t.qpushCall(fr, callee, cargs, qpc, q.pc); err != nil {
+				return Value{}, false, false, err
+			}
+			return Value{}, false, false, nil
+		case qCallVirt:
+			named := q.m
+			if !named.Virtual || named.Owner == nil {
+				fr.stack = stack
+				fr.pc = int(q.pc)
+				return Value{}, false, false, fr.trap("callvirt on non-virtual", named.FullName())
+			}
+			n := named.NArgs
+			cargs := make([]Value, n)
+			copy(cargs, stack[len(stack)-n:])
+			stack = stack[:len(stack)-n]
+			fr.stack = stack
+			recv := cargs[0]
+			if !recv.IsRef || recv.Bits == 0 {
+				fr.pc = int(q.pc)
+				return Value{}, false, false, fr.trap("null reference", "callvirt receiver")
+			}
+			rmt := h.MT(recv.Ref())
+			impl := q.cimpl
+			if rmt != q.cmt {
+				impl = lookupVSlot(rmt, named.VSlot)
+				if impl == nil {
+					fr.pc = int(q.pc)
+					return Value{}, false, false, fr.trap("bad vtable slot", named.FullName())
+				}
+				q.cmt, q.cimpl = rmt, impl
+			}
+			if err := t.qpushCall(fr, impl, cargs, qpc, q.pc); err != nil {
+				return Value{}, false, false, err
+			}
+			return Value{}, false, false, nil
+
+		case qIntern:
+			fn := &t.vm.internals[q.a]
+			n := fn.NArgs
+			cargs := make([]Value, n)
+			copy(cargs, stack[len(stack)-n:])
+			stack = stack[:len(stack)-n]
+			fr.stack = stack
+			fr.pc = int(q.pc)
+			fr.qpc = qpc + 1 // an FCall may re-enter managed code
+			t.inFCall = true
+			ret, ferr := fn.Fn(t, cargs)
+			t.inFCall = false
+			if ferr != nil {
+				return Value{}, false, false, fmt.Errorf("vm: internal call %s: %w", fn.Name, ferr)
+			}
+			if fn.HasRet {
+				stack = append(stack, ret)
+			}
+
+		case qRet:
+			return Value{}, false, true, nil
+		case qRetVal:
+			return stack[len(stack)-1], true, true, nil
+
+		case qNewObj:
+			fr.stack = stack
+			fr.pc = int(q.pc)
+			ref, aerr := h.AllocClass(q.mt)
+			if aerr != nil {
+				return Value{}, false, false, aerr
+			}
+			stack = append(stack, RefValue(ref))
+		case qNewArr:
+			n := stack[len(stack)-1].Int()
+			stack = stack[:len(stack)-1]
+			if n < 0 {
+				fr.stack = stack
+				fr.pc = int(q.pc)
+				return Value{}, false, false, fr.trap("negative array length", fmt.Sprintf("%d", n))
+			}
+			fr.stack = stack
+			fr.pc = int(q.pc)
+			ref, aerr := h.AllocArray(q.mt, int(n))
+			if aerr != nil {
+				return Value{}, false, false, aerr
+			}
+			stack = append(stack, RefValue(ref))
+		case qNewMD:
+			dims := make([]int, q.mt.Rank)
+			for i := q.mt.Rank - 1; i >= 0; i-- {
+				d := stack[len(stack)-1].Int()
+				stack = stack[:len(stack)-1]
+				if d < 0 {
+					fr.stack = stack
+					fr.pc = int(q.pc)
+					return Value{}, false, false, fr.trap("negative array length", fmt.Sprintf("%d", d))
+				}
+				dims[i] = int(d)
+			}
+			fr.stack = stack
+			fr.pc = int(q.pc)
+			ref, aerr := h.AllocMultiDim(q.mt, dims)
+			if aerr != nil {
+				return Value{}, false, false, aerr
+			}
+			stack = append(stack, RefValue(ref))
+
+		case qLdLen:
+			arr := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if !arr.IsRef || arr.Bits == 0 {
+				fr.stack = stack
+				fr.pc = int(q.pc)
+				return Value{}, false, false, fr.trap("null reference", "ldlen")
+			}
+			stack = append(stack, IntValue(int64(h.Length(arr.Ref()))))
+
+		case qLdElem, qLdElemK:
+			n := len(stack)
+			i := stack[n-1].Int()
+			arr := stack[n-2]
+			stack = stack[:n-2]
+			if !arr.IsRef || arr.Bits == 0 {
+				fr.stack = stack
+				fr.pc = int(q.pc)
+				return Value{}, false, false, fr.trap("null reference", "ldelem")
+			}
+			fr.stack = stack
+			fr.pc = int(q.pc) // bounds panic unwinds to run()'s recover
+			mt := q.mt
+			if q.op == qLdElem {
+				mt = h.MT(arr.Ref())
+			}
+			h.boundsCheck(arr.Ref(), int(i))
+			bits := h.loadKind(h.elemOff(arr.Ref(), mt, int(i)), mt.Elem)
+			stack = append(stack, elemValue(mt.Elem, bits))
+		case qStElem, qStElemK:
+			n := len(stack)
+			val := stack[n-1]
+			i := stack[n-2].Int()
+			arr := stack[n-3]
+			stack = stack[:n-3]
+			if !arr.IsRef || arr.Bits == 0 {
+				fr.stack = stack
+				fr.pc = int(q.pc)
+				return Value{}, false, false, fr.trap("null reference", "stelem")
+			}
+			mt := q.mt
+			if q.op == qStElem {
+				mt = h.MT(arr.Ref())
+			}
+			if q.b == 0 && mt.Elem == KindRef && !val.IsRef {
+				fr.stack = stack
+				fr.pc = int(q.pc)
+				return Value{}, false, false, fr.trap("type mismatch", "storing scalar into reference array")
+			}
+			fr.stack = stack
+			fr.pc = int(q.pc)
+			h.boundsCheck(arr.Ref(), int(i))
+			h.storeKind(h.elemOff(arr.Ref(), mt, int(i)), mt.Elem, storeBits(mt.Elem, val))
+			if mt.Elem == KindRef {
+				h.recordWrite(arr.Ref(), Ref(val.Bits))
+			}
+
+		case qLdFld, qLdFldD:
+			obj := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if !obj.IsRef || obj.Bits == 0 {
+				fr.stack = stack
+				fr.pc = int(q.pc)
+				return Value{}, false, false, fr.trap("null reference", "ldfld")
+			}
+			f := q.fld
+			if q.op == qLdFld {
+				mt := h.MT(obj.Ref())
+				if int(q.a) >= len(mt.Fields) {
+					fr.stack = stack
+					fr.pc = int(q.pc)
+					return Value{}, false, false, fr.trap("bad field slot", fmt.Sprintf("%d on %s", q.a, mt))
+				}
+				f = &mt.Fields[q.a]
+			}
+			if f.IsRef() {
+				stack = append(stack, RefValue(h.GetRef(obj.Ref(), f)))
+			} else {
+				stack = append(stack, elemValue(f.Kind(), h.GetScalar(obj.Ref(), f)))
+			}
+		case qLdLocFld, qLdLocFldD:
+			obj := locals[q.a]
+			if !obj.IsRef || obj.Bits == 0 {
+				fr.stack = stack
+				fr.pc = int(q.pc2) // the ldfld half faults, not the fusion head
+				return Value{}, false, false, fr.trap("null reference", "ldfld")
+			}
+			f := q.fld
+			if q.op == qLdLocFld {
+				mt := h.MT(obj.Ref())
+				if int(q.b) >= len(mt.Fields) {
+					fr.stack = stack
+					fr.pc = int(q.pc2)
+					return Value{}, false, false, fr.trap("bad field slot", fmt.Sprintf("%d on %s", q.b, mt))
+				}
+				f = &mt.Fields[q.b]
+			}
+			if f.IsRef() {
+				stack = append(stack, RefValue(h.GetRef(obj.Ref(), f)))
+			} else {
+				stack = append(stack, elemValue(f.Kind(), h.GetScalar(obj.Ref(), f)))
+			}
+		case qStFld, qStFldD:
+			n := len(stack)
+			val := stack[n-1]
+			obj := stack[n-2]
+			stack = stack[:n-2]
+			if !obj.IsRef || obj.Bits == 0 {
+				fr.stack = stack
+				fr.pc = int(q.pc)
+				return Value{}, false, false, fr.trap("null reference", "stfld")
+			}
+			f := q.fld
+			if q.op == qStFld {
+				mt := h.MT(obj.Ref())
+				if int(q.a) >= len(mt.Fields) {
+					fr.stack = stack
+					fr.pc = int(q.pc)
+					return Value{}, false, false, fr.trap("bad field slot", fmt.Sprintf("%d on %s", q.a, mt))
+				}
+				f = &mt.Fields[q.a]
+			}
+			if q.b == 0 && f.IsRef() && !val.IsRef {
+				fr.stack = stack
+				fr.pc = int(q.pc)
+				return Value{}, false, false, fr.trap("type mismatch", "storing scalar into reference field "+f.Name)
+			}
+			h.SetField(obj.Ref(), f, storeBits(f.Kind(), val))
+
+		case qLdSFld:
+			stack = append(stack, t.vm.GetGlobal(int(q.a)))
+		case qStSFld:
+			t.vm.SetGlobal(int(q.a), stack[len(stack)-1])
+			stack = stack[:len(stack)-1]
+
+		default:
+			fr.stack = stack
+			fr.pc = int(q.pc)
+			return Value{}, false, false, fr.trap("bad opcode", fmt.Sprintf("q%d", q.op))
+		}
+		qpc++
+	}
+	// Fell off the end: void return, as in the baseline loop.
+	return Value{}, false, true, nil
+}
+
+// qpushCall is the shared managed-call tail of the quickened loop:
+// depth check, step-budget charge, frame push and the GC poll — in
+// the same order, with the same trap attribution, as OpCall in the
+// baseline loop. The caller must have written fr.stack back first.
+func (t *Thread) qpushCall(fr *callFrame, callee *Method, cargs []Value, qpc int, pc int32) error {
+	if len(t.callStack) >= maxCallDepth {
+		return ErrCallDepth
+	}
+	if t.stepBudget != 0 {
+		t.stepBudget--
+		if t.stepBudget == 0 {
+			fr.pc = int(pc)
+			return fr.trap("step budget exhausted", callee.FullName())
+		}
+	}
+	fr.qpc = qpc + 1
+	fr.pc = int(pc)
+	t.pushFrameOwned(callee, cargs)
+	t.PollGC()
+	return nil
+}

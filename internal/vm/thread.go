@@ -38,8 +38,21 @@ type Thread struct {
 	// blamed on the bytecode).
 	inFCall bool
 
+	// stepBudget, when non-zero, is decremented at every backward
+	// branch and managed call; reaching zero raises a "step budget
+	// exhausted" trap. Both dispatch engines charge at the same
+	// program points, so a budgeted run diverges identically under
+	// baseline and quickened dispatch — the property the differential
+	// test harness relies on to bound fuzzed guest programs.
+	stepBudget int64
+
 	attached bool
 }
+
+// SetStepBudget bounds managed execution on this thread: every
+// backward branch and managed call costs one step, and exhausting the
+// budget traps. Zero (the default) means unlimited.
+func (t *Thread) SetStepBudget(n int64) { t.stepBudget = n }
 
 // StartThread creates a managed thread and enters managed execution
 // (acquiring the VM's execution token). The caller must End it.

@@ -87,6 +87,237 @@ func TestHostFCallPanicEscapes(t *testing.T) {
 	})
 }
 
+// --- fused-superinstruction trap attribution -------------------------------
+//
+// Quickened superinstructions cover several bytecode offsets; a trap
+// raised by a fused component must report the component's own pc (and
+// therefore its own masm line via LineForPC), exactly as the baseline
+// loop would. Each test runs the method quickened, then unquickened,
+// and demands field-identical *Trap values.
+
+// trapBoth executes m on both engines and returns the (identical)
+// trap, failing the test on any divergence.
+func trapBoth(t *testing.T, v *VM, m *Method, args ...Value) *Trap {
+	t.Helper()
+	if !m.Quickened() {
+		t.Fatalf("%s: not quickened", m.FullName())
+	}
+	var qerr, berr error
+	v.WithThread("quick", func(th *Thread) { _, qerr = th.Call(m, args...) })
+	quick := m.quick
+	m.Unquicken()
+	v.WithThread("base", func(th *Thread) { _, berr = th.Call(m, args...) })
+	m.quick = quick
+	var qt, bt *Trap
+	if !errors.As(qerr, &qt) {
+		t.Fatalf("%s: quickened error %v is not a trap", m.FullName(), qerr)
+	}
+	if !errors.As(berr, &bt) {
+		t.Fatalf("%s: baseline error %v is not a trap", m.FullName(), berr)
+	}
+	if *qt != *bt {
+		t.Fatalf("%s: quickened trap %+v != baseline trap %+v", m.FullName(), *qt, *bt)
+	}
+	return qt
+}
+
+// TestFusedLdLocFldTrapAttribution: a null receiver inside the fused
+// ldloc+ldfld superinstruction reports the ldfld's pc and line — the
+// second component faults, not the fusion head.
+func TestFusedLdLocFldTrapAttribution(t *testing.T) {
+	v := testVM()
+	pt := pointClass(v)
+	m := v.AddMethod(nil, NewCodeBuilder().
+		MarkLine(1).LdNull().StLoc(0).
+		MarkLine(2).LdLoc(0).
+		MarkLine(3).LdFld(pt, "x").
+		MarkLine(4).RetVal().
+		Build("nullfld", 0, 1, true))
+	m.Verified = true
+	info, err := v.QuickenMethod(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Fused == 0 {
+		t.Fatal("ldloc+ldfld did not fuse")
+	}
+	trap := trapBoth(t, v, m)
+	if trap.Kind != "null reference" || trap.Detail != "ldfld" {
+		t.Fatalf("trap = %+v, want null reference / ldfld", trap)
+	}
+	if line := m.LineForPC(trap.PC); line != 3 {
+		t.Fatalf("trap attributed to line %d (pc=%d), want the ldfld's line 3", line, trap.PC)
+	}
+}
+
+// TestFusedIncLocThenDivTrapAttribution: a division by zero in a loop
+// body whose counter update and exit test are both fused still reports
+// the div's pc/line on both engines.
+func TestFusedIncLocThenDivTrapAttribution(t *testing.T) {
+	v := testVM()
+	// for (i = 0; i < 4; i++) { x = 10 / (2 - i) }  — traps at i == 2.
+	m := v.AddMethod(nil, NewCodeBuilder().
+		MarkLine(1).LdcI4(0).StLoc(0).
+		Label("loop").
+		MarkLine(2).LdcI4(10).LdcI4(2).LdLoc(0).Op(OpSub).Op(OpDiv).StLoc(1).
+		MarkLine(3).LdLoc(0).LdcI4(1).Op(OpAdd).StLoc(0).
+		MarkLine(4).LdLoc(0).LdcI4(4).Op(OpClt).BrTrue("loop").
+		MarkLine(5).LdLoc(1).RetVal().
+		Build("divloop", 0, 2, true))
+	m.Verified = true
+	info, err := v.QuickenMethod(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Fused < 2 {
+		t.Fatalf("Fused = %d, want the increment and the compare-branch", info.Fused)
+	}
+	trap := trapBoth(t, v, m)
+	if trap.Kind != "division by zero" || trap.Detail != "div" {
+		t.Fatalf("trap = %+v, want division by zero / div", trap)
+	}
+	if line := m.LineForPC(trap.PC); line != 2 {
+		t.Fatalf("trap attributed to line %d (pc=%d), want the div's line 2", line, trap.PC)
+	}
+}
+
+// TestFusedLdArgCallTrapAttribution: a trap raised while PUSHING a
+// fused ldarg+call (step-budget exhaustion) charges the call half's
+// pc, and a trap inside the callee names the callee, on both engines.
+func TestFusedLdArgCallTrapAttribution(t *testing.T) {
+	v := testVM()
+	inv := v.AddMethod(nil, NewCodeBuilder().
+		MarkLine(1).LdcI4(100).LdArg(0).Op(OpDiv).RetVal().
+		Build("inv", 1, 0, true))
+	inv.Verified = true
+	caller := v.AddMethod(nil, NewCodeBuilder().
+		MarkLine(1).LdArg(0).Call(inv).
+		MarkLine(2).RetVal().
+		Build("callinv", 1, 0, true))
+	caller.Verified = true
+	info, err := v.QuickenMethod(caller)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Fused != 1 {
+		t.Fatalf("Fused = %d, want 1 (ldarg+call)", info.Fused)
+	}
+	if _, err := v.QuickenMethod(inv); err != nil {
+		t.Fatal(err)
+	}
+	// Callee trap: attribution is the callee's div, caller unaffected.
+	trap := trapBoth(t, v, caller, IntValue(0))
+	if trap.Kind != "division by zero" || trap.Method != inv.FullName() {
+		t.Fatalf("trap = %+v, want division by zero in %s", trap, inv.FullName())
+	}
+	// Budget exhaustion at the fused call site: the call half charges.
+	var qerr, berr error
+	v.WithThread("quick", func(th *Thread) {
+		th.SetStepBudget(1)
+		_, qerr = th.Call(caller, IntValue(1))
+	})
+	quick := caller.quick
+	caller.Unquicken()
+	v.WithThread("base", func(th *Thread) {
+		th.SetStepBudget(1)
+		_, berr = th.Call(caller, IntValue(1))
+	})
+	caller.quick = quick
+	var qt, bt *Trap
+	if !errors.As(qerr, &qt) || !errors.As(berr, &bt) {
+		t.Fatalf("budget errors: %v / %v", qerr, berr)
+	}
+	if *qt != *bt {
+		t.Fatalf("budget trap diverges: quickened %+v, baseline %+v", *qt, *bt)
+	}
+	if qt.Kind != "step budget exhausted" || qt.Detail != inv.FullName() {
+		t.Fatalf("budget trap = %+v", qt)
+	}
+}
+
+// TestFusedCmpBrStepBudgetAttribution: when the step budget dies on a
+// fused compare+branch's backward edge, the charge is attributed to
+// the branch half's pc — the same offset the baseline loop reports.
+func TestFusedCmpBrStepBudgetAttribution(t *testing.T) {
+	v := testVM()
+	m := v.AddMethod(nil, NewCodeBuilder().
+		MarkLine(1).LdcI4(0).StLoc(0).
+		Label("loop").
+		MarkLine(2).LdLoc(0).LdcI4(1).Op(OpAdd).StLoc(0).
+		MarkLine(3).LdLoc(0).LdcI4(1000000).Op(OpClt).BrTrue("loop").
+		MarkLine(4).Ret().
+		Build("spincmp", 0, 1, false))
+	m.Verified = true
+	if _, err := v.QuickenMethod(m); err != nil {
+		t.Fatal(err)
+	}
+	var qerr, berr error
+	v.WithThread("quick", func(th *Thread) {
+		th.SetStepBudget(10)
+		_, qerr = th.Call(m)
+	})
+	quick := m.quick
+	m.Unquicken()
+	v.WithThread("base", func(th *Thread) {
+		th.SetStepBudget(10)
+		_, berr = th.Call(m)
+	})
+	m.quick = quick
+	var qt, bt *Trap
+	if !errors.As(qerr, &qt) || !errors.As(berr, &bt) {
+		t.Fatalf("budget errors: %v / %v", qerr, berr)
+	}
+	if *qt != *bt {
+		t.Fatalf("budget trap diverges: quickened %+v, baseline %+v", *qt, *bt)
+	}
+	if qt.Detail != "backward branch" {
+		t.Fatalf("budget trap = %+v, want backward-branch charge", qt)
+	}
+	if line := m.LineForPC(qt.PC); line != 3 {
+		t.Fatalf("budget charge attributed to line %d, want the branch's line 3", line)
+	}
+}
+
+// TestFusedBoundsTrapAttribution: an out-of-bounds element access in
+// quickened code unwinds through the BoundsError recover with the
+// committed pc — identical to baseline.
+func TestFusedBoundsTrapAttribution(t *testing.T) {
+	// A bounds trap's detail embeds the object's heap address, so each
+	// engine gets a fresh VM with an identical allocation history.
+	build := func(quicken bool) *Trap {
+		t.Helper()
+		v := testVM()
+		at := v.ArrayType(KindInt32, nil, 1)
+		m := v.AddMethod(nil, NewCodeBuilder().
+			MarkLine(1).LdcI4(2).NewArr(at).StLoc(0).
+			MarkLine(2).LdLoc(0).LdcI4(9).Op(OpLdElem).RetVal().
+			Build("oob", 0, 1, true))
+		m.Verified = true
+		if quicken {
+			if _, err := v.QuickenMethod(m); err != nil {
+				t.Fatal(err)
+			}
+		}
+		var callErr error
+		v.WithThread("t", func(th *Thread) { _, callErr = th.Call(m) })
+		var trap *Trap
+		if !errors.As(callErr, &trap) {
+			t.Fatalf("error %v is not a trap", callErr)
+		}
+		if line := m.LineForPC(trap.PC); line != 2 {
+			t.Fatalf("trap attributed to line %d (pc=%d), want 2", line, trap.PC)
+		}
+		return trap
+	}
+	qt, bt := build(true), build(false)
+	if *qt != *bt {
+		t.Fatalf("quickened trap %+v != baseline trap %+v", *qt, *bt)
+	}
+	if qt.Kind != "index out of range" {
+		t.Fatalf("trap = %+v, want index out of range", qt)
+	}
+}
+
 // TestTrapAfterFCallStaysTrap: the FCall passthrough must not widen —
 // a dispatch-loop runtime error in bytecode that runs after a
 // successful FCall is still the guest's fault and still traps.

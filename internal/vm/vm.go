@@ -453,6 +453,16 @@ func (v *VM) AddGlobal(name string) int {
 // operand space of ldsfld/stsfld, used by the verifier).
 func (v *VM) NumGlobals() int { return len(v.globals) }
 
+// GlobalNames returns the registered static slot names in index order.
+// Core's module verdict cache folds them into its registry fingerprint.
+func (v *VM) GlobalNames() []string {
+	out := make([]string, len(v.globals))
+	for name, i := range v.globalNames {
+		out[i] = name
+	}
+	return out
+}
+
 // GlobalIndex resolves a static name.
 func (v *VM) GlobalIndex(name string) (int, bool) {
 	i, ok := v.globalNames[name]

@@ -128,6 +128,27 @@ const (
 	VerifyOff
 )
 
+// QuickenMode controls load-time quickening of verified bytecode.
+type QuickenMode uint8
+
+// Quickening modes. The zero value quickens (when verification is
+// also on), so embedders opt out explicitly (cmd/motor and cmd/mpstat
+// expose -noquicken; the MOTOR_QUICKEN environment variable set to
+// "0"/"off"/"no" disables it globally).
+const (
+	// QuickenOn rewrites every verified method at Load into the
+	// quickened internal form: type-specialized opcodes, fused
+	// superinstructions, direct-bound and inline-cached virtual calls
+	// (docs/QUICKEN.md). Requires VerifyOn — quickening consumes the
+	// verifier's type facts and never runs on unverified code.
+	QuickenOn QuickenMode = iota
+	// QuickenOff leaves loaded methods on the baseline single-switch
+	// interpreter. Observable behaviour is identical by construction;
+	// this exists as a performance fallback and for differential
+	// testing.
+	QuickenOff
+)
+
 // Config describes a Motor world.
 type Config struct {
 	// Ranks is the number of processes (default 2).
@@ -151,6 +172,11 @@ type Config struct {
 	// Verify controls load-time bytecode verification (default
 	// VerifyOn).
 	Verify VerifyMode
+	// Quicken controls load-time quickening of verified methods
+	// (default QuickenOn; inert under VerifyOff). The MOTOR_QUICKEN
+	// environment variable ("0"/"off"/"no" disables) overrides an
+	// unset field.
+	Quicken QuickenMode
 	// Platform substitutes a pal.Platform for the sock transport
 	// (default: the host platform). Plugging in a fault.Platform here
 	// subjects the whole world to a seeded fault plan (see
@@ -182,6 +208,12 @@ func (c *Config) fill() {
 		switch os.Getenv("MOTOR_PROGRESS") {
 		case "1", "async", "on":
 			c.AsyncProgress = true
+		}
+	}
+	if c.Quicken == QuickenOn {
+		switch os.Getenv("MOTOR_QUICKEN") {
+		case "0", "off", "no":
+			c.Quicken = QuickenOff
 		}
 	}
 }
@@ -659,6 +691,12 @@ func (r *Rank) OGather(arr Ref, root int) (Ref, error) {
 // A rejected module is unregistered again in full — none of its
 // classes, globals or (unverified) methods remain reachable, so a
 // failed Load may simply be retried with corrected source.
+//
+// Verified methods are then quickened (unless Config.Quicken is
+// QuickenOff): rewritten into the pre-decoded internal form driven by
+// the verifier's type facts (docs/QUICKEN.md). Verification verdicts
+// are memoized process-wide by module content hash, so sibling ranks
+// loading the same source skip the verifier fixpoint.
 func (r *Rank) Load(masmSource string) (*vm.Method, error) {
 	mark := r.vm.Mark()
 	mod, err := r.vm.AssembleModule(masmSource)
@@ -666,7 +704,7 @@ func (r *Rank) Load(masmSource string) (*vm.Method, error) {
 		return nil, err
 	}
 	if r.cfg.Verify == VerifyOn {
-		if err := r.engine.VerifyModule(mod.Methods); err != nil {
+		if err := r.engine.VerifyModuleCached(masmSource, mod.Methods); err != nil {
 			// Assembly already registered the module's classes, globals
 			// and methods on the VM; unwind them so nothing rejected
 			// stays reachable (a later module could otherwise call the
@@ -674,12 +712,19 @@ func (r *Rank) Load(masmSource string) (*vm.Method, error) {
 			r.vm.RollbackRegistry(mark)
 			return nil, err
 		}
+		if r.cfg.Quicken == QuickenOn {
+			r.engine.QuickenModule(mod.Methods)
+		}
 	}
 	return mod.Main, nil
 }
 
 // VerifyStats returns load-time verification counters for this rank.
 func (r *Rank) VerifyStats() core.VerifyStats { return r.engine.Verify.Snapshot() }
+
+// QuickenStats returns load-time quickening and verdict-cache
+// counters for this rank.
+func (r *Rank) QuickenStats() core.QuickenStats { return r.engine.Quicken.Snapshot() }
 
 // Call executes a managed method on this rank's thread.
 func (r *Rank) Call(m *vm.Method, args ...Value) (Value, error) { return r.thread.Call(m, args...) }

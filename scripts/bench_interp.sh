@@ -1,0 +1,31 @@
+#!/bin/sh
+# Interpreter quickening benchmark: compute-bound masm kernels run
+# under baseline single-switch dispatch and under the quickened engine
+# (pre-decoded wide instructions, fused superinstructions, baked field
+# offsets, devirtualized calls — docs/QUICKEN.md). Writes the
+# machine-readable report to BENCH_interp.json at the repo root.
+#
+# Usage: scripts/bench_interp.sh [quick]
+#   quick  reduced protocol for smoke runs
+#
+# The committed BENCH_interp.json is the quickening pass's acceptance
+# artifact: best_speedup >= 2.0 on at least one compute-bound kernel,
+# with per-kernel checksums cross-checked between engines (a speedup
+# from a wrong answer is not a speedup). Regenerate it here when
+# touching the interpreter loops, the quickener, or the verifier's
+# fact collection.
+set -eu
+cd "$(dirname "$0")/.."
+
+out=BENCH_interp.json
+
+flags="-interp -json"
+if [ "${1:-}" = quick ]; then
+	flags="$flags -quick"
+fi
+
+echo "== interpreter quickening -> $out"
+# shellcheck disable=SC2086
+go run ./cmd/benchfig $flags > "$out"
+echo "== per-kernel speedups (baseline / quickened wall time)"
+grep -E '"name"|"speedup"|best_speedup|mean_speedup' "$out" || true

@@ -10,8 +10,15 @@
 #                     progress engine's acceptance gate.
 #   vet tier:         go vet + the load-time bytecode verifier over
 #                     every masm module under examples/.
+#   quicken tier:     every masm module under examples/ run under both
+#                     dispatch engines (quickened and -noquicken
+#                     baseline) — both must succeed, and the examples
+#                     self-check their payloads — plus the differential
+#                     property suites, which demand bit-identical
+#                     value/stdout/trap behaviour on deterministic
+#                     programs. The quickening pass's behavioural gate.
 #
-# Usage: scripts/verify.sh [quick|race|stress|all|bench|vet]
+# Usage: scripts/verify.sh [quick|race|stress|all|bench|vet|quicken]
 #   quick   tier 1 with -short (chaos sweeps skipped; < ~30s)
 #   race    tier 2 only
 #   stress  stress tier only: shared-rank goroutine stress, fault
@@ -22,6 +29,8 @@
 #           benchmark sweeps (scripts/bench_coll.sh, scripts/bench_oo.sh,
 #           scripts/bench_async.sh); opt-in because timing-sensitive
 #   vet     static checks only: go vet + motor -mode check examples/
+#   quicken quicken tier only: examples under both engines + the
+#           quickening differential tests
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -77,6 +86,27 @@ tier_vet() {
 	fi
 }
 
+# Quicken tier: the behavioural gate for the quickening pass
+# (docs/QUICKEN.md). Every example module must run to success under
+# both engines (the examples self-check payload integrity and exit
+# nonzero on corruption; their stdout embeds wall-clock timings, so
+# byte comparison is left to the deterministic suites). Then the
+# differential property suites — randomized programs + the verifier's
+# valid corpus, both engines compared on value/stdout/trap identity.
+tier_quicken() {
+	echo "== quicken: examples under both dispatch engines"
+	modules=$(find examples -name '*.masm' | sort)
+	for m in $modules; do
+		echo "-- $m (quickened)"
+		go run ./cmd/motor -np 2 "$m"
+		echo "-- $m (-noquicken baseline)"
+		go run ./cmd/motor -np 2 -noquicken "$m"
+	done
+	echo "== quicken: differential property suites"
+	go test -count=1 -run 'TestQuicken|TestFused|TestConvF2I' \
+		./internal/vm/ ./internal/vm/bcverify/
+}
+
 # Trace smoke: a traced mpstat run must produce a loadable Chrome
 # trace (exercises the MOTOR_TRACE env path end to end).
 smoke_trace() {
@@ -102,6 +132,7 @@ all)
 	tier1 full
 	tier2
 	tier_vet
+	tier_quicken
 	smoke_trace
 	;;
 bench)
@@ -109,8 +140,9 @@ bench)
 	tier3
 	;;
 vet) tier_vet ;;
+quicken) tier_quicken ;;
 *)
-	echo "usage: $0 [quick|race|stress|all|bench|vet]" >&2
+	echo "usage: $0 [quick|race|stress|all|bench|vet|quicken]" >&2
 	exit 2
 	;;
 esac
