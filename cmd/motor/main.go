@@ -77,6 +77,7 @@ func main() {
 	rankID := flag.Int("rank", 0, "rank mode: this process's world rank")
 	noverify := flag.Bool("noverify", false, "skip load-time bytecode verification")
 	noquicken := flag.Bool("noquicken", false, "skip load-time quickening (baseline interpreter dispatch)")
+	telemetry := flag.String("telemetry", "", "serve /metrics, /healthz and /debug/pprof on this address while running (also set by MOTOR_TELEMETRY)")
 	flag.Parse()
 
 	if *mode == "check" {
@@ -87,7 +88,7 @@ func main() {
 		os.Exit(check(flag.Args()))
 	}
 
-	cfg := motor.Config{Ranks: *np, Channel: *channel}
+	cfg := motor.Config{Ranks: *np, Channel: *channel, Telemetry: *telemetry}
 	if *noverify {
 		cfg.Verify = motor.VerifyOff
 	}

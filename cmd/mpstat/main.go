@@ -54,9 +54,10 @@ func main() {
 	metrics := flag.Bool("metrics", false, "print the unified flat metrics snapshot per rank (all subsystems)")
 	noverify := flag.Bool("noverify", false, "skip load-time bytecode verification of the probe module")
 	noquicken := flag.Bool("noquicken", false, "skip load-time quickening of the probe module")
+	telemetry := flag.String("telemetry", "", "serve /metrics, /healthz and /debug/pprof on this address while running (also set by MOTOR_TELEMETRY)")
 	flag.Parse()
 
-	cfg := motor.Config{Ranks: *np, Channel: *channel, Trace: *trace}
+	cfg := motor.Config{Ranks: *np, Channel: *channel, Trace: *trace, Telemetry: *telemetry}
 	if *noverify {
 		cfg.Verify = motor.VerifyOff
 	}

@@ -1,0 +1,71 @@
+// Command mtrace stitches per-rank Motor trace files into one
+// cross-rank Perfetto/Chrome trace. Each input is a file written by
+// -trace/MOTOR_TRACE (one per OS process of a sock world, or one per
+// run). The merge pass aligns the ranks' clocks using the message
+// edges the channel layer stamped, joins every edge:send with its
+// edge:recv as a Chrome flow event, and prints a straggler report:
+// which rank arrives last at the collectives, and by how much.
+//
+// Usage:
+//
+//	mtrace -o merged.json rank0.json rank1.json rank2.json rank3.json
+//	mtrace -report-only rank*.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"motor/internal/obs"
+)
+
+func main() {
+	out := flag.String("o", "merged.json", "output file for the merged trace")
+	reportOnly := flag.Bool("report-only", false, "print the straggler report without writing a merged trace")
+	quiet := flag.Bool("q", false, "suppress the straggler report on stdout")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: mtrace [-o merged.json] trace.json...")
+		os.Exit(2)
+	}
+
+	inputs := make([][]byte, 0, flag.NArg())
+	for _, path := range flag.Args() {
+		b, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mtrace:", err)
+			os.Exit(1)
+		}
+		inputs = append(inputs, b)
+	}
+	m, err := obs.MergeTraces(inputs...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mtrace:", err)
+		os.Exit(1)
+	}
+
+	if !*reportOnly {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mtrace:", err)
+			os.Exit(1)
+		}
+		werr := m.Export(f)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			fmt.Fprintln(os.Stderr, "mtrace:", werr)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "mtrace: wrote %s (%d flow pairs, %d unmatched edges)\n",
+			*out, m.Flows, m.Unmatched)
+	}
+	if !*quiet {
+		if err := obs.WriteStragglerReport(os.Stdout, m.Report); err != nil {
+			fmt.Fprintln(os.Stderr, "mtrace:", err)
+			os.Exit(1)
+		}
+	}
+}

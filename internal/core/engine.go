@@ -188,6 +188,10 @@ type Engine struct {
 	asyncProgress bool
 	progress      *mp.Progress
 
+	// unDiag unregisters this rank's watchdog stall-diagnosis provider
+	// (set at Attach, run at Close).
+	unDiag func()
+
 	Stats   Stats
 	Verify  VerifyStats
 	Quicken QuickenStats
@@ -264,6 +268,14 @@ func Attach(v *vm.VM, w *mp.World, opts ...Option) *Engine {
 		bump(&e.Stats.BuffersCollected, e.bufs.age())
 	})
 	e.registerFCalls()
+	// Stall-watchdog diagnosis: when this rank is declared stuck, the
+	// report cites the device's protocol state alongside the generic
+	// GC/progress attribution the watchdog adds itself.
+	e.unDiag = obs.RegisterStallDiag(e.lane, func() string {
+		ds := w.Dev.StatsSnapshot()
+		return fmt.Sprintf("device: %d outstanding reqs, %d polls, %d unexpected, %d transport errors, %d peers lost",
+			w.Dev.Outstanding(), ds.Polls, ds.Unexpected, ds.TransportErrors, ds.PeersLost)
+	})
 	if e.asyncProgress {
 		// The gate is the VM execution token: a pass runs only while no
 		// managed thread executes and no collection is in flight, so the
@@ -285,6 +297,10 @@ func Attach(v *vm.VM, w *mp.World, opts ...Option) *Engine {
 func (e *Engine) Close() {
 	if e.progress != nil {
 		e.progress.Stop()
+	}
+	if e.unDiag != nil {
+		e.unDiag()
+		e.unDiag = nil
 	}
 }
 

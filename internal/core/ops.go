@@ -62,6 +62,10 @@ func (e *Engine) pinEager(obj vm.Ref) func() {
 func (e *Engine) noteErr(err error) error {
 	if err != nil && errors.Is(err, mp.ErrTransport) {
 		bump(&e.Stats.TransportErrors, 1)
+		// A lost peer is exactly the moment the last few milliseconds
+		// of events matter: dump the flight recorder before the error
+		// propagates and the evidence is overwritten.
+		obs.FlightTrip("transport")
 	}
 	return err
 }
@@ -93,14 +97,22 @@ func (e *Engine) waitBlocking(t *vm.Thread, c *mp.Comm, obj vm.Ref, req *mp.Requ
 	defer unpin()
 	defer func() {
 		if tr != nil {
-			tr.Record(obs.HistRequestWait, tr.End(e.lane))
+			if d := tr.End(e.lane); d > 0 {
+				tr.Record(obs.HistRequestWait, d)
+			}
 		}
 	}()
+	// Watchdog heartbeat for the §7.4 polling-wait. A parked thread
+	// (progress-engine mode) stops pulsing, but the watchdog keys on
+	// wait-entry age, so a lost completion still trips it.
+	obs.BeatEnter(e.lane, op, -1)
+	defer obs.BeatExit(e.lane)
 	for {
 		done, st, err = c.Test(req)
 		if done {
 			return st, e.noteErr(err)
 		}
+		obs.BeatPulse(e.lane)
 		e.waitStep(t, req)
 	}
 }
@@ -339,7 +351,9 @@ func (e *Engine) Wait(t *vm.Thread, id int32) (mp.Status, error) {
 		done, st, err := e.Comm.Test(r.req)
 		if done {
 			if tr != nil {
-				tr.Record(obs.HistRequestWait, tr.End(e.lane))
+				if d := tr.End(e.lane); d > 0 {
+					tr.Record(obs.HistRequestWait, d)
+				}
 			}
 			e.finish(r)
 			return st, e.noteErr(err)

@@ -25,10 +25,13 @@ func (e *Engine) opBegin(op obs.OpCode, bytes, peer int) *obs.Tracer {
 }
 
 // opEnd closes a blocking operation's span and feeds the blocking-op
-// latency histogram.
+// latency histogram. A zero duration means the flight recorder
+// sampled the span out — no sample, not a zero-latency op.
 func (e *Engine) opEnd(tr *obs.Tracer) {
 	if tr != nil {
-		tr.Record(obs.HistBlockingOp, tr.End(e.lane))
+		if d := tr.End(e.lane); d > 0 {
+			tr.Record(obs.HistBlockingOp, d)
+		}
 	}
 }
 

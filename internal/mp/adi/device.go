@@ -118,6 +118,12 @@ type Request struct {
 	traceSpan   uint64
 	traceParent uint64
 	traceStart  int64
+
+	// edgeSeq remembers the correlation sequence stamped on this
+	// send's RTS so the eventual DATA packet carries the same id (the
+	// receiver records its edge:recv when the payload lands, not when
+	// the announcement arrives).
+	edgeSeq uint32
 }
 
 // Done reports completion (poll via Device.TestReq). Safe to call
@@ -223,6 +229,11 @@ type Device struct {
 	// mpstat -metrics) must use StatsSnapshot; direct field access is
 	// only safe when nothing else touches the device.
 	Stats DeviceStats
+
+	// edgeSeq holds the per-destination trace correlation counters
+	// (guarded by mu, allocated on first stamped send). Seq 0 is
+	// reserved for "unstamped", so counters start at 1.
+	edgeSeq []uint32
 }
 
 // DefaultEagerMax is the eager/rendezvous switchover. Messages at or
@@ -259,9 +270,14 @@ func (d *Device) newRequest(kind reqKind, buf Buffer, peer, tag int, ctx int32) 
 	d.nextID++
 	req := &Request{id: d.nextID, kind: kind, buf: buf, peer: peer, tag: tag, ctx: ctx}
 	if tr := obs.Active(); tr != nil {
-		req.traceSpan = tr.NewSpanID()
-		req.traceParent = tr.Current(d.rank)
-		req.traceStart = tr.Now()
+		// SpanIDFor returns 0 when the flight recorder samples this
+		// request out; the zero also suppresses the completion-time
+		// Span emit, so an elided request costs no clock reads.
+		if id := tr.SpanIDFor(d.rank, obs.KADIReq); id != 0 {
+			req.traceSpan = id
+			req.traceParent = tr.Current(d.rank)
+			req.traceStart = tr.Now()
+		}
 	}
 	return req
 }
@@ -388,6 +404,7 @@ func (d *Device) isendLocked(buf Buffer, dest, tag int, ctx int32, sync bool) (*
 			Type: channel.PktEager, Source: int32(d.rank),
 			Tag: int32(tag), Context: ctx, ReqA: req.id,
 		}
+		d.stampEdge(&hdr, dest, size)
 		if err := d.ch.Send(dest, hdr, buf.Bytes()); err != nil {
 			return nil, d.transportErr(err)
 		}
@@ -403,6 +420,8 @@ func (d *Device) isendLocked(buf Buffer, dest, tag int, ctx int32, sync bool) (*
 		Type: channel.PktRTS, Source: int32(d.rank),
 		Tag: int32(tag), Context: ctx, ReqA: req.id, ReqB: uint64(size),
 	}
+	d.stampEdge(&hdr, dest, size)
+	req.edgeSeq = hdr.Seq
 	if err := d.sendHeaderOnly(dest, hdr); err != nil {
 		return nil, d.transportErr(err)
 	}
@@ -414,6 +433,44 @@ func (d *Device) isendLocked(buf Buffer, dest, tag int, ctx int32, sync bool) (*
 // sendHeaderOnly transmits a payload-free packet (RTS/CTS/control).
 func (d *Device) sendHeaderOnly(dest int, hdr channel.Header) error {
 	return d.ch.Send(dest, hdr, nil)
+}
+
+// stampEdge assigns the next per-destination correlation sequence to
+// a message-bearing packet (eager or RTS) and records the sender's
+// half of the cross-rank edge. Lock held. When tracing is off the
+// header keeps Seq 0, so the merge pass sees exactly the messages
+// that were stamped — never a half-traced run's leftovers.
+func (d *Device) stampEdge(hdr *channel.Header, dest, bytes int) {
+	tr := obs.Active()
+	if tr == nil {
+		return
+	}
+	if d.edgeSeq == nil {
+		d.edgeSeq = make([]uint32, d.Size())
+	}
+	d.edgeSeq[dest]++
+	hdr.Seq = d.edgeSeq[dest]
+	tr.Instant(d.rank, obs.KEdge, uint64(obs.EdgeSend),
+		obs.PackCorr(d.rank, dest, hdr.Seq),
+		uint64(uint32(hdr.Context))<<32|uint64(uint32(hdr.Tag)), uint64(bytes))
+}
+
+// noteEdgeRecv records the receiver's half of a stamped message edge
+// at payload arrival (eager delivery or rendezvous DATA). Arrival —
+// not match — time is what the merge pass wants: it lower-bounds the
+// clock offset between the two ranks regardless of when the local
+// receive is finally posted.
+func (d *Device) noteEdgeRecv(hdr channel.Header) {
+	if hdr.Seq == 0 {
+		return
+	}
+	tr := obs.Active()
+	if tr == nil {
+		return
+	}
+	tr.Instant(d.rank, obs.KEdge, uint64(obs.EdgeRecv),
+		obs.PackCorr(int(hdr.Source), d.rank, hdr.Seq),
+		uint64(uint32(hdr.Context))<<32|uint64(uint32(hdr.Tag)), uint64(hdr.Size))
 }
 
 // selfSend delivers a message locally: an immediately-matched posted
@@ -745,11 +802,20 @@ func (d *Device) progressLocked() (bool, error) {
 // device lock, so a GC triggered from the yield may itself drive
 // Progress.
 func (d *Device) WaitReq(req *Request) (Status, error) {
+	if req.Done() {
+		return req.status, req.err
+	}
+	// Heartbeat for the stall watchdog: a wait stuck past the deadline
+	// (peer died silently, matching bug, lost wakeup) gets diagnosed
+	// instead of hanging forever in silence.
+	obs.BeatEnter(d.rank, obs.OpDevWait, req.peer)
+	defer obs.BeatExit(d.rank)
 	for !req.Done() {
 		progressed, err := d.Progress()
 		if err != nil {
 			return req.status, err
 		}
+		obs.BeatPulse(d.rank)
 		if !progressed && !req.Done() {
 			d.idle()
 		}
@@ -923,6 +989,7 @@ func (d *Device) Done(hdr channel.Header) {
 	switch hdr.Type {
 	case channel.PktEager:
 		d.Stats.EagerRecvd++
+		d.noteEdgeRecv(hdr)
 		switch {
 		case d.curReq != nil && !d.curUnexp:
 			req := d.curReq
@@ -957,6 +1024,7 @@ func (d *Device) Done(hdr channel.Header) {
 			Type: channel.PktData, Source: int32(d.rank),
 			Tag: int32(req.tag), Context: req.ctx,
 			ReqA: req.id, ReqB: hdr.ReqB,
+			Seq: req.edgeSeq, // carry the RTS's correlation id to the payload
 		}
 		err := d.ch.Send(req.peer, data, req.buf.Bytes())
 		delete(d.active, req.id)
@@ -969,6 +1037,7 @@ func (d *Device) Done(hdr channel.Header) {
 
 	case channel.PktData:
 		d.Stats.DataRecvd++
+		d.noteEdgeRecv(hdr)
 		if d.curReq != nil {
 			req := d.curReq
 			if d.curUnexp {

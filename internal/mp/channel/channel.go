@@ -34,13 +34,20 @@ const (
 // HeaderSize is the wire size of a packet header.
 const HeaderSize = 40
 
-// Header describes one packet.
+// Header describes one packet. Seq is the observability correlation
+// sequence: the sending device stamps a per-destination counter on
+// message-bearing packets (eager, RTS, DATA) so the trace merge pass
+// can join the sender's edge:send with the receiver's edge:recv;
+// zero means unstamped (control packets, tracing off). It rides in
+// the four header bytes that were previously reserved padding, so
+// the wire size is unchanged.
 type Header struct {
 	Type    PacketType
 	Source  int32  // sending rank (world numbering)
 	Tag     int32  // message tag
 	Context int32  // communicator context id
 	Size    uint32 // payload byte count
+	Seq     uint32 // trace correlation sequence (0 = unstamped)
 	ReqA    uint64 // protocol correlation id (sender request)
 	ReqB    uint64 // protocol correlation id (receiver request)
 }
@@ -53,6 +60,7 @@ func (h *Header) Marshal(b []byte) {
 	binary.LittleEndian.PutUint32(b[8:], uint32(h.Tag))
 	binary.LittleEndian.PutUint32(b[12:], uint32(h.Context))
 	binary.LittleEndian.PutUint32(b[16:], h.Size)
+	binary.LittleEndian.PutUint32(b[20:], h.Seq)
 	binary.LittleEndian.PutUint64(b[24:], h.ReqA)
 	binary.LittleEndian.PutUint64(b[32:], h.ReqB)
 }
@@ -64,6 +72,7 @@ func (h *Header) Unmarshal(b []byte) {
 	h.Tag = int32(binary.LittleEndian.Uint32(b[8:]))
 	h.Context = int32(binary.LittleEndian.Uint32(b[12:]))
 	h.Size = binary.LittleEndian.Uint32(b[16:])
+	h.Seq = binary.LittleEndian.Uint32(b[20:])
 	h.ReqA = binary.LittleEndian.Uint64(b[24:])
 	h.ReqB = binary.LittleEndian.Uint64(b[32:])
 }

@@ -16,12 +16,19 @@ func init() {
 
 // collBegin opens the KColl span covering one collective call and
 // returns the tracer (nil when tracing is off). The span records the
-// operation, the selected algorithm and the per-rank payload size;
+// operation, the selected algorithm, the per-rank payload size, and
+// the cross-rank alignment key (cctx, collSeq): every member calls
+// collectives in the same order, so the pair names the same instance
+// on every rank — the merge pass keys the straggler report on it.
 // collEnd closes it and feeds the collective-wall-time histogram.
+// The pair also brackets the call with watchdog heartbeats, so a
+// collective stuck on a silent peer is attributed to its operation.
 func (c *Comm) collBegin(op obs.OpCode, algo CollAlgo, bytes int) *obs.Tracer {
+	obs.BeatEnter(c.dev.Rank(), op, -1)
 	tr := obs.Active()
 	if tr != nil {
-		tr.Begin(c.dev.Rank(), obs.KColl, uint64(op), uint64(algo), uint64(bytes))
+		key := uint64(uint32(c.cctx))<<32 | uint64(atomic.LoadUint32(&c.collSeq))
+		tr.Begin(c.dev.Rank(), obs.KColl, uint64(op), uint64(algo), uint64(bytes), key)
 	}
 	return tr
 }
@@ -30,6 +37,7 @@ func (c *Comm) collEnd(tr *obs.Tracer) {
 	if tr != nil {
 		tr.Record(obs.HistCollective, tr.End(c.dev.Rank()))
 	}
+	obs.BeatExit(c.dev.Rank())
 }
 
 // stepSpan captures the identity of one in-progress algorithm step

@@ -182,6 +182,7 @@ func (p *Progress) pass() (bool, error) {
 		run()
 	}
 	atomic.AddUint64(&p.stats.Passes, 1)
+	obs.NoteProgress() // watchdog liveness: stall diagnoses cite pass recency
 	if err != nil {
 		atomic.AddUint64(&p.stats.Errors, 1)
 	}

@@ -19,6 +19,7 @@ var opNames = map[OpCode]string{
 	OpAlltoall: "Alltoall", OpAllreduce: "Allreduce", OpReduce: "Reduce",
 	OpSendrecv: "Sendrecv", OpOSend: "OSend", OpORecv: "ORecv",
 	OpOBcast: "OBcast", OpOScatter: "OScatter", OpOGather: "OGather",
+	OpDevWait: "devwait",
 }
 
 // OpName returns the display name for an engine op code.
@@ -83,6 +84,7 @@ type traceEvent struct {
 	TID   int32          `json:"tid"`
 	ID    string         `json:"id,omitempty"`
 	Scope string         `json:"s,omitempty"`
+	BP    string         `json:"bp,omitempty"` // flow-finish binding ("e"), merge pass only
 	Args  map[string]any `json:"args,omitempty"`
 }
 
@@ -176,6 +178,13 @@ func renderEvent(ev Event) []traceEvent {
 	case KColl:
 		base["algo"] = collAlgo(ev.Arg1)
 		base["bytes"] = ev.Arg2
+		if ev.Arg3 != 0 {
+			// Cross-rank alignment key: every rank of a communicator
+			// advances the collective seq identically, so (cctx, seq)
+			// names the same collective instance on every rank.
+			base["cctx"] = ev.Arg3 >> 32
+			base["seq"] = ev.Arg3 & 0xffffffff
+		}
 		return complete("coll:"+OpName(OpCode(ev.Arg0)), "coll", base)
 	case KCollStep:
 		base["step"] = ev.Arg0
@@ -199,6 +208,23 @@ func renderEvent(ev Event) []traceEvent {
 		base["chunk"] = ev.Arg1
 		base["bytes"] = ev.Arg2
 		return complete(name, "oo", base)
+	case KEdge:
+		// One half of a cross-rank message edge. The corr id is what
+		// the merge pass keys flow events on; src/dst/seq make the
+		// raw trace greppable without unpacking.
+		dir := "send"
+		if EdgeDir(ev.Arg0) == EdgeRecv {
+			dir = "recv"
+		}
+		src, dst, seq := CorrParts(ev.Arg1)
+		base["corr"] = fmt.Sprintf("%016x", ev.Arg1)
+		base["src"] = src
+		base["dst"] = dst
+		base["seq"] = seq
+		base["ctx"] = ev.Arg2 >> 32
+		base["tag"] = ev.Arg2 & 0xffffffff
+		base["bytes"] = ev.Arg3
+		return instant("edge:"+dir, "edge", base)
 	case KProgress:
 		// Async track: the progress engine runs outside any op span.
 		base["passes"] = ev.Arg0

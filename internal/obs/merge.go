@@ -1,0 +1,435 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+)
+
+// The merge pass joins per-rank (or per-process) Chrome traces into
+// one Perfetto-loadable file and derives the cross-rank structure no
+// single rank can see:
+//
+//   - edge:send / edge:recv instants with the same correlation id
+//     become Chrome flow events ("s"/"f" phases), drawing the
+//     send→recv arrow across process tracks;
+//   - collective spans carrying the same (cctx, seq) alignment key
+//     are grouped into per-instance skew records: who entered last
+//     (the arrival straggler), who ran longest, and the skew
+//     distribution — the critical-path report;
+//   - when the inputs come from different OS processes, their clocks
+//     are aligned using the edge constraint recv ≥ send in both
+//     directions (the classic interval-midpoint estimate).
+//
+// A single-process multi-rank trace is already one file; merging it
+// with itself as the only input still adds the flow events and the
+// straggler report.
+
+// mergeDoc mirrors the exporter's document shape for re-parsing.
+type mergeDoc struct {
+	TraceEvents []traceEvent   `json:"traceEvents"`
+	Metadata    map[string]any `json:"metadata,omitempty"`
+}
+
+// edgeHalf is one parsed edge:send / edge:recv instant.
+type edgeHalf struct {
+	file int
+	ts   float64 // µs, unshifted
+	pid  int32
+	tid  int32
+}
+
+// CollInstance is one collective call aligned across ranks.
+type CollInstance struct {
+	Name          string  `json:"name"`
+	Ctx           uint64  `json:"cctx"`
+	Seq           uint64  `json:"seq"`
+	Ranks         int     `json:"ranks"`
+	SlowRank      int     `json:"slowRank"`      // longest span
+	LastRank      int     `json:"lastRank"`      // latest entry: the arrival straggler
+	ArrivalSkewUs float64 `json:"arrivalSkewUs"` // max start − min start
+	DurSkewUs     float64 `json:"durSkewUs"`     // max dur − min dur
+	SlowDurUs     float64 `json:"slowDurUs"`
+}
+
+// RankSkew aggregates one rank's straggler evidence over all
+// collective instances.
+type RankSkew struct {
+	Rank          int     `json:"rank"`
+	Collectives   int     `json:"collectives"`
+	LastArrivals  int     `json:"lastArrivals"`  // instances this rank entered last
+	Slowest       int     `json:"slowest"`       // instances this rank ran longest
+	ArrivalSkewUs float64 `json:"arrivalSkewUs"` // total lateness vs the earliest rank
+}
+
+// SkewBucket is one bin of the arrival-skew histogram.
+type SkewBucket struct {
+	UpToUs float64 `json:"upToUs"` // -1 on the overflow (last) bucket; +Inf is not JSON-encodable
+	Count  int     `json:"count"`
+}
+
+// StragglerReport is the cross-rank critical-path summary derived
+// from a merged trace.
+type StragglerReport struct {
+	Collectives []CollInstance `json:"collectives"`
+	Ranks       []RankSkew     `json:"ranks"`
+	// Straggler is the rank with the largest accumulated arrival
+	// skew — the one the others keep waiting for — or -1 when the
+	// trace has no multi-rank collectives.
+	Straggler int          `json:"straggler"`
+	SkewHist  []SkewBucket `json:"skewHist"`
+}
+
+// Merged is the result of MergeTraces.
+type Merged struct {
+	Report    StragglerReport
+	OffsetsUs []float64 // per-input clock shift applied (µs)
+	Flows     int       // matched send→recv flow pairs emitted
+	Unmatched int       // edge halves without a partner
+
+	events []traceEvent
+	meta   map[string]any
+}
+
+// MergeTraces parses one or more Chrome trace files produced by
+// WriteChromeTrace, aligns their clocks, stitches message edges into
+// flow events, and computes the straggler report.
+func MergeTraces(inputs ...[]byte) (*Merged, error) {
+	if len(inputs) == 0 {
+		return nil, fmt.Errorf("obs: merge needs at least one trace")
+	}
+	docs := make([]mergeDoc, len(inputs))
+	for i, in := range inputs {
+		if err := json.Unmarshal(in, &docs[i]); err != nil {
+			return nil, fmt.Errorf("obs: input %d is not a Chrome trace: %w", i, err)
+		}
+	}
+
+	// Collect edge halves per correlation id.
+	sends := map[string]edgeHalf{}
+	recvs := map[string]edgeHalf{}
+	for fi := range docs {
+		for _, ev := range docs[fi].TraceEvents {
+			if ev.Phase != "i" || ev.Args == nil {
+				continue
+			}
+			corr, ok := ev.Args["corr"].(string)
+			if !ok {
+				continue
+			}
+			h := edgeHalf{file: fi, ts: ev.TS, pid: ev.PID, tid: ev.TID}
+			switch ev.Name {
+			case "edge:send":
+				sends[corr] = h
+			case "edge:recv":
+				recvs[corr] = h
+			}
+		}
+	}
+
+	offs := alignOffsets(len(docs), sends, recvs)
+
+	m := &Merged{OffsetsUs: offs, meta: map[string]any{}}
+
+	// Merged event stream: every input's events, clock-shifted, with
+	// process/thread metadata deduplicated across files.
+	seenMeta := map[string]bool{}
+	for fi := range docs {
+		for _, ev := range docs[fi].TraceEvents {
+			if ev.Phase == "M" {
+				key := fmt.Sprintf("%d/%d/%s/%v", ev.PID, ev.TID, ev.Name, ev.Args)
+				if seenMeta[key] {
+					continue
+				}
+				seenMeta[key] = true
+			} else {
+				ev.TS += offs[fi]
+			}
+			m.events = append(m.events, ev)
+		}
+		for k, v := range docs[fi].Metadata {
+			if _, dup := m.meta[k]; !dup {
+				m.meta[k] = v
+			}
+		}
+	}
+
+	// Flow events: one "s"/"f" pair per matched edge.
+	for corr, s := range sends {
+		r, ok := recvs[corr]
+		if !ok {
+			m.Unmatched++
+			continue
+		}
+		m.Flows++
+		m.events = append(m.events,
+			traceEvent{Name: "msg", Cat: "edge", Phase: "s", TS: s.ts + offs[s.file],
+				PID: s.pid, TID: s.tid, ID: corr},
+			traceEvent{Name: "msg", Cat: "edge", Phase: "f", BP: "e", TS: r.ts + offs[r.file],
+				PID: r.pid, TID: r.tid, ID: corr},
+		)
+	}
+	for corr := range recvs {
+		if _, ok := sends[corr]; !ok {
+			m.Unmatched++
+		}
+	}
+
+	m.Report = stragglerReport(m.events)
+
+	sort.SliceStable(m.events, func(i, j int) bool {
+		// Metadata first, then timestamp order.
+		mi, mj := m.events[i].Phase == "M", m.events[j].Phase == "M"
+		if mi != mj {
+			return mi
+		}
+		return m.events[i].TS < m.events[j].TS
+	})
+	m.meta["motor-merge"] = map[string]any{
+		"files":     len(docs),
+		"offsetsUs": offs,
+		"flows":     m.Flows,
+		"unmatched": m.Unmatched,
+	}
+	m.meta["motor-straggler-report"] = m.Report
+	return m, nil
+}
+
+// Export writes the merged Perfetto document.
+func (m *Merged) Export(w io.Writer) error {
+	return json.NewEncoder(w).Encode(mergeDoc{TraceEvents: m.events, Metadata: m.meta})
+}
+
+// alignOffsets estimates a per-file clock shift (µs) from message
+// edges: a receive can never precede its send, so edges file a → b
+// lower-bound off[b]−off[a] by send−recv, and edges b → a upper-bound
+// it by recv−send. The midpoint of the interval splits the one-way
+// latency evenly; files reachable from file 0 get shifted, isolated
+// files keep offset 0.
+func alignOffsets(n int, sends, recvs map[string]edgeHalf) []float64 {
+	offs := make([]float64, n)
+	if n <= 1 {
+		return offs
+	}
+	type bound struct {
+		lo, hi float64
+		hasLo  bool
+		hasHi  bool
+	}
+	bounds := make(map[[2]int]*bound)
+	boundOf := func(a, b int) *bound {
+		if bd := bounds[[2]int{a, b}]; bd != nil {
+			return bd
+		}
+		bd := &bound{}
+		bounds[[2]int{a, b}] = bd
+		return bd
+	}
+	for corr, s := range sends {
+		r, ok := recvs[corr]
+		if !ok || s.file == r.file {
+			continue
+		}
+		// Edge s.file → r.file: off[r]−off[s] ≥ s.ts − r.ts.
+		bd := boundOf(s.file, r.file)
+		if v := s.ts - r.ts; !bd.hasLo || v > bd.lo {
+			bd.lo, bd.hasLo = v, true
+		}
+		// Mirrored: off[s]−off[r] ≤ r.ts − s.ts.
+		rv := boundOf(r.file, s.file)
+		if v := r.ts - s.ts; !rv.hasHi || v < rv.hi {
+			rv.hi, rv.hasHi = v, true
+		}
+	}
+	// BFS from file 0, fixing each newly reached file's offset from
+	// the tightest interval against an already-fixed neighbour.
+	fixed := make([]bool, n)
+	fixed[0] = true
+	queue := []int{0}
+	for len(queue) > 0 {
+		a := queue[0]
+		queue = queue[1:]
+		for b := 0; b < n; b++ {
+			if fixed[b] {
+				continue
+			}
+			bd := bounds[[2]int{a, b}]
+			if bd == nil || (!bd.hasLo && !bd.hasHi) {
+				continue
+			}
+			var rel float64
+			switch {
+			case bd.hasLo && bd.hasHi:
+				rel = (bd.lo + bd.hi) / 2
+			case bd.hasLo:
+				rel = bd.lo
+			default:
+				rel = bd.hi
+			}
+			offs[b] = offs[a] + rel
+			fixed[b] = true
+			queue = append(queue, b)
+		}
+	}
+	return offs
+}
+
+// stragglerReport groups collective spans by their (name, cctx, seq)
+// alignment key and scores each rank's lateness.
+func stragglerReport(events []traceEvent) StragglerReport {
+	type entry struct {
+		rank  int
+		start float64
+		dur   float64
+	}
+	groups := map[string][]entry{}
+	for _, ev := range events {
+		if ev.Phase != "X" || ev.Args == nil || !strings.HasPrefix(ev.Name, "coll:") || ev.Name == "coll:step" {
+			continue
+		}
+		seq, ok := ev.Args["seq"].(float64)
+		if !ok {
+			continue
+		}
+		cctx, _ := ev.Args["cctx"].(float64)
+		var dur float64
+		if ev.Dur != nil {
+			dur = *ev.Dur
+		}
+		key := fmt.Sprintf("%s|%.0f|%.0f", ev.Name, cctx, seq)
+		groups[key] = append(groups[key], entry{rank: int(ev.PID), start: ev.TS, dur: dur})
+	}
+
+	rep := StragglerReport{Straggler: -1}
+	buckets := []float64{10, 100, 1e3, 1e4, 1e5, 1e6, math.Inf(1)}
+	counts := make([]int, len(buckets))
+	ranks := map[int]*RankSkew{}
+	rankOf := func(r int) *RankSkew {
+		if s := ranks[r]; s != nil {
+			return s
+		}
+		s := &RankSkew{Rank: r}
+		ranks[r] = s
+		return s
+	}
+
+	keys := make([]string, 0, len(groups))
+	for k := range groups {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, key := range keys {
+		es := groups[key]
+		if len(es) < 2 {
+			continue // a one-rank record can't show skew
+		}
+		// A ring-wrapped trace can lose one rank's record of an
+		// instance; dedup ranks keeping the earliest record.
+		byRank := map[int]entry{}
+		for _, e := range es {
+			if prev, ok := byRank[e.rank]; !ok || e.start < prev.start {
+				byRank[e.rank] = e
+			}
+		}
+		var (
+			minStart, maxStart = math.Inf(1), math.Inf(-1)
+			minDur, maxDur     = math.Inf(1), math.Inf(-1)
+			lastRank, slowRank = -1, -1
+		)
+		for r, e := range byRank {
+			if e.start < minStart {
+				minStart = e.start
+			}
+			if e.start > maxStart {
+				maxStart, lastRank = e.start, r
+			}
+			if e.dur < minDur {
+				minDur = e.dur
+			}
+			if e.dur > maxDur {
+				maxDur, slowRank = e.dur, r
+			}
+		}
+		parts := strings.SplitN(key, "|", 3)
+		inst := CollInstance{
+			Name:          parts[0],
+			Ranks:         len(byRank),
+			SlowRank:      slowRank,
+			LastRank:      lastRank,
+			ArrivalSkewUs: maxStart - minStart,
+			DurSkewUs:     maxDur - minDur,
+			SlowDurUs:     maxDur,
+		}
+		fmt.Sscanf(parts[1], "%d", &inst.Ctx)
+		fmt.Sscanf(parts[2], "%d", &inst.Seq)
+		rep.Collectives = append(rep.Collectives, inst)
+
+		for r, e := range byRank {
+			s := rankOf(r)
+			s.Collectives++
+			skew := e.start - minStart
+			s.ArrivalSkewUs += skew
+			for i, up := range buckets {
+				if skew <= up {
+					counts[i]++
+					break
+				}
+			}
+		}
+		rankOf(lastRank).LastArrivals++
+		rankOf(slowRank).Slowest++
+	}
+
+	for _, s := range ranks {
+		rep.Ranks = append(rep.Ranks, *s)
+	}
+	sort.Slice(rep.Ranks, func(i, j int) bool { return rep.Ranks[i].Rank < rep.Ranks[j].Rank })
+	var worst float64
+	for _, s := range rep.Ranks {
+		if s.ArrivalSkewUs > worst {
+			worst, rep.Straggler = s.ArrivalSkewUs, s.Rank
+		}
+	}
+	for i, up := range buckets {
+		if math.IsInf(up, 1) {
+			up = -1
+		}
+		rep.SkewHist = append(rep.SkewHist, SkewBucket{UpToUs: up, Count: counts[i]})
+	}
+	return rep
+}
+
+// WriteStragglerReport renders the report as text.
+func WriteStragglerReport(w io.Writer, rep StragglerReport) error {
+	if _, err := fmt.Fprintf(w, "straggler report: %d collective instances\n", len(rep.Collectives)); err != nil {
+		return err
+	}
+	for _, s := range rep.Ranks {
+		mark := ""
+		if s.Rank == rep.Straggler {
+			mark = "  <- straggler"
+		}
+		if _, err := fmt.Fprintf(w,
+			"rank %d: collectives=%d lastIn=%d slowest=%d arrivalSkew=%.0fus%s\n",
+			s.Rank, s.Collectives, s.LastArrivals, s.Slowest, s.ArrivalSkewUs, mark); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprint(w, "arrival skew histogram (us):"); err != nil {
+		return err
+	}
+	for _, b := range rep.SkewHist {
+		label := fmt.Sprintf("<=%.0f", b.UpToUs)
+		if b.UpToUs < 0 {
+			label = ">1e6"
+		}
+		if _, err := fmt.Fprintf(w, " %s:%d", label, b.Count); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}

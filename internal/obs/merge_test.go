@@ -1,0 +1,178 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+)
+
+// mkTrace serializes a synthetic per-process trace document.
+func mkTrace(t *testing.T, events []traceEvent) []byte {
+	t.Helper()
+	b, err := json.Marshal(mergeDoc{TraceEvents: events, Metadata: map[string]any{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func edgeInstant(name string, pid int32, ts float64, corr uint64) traceEvent {
+	return traceEvent{
+		Name: name, Cat: "edge", Phase: "i", Scope: "t", TS: ts, PID: pid, TID: tidMain,
+		Args: map[string]any{"corr": fmt.Sprintf("%016x", corr)},
+	}
+}
+
+func collSpan(name string, pid int32, ts, dur float64, cctx, seq uint64) traceEvent {
+	return traceEvent{
+		Name: name, Cat: "coll", Phase: "X", TS: ts, Dur: &dur, PID: pid, TID: tidMain,
+		Args: map[string]any{"cctx": cctx, "seq": seq},
+	}
+}
+
+// TestMergeTwoProcesses exercises the full merge pass on two
+// synthetic single-rank traces with skewed clocks: offsets are
+// recovered from the message edges, matched edges become flow pairs,
+// and the straggler report blames the late rank.
+func TestMergeTwoProcesses(t *testing.T) {
+	c01 := PackCorr(0, 1, 1) // rank 0 → rank 1
+	c10 := PackCorr(1, 0, 1) // rank 1 → rank 0
+	orphan := PackCorr(0, 1, 2)
+
+	// File 1's clock runs ~550µs behind file 0's. The forward edge
+	// (sent at 1000, "received" at local 500) lower-bounds the offset
+	// at 500; the reverse edge (sent at local 600, received at 1200)
+	// upper-bounds it at 600. Midpoint: 550.
+	file0 := mkTrace(t, []traceEvent{
+		{Name: "process_name", Phase: "M", PID: 0, Args: map[string]any{"name": "rank 0"}},
+		edgeInstant("edge:send", 0, 1000, c01),
+		edgeInstant("edge:recv", 0, 1200, c10),
+		edgeInstant("edge:send", 0, 1300, orphan), // never received
+		collSpan("coll:Barrier", 0, 2000, 100, 3, 0),
+		collSpan("coll:Barrier", 0, 3000, 100, 3, 1),
+	})
+	file1 := mkTrace(t, []traceEvent{
+		{Name: "process_name", Phase: "M", PID: 1, Args: map[string]any{"name": "rank 1"}},
+		edgeInstant("edge:recv", 1, 500, c01),
+		edgeInstant("edge:send", 1, 600, c10),
+		// Shifted by +550 these start at 2150 and 3250: rank 1 is the
+		// late arriver on both barriers.
+		collSpan("coll:Barrier", 1, 1600, 40, 3, 0),
+		collSpan("coll:Barrier", 1, 2700, 40, 3, 1),
+	})
+
+	m, err := MergeTraces(file0, file1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.OffsetsUs) != 2 || m.OffsetsUs[0] != 0 {
+		t.Fatalf("offsets = %v", m.OffsetsUs)
+	}
+	if off := m.OffsetsUs[1]; math.Abs(off-550) > 1e-9 {
+		t.Fatalf("file 1 offset = %v, want 550", off)
+	}
+	if m.Flows != 2 {
+		t.Fatalf("flows = %d, want 2", m.Flows)
+	}
+	if m.Unmatched != 1 {
+		t.Fatalf("unmatched = %d, want 1", m.Unmatched)
+	}
+
+	rep := m.Report
+	if len(rep.Collectives) != 2 {
+		t.Fatalf("collective instances = %d, want 2", len(rep.Collectives))
+	}
+	for _, inst := range rep.Collectives {
+		if inst.Ranks != 2 {
+			t.Fatalf("instance %+v: ranks != 2", inst)
+		}
+		if inst.LastRank != 1 {
+			t.Fatalf("instance %+v: last rank %d, want 1", inst, inst.LastRank)
+		}
+		if inst.Ctx != 3 {
+			t.Fatalf("instance %+v: cctx %d, want 3", inst, inst.Ctx)
+		}
+		// Rank 1 enters 150µs (inst 0) / 250µs (inst 1) late.
+		if inst.ArrivalSkewUs < 100 {
+			t.Fatalf("instance %+v: arrival skew too small", inst)
+		}
+	}
+	if rep.Straggler != 1 {
+		t.Fatalf("straggler = %d, want 1", rep.Straggler)
+	}
+
+	// Export → re-parse: flow pairs present, metadata first.
+	var buf bytes.Buffer
+	if err := m.Export(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc mergeDoc
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	var starts, finishes int
+	inMeta := true
+	for _, ev := range doc.TraceEvents {
+		switch ev.Phase {
+		case "M":
+			if !inMeta {
+				t.Fatal("metadata event after non-metadata event")
+			}
+		default:
+			inMeta = false
+		}
+		switch ev.Phase {
+		case "s":
+			starts++
+		case "f":
+			finishes++
+			if ev.BP != "e" {
+				t.Fatalf("flow finish without bp=e: %+v", ev)
+			}
+		}
+	}
+	if starts != 2 || finishes != 2 {
+		t.Fatalf("flow events: %d starts, %d finishes, want 2/2", starts, finishes)
+	}
+	if doc.Metadata["motor-straggler-report"] == nil {
+		t.Fatal("merged metadata lacks straggler report")
+	}
+
+	var rendered bytes.Buffer
+	if err := WriteStragglerReport(&rendered, rep); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(rendered.String(), "<- straggler") {
+		t.Fatalf("report rendering lacks straggler marker:\n%s", rendered.String())
+	}
+}
+
+// TestMergeSingleFile checks the degenerate case: one multi-rank
+// trace merges with itself as sole input, gaining flow events.
+func TestMergeSingleFile(t *testing.T) {
+	c := PackCorr(0, 1, 7)
+	in := mkTrace(t, []traceEvent{
+		edgeInstant("edge:send", 0, 100, c),
+		edgeInstant("edge:recv", 1, 180, c),
+	})
+	m, err := MergeTraces(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Flows != 1 || m.Unmatched != 0 {
+		t.Fatalf("flows=%d unmatched=%d, want 1/0", m.Flows, m.Unmatched)
+	}
+	if m.OffsetsUs[0] != 0 {
+		t.Fatalf("single-file offset = %v", m.OffsetsUs[0])
+	}
+}
+
+func TestPackCorrRoundTrip(t *testing.T) {
+	src, dst, seq := CorrParts(PackCorr(513, 42, 0xdeadbeef))
+	if src != 513 || dst != 42 || seq != 0xdeadbeef {
+		t.Fatalf("CorrParts = %d %d %x", src, dst, seq)
+	}
+}

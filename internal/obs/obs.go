@@ -76,7 +76,38 @@ const (
 	// coalesced into the span). Emitted async (Tracer.Span) because the
 	// progress goroutine owns no lane stack.
 	KProgress
+	// KEdge is a cross-rank message-edge instant recorded at the
+	// channel boundary: one edge:send on the producing rank, one
+	// edge:recv on the consuming rank, joined by a correlation id so
+	// the merge pass can stitch per-rank traces with flow events
+	// (Arg0 = EdgeDir, Arg1 = packed correlation id (PackCorr),
+	// Arg2 = ctx<<32|tag, Arg3 = payload bytes).
+	KEdge
 )
+
+// EdgeDir discriminates the two halves of a message edge.
+type EdgeDir uint64
+
+// Edge directions.
+const (
+	EdgeSend EdgeDir = iota
+	EdgeRecv
+)
+
+// PackCorr packs a message correlation id: source world rank,
+// destination world rank, and the source device's per-destination
+// sequence number. (src, dst, seq) is unique process-set-wide because
+// every device stamps its own monotonically increasing seq per
+// destination; the same value travels in the frame header, so both
+// halves of the edge compute the identical id.
+func PackCorr(src, dst int, seq uint32) uint64 {
+	return uint64(uint16(src))<<48 | uint64(uint16(dst))<<32 | uint64(seq)
+}
+
+// CorrParts unpacks a PackCorr id.
+func CorrParts(corr uint64) (src, dst int, seq uint32) {
+	return int(corr >> 48), int(uint16(corr >> 32)), uint32(corr)
+}
 
 // OpCode identifies the engine operation a KOp/KWait span covers.
 type OpCode uint64
@@ -102,6 +133,10 @@ const (
 	OpOBcast
 	OpOScatter
 	OpOGather
+	// OpDevWait is the generic device-level polling wait (adi
+	// WaitReq), used by the stall watchdog when no higher-level op
+	// claimed the wait.
+	OpDevWait
 )
 
 // PinDecision is the outcome of the pinning policy at one decision
@@ -186,6 +221,7 @@ type openSpan struct {
 	id     uint64
 	parent uint64
 	kind   Kind
+	skip   bool // flight-mode sampling elided this span's emit
 	ts     int64
 	args   [4]uint64
 }
@@ -197,10 +233,17 @@ type lane struct {
 	stack    [spanDepth]openSpan
 	depth    int
 	overflow int
-	_        [40]byte // keep lanes off each other's cache lines
+	tick     uint32 // flight-mode sampling counter (spans + instants)
+	// sampled counts this lane's flight-elided events. Per-lane, and
+	// credited in sampleN-1 batches on the kept event (which already
+	// pays for a clock read and a ring write), so the elided fast path
+	// performs no atomic at all. The count trails by up to one partial
+	// sampling period per lane.
+	sampled atomic.Uint64
+	_       [28]byte // keep lanes off each other's cache lines
 }
 
-const shardSize = 1 << 14 // events per shard (power of two)
+const shardSize = 1 << 14 // default events per shard (power of two)
 
 type shard struct {
 	pos atomic.Uint64
@@ -214,8 +257,18 @@ type Tracer struct {
 	start  time.Time
 	shards []*shard
 	mask   uint64
+	size   uint64 // events per shard (power of two)
 	spanID atomic.Uint64
 	lanes  []lane
+
+	// Flight mode: the always-on second ring. Smaller shards, and
+	// high-frequency spans and instants are emitted 1-in-sampleN
+	// (low-frequency events — GC, collectives, conditional-pin
+	// resolutions — are always kept). sampleN is a power of two so the
+	// per-event decision is a mask, not a divide.
+	flight     bool
+	sampleN    uint32
+	sampleMask uint32 // sampleN - 1
 
 	hists [HistCount]Histogram
 }
@@ -223,8 +276,18 @@ type Tracer struct {
 // Options configures a tracer.
 type Options struct {
 	// Shards is the number of event rings (rounded up to a power of
-	// two; default 8). Each holds shardSize events.
+	// two; default 8).
 	Shards int
+	// ShardSize is the events-per-shard ring capacity (rounded up to
+	// a power of two; default 16Ki).
+	ShardSize int
+	// Flight marks the tracer as a flight recorder: high-frequency
+	// spans and instants are sampled 1-in-SampleN; rare diagnostic
+	// events are always kept.
+	Flight bool
+	// SampleN is the flight-mode sampling period (rounded up to a
+	// power of two; default 16).
+	SampleN int
 }
 
 // NewTracer builds a tracer without publishing it; use Start to make
@@ -238,39 +301,128 @@ func NewTracer(opts Options) *Tracer {
 	for p < n {
 		p <<= 1
 	}
+	size := opts.ShardSize
+	if size <= 0 {
+		size = shardSize
+	}
+	sz := 1
+	for sz < size {
+		sz <<= 1
+	}
+	sampleN := opts.SampleN
+	if sampleN <= 0 {
+		sampleN = 16
+	}
+	sn := 1
+	for sn < sampleN {
+		sn <<= 1
+	}
 	t := &Tracer{
-		start:  time.Now(),
-		shards: make([]*shard, p),
-		mask:   uint64(p - 1),
-		lanes:  make([]lane, maxLanes),
+		start:      time.Now(),
+		shards:     make([]*shard, p),
+		mask:       uint64(p - 1),
+		size:       uint64(sz),
+		flight:     opts.Flight,
+		sampleN:    uint32(sn),
+		sampleMask: uint32(sn - 1),
+		lanes:      make([]lane, maxLanes),
 	}
 	for i := range t.shards {
-		t.shards[i] = &shard{buf: make([]Event, shardSize)}
+		t.shards[i] = &shard{buf: make([]Event, sz)}
 	}
 	return t
+}
+
+// Flight reports whether this tracer is the always-on flight
+// recorder (sampled spans) rather than a full trace session.
+func (t *Tracer) Flight() bool { return t.flight }
+
+// sampledKind reports whether a span kind is subject to flight-mode
+// sampling. High-frequency per-message spans are sampled; collection
+// and collective spans are rare and diagnostic gold, so they are
+// always kept.
+func sampledKind(k Kind) bool {
+	switch k {
+	case KOp, KWait, KADIReq, KCollStep, KChunk, KSerial:
+		return true
+	}
+	return false
+}
+
+// sampledInstant reports whether an instant kind is subject to
+// flight-mode sampling. Per-message instants (pin decisions, channel
+// frames, message edges) fire several times per message and would
+// dominate the always-on budget; rare diagnostics (conditional-pin
+// resolutions) are always kept.
+func sampledInstant(k Kind) bool {
+	switch k {
+	case KPin, KFrame, KEdge:
+		return true
+	}
+	return false
 }
 
 // active is the process-wide tracer; nil when tracing is disabled.
 var active atomic.Pointer[Tracer]
 
+// displaced holds a flight recorder temporarily displaced by a full
+// trace session; Stop restores it.
+var displaced atomic.Pointer[Tracer]
+
 // Active returns the current tracer, or nil when tracing is off.
 // This is the one-atomic-load gate every event site goes through.
 func Active() *Tracer { return active.Load() }
 
-// Start builds a tracer and publishes it as the process tracer. It
-// returns nil (leaving the current session untouched) if one is
-// already active — the first starter owns the session.
+// Start builds a tracer and publishes it as the process tracer. A
+// full session displaces an active flight recorder (restored by
+// Stop); it returns nil (leaving the current session untouched) if a
+// full session is already active — the first starter owns it.
 func Start(opts Options) *Tracer {
 	t := NewTracer(opts)
-	if !active.CompareAndSwap(nil, t) {
-		return nil
+	for {
+		cur := active.Load()
+		switch {
+		case cur == nil:
+			if active.CompareAndSwap(nil, t) {
+				return t
+			}
+		case cur.flight && !t.flight:
+			if active.CompareAndSwap(cur, t) {
+				displaced.Store(cur)
+				return t
+			}
+		default:
+			return nil
+		}
 	}
-	return t
 }
 
-// Stop unpublishes t. Emits racing with Stop land in t's rings and
-// are simply never exported — safe by construction.
+// Stop unpublishes t, restoring any flight recorder t displaced.
+// Emits racing with Stop land in t's rings and are simply never
+// exported — safe by construction.
 func Stop(t *Tracer) {
+	if t == nil {
+		return
+	}
+	if t.flight {
+		// A stopping flight recorder may have been displaced by a
+		// full session or parked in a duty-cycle gap; forget it
+		// everywhere. flightRec is cleared first so a racing
+		// CycleFlight rearm sees the retirement and undoes itself.
+		flightRec.CompareAndSwap(t, nil)
+		displaced.CompareAndSwap(t, nil)
+		active.CompareAndSwap(t, nil)
+		return
+	}
+	if d := displaced.Swap(nil); d != nil {
+		if active.CompareAndSwap(t, d) {
+			return
+		}
+		// t was not current anymore; put the flight recorder back
+		// only if nothing else took over.
+		active.CompareAndSwap(nil, d)
+		return
+	}
 	active.CompareAndSwap(t, nil)
 }
 
@@ -279,6 +431,25 @@ func (t *Tracer) Now() int64 { return int64(time.Since(t.start)) }
 
 // NewSpanID allocates a process-unique span id.
 func (t *Tracer) NewSpanID() uint64 { return t.spanID.Add(1) }
+
+// SpanIDFor allocates a span id for an async span (one later emitted
+// via Span rather than Begin/End), returning 0 when flight-mode
+// sampling elides that span. A zero return tells the caller to skip
+// all of its per-span bookkeeping — timestamp capture, parent lookup,
+// and the completion-time Span call — not just the ring write. The
+// sampling decision rides the rank's lane tick, so the elided path
+// touches no process-shared state.
+func (t *Tracer) SpanIDFor(rank int, kind Kind) uint64 {
+	if t.flight && sampledKind(kind) {
+		l := t.laneOf(rank)
+		l.tick++
+		if l.tick&t.sampleMask != 0 {
+			return 0
+		}
+		l.sampled.Add(uint64(t.sampleMask))
+	}
+	return t.spanID.Add(1)
+}
 
 // laneOf clamps a world rank onto the lane table.
 func (t *Tracer) laneOf(rank int) *lane {
@@ -293,7 +464,7 @@ func (t *Tracer) laneOf(rank int) *lane {
 func (t *Tracer) Emit(ev Event) {
 	sh := t.shards[uint64(ev.Lane)&t.mask]
 	pos := sh.pos.Add(1) - 1
-	sh.buf[pos&(shardSize-1)] = ev
+	sh.buf[pos&(t.size-1)] = ev
 }
 
 // Current returns the lane's innermost open span id (0 when none) —
@@ -307,8 +478,18 @@ func (t *Tracer) Current(rank int) uint64 {
 }
 
 // Instant records a zero-duration event under the lane's current
-// span.
+// span. In flight mode high-frequency instant kinds share the lane's
+// 1-in-sampleN tick with spans; a sampled-out instant costs one lane
+// counter increment and nothing else — no clock read, no ring write.
 func (t *Tracer) Instant(rank int, kind Kind, args ...uint64) {
+	if t.flight && sampledInstant(kind) {
+		l := t.laneOf(rank)
+		l.tick++
+		if l.tick&t.sampleMask != 0 {
+			return
+		}
+		l.sampled.Add(uint64(t.sampleMask))
+	}
 	ev := Event{TS: t.Now(), Lane: int32(rank), Kind: kind, Parent: t.Current(rank)}
 	copyArgs(&ev, args)
 	t.Emit(ev)
@@ -317,17 +498,35 @@ func (t *Tracer) Instant(rank int, kind Kind, args ...uint64) {
 // Begin opens a nested span on the rank's lane. Every Begin must be
 // matched by an End on the same lane (use defer on error-prone
 // paths); the event is emitted at End with the measured duration.
+//
+// Flight-mode fast path: a sampled-out span skips the clock read and
+// span-id allocation entirely — the always-on budget allows roughly
+// two clock reads per message, so Begin/End of an elided span must
+// cost only the stack push/pop.
 func (t *Tracer) Begin(rank int, kind Kind, args ...uint64) {
 	l := t.laneOf(rank)
 	if l.depth == spanDepth {
 		l.overflow++
 		return
 	}
-	sp := openSpan{id: t.NewSpanID(), kind: kind, ts: t.Now()}
-	if l.depth > 0 {
-		sp.parent = l.stack[l.depth-1].id
+	var sp openSpan
+	if t.flight && sampledKind(kind) {
+		l.tick++
+		if l.tick&t.sampleMask != 0 {
+			sp.skip = true
+		} else {
+			l.sampled.Add(uint64(t.sampleMask))
+		}
 	}
-	copy(sp.args[:], args)
+	sp.kind = kind
+	if !sp.skip {
+		sp.id = t.NewSpanID()
+		sp.ts = t.Now()
+		if l.depth > 0 {
+			sp.parent = l.stack[l.depth-1].id
+		}
+		copy(sp.args[:], args)
+	}
 	l.stack[l.depth] = sp
 	l.depth++
 }
@@ -346,6 +545,12 @@ func (t *Tracer) End(rank int) int64 {
 	}
 	l.depth--
 	sp := l.stack[l.depth]
+	if sp.skip {
+		// Sampled out in flight mode: no clock was read at Begin and
+		// none is read here. Callers treat a zero return as "no
+		// sample" — flight-mode histograms are 1-in-sampleN sampled.
+		return 0
+	}
 	dur := t.Now() - sp.ts
 	t.Emit(Event{
 		TS: sp.ts, Dur: dur, Lane: int32(rank), Kind: sp.kind,
@@ -358,7 +563,9 @@ func (t *Tracer) End(rank int) int64 {
 // Span emits a complete span with explicit timing and identity — the
 // form used for ADI requests, whose lifetime does not nest inside the
 // lane's span stack (a request posted under one op can complete under
-// another, or under no op at all).
+// another, or under no op at all). Flight-mode sampling of async
+// spans happens at id allocation (SpanIDFor), not here: by emit time
+// the caller has already paid the bookkeeping.
 func (t *Tracer) Span(rank int, kind Kind, id, parent uint64, startTS int64, args ...uint64) {
 	ev := Event{
 		TS: startTS, Dur: t.Now() - startTS, Lane: int32(rank), Kind: kind,
@@ -399,12 +606,12 @@ func (t *Tracer) Events() []Event {
 	var out []Event
 	for _, sh := range t.shards {
 		pos := sh.pos.Load()
-		if pos <= shardSize {
+		if pos <= t.size {
 			out = append(out, sh.buf[:pos]...)
 			continue
 		}
 		// Wrapped: oldest surviving event is at pos % size.
-		head := pos & (shardSize - 1)
+		head := pos & (t.size - 1)
 		out = append(out, sh.buf[head:]...)
 		out = append(out, sh.buf[:head]...)
 	}
@@ -415,9 +622,47 @@ func (t *Tracer) Events() []Event {
 func (t *Tracer) Dropped() uint64 {
 	var n uint64
 	for _, sh := range t.shards {
-		if pos := sh.pos.Load(); pos > shardSize {
-			n += pos - shardSize
+		if pos := sh.pos.Load(); pos > t.size {
+			n += pos - t.size
 		}
 	}
 	return n
+}
+
+// ShardStats is one event ring's health counters, surfaced in the
+// metrics registry as the obs.* group.
+type ShardStats struct {
+	Events  uint64 // events ever emitted to this shard
+	Dropped uint64 // events overwritten by ring wrap
+	Wraps   uint64 // complete ring cycles
+}
+
+// TracerStats is the tracer's own health snapshot: per-shard ring
+// pressure plus flight-mode sampling activity.
+type TracerStats struct {
+	Shards       []ShardStats
+	Dropped      uint64 // total overwritten events
+	Flight       uint64 // 1 when this is the flight recorder
+	SampledSpans uint64 // flight-elided spans + instants (batched; trails by <1 period per lane)
+}
+
+// StatsSnapshot captures the tracer's ring and sampling counters.
+func (t *Tracer) StatsSnapshot() TracerStats {
+	st := TracerStats{Shards: make([]ShardStats, len(t.shards))}
+	for i := range t.lanes {
+		st.SampledSpans += t.lanes[i].sampled.Load()
+	}
+	if t.flight {
+		st.Flight = 1
+	}
+	for i, sh := range t.shards {
+		pos := sh.pos.Load()
+		s := ShardStats{Events: pos, Wraps: pos / t.size}
+		if pos > t.size {
+			s.Dropped = pos - t.size
+		}
+		st.Shards[i] = s
+		st.Dropped += s.Dropped
+	}
+	return st
 }

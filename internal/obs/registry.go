@@ -85,14 +85,45 @@ func (r *Registry) Snapshot() Snapshot {
 	for _, s := range srcs {
 		snap.Groups = append(snap.Groups, Group{Name: s.name, Fields: FieldsOf(s.get())})
 	}
-	sort.SliceStable(snap.Groups, func(i, j int) bool { return snap.Groups[i].Name < snap.Groups[j].Name })
-	if t := Active(); t != nil {
+	t := Active()
+	if t == nil {
+		// A flight recorder parked in a duty-cycle gap still has ring
+		// health and histograms worth reporting.
+		t = flightRec.Load()
+	}
+	if t != nil {
+		// The tracer's own ring health rides along as the obs.* group
+		// so dropped events are visible without parsing trace
+		// metadata, and the histograms are included.
+		snap.Groups = append(snap.Groups, Group{Name: "obs", Fields: t.statsFields()})
 		snap.Hists = make(map[string]HistSnapshot, HistCount)
 		for i := HistID(0); i < HistCount; i++ {
 			snap.Hists[HistNames[i]] = t.Hist(i).Snapshot()
 		}
 	}
+	sort.SliceStable(snap.Groups, func(i, j int) bool { return snap.Groups[i].Name < snap.Groups[j].Name })
 	return snap
+}
+
+// statsFields flattens TracerStats (including the per-shard slice,
+// which reflection-based FieldsOf cannot see) into registry fields.
+func (t *Tracer) statsFields() []Field {
+	st := t.StatsSnapshot()
+	out := []Field{
+		{Name: "Dropped", Value: st.Dropped},
+		{Name: "Flight", Value: st.Flight},
+		{Name: "SampledSpans", Value: st.SampledSpans},
+		{Name: "WatchdogFires", Value: WatchdogFires()},
+	}
+	for i, sh := range st.Shards {
+		p := "Shard" + strconv.Itoa(i) + "."
+		out = append(out,
+			Field{Name: p + "Events", Value: sh.Events},
+			Field{Name: p + "Dropped", Value: sh.Dropped},
+			Field{Name: p + "Wraps", Value: sh.Wraps},
+		)
+	}
+	return out
 }
 
 // FieldsOf flattens the exported integer fields of a stats struct (or

@@ -1,0 +1,127 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sort"
+	"strings"
+	"time"
+)
+
+// The live telemetry endpoint serves the unified metrics registry
+// over HTTP while a world runs: /metrics renders the snapshot as
+// OpenMetrics-style text (or JSON with ?format=json), /healthz
+// reports liveness plus the watchdog's view of in-flight waits, and
+// the stock net/http/pprof handlers hang under /debug/pprof/. It is
+// wired up by motor.Config.Telemetry / MOTOR_TELEMETRY=:port.
+
+// Telemetry is a running telemetry HTTP server.
+type Telemetry struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// ServeTelemetry starts an HTTP server on addr (":0" picks a free
+// port; query Addr for the bound address) serving reg's snapshots.
+func ServeTelemetry(addr string, reg *Registry) (*Telemetry, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		snap := reg.Snapshot()
+		if r.URL.Query().Get("format") == "json" ||
+			strings.Contains(r.Header.Get("Accept"), "application/json") {
+			w.Header().Set("Content-Type", "application/json")
+			_ = WriteMetricsJSON(w, snap)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_ = WriteOpenMetrics(w, snap)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintf(w, "ok uptime=%v watchdog_fires=%d\n",
+			time.Duration(nowNS()).Round(time.Millisecond), WatchdogFires())
+		waiting := Waiting()
+		for _, lane := range sortedLanes(waiting) {
+			fmt.Fprintf(w, "waiting rank=%d for=%v\n", lane, waiting[lane].Round(time.Millisecond))
+		}
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	t := &Telemetry{ln: ln, srv: &http.Server{Handler: mux}}
+	go func() { _ = t.srv.Serve(ln) }()
+	return t, nil
+}
+
+// Addr returns the server's bound address (useful with ":0").
+func (t *Telemetry) Addr() string { return t.ln.Addr().String() }
+
+// Close shuts the server down.
+func (t *Telemetry) Close() error { return t.srv.Close() }
+
+// WriteOpenMetrics renders a snapshot in OpenMetrics-style text:
+// one "motor_<group>_<field> value" line per counter (rank suffixes
+// like "engine#1" become an instance label), and each histogram as a
+// summary with quantile labels. The field set is identical to
+// WriteMetricsText's — only the spelling differs.
+func WriteOpenMetrics(w io.Writer, snap Snapshot) error {
+	if _, err := fmt.Fprintf(w, "# motor metrics v%d seq=%d\n", snap.Version, snap.Seq); err != nil {
+		return err
+	}
+	for _, g := range snap.Groups {
+		group, inst := g.Name, ""
+		if i := strings.IndexByte(group, '#'); i >= 0 {
+			group, inst = group[:i], group[i+1:]
+		}
+		label := ""
+		if inst != "" {
+			label = `{instance="` + inst + `"}`
+		}
+		for _, f := range g.Fields {
+			if _, err := fmt.Fprintf(w, "motor_%s_%s%s %d\n",
+				metricName(group), metricName(f.Name), label, f.Value); err != nil {
+				return err
+			}
+		}
+	}
+	names := make([]string, 0, len(snap.Hists))
+	for n := range snap.Hists {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		h := snap.Hists[n]
+		base := "motor_hist_" + metricName(n)
+		if _, err := fmt.Fprintf(w,
+			"%s_count %d\n%s_mean %.0f\n%s{quantile=\"0.5\"} %d\n%s{quantile=\"0.95\"} %d\n%s{quantile=\"0.99\"} %d\n%s_max %d\n",
+			base, h.Count, base, h.Mean, base, h.P50, base, h.P95, base, h.P99, base, h.Max); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w, "# EOF")
+	return err
+}
+
+// metricName maps registry names onto the OpenMetrics charset.
+func metricName(s string) string {
+	var b strings.Builder
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_':
+			b.WriteRune(r)
+		default:
+			b.WriteRune('_')
+		}
+	}
+	return b.String()
+}

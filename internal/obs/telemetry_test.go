@@ -1,0 +1,104 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+type telemetryEngineStats struct {
+	Ops   uint64
+	Polls uint64
+}
+
+func httpGet(t *testing.T, url string, hdr map[string]string) (int, string) {
+	t.Helper()
+	req, err := http.NewRequest("GET", url, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, v := range hdr {
+		req.Header.Set(k, v)
+	}
+	c := &http.Client{Timeout: 5 * time.Second}
+	resp, err := c.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(b)
+}
+
+func TestTelemetryEndpoint(t *testing.T) {
+	reg := new(Registry)
+	reg.Register("engine", func() any { return telemetryEngineStats{Ops: 7, Polls: 40} })
+	reg.Register("engine", func() any { return telemetryEngineStats{Ops: 9} }) // rank 1 → engine#1
+
+	tel, err := ServeTelemetry("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tel.Close()
+	base := "http://" + tel.Addr()
+
+	code, body := httpGet(t, base+"/metrics", nil)
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status %d", code)
+	}
+	for _, want := range []string{
+		"motor_engine_Ops 7\n",
+		"motor_engine_Polls 40\n",
+		`motor_engine_Ops{instance="1"} 9` + "\n",
+		"# EOF\n",
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("/metrics lacks %q:\n%s", want, body)
+		}
+	}
+
+	// JSON both by query parameter and by Accept header.
+	for _, u := range []string{base + "/metrics?format=json", base + "/metrics"} {
+		hdr := map[string]string{}
+		if !strings.Contains(u, "format=json") {
+			hdr["Accept"] = "application/json"
+		}
+		_, jbody := httpGet(t, u, hdr)
+		var snap Snapshot
+		if err := json.Unmarshal([]byte(jbody), &snap); err != nil {
+			t.Fatalf("JSON /metrics unparseable: %v\n%s", err, jbody)
+		}
+		if snap.Version != SnapshotVersion || len(snap.Groups) != 2 {
+			t.Fatalf("JSON snapshot = %+v", snap)
+		}
+		if snap.Groups[0].Name != "engine" || snap.Groups[0].Fields[0].Value != 7 {
+			t.Fatalf("JSON group 0 = %+v", snap.Groups[0])
+		}
+	}
+
+	const lane = 21
+	BeatEnter(lane, OpSend, 0)
+	code, health := httpGet(t, base+"/healthz", nil)
+	BeatExit(lane)
+	if code != http.StatusOK || !strings.HasPrefix(health, "ok uptime=") {
+		t.Fatalf("/healthz = %d %q", code, health)
+	}
+	if !strings.Contains(health, "waiting rank=21") {
+		t.Fatalf("/healthz lacks in-flight wait:\n%s", health)
+	}
+
+	code, _ = httpGet(t, base+"/debug/pprof/", nil)
+	if code != http.StatusOK {
+		t.Fatalf("/debug/pprof/ status %d", code)
+	}
+
+	if tel.Addr() == "" || !strings.Contains(tel.Addr(), ":") {
+		t.Fatalf("Addr() = %q", tel.Addr())
+	}
+}

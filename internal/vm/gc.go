@@ -70,6 +70,14 @@ func (v *VM) collect(full bool) {
 		h.fullMarkSweep(v, pinned)
 	}
 	pause := uint64(time.Since(start).Nanoseconds())
+	gcKind := obs.GCScavenge
+	if full {
+		gcKind = obs.GCFull
+	}
+	// Watchdog attribution: a stall diagnosis cites the last collection
+	// (kind, pause, recency) so GC-induced hangs are distinguishable
+	// from transport ones. Runs with or without a tracer.
+	obs.NoteGC(gcKind, int64(pause))
 	atomic.AddUint64(&h.Stats.PauseNs, pause)
 	for {
 		max := atomic.LoadUint64(&h.Stats.MaxPauseNs)

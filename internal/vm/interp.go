@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"math"
 	"runtime"
+
+	"motor/internal/obs"
 )
 
 // The bytecode interpreter. One callFrame per activation; the frame
@@ -81,7 +83,15 @@ func (t *Thread) Call(m *Method, args ...Value) (Value, error) {
 	}
 	base := len(t.callStack)
 	t.pushCallFrame(m, args)
-	return t.run(base)
+	v, err := t.run(base)
+	var trap *Trap
+	if errors.As(err, &trap) {
+		// A trap surfacing to the embedder is a post-mortem moment:
+		// capture the flight recorder before the process (or test)
+		// moves on and the ring is overwritten.
+		obs.FlightTrip("guest-trap")
+	}
+	return v, err
 }
 
 func (t *Thread) pushCallFrame(m *Method, args []Value) {

@@ -100,17 +100,17 @@ const (
 	qNewMD  // mt = multidim array type (rank from mt)
 
 	qLdLen
-	qLdElem  // dynamic: element kind from the receiver's method table
-	qLdElemK // mt = exact array type (layout baked)
-	qStElem  // dynamic; full store checks
-	qStElemK // mt = exact array type; b = 1 when the store is verifier-checked
-	qLdFld   // dynamic: a = field slot
-	qLdFldD  // fld = baked descriptor (exact receiver)
+	qLdElem    // dynamic: element kind from the receiver's method table
+	qLdElemK   // mt = exact array type (layout baked)
+	qStElem    // dynamic; full store checks
+	qStElemK   // mt = exact array type; b = 1 when the store is verifier-checked
+	qLdFld     // dynamic: a = field slot
+	qLdFldD    // fld = baked descriptor (exact receiver)
 	qLdLocFld  // fused ldloc a; ldfld b (dynamic)
 	qLdLocFldD // fused ldloc a; ldfld with baked fld
-	qStFld   // dynamic: a = field slot
-	qStFldD  // fld = baked descriptor; b = 1 when the store is verifier-checked
-	qLdSFld  // a = global index
+	qStFld     // dynamic: a = field slot
+	qStFldD    // fld = baked descriptor; b = 1 when the store is verifier-checked
+	qLdSFld    // a = global index
 	qStSFld
 )
 

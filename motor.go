@@ -35,6 +35,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sync/atomic"
 	"time"
 
 	"motor/internal/core"
@@ -195,6 +196,26 @@ type Config struct {
 	// enables, "0"/"inline" disables) overrides an unset field. See
 	// docs/PROGRESS.md.
 	AsyncProgress bool
+	// Telemetry, when set to a listen address (":9700", "127.0.0.1:0"),
+	// serves live observability over HTTP while the world runs:
+	// /metrics (the unified registry as OpenMetrics text, or JSON with
+	// ?format=json), /healthz (liveness plus in-flight waits), and the
+	// stock /debug/pprof handlers. Empty disables the endpoint unless
+	// the MOTOR_TELEMETRY environment variable names an address.
+	Telemetry string
+	// WatchdogDeadline is the stall watchdog's threshold: a rank stuck
+	// in one polling-wait or collective longer than this is diagnosed
+	// on stderr (op, peer, device state, last GC, progress liveness)
+	// and the flight recorder is dumped. Zero means the default (60s,
+	// or the MOTOR_WATCHDOG environment variable: a Go duration, or
+	// "off"/"0" to disable); negative disables the watchdog.
+	WatchdogDeadline time.Duration
+	// NoFlight disables the always-on flight recorder (a small
+	// duty-cycle-armed trace ring that runs even without Trace and is
+	// dumped on guest traps, transport failures and watchdog fires).
+	// MOTOR_FLIGHT=0 also disables it. A full Trace session displaces
+	// the flight recorder for its duration regardless.
+	NoFlight bool
 }
 
 func (c *Config) fill() {
@@ -216,6 +237,92 @@ func (c *Config) fill() {
 			c.Quicken = QuickenOff
 		}
 	}
+	if c.Telemetry == "" {
+		c.Telemetry = os.Getenv("MOTOR_TELEMETRY")
+	}
+	if c.WatchdogDeadline == 0 {
+		switch s := os.Getenv("MOTOR_WATCHDOG"); s {
+		case "":
+		case "0", "off", "no":
+			c.WatchdogDeadline = -1
+		default:
+			if d, err := time.ParseDuration(s); err == nil && d > 0 {
+				c.WatchdogDeadline = d
+			}
+		}
+	}
+	if !c.NoFlight {
+		switch os.Getenv("MOTOR_FLIGHT") {
+		case "0", "off", "no":
+			c.NoFlight = true
+		}
+	}
+}
+
+// obsSession is the per-Run (or per-Join) observability state: the
+// flight recorder (unless a full trace session owns the process), the
+// stall watchdog, and the telemetry endpoint.
+type obsSession struct {
+	flight     *obs.Tracer
+	flightStop func() // ends the recorder's duty-cycle arming
+	watchdog   *obs.Watchdog
+	telemetry  *obs.Telemetry
+}
+
+// startObs brings up the always-on observability for a filled config.
+// reg is registered with each rank's stats later; it may be shared.
+func startObs(cfg *Config, fullTrace bool, reg *obs.Registry) (*obsSession, error) {
+	s := &obsSession{}
+	if !fullTrace && !cfg.NoFlight {
+		if s.flight = obs.StartFlight(); s.flight != nil {
+			// Duty-cycle arming keeps the recorder inside the <5%
+			// always-on budget; out-of-window event sites pay the
+			// tracing-disabled cost.
+			s.flightStop = obs.CycleFlight(s.flight, 0, 0)
+		}
+	}
+	if cfg.WatchdogDeadline >= 0 {
+		s.watchdog = obs.StartWatchdog(obs.WatchdogConfig{Deadline: cfg.WatchdogDeadline})
+	}
+	if cfg.Telemetry != "" {
+		t, err := obs.ServeTelemetry(cfg.Telemetry, reg)
+		if err != nil {
+			s.stop()
+			return nil, fmt.Errorf("motor: telemetry: %w", err)
+		}
+		s.telemetry = t
+	}
+	return s, nil
+}
+
+func (s *obsSession) stop() {
+	if s == nil {
+		return
+	}
+	if s.telemetry != nil {
+		_ = s.telemetry.Close()
+	}
+	if s.watchdog != nil {
+		s.watchdog.Stop()
+	}
+	if s.flight != nil {
+		if s.flightStop != nil {
+			s.flightStop()
+		}
+		obs.Stop(s.flight)
+	}
+}
+
+// telemetryAddr holds the bound address of the most recent live
+// telemetry endpoint (":0" configs resolve to a real port).
+var telemetryAddr atomic.Value // string
+
+// TelemetryAddr returns the live telemetry endpoint's address from
+// the most recent Run or Join in this process, or "" when no endpoint
+// is up. Exposed for tests and embedders that print the URL.
+func TelemetryAddr() string {
+	s, _ := telemetryAddr.Load().(string)
+	return s
 }
 
 // Rank is one process of a Motor world: a virtual machine, its
@@ -252,6 +359,19 @@ func Run(cfg Config, body func(r *Rank) error) error {
 		// Runs trace into the owner's session and the owner exports.
 		tracer = obs.Start(obs.Options{})
 	}
+	reg := new(obs.Registry)
+	sess, err := startObs(&cfg, tracer != nil, reg)
+	if err != nil {
+		if tracer != nil {
+			obs.Stop(tracer)
+		}
+		return err
+	}
+	defer sess.stop()
+	if sess.telemetry != nil {
+		telemetryAddr.Store(sess.telemetry.Addr())
+		defer telemetryAddr.Store("")
+	}
 	worlds, err := mp.NewLocalWorldsOn(kind, cfg.Ranks, cfg.EagerMax, cfg.Platform)
 	if err != nil {
 		if tracer != nil {
@@ -264,6 +384,9 @@ func Run(cfg Config, body func(r *Rank) error) error {
 		go func(w *mp.World) {
 			defer w.Close()
 			r := newRank(w, cfg)
+			// Live /metrics sees every rank: the registry suffixes
+			// same-named groups (engine#1, ...) per rank.
+			r.engine.RegisterStats(reg)
 			// LIFO teardown: the main thread ends first (releasing the
 			// execution token), then the progress engine stops (its gated
 			// loop needs the token to finish a pass), then the world
@@ -359,15 +482,55 @@ func Serve(addr string, n int) error {
 // real process boundaries.
 func Join(cfg Config, rootAddr string, rank, size int) (*Rank, func() error, error) {
 	cfg.fill()
+	// Per-process tracing: each OS process of a sock world exports its
+	// own file (set a distinct -trace/MOTOR_TRACE per rank), which is
+	// exactly the per-rank input layout cmd/mtrace stitches back
+	// together. As in Run, the first Join to start a session owns it;
+	// in-process siblings trace into the owner's session.
+	tracePath := cfg.Trace
+	if tracePath == "" {
+		tracePath = os.Getenv("MOTOR_TRACE")
+	}
+	var tracer *obs.Tracer
+	if tracePath != "" {
+		tracer = obs.Start(obs.Options{})
+	}
+	reg := new(obs.Registry)
+	sess, err := startObs(&cfg, obs.Active() != nil && !obs.Active().Flight(), reg)
+	if err != nil {
+		if tracer != nil {
+			obs.Stop(tracer)
+		}
+		return nil, nil, err
+	}
+	if sess.telemetry != nil {
+		telemetryAddr.Store(sess.telemetry.Addr())
+	}
 	w, err := mp.JoinWorld(rootAddr, rank, size, cfg.EagerMax)
 	if err != nil {
+		sess.stop()
+		if tracer != nil {
+			obs.Stop(tracer)
+		}
 		return nil, nil, err
 	}
 	r := newRank(w, cfg)
+	r.engine.RegisterStats(reg)
 	closer := func() error {
 		r.thread.End()
 		r.engine.Close()
-		return w.Close()
+		err := w.Close()
+		if sess.telemetry != nil {
+			telemetryAddr.Store("")
+		}
+		sess.stop()
+		if tracer != nil {
+			obs.Stop(tracer)
+			if werr := writeTrace(tracePath, tracer); werr != nil && err == nil {
+				err = werr
+			}
+		}
+		return err
 	}
 	return r, closer, nil
 }

@@ -17,8 +17,13 @@
 #                     property suites, which demand bit-identical
 #                     value/stdout/trap behaviour on deterministic
 #                     programs. The quickening pass's behavioural gate.
+#   obs tier:         the observability gate — stall watchdog, trace
+#                     stitching, flight recorder (incl. the <5%
+#                     always-on overhead budget), live telemetry
+#                     endpoint over real HTTP, and the cross-rank
+#                     merge round-trip through cmd/mtrace.
 #
-# Usage: scripts/verify.sh [quick|race|stress|all|bench|vet|quicken]
+# Usage: scripts/verify.sh [quick|race|stress|all|bench|vet|quicken|obs]
 #   quick   tier 1 with -short (chaos sweeps skipped; < ~30s)
 #   race    tier 2 only
 #   stress  stress tier only: shared-rank goroutine stress, fault
@@ -31,6 +36,8 @@
 #   vet     static checks only: go vet + motor -mode check examples/
 #   quicken quicken tier only: examples under both engines + the
 #           quickening differential tests
+#   obs     obs tier only: telemetry smoke, watchdog-on-injected-stall,
+#           merge round-trip, flight-recorder budget
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -107,6 +114,119 @@ tier_quicken() {
 		./internal/vm/ ./internal/vm/bcverify/
 }
 
+# Obs tier: the observability acceptance gate (docs/OBSERVABILITY.md).
+# Go-level checks first — watchdog fires on a planted stall, 4-rank
+# stitch schema + straggler attribution, text/JSON metrics parity,
+# flight-recorder duty cycle/dump/overhead budget, per-process Join
+# trace export — then two end-to-end smokes over real processes: the
+# live telemetry endpoint answered over HTTP while a world runs, and
+# the cross-rank merge round-trip through cmd/mtrace in both layouts
+# (one in-process multi-rank file; one file per OS process of a sock
+# world).
+tier_obs() {
+	echo "== obs: watchdog + stitching + parity + flight-recorder tests"
+	go test -count=1 -run 'TestWatchdog|TestStitch|TestMetricsTextJSONParity|TestFlight|TestCycleFlight|TestTelemetryEndpoint|TestMerge' \
+		./internal/obs/ ./internal/mp/
+	go test -count=1 -run 'TestFlightRecorderOverhead|TestJoinTraceExport|TestTraceRoundTrip' .
+
+	dir=$(mktemp -d /tmp/motor-obs.XXXXXX)
+	trap 'rm -rf "$dir"' EXIT
+	go build -o "$dir/mpstat" ./cmd/mpstat
+	go build -o "$dir/motor" ./cmd/motor
+	go build -o "$dir/mtrace" ./cmd/mtrace
+
+	echo "== obs: live telemetry endpoint smoke"
+	tport="${MOTOR_VERIFY_TELEMETRY_PORT:-19716}"
+	"$dir/mpstat" -np 2 -size 256 -iters 5000000 \
+		-telemetry "127.0.0.1:$tport" >/dev/null &
+	tpid=$!
+	ok=0
+	i=0
+	while [ $i -lt 50 ]; do
+		if curl -fsS "http://127.0.0.1:$tport/metrics" >"$dir/metrics.txt" 2>/dev/null; then
+			ok=1
+			break
+		fi
+		kill -0 "$tpid" 2>/dev/null || break
+		sleep 0.2
+		i=$((i + 1))
+	done
+	if [ "$ok" = 1 ]; then
+		curl -fsS "http://127.0.0.1:$tport/healthz" >"$dir/healthz.txt"
+		curl -fsS "http://127.0.0.1:$tport/metrics?format=json" >"$dir/metrics.json"
+	fi
+	kill "$tpid" 2>/dev/null || true
+	wait "$tpid" 2>/dev/null || true
+	[ "$ok" = 1 ] || { echo "verify: telemetry endpoint never answered" >&2; exit 1; }
+	grep -q '^motor_' "$dir/metrics.txt" || {
+		echo "verify: /metrics has no motor_ counters" >&2
+		exit 1
+	}
+	grep -q '^ok ' "$dir/healthz.txt" || {
+		echo "verify: /healthz not ok" >&2
+		exit 1
+	}
+	grep -q '"version"' "$dir/metrics.json" || {
+		echo "verify: /metrics?format=json is not a snapshot" >&2
+		exit 1
+	}
+
+	echo "== obs: merge round-trip (in-process 4-rank collectives)"
+	MOTOR_TRACE="$dir/world.json" "$dir/mpstat" -np 4 -coll -iters 40 >/dev/null
+	"$dir/mtrace" -o "$dir/merged.json" "$dir/world.json" \
+		>"$dir/report.txt" 2>"$dir/mtrace.err"
+	grep -q '"traceEvents"' "$dir/merged.json" || {
+		echo "verify: merged trace is not a Chrome trace" >&2
+		exit 1
+	}
+	grep -q 'flow pairs' "$dir/mtrace.err" || {
+		echo "verify: mtrace reported no flow pairs" >&2
+		exit 1
+	}
+	if grep -q '(0 flow pairs' "$dir/mtrace.err"; then
+		echo "verify: merged trace has zero flow pairs" >&2
+		exit 1
+	fi
+	grep -q '^straggler report: [1-9]' "$dir/report.txt" || {
+		echo "verify: straggler report aligned no collective instances" >&2
+		exit 1
+	}
+	grep -q '^rank 3:' "$dir/report.txt" || {
+		echo "verify: straggler report is missing ranks" >&2
+		exit 1
+	}
+
+	echo "== obs: merge round-trip (one trace file per OS process)"
+	mport="${MOTOR_VERIFY_ROOT_PORT:-19717}"
+	"$dir/motor" -mode serve -addr "127.0.0.1:$mport" -np 2 &
+	spid=$!
+	MOTOR_TRACE="$dir/rank0.json" "$dir/motor" -mode rank \
+		-root "127.0.0.1:$mport" -rank 0 -np 2 \
+		examples/managed-pingpong/pingpong.masm >/dev/null &
+	rpid=$!
+	MOTOR_TRACE="$dir/rank1.json" "$dir/motor" -mode rank \
+		-root "127.0.0.1:$mport" -rank 1 -np 2 \
+		examples/managed-pingpong/pingpong.masm >/dev/null
+	wait "$rpid"
+	wait "$spid"
+	"$dir/mtrace" -q -o "$dir/merged2.json" "$dir/rank0.json" "$dir/rank1.json" \
+		2>"$dir/mtrace2.err"
+	grep -q '"traceEvents"' "$dir/merged2.json" || {
+		echo "verify: multi-process merged trace is not a Chrome trace" >&2
+		exit 1
+	}
+	if grep -q '(0 flow pairs' "$dir/mtrace2.err"; then
+		echo "verify: multi-process merge paired no edges" >&2
+		exit 1
+	fi
+
+	echo "== obs: watchdog fires on an injected stall"
+	go test -count=1 -run 'TestWatchdogDetectsStalledRank|TestWatchdogFiresOnStall' \
+		./internal/mp/ ./internal/obs/
+	rm -rf "$dir"
+	trap - EXIT
+}
+
 # Trace smoke: a traced mpstat run must produce a loadable Chrome
 # trace (exercises the MOTOR_TRACE env path end to end).
 smoke_trace() {
@@ -133,6 +253,7 @@ all)
 	tier2
 	tier_vet
 	tier_quicken
+	tier_obs
 	smoke_trace
 	;;
 bench)
@@ -141,8 +262,9 @@ bench)
 	;;
 vet) tier_vet ;;
 quicken) tier_quicken ;;
+obs) tier_obs ;;
 *)
-	echo "usage: $0 [quick|race|stress|all|bench|vet|quicken]" >&2
+	echo "usage: $0 [quick|race|stress|all|bench|vet|quicken|obs]" >&2
 	exit 2
 	;;
 esac

@@ -2,12 +2,15 @@ package motor_test
 
 import (
 	"encoding/json"
+	"net"
 	"os"
 	"path/filepath"
 	"sort"
 	"testing"
+	"time"
 
 	"motor"
+	"motor/internal/obs"
 )
 
 // chromeEvent mirrors the trace_event fields the round-trip test
@@ -206,6 +209,142 @@ func TestTraceRoundTrip(t *testing.T) {
 			}
 			stack = append(stack, s)
 		}
+	}
+}
+
+// TestJoinTraceExport checks the multi-process tracing path: a Join
+// with Config.Trace set exports a per-process trace file at close (the
+// per-rank input layout cmd/mtrace stitches), and the merge pass
+// accepts it — every edge half pairs into a flow.
+func TestJoinTraceExport(t *testing.T) {
+	const (
+		n     = 2
+		iters = 8
+	)
+	path := filepath.Join(t.TempDir(), "rank0.json")
+	var lastErr error
+	for attempt := 0; attempt < 5; attempt++ {
+		os.Remove(path)
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		addr := ln.Addr().String()
+		ln.Close() // free the port for Serve
+
+		serveCh := make(chan error, 1)
+		go func() { serveCh <- motor.Serve(addr, n) }()
+		time.Sleep(50 * time.Millisecond)
+
+		pingpong := func(r *motor.Rank) error {
+			buf, err := r.NewInt32Array(make([]int32, 4))
+			if err != nil {
+				return err
+			}
+			peer := 1 - r.ID()
+			for i := 0; i < iters; i++ {
+				if r.ID() == 0 {
+					if err := r.Send(buf, peer, 3); err != nil {
+						return err
+					}
+					if _, err := r.Recv(buf, peer, 3); err != nil {
+						return err
+					}
+				} else {
+					if _, err := r.Recv(buf, peer, 3); err != nil {
+						return err
+					}
+					if err := r.Send(buf, peer, 3); err != nil {
+						return err
+					}
+				}
+			}
+			return r.Barrier()
+		}
+
+		bodyErr := make(chan error, n)
+		closeErr := make(chan error, n)
+		gate := make([]chan struct{}, n)
+		for rank := range gate {
+			gate[rank] = make(chan struct{})
+		}
+		for rank := 0; rank < n; rank++ {
+			go func(rank int) {
+				// Only rank 0 traces: in-process sibling Joins share one
+				// session, so one owner exports everything (a real sock
+				// world runs one Join per OS process, one file each).
+				cfg := motor.Config{}
+				if rank == 0 {
+					cfg.Trace = path
+				}
+				r, closer, err := motor.Join(cfg, addr, rank, n)
+				if err != nil {
+					bodyErr <- err
+					<-gate[rank]
+					closeErr <- nil
+					return
+				}
+				bodyErr <- pingpong(r)
+				<-gate[rank]
+				closeErr <- closer()
+			}(rank)
+		}
+		lastErr = nil
+		deadline := time.After(15 * time.Second)
+		for i := 0; i < n; i++ {
+			select {
+			case err := <-bodyErr:
+				if err != nil && lastErr == nil {
+					lastErr = err
+				}
+			case <-deadline:
+				t.Fatal("join world deadlocked")
+			}
+		}
+		// The owner exports at close, and teardown still emits events
+		// into the shared session — so every sibling must close fully
+		// before rank 0 does.
+		for rank := n - 1; rank >= 0; rank-- {
+			close(gate[rank])
+			select {
+			case err := <-closeErr:
+				if err != nil && lastErr == nil {
+					lastErr = err
+				}
+			case <-deadline:
+				t.Fatal("close deadlocked")
+			}
+		}
+		if lastErr == nil {
+			if err := <-serveCh; err != nil {
+				lastErr = err
+			}
+		}
+		if lastErr == nil {
+			break
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	if lastErr != nil {
+		t.Fatalf("all attempts failed: %v", lastErr)
+	}
+
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("Join did not export a trace: %v", err)
+	}
+	m, err := obs.MergeTraces(raw)
+	if err != nil {
+		t.Fatalf("merge rejected the Join trace: %v", err)
+	}
+	// Teardown frames may record only one half (a peer's close lands
+	// after the owner exports), so a couple of unmatched halves are
+	// expected; the ping-pong payload itself must pair completely.
+	if m.Unmatched > n {
+		t.Fatalf("unmatched edge halves = %d, want <= %d", m.Unmatched, n)
+	}
+	if m.Flows < 2*iters {
+		t.Fatalf("flow pairs = %d, want >= %d", m.Flows, 2*iters)
 	}
 }
 
