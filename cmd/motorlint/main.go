@@ -1,0 +1,127 @@
+// Command motorlint runs the Motor analyzer suite (rootbeforederef,
+// typederr, atomicfield, tracerguard, lockorder) over the module.
+//
+// Standalone (whole program, cross-package facts, the mode verify.sh
+// uses):
+//
+//	motorlint [-json] [packages ...]     # default ./...
+//
+// As a vet tool (per compilation unit, driven by cmd/go):
+//
+//	go vet -vettool=$(pwd)/bin/motorlint ./...
+//
+// Exit status: 0 clean, 1 unsuppressed findings, 2 operational error.
+// Findings covered by a `//lint:ignore motorlint/<name> reason`
+// directive are suppressed but still visible in -json output.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"motor/internal/analysis/framework"
+	"motor/internal/analysis/motorlint"
+)
+
+const version = "motorlint-1.0"
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("motorlint", flag.ExitOnError)
+	jsonOut := fs.Bool("json", false, "emit machine-readable JSON (all findings, suppressed included)")
+	list := fs.Bool("list", false, "list the analyzers in the suite and exit")
+	vetV := fs.String("V", "", "version handshake for cmd/go (-V=full)")
+	vetFlags := fs.Bool("flags", false, "flag-description handshake for cmd/go")
+	fix := fs.Bool("c", false, "ignored; accepted for go vet compatibility")
+	_ = fs.Parse(args)
+	_ = fix
+
+	// cmd/go handshakes: `tool -V=full` must print "<name> version ..."
+	// (it feeds the build cache key), `tool -flags` the supported flags.
+	if *vetV != "" {
+		name := strings.TrimSuffix(filepath.Base(os.Args[0]), ".exe")
+		fmt.Printf("%s version %s\n", name, version)
+		return 0
+	}
+	if *vetFlags {
+		fmt.Println("[]")
+		return 0
+	}
+	if *list {
+		for _, a := range motorlint.Suite() {
+			fmt.Printf("%-16s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+
+	// go vet hands us a single *.cfg argument per compilation unit.
+	rest := fs.Args()
+	if len(rest) == 1 && strings.HasSuffix(rest[0], ".cfg") {
+		return runVetUnit(rest[0], *jsonOut)
+	}
+	return runStandalone(rest, *jsonOut)
+}
+
+func runStandalone(patterns []string, jsonOut bool) int {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	root, err := framework.ModuleRoot(".")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "motorlint: %v\n", err)
+		return 2
+	}
+	prog, err := framework.Load(root, patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "motorlint: %v\n", err)
+		return 2
+	}
+	res, err := framework.RunAnalyzers(prog, motorlint.Suite())
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "motorlint: %v\n", err)
+		return 2
+	}
+	return report(res, jsonOut)
+}
+
+// report prints the result and returns the exit status.
+func report(res *framework.Result, jsonOut bool) int {
+	if jsonOut {
+		out := struct {
+			Version      string                 `json:"version"`
+			Findings     []framework.Diagnostic `json:"findings"`
+			BadIgnores   []framework.Diagnostic `json:"badIgnores,omitempty"`
+			Unsuppressed int                    `json:"unsuppressed"`
+		}{version, res.Diagnostics, res.BadIgnores, res.Unsuppressed()}
+		if out.Findings == nil {
+			out.Findings = []framework.Diagnostic{}
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintf(os.Stderr, "motorlint: %v\n", err)
+			return 2
+		}
+	} else {
+		for _, d := range res.Diagnostics {
+			if d.Suppressed {
+				continue
+			}
+			fmt.Println(d.String())
+		}
+		for _, d := range res.BadIgnores {
+			fmt.Println(d.String())
+		}
+	}
+	if res.Unsuppressed() > 0 {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,146 @@
+package main
+
+// go vet -vettool support. cmd/go drives the tool once per
+// compilation unit: it writes a JSON config describing the unit (its
+// sources, the import map, and the export-data file of every
+// dependency) and invokes `motorlint <unit>.cfg`. We type-check the
+// unit against that export data, run the suite, and print findings.
+//
+// The vet path analyzes one package per process, so whole-program
+// facts (atomicfield's cross-package atomic/plain matching, lock
+// annotations on another package's fields) only span the current
+// unit; the standalone mode wired into scripts/verify.sh is the
+// authoritative whole-program run. Per-unit checking still catches
+// every same-package violation, which in this repo is all of them.
+//
+// Test files are exempt from the suite: tests assert on quiesced
+// stats, construct raw errors to inject faults, and drive tracers
+// they own, so the production-code invariants don't apply. This also
+// matches the standalone loader, which feeds analyzers go list's
+// GoFiles (no _test.go).
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/importer"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"strings"
+
+	"motor/internal/analysis/framework"
+	"motor/internal/analysis/motorlint"
+)
+
+// vetConfig mirrors the fields of cmd/go's vet config we consume.
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+func runVetUnit(cfgPath string, jsonOut bool) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "motorlint: reading vet config: %v\n", err)
+		return 2
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "motorlint: parsing vet config %s: %v\n", cfgPath, err)
+		return 2
+	}
+
+	// cmd/go requires the facts file to exist for caching, even though
+	// this suite exchanges no unit-to-unit facts.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+			fmt.Fprintf(os.Stderr, "motorlint: writing %s: %v\n", cfg.VetxOutput, err)
+			return 2
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+
+	files := make([]string, 0, len(cfg.GoFiles))
+	for _, f := range cfg.GoFiles {
+		if !strings.HasSuffix(f, "_test.go") {
+			files = append(files, f)
+		}
+	}
+	if len(files) == 0 {
+		return 0 // external test package: nothing in scope
+	}
+
+	fset := token.NewFileSet()
+	imp := newUnitImporter(fset, &cfg)
+	pi, err := framework.CheckFiles(fset, imp, cfg.ImportPath, files, nil)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintf(os.Stderr, "motorlint: %v\n", err)
+		return 2
+	}
+	prog := &framework.Program{Fset: fset, Pkgs: []*framework.PackageInfo{pi}}
+	res, err := framework.RunAnalyzers(prog, motorlint.Suite())
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "motorlint: %v\n", err)
+		return 2
+	}
+	if jsonOut {
+		return report(res, true)
+	}
+	// Plain mode: findings go to stderr in file:line:col form; a
+	// nonzero exit tells go vet the unit has findings.
+	for _, d := range res.Diagnostics {
+		if d.Suppressed {
+			continue
+		}
+		fmt.Fprintln(os.Stderr, d.String())
+	}
+	for _, d := range res.BadIgnores {
+		fmt.Fprintln(os.Stderr, d.String())
+	}
+	if res.Unsuppressed() > 0 {
+		return 2
+	}
+	return 0
+}
+
+// unitImporter resolves imports strictly from the vet config's
+// PackageFile table (export data prebuilt by cmd/go).
+type unitImporter struct {
+	cfg *vetConfig
+	imp types.ImporterFrom
+}
+
+func newUnitImporter(fset *token.FileSet, cfg *vetConfig) *unitImporter {
+	u := &unitImporter{cfg: cfg}
+	u.imp = importer.ForCompiler(fset, "gc", u.lookup).(types.ImporterFrom)
+	return u
+}
+
+func (u *unitImporter) lookup(path string) (io.ReadCloser, error) {
+	if mapped, ok := u.cfg.ImportMap[path]; ok {
+		path = mapped
+	}
+	file, ok := u.cfg.PackageFile[path]
+	if !ok {
+		return nil, fmt.Errorf("no export data for %q in vet config", path)
+	}
+	return os.Open(file)
+}
+
+func (u *unitImporter) Import(path string) (*types.Package, error) {
+	return u.imp.ImportFrom(path, u.cfg.Dir, 0)
+}

@@ -1,0 +1,345 @@
+// Package atomicfield enforces atomic-access hygiene on plain
+// integer struct fields driven through sync/atomic: once any site
+// touches a field with atomic.Load/Store/Add/Swap/CompareAndSwap,
+// every direct read or write of that field anywhere in the program
+// must also be atomic — a single plain access is a data race the
+// moment two threads share the struct (the engine's Stats counters,
+// the collective/progress stat blocks, and the coll sequence numbers
+// all live this way). It also checks the 64-bit alignment rule:
+// a field used with 64-bit atomics must sit at an 8-byte-aligned
+// offset under 32-bit (GOARCH=386) struct layout, where Go only
+// guarantees alignment for the first word of an allocation.
+//
+// Taking a field's address and passing it to a non-atomic function
+// is not judged either way: accesses through escaped pointers are
+// out of scope (the repo's bump() wrapper is such a case; the fields
+// it touches are still marked atomic by the direct atomic.Load calls
+// in the Snapshot methods).
+package atomicfield
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strconv"
+	"strings"
+
+	"motor/internal/analysis/framework"
+)
+
+// Analyzer is the atomicfield pass.
+var Analyzer = &framework.Analyzer{
+	Name: "atomicfield",
+	Doc: "a struct field accessed via sync/atomic anywhere must never be " +
+		"read or written non-atomically, and 64-bit atomic fields must be " +
+		"alignment-safe on 32-bit platforms",
+	Run:    run,
+	Finish: finish,
+}
+
+type atomicInfo struct {
+	is64     bool
+	example  token.Position // one atomic call site, for the message
+	reported map[string]bool
+}
+
+type plainAccess struct {
+	pos   token.Position
+	write bool
+}
+
+type alignIssue struct {
+	pos    token.Position
+	field  string
+	offset int64
+	owner  string
+}
+
+func state(st *framework.State) (map[string]*atomicInfo, map[string][]plainAccess, map[string]*alignIssue) {
+	a, _ := st.Get("atomic").(map[string]*atomicInfo)
+	if a == nil {
+		a = map[string]*atomicInfo{}
+		st.Put("atomic", a)
+	}
+	p, _ := st.Get("plain").(map[string][]plainAccess)
+	if p == nil {
+		p = map[string][]plainAccess{}
+		st.Put("plain", p)
+	}
+	al, _ := st.Get("align").(map[string]*alignIssue)
+	if al == nil {
+		al = map[string]*alignIssue{}
+		st.Put("align", al)
+	}
+	return a, p, al
+}
+
+func run(pass *framework.Pass) error {
+	atomics, plains, aligns := state(pass.State)
+
+	// Selector nodes consumed by atomic calls (their &x.f argument):
+	// neither a plain access nor to be revisited.
+	atomicArgSels := map[*ast.SelectorExpr]bool{}
+
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := atomicFunc(pass, call)
+			if fn == "" || len(call.Args) == 0 {
+				return true
+			}
+			un, ok := call.Args[0].(*ast.UnaryExpr)
+			if !ok || un.Op != token.AND {
+				return true
+			}
+			sel, ok := un.X.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			field := fieldOf(pass, sel)
+			if field == nil {
+				return true
+			}
+			atomicArgSels[sel] = true
+			key := framework.FieldKey(field)
+			info := atomics[key]
+			if info == nil {
+				info = &atomicInfo{example: pass.Position(call.Pos()), reported: map[string]bool{}}
+				atomics[key] = info
+			}
+			is64 := strings.Contains(fn, "64")
+			if is64 && !info.is64 {
+				info.is64 = true
+			}
+			if is64 {
+				checkAlignment(pass, field, key, call, aligns)
+			}
+			return true
+		})
+	}
+
+	for _, file := range pass.Files {
+		framework.WalkStack(file, func(n ast.Node, stack []ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || atomicArgSels[sel] {
+				return true
+			}
+			field := fieldOf(pass, sel)
+			if field == nil {
+				return true
+			}
+			if !isBasicInt(field.Type()) {
+				return true
+			}
+			// Address-taken: escapes, not judged (see package doc).
+			if len(stack) > 0 {
+				if un, ok := stack[len(stack)-1].(*ast.UnaryExpr); ok && un.Op == token.AND {
+					return true
+				}
+			}
+			// A read through a chain of value selections rooted at a
+			// goroutine-local struct value is a snapshot copy (the
+			// Stats()/Snapshot() idiom), not shared memory.
+			if copyAccess(pass, sel) {
+				return true
+			}
+			key := framework.FieldKey(field)
+			plains[key] = append(plains[key], plainAccess{
+				pos:   pass.Position(sel.Sel.Pos()),
+				write: isWriteContext(sel, stack),
+			})
+			return true
+		})
+	}
+	return nil
+}
+
+func finish(st *framework.State, report func(framework.Diagnostic)) {
+	atomics, plains, aligns := state(st)
+	for key, info := range atomics {
+		for _, pa := range plains[key] {
+			verb := "read"
+			if pa.write {
+				verb = "written"
+			}
+			report(framework.Diagnostic{
+				Pos: pa.pos,
+				Message: "field " + key + " is accessed with sync/atomic (e.g. " +
+					info.example.String() + ") but " + verb + " non-atomically here; " +
+					"use atomic.Load/Store or an ignore directive if provably unshared",
+			})
+		}
+	}
+	for key, ai := range aligns {
+		report(framework.Diagnostic{
+			Pos: ai.pos,
+			Message: "64-bit atomic field " + key + " sits at offset " +
+				strconv.FormatInt(ai.offset, 10) + " of " + ai.owner + " under 32-bit layout; " +
+				"Go only guarantees 64-bit alignment for the first word of an " +
+				"allocation — move the field to an 8-aligned offset",
+		})
+	}
+}
+
+// atomicFunc returns the sync/atomic function name called, or "".
+func atomicFunc(pass *framework.Pass, call *ast.CallExpr) string {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	pkgID, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	pkgName, ok := pass.Info.Uses[pkgID].(*types.PkgName)
+	if !ok || pkgName.Imported().Path() != "sync/atomic" {
+		return ""
+	}
+	return sel.Sel.Name
+}
+
+// fieldOf resolves sel to a struct field object, or nil.
+func fieldOf(pass *framework.Pass, sel *ast.SelectorExpr) *types.Var {
+	s, ok := pass.Info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return nil
+	}
+	v, ok := s.Obj().(*types.Var)
+	if !ok {
+		return nil
+	}
+	return v
+}
+
+func isBasicInt(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0
+}
+
+// copyAccess reports whether sel reaches its field purely through
+// value selections from a function-local struct value (a local
+// variable, parameter, or call result): the access touches a private
+// copy, so atomic discipline does not apply. Any pointer step in the
+// chain, a package-level base, or an index step means the access may
+// reach shared memory and is judged normally.
+func copyAccess(pass *framework.Pass, sel *ast.SelectorExpr) bool {
+	e := ast.Expr(sel)
+	for {
+		switch x := e.(type) {
+		case *ast.SelectorExpr:
+			tv, ok := pass.Info.Types[x.X]
+			if !ok {
+				return false
+			}
+			if _, isPtr := tv.Type.Underlying().(*types.Pointer); isPtr {
+				return false // deref: shared
+			}
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.Ident:
+			obj, ok := pass.Info.Uses[x].(*types.Var)
+			if !ok {
+				return false
+			}
+			if obj.IsField() || obj.Parent() == pass.Pkg.Scope() {
+				return false // field or package-level var: shared
+			}
+			_, isPtr := obj.Type().Underlying().(*types.Pointer)
+			return !isPtr
+		case *ast.CallExpr:
+			return true // an rvalue copy
+		default:
+			return false
+		}
+	}
+}
+
+// isWriteContext reports whether sel is assigned or inc/dec'd.
+func isWriteContext(sel *ast.SelectorExpr, stack []ast.Node) bool {
+	if len(stack) == 0 {
+		return false
+	}
+	switch p := stack[len(stack)-1].(type) {
+	case *ast.AssignStmt:
+		for _, lhs := range p.Lhs {
+			if lhs == sel {
+				return true
+			}
+		}
+	case *ast.IncDecStmt:
+		return p.X == sel
+	}
+	return false
+}
+
+// checkAlignment flags 64-bit atomic fields misaligned under 386
+// struct layout. Reported at the field declaration when its position
+// is known (defining package in this load), else at the call site.
+func checkAlignment(pass *framework.Pass, field *types.Var, key string, call *ast.CallExpr, aligns map[string]*alignIssue) {
+	if _, done := aligns[key]; done {
+		return
+	}
+	named := ownerNamed(field)
+	if named == nil {
+		return
+	}
+	st, ok := named.Underlying().(*types.Struct)
+	if !ok {
+		return
+	}
+	fields := make([]*types.Var, st.NumFields())
+	idx := -1
+	for i := 0; i < st.NumFields(); i++ {
+		fields[i] = st.Field(i)
+		if st.Field(i) == field {
+			idx = i
+		}
+	}
+	if idx < 0 {
+		return
+	}
+	sizes := types.SizesFor("gc", "386")
+	offsets := sizes.Offsetsof(fields)
+	if offsets[idx]%8 == 0 {
+		return
+	}
+	pos := pass.Position(call.Pos())
+	if field.Pos().IsValid() {
+		if p := pass.Position(field.Pos()); p.Filename != "" {
+			pos = p
+		}
+	}
+	aligns[key] = &alignIssue{pos: pos, field: field.Name(), offset: offsets[idx], owner: named.Obj().Name()}
+}
+
+// ownerNamed finds the named struct type declaring field.
+func ownerNamed(field *types.Var) *types.Named {
+	if field.Pkg() == nil {
+		return nil
+	}
+	scope := field.Pkg().Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok {
+			continue
+		}
+		named, ok := tn.Type().(*types.Named)
+		if !ok {
+			continue
+		}
+		st, ok := named.Underlying().(*types.Struct)
+		if !ok {
+			continue
+		}
+		for i := 0; i < st.NumFields(); i++ {
+			if st.Field(i) == field {
+				return named
+			}
+		}
+	}
+	return nil
+}

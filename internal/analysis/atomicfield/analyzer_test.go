@@ -1,0 +1,16 @@
+package atomicfield_test
+
+import (
+	"testing"
+
+	"motor/internal/analysis/atomicfield"
+	"motor/internal/analysis/framework"
+)
+
+func TestBadFixtures(t *testing.T) {
+	framework.RunFixture(t, atomicfield.Analyzer, framework.FixtureDir(t, "atomicfield", "bad"))
+}
+
+func TestGoodFixtures(t *testing.T) {
+	framework.RunFixture(t, atomicfield.Analyzer, framework.FixtureDir(t, "atomicfield", "good"))
+}

@@ -1,0 +1,151 @@
+// Package framework is a self-contained static-analysis harness in
+// the spirit of golang.org/x/tools/go/analysis, built only on the
+// standard library so the repo stays dependency-free. It loads
+// packages through `go list -export` (type-checking target sources
+// against the toolchain's export data), runs a suite of Analyzers
+// over them, honors //lint:ignore suppression directives, and backs
+// the analysistest-style fixture runner in testkit.go.
+//
+// The motorlint analyzers (internal/analysis/...) mechanize the
+// hand-maintained disciplines the Go compiler cannot see: the §5.3
+// safepoint/rooting rule, the typed-transport-error rule, atomic
+// field hygiene, the disabled-path tracing budget, and lock
+// ordering. docs/ANALYSIS.md documents each invariant.
+package framework
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer is one named invariant checker. Run is invoked once per
+// loaded package (in dependency order); Finish, when non-nil, is
+// invoked once after every package has run, for whole-program checks
+// that need facts gathered across packages (see State).
+type Analyzer struct {
+	// Name is the analyzer's identifier, as used in ignore
+	// directives: //lint:ignore motorlint/<Name> reason
+	Name string
+
+	// Doc is a one-paragraph description of the invariant enforced.
+	Doc string
+
+	// Scope, when non-nil, restricts which import paths the analyzer
+	// runs over. The fixture runner bypasses Scope so testdata
+	// packages exercise analyzers regardless of their import path.
+	Scope func(pkgPath string) bool
+
+	// Run analyzes a single package.
+	Run func(*Pass) error
+
+	// Finish, when non-nil, runs after all packages. It reports
+	// whole-program diagnostics from facts the Run phase stashed in
+	// the shared State.
+	Finish func(st *State, report func(Diagnostic))
+}
+
+// Pass carries one package's worth of material to an Analyzer.Run.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+
+	// State is the analyzer's cross-package scratch space, shared
+	// between Run invocations and the Finish hook.
+	State *State
+
+	report func(Diagnostic)
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Position resolves a token.Pos against the pass's file set.
+func (p *Pass) Position(pos token.Pos) token.Position { return p.Fset.Position(pos) }
+
+// Diagnostic is one finding. Suppressed findings (an ignore directive
+// covers the position) are retained so -json output can show them,
+// but they do not fail the run.
+type Diagnostic struct {
+	Analyzer       string         `json:"analyzer"`
+	Pos            token.Position `json:"-"`
+	File           string         `json:"file"`
+	Line           int            `json:"line"`
+	Col            int            `json:"col"`
+	Message        string         `json:"message"`
+	Suppressed     bool           `json:"suppressed,omitempty"`
+	SuppressReason string         `json:"suppressReason,omitempty"`
+}
+
+// String renders the go-vet style file:line:col form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.File, d.Line, d.Col, d.Analyzer, d.Message)
+}
+
+// State is a per-analyzer key/value store surviving across packages
+// within one run. The runner is single-goroutine, so no locking.
+type State struct{ m map[string]any }
+
+// Get returns the value stored under key, or nil.
+func (s *State) Get(key string) any { return s.m[key] }
+
+// Put stores val under key.
+func (s *State) Put(key string, val any) {
+	if s.m == nil {
+		s.m = map[string]any{}
+	}
+	s.m[key] = val
+}
+
+// FieldKey names a struct field in a package-qualified, instance-
+// independent way ("motor/internal/core.Stats.Ops"), so facts about
+// a field recorded while source-checking its defining package can be
+// matched against uses seen through export data.
+func FieldKey(field *types.Var) string {
+	named := fieldOwner(field)
+	if named == nil {
+		if field.Pkg() != nil {
+			return field.Pkg().Path() + ".?." + field.Name()
+		}
+		return "?." + field.Name()
+	}
+	return named.Obj().Pkg().Path() + "." + named.Obj().Name() + "." + field.Name()
+}
+
+// fieldOwner locates the named struct type declaring field, if any.
+func fieldOwner(field *types.Var) *types.Named {
+	if field.Pkg() == nil {
+		return nil
+	}
+	scope := field.Pkg().Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok {
+			continue
+		}
+		named, ok := tn.Type().(*types.Named)
+		if !ok {
+			continue
+		}
+		st, ok := named.Underlying().(*types.Struct)
+		if !ok {
+			continue
+		}
+		for i := 0; i < st.NumFields(); i++ {
+			if st.Field(i) == field {
+				return named
+			}
+		}
+	}
+	return nil
+}

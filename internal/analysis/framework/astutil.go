@@ -1,0 +1,165 @@
+package framework
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// WalkStack traverses root depth-first, invoking fn with each node
+// and its ancestor stack (outermost first, not including n). If fn
+// returns false the subtree is skipped.
+func WalkStack(root ast.Node, fn func(n ast.Node, stack []ast.Node) bool) {
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if !fn(n, stack) {
+			return false // pruned: Inspect sends no matching nil pop
+		}
+		stack = append(stack, n)
+		return true
+	})
+}
+
+// NilGuarded reports whether node (a use of the expression rendered
+// as exprStr) is dominated by a nil check of that expression:
+//
+//   - an enclosing `if exprStr != nil { ... }` (the use in the then
+//     branch), possibly as one && conjunct, including the
+//     `if x := f(); x != nil` form;
+//   - an enclosing `if exprStr == nil { ... } else { use }`;
+//   - a preceding `if exprStr == nil { return/break/continue/panic }`
+//     early-out in an enclosing block.
+//
+// stack is the ancestor stack from WalkStack (outermost first).
+func NilGuarded(exprStr string, node ast.Node, stack []ast.Node) bool {
+	for i := len(stack) - 1; i >= 0; i-- {
+		inner := node
+		if i+1 < len(stack) {
+			inner = stack[i+1]
+		}
+		switch s := stack[i].(type) {
+		case *ast.BinaryExpr:
+			// Short-circuit guard inside one expression:
+			// `x != nil && x.M()` / `x == nil || x.M()`.
+			if s.Y == inner {
+				if s.Op == token.LAND && condHasNotNil(s.X, exprStr) {
+					return true
+				}
+				if s.Op == token.LOR && condHasIsNil(s.X, exprStr) {
+					return true
+				}
+			}
+		case *ast.IfStmt:
+			if s.Body == inner && condHasNotNil(s.Cond, exprStr) {
+				return true
+			}
+			if s.Else == inner && condHasIsNil(s.Cond, exprStr) {
+				return true
+			}
+		case *ast.BlockStmt:
+			// Early-out guard in the same block, before inner.
+			for _, st := range s.List {
+				if st == inner {
+					break
+				}
+				ifs, ok := st.(*ast.IfStmt)
+				if !ok || !condHasIsNil(ifs.Cond, exprStr) {
+					continue
+				}
+				if diverges(ifs.Body) {
+					return true
+				}
+			}
+		case *ast.FuncLit:
+			// A closure boundary: guards outside the closure body do
+			// dominate the call at run time only if the closure runs
+			// under them; deferred closures typically re-check. Stop
+			// the early-out scan but keep climbing for enclosing ifs.
+			continue
+		}
+	}
+	return false
+}
+
+// condHasNotNil reports whether cond contains `exprStr != nil` as the
+// condition itself or as an && conjunct.
+func condHasNotNil(cond ast.Expr, exprStr string) bool {
+	switch c := cond.(type) {
+	case *ast.BinaryExpr:
+		switch c.Op.String() {
+		case "!=":
+			return isNilCompare(c, exprStr)
+		case "&&":
+			return condHasNotNil(c.X, exprStr) || condHasNotNil(c.Y, exprStr)
+		}
+	case *ast.ParenExpr:
+		return condHasNotNil(c.X, exprStr)
+	}
+	return false
+}
+
+// condHasIsNil reports whether cond contains `exprStr == nil` as the
+// condition itself or as an || disjunct.
+func condHasIsNil(cond ast.Expr, exprStr string) bool {
+	switch c := cond.(type) {
+	case *ast.BinaryExpr:
+		switch c.Op.String() {
+		case "==":
+			return isNilCompare(c, exprStr)
+		case "||":
+			return condHasIsNil(c.X, exprStr) || condHasIsNil(c.Y, exprStr)
+		}
+	case *ast.ParenExpr:
+		return condHasIsNil(c.X, exprStr)
+	}
+	return false
+}
+
+func isNilCompare(b *ast.BinaryExpr, exprStr string) bool {
+	x, y := types.ExprString(b.X), types.ExprString(b.Y)
+	return (x == exprStr && y == "nil") || (y == exprStr && x == "nil")
+}
+
+// diverges reports whether a block always leaves the enclosing scope:
+// its last statement is return, break, continue, goto, or a call to
+// panic.
+func diverges(b *ast.BlockStmt) bool {
+	if len(b.List) == 0 {
+		return false
+	}
+	switch last := b.List[len(b.List)-1].(type) {
+	case *ast.ReturnStmt, *ast.BranchStmt:
+		return true
+	case *ast.ExprStmt:
+		if call, ok := last.X.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// NamedFrom reports whether t (after pointer indirection) is a named
+// type with the given type name whose package's base name matches
+// pkgBase. Matching on the package base name ("vm", "obs") rather
+// than the full path lets fixtures exercise analyzers against either
+// the real packages or reduced stand-ins.
+func NamedFrom(t types.Type, pkgBase, typeName string) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Name() != typeName || obj.Pkg() == nil {
+		return false
+	}
+	return obj.Pkg().Name() == pkgBase
+}

@@ -1,0 +1,105 @@
+package framework
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Ignore directives.
+//
+// A finding is suppressed by a comment of the form
+//
+//	//lint:ignore motorlint/<analyzer> reason text
+//
+// placed either on the same line as the flagged code (trailing
+// comment) or on the line immediately above it. Several analyzers can
+// be named, comma-separated. The reason is mandatory: a directive
+// without one is itself reported by the driver, so every suppression
+// in the tree documents why the invariant does not apply.
+
+// IgnoreDirective is one parsed //lint:ignore comment.
+type IgnoreDirective struct {
+	Line      int      // line the comment sits on
+	Analyzers []string // analyzer names (without the motorlint/ prefix)
+	Reason    string
+	Pos       token.Position
+}
+
+// IgnoreIndex maps file name -> directives in that file.
+type IgnoreIndex map[string][]IgnoreDirective
+
+// BuildIgnoreIndex scans all comments for ignore directives.
+func BuildIgnoreIndex(fset *token.FileSet, files []*ast.File) IgnoreIndex {
+	idx := IgnoreIndex{}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				d, ok := parseIgnore(c.Text)
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				d.Line = pos.Line
+				d.Pos = pos
+				idx[pos.Filename] = append(idx[pos.Filename], d)
+			}
+		}
+	}
+	return idx
+}
+
+// parseIgnore parses "//lint:ignore motorlint/name[,name2] reason".
+func parseIgnore(text string) (IgnoreDirective, bool) {
+	const prefix = "//lint:ignore "
+	if !strings.HasPrefix(text, prefix) {
+		return IgnoreDirective{}, false
+	}
+	rest := strings.TrimSpace(text[len(prefix):])
+	fields := strings.SplitN(rest, " ", 2)
+	var d IgnoreDirective
+	for _, name := range strings.Split(fields[0], ",") {
+		name = strings.TrimPrefix(strings.TrimSpace(name), "motorlint/")
+		if name != "" {
+			d.Analyzers = append(d.Analyzers, name)
+		}
+	}
+	if len(fields) == 2 {
+		d.Reason = strings.TrimSpace(fields[1])
+	}
+	if len(d.Analyzers) == 0 {
+		return IgnoreDirective{}, false
+	}
+	return d, true
+}
+
+// Match reports whether a directive in the index suppresses a
+// diagnostic from analyzer at pos: the directive must name the
+// analyzer (or "all") and sit on the diagnostic's line or the line
+// above it.
+func (idx IgnoreIndex) Match(analyzer string, pos token.Position) (IgnoreDirective, bool) {
+	for _, d := range idx[pos.Filename] {
+		if d.Line != pos.Line && d.Line != pos.Line-1 {
+			continue
+		}
+		for _, a := range d.Analyzers {
+			if a == analyzer || a == "all" {
+				return d, true
+			}
+		}
+	}
+	return IgnoreDirective{}, false
+}
+
+// MissingReasons returns directives lacking the mandatory reason.
+func (idx IgnoreIndex) MissingReasons() []IgnoreDirective {
+	var bad []IgnoreDirective
+	for _, ds := range idx {
+		for _, d := range ds {
+			if d.Reason == "" {
+				bad = append(bad, d)
+			}
+		}
+	}
+	return bad
+}

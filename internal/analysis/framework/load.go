@@ -1,0 +1,254 @@
+package framework
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"sync"
+)
+
+// PackageInfo is one loaded, type-checked target package.
+type PackageInfo struct {
+	Path    string
+	Dir     string
+	Files   []*ast.File
+	Pkg     *types.Package
+	Info    *types.Info
+	Ignores IgnoreIndex
+}
+
+// Program is the loaded set of target packages, in dependency order
+// (go list -deps emits dependencies before dependents).
+type Program struct {
+	Fset *token.FileSet
+	Pkgs []*PackageInfo
+}
+
+// listedPkg is the subset of `go list -json` output the loader needs.
+type listedPkg struct {
+	ImportPath string
+	Dir        string
+	GoFiles    []string
+	Export     string
+	DepOnly    bool
+	Standard   bool
+	Error      *struct{ Err string }
+}
+
+// goList runs `go list -export -deps -json` in dir over patterns and
+// decodes the package stream.
+func goList(dir string, patterns ...string) ([]*listedPkg, error) {
+	args := append([]string{
+		"list", "-export", "-deps",
+		"-json=ImportPath,Dir,GoFiles,Export,DepOnly,Standard,Error", "--",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %v: %v\n%s", patterns, err, stderr.String())
+	}
+	var pkgs []*listedPkg
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listedPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list %v: decoding: %v", patterns, err)
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("go list: package %s: %s", p.ImportPath, p.Error.Err)
+		}
+		pkgs = append(pkgs, &p)
+	}
+	return pkgs, nil
+}
+
+// ExportImporter resolves imports from compiler export data located
+// via `go list -export`. Missing paths are resolved lazily with one
+// extra go list invocation, so the fixture runner can type-check
+// testdata packages that import arbitrary std or module packages.
+type ExportImporter struct {
+	Dir  string // module directory go list runs in
+	Fset *token.FileSet
+
+	mu      sync.Mutex
+	exports map[string]string // import path -> export data file
+	imp     types.ImporterFrom
+}
+
+// NewExportImporter returns an importer rooted at the module in dir.
+func NewExportImporter(dir string, fset *token.FileSet) *ExportImporter {
+	e := &ExportImporter{Dir: dir, Fset: fset, exports: map[string]string{}}
+	e.imp = importer.ForCompiler(fset, "gc", e.lookup).(types.ImporterFrom)
+	return e
+}
+
+func (e *ExportImporter) lookup(path string) (io.ReadCloser, error) {
+	e.mu.Lock()
+	file, ok := e.exports[path]
+	e.mu.Unlock()
+	if !ok {
+		// Lazy resolution: list the path (and its deps, which the
+		// importer will ask for next) in one shot.
+		pkgs, err := goList(e.Dir, path)
+		if err != nil {
+			return nil, fmt.Errorf("resolving import %q: %v", path, err)
+		}
+		e.Add(pkgs)
+		e.mu.Lock()
+		file, ok = e.exports[path]
+		e.mu.Unlock()
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+	}
+	return os.Open(file)
+}
+
+// Add records export files from a go list result.
+func (e *ExportImporter) Add(pkgs []*listedPkg) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for _, p := range pkgs {
+		if p.Export != "" {
+			e.exports[p.ImportPath] = p.Export
+		}
+	}
+}
+
+// Import implements types.Importer.
+func (e *ExportImporter) Import(path string) (*types.Package, error) {
+	return e.imp.ImportFrom(path, e.Dir, 0)
+}
+
+// newInfo allocates a fully-populated types.Info.
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+		Instances:  map[*ast.Ident]types.Instance{},
+	}
+}
+
+// Sizes matching the gc toolchain on the host architecture.
+func hostSizes() types.Sizes { return types.SizesFor("gc", runtime.GOARCH) }
+
+// Load lists patterns in moduleDir and type-checks every non-dep
+// target package from source, resolving imports through export data.
+// Test files are not analyzed.
+func Load(moduleDir string, patterns ...string) (*Program, error) {
+	pkgs, err := goList(moduleDir, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	imp := NewExportImporter(moduleDir, fset)
+	imp.Add(pkgs)
+	prog := &Program{Fset: fset}
+	for _, lp := range pkgs {
+		if lp.DepOnly || lp.Standard || len(lp.GoFiles) == 0 {
+			continue
+		}
+		pi, err := checkPackage(fset, imp, lp)
+		if err != nil {
+			return nil, err
+		}
+		prog.Pkgs = append(prog.Pkgs, pi)
+	}
+	return prog, nil
+}
+
+// checkPackage parses and type-checks one listed package from source.
+func checkPackage(fset *token.FileSet, imp types.Importer, lp *listedPkg) (*PackageInfo, error) {
+	var files []*ast.File
+	for _, name := range lp.GoFiles {
+		path := filepath.Join(lp.Dir, name)
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("parsing %s: %v", path, err)
+		}
+		files = append(files, f)
+	}
+	info := newInfo()
+	conf := types.Config{Importer: imp, Sizes: hostSizes()}
+	pkg, err := conf.Check(lp.ImportPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %v", lp.ImportPath, err)
+	}
+	return &PackageInfo{
+		Path:    lp.ImportPath,
+		Dir:     lp.Dir,
+		Files:   files,
+		Pkg:     pkg,
+		Info:    info,
+		Ignores: BuildIgnoreIndex(fset, files),
+	}, nil
+}
+
+// CheckFiles type-checks an ad-hoc file set (fixtures, vet units) as
+// a single package under the given import path.
+func CheckFiles(fset *token.FileSet, imp types.Importer, importPath string, filenames []string, srcs map[string][]byte) (*PackageInfo, error) {
+	var files []*ast.File
+	for _, path := range filenames {
+		var src any
+		if srcs != nil {
+			if b, ok := srcs[path]; ok {
+				src = b
+			}
+		}
+		f, err := parser.ParseFile(fset, path, src, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("parsing %s: %v", path, err)
+		}
+		files = append(files, f)
+	}
+	info := newInfo()
+	conf := types.Config{Importer: imp, Sizes: hostSizes()}
+	pkg, err := conf.Check(importPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %v", importPath, err)
+	}
+	return &PackageInfo{
+		Path:    importPath,
+		Files:   files,
+		Pkg:     pkg,
+		Info:    info,
+		Ignores: BuildIgnoreIndex(fset, files),
+	}, nil
+}
+
+// ModuleRoot walks up from dir to the nearest go.mod.
+func ModuleRoot(dir string) (string, error) {
+	d, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(d, "go.mod")); err == nil {
+			return d, nil
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", fmt.Errorf("no go.mod above %s", dir)
+		}
+		d = parent
+	}
+}

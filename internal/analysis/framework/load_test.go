@@ -1,0 +1,52 @@
+package framework_test
+
+import (
+	"testing"
+
+	"motor/internal/analysis/framework"
+)
+
+// TestLoadModulePackage smoke-tests the go-list/export-data loader:
+// a real module package type-checks from source with full type info.
+func TestLoadModulePackage(t *testing.T) {
+	root, err := framework.ModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := framework.Load(root, "./internal/obs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.Pkgs) != 1 {
+		t.Fatalf("got %d target packages, want 1", len(prog.Pkgs))
+	}
+	pi := prog.Pkgs[0]
+	if pi.Path != "motor/internal/obs" {
+		t.Fatalf("path = %q", pi.Path)
+	}
+	if len(pi.Files) == 0 || pi.Pkg == nil || pi.Info == nil {
+		t.Fatal("loader returned an incomplete package")
+	}
+	if len(pi.Info.Defs) == 0 || len(pi.Info.Selections) == 0 {
+		t.Fatal("type info not populated")
+	}
+}
+
+// TestLoadCrossPackage checks that a package importing other module
+// packages resolves those imports through export data.
+func TestLoadCrossPackage(t *testing.T) {
+	root, err := framework.ModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := framework.Load(root, "./internal/mp/adi")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.Pkgs) != 1 {
+		t.Fatalf("got %d target packages, want 1", len(prog.Pkgs))
+	}
+	if prog.Pkgs[0].Pkg.Scope().Lookup("Device") == nil {
+		t.Fatal("Device not found in adi scope")
+	}
+}

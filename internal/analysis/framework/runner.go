@@ -1,0 +1,111 @@
+package framework
+
+import (
+	"sort"
+)
+
+// Result is a full run's outcome.
+type Result struct {
+	Diagnostics []Diagnostic // all findings, suppressed included, sorted by position
+	BadIgnores  []Diagnostic // //lint:ignore directives missing a reason
+}
+
+// Unsuppressed counts findings not covered by an ignore directive.
+func (r *Result) Unsuppressed() int {
+	n := 0
+	for _, d := range r.Diagnostics {
+		if !d.Suppressed {
+			n++
+		}
+	}
+	return n + len(r.BadIgnores)
+}
+
+// RunAnalyzers executes the suite over a loaded program: every
+// analyzer's Run over every in-scope package (dependency order), then
+// every Finish hook. Ignore directives are applied per package.
+func RunAnalyzers(prog *Program, analyzers []*Analyzer) (*Result, error) {
+	res := &Result{}
+	states := map[string]*State{}
+	for _, a := range analyzers {
+		states[a.Name] = &State{}
+	}
+
+	for _, pi := range prog.Pkgs {
+		for _, a := range analyzers {
+			if a.Scope != nil && !a.Scope(pi.Path) {
+				continue
+			}
+			pass := &Pass{
+				Analyzer: a,
+				Fset:     prog.Fset,
+				Files:    pi.Files,
+				Pkg:      pi.Pkg,
+				Info:     pi.Info,
+				State:    states[a.Name],
+				report:   collector(res, pi.Ignores),
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, err
+			}
+		}
+		for _, bad := range pi.Ignores.MissingReasons() {
+			res.BadIgnores = append(res.BadIgnores, Diagnostic{
+				Analyzer: "ignore-directive",
+				Pos:      bad.Pos,
+				File:     bad.Pos.Filename,
+				Line:     bad.Pos.Line,
+				Col:      bad.Pos.Column,
+				Message:  "//lint:ignore directive is missing its mandatory reason",
+			})
+		}
+	}
+
+	// Finish hooks see the union of all packages' ignore indexes.
+	all := IgnoreIndex{}
+	for _, pi := range prog.Pkgs {
+		for f, ds := range pi.Ignores {
+			all[f] = append(all[f], ds...)
+		}
+	}
+	for _, a := range analyzers {
+		if a.Finish == nil {
+			continue
+		}
+		report := collector(res, all)
+		a.Finish(states[a.Name], func(d Diagnostic) {
+			d.Analyzer = a.Name
+			report(d)
+		})
+	}
+
+	sort.Slice(res.Diagnostics, func(i, j int) bool {
+		a, b := res.Diagnostics[i], res.Diagnostics[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return a.Message < b.Message
+	})
+	return res, nil
+}
+
+// collector fills in the flattened position fields and applies the
+// ignore index before appending to the result.
+func collector(res *Result, ignores IgnoreIndex) func(Diagnostic) {
+	return func(d Diagnostic) {
+		d.File = d.Pos.Filename
+		d.Line = d.Pos.Line
+		d.Col = d.Pos.Column
+		if dir, ok := ignores.Match(d.Analyzer, d.Pos); ok {
+			d.Suppressed = true
+			d.SuppressReason = dir.Reason
+		}
+		res.Diagnostics = append(res.Diagnostics, d)
+	}
+}

@@ -1,0 +1,225 @@
+package framework
+
+import (
+	"go/ast"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// Fixture runner: an analysistest-style harness. A fixture directory
+// under internal/analysis/testdata/src/<analyzer>/<case>/ holds one
+// package of .go files. Lines expecting a diagnostic carry trailing
+// comments of the form
+//
+//	code() // want "regexp" "second regexp"
+//
+// with one quoted regexp per expected diagnostic on that line.
+// Fixtures may import std and motor/... packages; imports resolve
+// through the toolchain's export data, so fixtures exercise analyzers
+// against the real vm.Ref / vm.Thread / obs.Tracer types.
+
+var (
+	fixOnce sync.Once
+	fixFset *token.FileSet
+	fixImp  *ExportImporter
+	fixErr  error
+)
+
+func fixtureWorld(t *testing.T) (*token.FileSet, *ExportImporter) {
+	t.Helper()
+	fixOnce.Do(func() {
+		wd, err := os.Getwd()
+		if err != nil {
+			fixErr = err
+			return
+		}
+		root, err := ModuleRoot(wd)
+		if err != nil {
+			fixErr = err
+			return
+		}
+		fixFset = token.NewFileSet()
+		fixImp = NewExportImporter(root, fixFset)
+	})
+	if fixErr != nil {
+		t.Fatalf("fixture world: %v", fixErr)
+	}
+	return fixFset, fixImp
+}
+
+// RunFixture type-checks the fixture package in dir and runs a single
+// analyzer over it (Scope is bypassed; Finish runs with only this
+// package's facts). Diagnostics must match the // want expectations.
+func RunFixture(t *testing.T, a *Analyzer, dir string) {
+	t.Helper()
+	fset, imp := fixtureWorld(t)
+
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("fixture dir: %v", err)
+	}
+	var files []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			files = append(files, filepath.Join(dir, e.Name()))
+		}
+	}
+	if len(files) == 0 {
+		t.Fatalf("fixture dir %s has no .go files", dir)
+	}
+	sort.Strings(files)
+
+	pi, err := CheckFiles(fset, imp, "fixture/"+filepath.Base(dir), files, nil)
+	if err != nil {
+		t.Fatalf("fixture %s: %v", dir, err)
+	}
+
+	res := &Result{}
+	pass := &Pass{
+		Analyzer: a,
+		Fset:     fset,
+		Files:    pi.Files,
+		Pkg:      pi.Pkg,
+		Info:     pi.Info,
+		State:    &State{},
+		report:   collector(res, pi.Ignores),
+	}
+	if err := a.Run(pass); err != nil {
+		t.Fatalf("fixture %s: analyzer: %v", dir, err)
+	}
+	if a.Finish != nil {
+		report := collector(res, pi.Ignores)
+		a.Finish(pass.State, func(d Diagnostic) {
+			d.Analyzer = a.Name
+			report(d)
+		})
+	}
+
+	wants := collectWants(t, fset, pi.Files)
+	checkExpectations(t, dir, res, wants)
+}
+
+// want is one expected diagnostic.
+type want struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	raw  string
+	hit  bool
+}
+
+var wantRE = regexp.MustCompile(`^//\s*want\s+(.*)$`)
+
+func collectWants(t *testing.T, fset *token.FileSet, files []*ast.File) []*want {
+	t.Helper()
+	var wants []*want
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				for _, raw := range splitQuoted(t, pos, m[1]) {
+					re, err := regexp.Compile(raw)
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", pos, raw, err)
+					}
+					wants = append(wants, &want{file: pos.Filename, line: pos.Line, re: re, raw: raw})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// splitQuoted parses a sequence of Go-quoted strings.
+func splitQuoted(t *testing.T, pos token.Position, s string) []string {
+	t.Helper()
+	var out []string
+	s = strings.TrimSpace(s)
+	for s != "" {
+		if s[0] != '"' {
+			t.Fatalf("%s: malformed want clause at %q", pos, s)
+		}
+		end := 1
+		for end < len(s) {
+			if s[end] == '\\' {
+				end += 2
+				continue
+			}
+			if s[end] == '"' {
+				break
+			}
+			end++
+		}
+		if end >= len(s) {
+			t.Fatalf("%s: unterminated want string", pos)
+		}
+		q, err := strconv.Unquote(s[:end+1])
+		if err != nil {
+			t.Fatalf("%s: bad want string %s: %v", pos, s[:end+1], err)
+		}
+		out = append(out, q)
+		s = strings.TrimSpace(s[end+1:])
+	}
+	return out
+}
+
+func checkExpectations(t *testing.T, dir string, res *Result, wants []*want) {
+	t.Helper()
+	for _, d := range res.Diagnostics {
+		if d.Suppressed {
+			continue // fixtures verify the escape hatch by NOT wanting these
+		}
+		matched := false
+		for _, w := range wants {
+			if w.hit || w.file != d.File || w.line != d.Line {
+				continue
+			}
+			if w.re.MatchString(d.Message) {
+				w.hit = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic: %s", dir, d.String())
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s: %s:%d: expected diagnostic matching %q, got none", dir, w.file, w.line, w.raw)
+		}
+	}
+	for _, b := range res.BadIgnores {
+		t.Errorf("%s: %s", dir, b.String())
+	}
+}
+
+// FixtureDir resolves internal/analysis/testdata/src/<parts...> from
+// the calling test's working directory.
+func FixtureDir(t *testing.T, parts ...string) string {
+	t.Helper()
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	root, err := ModuleRoot(wd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := filepath.Join(append([]string{root, "internal", "analysis", "testdata", "src"}, parts...)...)
+	if _, err := os.Stat(p); err != nil {
+		t.Fatalf("fixture %s: %v", p, err)
+	}
+	return p
+}

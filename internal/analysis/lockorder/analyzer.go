@@ -1,0 +1,309 @@
+// Package lockorder enforces the repo's annotated lock hierarchy.
+// Mutex-typed struct fields carry a rank annotation:
+//
+//	mu sync.Mutex //motorlint:lockorder 20 device
+//
+// and the rule is: while a lock of rank R is held, only locks of
+// strictly greater rank may be acquired. The Motor hierarchy is
+// engine (10) → device (20) → channel (30): engine-level code may
+// call down into a device which may lock a channel endpoint, but a
+// channel callback must never re-enter a device or engine lock, or
+// two ranks' worth of cross-thread callers deadlock. Re-acquiring
+// the same annotated lock while held is flagged as a self-deadlock
+// (sync.Mutex is not reentrant).
+//
+// The check is a per-function, source-order scan: Lock/RLock on an
+// annotated field (directly or through an embedded mutex) pushes it
+// onto the held set, Unlock/RUnlock pops it, and a deferred unlock
+// keeps the lock held to function exit — the dominant idiom here.
+// Branch-sensitive flows the linear scan misjudges can use the
+// //lint:ignore motorlint/lockorder escape hatch with a reason.
+// Unannotated mutexes are not tracked.
+package lockorder
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+	"strings"
+
+	"motor/internal/analysis/framework"
+)
+
+// Analyzer is the lockorder pass.
+var Analyzer = &framework.Analyzer{
+	Name: "lockorder",
+	Doc: "locks annotated //motorlint:lockorder <rank> <label> must be " +
+		"acquired in strictly increasing rank order (engine→device→channel)",
+	Run: run,
+}
+
+type lockClass struct {
+	rank  int
+	label string
+}
+
+// classes returns the cross-package annotation table (FieldKey →
+// class). Packages run in dependency order, so by the time a package
+// locks an imported mutex the defining package has been scanned.
+func classes(st *framework.State) map[string]lockClass {
+	m, _ := st.Get("lockorder.classes").(map[string]lockClass)
+	if m == nil {
+		m = map[string]lockClass{}
+		st.Put("lockorder.classes", m)
+	}
+	return m
+}
+
+func run(pass *framework.Pass) error {
+	table := classes(pass.State)
+	collectAnnotations(pass, table)
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFunc(pass, fd, table)
+		}
+	}
+	return nil
+}
+
+// collectAnnotations scans struct declarations for lockorder
+// comments. Fields are resolved positionally against the checked
+// struct type (one ast.Field covers len(Names) fields, or one
+// embedded field), which handles embedded mutexes uniformly.
+func collectAnnotations(pass *framework.Pass, table map[string]lockClass) {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			stAst, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			tv, ok := pass.Info.Types[stAst]
+			if !ok {
+				return true
+			}
+			stType, ok := tv.Type.Underlying().(*types.Struct)
+			if !ok {
+				return true
+			}
+			idx := 0
+			for _, f := range stAst.Fields.List {
+				width := len(f.Names)
+				if width == 0 {
+					width = 1
+				}
+				rank, label, found, bad := parseAnnotation(f)
+				if bad != "" {
+					pass.Reportf(f.Pos(), "malformed lockorder annotation: %s "+
+						"(want //motorlint:lockorder <rank> <label>)", bad)
+				} else if found {
+					for i := 0; i < width && idx+i < stType.NumFields(); i++ {
+						table[framework.FieldKey(stType.Field(idx+i))] =
+							lockClass{rank: rank, label: label}
+					}
+				}
+				idx += width
+			}
+			return true
+		})
+	}
+}
+
+// parseAnnotation extracts a lockorder annotation from the field's
+// doc or line comment. bad is non-empty for a malformed directive.
+func parseAnnotation(f *ast.Field) (rank int, label string, found bool, bad string) {
+	var groups []*ast.CommentGroup
+	if f.Doc != nil {
+		groups = append(groups, f.Doc)
+	}
+	if f.Comment != nil {
+		groups = append(groups, f.Comment)
+	}
+	for _, g := range groups {
+		for _, c := range g.List {
+			text := strings.TrimPrefix(c.Text, "//")
+			text = strings.TrimSpace(text)
+			if !strings.HasPrefix(text, "motorlint:lockorder") {
+				continue
+			}
+			parts := strings.Fields(strings.TrimPrefix(text, "motorlint:lockorder"))
+			if len(parts) != 2 {
+				return 0, "", false, "expected two operands, got " + strconv.Itoa(len(parts))
+			}
+			r, err := strconv.Atoi(parts[0])
+			if err != nil {
+				return 0, "", false, "rank " + strconv.Quote(parts[0]) + " is not an integer"
+			}
+			return r, parts[1], true, ""
+		}
+	}
+	return 0, "", false, ""
+}
+
+type lockEvent struct {
+	pos      int // source offset for ordering
+	node     ast.Node
+	acquire  bool
+	deferred bool
+	key      string
+	class    lockClass
+	spelled  string // how the receiver was written, for messages
+}
+
+func checkFunc(pass *framework.Pass, fd *ast.FuncDecl, table map[string]lockClass) {
+	var events []lockEvent
+	framework.WalkStack(fd.Body, func(n ast.Node, stack []ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		var acquire bool
+		switch sel.Sel.Name {
+		case "Lock", "RLock":
+			acquire = true
+		case "Unlock", "RUnlock":
+			acquire = false
+		default:
+			return true
+		}
+		if !isSyncMethod(pass, sel) {
+			return true
+		}
+		field := lockField(pass, sel, table)
+		if field == "" {
+			return true // unannotated mutex: not tracked
+		}
+		events = append(events, lockEvent{
+			pos:      int(call.Pos()),
+			node:     call,
+			acquire:  acquire,
+			deferred: inDefer(stack),
+			key:      field,
+			class:    table[field],
+			spelled:  types.ExprString(sel.X),
+		})
+		return true
+	})
+	if len(events) == 0 {
+		return
+	}
+
+	// Linear source-order simulation of the held set.
+	type held struct {
+		key     string
+		class   lockClass
+		spelled string
+	}
+	var heldSet []held
+	for _, ev := range events {
+		if !ev.acquire {
+			if ev.deferred {
+				continue // released at exit: stays held for the scan
+			}
+			for i := len(heldSet) - 1; i >= 0; i-- {
+				if heldSet[i].key == ev.key {
+					heldSet = append(heldSet[:i], heldSet[i+1:]...)
+					break
+				}
+			}
+			continue
+		}
+		for _, h := range heldSet {
+			if h.key == ev.key {
+				pass.Reportf(ev.node.Pos(),
+					"%s (%s, rank %d) acquired while already held: sync mutexes are "+
+						"not reentrant, this self-deadlocks",
+					ev.spelled, ev.class.label, ev.class.rank)
+				continue
+			}
+			if h.class.rank >= ev.class.rank {
+				pass.Reportf(ev.node.Pos(),
+					"lock order inversion: acquiring %s (%s, rank %d) while holding "+
+						"%s (%s, rank %d); the hierarchy is engine(10)→device(20)→channel(30) "+
+						"and ranks must strictly increase",
+					ev.spelled, ev.class.label, ev.class.rank,
+					h.spelled, h.class.label, h.class.rank)
+			}
+		}
+		heldSet = append(heldSet, held{key: ev.key, class: ev.class, spelled: ev.spelled})
+	}
+}
+
+// isSyncMethod reports whether sel selects a method of sync.Mutex or
+// sync.RWMutex.
+func isSyncMethod(pass *framework.Pass, sel *ast.SelectorExpr) bool {
+	s, ok := pass.Info.Selections[sel]
+	if !ok || s.Kind() != types.MethodVal {
+		return false
+	}
+	fn, ok := s.Obj().(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return false
+	}
+	recv := fn.Type().(*types.Signature).Recv()
+	if recv == nil {
+		return false
+	}
+	return framework.NamedFrom(recv.Type(), "sync", "Mutex") ||
+		framework.NamedFrom(recv.Type(), "sync", "RWMutex")
+}
+
+// lockField resolves the annotated field behind sel (the receiver of
+// a Lock/Unlock call): either the method is promoted from an embedded
+// mutex (the selection's index path crosses the field), or sel.X is
+// itself a field selection (x.mu.Lock()). The innermost annotated
+// field's key is returned, or "".
+func lockField(pass *framework.Pass, sel *ast.SelectorExpr, table map[string]lockClass) string {
+	var chain []*types.Var
+	if inner, ok := sel.X.(*ast.SelectorExpr); ok {
+		if s, ok := pass.Info.Selections[inner]; ok && s.Kind() == types.FieldVal {
+			if v, ok := s.Obj().(*types.Var); ok {
+				chain = append(chain, v)
+			}
+		}
+	}
+	if s, ok := pass.Info.Selections[sel]; ok {
+		t := s.Recv()
+		idx := s.Index()
+		for _, i := range idx[:len(idx)-1] {
+			st := structUnder(t)
+			if st == nil || i >= st.NumFields() {
+				break
+			}
+			f := st.Field(i)
+			chain = append(chain, f)
+			t = f.Type()
+		}
+	}
+	for i := len(chain) - 1; i >= 0; i-- {
+		key := framework.FieldKey(chain[i])
+		if _, ok := table[key]; ok {
+			return key
+		}
+	}
+	return ""
+}
+
+func structUnder(t types.Type) *types.Struct {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	st, _ := t.Underlying().(*types.Struct)
+	return st
+}
+
+func inDefer(stack []ast.Node) bool {
+	for _, n := range stack {
+		if _, ok := n.(*ast.DeferStmt); ok {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,16 @@
+package lockorder_test
+
+import (
+	"testing"
+
+	"motor/internal/analysis/framework"
+	"motor/internal/analysis/lockorder"
+)
+
+func TestBadFixtures(t *testing.T) {
+	framework.RunFixture(t, lockorder.Analyzer, framework.FixtureDir(t, "lockorder", "bad"))
+}
+
+func TestGoodFixtures(t *testing.T) {
+	framework.RunFixture(t, lockorder.Analyzer, framework.FixtureDir(t, "lockorder", "good"))
+}

@@ -1,0 +1,34 @@
+// Package motorlint assembles the Motor analyzer suite. The cmd
+// driver, the vet tool, and the tests all consume this one registry
+// so a new analyzer is wired everywhere by adding it here.
+package motorlint
+
+import (
+	"motor/internal/analysis/atomicfield"
+	"motor/internal/analysis/framework"
+	"motor/internal/analysis/lockorder"
+	"motor/internal/analysis/rootbeforederef"
+	"motor/internal/analysis/tracerguard"
+	"motor/internal/analysis/typederr"
+)
+
+// Suite returns the full analyzer set in stable order.
+func Suite() []*framework.Analyzer {
+	return []*framework.Analyzer{
+		atomicfield.Analyzer,
+		lockorder.Analyzer,
+		rootbeforederef.Analyzer,
+		tracerguard.Analyzer,
+		typederr.Analyzer,
+	}
+}
+
+// ByName returns the named analyzer, or nil.
+func ByName(name string) *framework.Analyzer {
+	for _, a := range Suite() {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}

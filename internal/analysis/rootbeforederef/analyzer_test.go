@@ -1,0 +1,16 @@
+package rootbeforederef_test
+
+import (
+	"testing"
+
+	"motor/internal/analysis/framework"
+	"motor/internal/analysis/rootbeforederef"
+)
+
+func TestBadFixtures(t *testing.T) {
+	framework.RunFixture(t, rootbeforederef.Analyzer, framework.FixtureDir(t, "rootbeforederef", "bad"))
+}
+
+func TestGoodFixtures(t *testing.T) {
+	framework.RunFixture(t, rootbeforederef.Analyzer, framework.FixtureDir(t, "rootbeforederef", "good"))
+}

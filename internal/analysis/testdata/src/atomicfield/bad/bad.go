@@ -1,0 +1,48 @@
+// Fixture: atomic/plain mixing and 64-bit misalignment.
+package fixture
+
+import "sync/atomic"
+
+type counters struct {
+	pad uint32
+	ops uint64 // want "offset 4"
+}
+
+type server struct {
+	c counters
+}
+
+func (s *server) inc() {
+	atomic.AddUint64(&s.c.ops, 1)
+}
+
+func (s *server) read() uint64 {
+	return s.c.ops // want "read non-atomically"
+}
+
+func (s *server) reset() {
+	s.c.ops = 0 // want "written non-atomically"
+}
+
+// The gc.scavenges shape: the reduced form of the vm builtin defect
+// this analyzer caught (fixed in the same PR) — a shared GC counter
+// read plain while collector threads atomically add to it.
+type gcStats struct {
+	scavenges uint64
+}
+
+type heapLike struct {
+	stats gcStats
+}
+
+type vmLike struct {
+	heap *heapLike
+}
+
+func collect(h *heapLike) {
+	atomic.AddUint64(&h.stats.scavenges, 1)
+}
+
+func Scavenges(v *vmLike) uint64 {
+	return v.heap.stats.scavenges // want "read non-atomically"
+}

@@ -1,0 +1,55 @@
+// Fixture: compliant atomic-field usage — no diagnostics.
+package fixture
+
+import "sync/atomic"
+
+type counters struct {
+	ops  uint64
+	hits uint64
+}
+
+type engine struct {
+	stats counters
+}
+
+func (e *engine) inc() {
+	atomic.AddUint64(&e.stats.ops, 1)
+}
+
+// snapshot is the repo's race-safe copy idiom.
+func (e *engine) snapshot() counters {
+	return counters{
+		ops:  atomic.LoadUint64(&e.stats.ops),
+		hits: atomic.LoadUint64(&e.stats.hits),
+	}
+}
+
+// Reading fields of a local struct value is reading a private copy,
+// not shared memory.
+func report(e *engine) uint64 {
+	s := e.snapshot()
+	return s.ops + s.hits
+}
+
+// bump is the engine's wrapper shape: the address escapes into a
+// helper, which is out of scope ("escaped, not judged").
+func bump(f *uint64) { atomic.AddUint64(f, 1) }
+
+func (e *engine) inc2() {
+	bump(&e.stats.hits)
+}
+
+// IgnoredPlain demonstrates the escape hatch on a Finish-phase
+// diagnostic.
+type local struct {
+	n uint64
+}
+
+func atomicTouch(l *local) {
+	atomic.AddUint64(&l.n, 1)
+}
+
+func plainTouch(l *local) uint64 {
+	//lint:ignore motorlint/atomicfield l is goroutine-confined during construction
+	return l.n
+}

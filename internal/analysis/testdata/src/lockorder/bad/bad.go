@@ -1,0 +1,51 @@
+// Fixture: lock hierarchy violations.
+package fixture
+
+import "sync"
+
+type engine struct {
+	mu sync.Mutex //motorlint:lockorder 10 engine
+}
+
+type device struct {
+	sync.Mutex //motorlint:lockorder 20 device
+}
+
+type endpoint struct {
+	mu sync.Mutex //motorlint:lockorder 30 channel
+}
+
+// CallbackRelock is a channel-layer callback re-entering the engine
+// lock: the classic inversion the hierarchy forbids.
+func CallbackRelock(e *engine, d *device) {
+	d.Lock()
+	defer d.Unlock()
+	e.mu.Lock() // want "lock order inversion"
+	e.mu.Unlock()
+}
+
+// DeepInversion climbs two ranks the wrong way.
+func DeepInversion(e *engine, c *endpoint) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e.mu.Lock() // want "lock order inversion"
+	e.mu.Unlock()
+}
+
+// SelfDeadlock re-acquires a held, non-reentrant mutex.
+func SelfDeadlock(c *endpoint) {
+	c.mu.Lock()
+	c.mu.Lock() // want "self-deadlocks"
+	c.mu.Unlock()
+	c.mu.Unlock()
+}
+
+type badAnn struct {
+	//motorlint:lockorder ten engine
+	mu sync.Mutex // want "malformed lockorder annotation"
+}
+
+func touch(b *badAnn) {
+	b.mu.Lock()
+	b.mu.Unlock()
+}

@@ -1,0 +1,57 @@
+// Fixture: compliant lock ordering — no diagnostics.
+package fixture
+
+import "sync"
+
+type engine struct {
+	mu sync.Mutex //motorlint:lockorder 10 engine
+}
+
+type device struct {
+	sync.Mutex //motorlint:lockorder 20 device
+}
+
+type endpoint struct {
+	mu sync.Mutex //motorlint:lockorder 30 channel
+}
+
+// Ordered descends the hierarchy: engine → device → channel.
+func Ordered(e *engine, d *device, c *endpoint) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	d.Lock()
+	c.mu.Lock()
+	c.mu.Unlock()
+	d.Unlock()
+}
+
+// Sequential releases before acquiring a lower rank: no nesting, no
+// inversion.
+func Sequential(d *device, e *engine) {
+	d.Lock()
+	d.Unlock()
+	e.mu.Lock()
+	e.mu.Unlock()
+}
+
+// Untracked mutexes carry no annotation and are not judged.
+type plain struct {
+	mu sync.Mutex
+}
+
+func mixed(p *plain, d *device) {
+	d.Lock()
+	defer d.Unlock()
+	p.mu.Lock()
+	p.mu.Unlock()
+}
+
+// IgnoredInversion demonstrates the escape hatch for flows the
+// linear scan misjudges.
+func IgnoredInversion(e *engine, d *device) {
+	d.Lock()
+	defer d.Unlock()
+	//lint:ignore motorlint/lockorder init-time only; no concurrent holders exist yet
+	e.mu.Lock()
+	e.mu.Unlock()
+}

@@ -1,0 +1,39 @@
+// Fixture: unguarded tracer emission and gate misuse.
+package fixture
+
+import (
+	"time"
+
+	"motor/internal/obs"
+)
+
+// Unguarded dereferences the gate's result without a nil check: a
+// crash the moment tracing is off.
+func Unguarded(rank int) {
+	tr := obs.Active()
+	tr.Begin(rank, obs.Kind(1)) // want "not dominated by a nil check"
+}
+
+// Chained is the reduced form of the motor.go startup defect this
+// analyzer caught (fixed in the same PR): chaining the gate into the
+// emission double-loads and skips the nil check.
+func Chained() bool {
+	return obs.Active() != nil && !obs.Active().Flight() // want "chains the gate"
+}
+
+// WrongGuard checks a different expression than the receiver.
+func WrongGuard(rank int) {
+	tr := obs.Active()
+	other := obs.Active()
+	if other != nil {
+		tr.Instant(rank, obs.Kind(2)) // want "not dominated by a nil check"
+	}
+}
+
+// ClockOutsideGuard pays for a clock read even when tracing is off.
+func ClockOutsideGuard(rank int) {
+	start := time.Now() // want "clock read feeds only tracer emission"
+	if tr := obs.Active(); tr != nil {
+		tr.Record(obs.HistID(0), time.Since(start).Nanoseconds())
+	}
+}

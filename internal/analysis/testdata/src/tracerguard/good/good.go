@@ -1,0 +1,70 @@
+// Fixture: compliant tracer emission — no diagnostics.
+package fixture
+
+import (
+	"time"
+
+	"motor/internal/obs"
+)
+
+// Guarded is the canonical event-site shape.
+func Guarded(rank int) {
+	tr := obs.Active()
+	if tr != nil {
+		tr.Begin(rank, obs.Kind(1))
+		tr.End(rank)
+	}
+}
+
+// InlineGuard uses the init-statement form.
+func InlineGuard(rank int) {
+	if tr := obs.Active(); tr != nil {
+		tr.Instant(rank, obs.Kind(2))
+	}
+}
+
+// EarlyOut uses the divergent early-return form.
+func EarlyOut(rank int) {
+	tr := obs.Active()
+	if tr == nil {
+		return
+	}
+	tr.Begin(rank, obs.Kind(1))
+}
+
+// Conjunct guards within one short-circuit expression.
+func Conjunct() bool {
+	tr := obs.Active()
+	return tr != nil && tr.Flight()
+}
+
+// Constructed tracers cannot be nil.
+func Constructed() {
+	tr := obs.NewTracer(obs.Options{})
+	tr.Begin(0, obs.Kind(1))
+}
+
+// GuardedClock hoists the clock read under the guard.
+func GuardedClock(rank int) {
+	if tr := obs.Active(); tr != nil {
+		start := time.Now()
+		tr.Record(obs.HistID(0), time.Since(start).Nanoseconds())
+	}
+}
+
+// MixedUseClock feeds the clock into non-tracer state too, so the
+// read is needed regardless of tracing; not flagged.
+func MixedUseClock(rank int) int64 {
+	start := time.Now()
+	if tr := obs.Active(); tr != nil {
+		tr.Record(obs.HistID(0), time.Since(start).Nanoseconds())
+	}
+	return time.Since(start).Nanoseconds()
+}
+
+// IgnoredCall demonstrates the escape hatch for interprocedural
+// guarantees the analyzer cannot see.
+func IgnoredCall(t *obs.Tracer) {
+	//lint:ignore motorlint/tracerguard every caller passes the guarded non-nil tracer
+	t.Begin(0, obs.Kind(1))
+}

@@ -1,0 +1,32 @@
+// Fixture: untyped errors escaping transport code.
+package fixture
+
+import (
+	"errors"
+	"fmt"
+)
+
+// SpawnCount is the reduced form of the mp.Spawn defect this analyzer
+// caught (fixed in the same PR): a bare fmt.Errorf that errors.Is can
+// never classify.
+func SpawnCount(n int) error {
+	if n < 1 {
+		return fmt.Errorf("mp: spawn count %d", n) // want "raw fmt.Errorf without %w"
+	}
+	return nil
+}
+
+func Direct() error {
+	return errors.New("boom") // want "raw errors.New"
+}
+
+func ViaLocal() error {
+	err := fmt.Errorf("bad frame %d", 1) // want "built from a raw"
+	return err
+}
+
+// ChanSend is the bootstrap fan-out shape: error channels are returns
+// in disguise.
+func ChanSend(errc chan error) {
+	errc <- fmt.Errorf("bad mesh peer %d", 3) // want "sends a raw"
+}

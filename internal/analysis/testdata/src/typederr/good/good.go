@@ -1,0 +1,42 @@
+// Fixture: compliant transport error handling — no diagnostics.
+package fixture
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Package-level sentinels are the typed classes themselves.
+var ErrTransport = errors.New("fixture: transport failure")
+var errInvalid = errors.New("fixture: invalid argument")
+
+func Wrapped(n int) error {
+	if n < 1 {
+		return fmt.Errorf("%w: world size %d", errInvalid, n)
+	}
+	return nil
+}
+
+func WrapCause(cause error) error {
+	return fmt.Errorf("%w: handshake: %v", ErrTransport, cause)
+}
+
+func Sentinel() error {
+	return ErrTransport
+}
+
+// Dynamic format strings cannot be proven raw; the analyzer is
+// lenient rather than noisy.
+func Dynamic(format string) error {
+	return fmt.Errorf(format, 1)
+}
+
+func ChanSendWrapped(errc chan error) {
+	errc <- fmt.Errorf("%w: peer lost", ErrTransport)
+}
+
+// IgnoredRaw demonstrates the escape hatch.
+func IgnoredRaw() error {
+	//lint:ignore motorlint/typederr diagnostic detail for logs only, never classified by waiters
+	return errors.New("local detail")
+}

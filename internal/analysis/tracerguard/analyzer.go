@@ -1,0 +1,267 @@
+// Package tracerguard enforces the disabled-path tracing budget
+// (PR 3/PR 8): event emission on hot paths must go through the
+// single-atomic-load gate — `tr := obs.Active(); if tr != nil {...}`
+// (or an `if tr == nil { return }` early-out) — so that with tracing
+// off an event site costs one predictable branch and nothing else.
+//
+// Checks, outside internal/obs (which implements the machinery):
+//
+//  1. Any method call on a *obs.Tracer value must be dominated by a
+//     nil check of that exact expression. Tracer methods dereference
+//     the receiver, so an unguarded call on the nil tracer that
+//     Active() returns when tracing is off is a crash; a guard that
+//     is not the one atomic load is a budget leak.
+//  2. Chaining obs.Active().Method(...) is flagged outright: it both
+//     double-loads and skips the nil check.
+//  3. A time.Now()/time.Since() result consumed only by tracer
+//     emission must itself sit under the guard: clock reads on the
+//     disabled path are exactly the overhead the budget forbids.
+package tracerguard
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"motor/internal/analysis/framework"
+)
+
+// Analyzer is the tracerguard pass.
+var Analyzer = &framework.Analyzer{
+	Name: "tracerguard",
+	Doc: "obs.Tracer emission must be nil-guarded behind the one-atomic-load " +
+		"obs.Active() gate; no clock reads on the disabled path",
+	Scope: func(path string) bool {
+		return !strings.Contains(path, "internal/obs") &&
+			!strings.Contains(path, "internal/analysis")
+	},
+	Run: run,
+}
+
+func run(pass *framework.Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFunc(pass, fd)
+		}
+	}
+	return nil
+}
+
+func isTracer(pass *framework.Pass, e ast.Expr) bool {
+	tv, ok := pass.Info.Types[e]
+	if !ok {
+		return false
+	}
+	if _, isPtr := tv.Type.(*types.Pointer); !isPtr {
+		return false
+	}
+	return framework.NamedFrom(tv.Type, "obs", "Tracer")
+}
+
+// isActiveCall reports whether e is a call of obs.Active (the gate).
+func isActiveCall(pass *framework.Pass, e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Active" {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pkg, ok := pass.Info.Uses[id].(*types.PkgName)
+	return ok && pkg.Imported().Name() == "obs"
+}
+
+// isConstructorCall reports whether e is a call that provably returns
+// a non-nil tracer (obs.New* / obs.NewTracer-style constructors).
+func isConstructorCall(pass *framework.Pass, e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || !strings.HasPrefix(sel.Sel.Name, "New") {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pkg, ok := pass.Info.Uses[id].(*types.PkgName)
+	return ok && pkg.Imported().Name() == "obs"
+}
+
+func checkFunc(pass *framework.Pass, fd *ast.FuncDecl) {
+	// Tracer-typed locals that are provably non-nil (constructed, not
+	// loaded from the gate).
+	nonNil := map[*types.Var]bool{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok {
+				continue
+			}
+			obj, ok := pass.Info.Defs[id].(*types.Var)
+			if !ok {
+				continue
+			}
+			if isConstructorCall(pass, as.Rhs[i]) {
+				nonNil[obj] = true
+			}
+		}
+		return true
+	})
+
+	tracerExprs := map[string]bool{} // receiver spellings seen in emission
+	var emissions []*ast.CallExpr
+
+	framework.WalkStack(fd.Body, func(n ast.Node, stack []ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || !isTracer(pass, sel.X) {
+			return true
+		}
+		emissions = append(emissions, call)
+
+		if isActiveCall(pass, sel.X) {
+			pass.Reportf(call.Pos(),
+				"obs.Active().%s(...) chains the gate into the emission: load once "+
+					"(tr := obs.Active()), nil-check, and reuse — the disabled path must "+
+					"cost one atomic load (PR 3 budget)", sel.Sel.Name)
+			return true
+		}
+		exprStr := types.ExprString(sel.X)
+		tracerExprs[exprStr] = true
+		if id, ok := sel.X.(*ast.Ident); ok {
+			if obj, ok := pass.Info.Uses[id].(*types.Var); ok && nonNil[obj] {
+				return true // constructed in this function: cannot be nil
+			}
+		}
+		if !framework.NilGuarded(exprStr, call, stack) {
+			pass.Reportf(call.Pos(),
+				"%s.%s(...) is not dominated by a nil check of %q: obs.Active() "+
+					"returns nil with tracing off, and emission must sit behind that "+
+					"single-atomic-load guard (PR 3 budget)",
+				exprStr, sel.Sel.Name, exprStr)
+		}
+		return true
+	})
+
+	if len(emissions) == 0 {
+		return
+	}
+	checkClockReads(pass, fd, tracerExprs)
+}
+
+// checkClockReads flags time.Now()/time.Since() whose results feed
+// only tracer emission but are read outside the guard.
+func checkClockReads(pass *framework.Pass, fd *ast.FuncDecl, tracerExprs map[string]bool) {
+	// clock-valued locals: var -> the time call that defined it.
+	clockDef := map[*types.Var]*ast.CallExpr{}
+	clockGuarded := map[*types.Var]bool{}
+	framework.WalkStack(fd.Body, func(n ast.Node, stack []ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok {
+				continue
+			}
+			obj, ok := pass.Info.Defs[id].(*types.Var)
+			if !ok {
+				continue
+			}
+			call, ok := as.Rhs[i].(*ast.CallExpr)
+			if !ok || !isTimeCall(pass, call) {
+				continue
+			}
+			clockDef[obj] = call
+			for expr := range tracerExprs {
+				if framework.NilGuarded(expr, as, stack) {
+					clockGuarded[obj] = true
+				}
+			}
+		}
+		return true
+	})
+	if len(clockDef) == 0 {
+		return
+	}
+
+	// Uses: inside emission args vs anywhere else.
+	emissionUse := map[*types.Var]bool{}
+	otherUse := map[*types.Var]bool{}
+	framework.WalkStack(fd.Body, func(n ast.Node, stack []ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj, ok := pass.Info.Uses[id].(*types.Var)
+		if !ok {
+			return true
+		}
+		if _, isClock := clockDef[obj]; !isClock {
+			return true
+		}
+		inEmission := false
+		for _, anc := range stack {
+			call, ok := anc.(*ast.CallExpr)
+			if !ok {
+				continue
+			}
+			if sel, ok := call.Fun.(*ast.SelectorExpr); ok && isTracer(pass, sel.X) {
+				inEmission = true
+				break
+			}
+		}
+		if inEmission {
+			emissionUse[obj] = true
+		} else {
+			otherUse[obj] = true
+		}
+		return true
+	})
+
+	for obj, call := range clockDef {
+		if emissionUse[obj] && !otherUse[obj] && !clockGuarded[obj] {
+			pass.Reportf(call.Pos(),
+				"clock read feeds only tracer emission but runs outside the tracer "+
+					"nil-guard: hoist it under the guard so the disabled path stays at "+
+					"one atomic load (PR 3 budget)")
+		}
+	}
+}
+
+func isTimeCall(pass *framework.Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	name := sel.Sel.Name
+	if name != "Now" && name != "Since" {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pkg, ok := pass.Info.Uses[id].(*types.PkgName)
+	return ok && pkg.Imported().Path() == "time"
+}

@@ -1,0 +1,16 @@
+package tracerguard_test
+
+import (
+	"testing"
+
+	"motor/internal/analysis/framework"
+	"motor/internal/analysis/tracerguard"
+)
+
+func TestBadFixtures(t *testing.T) {
+	framework.RunFixture(t, tracerguard.Analyzer, framework.FixtureDir(t, "tracerguard", "bad"))
+}
+
+func TestGoodFixtures(t *testing.T) {
+	framework.RunFixture(t, tracerguard.Analyzer, framework.FixtureDir(t, "tracerguard", "good"))
+}

@@ -1,0 +1,187 @@
+// Package typederr enforces the transport-layer typed-error rule
+// (PR 1): errors crossing the internal/mp, internal/mp/adi, and
+// internal/mp/channel boundaries must belong to a typed class —
+// mp.ErrTransport, a package sentinel, or a %w-wrap of an underlying
+// error — because waiters classify failures with errors.Is and an
+// untyped error turns a dead peer into a hang. A raw errors.New or
+// fmt.Errorf (no %w verb) returned from transport code is therefore
+// a defect: it can never satisfy errors.Is(err, mp.ErrTransport) nor
+// carry its cause.
+//
+// Allowed:
+//   - package-level sentinel declarations (var ErrX = errors.New(...))
+//   - fmt.Errorf with a %w verb (wraps a sentinel or a cause)
+//
+// Flagged:
+//   - return of a direct errors.New(...) / fmt.Errorf without %w
+//   - return of a local variable whose sole assignment is such a call
+package typederr
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"motor/internal/analysis/framework"
+)
+
+// Analyzer is the typederr pass.
+var Analyzer = &framework.Analyzer{
+	Name: "typederr",
+	Doc: "transport packages must return typed errors (sentinel-wrapping " +
+		"fmt.Errorf with %w) so waiters can classify failures; raw " +
+		"errors.New/fmt.Errorf escaping transport code hang waits (PR 1)",
+	Scope: func(path string) bool {
+		for _, suf := range []string{"internal/mp", "internal/mp/adi", "internal/mp/channel"} {
+			if strings.HasSuffix(path, suf) {
+				return true
+			}
+		}
+		return false
+	},
+	Run: run,
+}
+
+func run(pass *framework.Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFunc(pass, fd)
+		}
+	}
+	return nil
+}
+
+// rawErrorCall reports whether call constructs an untyped error:
+// errors.New(...), or fmt.Errorf with a literal format lacking %w.
+// The diagnostic short name of the construct is returned.
+func rawErrorCall(pass *framework.Pass, call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	pkgID, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return "", false
+	}
+	pkgName, ok := pass.Info.Uses[pkgID].(*types.PkgName)
+	if !ok {
+		return "", false
+	}
+	switch {
+	case pkgName.Imported().Path() == "errors" && sel.Sel.Name == "New":
+		return "errors.New", true
+	case pkgName.Imported().Path() == "fmt" && sel.Sel.Name == "Errorf":
+		if len(call.Args) == 0 {
+			return "", false
+		}
+		lit, ok := call.Args[0].(*ast.BasicLit)
+		if !ok {
+			// Dynamic format string: cannot prove a wrap; be lenient.
+			return "", false
+		}
+		if strings.Contains(lit.Value, "%w") {
+			return "", false
+		}
+		return "fmt.Errorf without %w", true
+	}
+	return "", false
+}
+
+func checkFunc(pass *framework.Pass, fd *ast.FuncDecl) {
+	// Map local variables whose sole assignment is a raw error call.
+	rawLocal := map[*types.Var]*ast.CallExpr{}
+	rawLocalKind := map[*types.Var]string{}
+	poisoned := map[*types.Var]bool{} // reassigned from something else
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok {
+				continue
+			}
+			obj, ok := pass.Info.Defs[id].(*types.Var)
+			if !ok {
+				obj, ok = pass.Info.Uses[id].(*types.Var)
+				if !ok {
+					continue
+				}
+			}
+			if call, ok := as.Rhs[i].(*ast.CallExpr); ok {
+				if kind, raw := rawErrorCall(pass, call); raw {
+					if _, seen := rawLocal[obj]; seen {
+						poisoned[obj] = true
+					}
+					rawLocal[obj] = call
+					rawLocalKind[obj] = kind
+					continue
+				}
+			}
+			poisoned[obj] = true
+		}
+		return true
+	})
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		// Error values escaping through channels are returns in
+		// disguise (bootstrap fan-out goroutines report this way).
+		if send, ok := n.(*ast.SendStmt); ok {
+			if call, ok := send.Value.(*ast.CallExpr); ok {
+				if tv, ok := pass.Info.Types[send.Value]; ok && isErrorType(tv.Type) {
+					if kind, raw := rawErrorCall(pass, call); raw {
+						pass.Reportf(call.Pos(),
+							"transport code sends a raw %s into an error channel: wrap a typed "+
+								"sentinel with %%w so waiters can classify the failure (PR 1 rule)",
+							kind)
+					}
+				}
+			}
+			return true
+		}
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok {
+			return true
+		}
+		for _, res := range ret.Results {
+			if tv, ok := pass.Info.Types[res]; !ok || !isErrorType(tv.Type) {
+				continue
+			}
+			switch e := res.(type) {
+			case *ast.CallExpr:
+				if kind, raw := rawErrorCall(pass, e); raw {
+					pass.Reportf(e.Pos(),
+						"transport code returns a raw %s: wrap a typed sentinel "+
+							"(mp.ErrTransport, errInvalid, ...) with %%w so waiters can classify the failure (PR 1 rule)",
+						kind)
+				}
+			case *ast.Ident:
+				obj, ok := pass.Info.Uses[e].(*types.Var)
+				if !ok || poisoned[obj] {
+					continue
+				}
+				if call, raw := rawLocal[obj]; raw {
+					pass.Reportf(call.Pos(),
+						"transport code returns %q built from a raw %s: wrap a typed sentinel "+
+							"with %%w so waiters can classify the failure (PR 1 rule)",
+						obj.Name(), rawLocalKind[obj])
+					// Report once per construction site.
+					poisoned[obj] = true
+				}
+			}
+		}
+		return true
+	})
+}
+
+func isErrorType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	return t.String() == "error"
+}

@@ -1,0 +1,16 @@
+package typederr_test
+
+import (
+	"testing"
+
+	"motor/internal/analysis/framework"
+	"motor/internal/analysis/typederr"
+)
+
+func TestBadFixtures(t *testing.T) {
+	framework.RunFixture(t, typederr.Analyzer, framework.FixtureDir(t, "typederr", "bad"))
+}
+
+func TestGoodFixtures(t *testing.T) {
+	framework.RunFixture(t, typederr.Analyzer, framework.FixtureDir(t, "typederr", "good"))
+}

@@ -195,6 +195,10 @@ func (b *Binding) Recv(t *vm.Thread, obj vm.Ref, source, tag int) (mp.Status, er
 	if obj == vm.NullRef {
 		return mp.Status{}, ErrNotArray
 	}
+	// Root obj across the wait: waitStatus parks the thread, a sibling
+	// rank's collection may move the array, and the copy-back below
+	// must see the forwarded ref (§5.3).
+	defer t.PushFrame(&obj)()
 	exit, err := b.enter("MPI_Recv", obj)
 	if err != nil {
 		return mp.Status{}, err

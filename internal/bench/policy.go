@@ -58,18 +58,20 @@ func RunPolicyBehaviour(iters, size int) ([]PolicyBehaviour, error) {
 				th := v.StartThread("bench")
 				defer th.End()
 				err := policyWorkload(v, e, th, w.Rank(), iters, size)
+				es := e.Stats.Snapshot()
+				gs := v.Heap.Stats.Snapshot()
 				pb := PolicyBehaviour{
 					Policy:          pol.name,
-					Ops:             e.Stats.Ops,
-					PinSkippedElder: e.Stats.PinSkippedElder,
-					PinAvoidedFast:  e.Stats.PinAvoidedFast,
-					PinDeferred:     e.Stats.PinDeferred,
-					PinEager:        e.Stats.PinEager,
-					CondPins:        e.Stats.CondPins,
-					Scavenges:       v.Heap.Stats.Scavenges,
-					CondHeld:        v.Heap.Stats.CondPinsHeld,
-					CondDropped:     v.Heap.Stats.CondPinsDropped,
-					BlocksDonated:   v.Heap.Stats.BlocksDonated,
+					Ops:             es.Ops,
+					PinSkippedElder: es.PinSkippedElder,
+					PinAvoidedFast:  es.PinAvoidedFast,
+					PinDeferred:     es.PinDeferred,
+					PinEager:        es.PinEager,
+					CondPins:        es.CondPins,
+					Scavenges:       gs.Scavenges,
+					CondHeld:        gs.CondPinsHeld,
+					CondDropped:     gs.CondPinsDropped,
+					BlocksDonated:   gs.BlocksDonated,
 				}
 				results <- res{pb, err}
 			}(w)

@@ -149,6 +149,7 @@ func (e *Engine) BcastOn(t *vm.Thread, id int32, obj vm.Ref, root int) error {
 	if err != nil {
 		return err
 	}
+	defer t.PushFrame(&obj)()
 	t.PollGC()
 	defer t.PollGC()
 	buf, err := e.wholeBuf(t, obj)

@@ -76,8 +76,8 @@ type verdictKey [sha256.Size + 8]byte
 const maxVerdicts = 256
 
 var verdictCache = struct {
-	sync.Mutex
-	m map[verdictKey]*moduleVerdict
+	sync.Mutex //motorlint:lockorder 10 engine
+	m          map[verdictKey]*moduleVerdict
 }{m: make(map[verdictKey]*moduleVerdict)}
 
 func makeVerdictKey(src string, fp uint64) verdictKey {

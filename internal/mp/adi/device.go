@@ -177,7 +177,7 @@ type DeviceStats struct {
 // from idle, outside the lock — a GC hook may therefore call
 // Progress without deadlocking.
 type Device struct {
-	mu sync.Mutex
+	mu sync.Mutex //motorlint:lockorder 20 device
 
 	ch   channel.Channel
 	rank int

@@ -114,6 +114,14 @@ var ErrClosed = errors.New("channel: closed")
 // ErrRank is returned for an out-of-range destination.
 var ErrRank = errors.New("channel: rank out of range")
 
+// ErrProtocol is returned when a peer violates the wire protocol
+// (bad frame, bad bootstrap handshake): the connection state is no
+// longer trustworthy.
+var ErrProtocol = errors.New("channel: protocol violation")
+
+// ErrConfig is returned for invalid channel construction parameters.
+var ErrConfig = errors.New("channel: invalid configuration")
+
 // PeerError reports a transport failure confined to one peer
 // connection: the rest of the mesh stays usable. The device layer
 // translates it into typed MPI error classes on the affected requests

@@ -24,7 +24,7 @@ type shmFrame struct {
 // the dead prefix dominates, so a long-lived ring cannot pin an
 // unbounded backing array.
 type shmRing struct {
-	mu     sync.Mutex
+	mu     sync.Mutex //motorlint:lockorder 30 channel
 	frames []shmFrame
 	head   int
 	closed bool
@@ -78,7 +78,7 @@ func (r *shmRing) close() {
 
 // ShmFabric is the shared substrate connecting n in-process ranks.
 type ShmFabric struct {
-	mu    sync.Mutex
+	mu    sync.Mutex //motorlint:lockorder 30 channel
 	size  int
 	rings map[[2]int]*shmRing // [from,to]
 }

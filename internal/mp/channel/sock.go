@@ -158,7 +158,7 @@ func (c *SockChannel) Send(dest int, hdr Header, payload []byte) error {
 		return ErrRank
 	}
 	if dest == c.rank {
-		return errors.New("sock: self-send not supported (use shm or loop)")
+		return fmt.Errorf("%w: sock self-send not supported (use shm or loop)", ErrRank)
 	}
 	sc := c.conns[dest]
 	if sc == nil {
@@ -262,7 +262,7 @@ func (c *SockChannel) pollConn(sc *sockConn, sink Sink) (bool, error) {
 		}
 		if dst != nil {
 			if uint32(len(dst)) < hdr.Size {
-				return false, fmt.Errorf("sock: sink buffer %d smaller than payload %d", len(dst), hdr.Size)
+				return false, fmt.Errorf("%w: sink buffer %d smaller than payload %d", ErrProtocol, len(dst), hdr.Size)
 			}
 			if _, err := io.ReadFull(sc.c, dst[:hdr.Size]); err != nil {
 				return false, c.poisonConn(sc, fmt.Errorf("sock: payload read: %w", err))
@@ -427,7 +427,7 @@ func register(plat pal.Platform, rootAddr, myAddr string, rank, size int, rp Ret
 	}
 	addrs := strings.Fields(tableLine)
 	if len(addrs) != size {
-		return nil, fmt.Errorf("sock bootstrap: table has %d entries, want %d", len(addrs), size)
+		return nil, fmt.Errorf("%w: bootstrap table has %d entries, want %d", ErrProtocol, len(addrs), size)
 	}
 	return addrs, nil
 }
@@ -524,7 +524,7 @@ func BootstrapWith(plat pal.Platform, rootAddr string, rank, size int, rp RetryP
 			}
 			peer := int(binary.LittleEndian.Uint32(id[:]))
 			if peer <= rank || peer >= size || ch.conns[peer] != nil {
-				errc <- fmt.Errorf("sock bootstrap: bad mesh peer %d", peer)
+				errc <- fmt.Errorf("%w: bootstrap got bad mesh peer %d", ErrProtocol, peer)
 				return
 			}
 			ch.conns[peer] = &sockConn{peer: peer, c: conn}
@@ -568,10 +568,10 @@ func NewSockGroupLocal(plat pal.Platform, n int) ([]*SockChannel, error) {
 // stays on the host platform.
 func NewSockGroupLocalOn(plats []pal.Platform, n int, rp RetryPolicy) ([]*SockChannel, error) {
 	if n < 1 {
-		return nil, fmt.Errorf("sock: bad group size %d", n)
+		return nil, fmt.Errorf("%w: bad sock group size %d", ErrConfig, n)
 	}
 	if len(plats) != n {
-		return nil, fmt.Errorf("sock: %d platforms for %d ranks", len(plats), n)
+		return nil, fmt.Errorf("%w: %d platforms for %d ranks", ErrConfig, len(plats), n)
 	}
 	if n == 1 {
 		ch, err := BootstrapWith(plats[0], "", 0, 1, rp)

@@ -31,7 +31,7 @@ func (w *World) Spawn(n int, body func(child *World, merged *Comm) error) (*Comm
 		return nil, ErrNoSpawn
 	}
 	if n < 1 {
-		return nil, fmt.Errorf("mp: spawn count %d", n)
+		return nil, fmt.Errorf("%w: spawn count %d", errInvalid, n)
 	}
 	// Agree on the first child rank: rank 0 grows the fabric and
 	// broadcasts the base; everyone else learns it from the bcast.

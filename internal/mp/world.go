@@ -74,7 +74,7 @@ func NewLocalWorlds(kind ChannelKind, n int, eagerMax int) ([]*World, error) {
 // per-rank plans use NewSockWorldsOn.
 func NewLocalWorldsOn(kind ChannelKind, n int, eagerMax int, plat pal.Platform) ([]*World, error) {
 	if n < 1 {
-		return nil, fmt.Errorf("mp: world size %d", n)
+		return nil, fmt.Errorf("%w: world size %d", errInvalid, n)
 	}
 	switch kind {
 	case ChannelShm:
@@ -91,7 +91,7 @@ func NewLocalWorldsOn(kind ChannelKind, n int, eagerMax int, plat pal.Platform) 
 		}
 		return NewSockWorldsOn(plats, n, eagerMax, channel.DefaultRetryPolicy)
 	default:
-		return nil, fmt.Errorf("mp: unknown channel kind %q", kind)
+		return nil, fmt.Errorf("%w: unknown channel kind %q", errInvalid, kind)
 	}
 }
 

@@ -2,6 +2,7 @@ package vm
 
 import (
 	"fmt"
+	"sync/atomic"
 	"time"
 )
 
@@ -65,7 +66,7 @@ func registerBuiltins(v *VM) {
 	v.RegisterInternal(InternalFunc{
 		Name: "gc.scavenges", NArgs: 0, HasRet: true,
 		Fn: func(t *Thread, args []Value) (Value, error) {
-			return IntValue(int64(v.Heap.Stats.Scavenges)), nil
+			return IntValue(int64(atomic.LoadUint64(&v.Heap.Stats.Scavenges))), nil
 		},
 	})
 }

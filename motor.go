@@ -416,6 +416,7 @@ func writeTrace(path string, t *obs.Tracer) error {
 	if err != nil {
 		return fmt.Errorf("motor: trace: %w", err)
 	}
+	//lint:ignore motorlint/tracerguard t is the just-stopped tracer; the caller's `tracer != nil` guard dominates this cold shutdown path
 	if err := t.WriteChromeTrace(f); err != nil {
 		f.Close()
 		return fmt.Errorf("motor: trace: %w", err)
@@ -496,7 +497,8 @@ func Join(cfg Config, rootAddr string, rank, size int) (*Rank, func() error, err
 		tracer = obs.Start(obs.Options{})
 	}
 	reg := new(obs.Registry)
-	sess, err := startObs(&cfg, obs.Active() != nil && !obs.Active().Flight(), reg)
+	tr := obs.Active()
+	sess, err := startObs(&cfg, tr != nil && !tr.Flight(), reg)
 	if err != nil {
 		if tracer != nil {
 			obs.Stop(tracer)

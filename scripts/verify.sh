@@ -10,6 +10,11 @@
 #                     progress engine's acceptance gate.
 #   vet tier:         go vet + the load-time bytecode verifier over
 #                     every masm module under examples/.
+#   lint tier:        go vet + the motorlint analyzer suite
+#                     (docs/ANALYSIS.md) over the whole module. Fails
+#                     on any unsuppressed finding; //lint:ignore
+#                     motorlint/<name> <reason> is the escape hatch
+#                     and must carry a reason.
 #   quicken tier:     every masm module under examples/ run under both
 #                     dispatch engines (quickened and -noquicken
 #                     baseline) — both must succeed, and the examples
@@ -23,7 +28,7 @@
 #                     endpoint over real HTTP, and the cross-rank
 #                     merge round-trip through cmd/mtrace.
 #
-# Usage: scripts/verify.sh [quick|race|stress|all|bench|vet|quicken|obs]
+# Usage: scripts/verify.sh [quick|race|stress|all|bench|vet|lint|quicken|obs]
 #   quick   tier 1 with -short (chaos sweeps skipped; < ~30s)
 #   race    tier 2 only
 #   stress  stress tier only: shared-rank goroutine stress, fault
@@ -34,6 +39,8 @@
 #           benchmark sweeps (scripts/bench_coll.sh, scripts/bench_oo.sh,
 #           scripts/bench_async.sh); opt-in because timing-sensitive
 #   vet     static checks only: go vet + motor -mode check examples/
+#   lint    motorlint tier only: build cmd/motorlint, run the suite
+#           over ./..., fail on unignored findings
 #   quicken quicken tier only: examples under both engines + the
 #           quickening differential tests
 #   obs     obs tier only: telemetry smoke, watchdog-on-injected-stall,
@@ -77,7 +84,7 @@ tier_stress() {
 	echo "== stress: -race concurrency stress + chaos + progress harness"
 	GORACE=halt_on_error=1 go test -race -timeout 600s \
 		-run 'Stress|Chaos|Progress|Snapshot' \
-		./internal/mp/ ./internal/core/
+		./internal/mp/ ./internal/core/ ./internal/vm/
 }
 
 # Static tier: go vet plus the MASM bytecode verifier over every
@@ -91,6 +98,25 @@ tier_vet() {
 		# shellcheck disable=SC2086
 		go run ./cmd/motor -mode check $modules
 	fi
+}
+
+# Lint tier: the motorlint analyzer suite (docs/ANALYSIS.md) — the
+# repo's own invariants (safepoint rooting, typed transport errors,
+# atomic field discipline, tracer nil-gating, lock ranks) checked
+# mechanically over the whole module. motorlint exits nonzero on any
+# unsuppressed finding, so a clean run means the tree is
+# violation-free modulo documented //lint:ignore escapes.
+tier_lint() {
+	echo "== lint: go vet + motorlint analyzer suite"
+	go vet ./...
+	lintbin=$(mktemp /tmp/motorlint.XXXXXX)
+	go build -o "$lintbin" ./cmd/motorlint
+	"$lintbin" ./... || {
+		echo "verify: motorlint found unsuppressed violations" >&2
+		rm -f "$lintbin"
+		exit 1
+	}
+	rm -f "$lintbin"
 }
 
 # Quicken tier: the behavioural gate for the quickening pass
@@ -252,6 +278,7 @@ all)
 	tier1 full
 	tier2
 	tier_vet
+	tier_lint
 	tier_quicken
 	tier_obs
 	smoke_trace
@@ -261,10 +288,11 @@ bench)
 	tier3
 	;;
 vet) tier_vet ;;
+lint) tier_lint ;;
 quicken) tier_quicken ;;
 obs) tier_obs ;;
 *)
-	echo "usage: $0 [quick|race|stress|all|bench|vet|quicken|obs]" >&2
+	echo "usage: $0 [quick|race|stress|all|bench|vet|lint|quicken|obs]" >&2
 	exit 2
 	;;
 esac
