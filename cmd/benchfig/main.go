@@ -14,6 +14,8 @@
 //	benchfig -oo -json         # machine-readable (BENCH_oo.json)
 //	benchfig -interp           # interpreter quickening: baseline vs quickened dispatch
 //	benchfig -interp -json     # machine-readable (BENCH_interp.json)
+//	benchfig -gc               # GC pauses at a production live heap: serial vs modern collector
+//	benchfig -gc -json         # machine-readable (BENCH_gc.json)
 //	benchfig -quick            # smaller protocol for smoke runs
 //
 // Absolute numbers reflect this machine, not the paper's 2006
@@ -42,6 +44,7 @@ func main() {
 	oo := flag.Bool("oo", false, "run the OO transport sweep (v1 buffer vs chunked stream)")
 	async := flag.Bool("async", false, "run the async-progress overlap benchmark (inline vs background engine)")
 	interp := flag.Bool("interp", false, "run the interpreter quickening benchmark (baseline vs quickened dispatch)")
+	gcbench := flag.Bool("gc", false, "run the GC pause benchmark (serial vs modern collector at a production live heap)")
 	jsonOut := flag.Bool("json", false, "emit -coll/-oo/-async/-interp results as JSON")
 	flag.Parse()
 
@@ -74,6 +77,20 @@ func main() {
 			return
 		}
 		fmt.Print(bench.FormatInterpTable(rep))
+	case *gcbench:
+		cfg := bench.GCGrid()
+		if *quick {
+			cfg = bench.GCQuickGrid()
+		}
+		rep, err := bench.RunGCBench(cfg)
+		fatal(err)
+		if *jsonOut {
+			out, err := bench.MarshalGCReport(rep)
+			fatal(err)
+			fmt.Println(string(out))
+			return
+		}
+		fmt.Print(bench.FormatGCTable(rep))
 	case *async:
 		cfg := bench.AsyncGrid()
 		if *quick {

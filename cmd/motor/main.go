@@ -77,6 +77,7 @@ func main() {
 	rankID := flag.Int("rank", 0, "rank mode: this process's world rank")
 	noverify := flag.Bool("noverify", false, "skip load-time bytecode verification")
 	noquicken := flag.Bool("noquicken", false, "skip load-time quickening (baseline interpreter dispatch)")
+	gcworkers := flag.Int("gcworkers", 0, "GC mark workers per rank: 1 = legacy serial collector, >1 = modern parallel collector, 0 = MOTOR_GCWORKERS or NumCPU")
 	telemetry := flag.String("telemetry", "", "serve /metrics, /healthz and /debug/pprof on this address while running (also set by MOTOR_TELEMETRY)")
 	flag.Parse()
 
@@ -88,7 +89,7 @@ func main() {
 		os.Exit(check(flag.Args()))
 	}
 
-	cfg := motor.Config{Ranks: *np, Channel: *channel, Telemetry: *telemetry}
+	cfg := motor.Config{Ranks: *np, Channel: *channel, Telemetry: *telemetry, GCWorkers: *gcworkers}
 	if *noverify {
 		cfg.Verify = motor.VerifyOff
 	}

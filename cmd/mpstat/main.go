@@ -55,9 +55,10 @@ func main() {
 	noverify := flag.Bool("noverify", false, "skip load-time bytecode verification of the probe module")
 	noquicken := flag.Bool("noquicken", false, "skip load-time quickening of the probe module")
 	telemetry := flag.String("telemetry", "", "serve /metrics, /healthz and /debug/pprof on this address while running (also set by MOTOR_TELEMETRY)")
+	gcworkers := flag.Int("gcworkers", 0, "GC mark workers per rank: 1 = legacy serial collector, >1 = modern parallel collector, 0 = MOTOR_GCWORKERS or NumCPU")
 	flag.Parse()
 
-	cfg := motor.Config{Ranks: *np, Channel: *channel, Trace: *trace, Telemetry: *telemetry}
+	cfg := motor.Config{Ranks: *np, Channel: *channel, Trace: *trace, Telemetry: *telemetry, GCWorkers: *gcworkers}
 	if *noverify {
 		cfg.Verify = motor.VerifyOff
 	}
@@ -237,6 +238,8 @@ func main() {
 		fmt.Printf("  gc: scavenges=%d fullGCs=%d promoted=%dB swept=%dB donatedBlocks=%d pause=%dus max=%dus\n",
 			gs.Scavenges, gs.FullGCs, gs.BytesPromoted, gs.BytesSwept, gs.BlocksDonated,
 			gs.PauseNs/1000, gs.MaxPauseNs/1000)
+		fmt.Printf("  gc2: segregated=%d pinnedBlockBytes=%dB parallelMarks=%d compactions=%d compacted=%dB\n",
+			gs.PinnedSegregated, gs.PinnedBlockBytes, gs.ParallelMarks, gs.Compactions, gs.BytesCompacted)
 		fmt.Printf("  pins: explicit=%d/%d cond(add/held/drop)=%d/%d/%d\n",
 			gs.Pins, gs.Unpins, gs.CondPinsAdded, gs.CondPinsHeld, gs.CondPinsDropped)
 		fmt.Printf("  policy: skippedElder=%d avoidedFast=%d deferred=%d eager=%d condReq=%d\n",

@@ -49,3 +49,34 @@ func touch(b *badAnn) {
 	b.mu.Lock()
 	b.mu.Unlock()
 }
+
+// --- GC mark pool (PR 10): deque(40) → resolver(50) ---
+
+type markDeque struct {
+	mu sync.Mutex //motorlint:lockorder 40 gcdeque
+}
+
+type condResolver struct {
+	mu sync.Mutex //motorlint:lockorder 50 gcresolver
+}
+
+// StealWhileHoldingOwn is the reduced work-stealing bug: a worker
+// that keeps its own deque locked while raiding a victim's nests two
+// rank-40 locks — two thieves stealing from each other deadlock. The
+// analyzer judges by lock class, so same-rank nesting reports as a
+// (potential) self-deadlock, which is exactly the cycle.
+func StealWhileHoldingOwn(own, victim *markDeque) {
+	own.mu.Lock()
+	defer own.mu.Unlock()
+	victim.mu.Lock() // want "acquired while already held"
+	victim.mu.Unlock()
+}
+
+// ResolveThenPush inverts resolver → deque: injecting a freshly held
+// cond-pin root while still inside the resolver's critical section.
+func ResolveThenPush(r *condResolver, d *markDeque) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	d.mu.Lock() // want "lock order inversion"
+	d.mu.Unlock()
+}

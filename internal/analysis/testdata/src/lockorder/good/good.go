@@ -55,3 +55,32 @@ func IgnoredInversion(e *engine, d *device) {
 	e.mu.Lock()
 	e.mu.Unlock()
 }
+
+// --- GC mark pool (PR 10): deque(40) → resolver(50) ---
+
+type markDeque struct {
+	mu sync.Mutex //motorlint:lockorder 40 gcdeque
+}
+
+type condResolver struct {
+	mu sync.Mutex //motorlint:lockorder 50 gcresolver
+}
+
+// PopThenResolve is the compliant worker loop shape: the deque lock
+// is released before the popped object's cond pins are resolved.
+func PopThenResolve(d *markDeque, r *condResolver) {
+	d.mu.Lock()
+	d.mu.Unlock()
+	r.mu.Lock()
+	r.mu.Unlock()
+}
+
+// PushUnderResolverAscends: deque work discovered while feeding the
+// resolver ascends 40 → 50 only in release order; acquiring the
+// resolver while holding a deque is ascending and legal.
+func PushUnderResolverAscends(d *markDeque, r *condResolver) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	r.mu.Lock()
+	r.mu.Unlock()
+}

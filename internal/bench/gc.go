@@ -1,0 +1,268 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"runtime"
+	"time"
+
+	"motor/internal/obs"
+	"motor/internal/vm"
+)
+
+// The GC benchmark measures stop-the-rank pause behavior at a
+// production-sized live heap under the paper's §5.3 pinning workload:
+// a long-lived object graph plus a rotating window of pinned
+// transport buffers in the nursery. Both collectors run the same
+// driver; the only variable is -gcworkers.
+//
+// The serial collector handles a pinned nursery by donating the whole
+// young block to the elder space and carving a fresh one, so every
+// pinned scavenge grows the arena. The driver applies the standard
+// production full-heap policy — collect fully when the footprint has
+// grown GrowthPct percent since the last full collection — which the
+// serial collector's donation churn trips over and over, putting
+// full-heap marks of the entire live set into its pause tail. The
+// modern collector segregates pinned survivors into dedicated blocks
+// and reuses the nursery in place, so its footprint stays flat and
+// its pause distribution stays at scavenge scale.
+//
+// Pauses come from the PR 3 gc-pause histogram (obs.HistGCPause), and
+// only the steady-state churn phase is measured — heap construction
+// is excluded. A separate forced-full phase reports the wall time of
+// an explicit full collection in both modes: on a multi-core host the
+// mark pool shrinks it, on a single-core host it documents parity
+// (see the gomaxprocs protocol field before reading that column).
+
+// GCConfig sizes one run.
+type GCConfig struct {
+	LiveMB       int // long-lived object graph, ~1 KiB per node
+	Rounds       int // steady-state churn rounds
+	ChurnKB      int // short-lived young allocation per round
+	WindowRounds int // rounds a transport buffer stays pinned
+	YoungKB      int // nursery size
+	GrowthPct    int // full-collect when footprint grows this % since last full
+	ForcedFulls  int // explicit full collections timed after the churn phase
+}
+
+// GCGrid is the committed-artifact configuration: a ~1 GiB live heap.
+func GCGrid() GCConfig {
+	return GCConfig{LiveMB: 1024, Rounds: 500, ChurnKB: 1024, WindowRounds: 16,
+		YoungKB: 4 << 10, GrowthPct: 12, ForcedFulls: 5}
+}
+
+// GCQuickGrid is the smoke-run configuration.
+func GCQuickGrid() GCConfig {
+	return GCConfig{LiveMB: 96, Rounds: 150, ChurnKB: 512, WindowRounds: 8,
+		YoungKB: 2 << 10, GrowthPct: 12, ForcedFulls: 3}
+}
+
+// GCPauses is one mode's pause distribution in microseconds.
+type GCPauses struct {
+	Count   uint64  `json:"count"`
+	P50Us   float64 `json:"p50_us"`
+	P95Us   float64 `json:"p95_us"`
+	P99Us   float64 `json:"p99_us"`
+	MaxUs   float64 `json:"max_us"`
+	TotalMs float64 `json:"total_ms"` // sum of all pauses: the throughput side of the distribution
+}
+
+// GCModeResult is one collector's run.
+type GCModeResult struct {
+	Mode              string   `json:"mode"`
+	Workers           int      `json:"workers"`
+	Pauses            GCPauses `json:"pauses"`
+	Scavenges         uint64   `json:"scavenges"`
+	FullGCs           uint64   `json:"full_gcs"`
+	BlocksDonated     uint64   `json:"blocks_donated"`
+	PinnedSegregated  uint64   `json:"pinned_segregated"`
+	NurseriesRecycled uint64   `json:"nurseries_recycled"`
+	Compactions       uint64   `json:"compactions"`
+	ArenaStartMB      float64  `json:"arena_start_mb"`
+	ArenaEndMB        float64  `json:"arena_end_mb"`
+	ForcedFullMs      float64  `json:"forced_full_ms"` // mean explicit full-GC wall time
+}
+
+// GCReport is the machine-readable result (BENCH_gc.json).
+type GCReport struct {
+	Protocol     map[string]int `json:"protocol"`
+	Modes        []GCModeResult `json:"modes"`
+	P99Reduction float64        `json:"p99_reduction"` // serial p99 / modern p99
+}
+
+func runGCMode(cfg GCConfig, workers int, mode string) (GCModeResult, error) {
+	res := GCModeResult{Mode: mode}
+	live := uint64(cfg.LiveMB) << 20
+	arenaMax := uint32(live*2 + (512 << 20))
+	v := vm.New(vm.Config{Name: "bench-gc-" + mode, Heap: vm.HeapConfig{
+		YoungSize:    uint32(cfg.YoungKB) << 10,
+		InitialElder: 64 << 20,
+		ArenaMax:     arenaMax,
+		GCWorkers:    workers,
+	}})
+	node, err := v.NewClass("Buf", nil, []vm.FieldSpec{
+		{Name: "data", Kind: vm.KindRef},
+		{Name: "next", Kind: vm.KindRef},
+		{Name: "id", Kind: vm.KindInt32},
+	})
+	if err != nil {
+		return res, err
+	}
+	fData, fNext := node.FieldByName("data"), node.FieldByName("next")
+	res.Workers = v.Heap.Workers()
+
+	roots := &vm.RefRoots{Refs: make([]vm.Ref, 1+cfg.WindowRounds)}
+	v.AddRootProvider(roots)
+	var runErr error
+	v.WithThread("bench", func(th *vm.Thread) {
+		// Phase 1 (unmeasured): build the ~1 KiB/node live graph.
+		payload := make([]int32, 240) // 16+960 array + 32 node = 1008 B/link
+		nodes := int(live) / 1008
+		for i := 0; i < nodes; i++ {
+			n, err := v.Heap.AllocClass(node)
+			if err != nil {
+				runErr = fmt.Errorf("build node %d: %w", i, err)
+				return
+			}
+			v.Heap.SetRef(n, fNext, roots.Refs[0])
+			roots.Refs[0] = n
+			arr, err := v.Heap.NewInt32Array(payload)
+			if err != nil {
+				runErr = fmt.Errorf("build payload %d: %w", i, err)
+				return
+			}
+			v.Heap.SetRef(roots.Refs[0], fData, arr)
+		}
+		th.CollectFull()
+
+		base := v.Heap.Stats.Snapshot()
+		arenaBase, _, _ := v.Heap.MemUse()
+		res.ArenaStartMB = float64(arenaBase) / (1 << 20)
+		lastFullArena := arenaBase
+
+		tr := obs.Start(obs.Options{})
+		if tr == nil {
+			runErr = fmt.Errorf("another obs session is active")
+			return
+		}
+
+		// Phase 2 (measured): pinned transport churn under the
+		// growth-triggered full-heap policy.
+		garbage := make([]int32, 240)
+		perRound := (cfg.ChurnKB << 10) / 1008
+		for r := 0; r < cfg.Rounds; r++ {
+			for i := 0; i < perRound; i++ {
+				if _, err := v.Heap.NewInt32Array(garbage); err != nil {
+					runErr = fmt.Errorf("round %d churn: %w", r, err)
+					return
+				}
+			}
+			slot := 1 + r%cfg.WindowRounds
+			if old := roots.Refs[slot]; old != vm.NullRef {
+				v.Heap.Unpin(old)
+				roots.Refs[slot] = vm.NullRef
+			}
+			buf, err := v.Heap.NewInt32Array(garbage)
+			if err != nil {
+				runErr = fmt.Errorf("round %d buffer: %w", r, err)
+				return
+			}
+			v.Heap.Pin(buf)
+			roots.Refs[slot] = buf
+
+			arena, _, _ := v.Heap.MemUse()
+			if arena > lastFullArena+lastFullArena/uint32(100/cfg.GrowthPct) {
+				th.CollectFull()
+				lastFullArena, _, _ = v.Heap.MemUse()
+			}
+		}
+		hist := tr.Hist(obs.HistGCPause).Snapshot()
+		obs.Stop(tr)
+		res.Pauses = GCPauses{
+			Count:   hist.Count,
+			P50Us:   float64(hist.P50) / 1e3,
+			P95Us:   float64(hist.P95) / 1e3,
+			P99Us:   float64(hist.P99) / 1e3,
+			MaxUs:   float64(hist.Max) / 1e3,
+			TotalMs: hist.Mean * float64(hist.Count) / 1e6,
+		}
+
+		// Phase 3: explicit full collections, wall-clock timed.
+		var fullNs int64
+		for i := 0; i < cfg.ForcedFulls; i++ {
+			t0 := time.Now()
+			th.CollectFull()
+			fullNs += time.Since(t0).Nanoseconds()
+		}
+		if cfg.ForcedFulls > 0 {
+			res.ForcedFullMs = float64(fullNs) / float64(cfg.ForcedFulls) / 1e6
+		}
+
+		gs := v.Heap.Stats.Snapshot()
+		res.Scavenges = gs.Scavenges - base.Scavenges
+		res.FullGCs = gs.FullGCs - base.FullGCs - uint64(cfg.ForcedFulls)
+		res.BlocksDonated = gs.BlocksDonated - base.BlocksDonated
+		res.PinnedSegregated = gs.PinnedSegregated - base.PinnedSegregated
+		res.NurseriesRecycled = gs.NurseriesRecycled - base.NurseriesRecycled
+		res.Compactions = gs.Compactions - base.Compactions
+		arenaEnd, _, _ := v.Heap.MemUse()
+		res.ArenaEndMB = float64(arenaEnd) / (1 << 20)
+	})
+	return res, runErr
+}
+
+// RunGCBench runs the serial and modern collectors over the same
+// driver and reports the pause distributions.
+func RunGCBench(cfg GCConfig) (GCReport, error) {
+	rep := GCReport{Protocol: map[string]int{
+		"live_mb":       cfg.LiveMB,
+		"rounds":        cfg.Rounds,
+		"churn_kb":      cfg.ChurnKB,
+		"window_rounds": cfg.WindowRounds,
+		"young_kb":      cfg.YoungKB,
+		"growth_pct":    cfg.GrowthPct,
+		"forced_fulls":  cfg.ForcedFulls,
+		"gomaxprocs":    runtime.GOMAXPROCS(0),
+		"numcpu":        runtime.NumCPU(),
+	}}
+	serial, err := runGCMode(cfg, 1, "serial")
+	if err != nil {
+		return rep, fmt.Errorf("serial: %w", err)
+	}
+	rep.Modes = append(rep.Modes, serial)
+	runtime.GC()
+	modern, err := runGCMode(cfg, 0, "modern")
+	if err != nil {
+		return rep, fmt.Errorf("modern: %w", err)
+	}
+	rep.Modes = append(rep.Modes, modern)
+	if modern.Pauses.P99Us > 0 {
+		rep.P99Reduction = serial.Pauses.P99Us / modern.Pauses.P99Us
+	}
+	return rep, nil
+}
+
+// MarshalGCReport renders the report as indented JSON.
+func MarshalGCReport(rep GCReport) ([]byte, error) {
+	return json.MarshalIndent(rep, "", "  ")
+}
+
+// FormatGCTable renders the result as text.
+func FormatGCTable(rep GCReport) string {
+	s := fmt.Sprintf("GC pauses at %d MiB live heap (%d churn rounds, full collect on +%d%% footprint)\n",
+		rep.Protocol["live_mb"], rep.Protocol["rounds"], rep.Protocol["growth_pct"])
+	s += fmt.Sprintf("%-8s %8s %6s %10s %10s %10s %10s %9s %6s %6s %8s %6s %6s %10s\n",
+		"mode", "workers", "n", "p50(us)", "p95(us)", "p99(us)", "max(us)", "total(ms)", "scav", "full", "donated", "segr", "recyc", "arena(MB)")
+	for _, m := range rep.Modes {
+		s += fmt.Sprintf("%-8s %8d %6d %10.1f %10.1f %10.1f %10.1f %9.1f %6d %6d %8d %6d %6d %5.0f→%-4.0f\n",
+			m.Mode, m.Workers, m.Pauses.Count, m.Pauses.P50Us, m.Pauses.P95Us, m.Pauses.P99Us, m.Pauses.MaxUs,
+			m.Pauses.TotalMs, m.Scavenges, m.FullGCs, m.BlocksDonated, m.PinnedSegregated, m.NurseriesRecycled,
+			m.ArenaStartMB, m.ArenaEndMB)
+	}
+	s += fmt.Sprintf("p99 reduction (serial/modern): %.1fx\n", rep.P99Reduction)
+	for _, m := range rep.Modes {
+		s += fmt.Sprintf("forced full GC (%s): %.1f ms mean over %d runs\n",
+			m.Mode, m.ForcedFullMs, rep.Protocol["forced_fulls"])
+	}
+	return s
+}

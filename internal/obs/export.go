@@ -52,6 +52,8 @@ var phaseNames = map[GCPhase]string{
 	PhaseScavenge: "scavenge",
 	PhaseMark:     "mark",
 	PhaseSweep:    "sweep",
+	PhaseRoots:    "roots",
+	PhaseCompact:  "compact",
 }
 
 var pktNames = map[uint64]string{

@@ -189,6 +189,8 @@ const (
 	PhaseScavenge                    // nursery evacuation
 	PhaseMark                        // full-collection mark
 	PhaseSweep                       // elder sweep
+	PhaseRoots                       // root enumeration feeding the parallel mark pool
+	PhaseCompact                     // elder sliding compaction
 )
 
 // Event is one trace record. TS is nanoseconds since the trace

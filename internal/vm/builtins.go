@@ -69,4 +69,18 @@ func registerBuiltins(v *VM) {
 			return IntValue(int64(atomic.LoadUint64(&v.Heap.Stats.Scavenges))), nil
 		},
 	})
+	v.RegisterInternal(InternalFunc{
+		Name: "gc.workers", NArgs: 0, HasRet: true,
+		Fn: func(t *Thread, args []Value) (Value, error) {
+			return IntValue(int64(v.Heap.Workers())), nil
+		},
+	})
+	v.RegisterInternal(InternalFunc{
+		Name: "gc.compact", NArgs: 0,
+		Fn: func(t *Thread, args []Value) (Value, error) {
+			v.Heap.RequestCompaction()
+			v.collect(true)
+			return Value{}, nil
+		},
+	})
 }

@@ -29,6 +29,10 @@ import (
 // collect runs a collection. Callers must be in managed context (own
 // the execution token) — allocation sites and Thread.Collect* satisfy
 // this.
+//
+// Dispatch: gcworkers=1 runs the exact-legacy serial collector below;
+// gcworkers>1 runs the modern collector (gcpar.go/gccompact.go) —
+// work-stealing parallel mark, pin-aware promotion, elder compaction.
 func (v *VM) collect(full bool) {
 	h := v.Heap
 	if h.inGC {
@@ -36,6 +40,11 @@ func (v *VM) collect(full bool) {
 	}
 	h.inGC = true
 	defer func() { h.inGC = false }()
+
+	if h.gcWorkers > 1 {
+		v.collectModern(full)
+		return
+	}
 
 	tr := obs.Active()
 	if tr != nil {
@@ -269,17 +278,20 @@ func (h *Heap) scavenge(v *VM, pinned map[Ref]struct{}) {
 
 // donateYoungBlock relabels the current younger block as elder space:
 // pinned survivors stay where they are as elder objects; dead gaps
-// become free blocks.
+// become free blocks. Dead and live donated bytes are accounted
+// separately in Stats (DonatedLiveBytes/DonatedDeadBytes) — the
+// parity suite asserts the split covers the donated range.
 func (h *Heap) donateYoungBlock(ys, ye, yp uint32) {
-	h.elderRanges = append(h.elderRanges, rng{ys, ye})
 	freeStart := ys
 	pos := ys
+	var live, dead uint64
 	flushFree := func(end uint32) {
 		if end > freeStart {
 			size := end - freeStart
 			if size >= HeaderSize {
 				h.writeFreeBlock(freeStart, size)
 				h.freeList = append(h.freeList, freeBlock{freeStart, size})
+				dead += uint64(size)
 			}
 		}
 	}
@@ -295,11 +307,25 @@ func (h *Heap) donateYoungBlock(ys, ye, yp uint32) {
 			flushFree(pos)
 			h.clearFlags(Ref(pos), flagMark)
 			h.elderUsed += size
+			live += uint64(size)
 			freeStart = pos + size
 		}
 		pos += size
 	}
-	flushFree(ye)
+	end := ye
+	if end-freeStart > 0 && end-freeStart < HeaderSize {
+		// The trailing gap is too small to carry a free-block header.
+		// Donating it would leave elder-range bytes covered by no
+		// header, breaking every linear walk (sweep, CheckInvariants);
+		// truncate the range at the last survivor instead and leak the
+		// sub-header tail outside all spaces — the same policy the
+		// sweep applies to sub-header runs.
+		end = freeStart
+	}
+	h.elderRanges = append(h.elderRanges, rng{ys, end})
+	flushFree(end)
+	atomic.AddUint64(&h.Stats.DonatedLiveBytes, live)
+	atomic.AddUint64(&h.Stats.DonatedDeadBytes, dead)
 }
 
 // fullMarkSweep marks from all roots and sweeps the elder ranges in

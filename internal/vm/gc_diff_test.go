@@ -1,0 +1,442 @@
+package vm
+
+// Differential GC parity suite (docs/GC.md): the serial legacy
+// collector (GCWorkers=1) and the modern collector (parallel mark,
+// pin-aware promotion, elder compaction) must implement the SAME
+// observable semantics. A seeded generator builds one concrete op
+// script — allocation graphs with cycles, pins, conditional pins,
+// write-barrier mutations, and explicit collections — and replays it
+// against two fresh VMs, one per collector. After every collection
+// the logical heap graphs, pin decisions, and promotion accounting
+// must match exactly, and both heaps must pass CheckInvariants.
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+const (
+	diffRootSlots = 24
+	diffYoung     = 32 << 10
+)
+
+// --- op script -------------------------------------------------------
+
+type diffOpKind int
+
+const (
+	dAllocNode diffOpKind = iota
+	dAllocIntArr
+	dAllocRefArr
+	dLinkField
+	dLinkElem
+	dStoreInt
+	dDrop
+	dPin
+	dUnpin
+	dCondPin
+	dCollectYoung
+	dCollectFull
+	dCollectCompact
+)
+
+// diffOp is one fully pre-drawn operation: all randomness is resolved
+// at script-generation time so both worlds replay byte-identical
+// sequences.
+type diffOp struct {
+	kind    diffOpKind
+	a, b, c int // slot / field / target operands, meaning per kind
+}
+
+// genScript draws a bounded script: each round allocates at most
+// diffAllocsPerRound small objects (so the modern collector's
+// possibly-halved nursery never fills between the explicit
+// collections) and ends in a collection.
+func genScript(seed int64, rounds int) []diffOp {
+	rng := rand.New(rand.NewSource(seed))
+	var ops []diffOp
+	for r := 0; r < rounds; r++ {
+		allocs := 0
+		n := 8 + rng.Intn(8)
+		for i := 0; i < n; i++ {
+			switch k := rng.Intn(10); {
+			case k < 3 && allocs < 10:
+				allocs++
+				ops = append(ops, diffOp{kind: dAllocNode, a: rng.Intn(diffRootSlots), b: rng.Intn(1 << 16)})
+			case k == 3 && allocs < 10:
+				allocs++
+				ops = append(ops, diffOp{kind: dAllocIntArr, a: rng.Intn(diffRootSlots), b: 1 + rng.Intn(48), c: rng.Intn(1 << 16)})
+			case k == 4 && allocs < 10:
+				allocs++
+				ops = append(ops, diffOp{kind: dAllocRefArr, a: rng.Intn(diffRootSlots), b: 1 + rng.Intn(8)})
+			case k == 5:
+				ops = append(ops, diffOp{kind: dLinkField, a: rng.Intn(diffRootSlots), b: rng.Intn(3), c: rng.Intn(diffRootSlots)})
+			case k == 6:
+				ops = append(ops, diffOp{kind: dLinkElem, a: rng.Intn(diffRootSlots), b: rng.Intn(8), c: rng.Intn(diffRootSlots)})
+			case k == 7:
+				ops = append(ops, diffOp{kind: dStoreInt, a: rng.Intn(diffRootSlots), b: rng.Intn(1 << 16)})
+			case k == 8:
+				switch rng.Intn(4) {
+				case 0:
+					ops = append(ops, diffOp{kind: dPin, a: rng.Intn(diffRootSlots)})
+				case 1:
+					ops = append(ops, diffOp{kind: dUnpin, a: rng.Intn(16)})
+				case 2:
+					ops = append(ops, diffOp{kind: dCondPin, a: rng.Intn(diffRootSlots), b: 1 + rng.Intn(3)})
+				case 3:
+					ops = append(ops, diffOp{kind: dDrop, a: rng.Intn(diffRootSlots)})
+				}
+			default:
+				ops = append(ops, diffOp{kind: dDrop, a: rng.Intn(diffRootSlots)})
+			}
+		}
+		switch {
+		case r%4 == 3:
+			ops = append(ops, diffOp{kind: dCollectFull})
+		case r%7 == 5:
+			ops = append(ops, diffOp{kind: dCollectCompact})
+		default:
+			ops = append(ops, diffOp{kind: dCollectYoung})
+		}
+	}
+	return ops
+}
+
+// --- world: one VM + mutator thread driven synchronously -------------
+
+type diffWorld struct {
+	v                          *VM
+	node                       *MethodTable
+	fData, fNext, fShadow, fID *FieldDesc
+	intArrT, refArrT           *MethodTable
+	roots                      *RefRoots
+	pinnedRefs                 []Ref    // refs we have explicitly pinned, in pin order
+	condCalls                  []*int32 // per cond-pin Active() call counters, in add order
+	ops                        chan func(*Thread)
+	ack                        chan struct{}
+	done                       chan struct{}
+}
+
+func newDiffWorld(workers int) *diffWorld {
+	v := New(Config{Name: "diff", Heap: HeapConfig{
+		YoungSize: diffYoung, InitialElder: 256 << 10, ArenaMax: 32 << 20, GCWorkers: workers,
+	}})
+	w := &diffWorld{
+		v:       v,
+		node:    nodeClass(v),
+		intArrT: v.ArrayType(KindInt32, nil, 1),
+		roots:   &RefRoots{Refs: make([]Ref, diffRootSlots)},
+		ops:     make(chan func(*Thread)),
+		ack:     make(chan struct{}),
+		done:    make(chan struct{}),
+	}
+	w.refArrT = v.ArrayType(KindRef, w.node, 1)
+	w.fData = w.node.FieldByName("data")
+	w.fNext = w.node.FieldByName("next")
+	w.fShadow = w.node.FieldByName("shadow")
+	w.fID = w.node.FieldByName("id")
+	v.AddRootProvider(w.roots)
+	go func() {
+		defer close(w.done)
+		v.WithThread("mut", func(th *Thread) {
+			for f := range w.ops {
+				f(th)
+				w.ack <- struct{}{}
+			}
+		})
+	}()
+	return w
+}
+
+func (w *diffWorld) do(f func(*Thread)) { w.ops <- f; <-w.ack }
+func (w *diffWorld) close()             { close(w.ops); <-w.done }
+
+// step applies one script op. All heap access happens on the mutator
+// goroutine; the op script is deterministic, so both worlds make
+// identical pin/unpin/cond-pin decisions.
+func (w *diffWorld) step(t *testing.T, op diffOp) {
+	t.Helper()
+	w.do(func(th *Thread) {
+		h := w.v.Heap
+		switch op.kind {
+		case dAllocNode:
+			n, err := h.AllocClass(w.node)
+			if err != nil {
+				t.Errorf("AllocClass: %v", err)
+				return
+			}
+			h.SetScalar(n, w.fID, uint64(uint32(op.b)))
+			w.roots.Refs[op.a] = n
+		case dAllocIntArr:
+			vals := make([]int32, op.b)
+			for i := range vals {
+				vals[i] = int32(op.c + i)
+			}
+			arr, err := h.NewInt32Array(vals)
+			if err != nil {
+				t.Errorf("NewInt32Array: %v", err)
+				return
+			}
+			w.roots.Refs[op.a] = arr
+		case dAllocRefArr:
+			arr, err := h.AllocArray(w.refArrT, op.b)
+			if err != nil {
+				t.Errorf("AllocArray: %v", err)
+				return
+			}
+			w.roots.Refs[op.a] = arr
+		case dLinkField:
+			from, to := w.roots.Refs[op.a], w.roots.Refs[op.c]
+			if from == NullRef || h.MT(from) != w.node {
+				return
+			}
+			f := [...]*FieldDesc{w.fData, w.fNext, w.fShadow}[op.b]
+			h.SetRef(from, f, to)
+		case dLinkElem:
+			from, to := w.roots.Refs[op.a], w.roots.Refs[op.c]
+			if from == NullRef || h.MT(from) != w.refArrT {
+				return
+			}
+			if n := int(h.arrayLen(from)); n > 0 {
+				h.SetElemRef(from, op.b%n, to)
+			}
+		case dStoreInt:
+			r := w.roots.Refs[op.a]
+			if r == NullRef {
+				return
+			}
+			switch h.MT(r) {
+			case w.node:
+				h.SetScalar(r, w.fID, uint64(uint32(op.b)))
+			case w.intArrT:
+				if n := int(h.arrayLen(r)); n > 0 {
+					h.SetElem(r, op.b%n, uint64(uint32(op.b)))
+				}
+			}
+		case dDrop:
+			w.roots.Refs[op.a] = NullRef
+		case dPin:
+			if r := w.roots.Refs[op.a]; r != NullRef {
+				h.Pin(r)
+				w.pinnedRefs = append(w.pinnedRefs, r)
+			}
+		case dUnpin:
+			if op.a < len(w.pinnedRefs) {
+				h.Unpin(w.pinnedRefs[op.a])
+				w.pinnedRefs = append(w.pinnedRefs[:op.a], w.pinnedRefs[op.a+1:]...)
+			}
+		case dCondPin:
+			if r := w.roots.Refs[op.a]; r != NullRef {
+				calls := new(int32)
+				hold := int32(op.b)
+				w.condCalls = append(w.condCalls, calls)
+				h.AddCondPin(r, func() bool {
+					return atomic.AddInt32(calls, 1) <= hold
+				})
+			}
+		case dCollectYoung:
+			th.CollectYoung()
+		case dCollectFull:
+			th.CollectFull()
+		case dCollectCompact:
+			th.CollectCompact()
+		}
+	})
+}
+
+// snapshot renders the reachable heap graph in a canonical,
+// address-independent form: objects are numbered in discovery order
+// from the root slots and the pin list, and every line captures one
+// object's type, scalar payload, and the discovery indices of its
+// referents. Two worlds with identical logical heaps produce
+// identical snapshots regardless of where the collector placed
+// anything.
+func (w *diffWorld) snapshot() []string {
+	var lines []string
+	w.do(func(_ *Thread) {
+		h := w.v.Heap
+		index := map[Ref]int{}
+		var order []Ref
+		var visit func(Ref)
+		visit = func(r Ref) {
+			if r == NullRef {
+				return
+			}
+			if _, ok := index[r]; ok {
+				return
+			}
+			index[r] = len(order)
+			order = append(order, r)
+			switch h.MT(r) {
+			case w.node:
+				visit(h.GetRef(r, w.fData))
+				visit(h.GetRef(r, w.fNext))
+				visit(h.GetRef(r, w.fShadow))
+			case w.refArrT:
+				for i := 0; i < int(h.arrayLen(r)); i++ {
+					visit(h.GetElemRef(r, i))
+				}
+			}
+		}
+		for _, r := range w.roots.Refs {
+			visit(r)
+		}
+		for _, r := range w.pinnedRefs {
+			visit(r)
+		}
+		idx := func(r Ref) int {
+			if r == NullRef {
+				return -1
+			}
+			return index[r]
+		}
+		for i, r := range order {
+			switch h.MT(r) {
+			case w.node:
+				lines = append(lines, fmt.Sprintf("%d node id=%d data=%d next=%d shadow=%d pinned=%v",
+					i, int32(h.GetScalar(r, w.fID)), idx(h.GetRef(r, w.fData)),
+					idx(h.GetRef(r, w.fNext)), idx(h.GetRef(r, w.fShadow)), h.Pinned(r)))
+			case w.intArrT:
+				lines = append(lines, fmt.Sprintf("%d int32[%d] %v pinned=%v",
+					i, h.arrayLen(r), h.Int32Slice(r), h.Pinned(r)))
+			case w.refArrT:
+				elems := make([]int, h.arrayLen(r))
+				for j := range elems {
+					elems[j] = idx(h.GetElemRef(r, j))
+				}
+				lines = append(lines, fmt.Sprintf("%d node[%d] %v pinned=%v",
+					i, h.arrayLen(r), elems, h.Pinned(r)))
+			default:
+				lines = append(lines, fmt.Sprintf("%d ???", i))
+			}
+		}
+		// Root slot shape is part of the logical state too.
+		slots := make([]int, diffRootSlots)
+		for i, r := range w.roots.Refs {
+			slots[i] = idx(r)
+		}
+		lines = append(lines, fmt.Sprintf("roots %v", slots))
+	})
+	return lines
+}
+
+func (w *diffWorld) checkInvariants() error {
+	var err error
+	w.do(func(_ *Thread) { err = w.v.Heap.CheckInvariants() })
+	return err
+}
+
+// --- the suite -------------------------------------------------------
+
+func runGCParitySeed(t *testing.T, seed int64) {
+	t.Helper()
+	script := genScript(seed, 8)
+	legacy := newDiffWorld(1)
+	modern := newDiffWorld(4)
+	defer legacy.close()
+	defer modern.close()
+
+	for i, op := range script {
+		legacy.step(t, op)
+		modern.step(t, op)
+		if t.Failed() {
+			t.Fatalf("seed %d: op %d (%v) failed", seed, i, op.kind)
+		}
+		if op.kind != dCollectYoung && op.kind != dCollectFull && op.kind != dCollectCompact {
+			continue
+		}
+		if err := legacy.checkInvariants(); err != nil {
+			t.Fatalf("seed %d op %d: legacy invariants: %v", seed, i, err)
+		}
+		if err := modern.checkInvariants(); err != nil {
+			t.Fatalf("seed %d op %d: modern invariants: %v", seed, i, err)
+		}
+		ls, ms := legacy.snapshot(), modern.snapshot()
+		if len(ls) != len(ms) {
+			t.Fatalf("seed %d op %d: graph size diverged: legacy %d objects, modern %d\nlegacy:\n%s\nmodern:\n%s",
+				seed, i, len(ls), len(ms), strings.Join(ls, "\n"), strings.Join(ms, "\n"))
+		}
+		for j := range ls {
+			if ls[j] != ms[j] {
+				t.Fatalf("seed %d op %d: graphs diverged at object %d:\nlegacy: %s\nmodern: %s",
+					seed, i, j, ls[j], ms[j])
+			}
+		}
+	}
+
+	// Accounting parity: both collectors must have made identical
+	// collection, promotion, and cond-pin decisions.
+	lg, mg := legacy.v.Heap.Stats.Snapshot(), modern.v.Heap.Stats.Snapshot()
+	if lg.Scavenges != mg.Scavenges || lg.FullGCs != mg.FullGCs {
+		t.Errorf("seed %d: cycle counts diverged: legacy %d/%d, modern %d/%d",
+			seed, lg.Scavenges, lg.FullGCs, mg.Scavenges, mg.FullGCs)
+	}
+	if lg.BytesPromoted != mg.BytesPromoted {
+		t.Errorf("seed %d: promotion decisions diverged: legacy %dB, modern %dB",
+			seed, lg.BytesPromoted, mg.BytesPromoted)
+	}
+	if lg.CondPinsHeld != mg.CondPinsHeld || lg.CondPinsDropped != mg.CondPinsDropped {
+		t.Errorf("seed %d: cond-pin decisions diverged: legacy %d/%d, modern %d/%d",
+			seed, lg.CondPinsHeld, lg.CondPinsDropped, mg.CondPinsHeld, mg.CondPinsDropped)
+	}
+	if len(legacy.condCalls) != len(modern.condCalls) {
+		t.Fatalf("seed %d: cond-pin registration diverged", seed)
+	}
+	for i := range legacy.condCalls {
+		lc, mc := atomic.LoadInt32(legacy.condCalls[i]), atomic.LoadInt32(modern.condCalls[i])
+		if lc != mc {
+			t.Errorf("seed %d: cond pin %d examined %d times by legacy, %d by modern (must be once per cycle)",
+				seed, i, lc, mc)
+		}
+	}
+
+	// The legacy donation path must account every donated byte as
+	// either live or dead: each donated block is exactly YoungSize
+	// wide, minus at most a sub-header tail that is leaked by design.
+	if lg.BlocksDonated > 0 {
+		total := lg.DonatedLiveBytes + lg.DonatedDeadBytes
+		max := lg.BlocksDonated * diffYoung
+		min := lg.BlocksDonated * (diffYoung - HeaderSize/2)
+		if total > max || total < min {
+			t.Errorf("seed %d: donation accounting leak: live %d + dead %d = %d, want within [%d,%d] for %d blocks",
+				seed, lg.DonatedLiveBytes, lg.DonatedDeadBytes, total, min, max, lg.BlocksDonated)
+		}
+	}
+	// The modern collector should almost never fall back to donation:
+	// pinned survivors land in dedicated pinned blocks instead.
+	if mg.BlocksDonated > 0 && mg.PinnedSegregated == 0 {
+		t.Errorf("seed %d: modern collector donated %d blocks without ever segregating", seed, mg.BlocksDonated)
+	}
+}
+
+// TestGCDifferentialParity is the quick tier-1 slice of the suite.
+func TestGCDifferentialParity(t *testing.T) {
+	seeds := 40
+	if testing.Short() {
+		seeds = 10
+	}
+	for s := 0; s < seeds; s++ {
+		s := s
+		t.Run(fmt.Sprintf("seed%03d", s), func(t *testing.T) { runGCParitySeed(t, int64(s)) })
+	}
+}
+
+// TestStressGCDifferentialParity is the full suite (≥150 seeds); the
+// stress tier runs it under -race so the parallel mark pool, the
+// cond-pin resolver, and the parity machinery are all exercised with
+// the race detector watching.
+func TestStressGCDifferentialParity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode: covered by TestGCDifferentialParity")
+	}
+	for s := 100; s < 260; s++ {
+		s := s
+		t.Run(fmt.Sprintf("seed%03d", s), func(t *testing.T) {
+			t.Parallel()
+			runGCParitySeed(t, int64(s))
+		})
+	}
+}

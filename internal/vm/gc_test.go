@@ -138,12 +138,53 @@ func TestExplicitPinPreventsMovement(t *testing.T) {
 		if got := v.Heap.Int32Slice(ref); got[0] != 7 {
 			t.Errorf("content %v", got)
 		}
+		// The modern collector (default) segregates the pinned survivor
+		// into a dedicated pinned block instead of donating the whole
+		// younger block.
+		if v.Heap.Stats.PinnedSegregated == 0 {
+			t.Error("pinned survivor was not segregated")
+		}
+		if v.Heap.Stats.BlocksDonated != 0 {
+			t.Error("sparse pinned survivor donated the whole block")
+		}
+		// After segregation the object's address is elder space.
+		if v.Heap.IsYoung(ref) {
+			t.Error("segregated object still counted young")
+		}
+		v.Heap.Unpin(ref)
+	})
+}
+
+func TestExplicitPinDonatesBlockLegacy(t *testing.T) {
+	// gcworkers=1 is the exact-legacy collector: one pinned survivor
+	// donates the whole younger block (§5.2).
+	v := New(Config{Heap: HeapConfig{YoungSize: 16 << 10, InitialElder: 128 << 10, ArenaMax: 64 << 20, GCWorkers: 1}})
+	v.WithThread("t", func(th *Thread) {
+		ref, _ := v.Heap.NewInt32Array([]int32{7, 7, 7})
+		v.Heap.Pin(ref)
+		before := ref
+		pop := th.PushFrame(&ref)
+		th.CollectYoung()
+		pop()
+		if ref != before {
+			t.Fatalf("pinned object moved: %#x -> %#x", before, ref)
+		}
 		if v.Heap.Stats.BlocksDonated == 0 {
 			t.Error("young block with pinned survivor was not donated")
 		}
-		// After donation the object's address is now elder space.
+		if v.Heap.Stats.PinnedSegregated != 0 {
+			t.Error("legacy collector segregated")
+		}
 		if v.Heap.IsYoung(ref) {
 			t.Error("donated object still counted young")
+		}
+		// Donation accounting: live + dead bytes cover the walked block.
+		s := v.Heap.Stats.Snapshot()
+		if s.DonatedLiveBytes == 0 {
+			t.Error("donated pinned survivor not accounted live")
+		}
+		if s.DonatedDeadBytes == 0 {
+			t.Error("donated dead gaps not accounted")
 		}
 		v.Heap.Unpin(ref)
 	})

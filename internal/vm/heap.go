@@ -4,6 +4,9 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"os"
+	"runtime"
+	"strconv"
 	"sync/atomic"
 
 	"motor/internal/obs"
@@ -90,6 +93,18 @@ type GCStats struct {
 	CondPinsHeld    uint64 // requests found active during a mark phase
 	CondPinsDropped uint64 // requests found complete and discarded
 
+	// Modern-collector counters (gcworkers > 1). PinnedSegregated
+	// counting scavenges and BlocksDonated counting fallbacks is the
+	// stat pair that proves donation has become rare.
+	PinnedSegregated  uint64 // scavenges that kept pinned survivors in dedicated blocks
+	PinnedBlockBytes  uint64 // pinned-survivor bytes segregated in place
+	NurseriesRecycled uint64 // nurseries re-installed over elder free space instead of fresh arena
+	DonatedLiveBytes  uint64 // pinned-survivor bytes kept live by whole-block donation
+	DonatedDeadBytes  uint64 // dead-gap bytes a donation returned to the free lists
+	ParallelMarks     uint64 // full collections marked by the worker pool
+	Compactions       uint64 // elder sliding compactions performed
+	BytesCompacted    uint64 // live bytes moved by compaction
+
 	PauseNs    uint64 // total stop-the-world nanoseconds
 	MaxPauseNs uint64 // longest single collection
 }
@@ -110,8 +125,18 @@ func (s *GCStats) Snapshot() GCStats {
 		CondPinsAdded:   atomic.LoadUint64(&s.CondPinsAdded),
 		CondPinsHeld:    atomic.LoadUint64(&s.CondPinsHeld),
 		CondPinsDropped: atomic.LoadUint64(&s.CondPinsDropped),
-		PauseNs:         atomic.LoadUint64(&s.PauseNs),
-		MaxPauseNs:      atomic.LoadUint64(&s.MaxPauseNs),
+
+		PinnedSegregated:  atomic.LoadUint64(&s.PinnedSegregated),
+		PinnedBlockBytes:  atomic.LoadUint64(&s.PinnedBlockBytes),
+		NurseriesRecycled: atomic.LoadUint64(&s.NurseriesRecycled),
+		DonatedLiveBytes:  atomic.LoadUint64(&s.DonatedLiveBytes),
+		DonatedDeadBytes:  atomic.LoadUint64(&s.DonatedDeadBytes),
+		ParallelMarks:     atomic.LoadUint64(&s.ParallelMarks),
+		Compactions:       atomic.LoadUint64(&s.Compactions),
+		BytesCompacted:    atomic.LoadUint64(&s.BytesCompacted),
+
+		PauseNs:    atomic.LoadUint64(&s.PauseNs),
+		MaxPauseNs: atomic.LoadUint64(&s.MaxPauseNs),
 	}
 }
 
@@ -129,6 +154,16 @@ type HeapConfig struct {
 	ArenaMax        uint32 // hard ceiling on total arena bytes
 	PinMode         PinMode
 	FullGCThreshold uint32 // elder bytes allocated between full GCs
+
+	// GCWorkers selects the collector. 1 is the exact-legacy serial
+	// collector of §5.2 (scavenge + donation + never-compacted elder);
+	// >1 enables the modern collector: work-stealing parallel mark,
+	// pin-aware promotion (dedicated pinned blocks instead of
+	// whole-block donation), and elder sliding compaction. 0 resolves
+	// MOTOR_GCWORKERS, then defaults to NumCPU clamped to [2,8] — the
+	// modern collector is the default even on one CPU so behaviour is
+	// machine-independent.
+	GCWorkers int
 }
 
 func (c *HeapConfig) fill() {
@@ -143,6 +178,26 @@ func (c *HeapConfig) fill() {
 	}
 	if c.FullGCThreshold == 0 {
 		c.FullGCThreshold = 16 << 20
+	}
+	if c.GCWorkers == 0 {
+		if s := os.Getenv("MOTOR_GCWORKERS"); s != "" {
+			if n, err := strconv.Atoi(s); err == nil && n > 0 {
+				c.GCWorkers = n
+			}
+		}
+	}
+	if c.GCWorkers == 0 {
+		n := runtime.NumCPU()
+		if n < 2 {
+			n = 2
+		}
+		if n > 8 {
+			n = 8
+		}
+		c.GCWorkers = n
+	}
+	if c.GCWorkers < 1 {
+		c.GCWorkers = 1
 	}
 }
 
@@ -181,6 +236,20 @@ type Heap struct {
 	// collector itself allocates elder space for promotions.
 	inGC bool
 
+	// gcWorkers is the resolved GCWorkers knob: 1 = legacy serial
+	// collector, >1 = modern collector with that many mark workers.
+	gcWorkers int
+
+	// markBits is the modern collector's side mark bitmap: one bit per
+	// 8 arena bytes, reused (and re-zeroed) across cycles so a full
+	// collection does not allocate. The legacy collector marks in
+	// header flags instead.
+	markBits []uint64
+
+	// compactRequested forces elder compaction on the next full
+	// collection of the modern collector, regardless of heuristics.
+	compactRequested bool
+
 	Stats GCStats
 }
 
@@ -192,6 +261,7 @@ func newHeap(vm *VM, cfg HeapConfig) *Heap {
 		youngSize:  cfg.YoungSize,
 		fullEvery:  cfg.FullGCThreshold,
 		pinMode:    cfg.PinMode,
+		gcWorkers:  cfg.GCWorkers,
 		pinCounts:  make(map[Ref]int),
 		remembered: make(map[Ref]struct{}),
 	}
@@ -636,4 +706,29 @@ func (h *Heap) recordWrite(obj Ref, val Ref) {
 // MemUse reports arena occupancy for stats surfaces.
 func (h *Heap) MemUse() (arena, youngUsed, elderUsed uint32) {
 	return h.brk, h.youngPos - h.youngStart, h.elderUsed
+}
+
+// Workers reports the resolved gcworkers knob: 1 means the exact-
+// legacy serial collector, >1 the modern parallel collector.
+func (h *Heap) Workers() int { return h.gcWorkers }
+
+// RequestCompaction asks the modern collector to slide-compact the
+// elder space during its next full collection, bypassing the
+// fragmentation heuristic. A no-op under the legacy collector, whose
+// elder space is never compacted (§5.2).
+func (h *Heap) RequestCompaction() { h.compactRequested = true }
+
+// explicitPins assembles the unconditional pin set (Pin/Unpin
+// bookkeeping only). The modern collector starts a cycle from this
+// set and resolves conditional requests lazily through the cycle's
+// single resolver; the legacy collector uses pinnedForCycle instead.
+func (h *Heap) explicitPins() map[Ref]struct{} {
+	set := make(map[Ref]struct{}, len(h.pinCounts)+len(h.pinList))
+	for r := range h.pinCounts {
+		set[r] = struct{}{}
+	}
+	for _, p := range h.pinList {
+		set[p.ref] = struct{}{}
+	}
+	return set
 }

@@ -184,3 +184,11 @@ func (t *Thread) CollectYoung() { t.vm.collect(false) }
 
 // CollectFull forces a full (scavenge + elder mark-sweep) collection.
 func (t *Thread) CollectFull() { t.vm.collect(true) }
+
+// CollectCompact forces a full collection with elder compaction. The
+// legacy collector (gcworkers=1) never compacts, so this degrades to
+// CollectFull there.
+func (t *Thread) CollectCompact() {
+	t.vm.Heap.RequestCompaction()
+	t.vm.collect(true)
+}

@@ -14,9 +14,12 @@ import "fmt"
 //   - the younger block's used prefix is a sequence of valid objects;
 //   - every reference field and reference array element of every live
 //     object is null or addresses a valid object header;
-//   - every explicitly pinned object is valid.
+//   - every explicitly pinned object is valid;
+//   - elderUsed equals the sum of live object sizes over all elder
+//     ranges (the occupancy counter cannot drift from the walk).
 func (h *Heap) CheckInvariants() error {
 	valid := make(map[Ref]bool)
+	var elderLive uint32
 
 	// Pass 1: walk spaces and record every live object location.
 	var walkErr error
@@ -65,6 +68,16 @@ func (h *Heap) CheckInvariants() error {
 		if walkErr != nil {
 			return walkErr
 		}
+		pos := rg.start
+		for pos < rg.end {
+			if h.mtIndex(Ref(pos)) != freeSentinel {
+				elderLive += h.objSize(Ref(pos))
+			}
+			pos += h.objSize(Ref(pos))
+		}
+	}
+	if elderLive != h.elderUsed {
+		return fmt.Errorf("vm: elderUsed accounting drift: counter %d, walk %d", h.elderUsed, elderLive)
 	}
 	if h.youngStart != h.youngEnd {
 		record("young", h.youngStart, h.youngPos, true)

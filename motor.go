@@ -165,6 +165,13 @@ type Config struct {
 	// 256 MiB).
 	YoungSize uint32
 	ArenaMax  uint32
+	// GCWorkers selects each rank's collector: 1 is the exact-legacy
+	// serial collector (§5.2), >1 the modern collector (parallel
+	// mark, pin-aware promotion, elder compaction) with that many
+	// mark workers. 0 resolves the MOTOR_GCWORKERS environment
+	// variable, then defaults to NumCPU clamped to [2,8]. See
+	// docs/GC.md.
+	GCWorkers int
 	// EagerMax is the transport's eager/rendezvous threshold in
 	// bytes (default 64 KiB).
 	EagerMax int
@@ -428,7 +435,7 @@ func newRank(w *mp.World, cfg Config) *Rank {
 	v := vm.New(vm.Config{
 		Name:   fmt.Sprintf("rank%d", w.Rank()),
 		Stdout: cfg.Stdout,
-		Heap:   vm.HeapConfig{YoungSize: cfg.YoungSize, ArenaMax: cfg.ArenaMax},
+		Heap:   vm.HeapConfig{YoungSize: cfg.YoungSize, ArenaMax: cfg.ArenaMax, GCWorkers: cfg.GCWorkers},
 	})
 	e := core.Attach(v, w,
 		core.WithPolicy(cfg.Policy),

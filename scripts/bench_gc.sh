@@ -1,0 +1,43 @@
+#!/bin/sh
+# GC pause benchmark: the serial collector (§5.2 scavenge + whole-block
+# donation, -gcworkers=1) against the modern collector (work-stealing
+# parallel mark, pin-aware segregation, nursery recycling, elder
+# compaction — docs/GC.md) over the same pinned-transport churn driver
+# at a production-sized live heap. Writes the machine-readable report
+# to BENCH_gc.json at the repo root.
+#
+# Usage: scripts/bench_gc.sh [quick]
+#   quick  96 MiB live heap for smoke runs; writes BENCH_gc_quick.json
+#          so the committed full-grid artifact is never clobbered (the
+#          committed BENCH_gc.json is the full ~1 GiB grid and takes
+#          a couple of minutes to regenerate)
+#
+# The committed BENCH_gc.json is the collector pass's acceptance
+# artifact: p99_reduction >= 4 (serial p99 gc-pause / modern p99) on
+# the ~1 GiB grid. The serial tail is donation-driven: every pinned
+# scavenge donates the nursery and grows the arena, which both trips
+# the driver's growth-triggered full-heap policy and forces GB-scale
+# arena-growth copies; the modern collector segregates pinned
+# survivors and recycles the nursery from elder free space, so its
+# footprint stays flat (compare blocks_donated/pinned_segregated/
+# nurseries_recycled and the arena columns). Absolute pause times
+# reflect this machine — check the gomaxprocs protocol field before
+# reading the forced-full column on a single-core host. Regenerate
+# here when touching the collector, the heap layout, or the pause
+# histograms.
+set -eu
+cd "$(dirname "$0")/.."
+
+out=BENCH_gc.json
+
+flags="-gc -json"
+if [ "${1:-}" = quick ]; then
+	flags="$flags -quick"
+	out=BENCH_gc_quick.json
+fi
+
+echo "== gc pause benchmark -> $out"
+# shellcheck disable=SC2086
+go run ./cmd/benchfig $flags > "$out"
+echo "== headline (serial vs modern)"
+grep -E '"mode"|"p99_us"|"max_us"|"blocks_donated"|"pinned_segregated"|"nurseries_recycled"|p99_reduction' "$out" || true

@@ -27,8 +27,12 @@
 #                     always-on overhead budget), live telemetry
 #                     endpoint over real HTTP, and the cross-rank
 #                     merge round-trip through cmd/mtrace.
+#   gc tier:          the collector gate (docs/GC.md) — the serial vs
+#                     modern differential parity suite and cond-pin
+#                     race regression under -race, a bounded heap-ops
+#                     fuzz smoke, and the quick GC pause benchmark.
 #
-# Usage: scripts/verify.sh [quick|race|stress|all|bench|vet|lint|quicken|obs]
+# Usage: scripts/verify.sh [quick|race|stress|all|bench|vet|lint|quicken|obs|gc]
 #   quick   tier 1 with -short (chaos sweeps skipped; < ~30s)
 #   race    tier 2 only
 #   stress  stress tier only: shared-rank goroutine stress, fault
@@ -45,6 +49,8 @@
 #           quickening differential tests
 #   obs     obs tier only: telemetry smoke, watchdog-on-injected-stall,
 #           merge round-trip, flight-recorder budget
+#   gc      gc tier only: parity + race regression under -race, fuzz
+#           smoke, quick pause benchmark
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -253,6 +259,27 @@ tier_obs() {
 	trap - EXIT
 }
 
+# GC tier: the collector acceptance gate (docs/GC.md). The
+# differential parity suite replays identical mutator scripts on the
+# serial and modern collectors and demands identical object graphs,
+# stats, and cond-pin decisions; the race regression forces a cond-pin
+# to complete mid-mark from a parked thread; the fuzz smoke replays
+# byte-coded heap-op sequences with invariant checks after every
+# collection (short minimize budget so the smoke stays bounded); and
+# the quick pause benchmark must keep the serial/modern p99 ordering
+# (the committed BENCH_gc.json carries the full-grid >=4x gate).
+tier_gc() {
+	echo "== gc: differential parity + cond-pin race regression (-race)"
+	GORACE=halt_on_error=1 go test -race -timeout 600s -count=1 \
+		-run 'TestGCDifferentialParity|TestStressCondPinMidMarkResolution|TestDonationSubHeaderTail' \
+		./internal/vm/
+	echo "== gc: heap-ops fuzz smoke"
+	go test -count=1 -run FuzzHeapOps -fuzz FuzzHeapOps \
+		-fuzztime 30s -fuzzminimizetime 5s ./internal/vm/
+	echo "== gc: quick pause benchmark"
+	sh scripts/bench_gc.sh quick
+}
+
 # Trace smoke: a traced mpstat run must produce a loadable Chrome
 # trace (exercises the MOTOR_TRACE env path end to end).
 smoke_trace() {
@@ -281,6 +308,7 @@ all)
 	tier_lint
 	tier_quicken
 	tier_obs
+	tier_gc
 	smoke_trace
 	;;
 bench)
@@ -291,8 +319,9 @@ vet) tier_vet ;;
 lint) tier_lint ;;
 quicken) tier_quicken ;;
 obs) tier_obs ;;
+gc) tier_gc ;;
 *)
-	echo "usage: $0 [quick|race|stress|all|bench|vet|lint|quicken|obs]" >&2
+	echo "usage: $0 [quick|race|stress|all|bench|vet|lint|quicken|obs|gc]" >&2
 	exit 2
 	;;
 esac
